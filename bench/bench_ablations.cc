@@ -1,0 +1,158 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. Selective vs. full record: call-log size at migration time.
+//   2. Checkpoint image compression on/off: wire bytes + total time.
+//   3. rsync --link-dest on/off: pairing wire bytes.
+//   4. GPU-state shedding: bytes the checkpoint avoids by shedding instead
+//      of checkpointing device-specific graphics state.
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness/migration_matrix.h"
+#include "src/apps/app_instance.h"
+#include "src/base/bytes.h"
+#include "src/device/world.h"
+#include "src/flux/pairing.h"
+
+namespace flux {
+namespace {
+
+void AblateRecordMode() {
+  printf("--- Ablation 1: selective record vs full record ---\n");
+  printf("%-18s | %-18s | %-18s\n", "Application", "selective log (B)",
+         "full log (B)");
+  for (const char* name : {"Twitter", "Candy Crush Saga", "WhatsApp"}) {
+    uint64_t sizes[2] = {0, 0};
+    for (int full = 0; full < 2; ++full) {
+      World world;
+      BootOptions boot;
+      boot.framework_scale = 0.005;
+      Device* home = world.AddDevice("home", Nexus4Profile(), boot).value();
+      Device* guest =
+          world.AddDevice("guest", Nexus7_2013Profile(), boot).value();
+      FluxAgent home_agent(*home);
+      FluxAgent guest_agent(*guest);
+      home_agent.recorder().set_full_record_mode(full == 1);
+      (void)PairDevices(home_agent, guest_agent);
+      const AppSpec* spec = FindApp(name);
+      AppInstance app(*home, *spec);
+      (void)app.Install();
+      (void)PairApp(home_agent, guest_agent, *spec);
+      (void)app.Launch();
+      home_agent.Manage(app.pid(), spec->package);
+      (void)app.RunWorkload(99);
+      sizes[full] = home_agent.recorder().LogFor(app.pid())->WireSize();
+    }
+    printf("%-18s | %18llu | %18llu\n", name,
+           static_cast<unsigned long long>(sizes[0]),
+           static_cast<unsigned long long>(sizes[1]));
+  }
+  printf("\n");
+}
+
+void AblateCompression() {
+  printf("--- Ablation 2: checkpoint image compression ---\n");
+  MatrixOptions with;
+  MatrixOptions without;
+  without.migration.compress_image = false;
+  auto compressed =
+      RunSingleMigration("Candy Crush Saga", "Nexus 4", "Nexus 7 (2013)", with);
+  auto raw = RunSingleMigration("Candy Crush Saga", "Nexus 4",
+                                "Nexus 7 (2013)", without);
+  if (compressed.ok() && raw.ok()) {
+    printf("with compression   : %6.2f MB wire, %5.2f s total\n",
+           ToMiB(compressed->total_wire_bytes),
+           ToSecondsF(compressed->Total()));
+    printf("without compression: %6.2f MB wire, %5.2f s total\n",
+           ToMiB(raw->total_wire_bytes), ToSecondsF(raw->Total()));
+  }
+  printf("\n");
+}
+
+void AblateLinkDest() {
+  printf("--- Ablation 3: pairing with and without --link-dest ---\n");
+  for (int use_link_dest = 1; use_link_dest >= 0; --use_link_dest) {
+    World world;
+    BootOptions boot;
+    boot.framework_scale = 0.1;
+    Device* home =
+        world.AddDevice("n7-2012", Nexus7_2012Profile(), boot).value();
+    Device* guest =
+        world.AddDevice("n7-2013", Nexus7_2013Profile(), boot).value();
+    SyncOptions options;
+    if (use_link_dest == 1) {
+      options.link_dest = "/system";
+    }
+    auto stats = SyncTree(home->filesystem(), "/system", guest->filesystem(),
+                          FluxAgent::PairRoot("n7-2012") + "/system", options);
+    if (stats.ok()) {
+      printf("link-dest %-3s: %6.1f MB on the wire (of %.1f MB total)\n",
+             use_link_dest == 1 ? "on" : "off", ToMiB(stats->WireBytes()),
+             ToMiB(stats->bytes_total));
+    }
+  }
+  printf("\n");
+}
+
+void AblateShedding() {
+  printf("--- Ablation 4: GPU-state shedding vs hypothetical checkpointing "
+         "---\n");
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.005;
+  Device* home = world.AddDevice("home", Nexus4Profile(), boot).value();
+  Device* guest = world.AddDevice("guest", Nexus7_2013Profile(), boot).value();
+  FluxAgent home_agent(*home);
+  FluxAgent guest_agent(*guest);
+  (void)PairDevices(home_agent, guest_agent);
+  const AppSpec* spec = FindApp("Candy Crush Saga");
+  AppInstance app(*home, *spec);
+  (void)app.Install();
+  (void)PairApp(home_agent, guest_agent, *spec);
+  (void)app.Launch();
+  home_agent.Manage(app.pid(), spec->package);
+  (void)app.RunWorkload(7);
+
+  // Bytes that would have to enter a checkpoint if Flux checkpointed
+  // GPU state instead of shedding it (and which would be *wrong* on a
+  // different GPU):
+  const uint64_t gpu_bytes = home->egl().GpuBytesOf(app.pid());
+  const uint64_t surfaces =
+      home->window_manager().SurfaceBytesOf(app.pid());
+  const uint64_t vendor_lib = home->profile().gpu.library_size;
+  printf("device-specific state shed before checkpoint:\n");
+  printf("  GL textures + buffers : %7.1f MB (Adreno-layout, not portable)\n",
+         ToMiB(gpu_bytes));
+  printf("  window surfaces       : %7.1f MB (sized for the home display)\n",
+         ToMiB(surfaces));
+  printf("  vendor GL library     : %7.1f MB (device-specific code)\n",
+         ToMiB(vendor_lib));
+
+  MigrationManager manager(home_agent, guest_agent);
+  auto report = manager.Migrate(RunningApp::FromInstance(app), *spec);
+  if (report.ok() && report->success) {
+    printf("actual checkpoint image: %7.1f MB raw / %.1f MB compressed\n",
+           ToMiB(report->image_raw_bytes),
+           ToMiB(report->image_compressed_bytes));
+    const double inflation =
+        static_cast<double>(gpu_bytes + surfaces + vendor_lib) /
+        static_cast<double>(report->image_raw_bytes);
+    printf("checkpointing GPU state would inflate the image by ~%.0f%% with "
+           "bytes that\ncannot be restored on different graphics hardware "
+           "(§3.3's rationale).\n",
+           100.0 * inflation);
+  }
+  printf("\n");
+}
+
+}  // namespace
+}  // namespace flux
+
+int main() {
+  using namespace flux;
+  printf("=== Design-choice ablations ===\n\n");
+  AblateRecordMode();
+  AblateCompression();
+  AblateLinkDest();
+  AblateShedding();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 14: user-perceived migration time excluding the data transfer
+// phase (restore + reintegration) per app and device combination — the
+// paper's view of the latency floor once transfer is optimized away
+// (average 1.35 s in the paper).
+#include <cstdio>
+
+#include "bench/harness/migration_matrix.h"
+
+int main() {
+  using namespace flux;
+  printf("=== Figure 14: user-perceived time excluding data transfer "
+         "(seconds) ===\n\n");
+
+  MatrixResult matrix = RunMigrationMatrix();
+
+  printf("%-18s", "Application");
+  for (const auto& combo : matrix.combos) {
+    printf(" | %-28s", combo.c_str());
+  }
+  printf("\n%s\n", std::string(18 + matrix.combos.size() * 31, '-').c_str());
+
+  double sum = 0;
+  int count = 0;
+  for (const auto& app : matrix.apps) {
+    printf("%-18s", app.c_str());
+    for (const auto& combo : matrix.combos) {
+      for (const auto& cell : matrix.cells) {
+        if (cell.app == app && cell.combo == combo) {
+          const double seconds =
+              ToSecondsF(cell.report.PerceivedExcludingTransfer());
+          printf(" | %-28.2f", seconds);
+          sum += seconds;
+          ++count;
+        }
+      }
+    }
+    printf("\n");
+  }
+  printf("\nMean: %.2f s   (paper: 1.35 s)\n", sum / count);
+  return 0;
+}

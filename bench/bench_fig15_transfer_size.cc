@@ -1,0 +1,82 @@
+// Figure 15: data transferred during migration per app, with APK size shown
+// for reference. Paper facts to reproduce: the transfer is dominated by the
+// compressed checkpoint image; compressed data-dir sync + record log never
+// exceed a combined 200 KB; no migration moves more than 14 MB; migration
+// times correlate with transfer sizes.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness/migration_matrix.h"
+#include "src/base/bytes.h"
+
+int main() {
+  using namespace flux;
+  printf("=== Figure 15: data transferred during migration (MB) ===\n\n");
+
+  MatrixResult matrix = RunMigrationMatrix();
+
+  printf("%-18s | %-16s | %-14s | %-14s | %-10s\n", "Application",
+         "Data Transferred", "  ...image", "  ...sync+log", "APK Size");
+  printf("%s\n", std::string(86, '-').c_str());
+
+  uint64_t max_transfer = 0;
+  uint64_t max_sync_log = 0;
+  for (const auto& app : matrix.apps) {
+    // Average across the four combinations (sizes barely vary).
+    uint64_t wire = 0;
+    uint64_t image = 0;
+    uint64_t sync_log = 0;
+    int n = 0;
+    const AppSpec* spec = FindApp(app);
+    for (const auto& cell : matrix.cells) {
+      if (cell.app != app) {
+        continue;
+      }
+      wire += cell.report.total_wire_bytes;
+      image += cell.report.image_compressed_bytes;
+      sync_log += cell.report.data_sync_bytes + cell.report.log_bytes;
+      ++n;
+    }
+    wire /= n;
+    image /= n;
+    sync_log /= n;
+    max_transfer = std::max(max_transfer, wire);
+    max_sync_log = std::max(max_sync_log, sync_log);
+    printf("%-18s | %16.2f | %14.2f | %14.3f | %10.1f\n", app.c_str(),
+           ToMiB(wire), ToMiB(image), ToMiB(sync_log),
+           ToMiB(spec->apk_bytes));
+  }
+
+  printf("%s\n", std::string(86, '-').c_str());
+  printf("max data transferred: %.2f MB   (paper: never above 14 MB)\n",
+         ToMiB(max_transfer));
+  printf("max sync+log bytes  : %.0f KB   (paper: never above a combined "
+         "200 KB)\n",
+         static_cast<double>(max_sync_log) / 1024.0);
+
+  // Correlation between migration time and transfer size (Pearson r over
+  // all cells; the paper notes they are "generally correlated").
+  double mean_t = 0;
+  double mean_b = 0;
+  for (const auto& cell : matrix.cells) {
+    mean_t += ToSecondsF(cell.report.Total());
+    mean_b += ToMiB(cell.report.total_wire_bytes);
+  }
+  mean_t /= static_cast<double>(matrix.cells.size());
+  mean_b /= static_cast<double>(matrix.cells.size());
+  double cov = 0;
+  double var_t = 0;
+  double var_b = 0;
+  for (const auto& cell : matrix.cells) {
+    const double dt = ToSecondsF(cell.report.Total()) - mean_t;
+    const double db = ToMiB(cell.report.total_wire_bytes) - mean_b;
+    cov += dt * db;
+    var_t += dt * dt;
+    var_b += db * db;
+  }
+  printf("correlation(time, bytes) r = %.2f   (paper: \"generally "
+         "correlated\")\n",
+         cov / std::sqrt(var_t * var_b));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 17: CDF of Google Play installation sizes over the PlayDrone-style
+// catalog (488,259 apps), plus the preserve-EGL census (3,300 apps call
+// setPreserveEGLContextOnPause -> unmigratable; the vast majority of the
+// store migrates).
+#include <cstdio>
+
+#include "src/base/strings.h"
+#include "src/playstore/catalog.h"
+
+int main() {
+  using namespace flux;
+  printf("=== Figure 17: CDF of Google Play app installation sizes ===\n\n");
+
+  PlayStoreCatalog catalog;
+  printf("catalog: %d apps (paper: %d crawled via PlayDrone)\n\n",
+         catalog.size(), PlayStoreCatalog::kPaperAppCount);
+
+  printf("%-16s | %-8s | %s\n", "Install size", "CDF", "");
+  printf("%s\n", std::string(76, '-').c_str());
+  for (const auto& point : catalog.Cdf(/*points_per_decade=*/2)) {
+    std::string bar(static_cast<size_t>(point.fraction * 48), '#');
+    printf("%-16s | %6.3f   | %s\n", HumanBytes(point.size_bytes).c_str(),
+           point.fraction, bar.c_str());
+  }
+
+  printf("\nkey quantiles:\n");
+  printf("  apps below 1 MB : %5.1f%%   (paper: ~60%%)\n",
+         100.0 * catalog.FractionBelow(1 << 20));
+  printf("  apps below 10 MB: %5.1f%%   (paper: ~90%%)\n",
+         100.0 * catalog.FractionBelow(10 << 20));
+  printf("  median size     : %s\n", HumanBytes(catalog.MedianSize()).c_str());
+
+  printf("\npreserve-EGL census (the apps Flux cannot migrate):\n");
+  printf("  %d of %d apps (%.2f%%) call setPreserveEGLContextOnPause\n",
+         catalog.preserve_egl_count(), catalog.size(),
+         100.0 * catalog.preserve_egl_fraction());
+  printf("  (paper: 3,300 of 488,259 = 0.68%% -> Flux handles the vast "
+         "majority of apps)\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Microbenchmarks (google-benchmark): real wall-clock cost of the hot
+// paths — Binder transactions with and without the Flux record engine
+// interposed (the implementation-level version of Figure 16's claim),
+// parcel marshalling, the LZ codec, and CRIA checkpoint/restore throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/apps/app_instance.h"
+#include "src/base/compress.h"
+#include "src/base/synthetic_content.h"
+#include "src/cria/cria.h"
+#include "src/device/world.h"
+#include "src/flux/flux_agent.h"
+#include "src/flux/pairing.h"
+
+namespace flux {
+namespace {
+
+// Shared fixture state: a booted device with an app process.
+struct BinderFixtureState {
+  BinderFixtureState() {
+    BootOptions boot;
+    boot.framework_scale = 0.002;
+    device = world.AddDevice("dut", Nexus4Profile(), boot).value();
+    app = &device->CreateAppProcess("com.bench", 10900);
+    audio_handle = device->service_manager()
+                       .GetServiceHandle(app->pid(), "audio")
+                       .value();
+  }
+  World world;
+  Device* device = nullptr;
+  SimProcess* app = nullptr;
+  uint64_t audio_handle = 0;
+};
+
+void BM_BinderTransact(benchmark::State& state) {
+  BinderFixtureState fixture;
+  for (auto _ : state) {
+    Parcel args;
+    args.WriteI32(kStreamMusic);
+    auto reply = fixture.device->binder().Transact(
+        fixture.app->pid(), fixture.audio_handle, "getStreamVolume",
+        std::move(args));
+    benchmark::DoNotOptimize(reply);
+  }
+}
+BENCHMARK(BM_BinderTransact);
+
+void BM_BinderTransactRecorded(benchmark::State& state) {
+  BinderFixtureState fixture;
+  FluxAgent agent(*fixture.device);
+  agent.Manage(fixture.app->pid(), "com.bench");
+  int32_t index = 0;
+  for (auto _ : state) {
+    Parcel args;
+    args.WriteNamed("streamType", kStreamMusic);
+    args.WriteNamed("index", index++ % 15);
+    args.WriteNamed("flags", static_cast<int32_t>(0));
+    auto reply = fixture.device->binder().Transact(
+        fixture.app->pid(), fixture.audio_handle, "setStreamVolume",
+        std::move(args));
+    benchmark::DoNotOptimize(reply);
+  }
+  state.counters["log_entries"] = static_cast<double>(
+      agent.recorder().LogFor(fixture.app->pid())->size());
+}
+BENCHMARK(BM_BinderTransactRecorded);
+
+void BM_ParcelRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Parcel parcel;
+    parcel.WriteNamed("id", static_cast<int32_t>(42));
+    parcel.WriteNamed("text", std::string("notification content"));
+    parcel.WriteI64(123456789);
+    ArchiveWriter writer;
+    parcel.Serialize(writer);
+    ArchiveReader reader(
+        ByteSpan(writer.data().data(), writer.data().size()));
+    auto copy = Parcel::Deserialize(reader);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ParcelRoundTrip);
+
+void BM_LzCompress(benchmark::State& state) {
+  const Bytes input = GenerateContent(7, static_cast<uint64_t>(state.range(0)),
+                                      0.55);
+  for (auto _ : state) {
+    Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzCompress)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const Bytes input = GenerateContent(9, static_cast<uint64_t>(state.range(0)),
+                                      0.55);
+  const Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  for (auto _ : state) {
+    auto raw = LzDecompress(ByteSpan(compressed.data(), compressed.size()));
+    benchmark::DoNotOptimize(raw);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzDecompress)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_CriaCheckpoint(benchmark::State& state) {
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.002;
+  Device* device = world.AddDevice("dut", Nexus4Profile(), boot).value();
+  AppSpec spec = *FindApp("eBay");
+  spec.heap_bytes = static_cast<uint64_t>(state.range(0));
+  AppInstance app(*device, spec);
+  (void)app.Launch();
+  // Shed graphics state so the checkpoint is legal.
+  (void)device->activity_manager().MoveAppToBackground(app.pid());
+  world.AdvanceTime(Seconds(2));
+  (void)device->activity_manager().RequestTrimMemory(app.pid(),
+                                                     kTrimMemoryComplete);
+  (void)device->egl().EglUnload(app.pid());
+  for (auto _ : state) {
+    auto checkpoint = Cria::Checkpoint(*device, app.pid(), app.thread());
+    benchmark::DoNotOptimize(checkpoint);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CriaCheckpoint)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_RecordPruning(benchmark::State& state) {
+  // Steady-state log pruning: enqueue/cancel churn at a bounded log size.
+  BinderFixtureState fixture;
+  FluxAgent agent(*fixture.device);
+  agent.Manage(fixture.app->pid(), "com.bench");
+  const uint64_t notification_handle =
+      fixture.device->service_manager()
+          .GetServiceHandle(fixture.app->pid(), "notification")
+          .value();
+  int32_t id = 0;
+  for (auto _ : state) {
+    Parcel post;
+    post.WriteNamed("id", id);
+    post.WriteNamed("notification", std::string("x"));
+    (void)fixture.device->binder().Transact(fixture.app->pid(),
+                                            notification_handle,
+                                            "enqueueNotification",
+                                            std::move(post));
+    Parcel cancel;
+    cancel.WriteNamed("id", id);
+    (void)fixture.device->binder().Transact(fixture.app->pid(),
+                                            notification_handle,
+                                            "cancelNotification",
+                                            std::move(cancel));
+    id = (id + 1) % 64;
+  }
+  state.counters["final_log"] = static_cast<double>(
+      agent.recorder().LogFor(fixture.app->pid())->size());
+}
+BENCHMARK(BM_RecordPruning);
+
+}  // namespace
+}  // namespace flux
+
+BENCHMARK_MAIN();

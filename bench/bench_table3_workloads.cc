@@ -1,0 +1,33 @@
+// Table 3: the top free Android apps and the workload each performed before
+// migrating, plus each app's migratability verdict (the §4 outcome: sixteen
+// of eighteen migrate; Facebook and Subway Surfers are refused).
+#include <cstdio>
+
+#include "src/apps/app_spec.h"
+#include "src/base/bytes.h"
+
+int main() {
+  using namespace flux;
+  printf("=== Table 3: top free Android apps and their workloads ===\n\n");
+  printf("%-18s | %-40s | %-8s | %-9s | %s\n", "Name", "Workload",
+         "APK (MB)", "Heap (MB)", "Migratable");
+  printf("%s\n", std::string(100, '-').c_str());
+  int migratable = 0;
+  for (const AppSpec& app : TopApps()) {
+    const char* verdict =
+        app.multi_process
+            ? "no (multi-process)"
+            : app.preserves_egl_context ? "no (preserves EGL)" : "yes";
+    if (!app.multi_process && !app.preserves_egl_context) {
+      ++migratable;
+    }
+    printf("%-18s | %-40s | %8.0f | %9.0f | %s\n", app.display_name.c_str(),
+           app.workload_desc.c_str(), ToMiB(app.apk_bytes),
+           ToMiB(app.heap_bytes), verdict);
+  }
+  printf("%s\n", std::string(100, '-').c_str());
+  printf("%d of %zu apps migratable (paper: all but Facebook and Subway "
+         "Surfers)\n",
+         migratable, TopApps().size());
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "bench/harness/migration_matrix.h"
+
+#include "src/apps/app_instance.h"
+#include "src/device/world.h"
+#include "src/flux/pairing.h"
+
+namespace flux {
+
+namespace {
+
+struct Combo {
+  const char* name;
+  DeviceProfile (*home)();
+  DeviceProfile (*guest)();
+};
+
+const Combo kCombos[] = {
+    {"Nexus 7 (2013) to Nexus 7 (2013)", &Nexus7_2013Profile,
+     &Nexus7_2013Profile},
+    {"Nexus 4 to Nexus 7 (2013)", &Nexus4Profile, &Nexus7_2013Profile},
+    {"Nexus 7 to Nexus 7 (2013)", &Nexus7_2012Profile, &Nexus7_2013Profile},
+    {"Nexus 7 to Nexus 4", &Nexus7_2012Profile, &Nexus4Profile},
+};
+
+Result<MigrationReport> MigrateInFreshWorld(const AppSpec& spec,
+                                            const Combo& combo,
+                                            const MatrixOptions& options) {
+  World world;
+  BootOptions boot;
+  boot.framework_scale = options.framework_scale;
+  FLUX_ASSIGN_OR_RETURN(Device * home,
+                        world.AddDevice("home", combo.home(), boot));
+  FLUX_ASSIGN_OR_RETURN(Device * guest,
+                        world.AddDevice("guest", combo.guest(), boot));
+  FluxAgent home_agent(*home);
+  FluxAgent guest_agent(*guest);
+  FLUX_ASSIGN_OR_RETURN(auto pairing, PairDevices(home_agent, guest_agent));
+  (void)pairing;
+
+  AppInstance app(*home, spec);
+  FLUX_RETURN_IF_ERROR(app.Install());
+  FLUX_ASSIGN_OR_RETURN(auto wire, PairApp(home_agent, guest_agent, spec));
+  (void)wire;
+  FLUX_RETURN_IF_ERROR(app.Launch());
+  home_agent.Manage(app.pid(), spec.package);
+  FLUX_RETURN_IF_ERROR(app.RunWorkload(2015));
+  // Let transient workload effects (short vibrations, the deliberately
+  // short-fused alarms) lapse before the user initiates migration.
+  world.AdvanceTime(Seconds(1));
+
+  MigrationManager manager(home_agent, guest_agent, options.migration);
+  return manager.Migrate(RunningApp::FromInstance(app), spec);
+}
+
+}  // namespace
+
+MatrixResult RunMigrationMatrix(const MatrixOptions& options) {
+  MatrixResult result;
+  for (const Combo& combo : kCombos) {
+    result.combos.emplace_back(combo.name);
+  }
+  for (const AppSpec& spec : TopApps()) {
+    const bool unmigratable = spec.multi_process || spec.preserves_egl_context;
+    if (unmigratable && !options.include_unmigratable) {
+      continue;
+    }
+    bool listed = false;
+    for (const Combo& combo : kCombos) {
+      auto report = MigrateInFreshWorld(spec, combo, options);
+      if (!report.ok()) {
+        result.refused.push_back(spec.display_name + ": " +
+                                 report.status().ToString());
+        break;
+      }
+      if (!report->success) {
+        result.refused.push_back(spec.display_name + ": " +
+                                 report->refusal_reason);
+        break;  // refusal is device-independent
+      }
+      if (!listed) {
+        result.apps.push_back(spec.display_name);
+        listed = true;
+      }
+      MatrixCell cell;
+      cell.app = spec.display_name;
+      cell.combo = combo.name;
+      cell.report = std::move(*report);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+Result<MigrationReport> RunSingleMigration(const std::string& app_name,
+                                           const std::string& home_model,
+                                           const std::string& guest_model,
+                                           const MatrixOptions& options) {
+  const AppSpec* spec = FindApp(app_name);
+  if (spec == nullptr) {
+    return NotFound("unknown app: " + app_name);
+  }
+  auto profile_by_model = [](const std::string& model) -> DeviceProfile {
+    if (model == "Nexus 4") {
+      return Nexus4Profile();
+    }
+    if (model == "Nexus 7") {
+      return Nexus7_2012Profile();
+    }
+    return Nexus7_2013Profile();
+  };
+  Combo combo{"custom", nullptr, nullptr};
+  (void)combo;
+  World world;
+  BootOptions boot;
+  boot.framework_scale = options.framework_scale;
+  FLUX_ASSIGN_OR_RETURN(
+      Device * home, world.AddDevice("home", profile_by_model(home_model), boot));
+  FLUX_ASSIGN_OR_RETURN(
+      Device * guest,
+      world.AddDevice("guest", profile_by_model(guest_model), boot));
+  FluxAgent home_agent(*home);
+  FluxAgent guest_agent(*guest);
+  FLUX_ASSIGN_OR_RETURN(auto pairing, PairDevices(home_agent, guest_agent));
+  (void)pairing;
+  AppInstance app(*home, *spec);
+  FLUX_RETURN_IF_ERROR(app.Install());
+  FLUX_ASSIGN_OR_RETURN(auto wire, PairApp(home_agent, guest_agent, *spec));
+  (void)wire;
+  FLUX_RETURN_IF_ERROR(app.Launch());
+  home_agent.Manage(app.pid(), spec->package);
+  FLUX_RETURN_IF_ERROR(app.RunWorkload(2015));
+  world.AdvanceTime(Seconds(1));
+  MigrationManager manager(home_agent, guest_agent, options.migration);
+  return manager.Migrate(RunningApp::FromInstance(app), *spec);
+}
+
+}  // namespace flux

@@ -1,0 +1,53 @@
+// Shared harness for the Figure 12-15 benchmarks.
+//
+// Reproduces the paper's §4 methodology: boot the four evaluation devices on
+// one campus WiFi network, pair them all, then for each of the eighteen top
+// apps and each of the four device combinations — (1) N7'13 -> N7'13,
+// (2) N4 -> N7'13, (3) N7 -> N7'13, (4) N7 -> N4 — install, pair, run the
+// Table 3 workload, and migrate. Facebook and Subway Surfers are expected
+// to be refused, leaving sixteen measured apps.
+#ifndef FLUX_BENCH_HARNESS_MIGRATION_MATRIX_H_
+#define FLUX_BENCH_HARNESS_MIGRATION_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/flux/migration.h"
+
+namespace flux {
+
+struct MatrixOptions {
+  // Framework scale for device boots; migrations themselves always use the
+  // apps' full sizes. Pairing costs are reported by bench_pairing_cost at
+  // full scale instead.
+  double framework_scale = 0.02;
+  bool include_unmigratable = true;  // run Facebook / Subway Surfers too
+  MigrationConfig migration;
+};
+
+struct MatrixCell {
+  std::string app;
+  std::string combo;  // e.g. "N4 -> N7(2013)"
+  MigrationReport report;
+};
+
+struct MatrixResult {
+  std::vector<MatrixCell> cells;
+  std::vector<std::string> combos;  // display order
+  std::vector<std::string> apps;    // display order (migratable only)
+  std::vector<std::string> refused; // "app: reason"
+};
+
+// Runs the full matrix. Each migration uses a fresh world so results are
+// independent and deterministic.
+MatrixResult RunMigrationMatrix(const MatrixOptions& options = {});
+
+// Convenience for single-cell experiments.
+Result<MigrationReport> RunSingleMigration(const std::string& app_name,
+                                           const std::string& home_model,
+                                           const std::string& guest_model,
+                                           const MatrixOptions& options = {});
+
+}  // namespace flux
+
+#endif  // FLUX_BENCH_HARNESS_MIGRATION_MATRIX_H_

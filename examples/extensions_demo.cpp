@@ -1,0 +1,107 @@
+// Demo of the implemented paper extensions (§3.4 / §4 future work):
+//  1. Facebook — a multi-process app the prototype refuses — migrates when
+//     the CRIA process-tree extension is enabled;
+//  2. post-copy transfer cuts the perceived hand-off of a big game;
+//  3. a ContentProvider interaction blocks migration only while it is open.
+#include <cstdio>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+using namespace flux;
+
+int main() {
+  World world;
+  Device* phone = world.AddDevice("phone", Nexus4Profile()).value();
+  Device* tablet = world.AddDevice("tablet", Nexus7_2013Profile()).value();
+  FluxAgent phone_agent(*phone);
+  FluxAgent tablet_agent(*tablet);
+  if (!PairDevices(phone_agent, tablet_agent).ok()) {
+    return 1;
+  }
+
+  // ---- 1. multi-process migration ----
+  printf("=== 1. multi-process apps (Facebook) ===\n");
+  const AppSpec* facebook = FindApp("Facebook");
+  AppInstance fb(*phone, *facebook);
+  fb.Install();
+  PairApp(phone_agent, tablet_agent, *facebook);
+  fb.Launch();
+  phone_agent.Manage(fb.pid(), facebook->package);
+  fb.RunWorkload(1);
+  printf("Facebook runs as %zu processes\n", fb.all_pids().size());
+
+  MigrationManager strict(phone_agent, tablet_agent);
+  auto refused = strict.Migrate(RunningApp::FromInstance(fb), *facebook);
+  printf("paper prototype : %s\n",
+         refused.ok() && !refused->success ? refused->refusal_reason.c_str()
+                                           : "unexpected");
+
+  MigrationConfig tree;
+  tree.enable_multiprocess = true;
+  MigrationManager extended(phone_agent, tablet_agent, tree);
+  auto migrated = extended.Migrate(RunningApp::FromInstance(fb), *facebook);
+  if (migrated.ok() && migrated->success) {
+    printf("with extension  : migrated %d processes in %.2f s (image %.1f "
+           "MB)\n\n",
+           migrated->cria.processes, ToSecondsF(migrated->Total()),
+           ToMiB(migrated->image_compressed_bytes));
+  }
+
+  // ---- 2. post-copy ----
+  printf("=== 2. post-copy transfer (Candy Crush) ===\n");
+  const AppSpec* candy = FindApp("Candy Crush Saga");
+  for (const bool post_copy : {false, true}) {
+    AppSpec spec = *candy;
+    spec.package += post_copy ? ".post" : ".pre";
+    AppInstance app(*phone, spec);
+    app.Install();
+    PairApp(phone_agent, tablet_agent, spec);
+    app.Launch();
+    phone_agent.Manage(app.pid(), spec.package);
+    app.RunWorkload(2);
+    world.AdvanceTime(Seconds(1));
+    MigrationConfig config;
+    config.post_copy = post_copy;
+    config.post_copy_priority_fraction = 0.15;
+    MigrationManager manager(phone_agent, tablet_agent, config);
+    auto report = manager.Migrate(RunningApp::FromInstance(app), spec);
+    if (report.ok() && report->success) {
+      printf("%-9s: user waits %.2f s (total %.2f s, %.1f MB wire%s)\n",
+             post_copy ? "post-copy" : "pre-copy",
+             ToSecondsF(report->UserPerceived()),
+             ToSecondsF(report->Total()), ToMiB(report->total_wire_bytes),
+             post_copy ? ", cold pages stream in background" : "");
+    }
+  }
+
+  // ---- 3. ContentProvider interaction ----
+  printf("\n=== 3. ContentProvider interactions block migration ===\n");
+  const AppSpec* whatsapp = FindApp("WhatsApp");
+  AppInstance wa(*phone, *whatsapp);
+  wa.Install();
+  PairApp(phone_agent, tablet_agent, *whatsapp);
+  wa.Launch();
+  phone_agent.Manage(wa.pid(), whatsapp->package);
+
+  Parcel acquire;
+  acquire.WriteString("contacts");
+  auto provider =
+      wa.thread().CallService("content", "acquireProvider", std::move(acquire));
+  if (provider.ok()) {
+    auto ref = provider->ReadObject().value();
+    MigrationManager manager(phone_agent, tablet_agent);
+    auto mid = manager.Migrate(RunningApp::FromInstance(wa), *whatsapp);
+    printf("mid-interaction : %s\n",
+           mid.ok() && !mid->success ? mid->refusal_reason.c_str()
+                                     : "unexpected");
+    phone->binder().Transact(wa.pid(), ref.value, "release", Parcel());
+    phone->binder().ReleaseHandle(wa.pid(), ref.value);
+    auto after = manager.Migrate(RunningApp::FromInstance(wa), *whatsapp);
+    printf("after release   : %s\n",
+           after.ok() && after->success ? "migrated fine" : "failed");
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Scenario: collaborative use in a meeting (§1's fourth use case) plus the
+// consistency story of §3.4 — an app hops phone -> tablet A -> tablet B and
+// finally back to its home device, accumulating state at each stop. The
+// home device is authoritative again once the app migrates back.
+#include <cstdio>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+using namespace flux;
+
+namespace {
+
+// Post a meeting note as a notification from whichever device the app is on.
+void PostNote(Device* device, const RunningApp& app, int id,
+              const std::string& text) {
+  Parcel args;
+  args.WriteNamed("id", static_cast<int32_t>(id));
+  args.WriteNamed("notification", text);
+  auto reply =
+      app.thread->CallService("notification", "enqueueNotification",
+                              std::move(args));
+  if (reply.ok()) {
+    std::printf("  [%s] noted: %s\n", device->name().c_str(), text.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);  // keep the narration clean
+
+  World world;
+  Device* phone = world.AddDevice("alice-phone", Nexus4Profile()).value();
+  Device* tablet_a = world.AddDevice("bob-tablet", Nexus7_2013Profile()).value();
+  Device* tablet_b =
+      world.AddDevice("carol-tablet", Nexus7_2012Profile()).value();
+
+  FluxAgent phone_agent(*phone);
+  FluxAgent a_agent(*tablet_a);
+  FluxAgent b_agent(*tablet_b);
+
+  // Everyone pairs with everyone before the meeting (one-time).
+  PairDevices(phone_agent, a_agent);
+  PairDevices(a_agent, b_agent);
+  PairDevices(b_agent, phone_agent);
+  // Return paths.
+  PairDevices(a_agent, phone_agent);
+  PairDevices(b_agent, a_agent);
+  PairDevices(phone_agent, b_agent);
+  std::printf("three devices paired, no cloud anywhere\n\n");
+
+  const AppSpec* spec = FindApp("Pinterest");  // the shared mood board
+  AppInstance app(*phone, *spec);
+  app.Install();
+  PairApp(phone_agent, a_agent, *spec);
+  app.Launch();
+  phone_agent.Manage(app.pid(), spec->package);
+  app.RunWorkload(5);
+
+  RunningApp running = RunningApp::FromInstance(app);
+  PostNote(phone, running, 1, "Alice: agenda item - Q3 design review");
+
+  // Hop 1: phone -> Bob's tablet.
+  std::printf("\n-> migrating to %s\n", tablet_a->name().c_str());
+  MigrationManager to_a(phone_agent, a_agent);
+  auto hop1 = to_a.Migrate(running, *spec);
+  if (!hop1.ok() || !hop1->success) {
+    std::fprintf(stderr, "hop 1 failed\n");
+    return 1;
+  }
+  running = hop1->migrated;
+  PostNote(tablet_a, running, 2, "Bob: mockups need dark mode");
+
+  // Hop 2: Bob's tablet -> Carol's (older, 2.4 GHz-only) tablet. The app
+  // must first be paired along this edge.
+  PairApp(a_agent, b_agent, *spec);
+  std::printf("\n-> migrating to %s (congested 2.4 GHz radio)\n",
+              tablet_b->name().c_str());
+  MigrationManager to_b(a_agent, b_agent);
+  auto hop2 = to_b.Migrate(running, *spec);
+  if (!hop2.ok() || !hop2->success) {
+    std::fprintf(stderr, "hop 2 failed: %s\n",
+                 hop2.ok() ? hop2->migrated.package.c_str()
+                           : hop2.status().ToString().c_str());
+    return 1;
+  }
+  running = hop2->migrated;
+  PostNote(tablet_b, running, 3, "Carol: shipping date moves to October");
+
+  // Hop 3: back home to Alice's phone, resolving the state divergence.
+  PairApp(b_agent, phone_agent, *spec);
+  std::printf("\n-> migrating home to %s\n", phone->name().c_str());
+  MigrationManager home(b_agent, phone_agent);
+  auto hop3 = home.Migrate(running, *spec);
+  if (!hop3.ok() || !hop3->success) {
+    std::fprintf(stderr, "hop 3 failed\n");
+    return 1;
+  }
+  running = hop3->migrated;
+
+  std::printf("\nback on %s with every participant's notes:\n",
+              phone->name().c_str());
+  for (const auto& note :
+       phone->notification_service().ActiveFor(running.uid)) {
+    std::printf("  * %s\n", note.content.c_str());
+  }
+  std::printf("\nhop latencies: %.2f s, %.2f s, %.2f s (the 2.4 GHz hop is "
+              "the slow one)\n",
+              ToSecondsF(hop1->Total()), ToSecondsF(hop2->Total()),
+              ToSecondsF(hop3->Total()));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Scenario: the paper's motivating Netflix use case (§1) — start a movie on
+// the phone, move to the couch, and continue on the tablet's bigger screen.
+//
+// Demonstrates the pieces that make the experience seamless:
+//  - the UI reflows to the tablet's 1920x1200 display (surfaces are
+//    recreated, not migrated);
+//  - the playback-position "resume" alarm the app scheduled keeps working;
+//  - the volume the user set on the phone is *rescaled* to the tablet's
+//    volume range by the Adaptive Replay proxy;
+//  - the app sees a connectivity blip (loss + reconnect), exactly how
+//    mobile apps expect network hand-offs to look.
+#include <cstdio>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+using namespace flux;
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  World world;
+  DeviceProfile phone_profile = Nexus4Profile();
+  phone_profile.max_music_volume = 15;
+  DeviceProfile tablet_profile = Nexus7_2013Profile();
+  tablet_profile.max_music_volume = 30;  // finer-grained volume control
+
+  Device* phone = world.AddDevice("phone", phone_profile).value();
+  Device* tablet = world.AddDevice("tablet", tablet_profile).value();
+  FluxAgent phone_agent(*phone);
+  FluxAgent tablet_agent(*tablet);
+  if (!PairDevices(phone_agent, tablet_agent).ok()) {
+    return 1;
+  }
+
+  const AppSpec* netflix = FindApp("Netflix");
+  AppInstance app(*phone, *netflix);
+  if (!app.Install().ok() ||
+      !PairApp(phone_agent, tablet_agent, *netflix).ok() ||
+      !app.Launch().ok()) {
+    return 1;
+  }
+  phone_agent.Manage(app.pid(), netflix->package);
+
+  // Watch on the phone: browse, set the volume to 12/15, schedule the
+  // "continue watching" sync alarm, register for connectivity changes.
+  app.RunWorkload(/*seed=*/42);
+  {
+    Parcel volume;
+    volume.WriteNamed("streamType", kStreamMusic);
+    volume.WriteNamed("index", static_cast<int32_t>(12));
+    volume.WriteNamed("flags", static_cast<int32_t>(0));
+    app.thread().CallService("audio", "setStreamVolume", std::move(volume));
+  }
+  {
+    Parcel alarm;
+    alarm.WriteNamed("type", static_cast<int32_t>(0));
+    alarm.WriteNamed("triggerAtTime", static_cast<int64_t>(
+                                          world.clock().now() + Seconds(300)));
+    alarm.WriteNamed("operation",
+                     MakePendingIntentToken(netflix->package, 1,
+                                            "netflix.SYNC_POSITION"));
+    app.thread().CallService("alarm", "set", std::move(alarm));
+  }
+  world.AdvanceTime(Seconds(65));  // a minute of playback
+
+  const auto phone_window =
+      phone->window_manager().WindowsOf(app.pid())[0]->surface;
+  std::printf("watching on the phone : %dx%d surface, volume %d/%d, call "
+              "log: %zu entries\n",
+              phone_window->width, phone_window->height,
+              phone->audio_service().StreamVolume(kStreamMusic),
+              phone->profile().max_music_volume,
+              phone_agent.recorder().LogFor(app.pid())->size());
+
+  // Move to the couch: swipe to the tablet.
+  MigrationManager manager(phone_agent, tablet_agent);
+  auto report = manager.Migrate(RunningApp::FromInstance(app), *netflix);
+  if (!report.ok() || !report->success) {
+    std::fprintf(stderr, "migration failed\n");
+    return 1;
+  }
+
+  const auto tablet_window =
+      tablet->window_manager().WindowsOf(report->migrated.pid)[0]->surface;
+  std::printf("\ncontinuing on tablet  : %dx%d surface, volume %d/%d "
+              "(rescaled from 12/15)\n",
+              tablet_window->width, tablet_window->height,
+              tablet->audio_service().StreamVolume(kStreamMusic),
+              tablet->profile().max_music_volume);
+  std::printf("sync alarm re-armed   : %zu pending on the tablet\n",
+              tablet->alarm_service().PendingFor(report->migrated.uid).size());
+
+  int connectivity_events = 0;
+  for (const auto& intent : report->migrated.thread->inbox()) {
+    if (intent.action == "android.net.conn.CONNECTIVITY_CHANGE") {
+      ++connectivity_events;
+    }
+  }
+  std::printf("connectivity hand-off : %d change event(s) delivered to the "
+              "app\n",
+              connectivity_events);
+  std::printf("hand-off latency      : %.2f s user-perceived (%.2f s "
+              "total)\n",
+              ToSecondsF(report->UserPerceived()),
+              ToSecondsF(report->Total()));
+
+  // Later, the sync alarm fires on the *tablet*.
+  world.AdvanceTime(Seconds(300));
+  std::printf("five minutes later    : %zu alarm(s) still pending (the sync "
+              "fired on the tablet)\n",
+              tablet->alarm_service().PendingFor(report->migrated.uid).size());
+  return 0;
+}

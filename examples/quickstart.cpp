@@ -1,0 +1,95 @@
+// Quickstart: the Figure 1 flow in ~60 lines of API use.
+//
+// Boot a phone and a tablet on one WiFi network, pair them, launch an
+// unmodified app on the phone, use it, then swipe it over to the tablet:
+// the app arrives with its live state — notifications, alarms, UI resized
+// for the tablet's screen — and the phone-side process is gone.
+#include <cstdio>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+using namespace flux;
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  // 1. Two devices on a shared (simulated) campus WiFi network.
+  World world;
+  Device* phone = world.AddDevice("my-phone", Nexus4Profile()).value();
+  Device* tablet =
+      world.AddDevice("my-tablet", Nexus7_2013Profile()).value();
+
+  // 2. Each device runs a Flux agent; pair them once (rsync with hard links
+  //    against the tablet's own /system, so only the delta transfers).
+  FluxAgent phone_agent(*phone);
+  FluxAgent tablet_agent(*tablet);
+  auto pairing = PairDevices(phone_agent, tablet_agent);
+  if (!pairing.ok()) {
+    std::fprintf(stderr, "pairing failed: %s\n",
+                 pairing.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("paired: %.1f MB constant data, %.1f MB on the wire\n",
+              ToMiB(pairing->framework_total_bytes),
+              ToMiB(pairing->framework_wire_bytes));
+
+  // 3. Install and run an unmodified app on the phone; Flux selectively
+  //    records its service calls while it runs.
+  const AppSpec* spec = FindApp("Candy Crush Saga");
+  AppInstance app(*phone, *spec);
+  app.Install().ok() && PairApp(phone_agent, tablet_agent, *spec).ok();
+  if (!app.Launch().ok()) {
+    return 1;
+  }
+  phone_agent.Manage(app.pid(), spec->package);
+  app.RunWorkload(/*seed=*/1);
+  world.AdvanceTime(Seconds(30));  // play for a while
+
+  std::printf("app running on %s: pid %d, %zu notification(s), %zu alarm(s) "
+              "pending\n",
+              phone->name().c_str(), app.pid(),
+              phone->notification_service().ActiveFor(app.uid()).size(),
+              phone->alarm_service().PendingFor(app.uid()).size());
+
+  // 4. Two-finger swipe: migrate to the tablet.
+  MigrationManager manager(phone_agent, tablet_agent);
+  auto report = manager.Migrate(RunningApp::FromInstance(app), *spec);
+  if (!report.ok() || !report->success) {
+    std::fprintf(stderr, "migration failed: %s\n",
+                 report.ok() ? report->refusal_reason.c_str()
+                             : report.status().ToString().c_str());
+    return 1;
+  }
+
+  // 5. The app now lives on the tablet, state intact, UI at 1920x1200.
+  std::printf("\nmigrated '%s' in %.2f s (%.2f s user-perceived)\n",
+              report->app.c_str(), ToSecondsF(report->Total()),
+              ToSecondsF(report->UserPerceived()));
+  std::printf("  stages: prepare %.2f s | checkpoint %.2f s | transfer "
+              "%.2f s | restore %.2f s | reintegrate %.2f s\n",
+              ToSecondsF(report->prepare.duration()),
+              ToSecondsF(report->checkpoint.duration()),
+              ToSecondsF(report->transfer.duration()),
+              ToSecondsF(report->restore.duration()),
+              ToSecondsF(report->reintegrate.duration()));
+  std::printf("  transferred %.2f MB (image %.2f MB compressed from %.2f "
+              "MB)\n",
+              ToMiB(report->total_wire_bytes),
+              ToMiB(report->image_compressed_bytes),
+              ToMiB(report->image_raw_bytes));
+  std::printf("  tablet-side state: %zu notification(s), %zu alarm(s), "
+              "window %dx%d\n",
+              tablet->notification_service()
+                  .ActiveFor(report->migrated.uid)
+                  .size(),
+              tablet->alarm_service().PendingFor(report->migrated.uid).size(),
+              tablet->profile().display.width_px,
+              tablet->profile().display.height_px);
+  std::printf("  phone-side process gone: %s\n",
+              phone->kernel().FindProcess(app.pid()) == nullptr ? "yes"
+                                                                : "no");
+  return 0;
+}

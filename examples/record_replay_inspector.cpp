@@ -1,0 +1,117 @@
+// Inspector: watch Selective Record prune the call log live (§3.2).
+//
+// Runs an app through a scripted sequence of service calls and dumps the
+// call log after each step, showing the Table 1 decorations at work:
+// @record keeping state-bearing calls, @drop + @if removing neutralized
+// pairs, and what ultimately travels in a migration.
+#include <cstdio>
+
+#include "src/apps/app_instance.h"
+#include "src/device/world.h"
+#include "src/flux/flux_agent.h"
+
+using namespace flux;
+
+namespace {
+
+void DumpLog(const CallLog* log, const char* heading) {
+  std::printf("%s\n", heading);
+  if (log->empty()) {
+    std::printf("  (log empty)\n");
+  }
+  for (const auto& entry : log->entries()) {
+    std::printf("  #%llu %s.%s%s\n",
+                static_cast<unsigned long long>(entry.seq),
+                entry.service.empty() ? entry.interface.c_str()
+                                      : entry.service.c_str(),
+                entry.method.c_str(), entry.args.ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  World world;
+  Device* device = world.AddDevice("dev", Nexus4Profile()).value();
+  FluxAgent agent(*device);
+
+  AppSpec spec = *FindApp("Twitter");
+  spec.workload = WorkloadProfile{};  // drive calls by hand below
+  spec.workload.view_count = 4;
+  spec.workload.frames_drawn = 1;
+  AppInstance app(*device, spec);
+  app.Install();
+  app.Launch();
+  agent.Manage(app.pid(), spec.package);
+  const CallLog* log = agent.recorder().LogFor(app.pid());
+
+  auto call = [&](const char* service, const char* method, Parcel args) {
+    (void)app.thread().CallService(service, method, std::move(args));
+  };
+  auto note_args = [](int id, const char* text) {
+    Parcel args;
+    args.WriteNamed("id", static_cast<int32_t>(id));
+    args.WriteNamed("notification", std::string(text));
+    return args;
+  };
+  auto id_args = [](int id) {
+    Parcel args;
+    args.WriteNamed("id", static_cast<int32_t>(id));
+    return args;
+  };
+
+  std::printf("=== Selective Record inspector ===\n\n");
+
+  call("notification", "enqueueNotification", note_args(1, "2 new followers"));
+  call("notification", "enqueueNotification", note_args(2, "direct message"));
+  DumpLog(log, "after posting notifications 1 and 2 (@record keeps both):");
+
+  call("notification", "enqueueNotification",
+       note_args(1, "3 new followers"));
+  DumpLog(log,
+          "after re-posting id 1 (@drop this + @if id: the stale post is "
+          "gone, one entry per live id):");
+
+  call("notification", "cancelNotification", id_args(2));
+  DumpLog(log,
+          "after cancelling id 2 (the enqueue/cancel pair annihilates — "
+          "neither is replayed):");
+
+  Parcel set;
+  set.WriteNamed("type", static_cast<int32_t>(0));
+  set.WriteNamed("triggerAtTime",
+                 static_cast<int64_t>(world.clock().now() + Seconds(60)));
+  set.WriteNamed("operation", std::string("twitter/poll"));
+  call("alarm", "set", std::move(set));
+  Parcel replace;
+  replace.WriteNamed("type", static_cast<int32_t>(0));
+  replace.WriteNamed("triggerAtTime",
+                     static_cast<int64_t>(world.clock().now() + Seconds(120)));
+  replace.WriteNamed("operation", std::string("twitter/poll"));
+  call("alarm", "set", std::move(replace));
+  DumpLog(log,
+          "after setting the poll alarm twice (@if operation: only the "
+          "latest set survives; its @replayproxy will skip it if it fires "
+          "before restore):");
+
+  for (int i = 0; i < 5; ++i) {
+    Parcel args;
+    call("wifi", "getWifiEnabledState", std::move(args));
+  }
+  DumpLog(log,
+          "after five WiFi state reads (undecorated methods never enter the "
+          "log — that is the 'selective'):");
+
+  const auto& stats = agent.recorder().stats();
+  std::printf("recorder stats: %llu transactions seen, %llu recorded, %llu "
+              "pruned as stale, %llu suppressed negations\n",
+              static_cast<unsigned long long>(stats.transactions_seen),
+              static_cast<unsigned long long>(stats.calls_recorded),
+              static_cast<unsigned long long>(stats.calls_dropped_stale),
+              static_cast<unsigned long long>(stats.calls_suppressed));
+  std::printf("log wire size if migrated now: %llu bytes (the paper's "
+              "sync+log stays under 200 KB)\n",
+              static_cast<unsigned long long>(log->WireSize()));
+  return 0;
+}

@@ -1,0 +1,356 @@
+#include "src/aidl/aidl_parser.h"
+
+#include <cctype>
+
+#include "src/base/strings.h"
+
+namespace flux {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kAt,      // @
+  kLBrace,  // {
+  kRBrace,  // }
+  kLParen,  // (
+  kRParen,  // )
+  kSemi,    // ;
+  kComma,   // ,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\\') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < source_.size()) {
+        if (source_[pos_ + 1] == '/') {
+          while (pos_ < source_.size() && source_[pos_] != '\n') {
+            ++pos_;
+          }
+          continue;
+        }
+        if (source_[pos_ + 1] == '*') {
+          pos_ += 2;
+          while (pos_ + 1 < source_.size() &&
+                 !(source_[pos_] == '*' && source_[pos_ + 1] == '/')) {
+            if (source_[pos_] == '\n') {
+              ++line_;
+            }
+            ++pos_;
+          }
+          pos_ += 2;
+          continue;
+        }
+      }
+      switch (c) {
+        case '@':
+          tokens.push_back({TokenKind::kAt, "@", line_});
+          ++pos_;
+          continue;
+        case '{':
+          tokens.push_back({TokenKind::kLBrace, "{", line_});
+          ++pos_;
+          continue;
+        case '}':
+          tokens.push_back({TokenKind::kRBrace, "}", line_});
+          ++pos_;
+          continue;
+        case '(':
+          tokens.push_back({TokenKind::kLParen, "(", line_});
+          ++pos_;
+          continue;
+        case ')':
+          tokens.push_back({TokenKind::kRParen, ")", line_});
+          ++pos_;
+          continue;
+        case ';':
+          tokens.push_back({TokenKind::kSemi, ";", line_});
+          ++pos_;
+          continue;
+        case ',':
+          tokens.push_back({TokenKind::kComma, ",", line_});
+          ++pos_;
+          continue;
+        default:
+          break;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const size_t start = pos_;
+        int angle_depth = 0;
+        while (pos_ < source_.size()) {
+          const char d = source_[pos_];
+          if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+              d == '.') {
+            ++pos_;
+          } else if (d == '<') {
+            ++angle_depth;
+            ++pos_;
+          } else if (d == '>' && angle_depth > 0) {
+            --angle_depth;
+            ++pos_;
+          } else if (d == ',' && angle_depth > 0) {
+            // Commas separate type parameters inside generics.
+            ++pos_;
+          } else if (d == '[' && pos_ + 1 < source_.size() &&
+                     source_[pos_ + 1] == ']') {
+            pos_ += 2;  // array suffix
+          } else {
+            break;
+          }
+        }
+        tokens.push_back(
+            {TokenKind::kIdent, std::string(source_.substr(start, pos_ - start)),
+             line_});
+        continue;
+      }
+      return Corrupt(StrFormat("aidl: unexpected character '%c' at line %d", c,
+                               line_));
+    }
+    tokens.push_back({TokenKind::kEnd, "", line_});
+    return tokens;
+  }
+
+ private:
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AidlInterface> Run() {
+    FLUX_RETURN_IF_ERROR(ExpectIdent("interface"));
+    AidlInterface interface;
+    FLUX_ASSIGN_OR_RETURN(interface.name, TakeIdent());
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    while (!Peek(TokenKind::kRBrace)) {
+      if (Peek(TokenKind::kEnd)) {
+        return Corrupt("aidl: unexpected end of input inside interface body");
+      }
+      FLUX_ASSIGN_OR_RETURN(AidlMethod method, ParseMember());
+      interface.methods.push_back(std::move(method));
+    }
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    return interface;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool Peek(TokenKind kind) const { return Cur().kind == kind; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Peek(kind)) {
+      return Corrupt(StrFormat("aidl: unexpected token '%s' at line %d",
+                               Cur().text.c_str(), Cur().line));
+    }
+    Advance();
+    return OkStatus();
+  }
+
+  Status ExpectIdent(std::string_view word) {
+    if (!Peek(TokenKind::kIdent) || Cur().text != word) {
+      return Corrupt(StrFormat("aidl: expected '%.*s' at line %d, got '%s'",
+                               static_cast<int>(word.size()), word.data(),
+                               Cur().line, Cur().text.c_str()));
+    }
+    Advance();
+    return OkStatus();
+  }
+
+  Result<std::string> TakeIdent() {
+    if (!Peek(TokenKind::kIdent)) {
+      return Corrupt(StrFormat("aidl: expected identifier at line %d, got '%s'",
+                               Cur().line, Cur().text.c_str()));
+    }
+    std::string text = Cur().text;
+    Advance();
+    return text;
+  }
+
+  // ident (, ident)* terminated by ';'
+  Result<std::vector<std::string>> ParseNameList() {
+    std::vector<std::string> names;
+    for (;;) {
+      FLUX_ASSIGN_OR_RETURN(std::string name, TakeIdent());
+      names.push_back(std::move(name));
+      if (Peek(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+    return names;
+  }
+
+  // Parses one "@record"-introduced decoration; merges into `rule`.
+  Status ParseRecordDecoration(RecordRule& rule) {
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+    FLUX_RETURN_IF_ERROR(ExpectIdent("record"));
+    rule.record = true;
+    if (!Peek(TokenKind::kLBrace)) {
+      return OkStatus();  // bare "@record"
+    }
+    Advance();  // consume '{'
+    DropClause clause;
+    bool has_clause = false;
+    while (!Peek(TokenKind::kRBrace)) {
+      FLUX_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+      FLUX_ASSIGN_OR_RETURN(std::string keyword, TakeIdent());
+      if (keyword == "drop") {
+        FLUX_ASSIGN_OR_RETURN(auto names, ParseNameList());
+        clause.methods.insert(clause.methods.end(), names.begin(),
+                              names.end());
+        has_clause = true;
+      } else if (keyword == "if") {
+        FLUX_ASSIGN_OR_RETURN(clause.if_args, ParseNameList());
+        has_clause = true;
+      } else if (keyword == "elif") {
+        FLUX_ASSIGN_OR_RETURN(auto names, ParseNameList());
+        clause.elif_args.push_back(std::move(names));
+        has_clause = true;
+      } else if (keyword == "replayproxy") {
+        FLUX_ASSIGN_OR_RETURN(rule.replay_proxy, TakeIdent());
+        FLUX_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      } else {
+        return Corrupt(StrFormat("aidl: unknown decoration '@%s' at line %d",
+                                 keyword.c_str(), Cur().line));
+      }
+    }
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    if (has_clause) {
+      rule.drops.push_back(std::move(clause));
+    }
+    return OkStatus();
+  }
+
+  Result<AidlMethod> ParseMember() {
+    AidlMethod method;
+    // Decorations.
+    while (Peek(TokenKind::kAt)) {
+      if (!method.rule.has_value()) {
+        method.rule = RecordRule{};
+      }
+      FLUX_RETURN_IF_ERROR(ParseRecordDecoration(*method.rule));
+    }
+    // [oneway] type name ( params ) ;
+    FLUX_ASSIGN_OR_RETURN(std::string first, TakeIdent());
+    if (first == "oneway") {
+      method.oneway = true;
+      FLUX_ASSIGN_OR_RETURN(first, TakeIdent());
+    }
+    method.return_type = std::move(first);
+    FLUX_ASSIGN_OR_RETURN(method.name, TakeIdent());
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    while (!Peek(TokenKind::kRParen)) {
+      AidlParameter param;
+      FLUX_ASSIGN_OR_RETURN(std::string word, TakeIdent());
+      if (word == "in" || word == "out" || word == "inout") {
+        param.direction = std::move(word);
+        FLUX_ASSIGN_OR_RETURN(word, TakeIdent());
+      }
+      param.type = std::move(word);
+      FLUX_ASSIGN_OR_RETURN(param.name, TakeIdent());
+      method.params.push_back(std::move(param));
+      if (Peek(TokenKind::kComma)) {
+        Advance();
+      }
+    }
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    FLUX_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+    return method;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool RecordRule::DropsThis() const {
+  for (const auto& clause : drops) {
+    for (const auto& method : clause.methods) {
+      if (method == "this") {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+const AidlMethod* AidlInterface::FindMethod(
+    std::string_view method_name) const {
+  for (const auto& method : methods) {
+    if (method.name == method_name) {
+      return &method;
+    }
+  }
+  return nullptr;
+}
+
+Result<AidlInterface> ParseAidl(std::string_view source) {
+  Lexer lexer(source);
+  FLUX_ASSIGN_OR_RETURN(auto tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+int CountDecorationLines(std::string_view source) {
+  int count = 0;
+  int block_depth = 0;  // inside @record { ... }
+  for (const auto& raw_line : StrSplit(source, '\n')) {
+    const std::string_view line = StrTrim(raw_line);
+    if (line.empty()) {
+      continue;
+    }
+    bool counted = false;
+    if (block_depth > 0) {
+      ++count;
+      counted = true;
+    } else if (line[0] == '@') {
+      ++count;
+      counted = true;
+    }
+    (void)counted;
+    // Track block depth from '@record {' openings and matching closes.
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '{' &&
+          (block_depth > 0 || (line[0] == '@' && line.find("@record") == 0))) {
+        ++block_depth;
+      } else if (line[i] == '}' && block_depth > 0) {
+        --block_depth;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace flux

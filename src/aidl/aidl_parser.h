@@ -1,0 +1,88 @@
+// AIDL parser with Flux decoration extensions (§3.2, Table 1).
+//
+// Flux extends the Android Interface Definition Language so framework
+// developers can annotate service interface methods with record/replay
+// semantics:
+//
+//   @record                       record calls to the decorated method
+//   @drop [method, ...];          drop previous matching calls from the log
+//   @if   [arg, ...];             drop only when all named args match
+//   @elif [arg, ...];             alternative drop signature
+//   @replayproxy qualified.name;  call a proxy instead of replaying verbatim
+//   this                          keyword for the decorated method itself
+//
+// In Android, AIDL generates the marshalling code and (with Flux) the calls
+// into the record function. In this reproduction, parsing produces a
+// RecordRuleSet that the RecordEngine interprets at transaction time — the
+// same effect as generated code, without a codegen step.
+#ifndef FLUX_SRC_AIDL_AIDL_PARSER_H_
+#define FLUX_SRC_AIDL_AIDL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace flux {
+
+struct AidlParameter {
+  std::string direction;  // "", "in", "out", "inout"
+  std::string type;
+  std::string name;
+
+  bool operator==(const AidlParameter&) const = default;
+};
+
+// One drop clause: which prior calls become stale, under which signature.
+struct DropClause {
+  // Method names whose prior calls are dropped; "this" refers to the
+  // decorated method.
+  std::vector<std::string> methods;
+  // Conjunction of argument names that must match between the new call and
+  // a prior call for the prior call to be dropped. Empty = unconditional.
+  std::vector<std::string> if_args;
+  // Alternative signatures (@elif ...), each a conjunction.
+  std::vector<std::vector<std::string>> elif_args;
+
+  bool operator==(const DropClause&) const = default;
+};
+
+struct RecordRule {
+  bool record = false;
+  std::vector<DropClause> drops;
+  std::string replay_proxy;  // qualified proxy name, empty if none
+  // True when the decorated call itself is consumed by a matching drop
+  // ("this" in the drop list) — i.e. the new call is not recorded if it only
+  // cancels earlier state.
+  bool DropsThis() const;
+
+  bool operator==(const RecordRule&) const = default;
+};
+
+struct AidlMethod {
+  std::string return_type;
+  std::string name;
+  std::vector<AidlParameter> params;
+  bool oneway = false;
+  std::optional<RecordRule> rule;
+};
+
+struct AidlInterface {
+  std::string name;
+  std::vector<AidlMethod> methods;
+
+  const AidlMethod* FindMethod(std::string_view method_name) const;
+  size_t MethodCount() const { return methods.size(); }
+};
+
+// Parses one interface definition. Errors carry line numbers.
+Result<AidlInterface> ParseAidl(std::string_view source);
+
+// Counts the lines of Flux decoration code in an AIDL source: lines whose
+// content belongs to @-decorations (the measure reported in Table 2).
+int CountDecorationLines(std::string_view source);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_AIDL_AIDL_PARSER_H_

@@ -1,0 +1,81 @@
+#include "src/aidl/record_rules.h"
+
+#include <algorithm>
+
+namespace flux {
+
+Status RecordRuleSet::RegisterService(std::string service_name,
+                                      std::string_view aidl_source,
+                                      bool hardware) {
+  FLUX_ASSIGN_OR_RETURN(AidlInterface interface, ParseAidl(aidl_source));
+  const int decoration_loc = CountDecorationLines(aidl_source);
+  return RegisterNative(std::move(service_name), std::move(interface),
+                        hardware, decoration_loc);
+}
+
+Status RecordRuleSet::RegisterNative(std::string service_name,
+                                     AidlInterface interface, bool hardware,
+                                     int handwritten_loc) {
+  if (by_service_.count(service_name) > 0) {
+    return AlreadyExists("rules already registered for " + service_name);
+  }
+  ServiceRuleInfo info;
+  info.service_name = service_name;
+  info.interface_name = interface.name;
+  info.hardware = hardware;
+  info.method_count = static_cast<int>(interface.methods.size());
+  info.decoration_loc = handwritten_loc;
+  info.interface = std::move(interface);
+  auto [it, inserted] = by_service_.emplace(std::move(service_name),
+                                            std::move(info));
+  (void)inserted;
+  by_interface_[it->second.interface_name] = &it->second;
+  return OkStatus();
+}
+
+const RecordRule* RecordRuleSet::FindRule(std::string_view interface_name,
+                                          std::string_view method) const {
+  const AidlMethod* m = FindMethod(interface_name, method);
+  if (m == nullptr || !m->rule.has_value()) {
+    return nullptr;
+  }
+  return &*m->rule;
+}
+
+const AidlMethod* RecordRuleSet::FindMethod(std::string_view interface_name,
+                                            std::string_view method) const {
+  auto it = by_interface_.find(std::string(interface_name));
+  if (it == by_interface_.end()) {
+    return nullptr;
+  }
+  return it->second->interface.FindMethod(method);
+}
+
+bool RecordRuleSet::IsServiceRegistered(std::string_view service_name) const {
+  return by_service_.count(std::string(service_name)) > 0;
+}
+
+const ServiceRuleInfo* RecordRuleSet::FindService(
+    std::string_view service_name) const {
+  auto it = by_service_.find(std::string(service_name));
+  return it == by_service_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ServiceRuleInfo*> RecordRuleSet::AllServices() const {
+  std::vector<const ServiceRuleInfo*> out;
+  out.reserve(by_service_.size());
+  for (const auto& [name, info] : by_service_) {
+    (void)name;
+    out.push_back(&info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ServiceRuleInfo* a, const ServiceRuleInfo* b) {
+              if (a->hardware != b->hardware) {
+                return a->hardware;  // hardware services first
+              }
+              return a->service_name < b->service_name;
+            });
+  return out;
+}
+
+}  // namespace flux

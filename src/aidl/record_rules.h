@@ -1,0 +1,61 @@
+// Compiled record/replay rules.
+//
+// A RecordRuleSet aggregates the decorated interfaces of every system
+// service on a device. The RecordEngine consults it on each Binder
+// transaction to decide whether to record the call and which prior log
+// entries become stale; the ReplayEngine consults it for @replayproxy
+// bindings. Table 2's per-service method/decoration counts are computed
+// from the registered sources.
+#ifndef FLUX_SRC_AIDL_RECORD_RULES_H_
+#define FLUX_SRC_AIDL_RECORD_RULES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/aidl/aidl_parser.h"
+#include "src/base/result.h"
+
+namespace flux {
+
+struct ServiceRuleInfo {
+  std::string service_name;     // ServiceManager registration name
+  std::string interface_name;   // AIDL interface name
+  bool hardware = false;        // manages a hardware device (Table 2 split)
+  int method_count = 0;
+  int decoration_loc = 0;
+  AidlInterface interface;
+};
+
+class RecordRuleSet {
+ public:
+  // Parses `aidl_source` and registers its rules for `service_name`.
+  Status RegisterService(std::string service_name, std::string_view aidl_source,
+                         bool hardware);
+
+  // Registers rules authored directly (the SensorService case: native C++
+  // services have no AIDL to decorate, rules are hand-written, §3.2). The
+  // hand-written LOC figure is supplied by the author.
+  Status RegisterNative(std::string service_name, AidlInterface interface,
+                        bool hardware, int handwritten_loc);
+
+  // Rule lookup by interface + method; nullptr when not decorated.
+  const RecordRule* FindRule(std::string_view interface_name,
+                             std::string_view method) const;
+  const AidlMethod* FindMethod(std::string_view interface_name,
+                               std::string_view method) const;
+
+  bool IsServiceRegistered(std::string_view service_name) const;
+  const ServiceRuleInfo* FindService(std::string_view service_name) const;
+
+  // Table 2 rows, sorted by service name, hardware services first.
+  std::vector<const ServiceRuleInfo*> AllServices() const;
+
+ private:
+  std::map<std::string, ServiceRuleInfo> by_service_;
+  std::map<std::string, const ServiceRuleInfo*> by_interface_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_AIDL_RECORD_RULES_H_

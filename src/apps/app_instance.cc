@@ -1,0 +1,383 @@
+#include "src/apps/app_instance.h"
+
+#include "src/base/hash.h"
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/base/synthetic_content.h"
+
+namespace flux {
+
+namespace {
+
+// A do-nothing callback object apps hand to services (location listeners,
+// vibration tokens, wakelock tokens...).
+class StubListener : public BinderObject {
+ public:
+  explicit StubListener(std::string interface)
+      : interface_(std::move(interface)) {}
+
+  std::string_view interface_name() const override { return interface_; }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override {
+    (void)method;
+    (void)args;
+    (void)context;
+    return Parcel();
+  }
+
+ private:
+  std::string interface_;
+};
+
+}  // namespace
+
+AppInstance::AppInstance(Device& device, AppSpec spec)
+    : device_(device), spec_(std::move(spec)) {}
+
+std::string AppInstance::ApkPath() const {
+  return "/data/app/" + spec_.package + "-1.apk";
+}
+
+std::string AppInstance::DataDir() const {
+  return "/data/data/" + spec_.package;
+}
+
+std::string AppInstance::SdcardDir() const {
+  return "/sdcard/Android/data/" + spec_.package;
+}
+
+Status AppInstance::Install() {
+  if (installed_) {
+    return OkStatus();
+  }
+  // The APK's bytes are a pure function of package+version: the same app
+  // downloaded on two devices is byte-identical (pairing verifies by hash).
+  FLUX_RETURN_IF_ERROR(device_.filesystem().WriteFile(
+      ApkPath(),
+      GenerateNamedContent(spec_.package + ":apk:v1", spec_.apk_bytes, 0.25)));
+  FLUX_RETURN_IF_ERROR(WriteDataFiles());
+
+  PackageInfo info;
+  info.package = spec_.package;
+  info.apk_path = ApkPath();
+  info.version_code = 1;
+  info.min_api_level = 14;
+  info.install_size = spec_.apk_bytes;
+  info.permissions = {"android.permission.INTERNET",
+                      "android.permission.ACCESS_NETWORK_STATE",
+                      "android.permission.VIBRATE"};
+  info.multi_process = spec_.multi_process;
+  info.preserves_egl_context = spec_.preserves_egl_context;
+  FLUX_RETURN_IF_ERROR(device_.package_manager().Install(std::move(info)));
+  uid_ = device_.package_manager().Find(spec_.package)->uid;
+  installed_ = true;
+  return OkStatus();
+}
+
+Status AppInstance::WriteDataFiles() {
+  SimFilesystem& fs = device_.filesystem();
+  FLUX_RETURN_IF_ERROR(fs.Mkdirs(DataDir() + "/files"));
+  // Split the data dir into a handful of files (databases, caches).
+  const int file_count = 4;
+  for (int i = 0; i < file_count; ++i) {
+    FLUX_RETURN_IF_ERROR(fs.WriteFile(
+        StrFormat("%s/files/data_%d.db", DataDir().c_str(), i),
+        GenerateNamedContent(StrFormat("%s:data:%d", spec_.package.c_str(), i),
+                             spec_.data_dir_bytes / file_count, 0.6)));
+  }
+  if (spec_.sdcard_dir_bytes > 0) {
+    FLUX_RETURN_IF_ERROR(fs.Mkdirs(SdcardDir()));
+    FLUX_RETURN_IF_ERROR(fs.WriteFile(
+        SdcardDir() + "/media.bin",
+        GenerateNamedContent(spec_.package + ":sdcard",
+                             spec_.sdcard_dir_bytes, 0.3)));
+  }
+  return OkStatus();
+}
+
+Status AppInstance::MapHeap() {
+  SimProcess* process = device_.kernel().FindProcess(pid_);
+  if (process == nullptr) {
+    return Internal("app process vanished");
+  }
+  // The APK is mapped read-only (not checkpointed; restored by re-mapping
+  // from the paired filesystem).
+  MemorySegment apk;
+  apk.name = ApkPath();
+  apk.kind = SegmentKind::kFileBackedRo;
+  apk.mapped_size = spec_.apk_bytes;
+  apk.backing_path = ApkPath();
+  process->address_space().Map(std::move(apk));
+
+  // Dalvik heap: the dirty state whose bytes dominate the checkpoint image.
+  MemorySegment heap;
+  heap.name = "dalvik-heap";
+  heap.kind = SegmentKind::kAnonPrivate;
+  heap.content = GenerateNamedContent(spec_.package + ":heap",
+                                      spec_.heap_bytes,
+                                      spec_.heap_compressibility);
+  process->address_space().Map(std::move(heap));
+  return OkStatus();
+}
+
+Status AppInstance::Launch() {
+  if (!installed_) {
+    FLUX_RETURN_IF_ERROR(Install());
+  }
+  if (launched()) {
+    return FailedPrecondition("app already launched: " + spec_.package);
+  }
+  SimProcess& process = device_.CreateAppProcess(spec_.package, uid_);
+  pid_ = process.pid();
+  pids_ = {pid_};
+  FLUX_RETURN_IF_ERROR(MapHeap());
+
+  if (spec_.multi_process) {
+    // e.g. Facebook's separate web/media process.
+    SimProcess& helper =
+        device_.CreateAppProcess(spec_.package + ":remote", uid_);
+    pids_.push_back(helper.pid());
+    MemorySegment heap;
+    heap.name = "dalvik-heap";
+    heap.kind = SegmentKind::kAnonPrivate;
+    heap.content =
+        GenerateNamedContent(spec_.package + ":remote:heap", MiB(4), 0.55);
+    helper.address_space().Map(std::move(heap));
+  }
+
+  thread_ = std::make_shared<ActivityThread>(device_.context(), pid_, uid_,
+                                             spec_.package);
+  FLUX_RETURN_IF_ERROR(thread_->Attach());
+  FLUX_ASSIGN_OR_RETURN(main_token_, thread_->StartActivity("MainActivity"));
+  FLUX_RETURN_IF_ERROR(thread_->InflateViews(
+      main_token_, spec_.workload.view_count, spec_.workload.bytes_per_view,
+      "View"));
+  FLUX_RETURN_IF_ERROR(thread_->DrawFrame(main_token_));
+
+  if (spec_.preserves_egl_context) {
+    FLUX_RETURN_IF_ERROR(thread_->SetPreserveEglContextOnPause(true));
+  }
+  FLUX_LOG(kDebug, "apps") << spec_.display_name << " launched as pid "
+                           << pid_ << " on " << device_.name();
+  return OkStatus();
+}
+
+Status AppInstance::DrawFrames(int count) {
+  for (int i = 0; i < count; ++i) {
+    FLUX_RETURN_IF_ERROR(thread_->DrawFrame(main_token_));
+  }
+  return OkStatus();
+}
+
+Status AppInstance::RunWorkload(uint64_t seed) {
+  if (!launched()) {
+    return FailedPrecondition("app not launched");
+  }
+  const WorkloadProfile& wl = spec_.workload;
+  Rng rng(seed ^ Fnv1a64(spec_.package));
+  BinderDriver& binder = device_.binder();
+
+  // Connectivity receiver: apps are built around transient connectivity.
+  if (wl.registers_connectivity_receiver) {
+    FLUX_RETURN_IF_ERROR(
+        thread_->RegisterReceiver("android.net.conn.CONNECTIVITY_CHANGE"));
+  }
+
+  // Notifications: post, then cancel a prefix (exercising @drop pruning).
+  for (int i = 0; i < wl.notifications_posted; ++i) {
+    Parcel args;
+    args.WriteNamed("id", static_cast<int32_t>(100 + i));
+    args.WriteNamed("notification",
+                    StrFormat("%s notification #%d",
+                              spec_.display_name.c_str(), i));
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("notification",
+                                               "enqueueNotification",
+                                               std::move(args)));
+    (void)reply;
+  }
+  for (int i = 0; i < wl.notifications_cancelled; ++i) {
+    Parcel args;
+    args.WriteNamed("id", static_cast<int32_t>(100 + i));
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("notification",
+                                               "cancelNotification",
+                                               std::move(args)));
+    (void)reply;
+  }
+
+  // Alarms.
+  const SimTime now = device_.clock().now();
+  auto set_alarm = [&](const std::string& token, SimTime at) -> Status {
+    Parcel args;
+    args.WriteNamed("type", static_cast<int32_t>(0));
+    args.WriteNamed("triggerAtTime", static_cast<int64_t>(at));
+    args.WriteNamed("operation", token);
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("alarm", "set",
+                                               std::move(args)));
+    (void)reply;
+    return OkStatus();
+  };
+  for (int i = 0; i < wl.alarms_set; ++i) {
+    const std::string token = MakePendingIntentToken(
+        spec_.package, i, "alarm.action." + spec_.package);
+    FLUX_RETURN_IF_ERROR(set_alarm(token, now + Seconds(600) + Seconds(i)));
+    alarm_tokens_.push_back(token);
+  }
+  for (int i = 0; i < wl.expired_alarms; ++i) {
+    // Will fire (or lapse) before any migration completes: the replay proxy
+    // must not re-arm it on the guest.
+    const std::string token = MakePendingIntentToken(
+        spec_.package, 100 + i, "alarm.expired." + spec_.package);
+    FLUX_RETURN_IF_ERROR(set_alarm(token, now + Millis(200)));
+    alarm_tokens_.push_back(token);
+  }
+  for (int i = 0; i < wl.alarms_removed && i < wl.alarms_set; ++i) {
+    Parcel args;
+    args.WriteNamed("operation", alarm_tokens_[static_cast<size_t>(i)]);
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("alarm", "remove",
+                                               std::move(args)));
+    (void)reply;
+  }
+
+  // Audio.
+  for (int i = 0; i < wl.audio_volume_changes; ++i) {
+    Parcel args;
+    args.WriteNamed("streamType", kStreamMusic);
+    args.WriteNamed("index",
+                    static_cast<int32_t>(rng.NextInRange(
+                        3, device_.profile().max_music_volume)));
+    args.WriteNamed("flags", static_cast<int32_t>(0));
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("audio", "setStreamVolume",
+                                               std::move(args)));
+    (void)reply;
+  }
+
+  // Clipboard.
+  for (int i = 0; i < wl.clipboard_sets; ++i) {
+    Parcel args;
+    args.WriteNamed("clip", StrFormat("clip from %s #%d",
+                                      spec_.display_name.c_str(), i));
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("clipboard", "setPrimaryClip",
+                                               std::move(args)));
+    (void)reply;
+  }
+
+  // Location updates with app-owned listener objects.
+  for (int i = 0; i < wl.location_requests; ++i) {
+    auto listener = std::make_shared<StubListener>(
+        "android.location.ILocationListener");
+    const uint64_t node = binder.RegisterNode(pid_, listener);
+    stub_objects_.push_back(std::move(listener));
+    Parcel args;
+    args.WriteNamed("provider", std::string(i == 0 ? "network" : "gps"));
+    args.WriteNamed("minTime", static_cast<int64_t>(5000));
+    args.WriteNamed("minDistance", 10.0);
+    args.WriteNamed("listener",
+                    ParcelObjectRef{ParcelObjectRef::Space::kNode, node});
+    auto reply = thread_->CallService("location", "requestLocationUpdates",
+                                      std::move(args));
+    if (!reply.ok() && reply.status().code() != StatusCode::kUnavailable) {
+      return reply.status();
+    }
+  }
+
+  // Wifi queries (read-only: must NOT grow the record log).
+  for (int i = 0; i < wl.wifi_queries; ++i) {
+    Parcel args;
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("wifi", "getWifiEnabledState",
+                                               std::move(args)));
+    (void)reply;
+  }
+
+  // Vibration with an app-owned token.
+  for (int i = 0; i < wl.vibrations; ++i) {
+    auto token_object = std::make_shared<StubListener>("android.os.IBinder");
+    const uint64_t node = binder.RegisterNode(pid_, token_object);
+    stub_objects_.push_back(std::move(token_object));
+    Parcel args;
+    args.WriteNamed("milliseconds", static_cast<int64_t>(80));
+    args.WriteNamed("token",
+                    ParcelObjectRef{ParcelObjectRef::Space::kNode, node});
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("vibrator", "vibrate",
+                                               std::move(args)));
+    (void)reply;
+  }
+
+  // Transient ContentProvider interaction: acquire, query, close the
+  // cursor, release — complete before any migration, so the app remains
+  // migratable (§3.4).
+  if (wl.queries_contacts) {
+    Parcel acquire;
+    acquire.WriteString("contacts");
+    FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                          thread_->CallService("content", "acquireProvider",
+                                               std::move(acquire)));
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef provider, reply.ReadObject());
+    Parcel query;
+    query.WriteString("");
+    query.WriteString("");
+    FLUX_ASSIGN_OR_RETURN(Parcel rows,
+                          binder.Transact(pid_, provider.value, "query",
+                                          std::move(query)));
+    (void)rows;
+    FLUX_ASSIGN_OR_RETURN(Parcel closed,
+                          binder.Transact(pid_, provider.value, "closeCursor",
+                                          Parcel()));
+    (void)closed;
+    FLUX_ASSIGN_OR_RETURN(Parcel released,
+                          binder.Transact(pid_, provider.value, "release",
+                                          Parcel()));
+    (void)released;
+    FLUX_RETURN_IF_ERROR(binder.ReleaseHandle(pid_, provider.value));
+  }
+
+  // Sensors: connection object + event channel descriptor (§3.2).
+  if (wl.uses_sensors) {
+    Parcel args;
+    FLUX_ASSIGN_OR_RETURN(
+        Parcel reply,
+        thread_->CallService("sensorservice", "createSensorEventConnection",
+                             std::move(args)));
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef connection, reply.ReadObject());
+    sensor_connection_handle_ = connection.value;
+    Parcel enable_args;
+    enable_args.WriteNamed("handle", static_cast<int32_t>(1));
+    FLUX_ASSIGN_OR_RETURN(
+        Parcel enable_reply,
+        binder.Transact(pid_, sensor_connection_handle_, "enableSensor",
+                        std::move(enable_args)));
+    (void)enable_reply;
+    Parcel channel_args;
+    FLUX_ASSIGN_OR_RETURN(
+        Parcel channel_reply,
+        binder.Transact(pid_, sensor_connection_handle_, "getSensorChannel",
+                        std::move(channel_args)));
+    FLUX_ASSIGN_OR_RETURN(sensor_channel_fd_, channel_reply.ReadFd());
+  }
+
+  // 3D games: big texture/buffer uploads.
+  if (wl.uses_3d && thread_->renderer().gl_context != 0) {
+    FLUX_RETURN_IF_ERROR(device_.egl().UploadTexture(
+        thread_->renderer().gl_context, wl.texture_bytes_3d));
+    FLUX_RETURN_IF_ERROR(device_.egl().AllocateVertexBuffer(
+        thread_->renderer().gl_context, wl.texture_bytes_3d / 8));
+    for (int i = 0; i < 4; ++i) {
+      FLUX_RETURN_IF_ERROR(
+          device_.egl().CompileShader(thread_->renderer().gl_context));
+    }
+  }
+
+  FLUX_RETURN_IF_ERROR(DrawFrames(wl.frames_drawn));
+  return OkStatus();
+}
+
+}  // namespace flux

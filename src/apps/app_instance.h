@@ -1,0 +1,86 @@
+// A running app on a device.
+//
+// AppInstance installs an AppSpec's APK and data, launches its process with
+// a realistic memory image, attaches an ActivityThread and then *drives* the
+// Table 3 workload through real substrate calls: Binder transactions into
+// the decorated services, GL uploads, file writes. Everything Flux later
+// records, sheds, checkpoints and replays is produced by this driver — there
+// is no shortcut state.
+#ifndef FLUX_SRC_APPS_APP_INSTANCE_H_
+#define FLUX_SRC_APPS_APP_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_spec.h"
+#include "src/device/device.h"
+#include "src/framework/activity_thread.h"
+
+namespace flux {
+
+class AppInstance {
+ public:
+  AppInstance(Device& device, AppSpec spec);
+
+  // Installs APK + data files and registers with the PackageManager.
+  // Idempotent per device.
+  Status Install();
+
+  // Launches the process (and the helper process for multi-process apps),
+  // attaches the ActivityThread, starts the main activity, inflates the UI
+  // and draws the first frames.
+  Status Launch();
+
+  // Performs the spec's workload (notifications, alarms, sensors, GL...).
+  // `seed` varies content deterministically.
+  Status RunWorkload(uint64_t seed);
+
+  Status DrawFrames(int count);
+
+  bool launched() const { return thread_ != nullptr; }
+  Pid pid() const { return pid_; }
+  const std::vector<Pid>& all_pids() const { return pids_; }
+  Uid uid() const { return uid_; }
+  const AppSpec& spec() const { return spec_; }
+  Device& device() { return device_; }
+  ActivityThread& thread() { return *thread_; }
+  std::shared_ptr<ActivityThread> shared_thread() { return thread_; }
+  const std::string& main_token() const { return main_token_; }
+
+  // Workload artifacts used by tests to verify post-migration state.
+  uint64_t sensor_connection_handle() const {
+    return sensor_connection_handle_;
+  }
+  Fd sensor_channel_fd() const { return sensor_channel_fd_; }
+  const std::vector<std::string>& alarm_tokens() const {
+    return alarm_tokens_;
+  }
+
+  // Standard filesystem locations.
+  std::string ApkPath() const;
+  std::string DataDir() const;
+  std::string SdcardDir() const;
+
+ private:
+  Status WriteDataFiles();
+  Status MapHeap();
+
+  Device& device_;
+  AppSpec spec_;
+  bool installed_ = false;
+  Pid pid_ = kInvalidPid;
+  std::vector<Pid> pids_;
+  Uid uid_ = -1;
+  std::shared_ptr<ActivityThread> thread_;
+  std::string main_token_;
+
+  uint64_t sensor_connection_handle_ = 0;
+  Fd sensor_channel_fd_ = kInvalidFd;
+  std::vector<std::string> alarm_tokens_;
+  std::vector<std::shared_ptr<BinderObject>> stub_objects_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_APPS_APP_INSTANCE_H_

@@ -1,0 +1,327 @@
+#include "src/apps/app_spec.h"
+
+#include "src/base/bytes.h"
+
+namespace flux {
+
+namespace {
+
+std::vector<AppSpec> BuildTopApps() {
+  std::vector<AppSpec> apps;
+
+  {
+    AppSpec app;
+    app.package = "com.sirma.mobile.bible.android";
+    app.display_name = "Bible";
+    app.workload_desc = "View page of the Bible";
+    app.apk_bytes = MiB(18);
+    app.heap_bytes = MiB(12);
+    app.data_dir_bytes = MiB(6);
+    app.workload.view_count = 40;
+    app.workload.notifications_posted = 2;
+    app.workload.notifications_cancelled = 1;
+    app.workload.alarms_set = 1;  // daily verse
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.king.bubblewitchsaga";
+    app.display_name = "Bubble Witch Saga";
+    app.workload_desc = "Play witch-themed puzzle game";
+    app.apk_bytes = MiB(46);
+    app.heap_bytes = MiB(24);
+    app.heap_compressibility = 0.57;
+    app.data_dir_bytes = MiB(10);
+    app.workload.uses_3d = true;
+    app.workload.texture_bytes_3d = MiB(20);
+    app.workload.frames_drawn = 60;
+    app.workload.audio_volume_changes = 2;
+    app.workload.alarms_set = 2;  // lives refill
+    app.workload.expired_alarms = 1;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.king.candycrushsaga";
+    app.display_name = "Candy Crush Saga";
+    app.workload_desc = "Play candy-themed puzzle game";
+    app.apk_bytes = MiB(43);
+    app.heap_bytes = MiB(27);
+    app.heap_compressibility = 0.57;
+    app.data_dir_bytes = MiB(12);
+    app.workload.uses_3d = true;
+    app.workload.texture_bytes_3d = MiB(24);
+    app.workload.frames_drawn = 80;
+    app.workload.audio_volume_changes = 3;
+    app.workload.alarms_set = 3;
+    app.workload.alarms_removed = 1;
+    app.workload.expired_alarms = 1;
+    app.workload.notifications_posted = 1;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.ebay.mobile";
+    app.display_name = "eBay";
+    app.workload_desc = "View online auction";
+    app.apk_bytes = MiB(10);
+    app.heap_bytes = MiB(13);
+    app.data_dir_bytes = MiB(4);
+    app.workload.view_count = 55;
+    app.workload.notifications_posted = 3;
+    app.workload.notifications_cancelled = 2;
+    app.workload.alarms_set = 2;  // auction-end reminders
+    app.workload.location_requests = 1;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.dotgears.flappybird";
+    app.display_name = "Flappy Bird";
+    app.workload_desc = "Play obstacle game";
+    app.apk_bytes = MiB(1);
+    app.heap_bytes = MiB(5);
+    app.heap_compressibility = 0.66;
+    app.data_dir_bytes = 256 * 1024;
+    app.workload.view_count = 8;
+    app.workload.uses_3d = true;
+    app.workload.texture_bytes_3d = MiB(4);
+    app.workload.frames_drawn = 120;
+    app.workload.uses_sensors = false;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.surpax.ledflashlight";
+    app.display_name = "Surpax Flashlight";
+    app.workload_desc = "Use LED flashlight";
+    app.apk_bytes = MiB(2);
+    app.heap_bytes = MiB(3);
+    app.heap_compressibility = 0.72;
+    app.data_dir_bytes = 64 * 1024;
+    app.workload.view_count = 6;
+    app.workload.frames_drawn = 4;
+    app.workload.vibrations = 1;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.groupon";
+    app.display_name = "GroupOn";
+    app.workload_desc = "View discount offer";
+    app.apk_bytes = MiB(8);
+    app.heap_bytes = MiB(11);
+    app.data_dir_bytes = MiB(3);
+    app.workload.view_count = 45;
+    app.workload.location_requests = 2;
+    app.workload.notifications_posted = 2;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.instagram.android";
+    app.display_name = "Instagram";
+    app.workload_desc = "Browse a friend's photos";
+    app.apk_bytes = MiB(13);
+    app.heap_bytes = MiB(16);
+    app.heap_compressibility = 0.52;  // decoded JPEGs compress poorly
+    app.data_dir_bytes = MiB(20);
+    app.sdcard_dir_bytes = MiB(8);
+    app.workload.view_count = 70;
+    app.workload.bytes_per_view = 96 * 1024;
+    app.workload.frames_drawn = 30;
+    app.workload.notifications_posted = 4;
+    app.workload.notifications_cancelled = 2;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.netflix.mediaclient";
+    app.display_name = "Netflix";
+    app.workload_desc = "Browse available movies";
+    app.apk_bytes = MiB(11);
+    app.heap_bytes = MiB(18);
+    app.heap_compressibility = 0.52;
+    app.data_dir_bytes = MiB(9);
+    app.workload.view_count = 60;
+    app.workload.bytes_per_view = 128 * 1024;
+    app.workload.frames_drawn = 25;
+    app.workload.audio_volume_changes = 1;
+    app.workload.wifi_queries = 3;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.pinterest";
+    app.display_name = "Pinterest";
+    app.workload_desc = "Explore \"pinned\" items of interest";
+    app.apk_bytes = MiB(9);
+    app.heap_bytes = MiB(17);
+    app.heap_compressibility = 0.52;
+    app.data_dir_bytes = MiB(12);
+    app.workload.view_count = 80;
+    app.workload.bytes_per_view = 96 * 1024;
+    app.workload.frames_drawn = 35;
+    app.workload.notifications_posted = 2;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.snapchat.android";
+    app.display_name = "Snapchat";
+    app.workload_desc = "Take photo and compose text";
+    app.apk_bytes = MiB(10);
+    app.heap_bytes = MiB(14);
+    app.heap_compressibility = 0.52;
+    app.data_dir_bytes = MiB(5);
+    app.sdcard_dir_bytes = MiB(4);
+    app.workload.view_count = 25;
+    app.workload.frames_drawn = 20;
+    app.workload.clipboard_sets = 1;
+    app.workload.notifications_posted = 3;
+    app.workload.notifications_cancelled = 3;
+    app.workload.queries_contacts = true;  // picking a recipient
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.skype.raider";
+    app.display_name = "Skype";
+    app.workload_desc = "View contact status";
+    app.apk_bytes = MiB(25);
+    app.heap_bytes = MiB(17);
+    app.data_dir_bytes = MiB(8);
+    app.workload.view_count = 40;
+    app.workload.notifications_posted = 2;
+    app.workload.audio_volume_changes = 2;
+    app.workload.wifi_queries = 4;
+    app.workload.alarms_set = 1;  // keep-alive
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.twitter.android";
+    app.display_name = "Twitter";
+    app.workload_desc = "View a user's Tweets";
+    app.apk_bytes = MiB(15);
+    app.heap_bytes = MiB(15);
+    app.data_dir_bytes = MiB(7);
+    app.workload.view_count = 65;
+    app.workload.bytes_per_view = 64 * 1024;
+    app.workload.frames_drawn = 28;
+    app.workload.notifications_posted = 5;
+    app.workload.notifications_cancelled = 3;
+    app.workload.alarms_set = 2;  // poll
+    app.workload.alarms_removed = 1;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "co.vine.android";
+    app.display_name = "Vine";
+    app.workload_desc = "Browse a user's video feed";
+    app.apk_bytes = MiB(18);
+    app.heap_bytes = MiB(16);
+    app.heap_compressibility = 0.52;
+    app.data_dir_bytes = MiB(10);
+    app.workload.view_count = 50;
+    app.workload.bytes_per_view = 112 * 1024;
+    app.workload.frames_drawn = 40;
+    app.workload.audio_volume_changes = 1;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.kiloo.subwaysurf";
+    app.display_name = "Subway Surfers";
+    app.workload_desc = "Play fast-paced obstacle game";
+    app.apk_bytes = MiB(38);
+    app.heap_bytes = MiB(26);
+    app.heap_compressibility = 0.57;
+    app.data_dir_bytes = MiB(14);
+    app.preserves_egl_context = true;  // the unsupported GL case (§3.4)
+    app.workload.uses_3d = true;
+    app.workload.texture_bytes_3d = MiB(28);
+    app.workload.frames_drawn = 150;
+    app.workload.uses_sensors = true;
+    app.workload.audio_volume_changes = 2;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.facebook.katana";
+    app.display_name = "Facebook";
+    app.workload_desc = "Post comment on news feed";
+    app.apk_bytes = MiB(28);
+    app.heap_bytes = MiB(20);
+    app.data_dir_bytes = MiB(25);
+    app.multi_process = true;  // the unsupported process model (§3.4)
+    app.workload.view_count = 75;
+    app.workload.bytes_per_view = 80 * 1024;
+    app.workload.frames_drawn = 30;
+    app.workload.notifications_posted = 6;
+    app.workload.notifications_cancelled = 4;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "com.whatsapp";
+    app.display_name = "WhatsApp";
+    app.workload_desc = "Send text to friend";
+    app.apk_bytes = MiB(15);
+    app.heap_bytes = MiB(10);
+    app.data_dir_bytes = MiB(18);
+    app.sdcard_dir_bytes = MiB(6);
+    app.workload.view_count = 30;
+    app.workload.frames_drawn = 15;
+    app.workload.notifications_posted = 5;
+    app.workload.notifications_cancelled = 5;
+    app.workload.alarms_set = 2;  // message retry + backup
+    app.workload.vibrations = 2;
+    app.workload.queries_contacts = true;
+    apps.push_back(app);
+  }
+  {
+    AppSpec app;
+    app.package = "net.zedge.android";
+    app.display_name = "ZEDGE";
+    app.workload_desc = "Browse ringtones and select one";
+    app.apk_bytes = MiB(8);
+    app.heap_bytes = MiB(13);
+    app.data_dir_bytes = MiB(6);
+    app.sdcard_dir_bytes = MiB(10);
+    app.workload.view_count = 45;
+    app.workload.audio_volume_changes = 3;
+    app.workload.notifications_posted = 1;
+    apps.push_back(app);
+  }
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& TopApps() {
+  static const std::vector<AppSpec> kApps = BuildTopApps();
+  return kApps;
+}
+
+const AppSpec* FindApp(const std::string& display_name) {
+  for (const auto& app : TopApps()) {
+    if (app.display_name == display_name) {
+      return &app;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const AppSpec*> MigratableApps() {
+  std::vector<const AppSpec*> out;
+  for (const auto& app : TopApps()) {
+    if (!app.multi_process && !app.preserves_egl_context) {
+      out.push_back(&app);
+    }
+  }
+  return out;
+}
+
+}  // namespace flux

@@ -1,0 +1,73 @@
+// Synthetic models of the paper's evaluation apps (Table 3, Figure 15).
+//
+// Each spec captures what determines an app's migration behaviour:
+//  - APK size (pairing/verification traffic; Figure 15's reference series);
+//  - live heap (dominates the checkpoint image and hence transfer time);
+//  - the services its workload touches (drives the call log Selective
+//    Record keeps);
+//  - GL usage (3D games shed much more GPU state in preparation);
+//  - the two disqualifying traits: multi-process (Facebook) and
+//    setPreserveEGLContextOnPause (Subway Surfers).
+// Sizes are modeled on the Play-store listings of the period; transfer
+// sizes emerge from the pipeline (heap -> checkpoint -> compress), not from
+// these numbers directly.
+#ifndef FLUX_SRC_APPS_APP_SPEC_H_
+#define FLUX_SRC_APPS_APP_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flux {
+
+struct WorkloadProfile {
+  // Service-interaction counts performed before migration.
+  int notifications_posted = 0;
+  int notifications_cancelled = 0;  // must be <= posted
+  int alarms_set = 0;
+  int alarms_removed = 0;
+  int expired_alarms = 0;  // set in the past -> replay proxy must skip
+  int audio_volume_changes = 0;
+  int clipboard_sets = 0;
+  int location_requests = 0;
+  int wifi_queries = 0;
+  int vibrations = 0;
+  bool uses_sensors = false;
+  bool registers_connectivity_receiver = true;
+  // Transient ContentProvider use (acquire -> query -> close -> release):
+  // completes before migration, so the app stays migratable (§3.4).
+  bool queries_contacts = false;
+  // UI shape.
+  int view_count = 30;
+  uint64_t bytes_per_view = 48 * 1024;
+  int frames_drawn = 12;
+  bool uses_3d = false;          // extra GL textures/buffers (games)
+  uint64_t texture_bytes_3d = 0; // uploaded when uses_3d
+};
+
+struct AppSpec {
+  std::string package;
+  std::string display_name;
+  std::string workload_desc;  // Table 3's description
+  uint64_t apk_bytes = 0;
+  uint64_t heap_bytes = 0;        // dirty anonymous memory while running
+  double heap_compressibility = 0.62;
+  uint64_t data_dir_bytes = 0;    // /data/data/<pkg> files
+  uint64_t sdcard_dir_bytes = 0;  // app-specific SD card directory
+  bool multi_process = false;
+  bool preserves_egl_context = false;
+  WorkloadProfile workload;
+};
+
+// The eighteen Table 3 apps, in the paper's order.
+const std::vector<AppSpec>& TopApps();
+
+// Lookup by display name; nullptr if absent.
+const AppSpec* FindApp(const std::string& display_name);
+
+// The sixteen apps that migrate successfully (§4).
+std::vector<const AppSpec*> MigratableApps();
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_APPS_APP_SPEC_H_

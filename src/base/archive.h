@@ -1,0 +1,72 @@
+// Binary serialization for checkpoint images and transfer payloads.
+//
+// ArchiveWriter/ArchiveReader implement a type-tagged little-endian stream:
+// every field carries a 1-byte type tag, so a reader that drifts out of sync
+// with its writer fails fast with kCorrupt instead of silently misreading —
+// important for CRIA images crossing devices. Nested sections are
+// length-prefixed, letting readers skip unknown sections.
+#ifndef FLUX_SRC_BASE_ARCHIVE_H_
+#define FLUX_SRC_BASE_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace flux {
+
+class ArchiveWriter {
+ public:
+  void PutBool(bool v);
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutF64(double v);
+  void PutString(std::string_view v);
+  void PutBytes(ByteSpan v);
+
+  // Embeds another archive as a length-prefixed section.
+  void PutSection(const ArchiveWriter& section);
+
+  const Bytes& data() const { return data_; }
+  Bytes TakeData() { return std::move(data_); }
+  size_t size() const { return data_.size(); }
+
+ private:
+  void RawU64(uint64_t v);
+  Bytes data_;
+};
+
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(ByteSpan data) : data_(data) {}
+
+  Status GetBool(bool& out);
+  Status GetU8(uint8_t& out);
+  Status GetU32(uint32_t& out);
+  Status GetU64(uint64_t& out);
+  Status GetI64(int64_t& out);
+  Status GetF64(double& out);
+  Status GetString(std::string& out);
+  Status GetBytes(Bytes& out);
+
+  // Reads a section; the returned reader views into this reader's buffer.
+  Status GetSection(ArchiveReader& out);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Expect(uint8_t tag);
+  Status RawU64(uint64_t& out);
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_ARCHIVE_H_

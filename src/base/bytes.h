@@ -1,0 +1,29 @@
+// Byte-buffer aliases and size helpers used throughout the simulation.
+#ifndef FLUX_SRC_BASE_BYTES_H_
+#define FLUX_SRC_BASE_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flux {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+
+// Converts a byte count to fractional MiB, for reporting.
+constexpr double ToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_BYTES_H_

@@ -1,0 +1,221 @@
+#include "src/base/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace flux {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x464C5A31;  // "FLZ1"
+constexpr size_t kWindowSize = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 4 + 255;
+constexpr size_t kHashBuckets = 1 << 16;
+constexpr int kMaxChainProbes = 16;
+
+uint32_t HashTriple(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> 16;
+}
+
+void PutU32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool GetU32(ByteSpan in, size_t& pos, uint32_t& v) {
+  if (pos + 4 > in.size()) {
+    return false;
+  }
+  v = static_cast<uint32_t>(in[pos]) | (static_cast<uint32_t>(in[pos + 1]) << 8) |
+      (static_cast<uint32_t>(in[pos + 2]) << 16) |
+      (static_cast<uint32_t>(in[pos + 3]) << 24);
+  pos += 4;
+  return true;
+}
+
+bool GetU64(ByteSpan in, size_t& pos, uint64_t& v) {
+  if (pos + 8 > in.size()) {
+    return false;
+  }
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(in[pos + i]) << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+}  // namespace
+
+Bytes LzCompress(ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  PutU32(out, kMagic);
+  PutU64(out, input.size());
+
+  const uint8_t* data = input.data();
+  const size_t n = input.size();
+
+  // head[h] = most recent position with hash h; prev[i % window] = previous
+  // position in the same chain.
+  std::vector<int64_t> head(kHashBuckets, -1);
+  std::vector<int64_t> prev(kWindowSize, -1);
+
+  size_t pos = 0;
+  size_t flag_index = 0;
+  uint8_t flags = 0;
+  int item_count = 0;
+  Bytes group;  // items for current flag byte
+  group.reserve(8 * 3);
+
+  auto flush_group = [&]() {
+    if (item_count == 0) {
+      return;
+    }
+    out[flag_index] = flags;
+    out.insert(out.end(), group.begin(), group.end());
+    group.clear();
+    flags = 0;
+    item_count = 0;
+  };
+
+  auto open_group = [&]() {
+    if (item_count == 0) {
+      flag_index = out.size();
+      out.push_back(0);  // placeholder for flags
+    }
+  };
+
+  auto insert_pos = [&](size_t p) {
+    if (p + kMinMatch <= n && p + 4 <= n) {
+      const uint32_t h = HashTriple(data + p) % kHashBuckets;
+      prev[p % kWindowSize] = head[h];
+      head[h] = static_cast<int64_t>(p);
+    }
+  };
+
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_offset = 0;
+
+    if (pos + kMinMatch <= n && pos + 4 <= n) {
+      const uint32_t h = HashTriple(data + pos) % kHashBuckets;
+      int64_t cand = head[h];
+      int probes = 0;
+      while (cand >= 0 && probes < kMaxChainProbes) {
+        const size_t cpos = static_cast<size_t>(cand);
+        if (pos - cpos > kWindowSize - 1) {
+          break;
+        }
+        size_t len = 0;
+        const size_t max_len =
+            (n - pos) < kMaxMatch ? (n - pos) : kMaxMatch;
+        while (len < max_len && data[cpos + len] == data[pos + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_offset = pos - cpos;
+          if (len == kMaxMatch) {
+            break;
+          }
+        }
+        const int64_t next = prev[cpos % kWindowSize];
+        // Chains can alias across window generations; guard monotonicity.
+        if (next >= cand) {
+          break;
+        }
+        cand = next;
+        ++probes;
+      }
+    }
+
+    open_group();
+    if (best_len >= kMinMatch) {
+      flags |= static_cast<uint8_t>(1 << item_count);
+      group.push_back(static_cast<uint8_t>(best_offset));
+      group.push_back(static_cast<uint8_t>(best_offset >> 8));
+      group.push_back(static_cast<uint8_t>(best_len - kMinMatch));
+      for (size_t k = 0; k < best_len; ++k) {
+        insert_pos(pos + k);
+      }
+      pos += best_len;
+    } else {
+      group.push_back(data[pos]);
+      insert_pos(pos);
+      ++pos;
+    }
+    ++item_count;
+    if (item_count == 8) {
+      flush_group();
+    }
+  }
+  flush_group();
+  return out;
+}
+
+Result<Bytes> LzDecompress(ByteSpan input) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint64_t raw_size = 0;
+  if (!GetU32(input, pos, magic) || magic != kMagic) {
+    return Corrupt("LzDecompress: bad magic");
+  }
+  if (!GetU64(input, pos, raw_size)) {
+    return Corrupt("LzDecompress: truncated header");
+  }
+  if (raw_size > (1ull << 36)) {
+    return Corrupt("LzDecompress: implausible raw size");
+  }
+
+  Bytes out;
+  out.reserve(raw_size);
+  while (out.size() < raw_size) {
+    if (pos >= input.size()) {
+      return Corrupt("LzDecompress: truncated stream");
+    }
+    const uint8_t flags = input[pos++];
+    for (int i = 0; i < 8 && out.size() < raw_size; ++i) {
+      if (flags & (1 << i)) {
+        if (pos + 3 > input.size()) {
+          return Corrupt("LzDecompress: truncated match");
+        }
+        const size_t offset = static_cast<size_t>(input[pos]) |
+                              (static_cast<size_t>(input[pos + 1]) << 8);
+        const size_t len = kMinMatch + input[pos + 2];
+        pos += 3;
+        if (offset == 0 || offset > out.size()) {
+          return Corrupt("LzDecompress: bad match offset");
+        }
+        if (out.size() + len > raw_size) {
+          return Corrupt("LzDecompress: match overruns raw size");
+        }
+        const size_t start = out.size() - offset;
+        for (size_t k = 0; k < len; ++k) {
+          out.push_back(out[start + k]);
+        }
+      } else {
+        if (pos >= input.size()) {
+          return Corrupt("LzDecompress: truncated literal");
+        }
+        out.push_back(input[pos++]);
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t LzCompressedSize(ByteSpan input) { return LzCompress(input).size(); }
+
+}  // namespace flux

@@ -1,0 +1,34 @@
+// LZ77-style compression for checkpoint images and pairing deltas.
+//
+// The paper compresses the CRIU checkpoint image before transfer; migration
+// time is dominated by the bytes that survive compression. We implement a
+// small self-contained LZSS codec (64 KiB window, greedy hash-chain match
+// finder) so compressed sizes are a real function of the checkpointed
+// content rather than a fudge factor.
+//
+// Stream format:
+//   [u32 magic][u64 raw_size] then repeated groups of
+//   [flag byte][8 items], each item either a literal byte (flag bit 0) or a
+//   match (flag bit 1): [u16 offset][u8 length-4].
+#ifndef FLUX_SRC_BASE_COMPRESS_H_
+#define FLUX_SRC_BASE_COMPRESS_H_
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace flux {
+
+// Compresses `input`. Output is never larger than input + small header +
+// 1/8 overhead (worst case all-literals).
+Bytes LzCompress(ByteSpan input);
+
+// Decompresses a stream produced by LzCompress. Fails with kCorrupt on any
+// malformed input.
+Result<Bytes> LzDecompress(ByteSpan input);
+
+// Convenience: compressed size without keeping the output.
+uint64_t LzCompressedSize(ByteSpan input);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_COMPRESS_H_

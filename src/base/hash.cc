@@ -1,0 +1,69 @@
+#include "src/base/hash.h"
+
+#include <array>
+
+namespace flux {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::array<uint32_t, 256> BuildCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = BuildCrc32Table();
+  return table;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(ByteSpan data) {
+  Fnv1a64Hasher hasher;
+  hasher.Update(data);
+  return hasher.Digest();
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  Fnv1a64Hasher hasher;
+  hasher.Update(data);
+  return hasher.Digest();
+}
+
+void Fnv1a64Hasher::Update(ByteSpan data) {
+  uint64_t h = state_;
+  for (uint8_t byte : data) {
+    h ^= byte;
+    h *= kFnvPrime;
+  }
+  state_ = h;
+}
+
+void Fnv1a64Hasher::Update(std::string_view data) {
+  uint64_t h = state_;
+  for (char ch : data) {
+    h ^= static_cast<uint8_t>(ch);
+    h *= kFnvPrime;
+  }
+  state_ = h;
+}
+
+uint32_t Crc32(ByteSpan data) {
+  const auto& table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace flux

@@ -1,0 +1,34 @@
+// Content hashing used by the filesystem (rsync-style sync) and checkpoint
+// image integrity checks. FNV-1a is used as a cheap stable content hash;
+// CRC32 guards checkpoint image sections.
+#ifndef FLUX_SRC_BASE_HASH_H_
+#define FLUX_SRC_BASE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/base/bytes.h"
+
+namespace flux {
+
+// 64-bit FNV-1a over a byte span.
+uint64_t Fnv1a64(ByteSpan data);
+uint64_t Fnv1a64(std::string_view data);
+
+// Incremental FNV-1a, for hashing streamed content.
+class Fnv1a64Hasher {
+ public:
+  void Update(ByteSpan data);
+  void Update(std::string_view data);
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+uint32_t Crc32(ByteSpan data);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_HASH_H_

@@ -1,0 +1,51 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flux {
+
+namespace {
+
+LogLevel g_log_level = LogLevel::kWarning;
+
+std::string_view LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, std::string_view component)
+    : level_(level) {
+  stream_ << LevelTag(level) << "/" << component << ": ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace flux

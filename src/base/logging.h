@@ -1,0 +1,54 @@
+// Minimal leveled logging for the simulation.
+//
+// Log lines go to stderr and are prefixed with a severity tag and the
+// emitting component. The global level defaults to kWarning so tests and
+// benchmarks stay quiet; examples raise it to kInfo.
+#ifndef FLUX_SRC_BASE_LOGGING_H_
+#define FLUX_SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace flux {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Sets / reads the process-wide minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+// FLUX_LOG(kInfo, "migration") << "transferred " << bytes << " bytes";
+#define FLUX_LOG(level, component)                                 \
+  if (::flux::LogLevel::level >= ::flux::GetLogLevel())            \
+  ::flux::internal::LogMessage(::flux::LogLevel::level, component) \
+      .stream()
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_LOGGING_H_

@@ -1,0 +1,167 @@
+// Error handling primitives for the Flux reproduction.
+//
+// The simulation follows an error-code discipline (no exceptions for control
+// flow): fallible operations return Status or Result<T>. Status carries a
+// coarse StatusCode plus a human-readable message; Result<T> is a tagged
+// union of a value and a Status.
+#ifndef FLUX_SRC_BASE_RESULT_H_
+#define FLUX_SRC_BASE_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace flux {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kUnsupported,
+  kResourceExhausted,
+  kCorrupt,          // malformed serialized state / parse errors
+  kUnavailable,      // transient: device unreachable, link down
+  kInternal,
+};
+
+// Returns a stable, lowercase name for a status code ("ok", "not_found", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A Status is either OK or an error code with a message. Copyable, cheap when
+// OK (message stays empty).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>" for logging.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unsupported(std::string msg) {
+  return Status(StatusCode::kUnsupported, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status Corrupt(std::string msg) {
+  return Status(StatusCode::kCorrupt, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result<T>: holds either a T or a non-OK Status. Accessing value() on an
+// error (or status() semantics) is guarded by assertions in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk{};
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(data_);
+  }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Moves the value out; only valid when ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates errors from expressions returning Status.
+#define FLUX_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::flux::Status _flux_status = (expr);    \
+    if (!_flux_status.ok()) {                \
+      return _flux_status;                   \
+    }                                        \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs` or propagates the
+// error. Usage: FLUX_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define FLUX_ASSIGN_OR_RETURN(lhs, expr)                        \
+  FLUX_ASSIGN_OR_RETURN_IMPL_(                                  \
+      FLUX_RESULT_CONCAT_(_flux_result, __LINE__), lhs, expr)
+
+#define FLUX_RESULT_CONCAT_INNER_(a, b) a##b
+#define FLUX_RESULT_CONCAT_(a, b) FLUX_RESULT_CONCAT_INNER_(a, b)
+#define FLUX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).TakeValue()
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_RESULT_H_

@@ -1,0 +1,89 @@
+// Simulated time.
+//
+// The reproduction measures migration latencies on a virtual timeline: every
+// modeled operation (CPU work scaled by a device's speed factor, radio
+// transfers scaled by link bandwidth) advances a SimClock instead of
+// consuming wall-clock time. This keeps all reported numbers deterministic.
+//
+// Durations and timestamps are integer microseconds.
+#ifndef FLUX_SRC_BASE_SIM_CLOCK_H_
+#define FLUX_SRC_BASE_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace flux {
+
+// Microseconds. SimTime is a point on the world timeline, SimDuration a span.
+using SimTime = uint64_t;
+using SimDuration = int64_t;
+
+constexpr SimDuration Micros(int64_t n) { return n; }
+constexpr SimDuration Millis(int64_t n) { return n * 1000; }
+constexpr SimDuration Seconds(int64_t n) { return n * 1000 * 1000; }
+
+// Converts a fractional second count into a duration, rounding to micros.
+constexpr SimDuration FromSecondsF(double seconds) {
+  return static_cast<SimDuration>(seconds * 1e6);
+}
+
+constexpr double ToSecondsF(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+constexpr double ToMillisF(SimDuration d) {
+  return static_cast<double>(d) / 1e3;
+}
+
+// A monotonically advancing virtual clock.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  // Advances the clock; negative durations are ignored.
+  void Advance(SimDuration d) {
+    if (d > 0) {
+      now_ += static_cast<SimTime>(d);
+    }
+  }
+
+  // Jumps forward to `t` if it is in the future.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+// A named interval on the timeline, used for stage breakdowns (Figure 13).
+struct TimedInterval {
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  SimDuration duration() const {
+    return static_cast<SimDuration>(end - begin);
+  }
+};
+
+// RAII helper that stamps an interval around a scope.
+class ScopedTimer {
+ public:
+  ScopedTimer(SimClock& clock, TimedInterval& out)
+      : clock_(clock), out_(out) {
+    out_.begin = clock_.now();
+    out_.end = out_.begin;
+  }
+  ~ScopedTimer() { out_.end = clock_.now(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  SimClock& clock_;
+  TimedInterval& out_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_SIM_CLOCK_H_

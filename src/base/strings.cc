@@ -1,0 +1,96 @@
+#include "src/base/strings.h"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace flux {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplitSkipEmpty(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (auto& piece : StrSplit(text, sep)) {
+    if (!piece.empty()) {
+      out.push_back(std::move(piece));
+    }
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StrTrim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t' ||
+                         text[begin] == '\n' || text[begin] == '\r')) {
+    ++begin;
+  }
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\n' || text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StrStartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool StrEndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  if (bytes >= 1024ull * 1024 * 1024) {
+    return StrFormat("%.1f GB", static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  }
+  if (bytes >= 1024ull * 1024) {
+    return StrFormat("%.1f MB", static_cast<double>(bytes) / (1024.0 * 1024));
+  }
+  if (bytes >= 1024ull) {
+    return StrFormat("%.1f KB", static_cast<double>(bytes) / 1024.0);
+  }
+  return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+}  // namespace flux

@@ -1,0 +1,29 @@
+// Deterministic synthetic file / memory content.
+//
+// Checkpoint images, framework libraries and app data in the simulation are
+// real byte arrays that flow through hashing, compression, rsync and the
+// network model. This generator produces content that is (a) a pure function
+// of a seed — so the "same" framework file on two devices is byte-identical
+// and hard-linkable, and (b) tunably compressible — so compression ratios
+// resemble real process images rather than incompressible noise.
+#ifndef FLUX_SRC_BASE_SYNTHETIC_CONTENT_H_
+#define FLUX_SRC_BASE_SYNTHETIC_CONTENT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/base/bytes.h"
+
+namespace flux {
+
+// `compressibility` in [0,1]: 0 -> random noise (incompressible), 1 -> highly
+// repetitive. Around 0.5 yields the ~2x ratios typical of heap images.
+Bytes GenerateContent(uint64_t seed, uint64_t size, double compressibility);
+
+// Convenience wrapper seeded from a name string.
+Bytes GenerateNamedContent(std::string_view name, uint64_t size,
+                           double compressibility);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_SYNTHETIC_CONTENT_H_

@@ -1,0 +1,423 @@
+#include "src/binder/binder_driver.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+uint64_t BinderDriver::RegisterNode(Pid owner_pid,
+                                    std::shared_ptr<BinderObject> target) {
+  const uint64_t id = next_node_id_++;
+  Node node;
+  node.owner = owner_pid;
+  node.target = std::move(target);
+  nodes_.emplace(id, std::move(node));
+  return id;
+}
+
+Status BinderDriver::DestroyNode(uint64_t node_id) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) {
+    return NotFound("no such binder node");
+  }
+  it->second.alive = false;
+  it->second.target.reset();
+  // Fire death notifications for this node.
+  for (auto& link : death_links_) {
+    if (link.node_id == node_id && link.callback) {
+      link.callback(node_id);
+    }
+  }
+  death_links_.erase(
+      std::remove_if(death_links_.begin(), death_links_.end(),
+                     [node_id](const DeathLink& l) {
+                       return l.node_id == node_id;
+                     }),
+      death_links_.end());
+  return OkStatus();
+}
+
+bool BinderDriver::NodeAlive(uint64_t node_id) const {
+  auto it = nodes_.find(node_id);
+  return it != nodes_.end() && it->second.alive;
+}
+
+std::vector<std::pair<uint64_t, std::string>> BinderDriver::NodesOwnedBy(
+    Pid pid) const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (const auto& [id, node] : nodes_) {
+    if (node.owner == pid && node.alive && node.target) {
+      out.emplace_back(id, std::string(node.target->interface_name()));
+    }
+  }
+  return out;
+}
+
+Pid BinderDriver::NodeOwner(uint64_t node_id) const {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end() || !it->second.alive) {
+    return kInvalidPid;
+  }
+  return it->second.owner;
+}
+
+std::string_view BinderDriver::NodeInterface(uint64_t node_id) const {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end() || !it->second.alive || !it->second.target) {
+    return "";
+  }
+  return it->second.target->interface_name();
+}
+
+void BinderDriver::SetNodeServiceName(uint64_t node_id, std::string name) {
+  auto it = nodes_.find(node_id);
+  if (it != nodes_.end()) {
+    it->second.service_name = std::move(name);
+  }
+}
+
+std::string_view BinderDriver::NodeServiceName(uint64_t node_id) const {
+  auto it = nodes_.find(node_id);
+  return it == nodes_.end() ? std::string_view() : it->second.service_name;
+}
+
+Result<uint64_t> BinderDriver::FindNodeByServiceName(
+    std::string_view name) const {
+  for (const auto& [id, node] : nodes_) {
+    if (node.alive && node.service_name == name) {
+      return id;
+    }
+  }
+  return NotFound("no node registered as: " + std::string(name));
+}
+
+Result<uint64_t> BinderDriver::GetOrCreateHandle(Pid pid, uint64_t node_id) {
+  if (!NodeAlive(node_id)) {
+    return NotFound("binder node is dead");
+  }
+  ProcState& proc = procs_[pid];
+  for (auto& [handle, entry] : proc.handles) {
+    if (entry.node_id == node_id) {
+      ++entry.strong_refs;
+      return handle;
+    }
+  }
+  const uint64_t handle = proc.next_handle++;
+  proc.handles[handle] = BinderHandleEntry{handle, node_id, 1, 0};
+  return handle;
+}
+
+Result<uint64_t> BinderDriver::LookupNode(Pid pid, uint64_t handle) const {
+  if (handle == 0) {
+    if (context_manager_node_ == 0) {
+      return FailedPrecondition("no context manager registered");
+    }
+    return context_manager_node_;
+  }
+  auto proc_it = procs_.find(pid);
+  if (proc_it == procs_.end()) {
+    return NotFound(StrFormat("pid %d has no binder state", pid));
+  }
+  auto it = proc_it->second.handles.find(handle);
+  if (it == proc_it->second.handles.end()) {
+    return NotFound(StrFormat("pid %d: no handle %llu", pid,
+                              static_cast<unsigned long long>(handle)));
+  }
+  return it->second.node_id;
+}
+
+Status BinderDriver::InstallHandleAt(Pid pid, uint64_t handle,
+                                     uint64_t node_id, int strong_refs,
+                                     int weak_refs) {
+  if (handle == 0) {
+    return InvalidArgument("handle 0 is reserved for the context manager");
+  }
+  if (!NodeAlive(node_id)) {
+    return NotFound("cannot install handle to dead node");
+  }
+  ProcState& proc = procs_[pid];
+  if (proc.handles.count(handle) > 0) {
+    return AlreadyExists(
+        StrFormat("pid %d already has handle %llu", pid,
+                  static_cast<unsigned long long>(handle)));
+  }
+  proc.handles[handle] =
+      BinderHandleEntry{handle, node_id, strong_refs, weak_refs};
+  proc.next_handle = std::max(proc.next_handle, handle + 1);
+  return OkStatus();
+}
+
+Status BinderDriver::ReleaseHandle(Pid pid, uint64_t handle) {
+  auto proc_it = procs_.find(pid);
+  if (proc_it == procs_.end()) {
+    return NotFound("pid has no binder state");
+  }
+  auto it = proc_it->second.handles.find(handle);
+  if (it == proc_it->second.handles.end()) {
+    return NotFound("no such handle");
+  }
+  if (--it->second.strong_refs <= 0) {
+    proc_it->second.handles.erase(it);
+  }
+  return OkStatus();
+}
+
+std::vector<BinderHandleEntry> BinderDriver::HandleTableOf(Pid pid) const {
+  std::vector<BinderHandleEntry> out;
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return out;
+  }
+  out.reserve(it->second.handles.size());
+  for (const auto& [handle, entry] : it->second.handles) {
+    (void)handle;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+Status BinderDriver::TranslateOutgoing(Pid sender_pid, Parcel& parcel) {
+  for (size_t i = 0; i < parcel.size(); ++i) {
+    if (auto* ref = std::get_if<ParcelObjectRef>(&parcel.at(i))) {
+      if (ref->space == ParcelObjectRef::Space::kHandle) {
+        FLUX_ASSIGN_OR_RETURN(uint64_t node_id,
+                              LookupNode(sender_pid, ref->value));
+        ref->space = ParcelObjectRef::Space::kNode;
+        ref->value = node_id;
+      } else if (!NodeAlive(ref->value)) {
+        return NotFound("parcel references dead node");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status BinderDriver::TranslateIncoming(Pid sender_pid, Pid receiver_pid,
+                                       Parcel& parcel) {
+  for (size_t i = 0; i < parcel.size(); ++i) {
+    if (auto* ref = std::get_if<ParcelObjectRef>(&parcel.at(i))) {
+      if (ref->space == ParcelObjectRef::Space::kNode) {
+        FLUX_ASSIGN_OR_RETURN(uint64_t handle,
+                              GetOrCreateHandle(receiver_pid, ref->value));
+        ref->space = ParcelObjectRef::Space::kHandle;
+        ref->value = handle;
+      }
+    } else if (auto* fd_ref = std::get_if<ParcelFd>(&parcel.at(i))) {
+      // Dup the sender's fd object into the receiver's table.
+      if (kernel_ == nullptr) {
+        return Internal("binder driver has no kernel for fd translation");
+      }
+      SimProcess* sender = kernel_->FindProcess(sender_pid);
+      SimProcess* receiver = kernel_->FindProcess(receiver_pid);
+      if (sender == nullptr || receiver == nullptr) {
+        return NotFound("fd translation: sender or receiver process gone");
+      }
+      std::shared_ptr<FdObject> object = sender->LookupFd(fd_ref->fd);
+      if (object == nullptr) {
+        return NotFound(
+            StrFormat("fd translation: fd %d not open in pid %d", fd_ref->fd,
+                      sender_pid));
+      }
+      fd_ref->fd = receiver->InstallFd(std::move(object));
+    }
+  }
+  return OkStatus();
+}
+
+void BinderDriver::NotifyObservers(Pid sender_pid, uint64_t node_id,
+                                   std::string_view method,
+                                   const Parcel& original_args,
+                                   const Parcel* translated_reply, bool ok,
+                                   bool oneway) {
+  if (observers_.empty()) {
+    return;
+  }
+  TransactionInfo info;
+  info.time = clock_ != nullptr ? clock_->now() : 0;
+  info.client_pid = sender_pid;
+  info.client_uid = -1;
+  if (kernel_ != nullptr) {
+    if (SimProcess* sender = kernel_->FindProcess(sender_pid)) {
+      info.client_uid = sender->uid();
+    }
+  }
+  info.node_id = node_id;
+  auto node_it = nodes_.find(node_id);
+  if (node_it != nodes_.end()) {
+    info.service_name = node_it->second.service_name;
+    if (node_it->second.target) {
+      info.interface = std::string(node_it->second.target->interface_name());
+    }
+  }
+  info.method = std::string(method);
+  info.args = original_args;
+  if (translated_reply != nullptr) {
+    info.reply = *translated_reply;
+  }
+  info.ok = ok;
+  info.oneway = oneway;
+  for (TransactionObserver* observer : observers_) {
+    observer->OnTransaction(info);
+  }
+}
+
+Result<Parcel> BinderDriver::TransactInternal(Pid sender_pid, uint64_t node_id,
+                                              std::string_view method,
+                                              Parcel args) {
+  auto node_it = nodes_.find(node_id);
+  if (node_it == nodes_.end() || !node_it->second.alive ||
+      !node_it->second.target) {
+    return Unavailable("transaction to dead node");
+  }
+  Node& node = node_it->second;
+
+  if (clock_ != nullptr) {
+    clock_->Advance(transaction_cost_);
+  }
+  ++transaction_count_;
+
+  BinderCallContext context;
+  context.sender_pid = sender_pid;
+  context.sender_uid = -1;
+  if (kernel_ != nullptr) {
+    if (SimProcess* sender = kernel_->FindProcess(sender_pid)) {
+      context.sender_uid = sender->uid();
+    }
+  }
+  context.time = clock_ != nullptr ? clock_->now() : 0;
+  context.driver = this;
+
+  // Deliver: node-space refs become service-local handles; parcel fds are
+  // dup'd into the service process.
+  Parcel delivered = std::move(args);
+  FLUX_RETURN_IF_ERROR(TranslateIncoming(sender_pid, node.owner, delivered));
+  delivered.RewindRead();
+
+  Result<Parcel> reply = node.target->OnTransact(method, delivered, context);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+
+  // Translate the reply for the sender: node refs -> sender handles, service
+  // fds dup'd into the sender.
+  Parcel out = reply.TakeValue();
+  FLUX_RETURN_IF_ERROR(TranslateOutgoing(node.owner, out));
+  FLUX_RETURN_IF_ERROR(TranslateIncoming(node.owner, sender_pid, out));
+  out.RewindRead();
+  return out;
+}
+
+Result<Parcel> BinderDriver::Transact(Pid sender_pid, uint64_t handle,
+                                      std::string_view method, Parcel args) {
+  FLUX_ASSIGN_OR_RETURN(uint64_t node_id, LookupNode(sender_pid, handle));
+  const Parcel original_args = args;  // app's view, for observers
+  FLUX_RETURN_IF_ERROR(TranslateOutgoing(sender_pid, args));
+  Result<Parcel> reply =
+      TransactInternal(sender_pid, node_id, method, std::move(args));
+  NotifyObservers(sender_pid, node_id, method, original_args,
+                  reply.ok() ? &reply.value() : nullptr, reply.ok(),
+                  /*oneway=*/false);
+  return reply;
+}
+
+Status BinderDriver::TransactOneway(Pid sender_pid, uint64_t handle,
+                                    std::string_view method, Parcel args) {
+  FLUX_ASSIGN_OR_RETURN(uint64_t node_id, LookupNode(sender_pid, handle));
+  const Parcel original_args = args;
+  FLUX_RETURN_IF_ERROR(TranslateOutgoing(sender_pid, args));
+  const Pid owner = NodeOwner(node_id);
+  if (owner == kInvalidPid) {
+    return Unavailable("oneway transaction to dead node");
+  }
+  PendingAsyncTransaction txn;
+  txn.sender_pid = sender_pid;
+  txn.node_id = node_id;
+  txn.method = std::string(method);
+  txn.args = std::move(args);
+  procs_[owner].pending.push_back(std::move(txn));
+  // Client-side interposition sees the call when it is made, not delivered.
+  NotifyObservers(sender_pid, node_id, method, original_args,
+                  /*translated_reply=*/nullptr, /*ok=*/true, /*oneway=*/true);
+  return OkStatus();
+}
+
+Status BinderDriver::DeliverAsync(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return OkStatus();
+  }
+  std::vector<PendingAsyncTransaction> pending;
+  pending.swap(it->second.pending);
+  for (auto& txn : pending) {
+    auto reply = TransactInternal(txn.sender_pid, txn.node_id, txn.method,
+                                  std::move(txn.args));
+    if (!reply.ok()) {
+      FLUX_LOG(kWarning, "binder")
+          << "async delivery failed: " << reply.status().ToString();
+    }
+  }
+  return OkStatus();
+}
+
+const std::vector<PendingAsyncTransaction>& BinderDriver::PendingFor(
+    Pid pid) const {
+  static const std::vector<PendingAsyncTransaction> kEmpty;
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? kEmpty : it->second.pending;
+}
+
+uint64_t BinderDriver::PendingBufferBytes(Pid pid) const {
+  uint64_t total = 0;
+  for (const auto& txn : PendingFor(pid)) {
+    total += txn.args.WireSize() + txn.method.size() + 32;
+  }
+  return total;
+}
+
+void BinderDriver::InjectPendingAsync(Pid target_pid,
+                                      PendingAsyncTransaction txn) {
+  procs_[target_pid].pending.push_back(std::move(txn));
+}
+
+void BinderDriver::LinkToDeath(Pid pid, uint64_t handle,
+                               DeathCallback callback) {
+  auto node = LookupNode(pid, handle);
+  if (!node.ok()) {
+    return;
+  }
+  death_links_.push_back(DeathLink{pid, node.value(), std::move(callback)});
+}
+
+void BinderDriver::OnProcessExit(Pid pid) {
+  // Destroy nodes owned by this process (fires death notifications).
+  std::vector<uint64_t> owned;
+  for (const auto& [id, node] : nodes_) {
+    if (node.owner == pid && node.alive) {
+      owned.push_back(id);
+    }
+  }
+  for (uint64_t id : owned) {
+    (void)DestroyNode(id);
+  }
+  // Drop the process's own handle table, pending buffer, and death links.
+  procs_.erase(pid);
+  death_links_.erase(
+      std::remove_if(death_links_.begin(), death_links_.end(),
+                     [pid](const DeathLink& l) { return l.pid == pid; }),
+      death_links_.end());
+}
+
+void BinderDriver::AddObserver(TransactionObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void BinderDriver::RemoveObserver(TransactionObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+}  // namespace flux

@@ -1,0 +1,208 @@
+// Binder driver model (§2).
+//
+// Reproduces the Binder semantics Flux depends on:
+//  - services create *nodes*; clients reference nodes through per-process
+//    integer *handles*; a process cannot reach a node without being handed a
+//    reference by the node's owner or another holder;
+//  - object references and file descriptors embedded in parcels are
+//    translated by the driver as they cross process boundaries;
+//  - handle 0 is the context manager (the userspace ServiceManager);
+//  - one-way (async) transactions queue in the target's transaction buffer;
+//  - node owners dying fire death notifications to registered recipients.
+//
+// Two Flux-specific seams are exposed:
+//  - TransactionObserver: framework-level interposition used by Selective
+//    Record (§3.2) to see every app->service call;
+//  - handle-table dump/inject: CRIA checkpoints each app process's handle
+//    table and re-injects references *with the previously issued handle
+//    numbers* on the guest (§3.3).
+#ifndef FLUX_SRC_BINDER_BINDER_DRIVER_H_
+#define FLUX_SRC_BINDER_BINDER_DRIVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/sim_clock.h"
+#include "src/binder/parcel.h"
+#include "src/kernel/ids.h"
+
+namespace flux {
+
+class BinderDriver;
+class SimKernel;
+
+struct BinderCallContext {
+  Pid sender_pid = kInvalidPid;
+  Uid sender_uid = -1;
+  SimTime time = 0;
+  BinderDriver* driver = nullptr;
+};
+
+// Service-side dispatch target for a Binder node.
+class BinderObject {
+ public:
+  virtual ~BinderObject() = default;
+
+  // Fully qualified AIDL interface name, e.g. "android.app.INotificationManager".
+  virtual std::string_view interface_name() const = 0;
+
+  virtual Result<Parcel> OnTransact(std::string_view method,
+                                    const Parcel& args,
+                                    const BinderCallContext& context) = 0;
+};
+
+// A transaction as seen by observers. Selective Record interposes at the
+// *client-side* framework library (§3.2), so observers see the call from the
+// app's perspective: `args` exactly as the app wrote them, and `reply` after
+// full translation into the app (handles in the app's table, fds dup'd into
+// the app). Oneway calls are observed at call time with an empty reply.
+struct TransactionInfo {
+  SimTime time = 0;
+  Pid client_pid = kInvalidPid;
+  Uid client_uid = -1;
+  uint64_t node_id = 0;
+  std::string service_name;  // empty if node not registered with ServiceManager
+  std::string interface;
+  std::string method;
+  Parcel args;
+  Parcel reply;
+  bool ok = false;
+  bool oneway = false;
+};
+
+class TransactionObserver {
+ public:
+  virtual ~TransactionObserver() = default;
+  virtual void OnTransaction(const TransactionInfo& info) = 0;
+};
+
+struct BinderHandleEntry {
+  uint64_t handle = 0;
+  uint64_t node_id = 0;
+  int strong_refs = 0;
+  int weak_refs = 0;
+};
+
+// Queued one-way transaction occupying the target's transaction buffer.
+struct PendingAsyncTransaction {
+  Pid sender_pid = kInvalidPid;
+  uint64_t node_id = 0;
+  std::string method;
+  Parcel args;
+};
+
+class BinderDriver {
+ public:
+  // `kernel` is used for fd translation (dup into receiver fd tables).
+  explicit BinderDriver(SimKernel* kernel, SimClock* clock)
+      : kernel_(kernel), clock_(clock) {}
+
+  // ----- nodes -----
+  uint64_t RegisterNode(Pid owner_pid, std::shared_ptr<BinderObject> target);
+  Status DestroyNode(uint64_t node_id);
+  bool NodeAlive(uint64_t node_id) const;
+  // Live nodes owned by `pid` with their interface names (CRIA enumerates
+  // these to restore the app's own Binder objects, §3.3).
+  std::vector<std::pair<uint64_t, std::string>> NodesOwnedBy(Pid pid) const;
+  Pid NodeOwner(uint64_t node_id) const;  // kInvalidPid if dead
+  std::string_view NodeInterface(uint64_t node_id) const;
+
+  // Context manager (ServiceManager) — reachable as handle 0 from everyone.
+  void SetContextManager(uint64_t node_id) { context_manager_node_ = node_id; }
+  uint64_t context_manager_node() const { return context_manager_node_; }
+
+  // Name registration: maintained by the ServiceManager so observers and
+  // CRIA can classify handles (system service vs other).
+  void SetNodeServiceName(uint64_t node_id, std::string name);
+  std::string_view NodeServiceName(uint64_t node_id) const;
+  Result<uint64_t> FindNodeByServiceName(std::string_view name) const;
+
+  // ----- handles -----
+  // Returns pid's handle for node, creating one if needed (takes a strong ref).
+  Result<uint64_t> GetOrCreateHandle(Pid pid, uint64_t node_id);
+  Result<uint64_t> LookupNode(Pid pid, uint64_t handle) const;
+  // Restore path: install a reference to node under a *specific* handle.
+  Status InstallHandleAt(Pid pid, uint64_t handle, uint64_t node_id,
+                         int strong_refs, int weak_refs);
+  Status ReleaseHandle(Pid pid, uint64_t handle);
+  std::vector<BinderHandleEntry> HandleTableOf(Pid pid) const;
+
+  // ----- transactions -----
+  // Synchronous transaction to `handle` of `sender_pid`.
+  Result<Parcel> Transact(Pid sender_pid, uint64_t handle,
+                          std::string_view method, Parcel args);
+  // One-way: queues in the target's buffer; delivered by DeliverAsync.
+  Status TransactOneway(Pid sender_pid, uint64_t handle,
+                        std::string_view method, Parcel args);
+  // Delivers all queued one-way transactions targeted at nodes owned by pid.
+  Status DeliverAsync(Pid pid);
+  const std::vector<PendingAsyncTransaction>& PendingFor(Pid pid) const;
+  uint64_t PendingBufferBytes(Pid pid) const;
+  // CRIA restore: re-queue a checkpointed async transaction.
+  void InjectPendingAsync(Pid target_pid, PendingAsyncTransaction txn);
+
+  // ----- death notification -----
+  using DeathCallback = std::function<void(uint64_t node_id)>;
+  void LinkToDeath(Pid pid, uint64_t handle, DeathCallback callback);
+  // Called when a process exits: destroys its nodes (firing death
+  // notifications), drops its handles and pending transactions.
+  void OnProcessExit(Pid pid);
+
+  // ----- observation (Selective Record seam) -----
+  void AddObserver(TransactionObserver* observer);
+  void RemoveObserver(TransactionObserver* observer);
+
+  // Per-transaction bookkeeping cost applied to the simulated clock; the
+  // record path adds its own cost on top (measured ~negligible, Figure 16).
+  void set_transaction_cost(SimDuration cost) { transaction_cost_ = cost; }
+
+  uint64_t transaction_count() const { return transaction_count_; }
+
+ private:
+  struct Node {
+    Pid owner = kInvalidPid;
+    std::shared_ptr<BinderObject> target;
+    std::string service_name;
+    bool alive = true;
+  };
+  struct ProcState {
+    std::map<uint64_t, BinderHandleEntry> handles;
+    uint64_t next_handle = 1;  // 0 is the context manager
+    std::vector<PendingAsyncTransaction> pending;
+  };
+  struct DeathLink {
+    Pid pid = kInvalidPid;
+    uint64_t node_id = 0;
+    DeathCallback callback;
+  };
+
+  // Converts outgoing handle refs to node refs; validates them.
+  Status TranslateOutgoing(Pid sender_pid, Parcel& parcel);
+  // Converts node refs to receiver handles and dups fds into the receiver.
+  Status TranslateIncoming(Pid sender_pid, Pid receiver_pid, Parcel& parcel);
+
+  Result<Parcel> TransactInternal(Pid sender_pid, uint64_t node_id,
+                                  std::string_view method, Parcel args);
+  void NotifyObservers(Pid sender_pid, uint64_t node_id,
+                       std::string_view method, const Parcel& original_args,
+                       const Parcel* translated_reply, bool ok, bool oneway);
+
+  SimKernel* kernel_;
+  SimClock* clock_;
+  uint64_t next_node_id_ = 1;
+  uint64_t context_manager_node_ = 0;
+  std::map<uint64_t, Node> nodes_;
+  std::map<Pid, ProcState> procs_;
+  std::vector<DeathLink> death_links_;
+  std::vector<TransactionObserver*> observers_;
+  SimDuration transaction_cost_ = Micros(60);
+  uint64_t transaction_count_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BINDER_BINDER_DRIVER_H_

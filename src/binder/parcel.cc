@@ -1,0 +1,268 @@
+#include "src/binder/parcel.h"
+
+#include "src/base/strings.h"
+
+namespace flux {
+
+namespace {
+
+enum ValueKind : uint8_t {
+  kKindBool = 0,
+  kKindI32,
+  kKindI64,
+  kKindF64,
+  kKindString,
+  kKindBytes,
+  kKindObject,
+  kKindFd,
+};
+
+}  // namespace
+
+std::string ParcelValueToString(const ParcelValue& value) {
+  struct Visitor {
+    std::string operator()(bool v) const { return v ? "true" : "false"; }
+    std::string operator()(int32_t v) const { return StrFormat("%d", v); }
+    std::string operator()(int64_t v) const {
+      return StrFormat("%lld", static_cast<long long>(v));
+    }
+    std::string operator()(double v) const { return StrFormat("%g", v); }
+    std::string operator()(const std::string& v) const { return "\"" + v + "\""; }
+    std::string operator()(const Bytes& v) const {
+      return StrFormat("bytes[%zu]", v.size());
+    }
+    std::string operator()(const ParcelObjectRef& v) const {
+      return StrFormat("%s:%llu",
+                       v.space == ParcelObjectRef::Space::kHandle ? "handle"
+                                                                  : "node",
+                       static_cast<unsigned long long>(v.value));
+    }
+    std::string operator()(const ParcelFd& v) const {
+      return StrFormat("fd:%d", v.fd);
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+void Parcel::WriteNamed(std::string_view name, ParcelValue value) {
+  Append(name, std::move(value));
+}
+
+void Parcel::Append(std::string_view name, ParcelValue value) {
+  values_.push_back(std::move(value));
+  names_.emplace_back(name);
+}
+
+Result<const ParcelValue*> Parcel::Next() const {
+  if (read_pos_ >= values_.size()) {
+    return FailedPrecondition("parcel read past end");
+  }
+  return &values_[read_pos_++];
+}
+
+Result<bool> Parcel::ReadBool() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const bool* b = std::get_if<bool>(v)) {
+    return *b;
+  }
+  return FailedPrecondition("parcel type mismatch: expected bool");
+}
+
+Result<int32_t> Parcel::ReadI32() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const int32_t* i = std::get_if<int32_t>(v)) {
+    return *i;
+  }
+  return FailedPrecondition("parcel type mismatch: expected i32");
+}
+
+Result<int64_t> Parcel::ReadI64() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const int64_t* i = std::get_if<int64_t>(v)) {
+    return *i;
+  }
+  if (const int32_t* i32 = std::get_if<int32_t>(v)) {
+    return static_cast<int64_t>(*i32);
+  }
+  return FailedPrecondition("parcel type mismatch: expected i64");
+}
+
+Result<double> Parcel::ReadF64() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const double* d = std::get_if<double>(v)) {
+    return *d;
+  }
+  return FailedPrecondition("parcel type mismatch: expected f64");
+}
+
+Result<std::string> Parcel::ReadString() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const std::string* s = std::get_if<std::string>(v)) {
+    return *s;
+  }
+  return FailedPrecondition("parcel type mismatch: expected string");
+}
+
+Result<Bytes> Parcel::ReadBytes() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const Bytes* b = std::get_if<Bytes>(v)) {
+    return *b;
+  }
+  return FailedPrecondition("parcel type mismatch: expected bytes");
+}
+
+Result<ParcelObjectRef> Parcel::ReadObject() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const ParcelObjectRef* o = std::get_if<ParcelObjectRef>(v)) {
+    return *o;
+  }
+  return FailedPrecondition("parcel type mismatch: expected object ref");
+}
+
+Result<Fd> Parcel::ReadFd() const {
+  FLUX_ASSIGN_OR_RETURN(const ParcelValue* v, Next());
+  if (const ParcelFd* f = std::get_if<ParcelFd>(v)) {
+    return f->fd;
+  }
+  return FailedPrecondition("parcel type mismatch: expected fd");
+}
+
+const ParcelValue* Parcel::FindNamed(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return &values_[i];
+    }
+  }
+  return nullptr;
+}
+
+uint64_t Parcel::WireSize() const {
+  uint64_t total = 0;
+  for (const auto& value : values_) {
+    struct Visitor {
+      uint64_t operator()(bool) const { return 4; }
+      uint64_t operator()(int32_t) const { return 4; }
+      uint64_t operator()(int64_t) const { return 8; }
+      uint64_t operator()(double) const { return 8; }
+      uint64_t operator()(const std::string& s) const { return 4 + s.size(); }
+      uint64_t operator()(const Bytes& b) const { return 4 + b.size(); }
+      uint64_t operator()(const ParcelObjectRef&) const { return 16; }
+      uint64_t operator()(const ParcelFd&) const { return 8; }
+    };
+    total += std::visit(Visitor{}, value);
+  }
+  return total;
+}
+
+std::string Parcel::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    if (!names_[i].empty()) {
+      out += names_[i];
+      out += "=";
+    }
+    out += ParcelValueToString(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+void Parcel::Serialize(ArchiveWriter& out) const {
+  out.PutU64(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.PutString(names_[i]);
+    const ParcelValue& value = values_[i];
+    out.PutU8(static_cast<uint8_t>(value.index()));
+    struct Visitor {
+      ArchiveWriter& w;
+      void operator()(bool v) const { w.PutBool(v); }
+      void operator()(int32_t v) const { w.PutI64(v); }
+      void operator()(int64_t v) const { w.PutI64(v); }
+      void operator()(double v) const { w.PutF64(v); }
+      void operator()(const std::string& v) const { w.PutString(v); }
+      void operator()(const Bytes& v) const {
+        w.PutBytes(ByteSpan(v.data(), v.size()));
+      }
+      void operator()(const ParcelObjectRef& v) const {
+        w.PutU8(static_cast<uint8_t>(v.space));
+        w.PutU64(v.value);
+      }
+      void operator()(const ParcelFd& v) const { w.PutI64(v.fd); }
+    };
+    std::visit(Visitor{out}, value);
+  }
+}
+
+Result<Parcel> Parcel::Deserialize(ArchiveReader& in) {
+  Parcel parcel;
+  uint64_t count = 0;
+  FLUX_RETURN_IF_ERROR(in.GetU64(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    FLUX_RETURN_IF_ERROR(in.GetString(name));
+    uint8_t kind = 0;
+    FLUX_RETURN_IF_ERROR(in.GetU8(kind));
+    switch (kind) {
+      case kKindBool: {
+        bool v = false;
+        FLUX_RETURN_IF_ERROR(in.GetBool(v));
+        parcel.Append(name, v);
+        break;
+      }
+      case kKindI32: {
+        int64_t v = 0;
+        FLUX_RETURN_IF_ERROR(in.GetI64(v));
+        parcel.Append(name, static_cast<int32_t>(v));
+        break;
+      }
+      case kKindI64: {
+        int64_t v = 0;
+        FLUX_RETURN_IF_ERROR(in.GetI64(v));
+        parcel.Append(name, v);
+        break;
+      }
+      case kKindF64: {
+        double v = 0;
+        FLUX_RETURN_IF_ERROR(in.GetF64(v));
+        parcel.Append(name, v);
+        break;
+      }
+      case kKindString: {
+        std::string v;
+        FLUX_RETURN_IF_ERROR(in.GetString(v));
+        parcel.Append(name, std::move(v));
+        break;
+      }
+      case kKindBytes: {
+        Bytes v;
+        FLUX_RETURN_IF_ERROR(in.GetBytes(v));
+        parcel.Append(name, std::move(v));
+        break;
+      }
+      case kKindObject: {
+        uint8_t space = 0;
+        uint64_t value = 0;
+        FLUX_RETURN_IF_ERROR(in.GetU8(space));
+        FLUX_RETURN_IF_ERROR(in.GetU64(value));
+        parcel.Append(
+            name, ParcelObjectRef{static_cast<ParcelObjectRef::Space>(space),
+                                  value});
+        break;
+      }
+      case kKindFd: {
+        int64_t fd = 0;
+        FLUX_RETURN_IF_ERROR(in.GetI64(fd));
+        parcel.Append(name, ParcelFd{static_cast<Fd>(fd)});
+        break;
+      }
+      default:
+        return Corrupt("parcel: unknown value kind");
+    }
+  }
+  return parcel;
+}
+
+}  // namespace flux

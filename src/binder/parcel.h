@@ -1,0 +1,121 @@
+// Parcel: the typed payload of a Binder transaction.
+//
+// Values are appended in order and read back in order, as in Android. Two
+// properties matter to Flux beyond plain marshalling:
+//  - Parcels must serialize (the call log stores them, and CRIA checkpoints
+//    in-flight async transaction buffers);
+//  - individual argument values must be extractable and comparable by name,
+//    because @if decorations match drop signatures on named arguments
+//    (e.g. "@if id" on cancelNotification, §3.2).
+//
+// Object references: a parcel value can carry a Binder object. While a
+// parcel is being built by a client it holds the *sender's handle*; the
+// driver translates it to a node id in transit and to a receiver-local
+// handle on delivery. Services writing their own freshly created objects
+// write node ids directly.
+#ifndef FLUX_SRC_BINDER_PARCEL_H_
+#define FLUX_SRC_BINDER_PARCEL_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/base/archive.h"
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+#include "src/kernel/ids.h"
+
+namespace flux {
+
+// A Binder object reference inside a parcel.
+struct ParcelObjectRef {
+  enum class Space : uint8_t {
+    kHandle = 0,  // valid in the holder process's handle table
+    kNode = 1,    // canonical node id (in transit / written by owner)
+  };
+  Space space = Space::kHandle;
+  uint64_t value = 0;
+
+  bool operator==(const ParcelObjectRef&) const = default;
+};
+
+// A file descriptor in a parcel (dup'd into the receiver on delivery).
+struct ParcelFd {
+  Fd fd = kInvalidFd;
+  bool operator==(const ParcelFd&) const = default;
+};
+
+using ParcelValue = std::variant<bool, int32_t, int64_t, double, std::string,
+                                 Bytes, ParcelObjectRef, ParcelFd>;
+
+// Human-readable rendering, used by the call log and error messages.
+std::string ParcelValueToString(const ParcelValue& value);
+
+class Parcel {
+ public:
+  // ----- writing -----
+  void WriteBool(bool v) { Append("", v); }
+  void WriteI32(int32_t v) { Append("", v); }
+  void WriteI64(int64_t v) { Append("", v); }
+  void WriteF64(double v) { Append("", v); }
+  void WriteString(std::string v) { Append("", std::move(v)); }
+  void WriteBytes(Bytes v) { Append("", std::move(v)); }
+  void WriteHandle(uint64_t handle) {
+    Append("", ParcelObjectRef{ParcelObjectRef::Space::kHandle, handle});
+  }
+  void WriteNode(uint64_t node_id) {
+    Append("", ParcelObjectRef{ParcelObjectRef::Space::kNode, node_id});
+  }
+  void WriteFd(Fd fd) { Append("", ParcelFd{fd}); }
+
+  // Named variants: AIDL-generated code names arguments so that record
+  // rules can match @if signatures.
+  void WriteNamed(std::string_view name, ParcelValue value);
+
+  // ----- reading (sequential) -----
+  Result<bool> ReadBool() const;
+  Result<int32_t> ReadI32() const;
+  Result<int64_t> ReadI64() const;
+  Result<double> ReadF64() const;
+  Result<std::string> ReadString() const;
+  Result<Bytes> ReadBytes() const;
+  Result<ParcelObjectRef> ReadObject() const;
+  Result<Fd> ReadFd() const;
+  void RewindRead() const { read_pos_ = 0; }
+
+  // ----- introspection -----
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const ParcelValue& at(size_t i) const { return values_[i]; }
+  ParcelValue& at(size_t i) { return values_[i]; }
+  const std::string& name_at(size_t i) const { return names_[i]; }
+
+  // Finds a value by argument name; nullptr if absent.
+  const ParcelValue* FindNamed(std::string_view name) const;
+
+  // Approximate wire size in bytes, for transaction buffer accounting.
+  uint64_t WireSize() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Parcel& other) const {
+    return values_ == other.values_ && names_ == other.names_;
+  }
+
+  // ----- serialization -----
+  void Serialize(ArchiveWriter& out) const;
+  static Result<Parcel> Deserialize(ArchiveReader& in);
+
+ private:
+  void Append(std::string_view name, ParcelValue value);
+  Result<const ParcelValue*> Next() const;
+
+  std::vector<ParcelValue> values_;
+  std::vector<std::string> names_;
+  mutable size_t read_pos_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BINDER_PARCEL_H_

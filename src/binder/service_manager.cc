@@ -1,0 +1,90 @@
+#include "src/binder/service_manager.h"
+
+namespace flux {
+
+std::shared_ptr<ServiceManager> ServiceManager::Install(BinderDriver& driver,
+                                                        Pid pid) {
+  auto manager = std::shared_ptr<ServiceManager>(new ServiceManager(driver));
+  const uint64_t node_id = driver.RegisterNode(pid, manager);
+  driver.SetContextManager(node_id);
+  driver.SetNodeServiceName(node_id, "servicemanager");
+  return manager;
+}
+
+Result<Parcel> ServiceManager::OnTransact(std::string_view method,
+                                          const Parcel& args,
+                                          const BinderCallContext& context) {
+  (void)context;
+  if (method == "addService") {
+    FLUX_ASSIGN_OR_RETURN(std::string name, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef ref, args.ReadObject());
+    if (ref.space != ParcelObjectRef::Space::kHandle) {
+      return InvalidArgument("addService: expected translated handle");
+    }
+    // The manager resolves the caller-provided reference in its own handle
+    // space (the driver translated it on delivery).
+    FLUX_ASSIGN_OR_RETURN(uint64_t node_id,
+                          driver_.LookupNode(driver_.NodeOwner(
+                                                 driver_.context_manager_node()),
+                                             ref.value));
+    FLUX_RETURN_IF_ERROR(AddService(std::move(name), node_id));
+    return Parcel();
+  }
+  if (method == "getService") {
+    FLUX_ASSIGN_OR_RETURN(std::string name, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(uint64_t node_id, GetServiceNode(name));
+    Parcel reply;
+    reply.WriteNode(node_id);
+    return reply;
+  }
+  if (method == "listServices") {
+    Parcel reply;
+    for (const auto& name : ListServices()) {
+      reply.WriteString(name);
+    }
+    return reply;
+  }
+  return Unsupported("IServiceManager: unknown method " + std::string(method));
+}
+
+Status ServiceManager::AddService(std::string name, uint64_t node_id) {
+  if (!driver_.NodeAlive(node_id)) {
+    return NotFound("addService: dead node");
+  }
+  driver_.SetNodeServiceName(node_id, name);
+  registry_[std::move(name)] = node_id;
+  return OkStatus();
+}
+
+Result<uint64_t> ServiceManager::GetServiceNode(std::string_view name) const {
+  auto it = registry_.find(std::string(name));
+  if (it == registry_.end()) {
+    return NotFound("no such service: " + std::string(name));
+  }
+  if (!driver_.NodeAlive(it->second)) {
+    return Unavailable("service node dead: " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<uint64_t> ServiceManager::GetServiceHandle(Pid client_pid,
+                                                  std::string_view name) {
+  FLUX_ASSIGN_OR_RETURN(uint64_t node_id, GetServiceNode(name));
+  return driver_.GetOrCreateHandle(client_pid, node_id);
+}
+
+bool ServiceManager::HasService(std::string_view name) const {
+  return registry_.count(std::string(name)) > 0;
+}
+
+std::vector<std::string> ServiceManager::ListServices() const {
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, node] : registry_) {
+    (void)node;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace flux

@@ -1,0 +1,51 @@
+// The userspace ServiceManager (§2).
+//
+// Services register a name -> Binder reference; clients resolve names to
+// handles. It is itself a Binder node, installed as the context manager
+// (handle 0). CRIA's restore path asks the *guest* ServiceManager for
+// references to equivalent services and injects them under the handle
+// numbers the app held on the home device (§3.3).
+#ifndef FLUX_SRC_BINDER_SERVICE_MANAGER_H_
+#define FLUX_SRC_BINDER_SERVICE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/binder/binder_driver.h"
+
+namespace flux {
+
+class ServiceManager : public BinderObject {
+ public:
+  // Registers the manager with the driver as the context manager node.
+  // `pid` is the servicemanager process.
+  static std::shared_ptr<ServiceManager> Install(BinderDriver& driver,
+                                                 Pid pid);
+
+  std::string_view interface_name() const override {
+    return "android.os.IServiceManager";
+  }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // ----- direct (in-process) API used by system services -----
+  Status AddService(std::string name, uint64_t node_id);
+  Result<uint64_t> GetServiceNode(std::string_view name) const;
+  // Resolves to a handle in `client_pid`'s table.
+  Result<uint64_t> GetServiceHandle(Pid client_pid, std::string_view name);
+  bool HasService(std::string_view name) const;
+  std::vector<std::string> ListServices() const;
+
+ private:
+  explicit ServiceManager(BinderDriver& driver) : driver_(driver) {}
+
+  BinderDriver& driver_;
+  std::map<std::string, uint64_t> registry_;  // name -> node id
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BINDER_SERVICE_MANAGER_H_

@@ -1,0 +1,232 @@
+#include "src/device/device.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/base/synthetic_content.h"
+#include "src/framework/intent.h"
+
+namespace flux {
+
+Device::Device(std::string name, DeviceProfile profile, SimClock* clock,
+               WifiNetwork* wifi)
+    : name_(std::move(name)),
+      profile_(std::move(profile)),
+      clock_(clock),
+      wifi_(wifi),
+      kernel_(profile_.kernel_version, /*pmem_pool=*/profile_.ram_bytes / 4),
+      binder_(&kernel_, clock),
+      egl_(&kernel_, profile_.gpu) {
+  context_.device_name = name_;
+  context_.android_version = profile_.android_version;
+  context_.api_level = profile_.api_level;
+  context_.kernel = &kernel_;
+  context_.binder = &binder_;
+  context_.filesystem = &filesystem_;
+  context_.egl = &egl_;
+  context_.wifi = wifi_;
+  context_.clock = clock_;
+  context_.record_rules = &record_rules_;
+  context_.radio = profile_.radio;
+  context_.display = profile_.display;
+  context_.cpu_factor = profile_.cpu_factor;
+  context_.has_gps = profile_.has_gps;
+  context_.has_gyroscope = profile_.has_gyroscope;
+  context_.has_camera = profile_.has_camera;
+  context_.has_vibrator = profile_.has_vibrator;
+  context_.max_music_volume = profile_.max_music_volume;
+}
+
+Status Device::Boot(const BootOptions& options) {
+  if (booted_) {
+    return FailedPrecondition("device already booted: " + name_);
+  }
+  // servicemanager is the first userspace process: it becomes the Binder
+  // context manager.
+  SimProcess& sm_process = kernel_.CreateProcess("servicemanager", 0);
+  service_manager_ = ServiceManager::Install(binder_, sm_process.pid());
+  context_.service_manager = service_manager_.get();
+
+  SimProcess& server_process =
+      kernel_.CreateProcess("system_server", kSystemUid);
+  system_server_ = std::make_unique<SystemServer>(context_, server_process.pid());
+  SystemServer& server = *system_server_;
+
+  auto install = [&](auto service_ptr, auto*& slot) -> Status {
+    slot = service_ptr.get();
+    return server.Install(std::move(service_ptr));
+  };
+
+  FLUX_RETURN_IF_ERROR(install(
+      std::make_shared<WindowManagerService>(context_), window_manager_));
+  FLUX_RETURN_IF_ERROR(install(
+      std::make_shared<ActivityManagerService>(context_), activity_manager_));
+  activity_manager_->SetWindowManager(window_manager_);
+  FLUX_RETURN_IF_ERROR(install(
+      std::make_shared<PackageManagerService>(context_), package_manager_));
+  FLUX_RETURN_IF_ERROR(
+      install(std::make_shared<NotificationManagerService>(context_),
+              notification_service_));
+  FLUX_RETURN_IF_ERROR(install(std::make_shared<AlarmManagerService>(context_),
+                               alarm_service_));
+  alarm_service_->SetIntentSink([this](const Intent& intent) {
+    activity_manager_->BroadcastIntent(intent);
+  });
+  FLUX_RETURN_IF_ERROR(
+      install(std::make_shared<SensorService>(context_), sensor_service_));
+  FLUX_RETURN_IF_ERROR(RegisterNativeSensorRules(server));
+  FLUX_RETURN_IF_ERROR(
+      install(std::make_shared<AudioService>(context_), audio_service_));
+  FLUX_RETURN_IF_ERROR(
+      install(std::make_shared<WifiService>(context_), wifi_service_));
+  FLUX_RETURN_IF_ERROR(
+      install(std::make_shared<ConnectivityManagerService>(context_),
+              connectivity_service_));
+  FLUX_RETURN_IF_ERROR(install(
+      std::make_shared<LocationManagerService>(context_), location_service_));
+  FLUX_RETURN_IF_ERROR(
+      install(std::make_shared<PowerManagerService>(context_), power_service_));
+  FLUX_RETURN_IF_ERROR(install(std::make_shared<ClipboardService>(context_),
+                               clipboard_service_));
+  FLUX_RETURN_IF_ERROR(install(std::make_shared<VibratorService>(context_),
+                               vibrator_service_));
+  FLUX_RETURN_IF_ERROR(install(
+      std::make_shared<ContentProviderService>(context_), content_service_));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<InputMethodManagerService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<InputManagerService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<CameraManagerService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<CountryDetectorService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<KeyguardService>(context_)));
+  FLUX_RETURN_IF_ERROR(server.Install(std::make_shared<NsdService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<TextServicesManagerService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<UiModeManagerService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<BluetoothService>(context_)));
+  FLUX_RETURN_IF_ERROR(
+      server.Install(std::make_shared<SerialService>(context_)));
+  FLUX_RETURN_IF_ERROR(server.Install(std::make_shared<UsbService>(context_)));
+
+  FLUX_RETURN_IF_ERROR(PopulateSystemPartition(options.framework_scale));
+  FLUX_RETURN_IF_ERROR(filesystem_.Mkdirs("/data/app"));
+  FLUX_RETURN_IF_ERROR(filesystem_.Mkdirs("/data/data"));
+  FLUX_RETURN_IF_ERROR(filesystem_.Mkdirs("/sdcard"));
+
+  booted_ = true;
+  FLUX_LOG(kInfo, "device") << name_ << " (" << profile_.model
+                            << ") booted, kernel " << profile_.kernel_version;
+  return OkStatus();
+}
+
+Status Device::PopulateSystemPartition(double scale) {
+  // The framework/library set pairing must sync (§4): a shared portion that
+  // is byte-identical across devices on the same Android build (seeded by
+  // build + path only) and a device-specific portion (vendor blobs, device
+  // trees; seeded also by the SoC). At scale 1.0 this yields ~215 MB of
+  // constant data of which ~92 MB is shareable, matching the paper's
+  // measurement.
+  struct Spec {
+    const char* dir;
+    int files;
+    uint64_t bytes_each;
+    bool device_specific;
+    double compressibility;
+  };
+  // Composition calibrated to the paper's pairing measurement (§4): ~215 MB
+  // of constant data, of which ~43% is identical across devices on the same
+  // build (hard-linkable) and the remaining ~123 MB compresses ~2.2x.
+  const Spec specs[] = {
+      {"/system/framework", 37, 2 * 1024 * 1024, false, 0.62},
+      {"/system/lib", 90, 128 * 1024, false, 0.60},
+      {"/system/app", 45, 1 * 1024 * 1024, true, 0.63},
+      {"/system/vendor/lib", 50, 1 * 1024 * 1024, true, 0.63},
+      {"/system/vendor/firmware", 7, 4 * 1024 * 1024, true, 0.63},
+      {"/system/bin", 50, 96 * 1024, false, 0.60},
+      {"/system/etc", 40, 32 * 1024, true, 0.75},
+  };
+  // Named framework artifacts that app processes map directly.
+  FLUX_RETURN_IF_ERROR(filesystem_.WriteFile(
+      "/system/framework/core.jar",
+      GenerateNamedContent(profile_.android_version + ":/system/framework/core.jar",
+                           std::max<uint64_t>(4096, static_cast<uint64_t>(
+                                                        2.0 * 1024 * 1024 * scale)),
+                           0.6)));
+  for (const auto& spec : specs) {
+    for (int i = 0; i < spec.files; ++i) {
+      const uint64_t size =
+          std::max<uint64_t>(1024, static_cast<uint64_t>(
+                                       static_cast<double>(spec.bytes_each) *
+                                       scale));
+      const std::string path = StrFormat("%s/file_%03d.bin", spec.dir, i);
+      // Device-specific content is a function of the *device model* (vendor
+      // blobs and device trees differ even between devices sharing a SoC).
+      const std::string seed_name =
+          spec.device_specific
+              ? StrFormat("%s:%s:%s:%s", profile_.android_version.c_str(),
+                          profile_.model.c_str(), profile_.soc.c_str(),
+                          path.c_str())
+              : StrFormat("%s:%s", profile_.android_version.c_str(),
+                          path.c_str());
+      FLUX_RETURN_IF_ERROR(filesystem_.WriteFile(
+          path,
+          GenerateNamedContent(seed_name, size, spec.compressibility)));
+    }
+  }
+  return OkStatus();
+}
+
+SimProcess& Device::CreateAppProcess(const std::string& package, Uid uid) {
+  SimProcess& process = kernel_.CreateProcess(package, uid);
+  // Standard app mappings: main stack and the zygote-inherited runtime.
+  MemorySegment stack;
+  stack.name = "[stack]";
+  stack.kind = SegmentKind::kAnonPrivate;
+  stack.content = GenerateNamedContent(package + ":stack", 64 * 1024, 0.8);
+  process.address_space().Map(std::move(stack));
+
+  MemorySegment runtime;
+  runtime.name = "/system/framework/core.jar";
+  runtime.kind = SegmentKind::kFileBackedRo;
+  runtime.mapped_size = 8 * 1024 * 1024;
+  runtime.backing_path = "/system/framework/core.jar";
+  process.address_space().Map(std::move(runtime));
+
+  // /dev/binder and the logger are open in every app.
+  process.InstallFd(std::make_shared<BinderFd>());
+  process.InstallFd(std::make_shared<LoggerFd>("main"));
+  return process;
+}
+
+Status Device::KillAppProcess(Pid pid) {
+  SimProcess* process = kernel_.FindProcess(pid);
+  if (process == nullptr) {
+    return NotFound(StrFormat("no process %d on %s", pid, name_.c_str()));
+  }
+  activity_manager_->OnProcessExit(pid);
+  window_manager_->OnProcessExit(pid);
+  egl_.OnProcessExit(pid);
+  binder_.OnProcessExit(pid);
+  return kernel_.KillProcess(pid);
+}
+
+void Device::Tick() {
+  activity_manager_->RunTaskIdler();
+  alarm_service_->FireDue(clock_->now());
+}
+
+void Device::SetConnectivity(bool connected, const std::string& network_name) {
+  context_.connectivity.connected = connected;
+  context_.connectivity.network_name = network_name;
+  Intent intent;
+  intent.action = "android.net.conn.CONNECTIVITY_CHANGE";
+  intent.extras["connected"] = connected ? "true" : "false";
+  intent.extras["network"] = network_name;
+  activity_manager_->BroadcastIntent(intent);
+}
+
+}  // namespace flux

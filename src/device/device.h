@@ -1,0 +1,140 @@
+// A complete simulated Android device.
+//
+// Composes the substrates — kernel, filesystem, Binder driver +
+// ServiceManager, GL runtime, radio — and boots the framework: a
+// system_server hosting every Table 2 service, a PackageManager, a
+// WindowManager wired to the ActivityManager, and the record rule set
+// compiled from the decorated AIDL sources.
+#ifndef FLUX_SRC_DEVICE_DEVICE_H_
+#define FLUX_SRC_DEVICE_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/aidl/record_rules.h"
+#include "src/binder/binder_driver.h"
+#include "src/binder/service_manager.h"
+#include "src/device/device_profile.h"
+#include "src/framework/activity_manager.h"
+#include "src/framework/alarm_service.h"
+#include "src/framework/audio_service.h"
+#include "src/framework/content_provider.h"
+#include "src/framework/hardware_services.h"
+#include "src/framework/misc_services.h"
+#include "src/framework/notification_service.h"
+#include "src/framework/package_manager.h"
+#include "src/framework/sensor_service.h"
+#include "src/framework/system_service.h"
+#include "src/framework/window_manager.h"
+#include "src/fs/sim_filesystem.h"
+#include "src/gpu/egl_runtime.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+struct BootOptions {
+  // Scales the synthetic /system framework content (1.0 ~ the paper's
+  // 215 MB pairing constant). Tests use small scales to stay fast.
+  double framework_scale = 0.05;
+};
+
+class Device {
+ public:
+  // `clock` and `wifi` are shared across the World's devices.
+  Device(std::string name, DeviceProfile profile, SimClock* clock,
+         WifiNetwork* wifi);
+
+  // Boots the framework: processes, services, /system content.
+  Status Boot(const BootOptions& options = {});
+  bool booted() const { return booted_; }
+
+  const std::string& name() const { return name_; }
+  const DeviceProfile& profile() const { return profile_; }
+  SystemContext& context() { return context_; }
+  const SystemContext& context() const { return context_; }
+
+  SimKernel& kernel() { return kernel_; }
+  SimFilesystem& filesystem() { return filesystem_; }
+  BinderDriver& binder() { return binder_; }
+  ServiceManager& service_manager() { return *service_manager_; }
+  EglRuntime& egl() { return egl_; }
+  RecordRuleSet& record_rules() { return record_rules_; }
+  SimClock& clock() { return *clock_; }
+  WifiNetwork& wifi() { return *wifi_; }
+
+  SystemServer& system_server() { return *system_server_; }
+  ActivityManagerService& activity_manager() { return *activity_manager_; }
+  WindowManagerService& window_manager() { return *window_manager_; }
+  PackageManagerService& package_manager() { return *package_manager_; }
+  NotificationManagerService& notification_service() {
+    return *notification_service_;
+  }
+  AlarmManagerService& alarm_service() { return *alarm_service_; }
+  SensorService& sensor_service() { return *sensor_service_; }
+  AudioService& audio_service() { return *audio_service_; }
+  WifiService& wifi_service() { return *wifi_service_; }
+  ConnectivityManagerService& connectivity_service() {
+    return *connectivity_service_;
+  }
+  LocationManagerService& location_service() { return *location_service_; }
+  PowerManagerService& power_service() { return *power_service_; }
+  ClipboardService& clipboard_service() { return *clipboard_service_; }
+  VibratorService& vibrator_service() { return *vibrator_service_; }
+  ContentProviderService& content_service() { return *content_service_; }
+
+  // Creates an app process with standard mappings (stack, dalvik runtime).
+  SimProcess& CreateAppProcess(const std::string& package, Uid uid);
+
+  // Tears a process down across all subsystems (binder death notices, GL
+  // contexts, windows, activity records, pmem).
+  Status KillAppProcess(Pid pid);
+
+  // Periodic housekeeping: task idler + due alarms. Call after advancing
+  // the clock.
+  void Tick();
+
+  // Broadcasts a connectivity change to interested apps (§3.1 migration-in).
+  void SetConnectivity(bool connected, const std::string& network_name);
+
+  // The synthetic framework content root on /system.
+  static constexpr char kFrameworkRoot[] = "/system";
+
+ private:
+  Status PopulateSystemPartition(double scale);
+
+  std::string name_;
+  DeviceProfile profile_;
+  SimClock* clock_;
+  WifiNetwork* wifi_;
+
+  SimKernel kernel_;
+  SimFilesystem filesystem_;
+  BinderDriver binder_;
+  EglRuntime egl_;
+  RecordRuleSet record_rules_;
+  SystemContext context_;
+
+  std::shared_ptr<ServiceManager> service_manager_;
+  std::unique_ptr<SystemServer> system_server_;
+  bool booted_ = false;
+
+  // Borrowed from system_server_ (kept alive there).
+  ActivityManagerService* activity_manager_ = nullptr;
+  WindowManagerService* window_manager_ = nullptr;
+  PackageManagerService* package_manager_ = nullptr;
+  NotificationManagerService* notification_service_ = nullptr;
+  AlarmManagerService* alarm_service_ = nullptr;
+  SensorService* sensor_service_ = nullptr;
+  AudioService* audio_service_ = nullptr;
+  WifiService* wifi_service_ = nullptr;
+  ConnectivityManagerService* connectivity_service_ = nullptr;
+  LocationManagerService* location_service_ = nullptr;
+  PowerManagerService* power_service_ = nullptr;
+  ClipboardService* clipboard_service_ = nullptr;
+  VibratorService* vibrator_service_ = nullptr;
+  ContentProviderService* content_service_ = nullptr;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_DEVICE_DEVICE_H_

@@ -1,0 +1,61 @@
+#include "src/device/device_profile.h"
+
+namespace flux {
+
+DeviceProfile Nexus4Profile() {
+  DeviceProfile profile;
+  profile.model = "Nexus 4";
+  profile.soc = "Snapdragon S4 Pro APQ8064";
+  profile.kernel_version = "3.4";
+  profile.ram_bytes = 2ull * 1024 * 1024 * 1024;
+  profile.display = DisplayProfile{768, 1280, 320};
+  profile.radio = RadioProfile{WifiStandard::k80211n, /*supports_5ghz=*/true,
+                               150'000'000};
+  profile.gpu = VendorGlProfile{"adreno320", 14 * 1024 * 1024, 1.0, 1.0};
+  profile.cpu_factor = 1.0;
+  profile.perf_cpu = 1.0;
+  profile.perf_mem = 1.0;
+  profile.perf_io = 1.0;
+  profile.max_music_volume = 15;
+  return profile;
+}
+
+DeviceProfile Nexus7_2012Profile() {
+  DeviceProfile profile;
+  profile.model = "Nexus 7";
+  profile.soc = "Tegra 3 T30L";
+  profile.kernel_version = "3.1";
+  profile.ram_bytes = 1ull * 1024 * 1024 * 1024;
+  profile.display = DisplayProfile{1280, 800, 216};
+  // 2.4 GHz only: the device is stuck on the congested band (§4).
+  profile.radio = RadioProfile{WifiStandard::k80211n, /*supports_5ghz=*/false,
+                               72'000'000};
+  profile.gpu = VendorGlProfile{"tegra_ulp_geforce", 11 * 1024 * 1024,
+                                0.65, 0.55};
+  profile.cpu_factor = 0.62;
+  profile.perf_cpu = 0.62;
+  profile.perf_mem = 0.70;
+  profile.perf_io = 0.75;
+  profile.max_music_volume = 15;
+  return profile;
+}
+
+DeviceProfile Nexus7_2013Profile() {
+  DeviceProfile profile;
+  profile.model = "Nexus 7 (2013)";
+  profile.soc = "Snapdragon S4 Pro APQ8064";
+  profile.kernel_version = "3.4";
+  profile.ram_bytes = 2ull * 1024 * 1024 * 1024;
+  profile.display = DisplayProfile{1920, 1200, 323};
+  profile.radio = RadioProfile{WifiStandard::k80211n, /*supports_5ghz=*/true,
+                               150'000'000};
+  profile.gpu = VendorGlProfile{"adreno320", 14 * 1024 * 1024, 1.0, 1.0};
+  profile.cpu_factor = 1.0;
+  profile.perf_cpu = 1.0;
+  profile.perf_mem = 0.98;
+  profile.perf_io = 0.95;
+  profile.max_music_volume = 15;
+  return profile;
+}
+
+}  // namespace flux

@@ -1,0 +1,53 @@
+// Hardware profiles of the evaluation devices (§4).
+//
+//   Nexus 4:        Snapdragon S4 Pro APQ8064, Adreno 320, 2 GB RAM,
+//                   768x1280 IPS LCD, kernel 3.4, dual-band 802.11n.
+//   Nexus 7 (2012): Tegra 3 T30L, ULP GeForce, 1 GB RAM, 1280x800,
+//                   kernel 3.1, 2.4 GHz-only 802.11n (the congested band).
+//   Nexus 7 (2013): Snapdragon S4 Pro APQ8064, Adreno 320, 2 GB RAM,
+//                   1920x1200, kernel 3.4, dual-band 802.11n.
+#ifndef FLUX_SRC_DEVICE_DEVICE_PROFILE_H_
+#define FLUX_SRC_DEVICE_DEVICE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/framework/system_context.h"
+#include "src/gpu/egl_runtime.h"
+#include "src/net/network.h"
+
+namespace flux {
+
+struct DeviceProfile {
+  std::string model;           // "Nexus 4"
+  std::string soc;             // "Snapdragon S4 Pro APQ8064"
+  std::string kernel_version;  // "3.4"
+  std::string android_version = "4.4.2";
+  int api_level = 19;
+
+  uint64_t ram_bytes = 2ull * 1024 * 1024 * 1024;
+  DisplayProfile display;
+  RadioProfile radio;
+  VendorGlProfile gpu;
+
+  double cpu_factor = 1.0;  // relative to Snapdragon S4 Pro
+  bool has_gps = true;
+  bool has_gyroscope = true;
+  bool has_camera = true;
+  bool has_vibrator = true;
+  int max_music_volume = 15;
+
+  // CPU / memory / IO throughput relative to the S4 Pro baseline, used by
+  // the Figure 16 overhead benchmarks.
+  double perf_cpu = 1.0;
+  double perf_mem = 1.0;
+  double perf_io = 1.0;
+};
+
+DeviceProfile Nexus4Profile();
+DeviceProfile Nexus7_2012Profile();
+DeviceProfile Nexus7_2013Profile();
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_DEVICE_DEVICE_PROFILE_H_

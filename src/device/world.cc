@@ -1,0 +1,35 @@
+#include "src/device/world.h"
+
+namespace flux {
+
+Result<Device*> World::AddDevice(const std::string& name,
+                                 const DeviceProfile& profile,
+                                 const BootOptions& options) {
+  if (devices_.count(name) > 0) {
+    return AlreadyExists("device name in use: " + name);
+  }
+  auto device = std::make_unique<Device>(name, profile, &clock_, &wifi_);
+  FLUX_RETURN_IF_ERROR(device->Boot(options));
+  Device* raw = device.get();
+  devices_[name] = std::move(device);
+  return raw;
+}
+
+Device* World::FindDevice(const std::string& name) {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+EffectiveLink World::LinkBetween(const Device& a, const Device& b) const {
+  return wifi_.LinkBetween(a.profile().radio, b.profile().radio);
+}
+
+void World::AdvanceTime(SimDuration d) {
+  clock_.Advance(d);
+  for (auto& [name, device] : devices_) {
+    (void)name;
+    device->Tick();
+  }
+}
+
+}  // namespace flux

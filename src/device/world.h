@@ -1,0 +1,43 @@
+// The World: a set of devices on one shared WiFi network and one virtual
+// timeline. Benchmarks build a world with the paper's four devices, pair
+// them, and run migrations between them.
+#ifndef FLUX_SRC_DEVICE_WORLD_H_
+#define FLUX_SRC_DEVICE_WORLD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/device/device.h"
+
+namespace flux {
+
+class World {
+ public:
+  World() = default;
+
+  SimClock& clock() { return clock_; }
+  WifiNetwork& wifi() { return wifi_; }
+
+  // Creates and boots a device.
+  Result<Device*> AddDevice(const std::string& name,
+                            const DeviceProfile& profile,
+                            const BootOptions& options = {});
+  Device* FindDevice(const std::string& name);
+  size_t device_count() const { return devices_.size(); }
+
+  // Link between two devices given the current band conditions.
+  EffectiveLink LinkBetween(const Device& a, const Device& b) const;
+
+  // Advances time and ticks every device (task idlers, alarms).
+  void AdvanceTime(SimDuration d);
+
+ private:
+  SimClock clock_;
+  WifiNetwork wifi_;
+  std::map<std::string, std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_DEVICE_WORLD_H_

@@ -1,0 +1,75 @@
+#include "src/flux/call_log.h"
+
+#include <algorithm>
+
+namespace flux {
+
+void CallLog::Append(CallRecord record) {
+  record.seq = next_seq_++;
+  entries_.push_back(std::move(record));
+}
+
+int CallLog::RemoveIf(const std::function<bool(const CallRecord&)>& predicate) {
+  const auto old_size = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), predicate),
+                 entries_.end());
+  return static_cast<int>(old_size - entries_.size());
+}
+
+uint64_t CallLog::WireSize() const {
+  uint64_t total = 0;
+  for (const auto& entry : entries_) {
+    total += 48 + entry.service.size() + entry.interface.size() +
+             entry.method.size() + entry.args.WireSize() +
+             entry.reply.WireSize();
+  }
+  return total;
+}
+
+void CallLog::Serialize(ArchiveWriter& out) const {
+  out.PutU64(entries_.size());
+  for (const auto& entry : entries_) {
+    out.PutU64(entry.seq);
+    out.PutU64(entry.time);
+    out.PutString(entry.service);
+    out.PutString(entry.interface);
+    out.PutString(entry.method);
+    out.PutU64(entry.node_id);
+    out.PutBool(entry.oneway);
+    ArchiveWriter args;
+    entry.args.Serialize(args);
+    out.PutSection(args);
+    ArchiveWriter reply;
+    entry.reply.Serialize(reply);
+    out.PutSection(reply);
+  }
+}
+
+Result<CallLog> CallLog::Deserialize(ArchiveReader& in) {
+  CallLog log;
+  uint64_t count = 0;
+  FLUX_RETURN_IF_ERROR(in.GetU64(count));
+  uint64_t max_seq = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    CallRecord entry;
+    FLUX_RETURN_IF_ERROR(in.GetU64(entry.seq));
+    FLUX_RETURN_IF_ERROR(in.GetU64(entry.time));
+    FLUX_RETURN_IF_ERROR(in.GetString(entry.service));
+    FLUX_RETURN_IF_ERROR(in.GetString(entry.interface));
+    FLUX_RETURN_IF_ERROR(in.GetString(entry.method));
+    FLUX_RETURN_IF_ERROR(in.GetU64(entry.node_id));
+    FLUX_RETURN_IF_ERROR(in.GetBool(entry.oneway));
+    ArchiveReader args_section({});
+    FLUX_RETURN_IF_ERROR(in.GetSection(args_section));
+    FLUX_ASSIGN_OR_RETURN(entry.args, Parcel::Deserialize(args_section));
+    ArchiveReader reply_section({});
+    FLUX_RETURN_IF_ERROR(in.GetSection(reply_section));
+    FLUX_ASSIGN_OR_RETURN(entry.reply, Parcel::Deserialize(reply_section));
+    max_seq = std::max(max_seq, entry.seq);
+    log.entries_.push_back(std::move(entry));
+  }
+  log.next_seq_ = max_seq + 1;
+  return log;
+}
+
+}  // namespace flux

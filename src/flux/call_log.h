@@ -1,0 +1,57 @@
+// The per-app call log kept by Selective Record (§3.2).
+//
+// An ordered list of recorded service calls. The record engine prunes it in
+// place as @drop rules fire, so at migration time it contains exactly the
+// calls whose effects are still live in system services — the paper reports
+// the compressed log plus data-dir sync never exceeded 200 KB.
+#ifndef FLUX_SRC_FLUX_CALL_LOG_H_
+#define FLUX_SRC_FLUX_CALL_LOG_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/archive.h"
+#include "src/base/sim_clock.h"
+#include "src/binder/parcel.h"
+
+namespace flux {
+
+struct CallRecord {
+  uint64_t seq = 0;
+  SimTime time = 0;
+  std::string service;    // ServiceManager name; empty for anonymous nodes
+  std::string interface;  // AIDL interface name
+  std::string method;
+  uint64_t node_id = 0;   // home-device node the call targeted
+  Parcel args;            // the app's view (named values)
+  Parcel reply;           // post-translation into the app
+  bool oneway = false;
+};
+
+class CallLog {
+ public:
+  void Append(CallRecord record);
+
+  // Removes entries matching `predicate`; returns how many were dropped.
+  int RemoveIf(const std::function<bool(const CallRecord&)>& predicate);
+
+  const std::vector<CallRecord>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+  // Approximate serialized footprint (drives transfer accounting).
+  uint64_t WireSize() const;
+
+  void Serialize(ArchiveWriter& out) const;
+  static Result<CallLog> Deserialize(ArchiveReader& in);
+
+ private:
+  uint64_t next_seq_ = 1;
+  std::vector<CallRecord> entries_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_CALL_LOG_H_

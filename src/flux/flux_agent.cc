@@ -1,0 +1,33 @@
+#include "src/flux/flux_agent.h"
+
+namespace flux {
+
+FluxAgent::FluxAgent(Device& device)
+    : device_(device),
+      recorder_(&device.record_rules()),
+      replayer_(device) {
+  recorder_.set_clock(&device.clock());
+  recorder_.Arm(device.binder());
+}
+
+FluxAgent::~FluxAgent() { recorder_.Disarm(device_.binder()); }
+
+void FluxAgent::Manage(Pid pid, const std::string& package) {
+  recorder_.TrackApp(pid, package);
+}
+
+void FluxAgent::Unmanage(Pid pid) { recorder_.UntrackApp(pid); }
+
+bool FluxAgent::IsPairedWith(const std::string& device_name) const {
+  return paired_.count(device_name) > 0;
+}
+
+void FluxAgent::MarkPaired(const std::string& device_name) {
+  paired_.insert(device_name);
+}
+
+std::string FluxAgent::PairRoot(const std::string& home_device_name) {
+  return "/data/flux/pair/" + home_device_name;
+}
+
+}  // namespace flux

@@ -1,0 +1,54 @@
+// The per-device Flux runtime.
+//
+// One FluxAgent runs on every Flux device: it arms Selective Record on the
+// device's Binder driver, owns the Adaptive Replay engine, and tracks which
+// peers this device has paired with (and where their synced framework trees
+// live on the data partition).
+#ifndef FLUX_SRC_FLUX_FLUX_AGENT_H_
+#define FLUX_SRC_FLUX_FLUX_AGENT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/device/device.h"
+#include "src/flux/record_engine.h"
+#include "src/flux/replay_engine.h"
+
+namespace flux {
+
+class AppInstance;
+
+class FluxAgent {
+ public:
+  explicit FluxAgent(Device& device);
+  ~FluxAgent();
+
+  FluxAgent(const FluxAgent&) = delete;
+  FluxAgent& operator=(const FluxAgent&) = delete;
+
+  Device& device() { return device_; }
+  RecordEngine& recorder() { return recorder_; }
+  ReplayEngine& replayer() { return replayer_; }
+
+  // Starts recording the app's service calls (call after launch).
+  void Manage(Pid pid, const std::string& package);
+  void Unmanage(Pid pid);
+
+  // ----- pairing bookkeeping -----
+  bool IsPairedWith(const std::string& device_name) const;
+  void MarkPaired(const std::string& device_name);
+  // Where a given home device's synced framework/app tree lives on *this*
+  // device's data partition (§3.1).
+  static std::string PairRoot(const std::string& home_device_name);
+
+ private:
+  Device& device_;
+  RecordEngine recorder_;
+  ReplayEngine replayer_;
+  std::set<std::string> paired_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_FLUX_AGENT_H_

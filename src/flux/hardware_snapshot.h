@@ -1,0 +1,77 @@
+// A snapshot of the home device's hardware-visible configuration, taken at
+// checkpoint time. Adaptive Replay diffs it against the guest to decide what
+// to rescale (volume ranges), substitute (GPS -> network positioning) or
+// announce to the app (connectivity, display size).
+#ifndef FLUX_SRC_FLUX_HARDWARE_SNAPSHOT_H_
+#define FLUX_SRC_FLUX_HARDWARE_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/base/archive.h"
+#include "src/framework/system_context.h"
+
+namespace flux {
+
+struct HardwareSnapshot {
+  std::string device_name;
+  int max_music_volume = 15;
+  bool has_gps = true;
+  bool has_gyroscope = true;
+  bool has_camera = true;
+  bool has_vibrator = true;
+  int display_width = 0;
+  int display_height = 0;
+  bool wifi_connected = true;
+  std::string network_name;
+
+  static HardwareSnapshot FromContext(const SystemContext& context) {
+    HardwareSnapshot hw;
+    hw.device_name = context.device_name;
+    hw.max_music_volume = context.max_music_volume;
+    hw.has_gps = context.has_gps;
+    hw.has_gyroscope = context.has_gyroscope;
+    hw.has_camera = context.has_camera;
+    hw.has_vibrator = context.has_vibrator;
+    hw.display_width = context.display.width_px;
+    hw.display_height = context.display.height_px;
+    hw.wifi_connected = context.connectivity.connected;
+    hw.network_name = context.connectivity.network_name;
+    return hw;
+  }
+
+  void Serialize(ArchiveWriter& out) const {
+    out.PutString(device_name);
+    out.PutI64(max_music_volume);
+    out.PutBool(has_gps);
+    out.PutBool(has_gyroscope);
+    out.PutBool(has_camera);
+    out.PutBool(has_vibrator);
+    out.PutI64(display_width);
+    out.PutI64(display_height);
+    out.PutBool(wifi_connected);
+    out.PutString(network_name);
+  }
+
+  static Result<HardwareSnapshot> Deserialize(ArchiveReader& in) {
+    HardwareSnapshot hw;
+    int64_t scratch = 0;
+    FLUX_RETURN_IF_ERROR(in.GetString(hw.device_name));
+    FLUX_RETURN_IF_ERROR(in.GetI64(scratch));
+    hw.max_music_volume = static_cast<int>(scratch);
+    FLUX_RETURN_IF_ERROR(in.GetBool(hw.has_gps));
+    FLUX_RETURN_IF_ERROR(in.GetBool(hw.has_gyroscope));
+    FLUX_RETURN_IF_ERROR(in.GetBool(hw.has_camera));
+    FLUX_RETURN_IF_ERROR(in.GetBool(hw.has_vibrator));
+    FLUX_RETURN_IF_ERROR(in.GetI64(scratch));
+    hw.display_width = static_cast<int>(scratch);
+    FLUX_RETURN_IF_ERROR(in.GetI64(scratch));
+    hw.display_height = static_cast<int>(scratch);
+    FLUX_RETURN_IF_ERROR(in.GetBool(hw.wifi_connected));
+    FLUX_RETURN_IF_ERROR(in.GetString(hw.network_name));
+    return hw;
+  }
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_HARDWARE_SNAPSHOT_H_

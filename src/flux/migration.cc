@@ -1,0 +1,406 @@
+#include "src/flux/migration.h"
+
+#include <algorithm>
+
+#include "src/base/compress.h"
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace flux {
+
+namespace {
+
+constexpr uint32_t kPayloadMagic = 0x464C5558;  // "FLUX"
+
+// CPU time to push `bytes` through a `mbps` pipeline on `device`.
+SimDuration CpuCost(const Device& device, uint64_t bytes, double mbps) {
+  const double factor =
+      device.profile().cpu_factor > 0 ? device.profile().cpu_factor : 1.0;
+  const double seconds =
+      static_cast<double>(bytes) / (mbps * 1024.0 * 1024.0) / factor;
+  return FromSecondsF(seconds);
+}
+
+}  // namespace
+
+RunningApp RunningApp::FromInstance(AppInstance& app) {
+  RunningApp running;
+  running.device = &app.device();
+  running.pid = app.pid();
+  running.all_pids = app.all_pids();
+  running.uid = app.uid();
+  running.package = app.spec().package;
+  running.display_name = app.spec().display_name;
+  running.thread = app.shared_thread();
+  return running;
+}
+
+SimDuration MigrationReport::Total() const {
+  return prepare.duration() + checkpoint.duration() + transfer.duration() +
+         restore.duration() + reintegrate.duration() + background_tail;
+}
+
+SimDuration MigrationReport::UserPerceived() const {
+  // Preparation and checkpoint overlap with the user picking the migration
+  // target from the menu (§4).
+  return transfer.duration() + restore.duration() + reintegrate.duration();
+}
+
+SimDuration MigrationReport::PerceivedExcludingTransfer() const {
+  return restore.duration() + reintegrate.duration();
+}
+
+MigrationManager::MigrationManager(FluxAgent& home, FluxAgent& guest,
+                                   MigrationConfig config)
+    : home_(home), guest_(guest), config_(config) {}
+
+Status MigrationManager::Prepare(const RunningApp& app,
+                                 MigrationReport& report) {
+  Device& device = *app.device;
+  SimClock& clock = device.clock();
+  ScopedTimer timer(clock, report.prepare);
+
+  // 1. Background the app: resumed activities pause, then the task idler
+  //    stops them and the WindowManager frees their surfaces.
+  FLUX_RETURN_IF_ERROR(device.activity_manager().MoveAppToBackground(app.pid));
+  if (config_.wait_for_task_idler) {
+    clock.Advance(device.activity_manager().idle_stop_delay());
+  }
+  device.activity_manager().RunTaskIdler();
+
+  // 2. Trim memory at the highest severity: flush renderer caches, destroy
+  //    hardware resources and GL contexts (§3.3).
+  FLUX_RETURN_IF_ERROR(device.activity_manager().RequestTrimMemory(
+      app.pid, kTrimMemoryComplete));
+
+  // 3. Flux's eglUnload: remove the vendor GL library from every process of
+  //    the app (helpers rarely hold one, but the invariant is per-process).
+  for (const Pid pid : app.all_pids.empty() ? std::vector<Pid>{app.pid}
+                                            : app.all_pids) {
+    FLUX_RETURN_IF_ERROR(device.egl().EglUnload(pid));
+  }
+
+  device.context().SpendCpu(config_.prepare_fixed);
+  return OkStatus();
+}
+
+Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
+                                             MigrationReport& report) {
+  Device& device = *app.device;
+  ScopedTimer timer(device.clock(), report.checkpoint);
+
+  // Recording stops with the app frozen; the log travels with the image.
+  home_.recorder().PauseRecording(app.pid);
+  const CallLog* log = home_.recorder().LogFor(app.pid);
+  if (log == nullptr) {
+    return FailedPrecondition("app is not managed by the home Flux agent");
+  }
+
+  const std::vector<Pid> pids =
+      app.all_pids.empty() ? std::vector<Pid>{app.pid} : app.all_pids;
+  FLUX_ASSIGN_OR_RETURN(CriaCheckpointResult cria,
+                        Cria::CheckpointTree(device, pids, *app.thread));
+  report.cria = cria.stats;
+  report.image_raw_bytes = cria.image.size();
+  device.context().SpendCpu(
+      CpuCost(device, cria.image.size(), config_.serialize_mbps));
+
+  ArchiveWriter payload;
+  payload.PutU32(kPayloadMagic);
+  payload.PutString(app.package);
+
+  // Hardware snapshot for Adaptive Replay's diffing.
+  ArchiveWriter hw;
+  HardwareSnapshot::FromContext(device.context()).Serialize(hw);
+  payload.PutSection(hw);
+
+  // The pruned call log.
+  ArchiveWriter log_section;
+  log->Serialize(log_section);
+  report.log_bytes = log_section.size();
+  payload.PutSection(log_section);
+
+  // The CRIA image, compressed for transfer.
+  if (config_.compress_image) {
+    Bytes compressed = LzCompress(
+        ByteSpan(cria.image.data(), cria.image.size()));
+    device.context().SpendCpu(
+        CpuCost(device, cria.image.size(), config_.compress_mbps));
+    payload.PutBool(true);
+    payload.PutBytes(ByteSpan(compressed.data(), compressed.size()));
+    report.image_compressed_bytes = compressed.size();
+  } else {
+    payload.PutBool(false);
+    payload.PutBytes(ByteSpan(cria.image.data(), cria.image.size()));
+    report.image_compressed_bytes = cria.image.size();
+  }
+  return payload.TakeData();
+}
+
+Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
+                                  uint64_t payload_bytes,
+                                  MigrationReport& report) {
+  Device& home_device = *app.device;
+  Device& guest_device = guest_.device();
+  ScopedTimer timer(home_device.clock(), report.transfer);
+
+  if (!home_device.wifi().up()) {
+    return Unavailable("network unreachable during migration transfer");
+  }
+  // Verify (and if needed refresh) the paired APK (§3.1).
+  FLUX_ASSIGN_OR_RETURN(uint64_t apk_wire,
+                        VerifyPairedApk(home_, guest_, spec));
+
+  // Delta-sync the app's data directories into the pairing root.
+  const std::string pair_root = FluxAgent::PairRoot(home_device.name());
+  SyncOptions options;
+  options.compress = true;
+  uint64_t data_wire = 0;
+  const std::string data_dir = "/data/data/" + app.package;
+  if (home_device.filesystem().Exists(data_dir)) {
+    FLUX_ASSIGN_OR_RETURN(
+        SyncStats sync,
+        SyncTree(home_device.filesystem(), data_dir, guest_device.filesystem(),
+                 pair_root + data_dir, options));
+    data_wire += sync.WireBytes();
+  }
+  const std::string sd_dir = "/sdcard/Android/data/" + app.package;
+  if (home_device.filesystem().Exists(sd_dir)) {
+    FLUX_ASSIGN_OR_RETURN(
+        SyncStats sync,
+        SyncTree(home_device.filesystem(), sd_dir, guest_device.filesystem(),
+                 pair_root + sd_dir, options));
+    data_wire += sync.WireBytes();
+  }
+  report.data_sync_bytes = apk_wire + data_wire;
+  report.total_wire_bytes = report.data_sync_bytes + payload_bytes;
+
+  const EffectiveLink link = home_device.wifi().LinkBetween(
+      home_device.profile().radio, guest_device.profile().radio);
+  home_device.wifi().Transfer(home_device.clock(), report.total_wire_bytes,
+                              link);
+  return OkStatus();
+}
+
+Result<CriaRestoredApp> MigrationManager::RestoreOnGuest(
+    ByteSpan payload, MigrationReport& report, CallLog& log_out,
+    HardwareSnapshot& hw_out) {
+  Device& guest_device = guest_.device();
+  ScopedTimer timer(guest_device.clock(), report.restore);
+
+  ArchiveReader reader(payload);
+  uint32_t magic = 0;
+  FLUX_RETURN_IF_ERROR(reader.GetU32(magic));
+  if (magic != kPayloadMagic) {
+    return Corrupt("not a Flux migration payload");
+  }
+  std::string package;
+  FLUX_RETURN_IF_ERROR(reader.GetString(package));
+
+  ArchiveReader hw_section({});
+  FLUX_RETURN_IF_ERROR(reader.GetSection(hw_section));
+  FLUX_ASSIGN_OR_RETURN(hw_out, HardwareSnapshot::Deserialize(hw_section));
+
+  ArchiveReader log_section({});
+  FLUX_RETURN_IF_ERROR(reader.GetSection(log_section));
+  FLUX_ASSIGN_OR_RETURN(log_out, CallLog::Deserialize(log_section));
+
+  bool compressed = false;
+  Bytes image_bytes;
+  FLUX_RETURN_IF_ERROR(reader.GetBool(compressed));
+  FLUX_RETURN_IF_ERROR(reader.GetBytes(image_bytes));
+  if (compressed) {
+    FLUX_ASSIGN_OR_RETURN(
+        Bytes raw, LzDecompress(ByteSpan(image_bytes.data(),
+                                         image_bytes.size())));
+    guest_device.context().SpendCpu(
+        CpuCost(guest_device, raw.size(), config_.decompress_mbps));
+    image_bytes = std::move(raw);
+  }
+  guest_device.context().SpendCpu(
+      CpuCost(guest_device, image_bytes.size(), config_.restore_mbps));
+
+  CriaRestoreOptions options;
+  options.jail_root = FluxAgent::PairRoot(hw_out.device_name);
+  return Cria::Restore(guest_device,
+                       ByteSpan(image_bytes.data(), image_bytes.size()),
+                       options);
+}
+
+Status MigrationManager::Reintegrate(CriaRestoredApp& restored,
+                                     const CallLog& log,
+                                     const HardwareSnapshot& home_hw,
+                                     MigrationReport& report) {
+  Device& guest_device = guest_.device();
+  ScopedTimer timer(guest_device.clock(), report.reintegrate);
+
+  // The guest agent manages the app from now on; replay's own calls must
+  // not be re-recorded (§3.1).
+  guest_.Manage(restored.pid, restored.package);
+  guest_.recorder().PauseRecording(restored.pid);
+
+  FLUX_ASSIGN_OR_RETURN(report.replay,
+                        guest_.replayer().Replay(log, restored, home_hw));
+
+  // The log keeps living on the guest so the app can migrate again.
+  guest_.recorder().InstallLog(restored.pid, log);
+
+  // Connectivity: the app sees a loss and a new connection (§3.1).
+  Intent lost;
+  lost.action = "android.net.conn.CONNECTIVITY_CHANGE";
+  lost.extras["connected"] = "false";
+  guest_device.activity_manager().BroadcastIntent(lost);
+  Intent regained;
+  regained.action = "android.net.conn.CONNECTIVITY_CHANGE";
+  regained.extras["connected"] = "true";
+  regained.extras["network"] =
+      guest_device.context().connectivity.network_name;
+  guest_device.activity_manager().BroadcastIntent(regained);
+
+  guest_.recorder().ResumeRecording(restored.pid);
+
+  // Foreground: surfaces are recreated at the guest's resolution and the
+  // first draw reinitializes graphics via conditional initialization.
+  FLUX_RETURN_IF_ERROR(
+      guest_device.activity_manager().BringAppToForeground(restored.pid));
+  for (const std::string& token : restored.activity_tokens) {
+    FLUX_RETURN_IF_ERROR(restored.thread->DrawFrame(token));
+  }
+  guest_device.context().SpendCpu(config_.reintegrate_fixed);
+  return OkStatus();
+}
+
+Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
+                                                  const AppSpec& spec) {
+  MigrationReport report;
+  report.app = app.display_name.empty() ? app.package : app.display_name;
+  report.home_device = home_.device().name();
+  report.guest_device = guest_.device().name();
+
+  if (app.device != &home_.device()) {
+    return InvalidArgument("app is not running on the home agent's device");
+  }
+  if (!home_.IsPairedWith(guest_.device().name())) {
+    return FailedPrecondition("devices are not paired");
+  }
+  // API-level compatibility (§3.1).
+  const PackageInfo* info =
+      home_.device().package_manager().Find(app.package);
+  if (info != nullptr &&
+      info->min_api_level > guest_.device().context().api_level) {
+    report.refusal_reason = StrFormat(
+        "app requires API level %d but guest runs %d", info->min_api_level,
+        guest_.device().context().api_level);
+    return report;
+  }
+
+  // Up-front refusals (§3.4): these leave the app running untouched.
+  if (!config_.enable_multiprocess &&
+      home_.device().kernel().ProcessesOfUid(app.uid).size() > 1) {
+    report.refusal_reason = "multi-process apps are not supported";
+    return report;
+  }
+  if (home_.device().egl().HasPreservedContext(app.pid)) {
+    report.refusal_reason =
+        "app requests its EGL context persist in the background "
+        "(setPreserveEGLContextOnPause)";
+    return report;
+  }
+  CriaCheckOptions check;
+  check.allow_multiprocess = config_.enable_multiprocess;
+  if (Status migratable =
+          Cria::CheckMigratable(home_.device(), app.pid, check);
+      !migratable.ok()) {
+    report.refusal_reason = std::string(migratable.message());
+    return report;
+  }
+
+  // From here on the app is frozen at home; any failure before the guest
+  // copy is live must roll the home copy back to a usable state.
+  auto rollback = [&](const Status& cause) -> Status {
+    home_.recorder().ResumeRecording(app.pid);
+    Status fg = app.device->activity_manager().BringAppToForeground(app.pid);
+    if (!fg.ok()) {
+      FLUX_LOG(kError, "migration")
+          << "rollback foreground failed: " << fg.ToString();
+    }
+    FLUX_LOG(kWarning, "migration")
+        << report.app << ": migration aborted (" << cause.ToString()
+        << "); app resumed on " << report.home_device;
+    return cause;
+  };
+
+  FLUX_RETURN_IF_ERROR(Prepare(app, report));
+  auto payload_result = BuildPayload(app, report);
+  if (!payload_result.ok()) {
+    return rollback(payload_result.status());
+  }
+  Bytes payload = payload_result.TakeValue();
+
+  // Post-copy (§4's proposed optimization): only the hot working set of the
+  // image is pre-paged before restore; the rest streams while the app is
+  // already usable on the guest.
+  uint64_t foreground_bytes = payload.size();
+  if (config_.post_copy) {
+    const double fraction =
+        std::clamp(config_.post_copy_priority_fraction, 0.05, 1.0);
+    foreground_bytes = static_cast<uint64_t>(
+        static_cast<double>(payload.size()) * fraction);
+    report.deferred_bytes = payload.size() - foreground_bytes;
+  }
+  if (Status transferred = Transfer(app, spec, foreground_bytes, report);
+      !transferred.ok()) {
+    return rollback(transferred);
+  }
+
+  CallLog log;
+  HardwareSnapshot home_hw;
+  auto restored_result = RestoreOnGuest(
+      ByteSpan(payload.data(), payload.size()), report, log, home_hw);
+  if (!restored_result.ok()) {
+    return rollback(restored_result.status());
+  }
+  CriaRestoredApp restored = restored_result.TakeValue();
+  FLUX_RETURN_IF_ERROR(Reintegrate(restored, log, home_hw, report));
+
+  if (report.deferred_bytes > 0) {
+    // The deferred bytes streamed while restore + reintegration ran; only
+    // the tail that outlasts those stages delays completion, and none of it
+    // delays the user (demand paging serves faults from the stream).
+    Device& home_device = *app.device;
+    const EffectiveLink link = home_device.wifi().LinkBetween(
+        home_device.profile().radio, guest_.device().profile().radio);
+    report.background_transfer =
+        home_device.wifi().TransferTime(report.deferred_bytes, link);
+    const SimDuration overlap =
+        report.restore.duration() + report.reintegrate.duration();
+    report.background_tail =
+        std::max<SimDuration>(0, report.background_transfer - overlap);
+    home_device.clock().Advance(report.background_tail);
+    report.total_wire_bytes += report.deferred_bytes;
+  }
+
+  // The home copy is gone; its processes and tracking state are torn down.
+  home_.Unmanage(app.pid);
+  for (const Pid pid :
+       app.all_pids.empty() ? std::vector<Pid>{app.pid} : app.all_pids) {
+    FLUX_RETURN_IF_ERROR(home_.device().KillAppProcess(pid));
+  }
+
+  report.success = true;
+  report.migrated.device = &guest_.device();
+  report.migrated.pid = restored.pid;
+  report.migrated.all_pids = restored.all_pids;
+  report.migrated.uid = restored.uid;
+  report.migrated.package = restored.package;
+  report.migrated.display_name = report.app;
+  report.migrated.thread = restored.thread;
+  FLUX_LOG(kInfo, "migration")
+      << report.app << ": " << report.home_device << " -> "
+      << report.guest_device << " in "
+      << StrFormat("%.2f s", ToSecondsF(report.Total())) << " ("
+      << report.total_wire_bytes / 1024 << " KB transferred)";
+  return report;
+}
+
+}  // namespace flux

@@ -1,0 +1,140 @@
+// The migration pipeline (§3.1): Migration Out + transfer + Migration In.
+//
+// Stages, matching Figure 13's breakdown:
+//  1. preparation  — reject unmigratable apps (multi-process, preserved EGL
+//                    context, external Binder connections), background the
+//                    app, wait out the task idler (activities -> Stopped,
+//                    surfaces freed), trim memory at the highest severity,
+//                    eglUnload the vendor library;
+//  2. checkpoint   — CRIA checkpoint of the process + the pruned call log +
+//                    a hardware snapshot, compressed;
+//  3. transfer     — APK verification, data-directory delta sync, and the
+//                    compressed image over WiFi;
+//  4. restore      — decompress + CRIA restore into the wrapper app's PID
+//                    namespace, service handles re-bound on the guest;
+//  5. reintegration— Adaptive Replay of the log, connectivity loss/regain
+//                    events, bring-to-foreground and redraw at the guest's
+//                    display size.
+#ifndef FLUX_SRC_FLUX_MIGRATION_H_
+#define FLUX_SRC_FLUX_MIGRATION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/apps/app_instance.h"
+#include "src/cria/cria.h"
+#include "src/flux/flux_agent.h"
+#include "src/flux/pairing.h"
+
+namespace flux {
+
+struct MigrationConfig {
+  // Modeled single-core throughputs for image handling (MB/s at the
+  // Snapdragon S4 Pro baseline; scaled by each device's cpu_factor).
+  double serialize_mbps = 120.0;
+  double compress_mbps = 25.0;
+  double decompress_mbps = 25.0;
+  double restore_mbps = 35.0;
+  // Fixed preparation work beyond the task-idler wait (trim + eglUnload).
+  SimDuration prepare_fixed = Millis(140);
+  // Reintegration fixed work (foreground, surface + first frame).
+  SimDuration reintegrate_fixed = Millis(160);
+  // Ablations.
+  bool compress_image = true;
+  bool wait_for_task_idler = true;
+  // Extension beyond the paper's prototype (§3.4 future work): migrate
+  // multi-process apps by checkpointing the whole process tree.
+  bool enable_multiprocess = false;
+  // Extension: post-copy memory transfer with adaptive pre-paging (the
+  // optimization §4 proposes). Only the hot fraction of the image moves
+  // before restore; the rest streams in the background, overlapped with the
+  // restore and reintegration stages.
+  bool post_copy = false;
+  // Fraction of the compressed image pre-paged up front when post_copy is
+  // on (the adaptively chosen working set).
+  double post_copy_priority_fraction = 0.25;
+};
+
+struct RunningApp {
+  Device* device = nullptr;
+  Pid pid = kInvalidPid;          // the main (activity-hosting) process
+  std::vector<Pid> all_pids;      // main first; helpers for multi-process apps
+  Uid uid = -1;
+  std::string package;
+  std::string display_name;
+  std::shared_ptr<ActivityThread> thread;
+
+  static RunningApp FromInstance(AppInstance& app);
+};
+
+struct MigrationReport {
+  std::string app;
+  std::string home_device;
+  std::string guest_device;
+  bool success = false;
+  std::string refusal_reason;
+
+  // Stage intervals on the shared timeline (Figure 13).
+  TimedInterval prepare;
+  TimedInterval checkpoint;
+  TimedInterval transfer;
+  TimedInterval restore;
+  TimedInterval reintegrate;
+  // Post-copy only: background streaming of the deferred image bytes,
+  // overlapped with restore/reintegration; the tail (if any) extends the
+  // total beyond reintegration.
+  SimDuration background_transfer = 0;
+  SimDuration background_tail = 0;     // portion not hidden by overlap
+  uint64_t deferred_bytes = 0;
+  SimDuration Total() const;
+  // The user sees the target menu during prepare+checkpoint (§4).
+  SimDuration UserPerceived() const;
+  SimDuration PerceivedExcludingTransfer() const;
+
+  // Byte accounting (Figure 15).
+  uint64_t image_raw_bytes = 0;
+  uint64_t image_compressed_bytes = 0;
+  uint64_t log_bytes = 0;
+  uint64_t data_sync_bytes = 0;  // data dirs + APK verification
+  uint64_t total_wire_bytes = 0;
+
+  CriaStats cria;
+  ReplayStats replay;
+
+  // Where the app lives now.
+  RunningApp migrated;
+};
+
+class MigrationManager {
+ public:
+  MigrationManager(FluxAgent& home, FluxAgent& guest,
+                   MigrationConfig config = {});
+
+  // Migrates a running app home -> guest. On success the home process is
+  // gone and `report.migrated` points at the guest instance. On refusal the
+  // app keeps running at home and `refusal_reason` is set (success=false
+  // with an OK status).
+  Result<MigrationReport> Migrate(const RunningApp& app,
+                                  const AppSpec& spec);
+
+ private:
+  Status Prepare(const RunningApp& app, MigrationReport& report);
+  Result<Bytes> BuildPayload(const RunningApp& app, MigrationReport& report);
+  Status Transfer(const RunningApp& app, const AppSpec& spec,
+                  uint64_t payload_bytes, MigrationReport& report);
+  Result<CriaRestoredApp> RestoreOnGuest(ByteSpan payload,
+                                         MigrationReport& report,
+                                         CallLog& log_out,
+                                         HardwareSnapshot& hw_out);
+  Status Reintegrate(CriaRestoredApp& restored, const CallLog& log,
+                     const HardwareSnapshot& home_hw,
+                     MigrationReport& report);
+
+  FluxAgent& home_;
+  FluxAgent& guest_;
+  MigrationConfig config_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_MIGRATION_H_

@@ -1,0 +1,144 @@
+#include "src/flux/pairing.h"
+
+#include "src/base/logging.h"
+
+namespace flux {
+
+namespace {
+
+// Transfers `bytes` between the two devices' radios on the shared network.
+void TransferBetween(FluxAgent& home, FluxAgent& guest, uint64_t bytes) {
+  Device& h = home.device();
+  Device& g = guest.device();
+  const EffectiveLink link =
+      h.wifi().LinkBetween(h.profile().radio, g.profile().radio);
+  h.wifi().Transfer(h.clock(), bytes, link);
+}
+
+}  // namespace
+
+Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest) {
+  Device& h = home.device();
+  Device& g = guest.device();
+  const SimTime begin = h.clock().now();
+
+  PairingStats stats;
+  const std::string pair_root = FluxAgent::PairRoot(h.name());
+
+  // Sync the home /system tree into the guest's pairing root, hard-linking
+  // against the guest's own /system.
+  SyncOptions options;
+  options.link_dest = "/system";
+  options.compress = true;
+  FLUX_ASSIGN_OR_RETURN(SyncStats sync,
+                        SyncTree(h.filesystem(), "/system", g.filesystem(),
+                                 pair_root + "/system", options));
+  stats.framework_total_bytes = sync.bytes_total;
+  stats.framework_linked_bytes = sync.bytes_linked + sync.bytes_up_to_date;
+  stats.framework_delta_bytes = sync.bytes_copied_raw;
+  stats.framework_wire_bytes = sync.WireBytes();
+  TransferBetween(home, guest, sync.WireBytes());
+
+  home.MarkPaired(g.name());
+  guest.MarkPaired(h.name());
+  stats.elapsed = static_cast<SimDuration>(h.clock().now() - begin);
+  FLUX_LOG(kInfo, "pairing")
+      << h.name() << " -> " << g.name() << ": "
+      << stats.framework_total_bytes / (1024 * 1024) << " MB constant, "
+      << stats.framework_delta_bytes / (1024 * 1024)
+      << " MB after linking, "
+      << stats.framework_wire_bytes / (1024 * 1024) << " MB on the wire";
+  return stats;
+}
+
+Result<uint64_t> PairApp(FluxAgent& home, FluxAgent& guest,
+                         const AppSpec& spec) {
+  Device& h = home.device();
+  Device& g = guest.device();
+  if (!home.IsPairedWith(g.name())) {
+    return FailedPrecondition("devices are not paired");
+  }
+  const PackageInfo* info = h.package_manager().Find(spec.package);
+  if (info == nullptr) {
+    return NotFound("app not installed on home device: " + spec.package);
+  }
+  const std::string pair_root = FluxAgent::PairRoot(h.name());
+
+  uint64_t wire = 0;
+  SyncOptions options;
+  options.compress = true;
+
+  // APK.
+  FLUX_ASSIGN_OR_RETURN(
+      SyncStats apk_sync,
+      SyncTree(h.filesystem(), info->apk_path, g.filesystem(),
+               pair_root + "/data/app", options));
+  wire += apk_sync.WireBytes();
+
+  // App data directory.
+  const std::string data_dir = "/data/data/" + spec.package;
+  if (h.filesystem().Exists(data_dir)) {
+    FLUX_ASSIGN_OR_RETURN(
+        SyncStats data_sync,
+        SyncTree(h.filesystem(), data_dir, g.filesystem(),
+                 pair_root + data_dir, options));
+    wire += data_sync.WireBytes();
+  }
+
+  // App-specific SD card directory only (not general SD contents, §3.4).
+  const std::string sd_dir = "/sdcard/Android/data/" + spec.package;
+  if (h.filesystem().Exists(sd_dir)) {
+    FLUX_ASSIGN_OR_RETURN(
+        SyncStats sd_sync,
+        SyncTree(h.filesystem(), sd_dir, g.filesystem(), pair_root + sd_dir,
+                 options));
+    wire += sd_sync.WireBytes();
+  }
+
+  // Pseudo-install the wrapper (metadata only).
+  PackageInfo wrapper = *info;
+  wrapper.uid = -1;  // guest allocates its own
+  wrapper.apk_path = pair_root + "/data/app/" +
+                     info->apk_path.substr(info->apk_path.rfind('/') + 1);
+  FLUX_RETURN_IF_ERROR(
+      g.package_manager().PseudoInstall(std::move(wrapper), h.name()));
+
+  TransferBetween(home, guest, wire);
+  return wire;
+}
+
+Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
+                                 const AppSpec& spec) {
+  Device& h = home.device();
+  Device& g = guest.device();
+  const PackageInfo* info = h.package_manager().Find(spec.package);
+  if (info == nullptr) {
+    return NotFound("app not installed on home device: " + spec.package);
+  }
+  const std::string paired_apk =
+      FluxAgent::PairRoot(h.name()) + "/data/app/" +
+      info->apk_path.substr(info->apk_path.rfind('/') + 1);
+  FLUX_ASSIGN_OR_RETURN(uint64_t home_hash,
+                        h.filesystem().FileHash(info->apk_path));
+  uint64_t wire = 64;  // hash exchange
+  if (g.filesystem().IsFile(paired_apk)) {
+    FLUX_ASSIGN_OR_RETURN(uint64_t guest_hash,
+                          g.filesystem().FileHash(paired_apk));
+    if (guest_hash == home_hash) {
+      TransferBetween(home, guest, wire);
+      return wire;
+    }
+  }
+  // The APK changed (app update): re-sync it.
+  SyncOptions options;
+  options.compress = true;
+  FLUX_ASSIGN_OR_RETURN(
+      SyncStats sync,
+      SyncTree(h.filesystem(), info->apk_path, g.filesystem(),
+               FluxAgent::PairRoot(h.name()) + "/data/app", options));
+  wire += sync.WireBytes();
+  TransferBetween(home, guest, wire);
+  return wire;
+}
+
+}  // namespace flux

@@ -1,0 +1,54 @@
+// The pairing phase (§3.1).
+//
+// A one-time, per-device-pair synchronization before any migration:
+//  - the home device's core frameworks and libraries are synced to a private
+//    root on the guest's data partition; files byte-identical to the guest's
+//    own /system are hard-linked instead of transferred (rsync --link-dest),
+//    and only the compressed delta crosses the network;
+//  - per app: the APK is synced (verified by hash on later migrations), the
+//    app data directory and its app-specific SD card directory are synced,
+//    and the APK's metadata is pseudo-installed on the guest to create the
+//    wrapper app Flux restores into.
+#ifndef FLUX_SRC_FLUX_PAIRING_H_
+#define FLUX_SRC_FLUX_PAIRING_H_
+
+#include "src/apps/app_spec.h"
+#include "src/flux/flux_agent.h"
+#include "src/fs/sync_engine.h"
+
+namespace flux {
+
+struct PairingStats {
+  // Framework ("constant data") sync.
+  uint64_t framework_total_bytes = 0;   // the paper's 215 MB
+  uint64_t framework_linked_bytes = 0;  // satisfied by hard links
+  uint64_t framework_delta_bytes = 0;   // remaining after linking (~123 MB)
+  uint64_t framework_wire_bytes = 0;    // compressed delta (~56 MB)
+  // App syncs.
+  int apps_paired = 0;
+  uint64_t app_wire_bytes = 0;
+  // Totals.
+  SimDuration elapsed = 0;
+  uint64_t TotalWireBytes() const {
+    return framework_wire_bytes + app_wire_bytes;
+  }
+};
+
+// Pairs `home` -> `guest`: syncs the framework tree and marks the pair.
+// Idempotent; re-pairing syncs deltas only.
+Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest);
+
+// Pairs one installed app: APK + data + SD data + pseudo-install. The app
+// must be installed on the home device. Returns the wire bytes used.
+Result<uint64_t> PairApp(FluxAgent& home, FluxAgent& guest,
+                         const AppSpec& spec);
+
+// Re-verifies an APK before migration (apps update frequently, §3.1):
+// compares hashes; re-syncs if they differ. Returns wire bytes (metadata
+// only when the APK is unchanged).
+Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
+                                 const AppSpec& spec);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_PAIRING_H_

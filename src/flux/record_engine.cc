@@ -1,0 +1,172 @@
+#include "src/flux/record_engine.h"
+
+#include <algorithm>
+
+namespace flux {
+
+void RecordEngine::TrackApp(Pid pid, std::string package) {
+  apps_[pid] = TrackedApp{std::move(package), false, CallLog{}};
+}
+
+void RecordEngine::UntrackApp(Pid pid) { apps_.erase(pid); }
+
+void RecordEngine::PauseRecording(Pid pid) {
+  auto it = apps_.find(pid);
+  if (it != apps_.end()) {
+    it->second.paused = true;
+  }
+}
+
+void RecordEngine::ResumeRecording(Pid pid) {
+  auto it = apps_.find(pid);
+  if (it != apps_.end()) {
+    it->second.paused = false;
+  }
+}
+
+CallLog* RecordEngine::LogFor(Pid pid) {
+  auto it = apps_.find(pid);
+  return it == apps_.end() ? nullptr : &it->second.log;
+}
+
+const CallLog* RecordEngine::LogFor(Pid pid) const {
+  auto it = apps_.find(pid);
+  return it == apps_.end() ? nullptr : &it->second.log;
+}
+
+Result<CallLog> RecordEngine::TakeLog(Pid pid) {
+  auto it = apps_.find(pid);
+  if (it == apps_.end()) {
+    return NotFound("pid not tracked by record engine");
+  }
+  CallLog log = std::move(it->second.log);
+  it->second.log = CallLog{};
+  return log;
+}
+
+void RecordEngine::InstallLog(Pid pid, CallLog log) {
+  auto it = apps_.find(pid);
+  if (it != apps_.end()) {
+    it->second.log = std::move(log);
+  }
+}
+
+bool RecordEngine::SignatureMatches(const CallRecord& entry,
+                                    const TransactionInfo& info,
+                                    const std::vector<std::string>& sig_args) {
+  for (const auto& arg_name : sig_args) {
+    const ParcelValue* old_value = entry.args.FindNamed(arg_name);
+    const ParcelValue* new_value = info.args.FindNamed(arg_name);
+    if (old_value == nullptr || new_value == nullptr ||
+        !(*old_value == *new_value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RecordEngine::OnTransaction(const TransactionInfo& info) {
+  auto it = apps_.find(info.client_pid);
+  if (it == apps_.end() || it->second.paused || !info.ok) {
+    return;
+  }
+  TrackedApp& app = it->second;
+  ++stats_.transactions_seen;
+
+  auto append = [&] {
+    CallRecord record;
+    record.time = info.time;
+    record.service = info.service_name;
+    record.interface = info.interface;
+    record.method = info.method;
+    record.node_id = info.node_id;
+    record.args = info.args;
+    record.reply = info.reply;
+    record.oneway = info.oneway;
+    app.log.Append(std::move(record));
+    ++stats_.calls_recorded;
+    if (clock_ != nullptr) {
+      clock_->Advance(record_cost_);
+    }
+  };
+
+  if (full_record_) {
+    append();
+    return;
+  }
+
+  const RecordRule* rule =
+      rules_ != nullptr ? rules_->FindRule(info.interface, info.method)
+                        : nullptr;
+  if (rule == nullptr || !rule->record) {
+    return;  // undecorated: never enters the log
+  }
+
+  bool suppress = false;
+  for (const auto& clause : rule->drops) {
+    // Resolve "this" and collect the other method names.
+    std::vector<std::string> methods;
+    bool drops_this = false;
+    bool has_other = false;
+    for (const auto& name : clause.methods) {
+      if (name == "this") {
+        drops_this = true;
+        methods.push_back(info.method);
+      } else {
+        has_other = true;
+        methods.push_back(name);
+      }
+    }
+    // All signatures: @if conjunction plus each @elif alternative. No
+    // signature at all means an unconditional drop.
+    std::vector<std::vector<std::string>> signatures;
+    if (!clause.if_args.empty()) {
+      signatures.push_back(clause.if_args);
+    }
+    for (const auto& alt : clause.elif_args) {
+      signatures.push_back(alt);
+    }
+
+    int dropped_other = 0;
+    const int removed = app.log.RemoveIf([&](const CallRecord& entry) {
+      if (entry.interface != info.interface ||
+          entry.node_id != info.node_id) {
+        return false;
+      }
+      if (std::find(methods.begin(), methods.end(), entry.method) ==
+          methods.end()) {
+        return false;
+      }
+      bool matches = signatures.empty();
+      for (const auto& sig : signatures) {
+        if (SignatureMatches(entry, info, sig)) {
+          matches = true;
+          break;
+        }
+      }
+      if (matches && entry.method != info.method) {
+        ++dropped_other;
+      }
+      return matches;
+    });
+    stats_.calls_dropped_stale += static_cast<uint64_t>(removed);
+
+    // A negating call ("this" listed with the calls it cancels) is itself
+    // stale once it found a victim: replaying it would cancel nothing.
+    if (drops_this && has_other && dropped_other > 0) {
+      suppress = true;
+    }
+  }
+
+  if (suppress) {
+    ++stats_.calls_suppressed;
+    return;
+  }
+  append();
+}
+
+void RecordEngine::Arm(BinderDriver& driver) { driver.AddObserver(this); }
+
+void RecordEngine::Disarm(BinderDriver& driver) { driver.RemoveObserver(this); }
+
+}  // namespace flux

@@ -1,0 +1,97 @@
+// Selective Record (§3.2).
+//
+// A TransactionObserver on the device's Binder driver. For every call a
+// tracked app makes to a decorated service method, the engine:
+//   1. evaluates the method's @drop clauses, pruning prior log entries whose
+//      effects the new call neutralizes (matching @if/@elif signatures on
+//      named arguments, scoped to the same target node);
+//   2. appends the call to the app's log if the rule records it — unless the
+//      call was pure negation ("this" in a drop list alongside other
+//      methods, and a prior call to one of those other methods was dropped);
+//   3. charges the (asynchronous, near-zero) recording cost to the clock.
+//
+// Undecorated calls are ignored entirely — that is the "selective": reads
+// and stateless calls never enter the log. A full-record mode exists for the
+// ablation benchmark.
+#ifndef FLUX_SRC_FLUX_RECORD_ENGINE_H_
+#define FLUX_SRC_FLUX_RECORD_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "src/aidl/record_rules.h"
+#include "src/binder/binder_driver.h"
+#include "src/flux/call_log.h"
+
+namespace flux {
+
+struct RecordStats {
+  uint64_t transactions_seen = 0;   // all calls by tracked apps
+  uint64_t calls_recorded = 0;
+  uint64_t calls_dropped_stale = 0; // pruned by @drop
+  uint64_t calls_suppressed = 0;    // negations never recorded
+};
+
+class RecordEngine : public TransactionObserver {
+ public:
+  // The engine consults the device's compiled rule set; it must outlive the
+  // engine. Call BinderDriver::AddObserver(engine) to arm it.
+  explicit RecordEngine(const RecordRuleSet* rules) : rules_(rules) {}
+
+  // ----- app tracking -----
+  void TrackApp(Pid pid, std::string package);
+  void UntrackApp(Pid pid);
+  bool IsTracked(Pid pid) const { return apps_.count(pid) > 0; }
+  // Replay must not re-record its own calls (§3.1 migration-in).
+  void PauseRecording(Pid pid);
+  void ResumeRecording(Pid pid);
+
+  CallLog* LogFor(Pid pid);
+  const CallLog* LogFor(Pid pid) const;
+  // Detaches the log (for checkpointing).
+  Result<CallLog> TakeLog(Pid pid);
+  void InstallLog(Pid pid, CallLog log);
+
+  const RecordStats& stats() const { return stats_; }
+
+  // Ablation: record every observed call, ignore @drop pruning.
+  void set_full_record_mode(bool full) { full_record_ = full; }
+
+  // Simulated cost per recorded call (asynchronous enqueue on the app side).
+  void set_record_cost(SimDuration cost) { record_cost_ = cost; }
+
+  // ----- TransactionObserver -----
+  void OnTransaction(const TransactionInfo& info) override;
+
+  // Attaches to a driver (convenience; remember to detach on destruction).
+  void Arm(BinderDriver& driver);
+  void Disarm(BinderDriver& driver);
+
+ private:
+  struct TrackedApp {
+    std::string package;
+    bool paused = false;
+    CallLog log;
+  };
+
+  // True if `entry` matches the new call under signature `sig_args`
+  // (every named arg listed equal between the two).
+  static bool SignatureMatches(const CallRecord& entry,
+                               const TransactionInfo& info,
+                               const std::vector<std::string>& sig_args);
+
+  const RecordRuleSet* rules_;
+  std::map<Pid, TrackedApp> apps_;
+  RecordStats stats_;
+  bool full_record_ = false;
+  SimDuration record_cost_ = Micros(4);
+  SimClock* clock_ = nullptr;
+
+ public:
+  // Optional: charge record costs to this clock.
+  void set_clock(SimClock* clock) { clock_ = clock; }
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_RECORD_ENGINE_H_

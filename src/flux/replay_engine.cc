@@ -1,0 +1,303 @@
+#include "src/flux/replay_engine.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace flux {
+
+Result<uint64_t> ReplayContext::ResolveTarget(const CallRecord& record) {
+  if (!record.service.empty()) {
+    return guest->service_manager().GetServiceHandle(app->pid,
+                                                     record.service);
+  }
+  auto it = app->node_mapping.find(record.node_id);
+  if (it == app->node_mapping.end()) {
+    return NotFound(StrFormat(
+        "replay: no guest mapping for home node %llu (call %s.%s)",
+        static_cast<unsigned long long>(record.node_id),
+        record.interface.c_str(), record.method.c_str()));
+  }
+  return guest->binder().GetOrCreateHandle(app->pid, it->second);
+}
+
+Status ReplayContext::RewriteRefs(Parcel& args) const {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (auto* ref = std::get_if<ParcelObjectRef>(&args.at(i))) {
+      if (ref->space == ParcelObjectRef::Space::kNode) {
+        auto it = app->node_mapping.find(ref->value);
+        if (it == app->node_mapping.end()) {
+          return NotFound(StrFormat(
+              "replay: argument references unmapped home node %llu",
+              static_cast<unsigned long long>(ref->value)));
+        }
+        ref->value = it->second;
+      }
+      // Handle-space refs resolve through the reinstated handle table.
+    }
+  }
+  return OkStatus();
+}
+
+Result<Parcel> ReplayContext::Reissue(const CallRecord& record) {
+  FLUX_ASSIGN_OR_RETURN(uint64_t handle, ResolveTarget(record));
+  Parcel args = record.args;
+  FLUX_RETURN_IF_ERROR(RewriteRefs(args));
+  if (record.oneway) {
+    FLUX_RETURN_IF_ERROR(guest->binder().TransactOneway(
+        app->pid, handle, record.method, std::move(args)));
+    FLUX_RETURN_IF_ERROR(
+        guest->binder().DeliverAsync(guest->binder().NodeOwner(
+            guest->binder().LookupNode(app->pid, handle).value_or(0))));
+    return Parcel();
+  }
+  return guest->binder().Transact(app->pid, handle, record.method,
+                                  std::move(args));
+}
+
+ReplayEngine::ReplayEngine(Device& guest) : guest_(guest) {
+  RegisterDefaultProxies();
+}
+
+void ReplayEngine::RegisterProxy(std::string qualified_name, Proxy proxy) {
+  proxies_[std::move(qualified_name)] = std::move(proxy);
+}
+
+bool ReplayEngine::HasProxy(std::string_view qualified_name) const {
+  return proxies_.count(std::string(qualified_name)) > 0;
+}
+
+Result<ReplayStats> ReplayEngine::Replay(const CallLog& log,
+                                         CriaRestoredApp& app,
+                                         const HardwareSnapshot& home_hw) {
+  ReplayContext context;
+  context.guest = &guest_;
+  context.app = &app;
+  context.home_hw = home_hw;
+
+  for (const CallRecord& record : log.entries()) {
+    const RecordRule* rule =
+        guest_.record_rules().FindRule(record.interface, record.method);
+    if (rule != nullptr && !rule->replay_proxy.empty()) {
+      auto it = proxies_.find(rule->replay_proxy);
+      if (it == proxies_.end()) {
+        return Internal("no replay proxy registered as " + rule->replay_proxy);
+      }
+      ++context.stats.proxied;
+      Status status = it->second(record, context);
+      if (!status.ok()) {
+        ++context.stats.failed;
+        FLUX_LOG(kWarning, "replay")
+            << record.interface << "." << record.method
+            << " proxy failed: " << status.ToString();
+      }
+      continue;
+    }
+    auto reply = context.Reissue(record);
+    if (reply.ok()) {
+      ++context.stats.replayed;
+    } else {
+      ++context.stats.failed;
+      FLUX_LOG(kWarning, "replay")
+          << record.interface << "." << record.method
+          << " replay failed: " << reply.status().ToString();
+    }
+  }
+  return context.stats;
+}
+
+void ReplayEngine::RegisterDefaultProxies() {
+  // Figure 10: skip alarms that fired (or lapsed) before the checkpoint.
+  RegisterProxy(
+      "flux.recordreplay.Proxies.alarmMgrSet",
+      [](const CallRecord& record, ReplayContext& ctx) -> Status {
+        const ParcelValue* trigger = record.args.FindNamed("triggerAtTime");
+        const int64_t* trigger_at =
+            trigger != nullptr ? std::get_if<int64_t>(trigger) : nullptr;
+        if (trigger_at == nullptr) {
+          return Corrupt("alarmMgrSet: no triggerAtTime argument");
+        }
+        if (static_cast<SimTime>(*trigger_at) <= ctx.app->checkpoint_time) {
+          ++ctx.stats.skipped;
+          return OkStatus();
+        }
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        (void)reply;
+        return OkStatus();
+      });
+
+  RegisterProxy(
+      "flux.recordreplay.Proxies.alarmMgrSetTimeZone",
+      [](const CallRecord& record, ReplayContext& ctx) -> Status {
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        (void)reply;
+        return OkStatus();
+      });
+
+  // Rescale stream volumes to the guest's range (§3.2).
+  RegisterProxy(
+      "flux.recordreplay.Proxies.audioSetStreamVolume",
+      [this](const CallRecord& record, ReplayContext& ctx) -> Status {
+        const ParcelValue* index_value = record.args.FindNamed("index");
+        const int32_t* index =
+            index_value != nullptr ? std::get_if<int32_t>(index_value)
+                                   : nullptr;
+        if (index == nullptr) {
+          return Corrupt("audioSetStreamVolume: no index argument");
+        }
+        const int home_max = ctx.home_hw.max_music_volume;
+        const int guest_max = guest_.context().max_music_volume;
+        int new_index = *index;
+        if (home_max > 0 && home_max != guest_max) {
+          new_index = static_cast<int>(std::lround(
+              static_cast<double>(*index) * guest_max / home_max));
+          ++ctx.stats.adapted;
+        }
+        CallRecord adapted = record;
+        *std::get_if<int32_t>(
+            const_cast<ParcelValue*>(adapted.args.FindNamed("index"))) =
+            new_index;
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(adapted));
+        (void)reply;
+        return OkStatus();
+      });
+
+  // Re-apply WiFi state only if it differs on the guest.
+  RegisterProxy(
+      "flux.recordreplay.Proxies.wifiSetEnabled",
+      [this](const CallRecord& record, ReplayContext& ctx) -> Status {
+        const ParcelValue* enable_value = record.args.FindNamed("enable");
+        const bool* enable =
+            enable_value != nullptr ? std::get_if<bool>(enable_value)
+                                    : nullptr;
+        if (enable != nullptr && guest_.wifi_service().enabled() == *enable) {
+          ++ctx.stats.skipped;
+          return OkStatus();
+        }
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        (void)reply;
+        return OkStatus();
+      });
+
+  // GPS requests fall back to network positioning when the guest has no GPS
+  // (the paper's "continue over the network" option, §3.2).
+  RegisterProxy(
+      "flux.recordreplay.Proxies.locationRequestUpdates",
+      [this](const CallRecord& record, ReplayContext& ctx) -> Status {
+        const ParcelValue* provider_value = record.args.FindNamed("provider");
+        const std::string* provider =
+            provider_value != nullptr
+                ? std::get_if<std::string>(provider_value)
+                : nullptr;
+        CallRecord adapted = record;
+        if (provider != nullptr && *provider == "gps" &&
+            !guest_.context().has_gps) {
+          *std::get_if<std::string>(const_cast<ParcelValue*>(
+              adapted.args.FindNamed("provider"))) = "network";
+          ++ctx.stats.adapted;
+          FLUX_LOG(kInfo, "replay")
+              << "guest lacks GPS; forwarding location request to the "
+                 "network provider";
+        }
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(adapted));
+        (void)reply;
+        return OkStatus();
+      });
+
+  RegisterProxy(
+      "flux.recordreplay.Proxies.powerAcquireWakeLock",
+      [](const CallRecord& record, ReplayContext& ctx) -> Status {
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        (void)reply;
+        return OkStatus();
+      });
+
+  // Vibrations are transient: skip ones that finished before checkpoint.
+  RegisterProxy(
+      "flux.recordreplay.Proxies.vibratorVibrate",
+      [](const CallRecord& record, ReplayContext& ctx) -> Status {
+        const ParcelValue* ms_value = record.args.FindNamed("milliseconds");
+        const int64_t* ms =
+            ms_value != nullptr ? std::get_if<int64_t>(ms_value) : nullptr;
+        if (ms != nullptr &&
+            record.time + static_cast<SimTime>(Millis(*ms)) <=
+                ctx.app->checkpoint_time) {
+          ++ctx.stats.skipped;
+          return OkStatus();
+        }
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        (void)reply;
+        return OkStatus();
+      });
+
+  RegisterProxy(
+      "flux.recordreplay.Proxies.cameraConnect",
+      [this](const CallRecord& record, ReplayContext& ctx) -> Status {
+        if (!guest_.context().has_camera) {
+          ++ctx.stats.skipped;
+          FLUX_LOG(kWarning, "replay")
+              << "guest has no camera; offering network passthrough instead "
+                 "of replaying connect";
+          return OkStatus();
+        }
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        (void)reply;
+        return OkStatus();
+      });
+
+  // SensorEventConnection re-creation under the original handle id (§3.2).
+  RegisterProxy(
+      "flux.recordreplay.Proxies.sensorCreateConnection",
+      [this](const CallRecord& record, ReplayContext& ctx) -> Status {
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        FLUX_ASSIGN_OR_RETURN(ParcelObjectRef new_ref, reply.ReadObject());
+        // The recorded reply holds the handle the app was using.
+        Parcel old_reply = record.reply;
+        old_reply.RewindRead();
+        FLUX_ASSIGN_OR_RETURN(ParcelObjectRef old_ref, old_reply.ReadObject());
+        const uint64_t old_handle = old_ref.value;
+        auto old_node_it = ctx.app->handle_to_old_node.find(old_handle);
+        if (old_node_it == ctx.app->handle_to_old_node.end()) {
+          return Corrupt("sensorCreateConnection: recorded handle not in "
+                         "checkpointed handle table");
+        }
+        FLUX_ASSIGN_OR_RETURN(
+            uint64_t new_node,
+            guest_.binder().LookupNode(ctx.app->pid, new_ref.value));
+        ctx.app->node_mapping[old_node_it->second] = new_node;
+        // Inject the new connection under the previously issued handle so
+        // the app's references keep working.
+        Status install = guest_.binder().InstallHandleAt(
+            ctx.app->pid, old_handle, new_node, 1, 0);
+        if (!install.ok() &&
+            install.code() != StatusCode::kAlreadyExists) {
+          return install;
+        }
+        ++ctx.stats.adapted;
+        return OkStatus();
+      });
+
+  // Event channel: reconnect and dup2 onto the reserved descriptor (§3.2).
+  RegisterProxy(
+      "flux.recordreplay.Proxies.sensorGetChannel",
+      [this](const CallRecord& record, ReplayContext& ctx) -> Status {
+        FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
+        FLUX_ASSIGN_OR_RETURN(Fd new_fd, reply.ReadFd());
+        Parcel old_reply = record.reply;
+        old_reply.RewindRead();
+        FLUX_ASSIGN_OR_RETURN(Fd old_fd, old_reply.ReadFd());
+        SimProcess* process = guest_.kernel().FindProcess(ctx.app->pid);
+        if (process == nullptr) {
+          return Internal("restored process vanished during replay");
+        }
+        if (new_fd != old_fd) {
+          FLUX_RETURN_IF_ERROR(process->DupFd(new_fd, old_fd));
+          FLUX_RETURN_IF_ERROR(process->CloseFd(new_fd));
+        }
+        ++ctx.stats.adapted;
+        return OkStatus();
+      });
+}
+
+}  // namespace flux

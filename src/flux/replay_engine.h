@@ -1,0 +1,77 @@
+// Adaptive Replay (§3.2).
+//
+// Replays a pruned call log against the *guest* device's services through a
+// service contextualization layer:
+//  - plain recorded calls are re-issued verbatim as the restored app (object
+//    refs rewritten through CRIA's node mapping, handles resolved through
+//    the reinstated handle table);
+//  - methods decorated with @replayproxy dispatch to a registered proxy
+//    that adapts the call to the guest: alarms whose trigger time predates
+//    the checkpoint are skipped (Figure 10), volumes are rescaled to the
+//    guest's range, SensorEventConnections are recreated and mapped under
+//    their original Binder handles, event channels are reconnected and
+//    dup2()'d onto the reserved descriptor numbers, GPS requests fall back
+//    to network positioning when the guest lacks the hardware.
+#ifndef FLUX_SRC_FLUX_REPLAY_ENGINE_H_
+#define FLUX_SRC_FLUX_REPLAY_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/cria/cria.h"
+#include "src/flux/call_log.h"
+#include "src/flux/hardware_snapshot.h"
+
+namespace flux {
+
+struct ReplayStats {
+  int replayed = 0;        // re-issued verbatim
+  int proxied = 0;         // handled by a @replayproxy
+  int skipped = 0;         // proxy decided the call is moot on the guest
+  int adapted = 0;         // proxy modified the call for the guest
+  int failed = 0;
+};
+
+// Everything a proxy may need.
+struct ReplayContext {
+  Device* guest = nullptr;
+  CriaRestoredApp* app = nullptr;
+  HardwareSnapshot home_hw;
+  ReplayStats stats;
+
+  // Resolves the guest-side Binder handle for a recorded call's target.
+  Result<uint64_t> ResolveTarget(const CallRecord& record);
+  // Rewrites object refs in `args` from home ids to guest ids.
+  Status RewriteRefs(Parcel& args) const;
+  // Issues `method(args)` at the recorded target as the restored app.
+  Result<Parcel> Reissue(const CallRecord& record);
+};
+
+class ReplayEngine {
+ public:
+  // Proxies are looked up by the @replayproxy qualified name in the guest's
+  // rule set. Returns OK even when individual proxies skip calls; fails on
+  // structural errors (unknown proxy, unresolvable target).
+  using Proxy = std::function<Status(const CallRecord&, ReplayContext&)>;
+
+  explicit ReplayEngine(Device& guest);
+
+  void RegisterProxy(std::string qualified_name, Proxy proxy);
+  bool HasProxy(std::string_view qualified_name) const;
+
+  // Replays the whole log in order. `home_hw` captures the home device's
+  // hardware profile at checkpoint time.
+  Result<ReplayStats> Replay(const CallLog& log, CriaRestoredApp& app,
+                             const HardwareSnapshot& home_hw);
+
+ private:
+  void RegisterDefaultProxies();
+
+  Device& guest_;
+  std::map<std::string, Proxy> proxies_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_REPLAY_ENGINE_H_

@@ -1,0 +1,361 @@
+#include "src/framework/activity_manager.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/framework/aidl_sources.h"
+
+namespace flux {
+
+std::string_view ActivityStateName(ActivityState state) {
+  switch (state) {
+    case ActivityState::kResumed:
+      return "resumed";
+    case ActivityState::kPaused:
+      return "paused";
+    case ActivityState::kStopped:
+      return "stopped";
+    case ActivityState::kDestroyed:
+      return "destroyed";
+  }
+  return "unknown";
+}
+
+std::string_view ActivityManagerService::aidl_source() const {
+  return ActivityManagerAidl();
+}
+
+Result<Parcel> ActivityManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "attachApplication") {
+    FLUX_ASSIGN_OR_RETURN(std::string package, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef thread, args.ReadObject());
+    FLUX_ASSIGN_OR_RETURN(
+        uint64_t thread_node,
+        context.driver->LookupNode(host_pid(), thread.value));
+    FLUX_RETURN_IF_ERROR(AttachApplication(std::move(package),
+                                           context.sender_uid,
+                                           context.sender_pid, thread_node));
+    return Parcel();
+  }
+  if (method == "startActivity") {
+    FLUX_ASSIGN_OR_RETURN(std::string package, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(std::string name, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(
+        std::string token,
+        StartActivity(context.sender_pid, package, name));
+    Parcel reply;
+    reply.WriteString(token);
+    return reply;
+  }
+  if (method == "finishActivity") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    FLUX_RETURN_IF_ERROR(FinishActivity(token));
+    return Parcel();
+  }
+  if (method == "activityPaused" || method == "activityResumed" ||
+      method == "activityStopped") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    ActivityRecord* record = FindActivity(token);
+    if (record != nullptr) {
+      if (method == "activityPaused") {
+        record->state = ActivityState::kPaused;
+        record->paused_at = context.time;
+      } else if (method == "activityResumed") {
+        record->state = ActivityState::kResumed;
+      } else {
+        record->state = ActivityState::kStopped;
+      }
+    }
+    return Parcel();
+  }
+  if (method == "registerReceiver") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef receiver, args.ReadObject());
+    FLUX_ASSIGN_OR_RETURN(std::string action, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(
+        uint64_t node_id,
+        context.driver->LookupNode(host_pid(), receiver.value));
+    receivers_.push_back(
+        RegisteredReceiver{node_id, std::move(action), context.sender_pid});
+    return Parcel();
+  }
+  if (method == "unregisterReceiver") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef receiver, args.ReadObject());
+    FLUX_ASSIGN_OR_RETURN(
+        uint64_t node_id,
+        context.driver->LookupNode(host_pid(), receiver.value));
+    receivers_.erase(std::remove_if(receivers_.begin(), receivers_.end(),
+                                    [&](const RegisteredReceiver& r) {
+                                      return r.node_id == node_id;
+                                    }),
+                     receivers_.end());
+    return Parcel();
+  }
+  if (method == "broadcastIntent") {
+    FLUX_ASSIGN_OR_RETURN(std::string flat, args.ReadString());
+    const int delivered = BroadcastIntent(Intent::Deserialize(flat));
+    Parcel reply;
+    reply.WriteI32(delivered);
+    return reply;
+  }
+  if (method == "reportTrimMemory") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    (void)token;
+    return Parcel();
+  }
+  if (method == "getConfiguration") {
+    Parcel reply;
+    reply.WriteI32(this->context().display.width_px);
+    reply.WriteI32(this->context().display.height_px);
+    reply.WriteI32(this->context().display.dpi);
+    return reply;
+  }
+  if (method == "getMemoryInfo") {
+    Parcel reply;
+    reply.WriteI64(2LL * 1024 * 1024 * 1024);
+    return reply;
+  }
+  if (method == "getRunningAppProcesses") {
+    Parcel reply;
+    for (const auto& [pid, app] : apps_) {
+      (void)pid;
+      reply.WriteString(app.package);
+    }
+    return reply;
+  }
+  return Unsupported("IActivityManager: " + std::string(method));
+}
+
+Status ActivityManagerService::AttachApplication(std::string package, Uid uid,
+                                                 Pid pid,
+                                                 uint64_t thread_node) {
+  AttachedApp app;
+  app.package = std::move(package);
+  app.uid = uid;
+  app.pid = pid;
+  app.thread_node = thread_node;
+  apps_[pid] = std::move(app);
+  return OkStatus();
+}
+
+Status ActivityManagerService::DetachApplication(Pid pid) {
+  apps_.erase(pid);
+  return OkStatus();
+}
+
+const AttachedApp* ActivityManagerService::FindAppByPid(Pid pid) const {
+  auto it = apps_.find(pid);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+const AttachedApp* ActivityManagerService::FindAppByPackage(
+    const std::string& package) const {
+  for (const auto& [pid, app] : apps_) {
+    (void)pid;
+    if (app.package == package) {
+      return &app;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::string> ActivityManagerService::StartActivity(
+    Pid pid, const std::string& package, const std::string& name) {
+  ActivityRecord record;
+  record.token = StrFormat("%s/%s#%llu", package.c_str(), name.c_str(),
+                           static_cast<unsigned long long>(next_token_++));
+  record.name = name;
+  record.package = package;
+  record.pid = pid;
+  record.state = ActivityState::kResumed;
+  if (window_manager_ != nullptr) {
+    FLUX_RETURN_IF_ERROR(window_manager_->AddWindow(record.token, pid));
+  }
+  activities_.push_back(record);
+  return record.token;
+}
+
+Status ActivityManagerService::AdoptActivity(const std::string& token,
+                                             const std::string& name,
+                                             const std::string& package,
+                                             Pid pid) {
+  if (FindActivity(token) != nullptr) {
+    return AlreadyExists("activity token in use: " + token);
+  }
+  ActivityRecord record;
+  record.token = token;
+  record.name = name;
+  record.package = package;
+  record.pid = pid;
+  record.state = ActivityState::kStopped;
+  if (window_manager_ != nullptr) {
+    FLUX_RETURN_IF_ERROR(window_manager_->AddWindow(token, pid));
+    FLUX_RETURN_IF_ERROR(window_manager_->DestroySurface(token));
+  }
+  activities_.push_back(std::move(record));
+  return OkStatus();
+}
+
+Status ActivityManagerService::FinishActivity(const std::string& token) {
+  auto it = std::find_if(activities_.begin(), activities_.end(),
+                         [&](const ActivityRecord& r) {
+                           return r.token == token;
+                         });
+  if (it == activities_.end()) {
+    return NotFound("no activity with token " + token);
+  }
+  if (window_manager_ != nullptr) {
+    (void)window_manager_->RemoveWindow(token);
+  }
+  activities_.erase(it);
+  return OkStatus();
+}
+
+ActivityRecord* ActivityManagerService::FindActivity(
+    const std::string& token) {
+  for (auto& record : activities_) {
+    if (record.token == token) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ActivityRecord*> ActivityManagerService::ActivitiesOf(
+    Pid pid) const {
+  std::vector<const ActivityRecord*> out;
+  for (const auto& record : activities_) {
+    if (record.pid == pid) {
+      out.push_back(&record);
+    }
+  }
+  return out;
+}
+
+Status ActivityManagerService::ScheduleOnAppThread(Pid pid,
+                                                   std::string_view method,
+                                                   Parcel args) {
+  const AttachedApp* app = FindAppByPid(pid);
+  if (app == nullptr) {
+    return NotFound(StrFormat("no attached app for pid %d", pid));
+  }
+  FLUX_ASSIGN_OR_RETURN(
+      uint64_t handle,
+      context().binder->GetOrCreateHandle(host_pid(), app->thread_node));
+  FLUX_ASSIGN_OR_RETURN(
+      Parcel reply,
+      context().binder->Transact(host_pid(), handle, method, std::move(args)));
+  (void)reply;
+  return OkStatus();
+}
+
+Status ActivityManagerService::MoveAppToBackground(Pid pid) {
+  for (auto& record : activities_) {
+    if (record.pid == pid && record.state == ActivityState::kResumed) {
+      Parcel args;
+      args.WriteString(record.token);
+      FLUX_RETURN_IF_ERROR(
+          ScheduleOnAppThread(pid, "schedulePauseActivity", std::move(args)));
+      record.state = ActivityState::kPaused;
+      record.paused_at = context().now();
+    }
+  }
+  return OkStatus();
+}
+
+Status ActivityManagerService::BringAppToForeground(Pid pid) {
+  for (auto& record : activities_) {
+    if (record.pid == pid && record.state != ActivityState::kResumed) {
+      if (window_manager_ != nullptr) {
+        FLUX_RETURN_IF_ERROR(window_manager_->CreateSurface(record.token));
+      }
+      Parcel args;
+      args.WriteString(record.token);
+      FLUX_RETURN_IF_ERROR(
+          ScheduleOnAppThread(pid, "scheduleResumeActivity", std::move(args)));
+      record.state = ActivityState::kResumed;
+    }
+  }
+  return OkStatus();
+}
+
+int ActivityManagerService::RunTaskIdler() {
+  int stopped = 0;
+  const SimTime now = context().now();
+  for (auto& record : activities_) {
+    if (record.state == ActivityState::kPaused &&
+        now >= record.paused_at + static_cast<SimTime>(idle_stop_delay_)) {
+      Parcel args;
+      args.WriteString(record.token);
+      Status status =
+          ScheduleOnAppThread(record.pid, "scheduleStopActivity", std::move(args));
+      if (!status.ok()) {
+        FLUX_LOG(kWarning, "ams") << "stop scheduling failed: "
+                                  << status.ToString();
+        continue;
+      }
+      if (window_manager_ != nullptr) {
+        (void)window_manager_->DestroySurface(record.token);
+      }
+      record.state = ActivityState::kStopped;
+      ++stopped;
+    }
+  }
+  return stopped;
+}
+
+Status ActivityManagerService::RequestTrimMemory(Pid pid, int32_t level) {
+  Parcel args;
+  args.WriteI32(level);
+  return ScheduleOnAppThread(pid, "scheduleTrimMemory", std::move(args));
+}
+
+int ActivityManagerService::BroadcastIntent(const Intent& intent) {
+  int delivered = 0;
+  // Snapshot: receivers may mutate during delivery.
+  const std::vector<RegisteredReceiver> snapshot = receivers_;
+  for (const auto& receiver : snapshot) {
+    if (receiver.action != intent.action) {
+      continue;
+    }
+    if (!intent.target_package.empty()) {
+      const AttachedApp* app = FindAppByPid(receiver.owner);
+      if (app == nullptr || app->package != intent.target_package) {
+        continue;
+      }
+    }
+    auto handle =
+        context().binder->GetOrCreateHandle(host_pid(), receiver.node_id);
+    if (!handle.ok()) {
+      continue;
+    }
+    Parcel args;
+    args.WriteString(intent.Serialize());
+    Status status = context().binder->TransactOneway(
+        host_pid(), handle.value(), "onReceive", std::move(args));
+    if (status.ok()) {
+      (void)context().binder->DeliverAsync(receiver.owner);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+void ActivityManagerService::OnProcessExit(Pid pid) {
+  activities_.erase(std::remove_if(activities_.begin(), activities_.end(),
+                                   [pid](const ActivityRecord& r) {
+                                     return r.pid == pid;
+                                   }),
+                    activities_.end());
+  receivers_.erase(std::remove_if(receivers_.begin(), receivers_.end(),
+                                  [pid](const RegisteredReceiver& r) {
+                                    return r.owner == pid;
+                                  }),
+                   receivers_.end());
+  apps_.erase(pid);
+}
+
+}  // namespace flux

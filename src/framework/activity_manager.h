@@ -1,0 +1,129 @@
+// ActivityManagerService (§2).
+//
+// Runs the app side of Android that migration must cooperate with:
+//  - activity lifecycle (Resumed -> Paused -> Stopped), including the task
+//    idler that stops backgrounded activities — the paper's unoptimized
+//    preparation phase waits on exactly this transition;
+//  - BroadcastReceiver registry and Intent broadcast (how apps learn of
+//    connectivity changes, fired alarms, and Flux's post-restore hardware
+//    diffs);
+//  - trim-memory requests, the entry point of CRIA's GPU-state shedding;
+//  - app attach: each app process registers its IApplicationThread so the
+//    system can schedule lifecycle work back into the app.
+#ifndef FLUX_SRC_FRAMEWORK_ACTIVITY_MANAGER_H_
+#define FLUX_SRC_FRAMEWORK_ACTIVITY_MANAGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/framework/intent.h"
+#include "src/framework/system_service.h"
+#include "src/framework/window_manager.h"
+
+namespace flux {
+
+enum class ActivityState : uint8_t {
+  kResumed = 0,
+  kPaused,
+  kStopped,
+  kDestroyed,
+};
+
+std::string_view ActivityStateName(ActivityState state);
+
+struct ActivityRecord {
+  std::string token;   // unique per activity instance
+  std::string name;    // "MainActivity"
+  std::string package;
+  Pid pid = kInvalidPid;
+  ActivityState state = ActivityState::kResumed;
+  SimTime paused_at = 0;  // for the task idler
+};
+
+struct RegisteredReceiver {
+  uint64_t node_id = 0;  // the app-side IIntentReceiver node
+  std::string action;
+  Pid owner = kInvalidPid;
+};
+
+struct AttachedApp {
+  std::string package;
+  Uid uid = -1;
+  Pid pid = kInvalidPid;
+  uint64_t thread_node = 0;  // IApplicationThread node
+};
+
+// Trim levels (subset of Android's ComponentCallbacks2).
+inline constexpr int32_t kTrimMemoryComplete = 80;
+
+class ActivityManagerService : public SystemService {
+ public:
+  explicit ActivityManagerService(SystemContext& context)
+      : SystemService(context, "activity", /*hardware=*/false) {}
+
+  // Task idler: backgrounded activities stop after this long.
+  void set_idle_stop_delay(SimDuration delay) { idle_stop_delay_ = delay; }
+  SimDuration idle_stop_delay() const { return idle_stop_delay_; }
+
+  void SetWindowManager(WindowManagerService* wm) { window_manager_ = wm; }
+
+  std::string_view interface_name() const override {
+    return "android.app.IActivityManager";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // ----- direct API -----
+  Status AttachApplication(std::string package, Uid uid, Pid pid,
+                           uint64_t thread_node);
+  Status DetachApplication(Pid pid);
+  const AttachedApp* FindAppByPid(Pid pid) const;
+  const AttachedApp* FindAppByPackage(const std::string& package) const;
+
+  Result<std::string> StartActivity(Pid pid, const std::string& package,
+                                    const std::string& name);
+  // Restore path (§3.1): registers an activity that already exists inside a
+  // restored app process, keeping its original token. The activity starts
+  // Stopped (no surface) until reintegration brings it to the foreground.
+  Status AdoptActivity(const std::string& token, const std::string& name,
+                       const std::string& package, Pid pid);
+  Status FinishActivity(const std::string& token);
+  ActivityRecord* FindActivity(const std::string& token);
+  std::vector<const ActivityRecord*> ActivitiesOf(Pid pid) const;
+
+  // Sends the app's resumed activities to the background (-> Paused) by
+  // scheduling pause on its ApplicationThread.
+  Status MoveAppToBackground(Pid pid);
+  // Brings the app's activities back to Resumed, recreating surfaces.
+  Status BringAppToForeground(Pid pid);
+  // Task idler tick: Paused activities past the idle delay become Stopped
+  // and lose their surfaces. Returns how many were stopped.
+  int RunTaskIdler();
+  // Requests a trim-memory on the app thread at the given level (§3.3).
+  Status RequestTrimMemory(Pid pid, int32_t level);
+
+  // Broadcasts to matching registered receivers (oneway, delivered inline).
+  int BroadcastIntent(const Intent& intent);
+  const std::vector<RegisteredReceiver>& receivers() const {
+    return receivers_;
+  }
+
+  void OnProcessExit(Pid pid);
+
+ private:
+  Status ScheduleOnAppThread(Pid pid, std::string_view method, Parcel args);
+
+  WindowManagerService* window_manager_ = nullptr;
+  SimDuration idle_stop_delay_ = Millis(900);
+  uint64_t next_token_ = 1;
+  std::vector<ActivityRecord> activities_;
+  std::vector<RegisteredReceiver> receivers_;
+  std::map<Pid, AttachedApp> apps_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_ACTIVITY_MANAGER_H_

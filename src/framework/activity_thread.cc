@@ -1,0 +1,372 @@
+#include "src/framework/activity_thread.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/binder/service_manager.h"
+#include "src/framework/activity_manager.h"
+#include "src/gpu/egl_runtime.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+// App-side IIntentReceiver node: appends delivered intents to the thread's
+// inbox.
+class ActivityThread::IntentReceiver : public BinderObject {
+ public:
+  explicit IntentReceiver(ActivityThread* thread) : thread_(thread) {}
+
+  std::string_view interface_name() const override {
+    return "android.content.IIntentReceiver";
+  }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override {
+    (void)context;
+    if (method == "onReceive") {
+      FLUX_ASSIGN_OR_RETURN(std::string flat, args.ReadString());
+      thread_->inbox_.push_back(Intent::Deserialize(flat));
+      return Parcel();
+    }
+    return Unsupported("IIntentReceiver: " + std::string(method));
+  }
+
+ private:
+  ActivityThread* thread_;
+};
+
+ActivityThread::ActivityThread(SystemContext& context, Pid pid, Uid uid,
+                               std::string package)
+    : context_(context), pid_(pid), uid_(uid), package_(std::move(package)) {}
+
+Status ActivityThread::Attach() {
+  if (attached_) {
+    return FailedPrecondition("ActivityThread already attached");
+  }
+  thread_node_ = context_.binder->RegisterNode(pid_, shared_from_this());
+  Parcel args;
+  args.WriteString(package_);
+  args.WriteNode(thread_node_);
+  FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                        CallService("activity", "attachApplication",
+                                    std::move(args)));
+  (void)reply;
+  attached_ = true;
+  return OkStatus();
+}
+
+Result<Parcel> ActivityThread::OnTransact(std::string_view method,
+                                          const Parcel& args,
+                                          const BinderCallContext& context) {
+  (void)context;
+  if (method == "schedulePauseActivity") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    if (LocalActivity* activity = FindActivity(token)) {
+      activity->visible = false;
+    }
+    return Parcel();
+  }
+  if (method == "scheduleStopActivity") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    if (LocalActivity* activity = FindActivity(token)) {
+      activity->visible = false;
+      // Stopped activities cannot render; their window surface is gone.
+      for (View& view : activity->view_root.views) {
+        view.valid = false;
+      }
+    }
+    return Parcel();
+  }
+  if (method == "scheduleResumeActivity") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    if (LocalActivity* activity = FindActivity(token)) {
+      activity->visible = true;
+    }
+    return Parcel();
+  }
+  if (method == "scheduleTrimMemory") {
+    FLUX_ASSIGN_OR_RETURN(int32_t level, args.ReadI32());
+    FLUX_RETURN_IF_ERROR(HandleTrimMemory(level));
+    return Parcel();
+  }
+  return Unsupported("IApplicationThread: " + std::string(method));
+}
+
+Result<std::string> ActivityThread::StartActivity(const std::string& name) {
+  Parcel args;
+  args.WriteString(package_);
+  args.WriteString(name);
+  FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                        CallService("activity", "startActivity",
+                                    std::move(args)));
+  FLUX_ASSIGN_OR_RETURN(std::string token, reply.ReadString());
+  LocalActivity activity;
+  activity.token = token;
+  activity.name = name;
+  activity.visible = true;
+  activities_.push_back(std::move(activity));
+  return token;
+}
+
+LocalActivity* ActivityThread::FindActivity(const std::string& token) {
+  for (auto& activity : activities_) {
+    if (activity.token == token) {
+      return &activity;
+    }
+  }
+  return nullptr;
+}
+
+Status ActivityThread::InflateViews(const std::string& token, int count,
+                                    uint64_t bytes_per_view,
+                                    const std::string& type) {
+  LocalActivity* activity = FindActivity(token);
+  if (activity == nullptr) {
+    return NotFound("no activity " + token);
+  }
+  for (int i = 0; i < count; ++i) {
+    View view;
+    view.type = type;
+    view.pixel_bytes = bytes_per_view;
+    activity->view_root.views.push_back(std::move(view));
+  }
+  context_.SpendCpu(Micros(120) * count);  // inflation cost
+  return OkStatus();
+}
+
+Status ActivityThread::EnsureRendererInitialized() {
+  if (renderer_.initialized) {
+    return OkStatus();
+  }
+  FLUX_ASSIGN_OR_RETURN(renderer_.gl_context,
+                        context_.egl->CreateContext(pid_));
+  renderer_.initialized = true;
+  renderer_.enabled = true;
+  renderer_.cache_bytes = 0;
+  // Context setup: shader compilation and initial atlas upload.
+  FLUX_RETURN_IF_ERROR(context_.egl->CompileShader(renderer_.gl_context));
+  FLUX_RETURN_IF_ERROR(context_.egl->CompileShader(renderer_.gl_context));
+  FLUX_RETURN_IF_ERROR(
+      context_.egl->UploadTexture(renderer_.gl_context, 2 * 1024 * 1024));
+  context_.SpendCpu(Millis(35));  // EGL init + shader compile
+  return OkStatus();
+}
+
+Status ActivityThread::DrawFrame(const std::string& token) {
+  LocalActivity* activity = FindActivity(token);
+  if (activity == nullptr) {
+    return NotFound("no activity " + token);
+  }
+  if (!activity->visible) {
+    return FailedPrecondition("activity not visible: " + token);
+  }
+  FLUX_RETURN_IF_ERROR(EnsureRendererInitialized());
+
+  // Conditional (re)initialization of hardware resources: invalid views
+  // re-upload their bitmaps as textures, sized for this device's display.
+  if (!activity->view_root.hardware_resources_live) {
+    const DisplayProfile& display = context_.display;
+    const double scale = static_cast<double>(display.width_px) *
+                         static_cast<double>(display.height_px) /
+                         (1280.0 * 800.0);
+    for (View& view : activity->view_root.views) {
+      const auto texture_bytes = static_cast<uint64_t>(
+          static_cast<double>(view.pixel_bytes) * scale);
+      if (texture_bytes > 0) {
+        FLUX_RETURN_IF_ERROR(context_.egl->UploadTexture(renderer_.gl_context,
+                                                         texture_bytes));
+      }
+      renderer_.cache_bytes += texture_bytes / 4;  // display lists
+      view.valid = false;  // force first traversal to draw
+    }
+    activity->view_root.hardware_resources_live = true;
+  }
+
+  // Traverse: each invalid view draws its portion of the UI.
+  int drawn = 0;
+  for (View& view : activity->view_root.views) {
+    if (!view.valid) {
+      view.valid = true;
+      ++drawn;
+    }
+  }
+  const double gpu_speed = context_.egl->profile().perf_2d;
+  context_.SpendCpu(static_cast<SimDuration>(
+      static_cast<double>(Micros(250) * drawn + Millis(2)) /
+      (gpu_speed > 0 ? gpu_speed : 1.0)));
+  return OkStatus();
+}
+
+Status ActivityThread::SetPreserveEglContextOnPause(bool preserve) {
+  FLUX_RETURN_IF_ERROR(EnsureRendererInitialized());
+  return context_.egl->SetPreserveOnPause(renderer_.gl_context, preserve);
+}
+
+Status ActivityThread::HandleTrimMemory(int32_t level) {
+  if (level < kTrimMemoryComplete) {
+    // Partial trim: drop renderer caches only.
+    renderer_.cache_bytes = 0;
+    return OkStatus();
+  }
+  // Full cascade (§3.3):
+  // 1. WindowManagerGlobal.startTrimMemory -> HardwareRenderer flushes caches.
+  renderer_.cache_bytes = 0;
+  // 2. Every ViewRoot terminates its hardware resources ->
+  //    destroyHardwareResources + destroy.
+  for (LocalActivity& activity : activities_) {
+    activity.view_root.hardware_resources_live = false;
+    for (View& view : activity.view_root.views) {
+      view.valid = false;
+    }
+  }
+  // 3. endTrimMemory terminates all OpenGL contexts; the renderer
+  //    uninitializes once the contexts are gone. Contexts pinned by
+  //    setPreserveEGLContextOnPause survive — the unsupported case.
+  const int destroyed = context_.egl->DestroyContextsOf(pid_, /*force=*/false);
+  (void)destroyed;
+  if (!context_.egl->HasPreservedContext(pid_)) {
+    renderer_.gl_context = 0;
+    renderer_.initialized = false;
+    renderer_.enabled = false;
+  }
+  context_.SpendCpu(Millis(6));
+  return OkStatus();
+}
+
+Status ActivityThread::RegisterReceiver(const std::string& action) {
+  auto object = std::make_shared<IntentReceiver>(this);
+  const uint64_t node_id = context_.binder->RegisterNode(pid_, object);
+  Parcel args;
+  args.WriteNamed("receiver", ParcelObjectRef{ParcelObjectRef::Space::kNode,
+                                              node_id});
+  args.WriteNamed("filterAction", action);
+  FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                        CallService("activity", "registerReceiver",
+                                    std::move(args)));
+  (void)reply;
+  receivers_.push_back(ReceiverEntry{action, std::move(object), node_id});
+  return OkStatus();
+}
+
+Status ActivityThread::UnregisterReceiver(const std::string& action) {
+  auto it = std::find_if(receivers_.begin(), receivers_.end(),
+                         [&](const ReceiverEntry& r) {
+                           return r.action == action;
+                         });
+  if (it == receivers_.end()) {
+    return NotFound("no receiver for action " + action);
+  }
+  Parcel args;
+  args.WriteNamed("receiver", ParcelObjectRef{ParcelObjectRef::Space::kNode,
+                                              it->node_id});
+  FLUX_ASSIGN_OR_RETURN(Parcel reply,
+                        CallService("activity", "unregisterReceiver",
+                                    std::move(args)));
+  (void)reply;
+  (void)context_.binder->DestroyNode(it->node_id);
+  receivers_.erase(it);
+  return OkStatus();
+}
+
+std::vector<std::string> ActivityThread::ReceiverActions() const {
+  std::vector<std::string> out;
+  out.reserve(receivers_.size());
+  for (const auto& receiver : receivers_) {
+    out.push_back(receiver.action);
+  }
+  return out;
+}
+
+Result<Parcel> ActivityThread::CallService(std::string_view service,
+                                           std::string_view method,
+                                           Parcel args) {
+  auto it = service_handles_.find(std::string(service));
+  uint64_t handle = 0;
+  if (it != service_handles_.end()) {
+    handle = it->second;
+  } else {
+    FLUX_ASSIGN_OR_RETURN(
+        handle, context_.service_manager->GetServiceHandle(pid_, service));
+    service_handles_[std::string(service)] = handle;
+  }
+  return context_.binder->Transact(pid_, handle, method, std::move(args));
+}
+
+bool ActivityThread::HasLiveGraphicsState() const {
+  if (renderer_.initialized || renderer_.gl_context != 0) {
+    return true;
+  }
+  return !context_.egl->ContextsOf(pid_).empty();
+}
+
+void ActivityThread::SaveState(ArchiveWriter& out) const {
+  out.PutString(package_);
+  out.PutU64(thread_node_);
+  out.PutU64(activities_.size());
+  for (const auto& activity : activities_) {
+    out.PutString(activity.token);
+    out.PutString(activity.name);
+    out.PutBool(activity.visible);
+    out.PutU64(activity.view_root.views.size());
+    for (const auto& view : activity.view_root.views) {
+      out.PutString(view.type);
+      out.PutU64(view.pixel_bytes);
+    }
+  }
+  out.PutU64(receivers_.size());
+  for (const auto& receiver : receivers_) {
+    out.PutString(receiver.action);
+    out.PutU64(receiver.node_id);
+  }
+}
+
+Result<std::shared_ptr<ActivityThread>> ActivityThread::RestoreState(
+    SystemContext& context, Pid pid, Uid uid, std::string package,
+    ArchiveReader& in, std::map<uint64_t, uint64_t>& node_mapping,
+    uint64_t& old_thread_node) {
+  std::string saved_package;
+  FLUX_RETURN_IF_ERROR(in.GetString(saved_package));
+  if (saved_package != package) {
+    return Corrupt("app state package mismatch: " + saved_package + " vs " +
+                   package);
+  }
+  FLUX_RETURN_IF_ERROR(in.GetU64(old_thread_node));
+  auto thread = std::make_shared<ActivityThread>(context, pid, uid,
+                                                 std::move(package));
+  uint64_t activity_count = 0;
+  FLUX_RETURN_IF_ERROR(in.GetU64(activity_count));
+  for (uint64_t i = 0; i < activity_count; ++i) {
+    LocalActivity activity;
+    FLUX_RETURN_IF_ERROR(in.GetString(activity.token));
+    FLUX_RETURN_IF_ERROR(in.GetString(activity.name));
+    FLUX_RETURN_IF_ERROR(in.GetBool(activity.visible));
+    uint64_t view_count = 0;
+    FLUX_RETURN_IF_ERROR(in.GetU64(view_count));
+    for (uint64_t v = 0; v < view_count; ++v) {
+      View view;
+      FLUX_RETURN_IF_ERROR(in.GetString(view.type));
+      FLUX_RETURN_IF_ERROR(in.GetU64(view.pixel_bytes));
+      view.valid = false;  // conditional init redraws everything
+      activity.view_root.views.push_back(std::move(view));
+    }
+    activity.view_root.hardware_resources_live = false;
+    activity.visible = false;  // brought to foreground by reintegration
+    thread->activities_.push_back(std::move(activity));
+  }
+  uint64_t receiver_count = 0;
+  FLUX_RETURN_IF_ERROR(in.GetU64(receiver_count));
+  for (uint64_t i = 0; i < receiver_count; ++i) {
+    ReceiverEntry entry;
+    uint64_t old_node = 0;
+    FLUX_RETURN_IF_ERROR(in.GetString(entry.action));
+    FLUX_RETURN_IF_ERROR(in.GetU64(old_node));
+    entry.object = std::make_shared<IntentReceiver>(thread.get());
+    entry.node_id = context.binder->RegisterNode(pid, entry.object);
+    node_mapping[old_node] = entry.node_id;
+    thread->receivers_.push_back(std::move(entry));
+  }
+  return thread;
+}
+
+}  // namespace flux

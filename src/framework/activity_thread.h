@@ -1,0 +1,166 @@
+// ActivityThread: the framework code running inside every app process (§2).
+//
+// Owns the app-side UI state — activities with their View hierarchies, the
+// HardwareRenderer and its GL context — and implements the lifecycle
+// callbacks the ActivityManager schedules into the app (pause, stop, resume,
+// trim memory). Two paths matter to Flux:
+//
+//  - the trim-memory cascade (§3.3): handleTrimMemory(COMPLETE) flushes the
+//    HardwareRenderer's caches, terminates hardware resources of every
+//    ViewRoot, destroys the renderer and finally the GL context(s), leaving
+//    the process free of graphics state except the mapped vendor library
+//    (removed separately by eglUnload);
+//
+//  - conditional initialization: after restore the renderer is simply
+//    uninitialized, so the first draw on the guest rebuilds the GL context,
+//    surfaces and View layout against the guest's display and vendor
+//    library — this is how the UI adapts to the new screen.
+#ifndef FLUX_SRC_FRAMEWORK_ACTIVITY_THREAD_H_
+#define FLUX_SRC_FRAMEWORK_ACTIVITY_THREAD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/archive.h"
+#include "src/binder/binder_driver.h"
+#include "src/framework/intent.h"
+#include "src/framework/system_context.h"
+#include "src/kernel/process.h"
+
+namespace flux {
+
+struct View {
+  std::string type;        // "TextView", "ImageView", "GLSurfaceView"...
+  uint64_t pixel_bytes = 0;  // decoded bitmaps etc. (heap side)
+  bool valid = false;        // invalid -> redrawn on next traversal
+};
+
+struct ViewRoot {
+  std::vector<View> views;
+  bool hardware_resources_live = false;
+};
+
+struct LocalActivity {
+  std::string token;
+  std::string name;
+  ViewRoot view_root;
+  bool visible = false;
+};
+
+// Models android.view.HardwareRenderer: GL-backed drawing with caches.
+struct HardwareRenderer {
+  bool initialized = false;
+  bool enabled = false;
+  uint64_t gl_context = 0;     // EglRuntime context id, 0 = none
+  uint64_t cache_bytes = 0;    // display lists, texture cache
+};
+
+class ActivityThread : public BinderObject,
+                       public std::enable_shared_from_this<ActivityThread> {
+ public:
+  // The thread must be `Attach`ed after construction (needs shared_from_this
+  // to register its Binder node).
+  ActivityThread(SystemContext& context, Pid pid, Uid uid,
+                 std::string package);
+
+  // Registers the IApplicationThread node and attaches to the
+  // ActivityManager. Must be called exactly once.
+  Status Attach();
+
+  // ----- BinderObject (IApplicationThread) -----
+  std::string_view interface_name() const override {
+    return "android.app.IApplicationThread";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // ----- app-facing API -----
+  Pid pid() const { return pid_; }
+  Uid uid() const { return uid_; }
+  const std::string& package() const { return package_; }
+  uint64_t thread_node() const { return thread_node_; }
+
+  // Launches an activity through the ActivityManager; returns its token.
+  Result<std::string> StartActivity(const std::string& name);
+  LocalActivity* FindActivity(const std::string& token);
+  const std::vector<LocalActivity>& activities() const { return activities_; }
+
+  // Inflates `count` views into the activity's hierarchy.
+  Status InflateViews(const std::string& token, int count,
+                      uint64_t bytes_per_view, const std::string& type);
+
+  // Traverses and draws the activity. Performs conditional initialization:
+  // (re)creates the GL context and hardware resources if missing, sized for
+  // the *current* device display.
+  Status DrawFrame(const std::string& token);
+
+  // Calls GLSurfaceView.setPreserveEGLContextOnPause on this app's context.
+  Status SetPreserveEglContextOnPause(bool preserve);
+
+  // The trim-memory cascade (§3.3). Level kTrimMemoryComplete sheds all
+  // graphics state.
+  Status HandleTrimMemory(int32_t level);
+
+  // BroadcastReceiver registration; received intents land in inbox().
+  Status RegisterReceiver(const std::string& action);
+  Status UnregisterReceiver(const std::string& action);
+  const std::vector<Intent>& inbox() const { return inbox_; }
+  void ClearInbox() { inbox_.clear(); }
+  std::vector<std::string> ReceiverActions() const;
+
+  // ----- service call helper (the generated AIDL client stubs) -----
+  // Resolves `service` through the ServiceManager (caching the handle) and
+  // performs the call. This is the seam Selective Record interposes on.
+  Result<Parcel> CallService(std::string_view service, std::string_view method,
+                             Parcel args);
+
+  const HardwareRenderer& renderer() const { return renderer_; }
+  bool HasLiveGraphicsState() const;
+
+  // ----- CRIA integration -----
+  // Serializes device-agnostic app state: activities, views, receiver
+  // actions. Graphics state is intentionally absent (it must be shed before
+  // checkpoint); receiver node ids are recreated on restore.
+  void SaveState(ArchiveWriter& out) const;
+  // Rebuilds a thread from checkpointed state on the guest: recreates
+  // receiver nodes (recording old->new node mapping for Adaptive Replay)
+  // and leaves the renderer uninitialized for conditional initialization.
+  // `old_thread_node` receives the home-device node id of the previous
+  // IApplicationThread so the restorer can map it to the new one.
+  static Result<std::shared_ptr<ActivityThread>> RestoreState(
+      SystemContext& context, Pid pid, Uid uid, std::string package,
+      ArchiveReader& in, std::map<uint64_t, uint64_t>& node_mapping,
+      uint64_t& old_thread_node);
+
+ private:
+  class IntentReceiver;
+
+  Status EnsureRendererInitialized();
+
+  SystemContext& context_;
+  Pid pid_;
+  Uid uid_;
+  std::string package_;
+  uint64_t thread_node_ = 0;
+  bool attached_ = false;
+
+  std::vector<LocalActivity> activities_;
+  HardwareRenderer renderer_;
+  std::vector<Intent> inbox_;
+
+  struct ReceiverEntry {
+    std::string action;
+    std::shared_ptr<IntentReceiver> object;
+    uint64_t node_id = 0;
+  };
+  std::vector<ReceiverEntry> receivers_;
+
+  // Cached service handles (the app's framework-library proxies).
+  std::map<std::string, uint64_t> service_handles_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_ACTIVITY_THREAD_H_

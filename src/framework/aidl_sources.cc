@@ -1,0 +1,666 @@
+#include "src/framework/aidl_sources.h"
+
+namespace flux {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Software services
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kNotificationManager = R"aidl(
+interface android.app.INotificationManager {
+  @record {
+    @drop this;
+    @if id;
+  }
+  void enqueueNotification(int id, in Notification notification);
+
+  @record {
+    @drop this, enqueueNotification;
+    @if id;
+  }
+  void cancelNotification(int id);
+
+  @record {
+    @drop this, enqueueNotification, cancelNotification;
+  }
+  void cancelAllNotifications();
+
+  @record {
+    @drop this;
+    @if tag, id;
+  }
+  void enqueueNotificationWithTag(String tag, int id,
+                                  in Notification notification);
+
+  @record {
+    @drop this, enqueueNotificationWithTag;
+    @if tag, id;
+  }
+  void cancelNotificationWithTag(String tag, int id);
+
+  void enqueueToast(String pkg, in ITransientNotification callback,
+                    int duration);
+  void cancelToast(String pkg, in ITransientNotification callback);
+
+  @record
+  void setNotificationsEnabledForPackage(String pkg, boolean enabled);
+  boolean areNotificationsEnabledForPackage(String pkg);
+
+  StatusBarNotification[] getActiveNotifications(String callingPkg);
+  void registerListener(in INotificationListener listener, String pkg);
+  void unregisterListener(in INotificationListener listener);
+
+  @record {
+    @drop this;
+  }
+  void setInterruptionFilter(int filter);
+  int getInterruptionFilter();
+}
+)aidl";
+
+constexpr std::string_view kAlarmManager = R"aidl(
+interface android.app.IAlarmManager {
+  @record {
+    @drop this;
+    @if operation;
+    @replayproxy flux.recordreplay.Proxies.alarmMgrSet;
+  }
+  void set(int type, long triggerAtTime, in PendingIntent operation);
+
+  @record {
+    @drop this, set;
+    @if operation;
+  }
+  void remove(in PendingIntent operation);
+
+  @record {
+    @drop this;
+    @replayproxy flux.recordreplay.Proxies.alarmMgrSetTimeZone;
+  }
+  void setTimeZone(String zone);
+
+  long getNextAlarmClock();
+}
+)aidl";
+
+constexpr std::string_view kClipboard = R"aidl(
+interface android.content.IClipboard {
+  @record {
+    @drop this;
+  }
+  void setPrimaryClip(in ClipData clip);
+  ClipData getPrimaryClip(String pkg);
+  ClipDescription getPrimaryClipDescription(String pkg);
+  boolean hasPrimaryClip();
+  void addPrimaryClipChangedListener(
+      in IOnPrimaryClipChangedListener listener);
+  void removePrimaryClipChangedListener(
+      in IOnPrimaryClipChangedListener listener);
+  boolean hasClipboardText();
+}
+)aidl";
+
+constexpr std::string_view kKeyguard = R"aidl(
+interface com.android.internal.policy.IKeyguardService {
+  boolean isShowing();
+  boolean isSecure();
+  boolean isInputRestricted();
+  void verifyUnlock(in IKeyguardExitCallback callback);
+  void keyguardDone(boolean authenticated, boolean wakeup);
+
+  @record {
+    @drop this;
+  }
+  void setOccluded(boolean isOccluded);
+  void dismiss();
+  void onScreenTurnedOff(int reason);
+  void onScreenTurnedOn(in IKeyguardShowCallback callback);
+}
+)aidl";
+
+constexpr std::string_view kNsd = R"aidl(
+interface android.net.nsd.INsdManager {
+  @record {
+    @drop this;
+  }
+  Messenger getMessenger();
+  void setEnabled(boolean enable);
+}
+)aidl";
+
+constexpr std::string_view kTextServices = R"aidl(
+interface com.android.internal.textservice.ITextServicesManager {
+  SpellCheckerInfo getCurrentSpellChecker(String locale);
+
+  @record {
+    @drop this;
+  }
+  void setCurrentSpellChecker(String locale, String sciId);
+  SpellCheckerSubtype getCurrentSpellCheckerSubtype(String locale,
+                                                    boolean allowImplicit);
+  void getSpellCheckerService(String sciId, String locale,
+                              in ITextServicesSessionListener tsListener,
+                              in ISpellCheckerSessionListener scListener);
+  void finishSpellCheckerService(
+      in ISpellCheckerSessionListener listener);
+}
+)aidl";
+
+constexpr std::string_view kUiMode = R"aidl(
+interface android.app.IUiModeManager {
+  @record {
+    @drop this;
+  }
+  void setNightMode(int mode);
+  int getNightMode();
+  void enableCarMode(int flags);
+  void disableCarMode(int flags);
+  int getCurrentModeType();
+}
+)aidl";
+
+constexpr std::string_view kActivityManager = R"aidl(
+interface android.app.IActivityManager {
+  int startActivity(in Intent intent, String resolvedType, int flags);
+  boolean finishActivity(in IBinder token, int resultCode);
+  void activityPaused(in IBinder token);
+  void activityStopped(in IBinder token, in Bundle state);
+  void activityResumed(in IBinder token);
+  void activityDestroyed(in IBinder token);
+
+  @record {
+    @drop this;
+    @if receiver, filterAction;
+  }
+  Intent registerReceiver(in IIntentReceiver receiver, String filterAction);
+
+  @record {
+    @drop this, registerReceiver;
+    @if receiver;
+  }
+  void unregisterReceiver(in IIntentReceiver receiver);
+
+  int broadcastIntent(in Intent intent, String requiredPermission,
+                      boolean serialized, boolean sticky);
+
+  ComponentName startService(in Intent service, String resolvedType);
+  int stopService(in Intent service, String resolvedType);
+
+  @record {
+    @drop this;
+    @if token, service;
+  }
+  int bindService(in IBinder token, in Intent service,
+                  in IServiceConnection connection, int flags);
+
+  @record {
+    @drop this, bindService;
+    @if connection;
+  }
+  boolean unbindService(in IServiceConnection connection);
+
+  void setRequestedOrientation(in IBinder token, int requestedOrientation);
+  int getRequestedOrientation(in IBinder token);
+  void moveTaskToFront(int task, int flags);
+  void moveTaskToBack(int task);
+  List<RunningAppProcessInfo> getRunningAppProcesses();
+  List<RunningTaskInfo> getTasks(int maxNum, int flags);
+  MemoryInfo getMemoryInfo();
+  void killBackgroundProcesses(String packageName);
+  boolean isUserAMonkey();
+  Configuration getConfiguration();
+  void updateConfiguration(in Configuration values);
+
+  @record {
+    @drop this;
+    @if token;
+  }
+  void setTaskDescription(in IBinder token, in TaskDescription td);
+
+  void reportTrimMemory(in IBinder token, int level);
+  void noteWakeupAlarm(in PendingIntent source);
+  void showWaitingForDebugger(in IApplicationThread who, boolean waiting);
+  int getProcessLimit();
+  void setProcessLimit(int max);
+}
+)aidl";
+
+// ---------------------------------------------------------------------------
+// Hardware services
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kAudioService = R"aidl(
+interface android.media.IAudioService {
+  @record {
+    @drop this;
+    @if streamType;
+    @replayproxy flux.recordreplay.Proxies.audioSetStreamVolume;
+  }
+  void setStreamVolume(int streamType, int index, int flags);
+
+  int getStreamVolume(int streamType);
+  int getStreamMaxVolume(int streamType);
+
+  @record {
+    @drop this;
+    @if streamType;
+  }
+  void setStreamMute(int streamType, boolean muted);
+  boolean isStreamMute(int streamType);
+
+  @record {
+    @drop this;
+  }
+  void setRingerMode(int ringerMode);
+  int getRingerMode();
+
+  @record {
+    @drop this;
+  }
+  void setMode(int mode);
+  int getMode();
+
+  @record {
+    @drop this;
+    @if cb;
+  }
+  int requestAudioFocus(in IAudioFocusDispatcher fd, int streamType,
+                        in IBinder cb, int durationHint);
+
+  @record {
+    @drop this, requestAudioFocus;
+    @if cb;
+  }
+  int abandonAudioFocus(in IAudioFocusDispatcher fd, in IBinder cb);
+
+  @record {
+    @drop this;
+  }
+  void setSpeakerphoneOn(boolean on);
+  boolean isSpeakerphoneOn();
+
+  @record {
+    @drop this;
+  }
+  void setBluetoothScoOn(boolean on);
+  boolean isBluetoothScoOn();
+  void adjustStreamVolume(int streamType, int direction, int flags);
+  void playSoundEffect(int effectType);
+  int getMasterVolume();
+  void setMasterVolume(int volume, int flags);
+  boolean isMasterMute();
+  AudioRoutesInfo startWatchingRoutes(in IAudioRoutesObserver observer);
+}
+)aidl";
+
+constexpr std::string_view kWifiService = R"aidl(
+interface android.net.wifi.IWifiManager {
+  @record {
+    @drop this;
+    @replayproxy flux.recordreplay.Proxies.wifiSetEnabled;
+  }
+  boolean setWifiEnabled(boolean enable);
+  int getWifiEnabledState();
+  List<ScanResult> getScanResults(String callingPackage);
+  void startScan();
+  WifiInfo getConnectionInfo();
+
+  @record {
+    @drop this;
+    @if lockType, tag;
+  }
+  boolean acquireWifiLock(in IBinder lock, int lockType, String tag);
+
+  @record {
+    @drop this, acquireWifiLock;
+    @if lock;
+  }
+  boolean releaseWifiLock(in IBinder lock);
+
+  int addOrUpdateNetwork(in WifiConfiguration config);
+  boolean removeNetwork(int netId);
+  boolean enableNetwork(int netId, boolean disableOthers);
+  boolean disableNetwork(int netId);
+  List<WifiConfiguration> getConfiguredNetworks();
+  boolean saveConfiguration();
+  DhcpInfo getDhcpInfo();
+  boolean isScanAlwaysAvailable();
+}
+)aidl";
+
+constexpr std::string_view kConnectivity = R"aidl(
+interface android.net.IConnectivityManager {
+  NetworkInfo getActiveNetworkInfo();
+  NetworkInfo getNetworkInfo(int networkType);
+  NetworkInfo[] getAllNetworkInfo();
+  boolean isActiveNetworkMetered();
+
+  @record {
+    @drop this;
+    @if networkType, feature;
+  }
+  int startUsingNetworkFeature(int networkType, String feature);
+
+  @record {
+    @drop this, startUsingNetworkFeature;
+    @if networkType, feature;
+  }
+  int stopUsingNetworkFeature(int networkType, String feature);
+
+  boolean requestRouteToHost(int networkType, int hostAddress);
+  void reportInetCondition(int networkType, int percentage);
+  LinkProperties getActiveLinkProperties();
+  boolean getMobileDataEnabled();
+  void setMobileDataEnabled(boolean enabled);
+}
+)aidl";
+
+constexpr std::string_view kCountryDetector = R"aidl(
+interface android.location.ICountryDetector {
+  Country detectCountry();
+
+  @record {
+    @drop this;
+    @if listener;
+  }
+  void addCountryListener(in ICountryListener listener);
+
+  @record {
+    @drop this, addCountryListener;
+    @if listener;
+  }
+  void removeCountryListener(in ICountryListener listener);
+}
+)aidl";
+
+constexpr std::string_view kInputMethodManager = R"aidl(
+interface com.android.internal.view.IInputMethodManager {
+  List<InputMethodInfo> getInputMethodList();
+  List<InputMethodInfo> getEnabledInputMethodList();
+
+  @record {
+    @drop this;
+    @if client;
+  }
+  void addClient(in IInputMethodClient client,
+                 in IInputContext inputContext, int uid, int pid);
+
+  @record {
+    @drop this, addClient;
+    @if client;
+  }
+  void removeClient(in IInputMethodClient client);
+
+  boolean showSoftInput(in IInputMethodClient client, int flags);
+  boolean hideSoftInput(in IInputMethodClient client, int flags);
+
+  @record {
+    @drop this;
+  }
+  void setInputMethod(in IBinder token, String id);
+  InputMethodSubtype getCurrentInputMethodSubtype();
+  void updateStatusIcon(in IBinder token, String packageName, int iconId);
+  boolean switchToNextInputMethod(in IBinder token, boolean onlyCurrentIme);
+}
+)aidl";
+
+constexpr std::string_view kInputManager = R"aidl(
+interface android.hardware.input.IInputManager {
+  InputDevice getInputDevice(int deviceId);
+  int[] getInputDeviceIds();
+  boolean hasKeys(int deviceId, int sourceMask, in int[] keyCodes);
+  boolean injectInputEvent(in InputEvent ev, int mode);
+
+  @record {
+    @drop this;
+    @if inputDeviceDescriptor;
+  }
+  void setKeyboardLayoutForInputDevice(String inputDeviceDescriptor,
+                                       String keyboardLayoutDescriptor);
+  KeyboardLayout[] getKeyboardLayouts();
+}
+)aidl";
+
+constexpr std::string_view kLocationManager = R"aidl(
+interface android.location.ILocationManager {
+  @record {
+    @drop this;
+    @if provider, listener;
+    @replayproxy flux.recordreplay.Proxies.locationRequestUpdates;
+  }
+  void requestLocationUpdates(String provider, long minTime,
+                              double minDistance, in ILocationListener listener);
+
+  @record {
+    @drop this, requestLocationUpdates;
+    @if listener;
+  }
+  void removeUpdates(in ILocationListener listener);
+
+  Location getLastLocation(String provider);
+  boolean isProviderEnabled(String provider);
+  List<String> getAllProviders();
+  List<String> getProviders(boolean enabledOnly);
+  String getBestProvider(in Criteria criteria, boolean enabledOnly);
+
+  @record {
+    @drop this;
+    @if provider, name;
+  }
+  void addTestProvider(String provider, String name);
+
+  @record {
+    @drop this, addTestProvider;
+    @if provider;
+  }
+  void removeTestProvider(String provider);
+
+  @record {
+    @drop this;
+    @if listener;
+  }
+  boolean addGpsStatusListener(in IGpsStatusListener listener);
+
+  @record {
+    @drop this, addGpsStatusListener;
+    @if listener;
+  }
+  void removeGpsStatusListener(in IGpsStatusListener listener);
+
+  boolean sendExtraCommand(String provider, String command);
+}
+)aidl";
+
+constexpr std::string_view kPowerManager = R"aidl(
+interface android.os.IPowerManager {
+  @record {
+    @drop this;
+    @if lock;
+    @replayproxy flux.recordreplay.Proxies.powerAcquireWakeLock;
+  }
+  void acquireWakeLock(in IBinder lock, int flags, String tag,
+                       String packageName);
+
+  @record {
+    @drop this, acquireWakeLock;
+    @if lock;
+  }
+  void releaseWakeLock(in IBinder lock, int flags);
+
+  void updateWakeLockWorkSource(in IBinder lock, in WorkSource ws);
+  boolean isScreenOn();
+  void goToSleep(long time, int reason);
+  void wakeUp(long time);
+  void userActivity(long time, int event, int flags);
+  void setBrightness(int brightness);
+  void reboot(boolean confirm, String reason, boolean wait);
+  boolean isWakeLockLevelSupported(int level);
+}
+)aidl";
+
+constexpr std::string_view kVibrator = R"aidl(
+interface android.os.IVibratorService {
+  boolean hasVibrator();
+
+  @record {
+    @drop this;
+    @if token;
+    @replayproxy flux.recordreplay.Proxies.vibratorVibrate;
+  }
+  void vibrate(long milliseconds, in IBinder token);
+
+  @record {
+    @drop this, vibrate, vibratePattern;
+    @if token;
+  }
+  void cancelVibrate(in IBinder token);
+
+  @record {
+    @drop this;
+    @if token;
+    @replayproxy flux.recordreplay.Proxies.vibratorVibrate;
+  }
+  void vibratePattern(in long[] pattern, int repeat, in IBinder token);
+}
+)aidl";
+
+constexpr std::string_view kCameraManager = R"aidl(
+interface android.hardware.ICameraService {
+  int getNumberOfCameras();
+  CameraInfo getCameraInfo(int cameraId);
+
+  @record {
+    @drop this;
+    @if cameraId;
+    @replayproxy flux.recordreplay.Proxies.cameraConnect;
+  }
+  ICamera connect(in ICameraClient client, int cameraId,
+                  String clientPackageName);
+
+  @record {
+    @drop this, connect;
+    @if cameraId;
+  }
+  void disconnect(int cameraId);
+
+  @record {
+    @drop this;
+    @if listener;
+  }
+  void addListener(in ICameraServiceListener listener);
+
+  @record {
+    @drop this, addListener;
+    @if listener;
+  }
+  void removeListener(in ICameraServiceListener listener);
+
+  int getCameraVendorTagDescriptor();
+  boolean supportsCameraApi(int cameraId, int apiVersion);
+}
+)aidl";
+
+// Undecorated services ("TBD" rows of Table 2): functional interfaces whose
+// decoration work the prototype had not finished.
+constexpr std::string_view kBluetooth = R"aidl(
+interface android.bluetooth.IBluetooth {
+  boolean isEnabled();
+  int getState();
+  boolean enable();
+  boolean disable();
+  String getAddress();
+  String getName();
+  boolean setName(String name);
+  int getScanMode();
+  boolean setScanMode(int mode, int duration);
+  int getDiscoverableTimeout();
+  boolean setDiscoverableTimeout(int timeout);
+  boolean startDiscovery();
+  boolean cancelDiscovery();
+  boolean isDiscovering();
+  BluetoothDevice[] getBondedDevices();
+  boolean createBond(in BluetoothDevice device);
+  boolean cancelBondProcess(in BluetoothDevice device);
+  boolean removeBond(in BluetoothDevice device);
+  int getBondState(in BluetoothDevice device);
+  String getRemoteName(in BluetoothDevice device);
+  int getRemoteClass(in BluetoothDevice device);
+  ParcelUuid[] getRemoteUuids(in BluetoothDevice device);
+  boolean fetchRemoteUuids(in BluetoothDevice device);
+  boolean setPin(in BluetoothDevice device, in byte[] pin);
+  boolean setPairingConfirmation(in BluetoothDevice device, boolean accept);
+  int getProfileConnectionState(int profile);
+  boolean sendConnectionStateChange(in BluetoothDevice device, int profile,
+                                    int state, int prevState);
+  void registerCallback(in IBluetoothCallback callback);
+  void unregisterCallback(in IBluetoothCallback callback);
+  int getAdapterConnectionState();
+  boolean configHciSnoopLog(boolean enable);
+}
+)aidl";
+
+constexpr std::string_view kSerial = R"aidl(
+interface android.hardware.ISerialManager {
+  String[] getSerialPorts();
+  ParcelFileDescriptor openSerialPort(String name);
+}
+)aidl";
+
+constexpr std::string_view kUsb = R"aidl(
+interface android.hardware.usb.IUsbManager {
+  void getDeviceList(out Bundle devices);
+  ParcelFileDescriptor openDevice(String deviceName);
+  UsbAccessory getCurrentAccessory();
+  ParcelFileDescriptor openAccessory(in UsbAccessory accessory);
+  void setDevicePackage(in UsbDevice device, String packageName);
+  boolean hasDevicePermission(in UsbDevice device);
+  void requestDevicePermission(in UsbDevice device, String packageName,
+                               in PendingIntent pi);
+  void grantDevicePermission(in UsbDevice device, int uid);
+  boolean isFunctionEnabled(String function);
+  void setCurrentFunction(String function, boolean makeDefault);
+}
+)aidl";
+
+}  // namespace
+
+std::string_view NotificationManagerAidl() { return kNotificationManager; }
+std::string_view AlarmManagerAidl() { return kAlarmManager; }
+std::string_view AudioServiceAidl() { return kAudioService; }
+std::string_view WifiServiceAidl() { return kWifiService; }
+std::string_view ActivityManagerAidl() { return kActivityManager; }
+std::string_view LocationManagerAidl() { return kLocationManager; }
+std::string_view ClipboardAidl() { return kClipboard; }
+
+const std::vector<DecoratedAidl>& AllDecoratedAidl() {
+  static const std::vector<DecoratedAidl> kAll = {
+      // Hardware services.
+      {"audio", kAudioService, true, true},
+      {"bluetooth", kBluetooth, true, false},
+      {"camera", kCameraManager, true, true},
+      {"connectivity", kConnectivity, true, true},
+      {"country_detector", kCountryDetector, true, true},
+      {"input_method", kInputMethodManager, true, true},
+      {"input", kInputManager, true, true},
+      {"location", kLocationManager, true, true},
+      {"power", kPowerManager, true, true},
+      {"serial", kSerial, true, false},
+      {"usb", kUsb, true, false},
+      {"vibrator", kVibrator, true, true},
+      {"wifi", kWifiService, true, true},
+      // Software services.
+      {"activity", kActivityManager, false, true},
+      {"alarm", kAlarmManager, false, true},
+      {"clipboard", kClipboard, false, true},
+      {"keyguard", kKeyguard, false, true},
+      {"notification", kNotificationManager, false, true},
+      {"servicediscovery", kNsd, false, true},
+      {"textservices", kTextServices, false, true},
+      {"uimode", kUiMode, false, true},
+  };
+  return kAll;
+}
+
+}  // namespace flux

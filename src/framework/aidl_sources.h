@@ -1,0 +1,47 @@
+// Decorated AIDL interface definitions for every system service (Table 2).
+//
+// These are the Flux-decorated service interfaces. In Android, Flux extends
+// the AIDL compiler so these decorations generate record/replay plumbing; in
+// this reproduction they are parsed at boot into the device's RecordRuleSet.
+//
+// The interfaces are functional subsets of their Android counterparts —
+// every method the services implement (and that the Table 3 workloads
+// exercise) is present, with the paper's decoration patterns:
+//   - state-creating calls carry @record (Figure 7's enqueueNotification);
+//   - negating calls carry @drop lists with @if signatures so stale pairs
+//     vanish from the log (Figure 7's cancelNotification);
+//   - time- or hardware-sensitive calls carry @replayproxy bindings
+//     (Figure 9's AlarmManager.set).
+// Note: where Figure 9 abbreviates remove's drop list as "this", we write
+// the explicit "this, set" form (Figure 7's style) since remove must drop
+// the prior *set* call to keep the log minimal.
+#ifndef FLUX_SRC_FRAMEWORK_AIDL_SOURCES_H_
+#define FLUX_SRC_FRAMEWORK_AIDL_SOURCES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace flux {
+
+struct DecoratedAidl {
+  std::string_view service_name;  // ServiceManager name
+  std::string_view source;        // decorated AIDL text
+  bool hardware = false;          // Table 2 hardware/software split
+  bool decorated = true;          // false -> "TBD" rows of Table 2
+};
+
+// All decorated definitions, hardware services first (Table 2 order).
+const std::vector<DecoratedAidl>& AllDecoratedAidl();
+
+// Individual sources (exposed for tests).
+std::string_view NotificationManagerAidl();
+std::string_view AlarmManagerAidl();
+std::string_view AudioServiceAidl();
+std::string_view WifiServiceAidl();
+std::string_view ActivityManagerAidl();
+std::string_view LocationManagerAidl();
+std::string_view ClipboardAidl();
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_AIDL_SOURCES_H_

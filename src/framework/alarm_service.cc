@@ -1,0 +1,105 @@
+#include "src/framework/alarm_service.h"
+
+#include <algorithm>
+
+#include "src/framework/aidl_sources.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+std::string_view AlarmManagerService::aidl_source() const {
+  return AlarmManagerAidl();
+}
+
+Result<Parcel> AlarmManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "set") {
+    FLUX_ASSIGN_OR_RETURN(int32_t type, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(int64_t trigger_at, args.ReadI64());
+    FLUX_ASSIGN_OR_RETURN(std::string operation, args.ReadString());
+    // Setting with the same operation replaces the previous alarm.
+    auto it = std::find_if(alarms_.begin(), alarms_.end(),
+                           [&](const ScheduledAlarm& a) {
+                             return a.operation == operation;
+                           });
+    if (it != alarms_.end()) {
+      (void)this->context().kernel->alarm_driver().CancelAlarm(
+          it->kernel_alarm_id);
+      alarms_.erase(it);
+    }
+    ScheduledAlarm alarm;
+    alarm.type = type;
+    alarm.trigger_at = static_cast<SimTime>(trigger_at);
+    alarm.operation = operation;
+    alarm.owner = context.sender_uid;
+    alarm.kernel_alarm_id = this->context().kernel->alarm_driver().SetAlarm(
+        alarm.trigger_at, operation);
+    alarms_.push_back(std::move(alarm));
+    return Parcel();
+  }
+  if (method == "remove") {
+    FLUX_ASSIGN_OR_RETURN(std::string operation, args.ReadString());
+    auto it = std::find_if(alarms_.begin(), alarms_.end(),
+                           [&](const ScheduledAlarm& a) {
+                             return a.operation == operation;
+                           });
+    if (it != alarms_.end()) {
+      (void)this->context().kernel->alarm_driver().CancelAlarm(
+          it->kernel_alarm_id);
+      alarms_.erase(it);
+    }
+    return Parcel();
+  }
+  if (method == "setTimeZone") {
+    FLUX_ASSIGN_OR_RETURN(time_zone_, args.ReadString());
+    return Parcel();
+  }
+  if (method == "getNextAlarmClock") {
+    SimTime next = 0;
+    for (const auto& alarm : alarms_) {
+      if (next == 0 || alarm.trigger_at < next) {
+        next = alarm.trigger_at;
+      }
+    }
+    Parcel reply;
+    reply.WriteI64(static_cast<int64_t>(next));
+    return reply;
+  }
+  return Unsupported("IAlarmManager: " + std::string(method));
+}
+
+int AlarmManagerService::FireDue(SimTime now) {
+  const auto due = context().kernel->alarm_driver().FireDue(now);
+  int fired = 0;
+  for (const auto& kernel_alarm : due) {
+    auto it = std::find_if(alarms_.begin(), alarms_.end(),
+                           [&](const ScheduledAlarm& a) {
+                             return a.kernel_alarm_id == kernel_alarm.id;
+                           });
+    if (it == alarms_.end()) {
+      continue;
+    }
+    Intent intent;
+    intent.action = it->operation;
+    alarms_.erase(it);
+    if (sink_) {
+      sink_(intent);
+    }
+    ++fired;
+  }
+  return fired;
+}
+
+std::vector<ScheduledAlarm> AlarmManagerService::PendingFor(Uid uid) const {
+  std::vector<ScheduledAlarm> out;
+  for (const auto& alarm : alarms_) {
+    if (alarm.owner == uid) {
+      out.push_back(alarm);
+    }
+  }
+  return out;
+}
+
+}  // namespace flux

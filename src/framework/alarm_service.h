@@ -1,0 +1,61 @@
+// AlarmManagerService (§3.2 example).
+//
+// Apps schedule Intents for future delivery. Alarms usually expire by the
+// passage of time rather than by an explicit remove() — which is why plain
+// record/replay is wrong and set() carries an @replayproxy that, on the
+// guest, skips alarms whose trigger time predates the checkpoint (Figure 10).
+#ifndef FLUX_SRC_FRAMEWORK_ALARM_SERVICE_H_
+#define FLUX_SRC_FRAMEWORK_ALARM_SERVICE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/framework/intent.h"
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+struct ScheduledAlarm {
+  int32_t type = 0;
+  SimTime trigger_at = 0;
+  std::string operation;  // PendingIntent token
+  Uid owner = -1;
+  uint64_t kernel_alarm_id = 0;
+};
+
+class AlarmManagerService : public SystemService {
+ public:
+  using IntentSink = std::function<void(const Intent&)>;
+
+  explicit AlarmManagerService(SystemContext& context)
+      : SystemService(context, "alarm", /*hardware=*/false) {}
+
+  // Where fired alarms deliver their Intents (the ActivityManager's
+  // broadcast entry point).
+  void SetIntentSink(IntentSink sink) { sink_ = std::move(sink); }
+
+  std::string_view interface_name() const override {
+    return "android.app.IAlarmManager";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // Fires all alarms due at `now`; called by the device tick.
+  int FireDue(SimTime now);
+
+  std::vector<ScheduledAlarm> PendingFor(Uid uid) const;
+  size_t pending_count() const { return alarms_.size(); }
+  const std::string& time_zone() const { return time_zone_; }
+
+ private:
+  std::vector<ScheduledAlarm> alarms_;
+  std::string time_zone_ = "UTC";
+  IntentSink sink_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_ALARM_SERVICE_H_

@@ -1,0 +1,150 @@
+#include "src/framework/audio_service.h"
+
+#include <algorithm>
+
+#include "src/framework/aidl_sources.h"
+
+namespace flux {
+
+AudioService::AudioService(SystemContext& context)
+    : SystemService(context, "audio", /*hardware=*/true) {
+  const int32_t max = context.max_music_volume;
+  for (int32_t stream :
+       {kStreamVoiceCall, kStreamRing, kStreamMusic, kStreamAlarm,
+        kStreamNotification}) {
+    max_volumes_[stream] = max;
+    volumes_[stream] = max / 2;
+  }
+}
+
+Result<Parcel> AudioService::OnTransact(std::string_view method,
+                                        const Parcel& args,
+                                        const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "setStreamVolume") {
+    FLUX_ASSIGN_OR_RETURN(int32_t stream, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(int32_t index, args.ReadI32());
+    const int32_t max = StreamMaxVolume(stream);
+    volumes_[stream] = std::clamp(index, 0, max);
+    return Parcel();
+  }
+  if (method == "getStreamVolume") {
+    FLUX_ASSIGN_OR_RETURN(int32_t stream, args.ReadI32());
+    Parcel reply;
+    reply.WriteI32(StreamVolume(stream));
+    return reply;
+  }
+  if (method == "getStreamMaxVolume") {
+    FLUX_ASSIGN_OR_RETURN(int32_t stream, args.ReadI32());
+    Parcel reply;
+    reply.WriteI32(StreamMaxVolume(stream));
+    return reply;
+  }
+  if (method == "setStreamMute") {
+    FLUX_ASSIGN_OR_RETURN(int32_t stream, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(bool muted, args.ReadBool());
+    auto it = std::find(muted_.begin(), muted_.end(), stream);
+    if (muted && it == muted_.end()) {
+      muted_.push_back(stream);
+    } else if (!muted && it != muted_.end()) {
+      muted_.erase(it);
+    }
+    return Parcel();
+  }
+  if (method == "isStreamMute") {
+    FLUX_ASSIGN_OR_RETURN(int32_t stream, args.ReadI32());
+    Parcel reply;
+    reply.WriteBool(StreamMuted(stream));
+    return reply;
+  }
+  if (method == "setRingerMode") {
+    FLUX_ASSIGN_OR_RETURN(ringer_mode_, args.ReadI32());
+    return Parcel();
+  }
+  if (method == "getRingerMode") {
+    Parcel reply;
+    reply.WriteI32(ringer_mode_);
+    return reply;
+  }
+  if (method == "setMode") {
+    FLUX_ASSIGN_OR_RETURN(mode_, args.ReadI32());
+    return Parcel();
+  }
+  if (method == "getMode") {
+    Parcel reply;
+    reply.WriteI32(mode_);
+    return reply;
+  }
+  if (method == "requestAudioFocus") {
+    FLUX_ASSIGN_OR_RETURN(std::string dispatcher, args.ReadString());
+    (void)dispatcher;
+    FLUX_ASSIGN_OR_RETURN(int32_t stream, args.ReadI32());
+    (void)stream;
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef cb, args.ReadObject());
+    focus_holder_ = cb.value;
+    Parcel reply;
+    reply.WriteI32(1);  // AUDIOFOCUS_REQUEST_GRANTED
+    return reply;
+  }
+  if (method == "abandonAudioFocus") {
+    FLUX_ASSIGN_OR_RETURN(std::string dispatcher, args.ReadString());
+    (void)dispatcher;
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef cb, args.ReadObject());
+    if (focus_holder_ == cb.value) {
+      focus_holder_ = 0;
+    }
+    Parcel reply;
+    reply.WriteI32(1);
+    return reply;
+  }
+  if (method == "setSpeakerphoneOn") {
+    FLUX_ASSIGN_OR_RETURN(speakerphone_, args.ReadBool());
+    return Parcel();
+  }
+  if (method == "isSpeakerphoneOn") {
+    Parcel reply;
+    reply.WriteBool(speakerphone_);
+    return reply;
+  }
+  if (method == "setBluetoothScoOn") {
+    FLUX_ASSIGN_OR_RETURN(bluetooth_sco_, args.ReadBool());
+    return Parcel();
+  }
+  if (method == "isBluetoothScoOn") {
+    Parcel reply;
+    reply.WriteBool(bluetooth_sco_);
+    return reply;
+  }
+  if (method == "adjustStreamVolume") {
+    FLUX_ASSIGN_OR_RETURN(int32_t stream, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(int32_t direction, args.ReadI32());
+    const int32_t max = StreamMaxVolume(stream);
+    volumes_[stream] = std::clamp(StreamVolume(stream) + direction, 0, max);
+    return Parcel();
+  }
+  if (method == "playSoundEffect") {
+    return Parcel();
+  }
+  return Unsupported("IAudioService: " + std::string(method));
+}
+
+std::string_view AudioService::aidl_source() const {
+  return AudioServiceAidl();
+}
+
+int32_t AudioService::StreamVolume(int32_t stream) const {
+  auto it = volumes_.find(stream);
+  return it == volumes_.end() ? 0 : it->second;
+}
+
+int32_t AudioService::StreamMaxVolume(int32_t stream) const {
+  auto it = max_volumes_.find(stream);
+  return it == max_volumes_.end() ? 15 : it->second;
+}
+
+bool AudioService::StreamMuted(int32_t stream) const {
+  return std::find(muted_.begin(), muted_.end(), stream) != muted_.end();
+}
+
+}  // namespace flux

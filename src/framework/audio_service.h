@@ -1,0 +1,57 @@
+// AudioService.
+//
+// Keeps per-stream volume, ringer mode and audio-focus state. Volumes are
+// device-relative: the paper's example Adaptive Replay proxy rescales a
+// recorded setStreamVolume to the guest's volume range (§3.2), which is why
+// the max volume lives in the device profile.
+#ifndef FLUX_SRC_FRAMEWORK_AUDIO_SERVICE_H_
+#define FLUX_SRC_FRAMEWORK_AUDIO_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+// Android stream types (subset).
+inline constexpr int32_t kStreamVoiceCall = 0;
+inline constexpr int32_t kStreamRing = 2;
+inline constexpr int32_t kStreamMusic = 3;
+inline constexpr int32_t kStreamAlarm = 4;
+inline constexpr int32_t kStreamNotification = 5;
+
+class AudioService : public SystemService {
+ public:
+  explicit AudioService(SystemContext& context);
+
+  std::string_view interface_name() const override {
+    return "android.media.IAudioService";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  int32_t StreamVolume(int32_t stream) const;
+  int32_t StreamMaxVolume(int32_t stream) const;
+  bool StreamMuted(int32_t stream) const;
+  int32_t ringer_mode() const { return ringer_mode_; }
+  // The Binder node id of the current audio-focus holder's callback, 0 if none.
+  uint64_t focus_holder() const { return focus_holder_; }
+
+ private:
+  std::map<int32_t, int32_t> volumes_;
+  std::map<int32_t, int32_t> max_volumes_;
+  std::vector<int32_t> muted_;
+  int32_t ringer_mode_ = 2;  // RINGER_MODE_NORMAL
+  int32_t mode_ = 0;         // MODE_NORMAL
+  bool speakerphone_ = false;
+  bool bluetooth_sco_ = false;
+  uint64_t focus_holder_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_AUDIO_SERVICE_H_

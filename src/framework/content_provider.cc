@@ -1,0 +1,163 @@
+#include "src/framework/content_provider.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace flux {
+
+// ----- ProviderTable -----
+
+uint64_t ProviderTable::Insert(ProviderRow row) {
+  const uint64_t id = next_id_++;
+  row["_id"] = StrFormat("%llu", static_cast<unsigned long long>(id));
+  rows_.emplace_back(id, std::move(row));
+  return id;
+}
+
+std::vector<ProviderRow> ProviderTable::Query(const std::string& column,
+                                              const std::string& value) const {
+  std::vector<ProviderRow> out;
+  for (const auto& [id, row] : rows_) {
+    (void)id;
+    if (column.empty()) {
+      out.push_back(row);
+      continue;
+    }
+    auto it = row.find(column);
+    if (it != row.end() && it->second == value) {
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+int ProviderTable::Delete(const std::string& column,
+                          const std::string& value) {
+  const auto before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&](const auto& entry) {
+                               auto it = entry.second.find(column);
+                               return it != entry.second.end() &&
+                                      it->second == value;
+                             }),
+              rows_.end());
+  return static_cast<int>(before - rows_.size());
+}
+
+// ----- ContentProviderService -----
+
+ContentProviderService::ContentProviderService(SystemContext& context)
+    : SystemService(context, "content", /*hardware=*/false) {
+  // The contacts provider ships with the system.
+  ProviderTable& contacts = RegisterAuthority("contacts");
+  for (const char* name : {"Ada Lovelace", "Alan Turing", "Grace Hopper"}) {
+    ProviderRow row;
+    row["display_name"] = name;
+    row["starred"] = name[0] == 'A' ? "1" : "0";
+    contacts.Insert(std::move(row));
+  }
+}
+
+Result<Parcel> ContentProviderService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "acquireProvider") {
+    FLUX_ASSIGN_OR_RETURN(std::string authority, args.ReadString());
+    ProviderTable* table = FindAuthority(authority);
+    if (table == nullptr) {
+      return NotFound("no provider for authority: " + authority);
+    }
+    const uint64_t id = next_connection_id_++;
+    auto connection = std::make_shared<ProviderConnection>(
+        *this, *table, id, context.sender_pid);
+    const uint64_t node =
+        context.driver->RegisterNode(host_pid(), connection);
+    connections_[id] = std::move(connection);
+    Parcel reply;
+    reply.WriteNode(node);
+    return reply;
+  }
+  return Unsupported("IContentService: " + std::string(method));
+}
+
+ProviderTable& ContentProviderService::RegisterAuthority(
+    const std::string& authority) {
+  auto [it, inserted] =
+      authorities_.try_emplace(authority,
+                               std::make_unique<ProviderTable>(authority));
+  (void)inserted;
+  return *it->second;
+}
+
+ProviderTable* ContentProviderService::FindAuthority(
+    const std::string& authority) {
+  auto it = authorities_.find(authority);
+  return it == authorities_.end() ? nullptr : it->second.get();
+}
+
+int ContentProviderService::ConnectionCountOf(Pid pid) const {
+  int count = 0;
+  for (const auto& [id, connection] : connections_) {
+    (void)id;
+    if (connection->client() == pid) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void ContentProviderService::OnConnectionClosed(uint64_t connection_id) {
+  connections_.erase(connection_id);
+}
+
+// ----- ProviderConnection -----
+
+Result<Parcel> ProviderConnection::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  if (method == "query") {
+    FLUX_ASSIGN_OR_RETURN(std::string column, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(std::string value, args.ReadString());
+    ++open_cursors_;  // the caller now holds a cursor over the results
+    Parcel reply;
+    const auto rows = table_.Query(column, value);
+    reply.WriteI32(static_cast<int32_t>(rows.size()));
+    for (const auto& row : rows) {
+      auto it = row.find("display_name");
+      reply.WriteString(it != row.end() ? it->second : "");
+    }
+    return reply;
+  }
+  if (method == "closeCursor") {
+    if (open_cursors_ > 0) {
+      --open_cursors_;
+    }
+    return Parcel();
+  }
+  if (method == "insert") {
+    FLUX_ASSIGN_OR_RETURN(std::string name, args.ReadString());
+    ProviderRow row;
+    row["display_name"] = std::move(name);
+    const uint64_t id = table_.Insert(std::move(row));
+    Parcel reply;
+    reply.WriteI64(static_cast<int64_t>(id));
+    return reply;
+  }
+  if (method == "delete") {
+    FLUX_ASSIGN_OR_RETURN(std::string column, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(std::string value, args.ReadString());
+    Parcel reply;
+    reply.WriteI32(table_.Delete(column, value));
+    return reply;
+  }
+  if (method == "release") {
+    service_.OnConnectionClosed(id_);
+    return Parcel();
+  }
+  return Unsupported("IContentProvider: " + std::string(method));
+}
+
+}  // namespace flux

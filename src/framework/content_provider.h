@@ -1,0 +1,109 @@
+// ContentProviders (§2, §3.4).
+//
+// Data shared between apps (contacts, media) is exposed through
+// ContentProviders — "essentially Binder services with short-lived app
+// connections" exposing a database-like query/insert/delete API. Flux does
+// not record/replay provider traffic: connections are short-lived, so the
+// prototype simply refuses to migrate an app *while* it is interacting with
+// a provider (holding an acquired connection or an open cursor), which CRIA
+// detects from the app's Binder handle table.
+#ifndef FLUX_SRC_FRAMEWORK_CONTENT_PROVIDER_H_
+#define FLUX_SRC_FRAMEWORK_CONTENT_PROVIDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+// The app-facing provider connection interface name; CRIA refuses apps
+// holding handles to nodes of this interface (§3.4).
+inline constexpr std::string_view kContentProviderInterface =
+    "android.content.IContentProvider";
+
+// One row of provider data.
+using ProviderRow = std::map<std::string, std::string>;
+
+// A named data set ("contacts", "mediastore").
+class ProviderTable {
+ public:
+  explicit ProviderTable(std::string authority)
+      : authority_(std::move(authority)) {}
+
+  const std::string& authority() const { return authority_; }
+  uint64_t Insert(ProviderRow row);
+  // Rows whose `column` equals `value`; empty selection returns all rows.
+  std::vector<ProviderRow> Query(const std::string& column,
+                                 const std::string& value) const;
+  int Delete(const std::string& column, const std::string& value);
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::string authority_;
+  uint64_t next_id_ = 1;
+  std::vector<std::pair<uint64_t, ProviderRow>> rows_;
+};
+
+class ProviderConnection;
+
+// The resolver service ("content"): apps acquire per-authority connections.
+class ContentProviderService : public SystemService {
+ public:
+  explicit ContentProviderService(SystemContext& context);
+
+  std::string_view interface_name() const override {
+    return "android.content.IContentService";
+  }
+  std::string_view aidl_source() const override { return ""; }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // Registers a provider authority (done at boot for "contacts").
+  ProviderTable& RegisterAuthority(const std::string& authority);
+  ProviderTable* FindAuthority(const std::string& authority);
+
+  // Live connections held by a client pid.
+  int ConnectionCountOf(Pid pid) const;
+  void OnConnectionClosed(uint64_t connection_id);
+
+ private:
+  std::map<std::string, std::unique_ptr<ProviderTable>> authorities_;
+  uint64_t next_connection_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<ProviderConnection>> connections_;
+};
+
+// Per-client provider connection: the short-lived Binder object apps talk
+// to. Holding one (or a cursor on it) makes the app unmigratable until
+// released.
+class ProviderConnection : public BinderObject {
+ public:
+  ProviderConnection(ContentProviderService& service, ProviderTable& table,
+                     uint64_t id, Pid client)
+      : service_(service), table_(table), id_(id), client_(client) {}
+
+  std::string_view interface_name() const override {
+    return kContentProviderInterface;
+  }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  uint64_t id() const { return id_; }
+  Pid client() const { return client_; }
+  int open_cursors() const { return open_cursors_; }
+
+ private:
+  ContentProviderService& service_;
+  ProviderTable& table_;
+  uint64_t id_;
+  Pid client_;
+  int open_cursors_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_CONTENT_PROVIDER_H_

@@ -1,0 +1,319 @@
+#include "src/framework/hardware_services.h"
+
+#include <algorithm>
+
+#include "src/framework/aidl_sources.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+// ----- WifiService -----
+
+std::string_view WifiService::aidl_source() const { return WifiServiceAidl(); }
+
+Result<Parcel> WifiService::OnTransact(std::string_view method,
+                                       const Parcel& args,
+                                       const BinderCallContext& context) {
+  AccountCall();
+  if (method == "setWifiEnabled") {
+    FLUX_ASSIGN_OR_RETURN(enabled_, args.ReadBool());
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  if (method == "getWifiEnabledState") {
+    Parcel reply;
+    reply.WriteI32(enabled_ ? 3 : 1);  // WIFI_STATE_ENABLED / DISABLED
+    return reply;
+  }
+  if (method == "getConnectionInfo") {
+    Parcel reply;
+    reply.WriteString(this->context().connectivity.network_name);
+    reply.WriteBool(this->context().connectivity.connected);
+    return reply;
+  }
+  if (method == "startScan") {
+    return Parcel();
+  }
+  if (method == "getScanResults") {
+    FLUX_ASSIGN_OR_RETURN(std::string pkg, args.ReadString());
+    (void)pkg;
+    Parcel reply;
+    reply.WriteString(this->context().connectivity.network_name);
+    return reply;
+  }
+  if (method == "acquireWifiLock") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef token, args.ReadObject());
+    FLUX_ASSIGN_OR_RETURN(int32_t type, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(std::string tag, args.ReadString());
+    locks_.push_back(WifiLock{token, type, std::move(tag), context.sender_pid});
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  if (method == "releaseWifiLock") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef token, args.ReadObject());
+    const auto before = locks_.size();
+    locks_.erase(std::remove_if(locks_.begin(), locks_.end(),
+                                [&](const WifiLock& lock) {
+                                  return lock.token == token;
+                                }),
+                 locks_.end());
+    Parcel reply;
+    reply.WriteBool(locks_.size() != before);
+    return reply;
+  }
+  if (method == "addOrUpdateNetwork") {
+    Parcel reply;
+    configured_networks_.push_back(next_net_id_);
+    reply.WriteI32(next_net_id_++);
+    return reply;
+  }
+  if (method == "removeNetwork") {
+    FLUX_ASSIGN_OR_RETURN(int32_t net_id, args.ReadI32());
+    auto it = std::find(configured_networks_.begin(),
+                        configured_networks_.end(), net_id);
+    Parcel reply;
+    reply.WriteBool(it != configured_networks_.end());
+    if (it != configured_networks_.end()) {
+      configured_networks_.erase(it);
+    }
+    return reply;
+  }
+  if (method == "isScanAlwaysAvailable") {
+    Parcel reply;
+    reply.WriteBool(false);
+    return reply;
+  }
+  return Unsupported("IWifiManager: " + std::string(method));
+}
+
+// ----- ConnectivityManagerService -----
+
+namespace {
+
+// From framework/aidl_sources.cc: the connectivity interface.
+constexpr std::string_view kConnectivityName = "connectivity";
+
+}  // namespace
+
+std::string_view ConnectivityManagerService::aidl_source() const {
+  for (const auto& entry : AllDecoratedAidl()) {
+    if (entry.service_name == kConnectivityName) {
+      return entry.source;
+    }
+  }
+  return "";
+}
+
+Result<Parcel> ConnectivityManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "getActiveNetworkInfo") {
+    Parcel reply;
+    reply.WriteBool(this->context().connectivity.connected);
+    reply.WriteString(this->context().connectivity.network_name);
+    reply.WriteI32(1);  // TYPE_WIFI
+    return reply;
+  }
+  if (method == "getNetworkInfo") {
+    FLUX_ASSIGN_OR_RETURN(int32_t type, args.ReadI32());
+    Parcel reply;
+    reply.WriteBool(type == 1 && this->context().connectivity.connected);
+    reply.WriteString(this->context().connectivity.network_name);
+    reply.WriteI32(type);
+    return reply;
+  }
+  if (method == "isActiveNetworkMetered") {
+    Parcel reply;
+    reply.WriteBool(false);
+    return reply;
+  }
+  if (method == "startUsingNetworkFeature") {
+    FLUX_ASSIGN_OR_RETURN(int32_t type, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(std::string feature, args.ReadString());
+    ++features_[{type, feature}];
+    Parcel reply;
+    reply.WriteI32(0);
+    return reply;
+  }
+  if (method == "stopUsingNetworkFeature") {
+    FLUX_ASSIGN_OR_RETURN(int32_t type, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(std::string feature, args.ReadString());
+    auto it = features_.find({type, feature});
+    if (it != features_.end() && --it->second <= 0) {
+      features_.erase(it);
+    }
+    Parcel reply;
+    reply.WriteI32(0);
+    return reply;
+  }
+  return Unsupported("IConnectivityManager: " + std::string(method));
+}
+
+// ----- LocationManagerService -----
+
+std::string_view LocationManagerService::aidl_source() const {
+  return LocationManagerAidl();
+}
+
+Result<Parcel> LocationManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "requestLocationUpdates") {
+    FLUX_ASSIGN_OR_RETURN(std::string provider, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(int64_t min_time, args.ReadI64());
+    FLUX_ASSIGN_OR_RETURN(double min_distance, args.ReadF64());
+    (void)min_distance;
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    if (provider == "gps" && !this->context().has_gps) {
+      return Unavailable("no GPS hardware on this device");
+    }
+    requests_.push_back(
+        UpdateRequest{std::move(provider), min_time, listener,
+                      context.sender_pid});
+    return Parcel();
+  }
+  if (method == "removeUpdates") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    requests_.erase(std::remove_if(requests_.begin(), requests_.end(),
+                                   [&](const UpdateRequest& r) {
+                                     return r.listener == listener;
+                                   }),
+                    requests_.end());
+    return Parcel();
+  }
+  if (method == "getLastLocation") {
+    FLUX_ASSIGN_OR_RETURN(std::string provider, args.ReadString());
+    Parcel reply;
+    reply.WriteString(provider);
+    reply.WriteF64(40.8075);   // a fixed campus location
+    reply.WriteF64(-73.9626);
+    return reply;
+  }
+  if (method == "isProviderEnabled") {
+    FLUX_ASSIGN_OR_RETURN(std::string provider, args.ReadString());
+    Parcel reply;
+    reply.WriteBool(provider != "gps" || this->context().has_gps);
+    return reply;
+  }
+  if (method == "getAllProviders") {
+    Parcel reply;
+    for (const auto& provider : Providers(false)) {
+      reply.WriteString(provider);
+    }
+    return reply;
+  }
+  if (method == "getProviders") {
+    FLUX_ASSIGN_OR_RETURN(bool enabled_only, args.ReadBool());
+    Parcel reply;
+    for (const auto& provider : Providers(enabled_only)) {
+      reply.WriteString(provider);
+    }
+    return reply;
+  }
+  if (method == "getBestProvider") {
+    Parcel reply;
+    reply.WriteString(this->context().has_gps ? "gps" : "network");
+    return reply;
+  }
+  if (method == "addGpsStatusListener") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    if (!this->context().has_gps) {
+      Parcel reply;
+      reply.WriteBool(false);
+      return reply;
+    }
+    gps_status_listeners_.push_back(listener);
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  if (method == "removeGpsStatusListener") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    gps_status_listeners_.erase(
+        std::remove(gps_status_listeners_.begin(), gps_status_listeners_.end(),
+                    listener),
+        gps_status_listeners_.end());
+    return Parcel();
+  }
+  return Unsupported("ILocationManager: " + std::string(method));
+}
+
+std::vector<std::string> LocationManagerService::Providers(
+    bool enabled_only) const {
+  std::vector<std::string> out = {"network", "passive"};
+  if (!enabled_only || this->context().has_gps) {
+    out.insert(out.begin(), "gps");
+  }
+  return out;
+}
+
+// ----- PowerManagerService -----
+
+std::string_view PowerManagerService::aidl_source() const {
+  for (const auto& entry : AllDecoratedAidl()) {
+    if (entry.service_name == "power") {
+      return entry.source;
+    }
+  }
+  return "";
+}
+
+Result<Parcel> PowerManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "acquireWakeLock") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef token, args.ReadObject());
+    FLUX_ASSIGN_OR_RETURN(int32_t flags, args.ReadI32());
+    (void)flags;
+    FLUX_ASSIGN_OR_RETURN(std::string tag, args.ReadString());
+    this->context().kernel->wakelocks().Acquire(tag, host_pid());
+    locks_.push_back(HeldLock{token, std::move(tag), context.sender_pid});
+    return Parcel();
+  }
+  if (method == "releaseWakeLock") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef token, args.ReadObject());
+    auto it = std::find_if(locks_.begin(), locks_.end(),
+                           [&](const HeldLock& lock) {
+                             return lock.token == token;
+                           });
+    if (it != locks_.end()) {
+      (void)this->context().kernel->wakelocks().Release(it->tag, host_pid());
+      locks_.erase(it);
+    }
+    return Parcel();
+  }
+  if (method == "isScreenOn") {
+    Parcel reply;
+    reply.WriteBool(screen_on_);
+    return reply;
+  }
+  if (method == "goToSleep") {
+    screen_on_ = false;
+    return Parcel();
+  }
+  if (method == "wakeUp") {
+    screen_on_ = true;
+    return Parcel();
+  }
+  if (method == "userActivity") {
+    return Parcel();
+  }
+  if (method == "setBrightness") {
+    FLUX_ASSIGN_OR_RETURN(brightness_, args.ReadI32());
+    return Parcel();
+  }
+  if (method == "isWakeLockLevelSupported") {
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  return Unsupported("IPowerManager: " + std::string(method));
+}
+
+}  // namespace flux

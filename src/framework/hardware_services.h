@@ -1,0 +1,123 @@
+// Wifi, Connectivity, Location and Power services.
+//
+// These manage hardware whose state differs across devices, which is what
+// Adaptive Replay contextualizes after migration: WiFi state is replayed to
+// the app's listeners as connectivity events; a missing GPS on the guest
+// surfaces through the location proxy (§3.2); wakelocks re-acquire against
+// the guest kernel's wakelock driver.
+#ifndef FLUX_SRC_FRAMEWORK_HARDWARE_SERVICES_H_
+#define FLUX_SRC_FRAMEWORK_HARDWARE_SERVICES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+class WifiService : public SystemService {
+ public:
+  explicit WifiService(SystemContext& context)
+      : SystemService(context, "wifi", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.net.wifi.IWifiManager";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  bool enabled() const { return enabled_; }
+  size_t lock_count() const { return locks_.size(); }
+
+ private:
+  struct WifiLock {
+    ParcelObjectRef token;
+    int32_t type = 0;
+    std::string tag;
+    Pid owner = kInvalidPid;
+  };
+  bool enabled_ = true;
+  std::vector<WifiLock> locks_;
+  std::vector<int32_t> configured_networks_;
+  int32_t next_net_id_ = 1;
+};
+
+class ConnectivityManagerService : public SystemService {
+ public:
+  explicit ConnectivityManagerService(SystemContext& context)
+      : SystemService(context, "connectivity", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.net.IConnectivityManager";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // Features in use, keyed by (networkType, feature).
+  size_t active_feature_count() const { return features_.size(); }
+
+ private:
+  std::map<std::pair<int32_t, std::string>, int> features_;
+};
+
+class LocationManagerService : public SystemService {
+ public:
+  explicit LocationManagerService(SystemContext& context)
+      : SystemService(context, "location", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.location.ILocationManager";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  struct UpdateRequest {
+    std::string provider;
+    int64_t min_time_ms = 0;
+    ParcelObjectRef listener;
+    Pid owner = kInvalidPid;
+  };
+  const std::vector<UpdateRequest>& requests() const { return requests_; }
+  std::vector<std::string> Providers(bool enabled_only) const;
+
+ private:
+  std::vector<UpdateRequest> requests_;
+  std::vector<ParcelObjectRef> gps_status_listeners_;
+};
+
+class PowerManagerService : public SystemService {
+ public:
+  explicit PowerManagerService(SystemContext& context)
+      : SystemService(context, "power", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.os.IPowerManager";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  size_t wakelock_count() const { return locks_.size(); }
+
+ private:
+  struct HeldLock {
+    ParcelObjectRef token;
+    std::string tag;
+    Pid owner = kInvalidPid;
+  };
+  std::vector<HeldLock> locks_;
+  bool screen_on_ = true;
+  int32_t brightness_ = 180;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_HARDWARE_SERVICES_H_

@@ -1,0 +1,57 @@
+#include "src/framework/intent.h"
+
+#include "src/base/strings.h"
+
+namespace flux {
+
+std::string Intent::ToString() const {
+  std::string out = "Intent{" + action;
+  if (!target_package.empty()) {
+    out += " -> " + target_package;
+  }
+  for (const auto& [key, value] : extras) {
+    out += " " + key + "=" + value;
+  }
+  out += "}";
+  return out;
+}
+
+std::string Intent::Serialize() const {
+  // action \x1f target \x1f k=v \x1f k=v ...
+  std::string out = action;
+  out += '\x1f';
+  out += target_package;
+  for (const auto& [key, value] : extras) {
+    out += '\x1f';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+Intent Intent::Deserialize(const std::string& flat) {
+  Intent intent;
+  const auto parts = StrSplit(flat, '\x1f');
+  if (!parts.empty()) {
+    intent.action = parts[0];
+  }
+  if (parts.size() > 1) {
+    intent.target_package = parts[1];
+  }
+  for (size_t i = 2; i < parts.size(); ++i) {
+    const auto eq = parts[i].find('=');
+    if (eq != std::string::npos) {
+      intent.extras[parts[i].substr(0, eq)] = parts[i].substr(eq + 1);
+    }
+  }
+  return intent;
+}
+
+std::string MakePendingIntentToken(const std::string& package,
+                                   int request_code,
+                                   const std::string& action) {
+  return StrFormat("%s/%d/%s", package.c_str(), request_code, action.c_str());
+}
+
+}  // namespace flux

@@ -1,0 +1,37 @@
+// Intents and PendingIntents (§2).
+//
+// Intents are the messaging objects apps use to request actions; the
+// ActivityManagerService broadcasts them to registered BroadcastReceivers.
+// PendingIntents (as used by AlarmManager.set) are modeled as opaque tokens
+// that identify the operation — the paper's @if decorations match on the
+// `operation` argument, which is this token.
+#ifndef FLUX_SRC_FRAMEWORK_INTENT_H_
+#define FLUX_SRC_FRAMEWORK_INTENT_H_
+
+#include <map>
+#include <string>
+
+namespace flux {
+
+struct Intent {
+  std::string action;           // e.g. "android.net.conn.CONNECTIVITY_CHANGE"
+  std::string target_package;   // empty = broadcast to all interested
+  std::map<std::string, std::string> extras;
+
+  bool operator==(const Intent&) const = default;
+
+  std::string ToString() const;
+
+  // Flattens to a single string for embedding in parcels / logs.
+  std::string Serialize() const;
+  static Intent Deserialize(const std::string& flat);
+};
+
+// A PendingIntent token: "<creator_package>/<request_code>/<action>".
+std::string MakePendingIntentToken(const std::string& package,
+                                   int request_code,
+                                   const std::string& action);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_INTENT_H_

@@ -1,0 +1,454 @@
+#include "src/framework/misc_services.h"
+
+#include <algorithm>
+
+#include "src/framework/aidl_sources.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+std::string_view TableService::aidl_source() const {
+  for (const auto& entry : AllDecoratedAidl()) {
+    if (entry.service_name == service_name()) {
+      return entry.source;
+    }
+  }
+  return "";
+}
+
+// ----- ClipboardService -----
+
+Result<Parcel> ClipboardService::OnTransact(std::string_view method,
+                                            const Parcel& args,
+                                            const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "setPrimaryClip") {
+    FLUX_ASSIGN_OR_RETURN(clip_, args.ReadString());
+    return Parcel();
+  }
+  if (method == "getPrimaryClip") {
+    Parcel reply;
+    reply.WriteString(clip_);
+    return reply;
+  }
+  if (method == "getPrimaryClipDescription") {
+    Parcel reply;
+    reply.WriteString(clip_.empty() ? "" : "text/plain");
+    return reply;
+  }
+  if (method == "hasPrimaryClip" || method == "hasClipboardText") {
+    Parcel reply;
+    reply.WriteBool(!clip_.empty());
+    return reply;
+  }
+  if (method == "addPrimaryClipChangedListener") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    listeners_.push_back(listener);
+    return Parcel();
+  }
+  if (method == "removePrimaryClipChangedListener") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    listeners_.erase(
+        std::remove(listeners_.begin(), listeners_.end(), listener),
+        listeners_.end());
+    return Parcel();
+  }
+  return Unsupported("IClipboard: " + std::string(method));
+}
+
+// ----- VibratorService -----
+
+Result<Parcel> VibratorService::OnTransact(std::string_view method,
+                                           const Parcel& args,
+                                           const BinderCallContext& context) {
+  AccountCall();
+  if (method == "hasVibrator") {
+    Parcel reply;
+    reply.WriteBool(this->context().has_vibrator);
+    return reply;
+  }
+  if (method == "vibrate") {
+    FLUX_ASSIGN_OR_RETURN(int64_t ms, args.ReadI64());
+    FLUX_ASSIGN_OR_RETURN(owner_token_, args.ReadObject());
+    vibrating_ = this->context().has_vibrator;
+    ends_at_ = context.time + Millis(ms);
+    return Parcel();
+  }
+  if (method == "vibratePattern") {
+    FLUX_ASSIGN_OR_RETURN(int64_t total_ms, args.ReadI64());
+    FLUX_ASSIGN_OR_RETURN(int32_t repeat, args.ReadI32());
+    (void)repeat;
+    FLUX_ASSIGN_OR_RETURN(owner_token_, args.ReadObject());
+    vibrating_ = this->context().has_vibrator;
+    ends_at_ = context.time + Millis(total_ms);
+    return Parcel();
+  }
+  if (method == "cancelVibrate") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef token, args.ReadObject());
+    if (token == owner_token_) {
+      vibrating_ = false;
+      ends_at_ = 0;
+    }
+    return Parcel();
+  }
+  return Unsupported("IVibratorService: " + std::string(method));
+}
+
+// ----- InputMethodManagerService -----
+
+Result<Parcel> InputMethodManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "getInputMethodList" || method == "getEnabledInputMethodList") {
+    Parcel reply;
+    reply.WriteString(current_ime_);
+    return reply;
+  }
+  if (method == "addClient") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef client, args.ReadObject());
+    clients_.push_back(client);
+    return Parcel();
+  }
+  if (method == "removeClient") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef client, args.ReadObject());
+    clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
+                   clients_.end());
+    return Parcel();
+  }
+  if (method == "showSoftInput") {
+    soft_input_shown_ = true;
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  if (method == "hideSoftInput") {
+    soft_input_shown_ = false;
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  if (method == "setInputMethod") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef token, args.ReadObject());
+    (void)token;
+    FLUX_ASSIGN_OR_RETURN(current_ime_, args.ReadString());
+    return Parcel();
+  }
+  if (method == "getCurrentInputMethodSubtype") {
+    Parcel reply;
+    reply.WriteString(current_ime_);
+    return reply;
+  }
+  return Unsupported("IInputMethodManager: " + std::string(method));
+}
+
+// ----- InputManagerService -----
+
+Result<Parcel> InputManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "getInputDeviceIds") {
+    Parcel reply;
+    reply.WriteI32(1);  // touchscreen
+    reply.WriteI32(2);  // buttons
+    return reply;
+  }
+  if (method == "getInputDevice") {
+    FLUX_ASSIGN_OR_RETURN(int32_t id, args.ReadI32());
+    Parcel reply;
+    reply.WriteI32(id);
+    reply.WriteString(id == 1 ? "touchscreen" : "buttons");
+    return reply;
+  }
+  if (method == "injectInputEvent") {
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  return Unsupported("IInputManager: " + std::string(method));
+}
+
+// ----- CameraManagerService -----
+
+Result<Parcel> CameraManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "getNumberOfCameras") {
+    Parcel reply;
+    reply.WriteI32(this->context().has_camera ? 2 : 0);
+    return reply;
+  }
+  if (method == "connect") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef client, args.ReadObject());
+    (void)client;
+    FLUX_ASSIGN_OR_RETURN(int32_t camera_id, args.ReadI32());
+    if (!this->context().has_camera) {
+      return Unavailable("no camera hardware");
+    }
+    if (CameraOpen(camera_id)) {
+      return FailedPrecondition("camera already open");
+    }
+    // Preview buffers come from pmem (device-specific; freed before
+    // checkpoint, §3.3).
+    FLUX_ASSIGN_OR_RETURN(
+        uint64_t alloc,
+        this->context().kernel->pmem().Allocate(context.sender_pid,
+                                                8 * 1024 * 1024));
+    open_.push_back(OpenCamera{camera_id, context.sender_pid, alloc});
+    Parcel reply;
+    reply.WriteI32(camera_id);
+    return reply;
+  }
+  if (method == "disconnect") {
+    FLUX_ASSIGN_OR_RETURN(int32_t camera_id, args.ReadI32());
+    auto it = std::find_if(open_.begin(), open_.end(),
+                           [&](const OpenCamera& c) {
+                             return c.camera_id == camera_id;
+                           });
+    if (it != open_.end()) {
+      (void)this->context().kernel->pmem().Free(it->pmem_alloc);
+      open_.erase(it);
+    }
+    return Parcel();
+  }
+  if (method == "getCameraInfo") {
+    FLUX_ASSIGN_OR_RETURN(int32_t camera_id, args.ReadI32());
+    Parcel reply;
+    reply.WriteI32(camera_id);
+    reply.WriteString(camera_id == 0 ? "back" : "front");
+    return reply;
+  }
+  if (method == "supportsCameraApi") {
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  return Unsupported("ICameraService: " + std::string(method));
+}
+
+bool CameraManagerService::CameraOpen(int32_t camera_id) const {
+  return std::any_of(open_.begin(), open_.end(), [&](const OpenCamera& c) {
+    return c.camera_id == camera_id;
+  });
+}
+
+// ----- CountryDetectorService -----
+
+Result<Parcel> CountryDetectorService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "detectCountry") {
+    Parcel reply;
+    reply.WriteString("US");
+    return reply;
+  }
+  if (method == "addCountryListener") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    listeners_.push_back(listener);
+    return Parcel();
+  }
+  if (method == "removeCountryListener") {
+    FLUX_ASSIGN_OR_RETURN(ParcelObjectRef listener, args.ReadObject());
+    listeners_.erase(
+        std::remove(listeners_.begin(), listeners_.end(), listener),
+        listeners_.end());
+    return Parcel();
+  }
+  return Unsupported("ICountryDetector: " + std::string(method));
+}
+
+// ----- KeyguardService -----
+
+Result<Parcel> KeyguardService::OnTransact(std::string_view method,
+                                           const Parcel& args,
+                                           const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "isShowing") {
+    Parcel reply;
+    reply.WriteBool(showing_);
+    return reply;
+  }
+  if (method == "isSecure" || method == "isInputRestricted") {
+    Parcel reply;
+    reply.WriteBool(false);
+    return reply;
+  }
+  if (method == "setOccluded") {
+    FLUX_ASSIGN_OR_RETURN(occluded_, args.ReadBool());
+    return Parcel();
+  }
+  if (method == "dismiss") {
+    showing_ = false;
+    return Parcel();
+  }
+  if (method == "onScreenTurnedOff") {
+    showing_ = true;
+    return Parcel();
+  }
+  if (method == "keyguardDone") {
+    showing_ = false;
+    return Parcel();
+  }
+  return Unsupported("IKeyguardService: " + std::string(method));
+}
+
+// ----- NsdService -----
+
+Result<Parcel> NsdService::OnTransact(std::string_view method,
+                                      const Parcel& args,
+                                      const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "getMessenger") {
+    Parcel reply;
+    reply.WriteString("nsd-messenger");
+    return reply;
+  }
+  if (method == "setEnabled") {
+    FLUX_ASSIGN_OR_RETURN(enabled_, args.ReadBool());
+    return Parcel();
+  }
+  return Unsupported("INsdManager: " + std::string(method));
+}
+
+// ----- TextServicesManagerService -----
+
+Result<Parcel> TextServicesManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "getCurrentSpellChecker") {
+    Parcel reply;
+    reply.WriteString(spell_checker_);
+    return reply;
+  }
+  if (method == "setCurrentSpellChecker") {
+    FLUX_ASSIGN_OR_RETURN(std::string locale, args.ReadString());
+    (void)locale;
+    FLUX_ASSIGN_OR_RETURN(spell_checker_, args.ReadString());
+    return Parcel();
+  }
+  if (method == "getCurrentSpellCheckerSubtype") {
+    Parcel reply;
+    reply.WriteString("en_US");
+    return reply;
+  }
+  return Unsupported("ITextServicesManager: " + std::string(method));
+}
+
+// ----- UiModeManagerService -----
+
+Result<Parcel> UiModeManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "setNightMode") {
+    FLUX_ASSIGN_OR_RETURN(night_mode_, args.ReadI32());
+    return Parcel();
+  }
+  if (method == "getNightMode") {
+    Parcel reply;
+    reply.WriteI32(night_mode_);
+    return reply;
+  }
+  if (method == "enableCarMode") {
+    car_mode_ = true;
+    return Parcel();
+  }
+  if (method == "disableCarMode") {
+    car_mode_ = false;
+    return Parcel();
+  }
+  if (method == "getCurrentModeType") {
+    Parcel reply;
+    reply.WriteI32(car_mode_ ? 3 : 1);
+    return reply;
+  }
+  return Unsupported("IUiModeManager: " + std::string(method));
+}
+
+// ----- BluetoothService -----
+
+Result<Parcel> BluetoothService::OnTransact(std::string_view method,
+                                            const Parcel& args,
+                                            const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "isEnabled") {
+    Parcel reply;
+    reply.WriteBool(enabled_);
+    return reply;
+  }
+  if (method == "enable") {
+    enabled_ = true;
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  if (method == "disable") {
+    enabled_ = false;
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  if (method == "getState") {
+    Parcel reply;
+    reply.WriteI32(enabled_ ? 12 : 10);  // STATE_ON / STATE_OFF
+    return reply;
+  }
+  if (method == "getName") {
+    Parcel reply;
+    reply.WriteString(name_);
+    return reply;
+  }
+  if (method == "setName") {
+    FLUX_ASSIGN_OR_RETURN(name_, args.ReadString());
+    Parcel reply;
+    reply.WriteBool(true);
+    return reply;
+  }
+  return Unsupported("IBluetooth: " + std::string(method));
+}
+
+// ----- SerialService -----
+
+Result<Parcel> SerialService::OnTransact(std::string_view method,
+                                         const Parcel& args,
+                                         const BinderCallContext& context) {
+  (void)args;
+  (void)context;
+  AccountCall();
+  if (method == "getSerialPorts") {
+    return Parcel();  // none
+  }
+  return Unsupported("ISerialManager: " + std::string(method));
+}
+
+// ----- UsbService -----
+
+Result<Parcel> UsbService::OnTransact(std::string_view method,
+                                      const Parcel& args,
+                                      const BinderCallContext& context) {
+  (void)args;
+  (void)context;
+  AccountCall();
+  if (method == "getDeviceList") {
+    return Parcel();  // none attached
+  }
+  if (method == "getCurrentAccessory") {
+    return Parcel();
+  }
+  return Unsupported("IUsbManager: " + std::string(method));
+}
+
+}  // namespace flux

@@ -1,0 +1,241 @@
+// The remaining system services of Table 2.
+//
+// Small state-bearing services (clipboard, vibrator, input method, camera,
+// country detector, keyguard, NSD, text services, UI mode) plus the
+// undecorated ones the prototype left as "TBD" (bluetooth, serial, usb).
+// Every one is reachable over Binder so apps can exercise it and Selective
+// Record can log it.
+#ifndef FLUX_SRC_FRAMEWORK_MISC_SERVICES_H_
+#define FLUX_SRC_FRAMEWORK_MISC_SERVICES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+// Convenience base: resolves aidl_source() from AllDecoratedAidl() by
+// service name so each small service does not repeat the lookup.
+class TableService : public SystemService {
+ public:
+  TableService(SystemContext& context, std::string service_name, bool hardware)
+      : SystemService(context, std::move(service_name), hardware) {}
+
+  std::string_view aidl_source() const override;
+};
+
+class ClipboardService : public TableService {
+ public:
+  explicit ClipboardService(SystemContext& context)
+      : TableService(context, "clipboard", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "android.content.IClipboard";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  const std::string& clip() const { return clip_; }
+
+ private:
+  std::string clip_;
+  std::vector<ParcelObjectRef> listeners_;
+};
+
+class VibratorService : public TableService {
+ public:
+  explicit VibratorService(SystemContext& context)
+      : TableService(context, "vibrator", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.os.IVibratorService";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  bool vibrating() const { return vibrating_; }
+  SimTime vibration_ends_at() const { return ends_at_; }
+
+ private:
+  bool vibrating_ = false;
+  SimTime ends_at_ = 0;
+  ParcelObjectRef owner_token_;
+};
+
+class InputMethodManagerService : public TableService {
+ public:
+  explicit InputMethodManagerService(SystemContext& context)
+      : TableService(context, "input_method", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "com.android.internal.view.IInputMethodManager";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  size_t client_count() const { return clients_.size(); }
+  bool soft_input_shown() const { return soft_input_shown_; }
+
+ private:
+  std::vector<ParcelObjectRef> clients_;
+  bool soft_input_shown_ = false;
+  std::string current_ime_ = "com.android.inputmethod.latin";
+};
+
+class InputManagerService : public TableService {
+ public:
+  explicit InputManagerService(SystemContext& context)
+      : TableService(context, "input", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.hardware.input.IInputManager";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+};
+
+class CameraManagerService : public TableService {
+ public:
+  explicit CameraManagerService(SystemContext& context)
+      : TableService(context, "camera", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.hardware.ICameraService";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  bool CameraOpen(int32_t camera_id) const;
+
+ private:
+  struct OpenCamera {
+    int32_t camera_id = 0;
+    Pid client = kInvalidPid;
+    uint64_t pmem_alloc = 0;
+  };
+  std::vector<OpenCamera> open_;
+};
+
+class CountryDetectorService : public TableService {
+ public:
+  explicit CountryDetectorService(SystemContext& context)
+      : TableService(context, "country_detector", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.location.ICountryDetector";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+ private:
+  std::vector<ParcelObjectRef> listeners_;
+};
+
+class KeyguardService : public TableService {
+ public:
+  explicit KeyguardService(SystemContext& context)
+      : TableService(context, "keyguard", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "com.android.internal.policy.IKeyguardService";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+ private:
+  bool showing_ = false;
+  bool occluded_ = false;
+};
+
+class NsdService : public TableService {
+ public:
+  explicit NsdService(SystemContext& context)
+      : TableService(context, "servicediscovery", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "android.net.nsd.INsdManager";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+ private:
+  bool enabled_ = true;
+};
+
+class TextServicesManagerService : public TableService {
+ public:
+  explicit TextServicesManagerService(SystemContext& context)
+      : TableService(context, "textservices", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "com.android.internal.textservice.ITextServicesManager";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+ private:
+  std::string spell_checker_ = "com.android.spellchecker.default";
+};
+
+class UiModeManagerService : public TableService {
+ public:
+  explicit UiModeManagerService(SystemContext& context)
+      : TableService(context, "uimode", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "android.app.IUiModeManager";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  int32_t night_mode() const { return night_mode_; }
+
+ private:
+  int32_t night_mode_ = 1;  // MODE_NIGHT_NO
+  bool car_mode_ = false;
+};
+
+class BluetoothService : public TableService {
+ public:
+  explicit BluetoothService(SystemContext& context)
+      : TableService(context, "bluetooth", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.bluetooth.IBluetooth";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+ private:
+  bool enabled_ = false;
+  std::string name_ = "android-device";
+};
+
+class SerialService : public TableService {
+ public:
+  explicit SerialService(SystemContext& context)
+      : TableService(context, "serial", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.hardware.ISerialManager";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+};
+
+class UsbService : public TableService {
+ public:
+  explicit UsbService(SystemContext& context)
+      : TableService(context, "usb", /*hardware=*/true) {}
+
+  std::string_view interface_name() const override {
+    return "android.hardware.usb.IUsbManager";
+  }
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_MISC_SERVICES_H_

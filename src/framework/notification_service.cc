@@ -1,0 +1,142 @@
+#include "src/framework/notification_service.h"
+
+#include <algorithm>
+
+#include "src/framework/aidl_sources.h"
+
+namespace flux {
+
+std::string_view NotificationManagerService::aidl_source() const {
+  return NotificationManagerAidl();
+}
+
+Result<Parcel> NotificationManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "enqueueNotification") {
+    FLUX_ASSIGN_OR_RETURN(int32_t id, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(std::string content, args.ReadString());
+    // Re-posting the same id replaces the previous notification.
+    auto it = std::find_if(active_.begin(), active_.end(),
+                           [&](const PostedNotification& n) {
+                             return n.uid == context.sender_uid &&
+                                    n.id == id && n.tag.empty();
+                           });
+    if (it != active_.end()) {
+      active_.erase(it);
+    }
+    PostedNotification note;
+    note.uid = context.sender_uid;
+    note.id = id;
+    note.content = std::move(content);
+    note.posted_at = context.time;
+    active_.push_back(std::move(note));
+    return Parcel();
+  }
+  if (method == "cancelNotification") {
+    FLUX_ASSIGN_OR_RETURN(int32_t id, args.ReadI32());
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](const PostedNotification& n) {
+                                   return n.uid == context.sender_uid &&
+                                          n.id == id && n.tag.empty();
+                                 }),
+                  active_.end());
+    return Parcel();
+  }
+  if (method == "cancelAllNotifications") {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](const PostedNotification& n) {
+                                   return n.uid == context.sender_uid;
+                                 }),
+                  active_.end());
+    return Parcel();
+  }
+  if (method == "enqueueNotificationWithTag") {
+    FLUX_ASSIGN_OR_RETURN(std::string tag, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(int32_t id, args.ReadI32());
+    FLUX_ASSIGN_OR_RETURN(std::string content, args.ReadString());
+    auto it = std::find_if(active_.begin(), active_.end(),
+                           [&](const PostedNotification& n) {
+                             return n.uid == context.sender_uid &&
+                                    n.id == id && n.tag == tag;
+                           });
+    if (it != active_.end()) {
+      active_.erase(it);
+    }
+    PostedNotification note;
+    note.uid = context.sender_uid;
+    note.tag = std::move(tag);
+    note.id = id;
+    note.content = std::move(content);
+    note.posted_at = context.time;
+    active_.push_back(std::move(note));
+    return Parcel();
+  }
+  if (method == "cancelNotificationWithTag") {
+    FLUX_ASSIGN_OR_RETURN(std::string tag, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(int32_t id, args.ReadI32());
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](const PostedNotification& n) {
+                                   return n.uid == context.sender_uid &&
+                                          n.id == id && n.tag == tag;
+                                 }),
+                  active_.end());
+    return Parcel();
+  }
+  if (method == "setNotificationsEnabledForPackage") {
+    FLUX_ASSIGN_OR_RETURN(std::string pkg, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(bool enabled, args.ReadBool());
+    auto it = std::find(disabled_packages_.begin(), disabled_packages_.end(),
+                        pkg);
+    if (enabled && it != disabled_packages_.end()) {
+      disabled_packages_.erase(it);
+    } else if (!enabled && it == disabled_packages_.end()) {
+      disabled_packages_.push_back(pkg);
+    }
+    return Parcel();
+  }
+  if (method == "areNotificationsEnabledForPackage") {
+    FLUX_ASSIGN_OR_RETURN(std::string pkg, args.ReadString());
+    Parcel reply;
+    reply.WriteBool(NotificationsEnabledFor(pkg));
+    return reply;
+  }
+  if (method == "getActiveNotifications") {
+    Parcel reply;
+    for (const auto& note : ActiveFor(context.sender_uid)) {
+      reply.WriteI32(note.id);
+      reply.WriteString(note.content);
+    }
+    return reply;
+  }
+  if (method == "setInterruptionFilter") {
+    FLUX_ASSIGN_OR_RETURN(interruption_filter_, args.ReadI32());
+    return Parcel();
+  }
+  if (method == "getInterruptionFilter") {
+    Parcel reply;
+    reply.WriteI32(interruption_filter_);
+    return reply;
+  }
+  return Unsupported("INotificationManager: " + std::string(method));
+}
+
+std::vector<PostedNotification> NotificationManagerService::ActiveFor(
+    Uid uid) const {
+  std::vector<PostedNotification> out;
+  for (const auto& note : active_) {
+    if (note.uid == uid) {
+      out.push_back(note);
+    }
+  }
+  return out;
+}
+
+bool NotificationManagerService::NotificationsEnabledFor(
+    const std::string& pkg) const {
+  return std::find(disabled_packages_.begin(), disabled_packages_.end(),
+                   pkg) == disabled_packages_.end();
+}
+
+}  // namespace flux

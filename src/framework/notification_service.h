@@ -1,0 +1,55 @@
+// NotificationManagerService (§3.2 example).
+//
+// Apps post notifications to the status bar; the service keeps the active
+// set per app. This is the paper's canonical Selective Record example: an
+// enqueue followed by a cancel with the same id must leave no trace in the
+// call log, and replay on the guest must repopulate the status bar with
+// exactly the still-active notifications.
+#ifndef FLUX_SRC_FRAMEWORK_NOTIFICATION_SERVICE_H_
+#define FLUX_SRC_FRAMEWORK_NOTIFICATION_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+struct PostedNotification {
+  Uid uid = -1;
+  std::string tag;
+  int32_t id = 0;
+  std::string content;
+  SimTime posted_at = 0;
+
+  bool operator==(const PostedNotification&) const = default;
+};
+
+class NotificationManagerService : public SystemService {
+ public:
+  explicit NotificationManagerService(SystemContext& context)
+      : SystemService(context, "notification", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "android.app.INotificationManager";
+  }
+  std::string_view aidl_source() const override;
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // Active notifications for one app (uid); ordered by post time.
+  std::vector<PostedNotification> ActiveFor(Uid uid) const;
+  size_t TotalActive() const { return active_.size(); }
+  bool NotificationsEnabledFor(const std::string& pkg) const;
+  int interruption_filter() const { return interruption_filter_; }
+
+ private:
+  std::vector<PostedNotification> active_;
+  std::vector<std::string> disabled_packages_;
+  int interruption_filter_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_NOTIFICATION_SERVICE_H_

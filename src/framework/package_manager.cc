@@ -1,0 +1,119 @@
+#include "src/framework/package_manager.h"
+
+namespace flux {
+
+Result<Parcel> PackageManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  (void)context;
+  AccountCall();
+  if (method == "getPackageInfo") {
+    FLUX_ASSIGN_OR_RETURN(std::string package, args.ReadString());
+    const PackageInfo* info = Find(package);
+    if (info == nullptr) {
+      return NotFound("package not installed: " + package);
+    }
+    Parcel reply;
+    reply.WriteString(info->package);
+    reply.WriteI32(info->version_code);
+    reply.WriteI32(info->min_api_level);
+    reply.WriteI64(static_cast<int64_t>(info->install_size));
+    reply.WriteBool(info->pseudo_installed);
+    return reply;
+  }
+  if (method == "checkPermission") {
+    FLUX_ASSIGN_OR_RETURN(std::string permission, args.ReadString());
+    FLUX_ASSIGN_OR_RETURN(std::string package, args.ReadString());
+    const PackageInfo* info = Find(package);
+    Parcel reply;
+    bool granted = false;
+    if (info != nullptr) {
+      for (const auto& p : info->permissions) {
+        if (p == permission) {
+          granted = true;
+          break;
+        }
+      }
+    }
+    reply.WriteI32(granted ? 0 : -1);  // PERMISSION_GRANTED / DENIED
+    return reply;
+  }
+  if (method == "getInstalledPackages") {
+    Parcel reply;
+    for (const auto* info : AllPackages()) {
+      reply.WriteString(info->package);
+    }
+    return reply;
+  }
+  return Unsupported("IPackageManager: " + std::string(method));
+}
+
+Status PackageManagerService::Install(PackageInfo info) {
+  if (info.package.empty()) {
+    return InvalidArgument("package name required");
+  }
+  auto it = packages_.find(info.package);
+  if (it != packages_.end() && !it->second.pseudo_installed) {
+    // Upgrade in place, keeping the uid.
+    info.uid = it->second.uid;
+    info.pseudo_installed = false;
+    it->second = std::move(info);
+    return OkStatus();
+  }
+  if (info.uid < 0) {
+    info.uid = AllocateUid();
+  }
+  info.pseudo_installed = false;
+  packages_[info.package] = std::move(info);
+  return OkStatus();
+}
+
+Status PackageManagerService::PseudoInstall(PackageInfo info,
+                                            const std::string& home_device) {
+  if (info.package.empty()) {
+    return InvalidArgument("package name required");
+  }
+  if (IsInstalled(info.package) && !packages_[info.package].pseudo_installed) {
+    // A natively installed copy exists; the wrapper stays distinct (§3.4),
+    // modeled by a separate registration key.
+    info.package += ":flux";
+  }
+  if (info.uid < 0) {
+    info.uid = AllocateUid();
+  }
+  info.pseudo_installed = true;
+  info.home_device = home_device;
+  packages_[info.package] = std::move(info);
+  return OkStatus();
+}
+
+Status PackageManagerService::Uninstall(const std::string& package) {
+  if (packages_.erase(package) == 0) {
+    return NotFound("package not installed: " + package);
+  }
+  return OkStatus();
+}
+
+const PackageInfo* PackageManagerService::Find(
+    const std::string& package) const {
+  auto it = packages_.find(package);
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+bool PackageManagerService::IsInstalled(const std::string& package) const {
+  return packages_.count(package) > 0;
+}
+
+std::vector<const PackageInfo*> PackageManagerService::AllPackages() const {
+  std::vector<const PackageInfo*> out;
+  out.reserve(packages_.size());
+  for (const auto& [name, info] : packages_) {
+    (void)name;
+    out.push_back(&info);
+  }
+  return out;
+}
+
+Uid PackageManagerService::AllocateUid() { return next_uid_++; }
+
+}  // namespace flux

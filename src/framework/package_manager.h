@@ -1,0 +1,64 @@
+// PackageManagerService (§2, §3.1).
+//
+// Tracks installed app metadata: APK path, requested permissions, API level,
+// and the app traits that decide migratability (multi-process manifests,
+// preserve-EGL usage). Pairing *pseudo-installs* an APK's metadata on the
+// guest — the guest learns the app's permissions and components without the
+// app data being installed — producing the wrapper app Flux restores into.
+#ifndef FLUX_SRC_FRAMEWORK_PACKAGE_MANAGER_H_
+#define FLUX_SRC_FRAMEWORK_PACKAGE_MANAGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+struct PackageInfo {
+  std::string package;        // "com.king.candycrushsaga"
+  std::string apk_path;       // on the device filesystem
+  int version_code = 1;
+  int min_api_level = 14;
+  uint64_t install_size = 0;  // bytes (APK size; §4 verified they match)
+  Uid uid = -1;
+  std::vector<std::string> permissions;
+  bool multi_process = false;       // Facebook case
+  bool preserves_egl_context = false;  // Subway Surfers case
+
+  // Pairing state.
+  bool pseudo_installed = false;  // wrapper only, no app data
+  std::string home_device;        // which device the data lives on
+};
+
+class PackageManagerService : public SystemService {
+ public:
+  explicit PackageManagerService(SystemContext& context)
+      : SystemService(context, "package", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "android.content.pm.IPackageManager";
+  }
+  std::string_view aidl_source() const override { return ""; }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // ----- direct API (installd / pairing path) -----
+  Status Install(PackageInfo info);
+  Status PseudoInstall(PackageInfo info, const std::string& home_device);
+  Status Uninstall(const std::string& package);
+  const PackageInfo* Find(const std::string& package) const;
+  bool IsInstalled(const std::string& package) const;
+  std::vector<const PackageInfo*> AllPackages() const;
+  Uid AllocateUid();
+
+ private:
+  std::map<std::string, PackageInfo> packages_;
+  Uid next_uid_ = kFirstAppUid;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_PACKAGE_MANAGER_H_

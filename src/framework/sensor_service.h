@@ -1,0 +1,102 @@
+// SensorService (§3.2 example).
+//
+// The one service whose API hands the app handles to *new* Binder objects
+// (SensorEventConnection) and a Unix domain socket descriptor for the event
+// channel. After migration those exact handle numbers and fd numbers must
+// keep working, so:
+//  - createSensorEventConnection is recorded with a @replayproxy that, on
+//    the guest, creates a fresh connection and maps it under the *original*
+//    Binder handle;
+//  - getSensorChannel's proxy obtains a new channel and dup2()s it onto the
+//    original descriptor number, which CRIA reserved during restore.
+// SensorService is written natively in C++ (no AIDL), so its record rules
+// are registered by hand — the paper's explanation for its outsized 94 LOC
+// in Table 2.
+#ifndef FLUX_SRC_FRAMEWORK_SENSOR_SERVICE_H_
+#define FLUX_SRC_FRAMEWORK_SENSOR_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+class SimProcess;
+
+struct SensorInfo {
+  int32_t handle = 0;
+  std::string name;  // "accelerometer", "gyroscope", ...
+};
+
+class SensorEventConnection;
+
+class SensorService : public SystemService {
+ public:
+  explicit SensorService(SystemContext& context);
+
+  std::string_view interface_name() const override {
+    return "android.gui.ISensorServer";
+  }
+  // Native service: no AIDL; rules are registered by hand (see
+  // RegisterNativeSensorRules below).
+  std::string_view aidl_source() const override { return ""; }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  const std::vector<SensorInfo>& sensors() const { return sensors_; }
+  bool HasSensor(std::string_view name) const;
+
+  // Connections created for a given client pid (by connection id).
+  std::vector<uint64_t> ConnectionsOf(Pid pid) const;
+  SensorEventConnection* FindConnection(uint64_t connection_id);
+
+  void OnConnectionClosed(uint64_t connection_id);
+
+  // The system_server process hosting this service (for channel fds).
+  SimProcess* HostProcess();
+
+ private:
+  std::vector<SensorInfo> sensors_;
+  uint64_t next_connection_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<SensorEventConnection>> connections_;
+};
+
+// Per-client connection object; a Binder node of its own.
+class SensorEventConnection : public BinderObject {
+ public:
+  SensorEventConnection(SensorService& server, uint64_t id, Pid client_pid)
+      : server_(server), id_(id), client_pid_(client_pid) {}
+
+  std::string_view interface_name() const override {
+    return "android.gui.ISensorEventConnection";
+  }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  uint64_t id() const { return id_; }
+  Pid client_pid() const { return client_pid_; }
+  const std::vector<int32_t>& enabled_sensors() const {
+    return enabled_sensors_;
+  }
+  bool channel_open() const { return channel_open_; }
+
+ private:
+  SensorService& server_;
+  uint64_t id_;
+  Pid client_pid_;
+  std::vector<int32_t> enabled_sensors_;
+  bool channel_open_ = false;
+};
+
+// Registers the hand-written record rules for the sensor interfaces
+// (ISensorServer + ISensorEventConnection) with the device's rule set.
+Status RegisterNativeSensorRules(SystemServer& server);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_SENSOR_SERVICE_H_

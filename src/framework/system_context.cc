@@ -1,0 +1,15 @@
+#include "src/framework/system_context.h"
+
+namespace flux {
+
+SimTime SystemContext::now() const { return clock != nullptr ? clock->now() : 0; }
+
+void SystemContext::SpendCpu(SimDuration work) const {
+  if (clock == nullptr || work <= 0) {
+    return;
+  }
+  const double scaled = static_cast<double>(work) / (cpu_factor > 0 ? cpu_factor : 1.0);
+  clock->Advance(static_cast<SimDuration>(scaled));
+}
+
+}  // namespace flux

@@ -1,0 +1,65 @@
+// Shared context handed to every framework component of a device.
+//
+// A SystemContext is the device-local wiring: kernel, Binder driver,
+// ServiceManager, filesystem, GL runtime, radio, display. The device module
+// composes one per device; services and app-side runtime code reach their
+// substrate through it.
+#ifndef FLUX_SRC_FRAMEWORK_SYSTEM_CONTEXT_H_
+#define FLUX_SRC_FRAMEWORK_SYSTEM_CONTEXT_H_
+
+#include <string>
+
+#include "src/base/sim_clock.h"
+#include "src/net/network.h"
+
+namespace flux {
+
+class SimKernel;
+class BinderDriver;
+class ServiceManager;
+class SimFilesystem;
+class EglRuntime;
+class WifiNetwork;
+class RecordRuleSet;
+
+struct DisplayProfile {
+  int width_px = 1280;
+  int height_px = 800;
+  int dpi = 216;
+};
+
+struct SystemContext {
+  std::string device_name;
+  std::string android_version;  // e.g. "4.4.2"
+  int api_level = 19;           // KitKat
+
+  SimKernel* kernel = nullptr;
+  BinderDriver* binder = nullptr;
+  ServiceManager* service_manager = nullptr;
+  SimFilesystem* filesystem = nullptr;
+  EglRuntime* egl = nullptr;
+  WifiNetwork* wifi = nullptr;
+  SimClock* clock = nullptr;
+  RecordRuleSet* record_rules = nullptr;
+
+  RadioProfile radio;
+  DisplayProfile display;
+  ConnectivityState connectivity;
+
+  // CPU speed relative to the Snapdragon S4 Pro baseline (Nexus 4 = 1.0).
+  double cpu_factor = 1.0;
+  // Hardware inventory relevant to Adaptive Replay's hardware diffing.
+  bool has_gps = true;
+  bool has_gyroscope = true;
+  bool has_camera = true;
+  bool has_vibrator = true;
+  int max_music_volume = 15;
+
+  SimTime now() const;
+  // Advances the clock by `work` scaled by this device's CPU speed.
+  void SpendCpu(SimDuration work) const;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_SYSTEM_CONTEXT_H_

@@ -1,0 +1,35 @@
+#include "src/framework/system_service.h"
+
+#include "src/aidl/record_rules.h"
+#include "src/base/logging.h"
+
+namespace flux {
+
+Status SystemServer::Install(std::shared_ptr<SystemService> service) {
+  service->host_pid_ = pid_;
+  service->node_id_ = context_.binder->RegisterNode(pid_, service);
+  FLUX_RETURN_IF_ERROR(context_.service_manager->AddService(
+      service->service_name(), service->node_id()));
+  const std::string_view source = service->aidl_source();
+  if (!source.empty() && context_.record_rules != nullptr) {
+    FLUX_RETURN_IF_ERROR(context_.record_rules->RegisterService(
+        service->service_name(), source, service->hardware()));
+  }
+  FLUX_LOG(kDebug, "system_server")
+      << "installed service " << service->service_name();
+  services_.push_back(std::move(service));
+  return OkStatus();
+}
+
+Status SystemServer::InstallNativeRules(const std::string& service_name,
+                                        AidlInterface interface, bool hardware,
+                                        int handwritten_loc) {
+  if (context_.record_rules == nullptr) {
+    return FailedPrecondition("no record rule set in context");
+  }
+  return context_.record_rules->RegisterNative(service_name,
+                                               std::move(interface), hardware,
+                                               handwritten_loc);
+}
+
+}  // namespace flux

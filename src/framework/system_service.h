@@ -1,0 +1,88 @@
+// Base class for system services.
+//
+// Each service is a BinderObject hosted by the device's system_server
+// process. On installation it registers itself with the ServiceManager and
+// registers its decorated AIDL interface with the device's RecordRuleSet, so
+// Selective Record knows which of its methods matter (§3.2).
+#ifndef FLUX_SRC_FRAMEWORK_SYSTEM_SERVICE_H_
+#define FLUX_SRC_FRAMEWORK_SYSTEM_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/aidl/aidl_parser.h"
+#include "src/binder/binder_driver.h"
+#include "src/binder/service_manager.h"
+#include "src/framework/system_context.h"
+
+namespace flux {
+
+class SystemService : public BinderObject {
+ public:
+  SystemService(SystemContext& context, std::string service_name,
+                bool hardware)
+      : context_(context),
+        service_name_(std::move(service_name)),
+        hardware_(hardware) {}
+
+  const std::string& service_name() const { return service_name_; }
+  bool hardware() const { return hardware_; }
+  uint64_t node_id() const { return node_id_; }
+  Pid host_pid() const { return host_pid_; }
+
+  // Decorated AIDL definition of this service's interface; empty for
+  // services whose rules are registered natively (SensorService).
+  virtual std::string_view aidl_source() const = 0;
+
+ protected:
+  SystemContext& context() { return context_; }
+  const SystemContext& context() const { return context_; }
+
+  // Small per-call CPU cost (dispatch + bookkeeping on the service side).
+  void AccountCall(SimDuration work = Micros(40)) { context_.SpendCpu(work); }
+
+ private:
+  friend class SystemServer;
+  SystemContext& context_;
+  std::string service_name_;
+  bool hardware_;
+  uint64_t node_id_ = 0;
+  Pid host_pid_ = kInvalidPid;
+};
+
+// Hosts services in a system_server process: registers the Binder node, the
+// ServiceManager name, and the record rules.
+class SystemServer {
+ public:
+  SystemServer(SystemContext& context, Pid pid)
+      : context_(context), pid_(pid) {}
+
+  Pid pid() const { return pid_; }
+
+  // Installs a service; the server keeps it alive.
+  Status Install(std::shared_ptr<SystemService> service);
+
+  // Installs rules only (services whose interface is native C++, §3.2).
+  Status InstallNativeRules(const std::string& service_name,
+                            AidlInterface interface, bool hardware,
+                            int handwritten_loc);
+
+  template <typename T>
+  T* Find(std::string_view service_name) {
+    for (auto& service : services_) {
+      if (service->service_name() == service_name) {
+        return static_cast<T*>(service.get());
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  SystemContext& context_;
+  Pid pid_;
+  std::vector<std::shared_ptr<SystemService>> services_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_SYSTEM_SERVICE_H_

@@ -1,0 +1,133 @@
+#include "src/framework/window_manager.h"
+
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+Result<Parcel> WindowManagerService::OnTransact(
+    std::string_view method, const Parcel& args,
+    const BinderCallContext& context) {
+  AccountCall();
+  if (method == "addWindow") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    FLUX_RETURN_IF_ERROR(AddWindow(token, context.sender_pid));
+    return Parcel();
+  }
+  if (method == "removeWindow") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    FLUX_RETURN_IF_ERROR(RemoveWindow(token));
+    return Parcel();
+  }
+  if (method == "relayout") {
+    FLUX_ASSIGN_OR_RETURN(std::string token, args.ReadString());
+    FLUX_RETURN_IF_ERROR(DestroySurface(token));
+    FLUX_RETURN_IF_ERROR(CreateSurface(token));
+    const WindowRecord* window = FindWindow(token);
+    Parcel reply;
+    reply.WriteI32(window->surface->width);
+    reply.WriteI32(window->surface->height);
+    return reply;
+  }
+  if (method == "getDisplaySize") {
+    Parcel reply;
+    reply.WriteI32(this->context().display.width_px);
+    reply.WriteI32(this->context().display.height_px);
+    return reply;
+  }
+  return Unsupported("IWindowManager: " + std::string(method));
+}
+
+Status WindowManagerService::AddWindow(const std::string& token, Pid owner) {
+  if (windows_.count(token) > 0) {
+    return AlreadyExists("window exists for token " + token);
+  }
+  WindowRecord window;
+  window.token = token;
+  window.owner = owner;
+  windows_[token] = std::move(window);
+  return CreateSurface(token);
+}
+
+Status WindowManagerService::RemoveWindow(const std::string& token) {
+  FLUX_RETURN_IF_ERROR(DestroySurface(token));
+  windows_.erase(token);
+  return OkStatus();
+}
+
+Status WindowManagerService::CreateSurface(const std::string& token) {
+  auto it = windows_.find(token);
+  if (it == windows_.end()) {
+    return NotFound("no window for token " + token);
+  }
+  if (it->second.surface.has_value()) {
+    return OkStatus();
+  }
+  const DisplayProfile& display = context().display;
+  Surface surface;
+  surface.id = next_surface_id_++;
+  surface.width = display.width_px;
+  surface.height = display.height_px;
+  surface.buffer_bytes = static_cast<uint64_t>(display.width_px) *
+                         static_cast<uint64_t>(display.height_px) * 4;
+  // Double-buffered graphics memory comes from the physically contiguous
+  // allocator, i.e. device-specific state that never enters a checkpoint.
+  FLUX_ASSIGN_OR_RETURN(surface.pmem_alloc,
+                        context().kernel->pmem().Allocate(
+                            it->second.owner, surface.buffer_bytes * 2));
+  it->second.surface = surface;
+  return OkStatus();
+}
+
+Status WindowManagerService::DestroySurface(const std::string& token) {
+  auto it = windows_.find(token);
+  if (it == windows_.end()) {
+    return NotFound("no window for token " + token);
+  }
+  if (it->second.surface.has_value()) {
+    (void)context().kernel->pmem().Free(it->second.surface->pmem_alloc);
+    it->second.surface.reset();
+  }
+  return OkStatus();
+}
+
+const WindowRecord* WindowManagerService::FindWindow(
+    const std::string& token) const {
+  auto it = windows_.find(token);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+std::vector<const WindowRecord*> WindowManagerService::WindowsOf(
+    Pid pid) const {
+  std::vector<const WindowRecord*> out;
+  for (const auto& [token, window] : windows_) {
+    (void)token;
+    if (window.owner == pid) {
+      out.push_back(&window);
+    }
+  }
+  return out;
+}
+
+uint64_t WindowManagerService::SurfaceBytesOf(Pid pid) const {
+  uint64_t total = 0;
+  for (const auto* window : WindowsOf(pid)) {
+    if (window->surface.has_value()) {
+      total += window->surface->buffer_bytes;
+    }
+  }
+  return total;
+}
+
+void WindowManagerService::OnProcessExit(Pid pid) {
+  std::vector<std::string> tokens;
+  for (const auto& [token, window] : windows_) {
+    if (window.owner == pid) {
+      tokens.push_back(token);
+    }
+  }
+  for (const auto& token : tokens) {
+    (void)RemoveWindow(token);
+  }
+}
+
+}  // namespace flux

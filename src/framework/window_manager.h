@@ -1,0 +1,67 @@
+// WindowManagerService (§2).
+//
+// Provides each activity a Window containing a single Surface where its
+// content renders. Surfaces are sized for the device display — this is the
+// state that must be *recreated*, not migrated, on the guest, which is how a
+// migrated app's UI ends up matching the guest's screen size. A Surface is
+// destroyed when its activity reaches the Stopped state, which the
+// preparation phase of migration relies on.
+#ifndef FLUX_SRC_FRAMEWORK_WINDOW_MANAGER_H_
+#define FLUX_SRC_FRAMEWORK_WINDOW_MANAGER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/framework/system_service.h"
+
+namespace flux {
+
+struct Surface {
+  uint64_t id = 0;
+  int width = 0;
+  int height = 0;
+  uint64_t buffer_bytes = 0;
+  uint64_t pmem_alloc = 0;
+};
+
+struct WindowRecord {
+  std::string token;  // activity token
+  Pid owner = kInvalidPid;
+  std::optional<Surface> surface;
+};
+
+class WindowManagerService : public SystemService {
+ public:
+  explicit WindowManagerService(SystemContext& context)
+      : SystemService(context, "window", /*hardware=*/false) {}
+
+  std::string_view interface_name() const override {
+    return "android.view.IWindowManager";
+  }
+  std::string_view aidl_source() const override { return ""; }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override;
+
+  // ----- direct API (ActivityManager / ViewRootImpl path) -----
+  Status AddWindow(const std::string& token, Pid owner);
+  Status RemoveWindow(const std::string& token);
+  // (Re)allocates the surface at the *current* display resolution.
+  Status CreateSurface(const std::string& token);
+  Status DestroySurface(const std::string& token);
+  const WindowRecord* FindWindow(const std::string& token) const;
+  std::vector<const WindowRecord*> WindowsOf(Pid pid) const;
+  uint64_t SurfaceBytesOf(Pid pid) const;
+
+  void OnProcessExit(Pid pid);
+
+ private:
+  uint64_t next_surface_id_ = 1;
+  std::map<std::string, WindowRecord> windows_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FRAMEWORK_WINDOW_MANAGER_H_

@@ -1,0 +1,133 @@
+// In-memory filesystem substrate.
+//
+// Each simulated device owns a SimFilesystem holding its system partition
+// (framework libraries, vendor GL libraries), data partition (APKs, app data
+// directories) and SD card. The filesystem supports hard links, which the
+// pairing phase depends on: rsync --link-dest semantics hard-link files that
+// are byte-identical on the guest instead of transferring them (§3.1).
+//
+// Paths are absolute, '/'-separated, with no "." / ".." components.
+#ifndef FLUX_SRC_FS_SIM_FILESYSTEM_H_
+#define FLUX_SRC_FS_SIM_FILESYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace flux {
+
+// File content plus a lazily computed content hash. Multiple directory
+// entries may share one Inode (hard links).
+class Inode {
+ public:
+  explicit Inode(Bytes content) : content_(std::move(content)) {}
+
+  const Bytes& content() const { return content_; }
+  uint64_t size() const { return content_.size(); }
+
+  void SetContent(Bytes content) {
+    content_ = std::move(content);
+    hash_valid_ = false;
+  }
+
+  // FNV-1a of the content; cached until the content changes.
+  uint64_t ContentHash() const;
+
+  int link_count() const { return link_count_; }
+  void AddLink() { ++link_count_; }
+  void DropLink() { --link_count_; }
+
+ private:
+  Bytes content_;
+  mutable uint64_t hash_ = 0;
+  mutable bool hash_valid_ = false;
+  int link_count_ = 0;
+};
+
+struct FileInfo {
+  std::string path;   // absolute path
+  uint64_t size = 0;
+  uint64_t content_hash = 0;
+  int link_count = 1;
+};
+
+class SimFilesystem {
+ public:
+  SimFilesystem();
+
+  // Creates a directory and all missing parents.
+  Status Mkdirs(std::string_view path);
+
+  // Creates or replaces a regular file (parents must exist unless
+  // `create_parents`).
+  Status WriteFile(std::string_view path, Bytes content,
+                   bool create_parents = true);
+  Status WriteFile(std::string_view path, std::string_view content,
+                   bool create_parents = true);
+
+  // Reads a file's content; the pointer stays valid until the file is
+  // removed or rewritten.
+  Result<const Bytes*> ReadFile(std::string_view path) const;
+
+  // Hard-links `existing` (a regular file) at `link_path`.
+  Status Link(std::string_view existing, std::string_view link_path,
+              bool create_parents = true);
+
+  // Removes a file (dropping one link) or an empty directory.
+  Status Remove(std::string_view path);
+
+  // Removes a directory tree recursively; ok if missing.
+  Status RemoveTree(std::string_view path);
+
+  bool Exists(std::string_view path) const;
+  bool IsDirectory(std::string_view path) const;
+  bool IsFile(std::string_view path) const;
+
+  Result<uint64_t> FileSize(std::string_view path) const;
+  Result<uint64_t> FileHash(std::string_view path) const;
+
+  // True if both paths are links to the same inode.
+  bool SameInode(std::string_view a, std::string_view b) const;
+
+  // Lists immediate children names of a directory (sorted).
+  Result<std::vector<std::string>> List(std::string_view path) const;
+
+  // All regular files under `root` (depth-first, sorted paths).
+  Result<std::vector<FileInfo>> WalkFiles(std::string_view root) const;
+
+  // Sum of file sizes under root, counting each inode once (hard links do
+  // not double-count) when `unique_inodes` is true.
+  Result<uint64_t> TreeSize(std::string_view root,
+                            bool unique_inodes = false) const;
+
+  // Number of regular-file entries under root.
+  Result<uint64_t> TreeFileCount(std::string_view root) const;
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    std::shared_ptr<Inode> inode;           // regular files only
+    std::map<std::string, Node> children;   // directories only
+  };
+
+  static Result<std::vector<std::string>> SplitPath(std::string_view path);
+  const Node* FindNode(std::string_view path) const;
+  Node* FindNode(std::string_view path);
+  Result<Node*> EnsureDir(const std::vector<std::string>& components);
+
+  void WalkFilesImpl(const Node& node, std::string& path,
+                     std::vector<FileInfo>& out) const;
+
+  Node root_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FS_SIM_FILESYSTEM_H_

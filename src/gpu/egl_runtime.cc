@@ -1,0 +1,172 @@
+#include "src/gpu/egl_runtime.h"
+
+#include "src/base/strings.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+
+Status EglRuntime::LoadVendorLibrary(Pid pid) {
+  if (loaded_.count(pid) > 0) {
+    return OkStatus();  // idempotent, like dlopen refcounting
+  }
+  SimProcess* process = kernel_->FindProcess(pid);
+  if (process == nullptr) {
+    return NotFound(StrFormat("no process %d", pid));
+  }
+  MemorySegment segment;
+  segment.name = "/vendor/lib/libGLES_" + profile_.name + ".so";
+  segment.kind = SegmentKind::kVendorLibrary;
+  segment.mapped_size = profile_.library_size;
+  segment.backing_path = segment.name;
+  const uint64_t start = process->address_space().Map(std::move(segment));
+  loaded_[pid] = start;
+  return OkStatus();
+}
+
+bool EglRuntime::VendorLibraryLoaded(Pid pid) const {
+  return loaded_.count(pid) > 0;
+}
+
+Status EglRuntime::EglUnload(Pid pid) {
+  auto it = loaded_.find(pid);
+  if (it == loaded_.end()) {
+    return OkStatus();  // nothing mapped
+  }
+  for (const auto& [id, context] : contexts_) {
+    (void)id;
+    if (context.owner == pid) {
+      return FailedPrecondition(
+          StrFormat("eglUnload: pid %d still owns GL contexts", pid));
+    }
+  }
+  SimProcess* process = kernel_->FindProcess(pid);
+  if (process != nullptr) {
+    (void)process->address_space().Unmap(it->second);
+  }
+  loaded_.erase(it);
+  return OkStatus();
+}
+
+Result<uint64_t> EglRuntime::CreateContext(Pid pid) {
+  if (kernel_->FindProcess(pid) == nullptr) {
+    return NotFound(StrFormat("no process %d", pid));
+  }
+  FLUX_RETURN_IF_ERROR(LoadVendorLibrary(pid));
+  GlContext context;
+  context.id = next_context_id_++;
+  context.owner = pid;
+  const uint64_t id = context.id;
+  contexts_.emplace(id, std::move(context));
+  return id;
+}
+
+Status EglRuntime::DestroyContext(uint64_t context_id) {
+  auto it = contexts_.find(context_id);
+  if (it == contexts_.end()) {
+    return NotFound("no such GL context");
+  }
+  for (uint64_t alloc : it->second.pmem_allocs) {
+    (void)kernel_->pmem().Free(alloc);
+  }
+  contexts_.erase(it);
+  return OkStatus();
+}
+
+int EglRuntime::DestroyContextsOf(Pid pid, bool force) {
+  std::vector<uint64_t> to_destroy;
+  for (const auto& [id, context] : contexts_) {
+    if (context.owner == pid && (force || !context.preserve_on_pause)) {
+      to_destroy.push_back(id);
+    }
+  }
+  for (uint64_t id : to_destroy) {
+    (void)DestroyContext(id);
+  }
+  return static_cast<int>(to_destroy.size());
+}
+
+GlContext* EglRuntime::FindContext(uint64_t context_id) {
+  auto it = contexts_.find(context_id);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+std::vector<const GlContext*> EglRuntime::ContextsOf(Pid pid) const {
+  std::vector<const GlContext*> out;
+  for (const auto& [id, context] : contexts_) {
+    (void)id;
+    if (context.owner == pid) {
+      out.push_back(&context);
+    }
+  }
+  return out;
+}
+
+bool EglRuntime::HasPreservedContext(Pid pid) const {
+  for (const auto& [id, context] : contexts_) {
+    (void)id;
+    if (context.owner == pid && context.preserve_on_pause) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status EglRuntime::UploadTexture(uint64_t context_id, uint64_t bytes) {
+  GlContext* context = FindContext(context_id);
+  if (context == nullptr) {
+    return NotFound("no such GL context");
+  }
+  FLUX_ASSIGN_OR_RETURN(uint64_t alloc,
+                        kernel_->pmem().Allocate(context->owner, bytes));
+  context->pmem_allocs.push_back(alloc);
+  context->texture_bytes += bytes;
+  return OkStatus();
+}
+
+Status EglRuntime::CompileShader(uint64_t context_id) {
+  GlContext* context = FindContext(context_id);
+  if (context == nullptr) {
+    return NotFound("no such GL context");
+  }
+  ++context->shader_count;
+  return OkStatus();
+}
+
+Status EglRuntime::AllocateVertexBuffer(uint64_t context_id, uint64_t bytes) {
+  GlContext* context = FindContext(context_id);
+  if (context == nullptr) {
+    return NotFound("no such GL context");
+  }
+  FLUX_ASSIGN_OR_RETURN(uint64_t alloc,
+                        kernel_->pmem().Allocate(context->owner, bytes));
+  context->pmem_allocs.push_back(alloc);
+  context->buffer_bytes += bytes;
+  return OkStatus();
+}
+
+Status EglRuntime::SetPreserveOnPause(uint64_t context_id, bool preserve) {
+  GlContext* context = FindContext(context_id);
+  if (context == nullptr) {
+    return NotFound("no such GL context");
+  }
+  context->preserve_on_pause = preserve;
+  return OkStatus();
+}
+
+uint64_t EglRuntime::GpuBytesOf(Pid pid) const {
+  uint64_t total = 0;
+  for (const auto& [id, context] : contexts_) {
+    (void)id;
+    if (context.owner == pid) {
+      total += context.texture_bytes + context.buffer_bytes;
+    }
+  }
+  return total;
+}
+
+void EglRuntime::OnProcessExit(Pid pid) {
+  DestroyContextsOf(pid, /*force=*/true);
+  loaded_.erase(pid);
+}
+
+}  // namespace flux

@@ -1,0 +1,99 @@
+// OpenGL ES / EGL simulation (§2, §3.3).
+//
+// Android's GL stack is a generic library (well-known API) over a
+// vendor-specific library tied to the device's GPU. Apps talk to the GPU
+// directly through this stack — it is the one device apps use without a
+// system-service intermediary, and therefore the one piece of
+// device-specific state CRIA cannot record/replay. Flux's answer is to
+// *shed* GPU state before checkpoint:
+//   background the app -> trim memory -> destroy contexts -> eglUnload,
+// where eglUnload is Flux's extension that unloads the vendor library once
+// the last context is gone, leaving no vendor-specific bytes in the process
+// image.
+//
+// EglRuntime models the per-device stack: which vendor library each process
+// has loaded (a kVendorLibrary segment in its address space), the GL
+// contexts with their texture/shader/buffer footprints (pmem-backed), and
+// the preserve-on-pause flag that makes apps unmigratable (§3.4).
+#ifndef FLUX_SRC_GPU_EGL_RUNTIME_H_
+#define FLUX_SRC_GPU_EGL_RUNTIME_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/kernel/ids.h"
+
+namespace flux {
+
+class SimKernel;
+
+// The vendor half of the GL stack for a given GPU.
+struct VendorGlProfile {
+  std::string name;          // "adreno320", "tegra_ulp_geforce"
+  uint64_t library_size = 0; // bytes mapped into each client process
+  double perf_2d = 1.0;      // relative 2D throughput (Quadrant 2D)
+  double perf_3d = 1.0;      // relative 3D throughput (Quadrant 3D)
+};
+
+struct GlContext {
+  uint64_t id = 0;
+  Pid owner = kInvalidPid;
+  uint64_t texture_bytes = 0;
+  uint64_t buffer_bytes = 0;
+  int shader_count = 0;
+  bool preserve_on_pause = false;  // setPreserveEGLContextOnPause
+  std::vector<uint64_t> pmem_allocs;
+};
+
+class EglRuntime {
+ public:
+  EglRuntime(SimKernel* kernel, VendorGlProfile profile)
+      : kernel_(kernel), profile_(std::move(profile)) {}
+
+  const VendorGlProfile& profile() const { return profile_; }
+
+  // Maps the generic + vendor libraries into the process (first GL use).
+  Status LoadVendorLibrary(Pid pid);
+  bool VendorLibraryLoaded(Pid pid) const;
+
+  // Flux extension: completely unloads the vendor library from the process.
+  // Fails if the process still owns GL contexts (§3.3).
+  Status EglUnload(Pid pid);
+
+  // ----- contexts -----
+  Result<uint64_t> CreateContext(Pid pid);
+  Status DestroyContext(uint64_t context_id);
+  // Destroys all of a process's contexts, freeing their pmem; contexts with
+  // preserve_on_pause survive unless `force`.
+  int DestroyContextsOf(Pid pid, bool force);
+  GlContext* FindContext(uint64_t context_id);
+  std::vector<const GlContext*> ContextsOf(Pid pid) const;
+  bool HasPreservedContext(Pid pid) const;
+
+  // ----- resource traffic (drives context footprints) -----
+  Status UploadTexture(uint64_t context_id, uint64_t bytes);
+  Status CompileShader(uint64_t context_id);
+  Status AllocateVertexBuffer(uint64_t context_id, uint64_t bytes);
+  Status SetPreserveOnPause(uint64_t context_id, bool preserve);
+
+  // Total GPU-side bytes attributable to a process (textures + buffers).
+  uint64_t GpuBytesOf(Pid pid) const;
+
+  // Cleans up after a killed process.
+  void OnProcessExit(Pid pid);
+
+ private:
+  SimKernel* kernel_;
+  VendorGlProfile profile_;
+  uint64_t next_context_id_ = 1;
+  std::map<uint64_t, GlContext> contexts_;
+  // pid -> start address of the vendor library segment.
+  std::map<Pid, uint64_t> loaded_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_GPU_EGL_RUNTIME_H_

@@ -1,0 +1,95 @@
+#include "src/kernel/address_space.h"
+
+#include <algorithm>
+
+namespace flux {
+
+std::string_view SegmentKindName(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kAnonPrivate:
+      return "anon";
+    case SegmentKind::kFileBackedRo:
+      return "file_ro";
+    case SegmentKind::kFileBackedRw:
+      return "file_rw";
+    case SegmentKind::kAshmem:
+      return "ashmem";
+    case SegmentKind::kPmem:
+      return "pmem";
+    case SegmentKind::kVendorLibrary:
+      return "vendor_lib";
+  }
+  return "unknown";
+}
+
+uint64_t AddressSpace::Map(MemorySegment segment) {
+  constexpr uint64_t kPage = 4096;
+  segment.start = next_addr_;
+  const uint64_t size = std::max<uint64_t>(segment.size(), kPage);
+  next_addr_ += (size + kPage - 1) / kPage * kPage + kPage;  // guard page
+  segments_.push_back(std::move(segment));
+  return segments_.back().start;
+}
+
+Status AddressSpace::Unmap(uint64_t start) {
+  auto it = std::find_if(
+      segments_.begin(), segments_.end(),
+      [start](const MemorySegment& s) { return s.start == start; });
+  if (it == segments_.end()) {
+    return NotFound("no segment at given address");
+  }
+  segments_.erase(it);
+  return OkStatus();
+}
+
+int AddressSpace::UnmapAllOfKind(SegmentKind kind) {
+  const auto old_size = segments_.size();
+  segments_.erase(
+      std::remove_if(segments_.begin(), segments_.end(),
+                     [kind](const MemorySegment& s) { return s.kind == kind; }),
+      segments_.end());
+  return static_cast<int>(old_size - segments_.size());
+}
+
+MemorySegment* AddressSpace::Find(uint64_t start) {
+  for (auto& segment : segments_) {
+    if (segment.start == start) {
+      return &segment;
+    }
+  }
+  return nullptr;
+}
+
+MemorySegment* AddressSpace::FindByName(std::string_view name) {
+  for (auto& segment : segments_) {
+    if (segment.name == name) {
+      return &segment;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t AddressSpace::TotalMapped() const {
+  uint64_t total = 0;
+  for (const auto& segment : segments_) {
+    total += segment.size();
+  }
+  return total;
+}
+
+uint64_t AddressSpace::CheckpointableBytes() const {
+  uint64_t total = 0;
+  for (const auto& segment : segments_) {
+    if (segment.checkpointed()) {
+      total += segment.content.size();
+    }
+  }
+  return total;
+}
+
+bool AddressSpace::HasKind(SegmentKind kind) const {
+  return std::any_of(segments_.begin(), segments_.end(),
+                     [kind](const MemorySegment& s) { return s.kind == kind; });
+}
+
+}  // namespace flux

@@ -1,0 +1,92 @@
+// Per-process virtual memory model.
+//
+// CRIA's checkpoint image size is dominated by the process's memory
+// segments, so the simulation represents them with real byte content: Dalvik
+// heap and anonymous mappings carry synthetic semi-compressible data that
+// flows through the LZ codec and the network model. File-backed, read-only
+// mappings (the APK, framework libraries) are *not* serialized — they are
+// re-mapped from the paired filesystem on restore, exactly why pairing syncs
+// those files ahead of time. Vendor-library mappings (GPU) are flagged so
+// CRIA can verify they were unloaded (eglUnload) before checkpoint.
+#ifndef FLUX_SRC_KERNEL_ADDRESS_SPACE_H_
+#define FLUX_SRC_KERNEL_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace flux {
+
+enum class SegmentKind : uint8_t {
+  kAnonPrivate = 0,   // heap, stacks: content checkpointed
+  kFileBackedRo,      // APK / libs: re-mapped by path on restore
+  kFileBackedRw,      // data files mapped writable: dirty content checkpointed
+  kAshmem,            // named shared memory: checkpointed with its name
+  kPmem,              // physically contiguous (GPU/camera): must be freed
+  kVendorLibrary,     // device-specific GL library text: must be unloaded
+};
+
+std::string_view SegmentKindName(SegmentKind kind);
+
+struct MemorySegment {
+  std::string name;        // e.g. "[heap]", "dalvik-main", "/system/lib/libgl.so"
+  SegmentKind kind = SegmentKind::kAnonPrivate;
+  uint64_t start = 0;      // virtual address
+  Bytes content;           // empty for kFileBackedRo / kVendorLibrary
+  uint64_t mapped_size = 0;  // full size even when content is not held
+  std::string backing_path;  // for file-backed segments
+
+  uint64_t size() const {
+    return content.empty() ? mapped_size : content.size();
+  }
+
+  // True if the segment's bytes are part of a checkpoint image.
+  bool checkpointed() const {
+    switch (kind) {
+      case SegmentKind::kAnonPrivate:
+      case SegmentKind::kFileBackedRw:
+      case SegmentKind::kAshmem:
+        return true;
+      case SegmentKind::kFileBackedRo:
+      case SegmentKind::kPmem:
+      case SegmentKind::kVendorLibrary:
+        return false;
+    }
+    return false;
+  }
+};
+
+class AddressSpace {
+ public:
+  // Maps a new segment at the next free address; returns its start.
+  uint64_t Map(MemorySegment segment);
+
+  // Unmaps the segment starting at `start`.
+  Status Unmap(uint64_t start);
+
+  // Unmaps all segments of a given kind; returns how many were removed.
+  int UnmapAllOfKind(SegmentKind kind);
+
+  MemorySegment* Find(uint64_t start);
+  MemorySegment* FindByName(std::string_view name);
+
+  const std::vector<MemorySegment>& segments() const { return segments_; }
+  std::vector<MemorySegment>& segments() { return segments_; }
+
+  // Total mapped bytes / bytes that would enter a checkpoint image.
+  uint64_t TotalMapped() const;
+  uint64_t CheckpointableBytes() const;
+
+  bool HasKind(SegmentKind kind) const;
+
+ private:
+  std::vector<MemorySegment> segments_;
+  uint64_t next_addr_ = 0x4000'0000;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_KERNEL_ADDRESS_SPACE_H_

@@ -1,0 +1,191 @@
+#include "src/kernel/drivers.h"
+
+#include <algorithm>
+
+namespace flux {
+
+// ----- LoggerDriver -----
+
+void LoggerDriver::Append(std::string_view log_name, LogEntry entry) {
+  auto& buffer = buffers_[std::string(log_name)];
+  buffer.push_back(std::move(entry));
+  while (buffer.size() > capacity_) {
+    buffer.pop_front();
+  }
+}
+
+const std::deque<LogEntry>& LoggerDriver::buffer(
+    const std::string& log_name) const {
+  static const std::deque<LogEntry> kEmpty;
+  auto it = buffers_.find(log_name);
+  return it == buffers_.end() ? kEmpty : it->second;
+}
+
+size_t LoggerDriver::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [name, buffer] : buffers_) {
+    (void)name;
+    total += buffer.size();
+  }
+  return total;
+}
+
+// ----- AshmemDriver -----
+
+uint64_t AshmemDriver::CreateRegion(Pid owner, std::string name,
+                                    uint64_t size) {
+  const uint64_t id = next_id_++;
+  regions_[id] = Region{owner, std::move(name), size};
+  return id;
+}
+
+Status AshmemDriver::ReleaseRegion(uint64_t region_id) {
+  if (regions_.erase(region_id) == 0) {
+    return NotFound("no such ashmem region");
+  }
+  return OkStatus();
+}
+
+std::vector<uint64_t> AshmemDriver::RegionsOf(Pid pid) const {
+  std::vector<uint64_t> out;
+  for (const auto& [id, region] : regions_) {
+    if (region.owner == pid) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+uint64_t AshmemDriver::BytesOf(Pid pid) const {
+  uint64_t total = 0;
+  for (const auto& [id, region] : regions_) {
+    (void)id;
+    if (region.owner == pid) {
+      total += region.size;
+    }
+  }
+  return total;
+}
+
+const AshmemDriver::Region* AshmemDriver::FindRegion(uint64_t region_id) const {
+  auto it = regions_.find(region_id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+// ----- PmemDriver -----
+
+Result<uint64_t> PmemDriver::Allocate(Pid owner, uint64_t size) {
+  if (in_use_ + size > pool_size_) {
+    return ResourceExhausted("pmem pool exhausted");
+  }
+  const uint64_t id = next_id_++;
+  allocs_[id] = Alloc{owner, size};
+  in_use_ += size;
+  return id;
+}
+
+Status PmemDriver::Free(uint64_t alloc_id) {
+  auto it = allocs_.find(alloc_id);
+  if (it == allocs_.end()) {
+    return NotFound("no such pmem allocation");
+  }
+  in_use_ -= it->second.size;
+  allocs_.erase(it);
+  return OkStatus();
+}
+
+void PmemDriver::FreeAllOf(Pid pid) {
+  for (auto it = allocs_.begin(); it != allocs_.end();) {
+    if (it->second.owner == pid) {
+      in_use_ -= it->second.size;
+      it = allocs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t PmemDriver::BytesOf(Pid pid) const {
+  uint64_t total = 0;
+  for (const auto& [id, alloc] : allocs_) {
+    (void)id;
+    if (alloc.owner == pid) {
+      total += alloc.size;
+    }
+  }
+  return total;
+}
+
+// ----- WakelockDriver -----
+
+void WakelockDriver::Acquire(std::string name, Pid holder) {
+  locks_[std::move(name)].push_back(holder);
+}
+
+Status WakelockDriver::Release(const std::string& name, Pid holder) {
+  auto it = locks_.find(name);
+  if (it == locks_.end()) {
+    return NotFound("wakelock not held: " + name);
+  }
+  auto& holders = it->second;
+  auto pos = std::find(holders.begin(), holders.end(), holder);
+  if (pos == holders.end()) {
+    return NotFound("wakelock not held by caller: " + name);
+  }
+  holders.erase(pos);
+  if (holders.empty()) {
+    locks_.erase(it);
+  }
+  return OkStatus();
+}
+
+bool WakelockDriver::IsHeld(const std::string& name) const {
+  return locks_.count(name) > 0;
+}
+
+bool WakelockDriver::AnyHeld() const { return !locks_.empty(); }
+
+std::vector<std::string> WakelockDriver::LocksHeldBy(Pid pid) const {
+  std::vector<std::string> out;
+  for (const auto& [name, holders] : locks_) {
+    if (std::find(holders.begin(), holders.end(), pid) != holders.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+// ----- AlarmDriver -----
+
+uint64_t AlarmDriver::SetAlarm(SimTime trigger_time, std::string cookie) {
+  const uint64_t id = next_id_++;
+  pending_[id] = KernelAlarm{id, trigger_time, std::move(cookie)};
+  return id;
+}
+
+Status AlarmDriver::CancelAlarm(uint64_t id) {
+  if (pending_.erase(id) == 0) {
+    return NotFound("no such kernel alarm");
+  }
+  return OkStatus();
+}
+
+std::vector<KernelAlarm> AlarmDriver::FireDue(SimTime now) {
+  std::vector<KernelAlarm> due;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.trigger_time <= now) {
+      due.push_back(it->second);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(due.begin(), due.end(),
+            [](const KernelAlarm& a, const KernelAlarm& b) {
+              return a.trigger_time < b.trigger_time ||
+                     (a.trigger_time == b.trigger_time && a.id < b.id);
+            });
+  return due;
+}
+
+}  // namespace flux

@@ -1,0 +1,136 @@
+// Android-specific kernel drivers (§2, §3.3).
+//
+// CRIA has to consider the state of each of these at migration time:
+//  - Logger: used like a regular file, no per-process state to checkpoint.
+//  - ashmem: named shared memory; supported, though Dalvik is modified to
+//    use plain mmap so apps normally hold none at checkpoint.
+//  - pmem: physically contiguous GPU/camera buffers; device-specific, must
+//    be freed by the preparation phase before checkpoint.
+//  - wakelocks: only held by system services on behalf of apps, so their
+//    app-facing state migrates via Selective Record/Adaptive Replay.
+//  - alarm driver: backs AlarmManagerService; same story as wakelocks.
+#ifndef FLUX_SRC_KERNEL_DRIVERS_H_
+#define FLUX_SRC_KERNEL_DRIVERS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/sim_clock.h"
+#include "src/kernel/ids.h"
+
+namespace flux {
+
+// ----- Logger -----
+
+struct LogEntry {
+  SimTime time = 0;
+  Pid pid = 0;
+  std::string tag;
+  std::string message;
+};
+
+class LoggerDriver {
+ public:
+  explicit LoggerDriver(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Append(std::string_view log_name, LogEntry entry);
+  const std::deque<LogEntry>& buffer(const std::string& log_name) const;
+  size_t TotalEntries() const;
+
+ private:
+  size_t capacity_;
+  std::map<std::string, std::deque<LogEntry>> buffers_;
+};
+
+// ----- ashmem -----
+
+class AshmemDriver {
+ public:
+  // Creates a region; returns a region id.
+  uint64_t CreateRegion(Pid owner, std::string name, uint64_t size);
+  Status ReleaseRegion(uint64_t region_id);
+  // Regions currently owned by `pid`.
+  std::vector<uint64_t> RegionsOf(Pid pid) const;
+  uint64_t BytesOf(Pid pid) const;
+  size_t region_count() const { return regions_.size(); }
+
+  struct Region {
+    Pid owner = 0;
+    std::string name;
+    uint64_t size = 0;
+  };
+  const Region* FindRegion(uint64_t region_id) const;
+
+ private:
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Region> regions_;
+};
+
+// ----- pmem -----
+
+class PmemDriver {
+ public:
+  explicit PmemDriver(uint64_t pool_size) : pool_size_(pool_size) {}
+
+  Result<uint64_t> Allocate(Pid owner, uint64_t size);  // returns alloc id
+  Status Free(uint64_t alloc_id);
+  void FreeAllOf(Pid pid);
+  uint64_t BytesOf(Pid pid) const;
+  uint64_t bytes_in_use() const { return in_use_; }
+  uint64_t pool_size() const { return pool_size_; }
+
+ private:
+  struct Alloc {
+    Pid owner = 0;
+    uint64_t size = 0;
+  };
+  uint64_t pool_size_;
+  uint64_t in_use_ = 0;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Alloc> allocs_;
+};
+
+// ----- wakelocks -----
+
+class WakelockDriver {
+ public:
+  void Acquire(std::string name, Pid holder);
+  Status Release(const std::string& name, Pid holder);
+  bool IsHeld(const std::string& name) const;
+  // True if any lock is held -> device must stay awake.
+  bool AnyHeld() const;
+  std::vector<std::string> LocksHeldBy(Pid pid) const;
+
+ private:
+  // name -> holders (a pid may hold the same lock multiple times).
+  std::map<std::string, std::vector<Pid>> locks_;
+};
+
+// ----- alarm driver -----
+
+struct KernelAlarm {
+  uint64_t id = 0;
+  SimTime trigger_time = 0;
+  std::string cookie;  // opaque payload set by AlarmManagerService
+};
+
+class AlarmDriver {
+ public:
+  uint64_t SetAlarm(SimTime trigger_time, std::string cookie);
+  Status CancelAlarm(uint64_t id);
+  // Pops all alarms with trigger_time <= now, in trigger order.
+  std::vector<KernelAlarm> FireDue(SimTime now);
+  const std::map<uint64_t, KernelAlarm>& pending() const { return pending_; }
+
+ private:
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, KernelAlarm> pending_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_KERNEL_DRIVERS_H_

@@ -1,0 +1,33 @@
+#include "src/kernel/fd_object.h"
+
+namespace flux {
+
+std::string_view FdKindName(FdKind kind) {
+  switch (kind) {
+    case FdKind::kRegularFile:
+      return "file";
+    case FdKind::kPipeRead:
+      return "pipe_read";
+    case FdKind::kPipeWrite:
+      return "pipe_write";
+    case FdKind::kUnixSocket:
+      return "unix_socket";
+    case FdKind::kAshmem:
+      return "ashmem";
+    case FdKind::kPmem:
+      return "pmem";
+    case FdKind::kLogger:
+      return "logger";
+    case FdKind::kAlarmDev:
+      return "alarm_dev";
+    case FdKind::kWakelockDev:
+      return "wakelock_dev";
+    case FdKind::kBinder:
+      return "binder";
+    case FdKind::kEventFd:
+      return "eventfd";
+  }
+  return "unknown";
+}
+
+}  // namespace flux

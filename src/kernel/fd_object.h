@@ -1,0 +1,161 @@
+// File-descriptor objects.
+//
+// Every entry in a SimProcess's fd table points at an FdObject. CRIA must be
+// able to checkpoint each kind of descriptor an Android app holds at
+// migration time and recreate an equivalent object on the guest kernel:
+// regular files reopen by path, pipes are recreated pairwise, Unix domain
+// sockets are reserved by descriptor number and reconnected by Adaptive
+// Replay (SensorService channels, §3.2), and Android driver fds (logger,
+// ashmem, binder) get driver-specific handling (§3.3).
+#ifndef FLUX_SRC_KERNEL_FD_OBJECT_H_
+#define FLUX_SRC_KERNEL_FD_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/kernel/ids.h"
+
+namespace flux {
+
+enum class FdKind : uint8_t {
+  kRegularFile = 0,
+  kPipeRead,
+  kPipeWrite,
+  kUnixSocket,
+  kAshmem,
+  kPmem,
+  kLogger,
+  kAlarmDev,
+  kWakelockDev,
+  kBinder,
+  kEventFd,
+};
+
+std::string_view FdKindName(FdKind kind);
+
+class FdObject {
+ public:
+  explicit FdObject(FdKind kind) : kind_(kind) {}
+  virtual ~FdObject() = default;
+
+  FdKind kind() const { return kind_; }
+
+ private:
+  FdKind kind_;
+};
+
+// A regular file opened from the device filesystem.
+class RegularFileFd : public FdObject {
+ public:
+  RegularFileFd(std::string path, uint64_t offset, bool writable)
+      : FdObject(FdKind::kRegularFile),
+        path_(std::move(path)),
+        offset_(offset),
+        writable_(writable) {}
+
+  const std::string& path() const { return path_; }
+  uint64_t offset() const { return offset_; }
+  void set_offset(uint64_t offset) { offset_ = offset; }
+  bool writable() const { return writable_; }
+
+ private:
+  std::string path_;
+  uint64_t offset_ = 0;
+  bool writable_ = false;
+};
+
+// Shared in-kernel pipe buffer; read and write fds reference it.
+class PipeBuffer {
+ public:
+  Bytes& data() { return data_; }
+  const Bytes& data() const { return data_; }
+
+ private:
+  Bytes data_;
+};
+
+class PipeFd : public FdObject {
+ public:
+  PipeFd(FdKind end, std::shared_ptr<PipeBuffer> buffer, uint64_t pipe_id)
+      : FdObject(end), buffer_(std::move(buffer)), pipe_id_(pipe_id) {}
+
+  PipeBuffer& buffer() { return *buffer_; }
+  const PipeBuffer& buffer() const { return *buffer_; }
+  std::shared_ptr<PipeBuffer> shared_buffer() const { return buffer_; }
+  uint64_t pipe_id() const { return pipe_id_; }
+
+ private:
+  std::shared_ptr<PipeBuffer> buffer_;
+  uint64_t pipe_id_;  // pairs read/write ends in checkpoints
+};
+
+// Unix domain socket endpoint. The simulation models only connected
+// SOCK_SEQPACKET-style endpoints as used by SensorService event channels:
+// `peer_tag` identifies the service-side endpoint so Adaptive Replay can
+// re-establish the connection and dup2 it onto the reserved fd number.
+class UnixSocketFd : public FdObject {
+ public:
+  UnixSocketFd(std::string peer_tag, uint64_t connection_id)
+      : FdObject(FdKind::kUnixSocket),
+        peer_tag_(std::move(peer_tag)),
+        connection_id_(connection_id) {}
+
+  const std::string& peer_tag() const { return peer_tag_; }
+  uint64_t connection_id() const { return connection_id_; }
+  bool connected() const { return connected_; }
+  void set_connected(bool connected) { connected_ = connected; }
+
+ private:
+  std::string peer_tag_;
+  uint64_t connection_id_;
+  bool connected_ = true;
+};
+
+// Android ashmem region (named anonymous shared memory).
+class AshmemFd : public FdObject {
+ public:
+  AshmemFd(std::string name, uint64_t size)
+      : FdObject(FdKind::kAshmem), name_(std::move(name)), size_(size) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t size() const { return size_; }
+
+ private:
+  std::string name_;
+  uint64_t size_;
+};
+
+// Physically contiguous allocation (GPU and camera buffers). pmem regions
+// are device-specific and must be freed before checkpoint (§3.3).
+class PmemFd : public FdObject {
+ public:
+  explicit PmemFd(uint64_t size) : FdObject(FdKind::kPmem), size_(size) {}
+  uint64_t size() const { return size_; }
+
+ private:
+  uint64_t size_;
+};
+
+// /dev/log/* writer; stateless per process beyond the open itself.
+class LoggerFd : public FdObject {
+ public:
+  explicit LoggerFd(std::string log_name)
+      : FdObject(FdKind::kLogger), log_name_(std::move(log_name)) {}
+  const std::string& log_name() const { return log_name_; }
+
+ private:
+  std::string log_name_;
+};
+
+// /dev/binder; per-process Binder state lives in the BinderDriver keyed by
+// pid, so the fd itself is just a marker.
+class BinderFd : public FdObject {
+ public:
+  BinderFd() : FdObject(FdKind::kBinder) {}
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_KERNEL_FD_OBJECT_H_

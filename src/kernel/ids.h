@@ -1,0 +1,23 @@
+// Kernel identifier types.
+#ifndef FLUX_SRC_KERNEL_IDS_H_
+#define FLUX_SRC_KERNEL_IDS_H_
+
+#include <cstdint>
+
+namespace flux {
+
+using Pid = int32_t;
+using Tid = int32_t;
+using Uid = int32_t;
+using Fd = int32_t;
+
+constexpr Pid kInvalidPid = -1;
+constexpr Fd kInvalidFd = -1;
+
+// Android assigns each app a uid at install time starting here.
+constexpr Uid kFirstAppUid = 10000;
+constexpr Uid kSystemUid = 1000;
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_KERNEL_IDS_H_

@@ -1,0 +1,103 @@
+#include "src/kernel/process.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace flux {
+
+Tid SimProcess::SpawnThread(std::string thread_name, uint64_t stack_size) {
+  SimThread thread;
+  thread.tid = next_tid_++;
+  thread.name = std::move(thread_name);
+  thread.stack_size = stack_size;
+  threads_.push_back(std::move(thread));
+  return threads_.back().tid;
+}
+
+Status SimProcess::KillThread(Tid tid) {
+  auto it = std::find_if(threads_.begin(), threads_.end(),
+                         [tid](const SimThread& t) { return t.tid == tid; });
+  if (it == threads_.end()) {
+    return NotFound(StrFormat("no thread %d in pid %d", tid, pid_));
+  }
+  threads_.erase(it);
+  return OkStatus();
+}
+
+SimThread* SimProcess::FindThread(Tid tid) {
+  for (auto& thread : threads_) {
+    if (thread.tid == tid) {
+      return &thread;
+    }
+  }
+  return nullptr;
+}
+
+Fd SimProcess::InstallFd(std::shared_ptr<FdObject> object) {
+  while (fd_table_.count(next_fd_) > 0 || IsReservedFd(next_fd_)) {
+    ++next_fd_;
+  }
+  const Fd fd = next_fd_++;
+  fd_table_[fd] = std::move(object);
+  return fd;
+}
+
+Status SimProcess::InstallFdAt(Fd fd, std::shared_ptr<FdObject> object) {
+  if (fd < 0) {
+    return InvalidArgument("negative fd");
+  }
+  if (fd_table_.count(fd) > 0) {
+    return AlreadyExists(StrFormat("fd %d already open in pid %d", fd, pid_));
+  }
+  // Installing at a reserved slot consumes the reservation.
+  reserved_fds_.erase(
+      std::remove(reserved_fds_.begin(), reserved_fds_.end(), fd),
+      reserved_fds_.end());
+  fd_table_[fd] = std::move(object);
+  return OkStatus();
+}
+
+Status SimProcess::DupFd(Fd source, Fd target) {
+  auto it = fd_table_.find(source);
+  if (it == fd_table_.end()) {
+    return NotFound(StrFormat("dup2: fd %d not open in pid %d", source, pid_));
+  }
+  if (target < 0) {
+    return InvalidArgument("dup2: negative target fd");
+  }
+  reserved_fds_.erase(
+      std::remove(reserved_fds_.begin(), reserved_fds_.end(), target),
+      reserved_fds_.end());
+  fd_table_[target] = it->second;
+  return OkStatus();
+}
+
+Status SimProcess::CloseFd(Fd fd) {
+  if (fd_table_.erase(fd) == 0) {
+    return NotFound(StrFormat("close: fd %d not open in pid %d", fd, pid_));
+  }
+  return OkStatus();
+}
+
+std::shared_ptr<FdObject> SimProcess::LookupFd(Fd fd) const {
+  auto it = fd_table_.find(fd);
+  return it == fd_table_.end() ? nullptr : it->second;
+}
+
+Status SimProcess::ReserveFd(Fd fd) {
+  if (fd_table_.count(fd) > 0) {
+    return AlreadyExists(StrFormat("fd %d already open in pid %d", fd, pid_));
+  }
+  if (!IsReservedFd(fd)) {
+    reserved_fds_.push_back(fd);
+  }
+  return OkStatus();
+}
+
+bool SimProcess::IsReservedFd(Fd fd) const {
+  return std::find(reserved_fds_.begin(), reserved_fds_.end(), fd) !=
+         reserved_fds_.end();
+}
+
+}  // namespace flux

@@ -1,0 +1,110 @@
+// Simulated process and thread state.
+//
+// A SimProcess is the unit CRIA checkpoints: threads, address space, file
+// descriptor table, and per-process driver state (Binder handle tables live
+// in the BinderDriver keyed by pid). Processes execute no real code — app
+// behaviour is driven by the apps module which mutates this state through
+// kernel and service calls, advancing simulated time.
+#ifndef FLUX_SRC_KERNEL_PROCESS_H_
+#define FLUX_SRC_KERNEL_PROCESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/kernel/address_space.h"
+#include "src/kernel/fd_object.h"
+#include "src/kernel/ids.h"
+
+namespace flux {
+
+enum class ThreadState : uint8_t {
+  kRunnable = 0,
+  kSleeping,
+  kBlockedOnBinder,
+  kStopped,
+};
+
+struct SimThread {
+  Tid tid = 0;
+  std::string name;
+  ThreadState state = ThreadState::kRunnable;
+  uint64_t stack_size = 0;
+  int priority = 0;  // nice value
+};
+
+class SimProcess {
+ public:
+  SimProcess(Pid pid, Uid uid, std::string name)
+      : pid_(pid), uid_(uid), name_(std::move(name)) {}
+
+  Pid pid() const { return pid_; }
+  Uid uid() const { return uid_; }
+  const std::string& name() const { return name_; }
+
+  // The pid this process observes inside its namespace (== pid() unless the
+  // process was restored into a private PID namespace).
+  Pid virtual_pid() const { return virtual_pid_; }
+  void set_virtual_pid(Pid pid) { virtual_pid_ = pid; }
+  int pid_namespace() const { return pid_namespace_; }
+  void set_pid_namespace(int ns) { pid_namespace_ = ns; }
+
+  // ----- threads -----
+  Tid SpawnThread(std::string thread_name, uint64_t stack_size = 1 << 20);
+  Status KillThread(Tid tid);
+  std::vector<SimThread>& threads() { return threads_; }
+  const std::vector<SimThread>& threads() const { return threads_; }
+  SimThread* FindThread(Tid tid);
+
+  // ----- memory -----
+  AddressSpace& address_space() { return address_space_; }
+  const AddressSpace& address_space() const { return address_space_; }
+
+  // ----- file descriptors -----
+  Fd InstallFd(std::shared_ptr<FdObject> object);
+  Status InstallFdAt(Fd fd, std::shared_ptr<FdObject> object);
+  // dup2: closes `target` if open, then points it at `source`'s object.
+  Status DupFd(Fd source, Fd target);
+  Status CloseFd(Fd fd);
+  std::shared_ptr<FdObject> LookupFd(Fd fd) const;
+  const std::map<Fd, std::shared_ptr<FdObject>>& fd_table() const {
+    return fd_table_;
+  }
+
+  // Reserves an fd number without an object behind it (restore-time
+  // placeholder for sockets that Adaptive Replay reconnects, §3.2).
+  Status ReserveFd(Fd fd);
+  bool IsReservedFd(Fd fd) const;
+
+  // ----- lifecycle flags -----
+  bool running() const { return running_; }
+  void set_running(bool running) { running_ = running; }
+
+  // Jail root applied at restore (wrapper app chroots the restored app to
+  // the paired filesystem view, §3.1).
+  const std::string& jail_root() const { return jail_root_; }
+  void set_jail_root(std::string root) { jail_root_ = std::move(root); }
+
+ private:
+  Pid pid_;
+  Uid uid_;
+  std::string name_;
+  Pid virtual_pid_ = kInvalidPid;
+  int pid_namespace_ = 0;  // 0 = root namespace
+  bool running_ = true;
+  std::string jail_root_;
+
+  Tid next_tid_ = 1;
+  std::vector<SimThread> threads_;
+  AddressSpace address_space_;
+
+  Fd next_fd_ = 3;  // 0..2 conceptually stdio
+  std::map<Fd, std::shared_ptr<FdObject>> fd_table_;
+  std::vector<Fd> reserved_fds_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_KERNEL_PROCESS_H_

@@ -1,0 +1,77 @@
+#include "src/kernel/sim_kernel.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace flux {
+
+SimProcess& SimKernel::CreateProcess(std::string name, Uid uid) {
+  const Pid pid = next_pid_++;
+  auto process = std::make_unique<SimProcess>(pid, uid, std::move(name));
+  process->set_virtual_pid(pid);  // root namespace: virtual == real
+  process->SpawnThread("main");
+  auto [it, inserted] = processes_.emplace(pid, std::move(process));
+  (void)inserted;
+  return *it->second;
+}
+
+Status SimKernel::KillProcess(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return NotFound(StrFormat("no process %d", pid));
+  }
+  pmem_.FreeAllOf(pid);
+  const int ns = it->second->pid_namespace();
+  if (ns != 0) {
+    auto& taken = namespace_pids_[ns];
+    taken.erase(std::remove(taken.begin(), taken.end(),
+                            it->second->virtual_pid()),
+                taken.end());
+  }
+  processes_.erase(it);
+  return OkStatus();
+}
+
+SimProcess* SimKernel::FindProcess(Pid pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+const SimProcess* SimKernel::FindProcess(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Pid> SimKernel::ProcessesOfUid(Uid uid) const {
+  std::vector<Pid> out;
+  for (const auto& [pid, process] : processes_) {
+    if (process->uid() == uid) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+int SimKernel::CreatePidNamespace() { return next_namespace_++; }
+
+Result<SimProcess*> SimKernel::CreateProcessInNamespace(std::string name,
+                                                        Uid uid, int ns,
+                                                        Pid virtual_pid) {
+  if (ns <= 0 || ns >= next_namespace_) {
+    return InvalidArgument(StrFormat("no such pid namespace %d", ns));
+  }
+  auto& taken = namespace_pids_[ns];
+  if (std::find(taken.begin(), taken.end(), virtual_pid) != taken.end()) {
+    return AlreadyExists(
+        StrFormat("virtual pid %d already taken in namespace %d", virtual_pid,
+                  ns));
+  }
+  SimProcess& process = CreateProcess(std::move(name), uid);
+  process.set_pid_namespace(ns);
+  process.set_virtual_pid(virtual_pid);
+  taken.push_back(virtual_pid);
+  return &process;
+}
+
+}  // namespace flux

@@ -1,0 +1,70 @@
+// The simulated Android/Linux kernel owned by each device.
+//
+// Owns processes, PID namespaces, and the Android drivers. Kernel versions
+// differ across devices (Nexus 7 2012 runs 3.1, Nexus 7 2013 runs 3.4); Flux
+// migrates across them because CRIA serializes state at the abstraction
+// level of this interface rather than raw kernel internals.
+#ifndef FLUX_SRC_KERNEL_SIM_KERNEL_H_
+#define FLUX_SRC_KERNEL_SIM_KERNEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/kernel/drivers.h"
+#include "src/kernel/process.h"
+
+namespace flux {
+
+class SimKernel {
+ public:
+  explicit SimKernel(std::string version, uint64_t pmem_pool = 256 * 1024 * 1024)
+      : version_(std::move(version)), pmem_(pmem_pool) {}
+
+  const std::string& version() const { return version_; }
+
+  // ----- processes -----
+  SimProcess& CreateProcess(std::string name, Uid uid);
+  Status KillProcess(Pid pid);
+  SimProcess* FindProcess(Pid pid);
+  const SimProcess* FindProcess(Pid pid) const;
+  std::vector<Pid> ProcessesOfUid(Uid uid) const;
+  size_t process_count() const { return processes_.size(); }
+
+  // ----- PID namespaces -----
+  // Creates a private PID namespace; processes created within it observe
+  // their own virtual pid numbering starting at 1 (Zap-style, §3.3).
+  int CreatePidNamespace();
+  // Creates a process inside namespace `ns` whose *virtual* pid is forced to
+  // `virtual_pid` (restore path). Fails if that virtual pid is taken in ns.
+  Result<SimProcess*> CreateProcessInNamespace(std::string name, Uid uid,
+                                               int ns, Pid virtual_pid);
+
+  // ----- drivers -----
+  LoggerDriver& logger() { return logger_; }
+  AshmemDriver& ashmem() { return ashmem_; }
+  PmemDriver& pmem() { return pmem_; }
+  WakelockDriver& wakelocks() { return wakelocks_; }
+  AlarmDriver& alarm_driver() { return alarm_driver_; }
+  const AlarmDriver& alarm_driver() const { return alarm_driver_; }
+
+ private:
+  std::string version_;
+  Pid next_pid_ = 100;
+  int next_namespace_ = 1;
+  std::map<Pid, std::unique_ptr<SimProcess>> processes_;
+  // ns -> set of taken virtual pids.
+  std::map<int, std::vector<Pid>> namespace_pids_;
+
+  LoggerDriver logger_;
+  AshmemDriver ashmem_;
+  PmemDriver pmem_;
+  WakelockDriver wakelocks_;
+  AlarmDriver alarm_driver_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_KERNEL_SIM_KERNEL_H_

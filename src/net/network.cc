@@ -1,0 +1,61 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+namespace flux {
+
+WifiNetwork::WifiNetwork() {
+  // Defaults modeled on a congested urban campus network (§4): both bands
+  // are heavily contended (the paper's transfers average ~13 Mbit/s of
+  // goodput); the 2.4 GHz band — all a Nexus 7 (2012) can use — is worst.
+  // Efficiency is the fraction of the *peak PHY rate* realized as goodput.
+  band_2_4_ = BandConditions{0.15, Millis(15)};
+  band_5_ = BandConditions{0.13, Millis(6)};
+}
+
+void WifiNetwork::SetBandConditions(WifiBand band, BandConditions conditions) {
+  (band == WifiBand::k2_4GHz ? band_2_4_ : band_5_) = conditions;
+}
+
+const BandConditions& WifiNetwork::conditions(WifiBand band) const {
+  return band == WifiBand::k2_4GHz ? band_2_4_ : band_5_;
+}
+
+EffectiveLink WifiNetwork::LinkBetween(const RadioProfile& a,
+                                       const RadioProfile& b) const {
+  EffectiveLink link;
+  const bool both_5ghz = a.supports_5ghz && b.supports_5ghz;
+  link.band = both_5ghz ? WifiBand::k5GHz : WifiBand::k2_4GHz;
+  const BandConditions& cond = conditions(link.band);
+
+  // Endpoint PHY rates degrade on 2.4 GHz relative to the radio's peak.
+  auto endpoint_rate = [&](const RadioProfile& radio) -> uint64_t {
+    if (link.band == WifiBand::k2_4GHz && radio.supports_5ghz) {
+      return radio.peak_phy_bps / 2;  // falling back to the narrow band
+    }
+    return radio.peak_phy_bps;
+  };
+  const uint64_t phy = std::min(endpoint_rate(a), endpoint_rate(b));
+  link.goodput_bps =
+      static_cast<uint64_t>(static_cast<double>(phy) * cond.efficiency);
+  link.latency = cond.base_latency;
+  return link;
+}
+
+SimDuration WifiNetwork::TransferTime(uint64_t bytes,
+                                      const EffectiveLink& link) const {
+  if (link.goodput_bps == 0) {
+    return Seconds(3600);  // effectively unreachable
+  }
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / static_cast<double>(link.goodput_bps);
+  return link.latency + FromSecondsF(seconds);
+}
+
+void WifiNetwork::Transfer(SimClock& clock, uint64_t bytes,
+                           const EffectiveLink& link) {
+  clock.Advance(TransferTime(bytes, link));
+  total_bytes_ += bytes;
+}
+
+}  // namespace flux

@@ -1,0 +1,92 @@
+// Radio / network model.
+//
+// The paper's evaluation ran on a congested campus 802.11n WiFi network;
+// transfer time dominated migration cost (Figure 13), and the Nexus 7
+// (2012), limited to the crowded 2.4 GHz band, saw the slowest transfers.
+// The model captures exactly those effects: each device has a radio profile
+// (supported bands, peak PHY rate), a shared WiFi network applies a
+// congestion-derived efficiency factor per band, and a transfer between two
+// devices is paced by the weaker endpoint.
+#ifndef FLUX_SRC_NET_NETWORK_H_
+#define FLUX_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/result.h"
+#include "src/base/sim_clock.h"
+
+namespace flux {
+
+enum class WifiBand : uint8_t {
+  k2_4GHz = 0,
+  k5GHz,
+};
+
+enum class WifiStandard : uint8_t {
+  k80211n = 0,
+  k80211ac,
+};
+
+struct RadioProfile {
+  WifiStandard standard = WifiStandard::k80211n;
+  bool supports_5ghz = true;
+  // Peak achievable PHY rate in bits/sec on the best supported band.
+  uint64_t peak_phy_bps = 150'000'000;
+};
+
+// Conditions on the shared WiFi network (per band).
+struct BandConditions {
+  // Fraction of PHY rate actually achievable as goodput (MAC overhead plus
+  // contention). Congested urban 2.4 GHz sits far below clean 5 GHz.
+  double efficiency = 0.25;
+  SimDuration base_latency = Millis(8);
+};
+
+struct EffectiveLink {
+  WifiBand band = WifiBand::k2_4GHz;
+  uint64_t goodput_bps = 0;
+  SimDuration latency = 0;
+};
+
+class WifiNetwork {
+ public:
+  WifiNetwork();
+
+  void SetBandConditions(WifiBand band, BandConditions conditions);
+  const BandConditions& conditions(WifiBand band) const;
+
+  // Best link between two radios: picks the best band both support; the
+  // goodput is limited by the slower endpoint.
+  EffectiveLink LinkBetween(const RadioProfile& a, const RadioProfile& b) const;
+
+  // Time for `bytes` over `link` including per-transfer handshake latency.
+  SimDuration TransferTime(uint64_t bytes, const EffectiveLink& link) const;
+
+  // Advances `clock` by TransferTime and accounts the traffic.
+  void Transfer(SimClock& clock, uint64_t bytes, const EffectiveLink& link);
+
+  uint64_t total_bytes_carried() const { return total_bytes_; }
+
+  // Fault injection: while the network is down, migrations cannot transfer
+  // (devices would fall back to ad-hoc networking in a full deployment, §1).
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
+
+ private:
+  BandConditions band_2_4_;
+  BandConditions band_5_;
+  uint64_t total_bytes_ = 0;
+  bool up_ = true;
+};
+
+// Device-observed connectivity state (what ConnectivityManagerService
+// reports to apps; Flux signals a loss + reconnect after migration, §3.1).
+struct ConnectivityState {
+  bool connected = true;
+  std::string network_name = "campus-wifi";
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_NET_NETWORK_H_

@@ -1,0 +1,77 @@
+#include "src/playstore/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/rng.h"
+
+namespace flux {
+
+namespace {
+
+// Log-normal parameters fitted to the paper's quantiles:
+//   P(size < 1 MB)  = 0.60  ->  (ln 1MiB  - mu) / sigma = z(0.60) = 0.2533
+//   P(size < 10 MB) = 0.90  ->  (ln 10MiB - mu) / sigma = z(0.90) = 1.2816
+// which gives sigma = ln(10) / (1.2816 - 0.2533) ~= 2.239 and
+// mu = ln(1 MiB) - 0.2533 * sigma ~= 13.29 (median ~ 590 KB).
+constexpr double kMu = 13.29;
+constexpr double kSigma = 2.239;
+constexpr uint64_t kMinSize = 8 * 1024;          // 8 KB floor
+constexpr uint64_t kMaxSize = 4ull << 30;        // 4 GB ceiling
+
+}  // namespace
+
+PlayStoreCatalog::PlayStoreCatalog(int app_count, uint64_t seed) {
+  Rng rng(seed);
+  apps_.reserve(app_count);
+  const double preserve_rate =
+      static_cast<double>(kPaperPreserveEglCount) / kPaperAppCount;
+  for (int i = 0; i < app_count; ++i) {
+    CatalogApp app;
+    const double size = rng.NextLogNormal(kMu, kSigma);
+    app.install_size = static_cast<uint64_t>(
+        std::clamp(size, static_cast<double>(kMinSize),
+                   static_cast<double>(kMaxSize)));
+    // Preserve-EGL users skew toward games, i.e. larger installs: bias the
+    // trait by size while keeping the overall rate.
+    const double bias = app.install_size > (10 << 20) ? 4.0 : 0.6;
+    app.preserves_egl = rng.NextBool(preserve_rate * bias);
+    preserve_egl_count_ += app.preserves_egl ? 1 : 0;
+    apps_.push_back(app);
+  }
+  sorted_sizes_.reserve(apps_.size());
+  for (const auto& app : apps_) {
+    sorted_sizes_.push_back(app.install_size);
+  }
+  std::sort(sorted_sizes_.begin(), sorted_sizes_.end());
+}
+
+double PlayStoreCatalog::FractionBelow(uint64_t bytes) const {
+  const auto it =
+      std::lower_bound(sorted_sizes_.begin(), sorted_sizes_.end(), bytes);
+  return static_cast<double>(it - sorted_sizes_.begin()) /
+         static_cast<double>(sorted_sizes_.size());
+}
+
+std::vector<PlayStoreCatalog::CdfPoint> PlayStoreCatalog::Cdf(
+    int points_per_decade) const {
+  std::vector<CdfPoint> out;
+  // 10 KB .. 10 GB, log-spaced (the paper's x-axis).
+  const double lo = std::log10(10.0 * 1024);
+  const double hi = std::log10(10.0 * 1024 * 1024 * 1024);
+  const int steps = static_cast<int>((hi - lo) * points_per_decade);
+  for (int i = 0; i <= steps; ++i) {
+    const double log_size = lo + (hi - lo) * i / steps;
+    CdfPoint point;
+    point.size_bytes = static_cast<uint64_t>(std::pow(10.0, log_size));
+    point.fraction = FractionBelow(point.size_bytes);
+    out.push_back(point);
+  }
+  return out;
+}
+
+uint64_t PlayStoreCatalog::MedianSize() const {
+  return sorted_sizes_[sorted_sizes_.size() / 2];
+}
+
+}  // namespace flux

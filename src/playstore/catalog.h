@@ -1,0 +1,58 @@
+// Google Play catalog model (§4, Figure 17).
+//
+// The paper crawled 488,259 free apps with PlayDrone, measured their
+// installation sizes (60% < 1 MB, 90% < 10 MB) and decompiled them to count
+// setPreserveEGLContextOnPause users (3,300 — the apps Flux cannot migrate).
+// We model installation sizes as a log-normal fitted to those two quantiles
+// and sample the preserve-EGL trait at the measured rate, deterministically.
+#ifndef FLUX_SRC_PLAYSTORE_CATALOG_H_
+#define FLUX_SRC_PLAYSTORE_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flux {
+
+struct CatalogApp {
+  uint64_t install_size = 0;  // bytes (== APK size; verified in §4)
+  bool preserves_egl = false;
+};
+
+class PlayStoreCatalog {
+ public:
+  // The paper's crawl size by default.
+  static constexpr int kPaperAppCount = 488'259;
+  static constexpr int kPaperPreserveEglCount = 3'300;
+
+  explicit PlayStoreCatalog(int app_count = kPaperAppCount,
+                            uint64_t seed = 2015);
+
+  const std::vector<CatalogApp>& apps() const { return apps_; }
+  int size() const { return static_cast<int>(apps_.size()); }
+
+  // Fraction of apps with install_size < bytes.
+  double FractionBelow(uint64_t bytes) const;
+
+  // CDF sampled at logarithmically spaced sizes (for the Figure 17 series).
+  struct CdfPoint {
+    uint64_t size_bytes = 0;
+    double fraction = 0.0;
+  };
+  std::vector<CdfPoint> Cdf(int points_per_decade = 4) const;
+
+  int preserve_egl_count() const { return preserve_egl_count_; }
+  double preserve_egl_fraction() const {
+    return static_cast<double>(preserve_egl_count_) / size();
+  }
+
+  uint64_t MedianSize() const;
+
+ private:
+  std::vector<CatalogApp> apps_;
+  std::vector<uint64_t> sorted_sizes_;
+  int preserve_egl_count_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_PLAYSTORE_CATALOG_H_

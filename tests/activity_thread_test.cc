@@ -1,0 +1,163 @@
+// Direct unit tests for the app-side ActivityThread: attach, state
+// save/restore, service-handle caching, and the remaining §3.4 limitation
+// (common SD-card files block migration).
+#include <gtest/gtest.h>
+
+#include "src/apps/app_instance.h"
+#include "src/cria/cria.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+namespace flux {
+namespace {
+
+class ActivityThreadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.002;
+    device_ = world_.AddDevice("dut", Nexus4Profile(), boot).value();
+    process_ = &device_->CreateAppProcess("com.test.app", 10040);
+    thread_ = std::make_shared<ActivityThread>(device_->context(),
+                                               process_->pid(), 10040,
+                                               "com.test.app");
+  }
+
+  World world_;
+  Device* device_ = nullptr;
+  SimProcess* process_ = nullptr;
+  std::shared_ptr<ActivityThread> thread_;
+};
+
+TEST_F(ActivityThreadTest, AttachRegistersWithActivityManager) {
+  ASSERT_TRUE(thread_->Attach().ok());
+  EXPECT_NE(thread_->thread_node(), 0u);
+  const AttachedApp* app =
+      device_->activity_manager().FindAppByPid(process_->pid());
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->package, "com.test.app");
+  EXPECT_EQ(app->thread_node, thread_->thread_node());
+  // Double attach rejected.
+  EXPECT_FALSE(thread_->Attach().ok());
+}
+
+TEST_F(ActivityThreadTest, ServiceHandleCached) {
+  ASSERT_TRUE(thread_->Attach().ok());
+  const size_t handles_before =
+      device_->binder().HandleTableOf(process_->pid()).size();
+  for (int i = 0; i < 5; ++i) {
+    Parcel args;
+    args.WriteI32(kStreamMusic);
+    ASSERT_TRUE(
+        thread_->CallService("audio", "getStreamVolume", std::move(args))
+            .ok());
+  }
+  // One new handle for the audio service, not five.
+  EXPECT_EQ(device_->binder().HandleTableOf(process_->pid()).size(),
+            handles_before + 1);
+}
+
+TEST_F(ActivityThreadTest, SaveRestoreRoundTripPreservesUiState) {
+  ASSERT_TRUE(thread_->Attach().ok());
+  auto token = thread_->StartActivity("MainActivity");
+  ASSERT_TRUE(token.ok());
+  ASSERT_TRUE(thread_->InflateViews(*token, 7, 1024, "TextView").ok());
+  ASSERT_TRUE(thread_->RegisterReceiver("a.b.ACTION").ok());
+
+  ArchiveWriter writer;
+  thread_->SaveState(writer);
+
+  // Restore into a fresh process (as CRIA would on a guest).
+  SimProcess& fresh = device_->CreateAppProcess("com.test.app", 10041);
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  std::map<uint64_t, uint64_t> mapping;
+  uint64_t old_thread_node = 0;
+  auto restored = ActivityThread::RestoreState(
+      device_->context(), fresh.pid(), 10041, "com.test.app", reader, mapping,
+      old_thread_node);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(old_thread_node, thread_->thread_node());
+  ASSERT_EQ((*restored)->activities().size(), 1u);
+  const LocalActivity& activity = (*restored)->activities()[0];
+  EXPECT_EQ(activity.token, *token);
+  EXPECT_EQ(activity.view_root.views.size(), 7u);
+  EXPECT_FALSE(activity.visible);  // foregrounded later by reintegration
+  EXPECT_FALSE(activity.view_root.hardware_resources_live);
+  // Receiver object recreated with an old->new node mapping entry.
+  EXPECT_EQ((*restored)->ReceiverActions(),
+            std::vector<std::string>{"a.b.ACTION"});
+  EXPECT_EQ(mapping.size(), 1u);
+}
+
+TEST_F(ActivityThreadTest, RestoreRejectsWrongPackage) {
+  ArchiveWriter writer;
+  thread_->SaveState(writer);
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  std::map<uint64_t, uint64_t> mapping;
+  uint64_t old_node = 0;
+  auto restored = ActivityThread::RestoreState(
+      device_->context(), process_->pid(), 10040, "com.other.app", reader,
+      mapping, old_node);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorrupt);
+}
+
+TEST_F(ActivityThreadTest, DrawRequiresKnownActivity) {
+  ASSERT_TRUE(thread_->Attach().ok());
+  EXPECT_EQ(thread_->DrawFrame("bogus-token").code(), StatusCode::kNotFound);
+}
+
+// ----- common SD-card limitation (§3.4) -----
+
+class SdCardLimitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.005;
+    home_ = world_.AddDevice("home", Nexus4Profile(), boot).value();
+    guest_ = world_.AddDevice("guest", Nexus7_2013Profile(), boot).value();
+    home_agent_ = std::make_unique<FluxAgent>(*home_);
+    guest_agent_ = std::make_unique<FluxAgent>(*guest_);
+    ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  }
+
+  World world_;
+  Device* home_ = nullptr;
+  Device* guest_ = nullptr;
+  std::unique_ptr<FluxAgent> home_agent_;
+  std::unique_ptr<FluxAgent> guest_agent_;
+};
+
+TEST_F(SdCardLimitTest, CommonSdFileBlocksMigrationUntilClosed) {
+  AppSpec spec = *FindApp("ZEDGE");
+  spec.heap_bytes = 128 * 1024;
+  AppInstance app(*home_, spec);
+  ASSERT_TRUE(app.Install().ok());
+  ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, spec).ok());
+  ASSERT_TRUE(app.Launch().ok());
+  home_agent_->Manage(app.pid(), spec.package);
+
+  // The app opens a file in the *shared* SD card area (e.g. /sdcard/Music).
+  ASSERT_TRUE(home_->filesystem()
+                  .WriteFile("/sdcard/Music/ringtone.mp3", "RIFF....")
+                  .ok());
+  SimProcess* process = home_->kernel().FindProcess(app.pid());
+  const Fd fd = process->InstallFd(std::make_shared<RegularFileFd>(
+      "/sdcard/Music/ringtone.mp3", 0, false));
+
+  MigrationManager manager(*home_agent_, *guest_agent_);
+  auto refused = manager.Migrate(RunningApp::FromInstance(app), spec);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_FALSE(refused->success);
+  EXPECT_NE(refused->refusal_reason.find("SD card"), std::string::npos);
+
+  // Closing the file unblocks migration; app-specific SD files are fine.
+  ASSERT_TRUE(process->CloseFd(fd).ok());
+  process->InstallFd(std::make_shared<RegularFileFd>(
+      app.SdcardDir() + "/media.bin", 0, false));
+  auto ok = manager.Migrate(RunningApp::FromInstance(app), spec);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->success) << ok->refusal_reason;
+}
+
+}  // namespace
+}  // namespace flux

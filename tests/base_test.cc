@@ -1,0 +1,298 @@
+// Unit tests for src/base: Status/Result, strings, hashing, RNG, SimClock.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/hash.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/base/strings.h"
+#include "src/base/synthetic_content.h"
+
+namespace flux {
+namespace {
+
+// ----- Status / Result -----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFound("missing widget");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing widget");
+  EXPECT_EQ(status.ToString(), "not_found: missing widget");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kInternal); ++code) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = InvalidArgument("bad");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> result = std::string("payload");
+  std::string taken = result.TakeValue();
+  EXPECT_EQ(taken, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FLUX_ASSIGN_OR_RETURN(int half, Half(x));
+  FLUX_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+// ----- strings -----
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  const auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSkipEmpty) {
+  const auto parts = StrSplitSkipEmpty("/usr//local/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "usr");
+  EXPECT_EQ(parts[1], "local");
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(StrJoin({}, "/"), "");
+  EXPECT_EQ(StrJoin({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  hello \t\n"), "hello");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StrStartsWith("/system/lib", "/system"));
+  EXPECT_FALSE(StrStartsWith("/sys", "/system"));
+  EXPECT_TRUE(StrEndsWith("app.apk", ".apk"));
+  EXPECT_FALSE(StrEndsWith("apk", ".apk"));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+// ----- hashing -----
+
+TEST(HashTest, Fnv1aIsStable) {
+  // Known FNV-1a 64 test vector.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(HashTest, Fnv1aIncrementalMatchesOneShot) {
+  Fnv1a64Hasher hasher;
+  hasher.Update("hello ");
+  hasher.Update("world");
+  EXPECT_EQ(hasher.Digest(), Fnv1a64("hello world"));
+}
+
+TEST(HashTest, Crc32KnownVector) {
+  const char* text = "123456789";
+  Bytes data(text, text + 9);
+  EXPECT_EQ(Crc32(ByteSpan(data.data(), data.size())), 0xCBF43926u);
+}
+
+TEST(HashTest, DifferentContentDifferentHash) {
+  Bytes a = GenerateContent(1, 1024, 0.5);
+  Bytes b = GenerateContent(2, 1024, 0.5);
+  EXPECT_NE(Fnv1a64(ByteSpan(a.data(), a.size())),
+            Fnv1a64(ByteSpan(b.data(), b.size())));
+}
+
+// ----- RNG -----
+
+TEST(RngTest, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BoolProbability) {
+  Rng rng(17);
+  int heads = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.03);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextU64(), fork.NextU64());
+}
+
+// ----- SimClock -----
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.Advance(Millis(5));
+  clock.Advance(Micros(250));
+  EXPECT_EQ(clock.now(), 5250u);
+}
+
+TEST(SimClockTest, NegativeAdvanceIgnored) {
+  SimClock clock;
+  clock.Advance(Millis(1));
+  clock.Advance(-Millis(5));
+  EXPECT_EQ(clock.now(), 1000u);
+}
+
+TEST(SimClockTest, AdvanceToOnlyForward) {
+  SimClock clock;
+  clock.AdvanceTo(100);
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.now(), 100u);
+}
+
+TEST(SimClockTest, DurationConversions) {
+  EXPECT_EQ(Seconds(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(ToSecondsF(Millis(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillisF(Micros(2500)), 2.5);
+  EXPECT_EQ(FromSecondsF(0.5), 500'000);
+}
+
+TEST(SimClockTest, ScopedTimerStampsInterval) {
+  SimClock clock;
+  TimedInterval interval;
+  {
+    ScopedTimer timer(clock, interval);
+    clock.Advance(Millis(30));
+  }
+  EXPECT_EQ(interval.duration(), Millis(30));
+}
+
+// ----- synthetic content -----
+
+TEST(SyntheticContentTest, DeterministicBySeed) {
+  EXPECT_EQ(GenerateContent(5, 4096, 0.5), GenerateContent(5, 4096, 0.5));
+  EXPECT_NE(GenerateContent(5, 4096, 0.5), GenerateContent(6, 4096, 0.5));
+}
+
+TEST(SyntheticContentTest, ExactSize) {
+  EXPECT_EQ(GenerateContent(1, 0, 0.5).size(), 0u);
+  EXPECT_EQ(GenerateContent(1, 1, 0.5).size(), 1u);
+  EXPECT_EQ(GenerateContent(1, 100000, 0.5).size(), 100000u);
+}
+
+TEST(SyntheticContentTest, NamedSeedsMatchAcrossCalls) {
+  EXPECT_EQ(GenerateNamedContent("x", 512, 0.4),
+            GenerateNamedContent("x", 512, 0.4));
+  EXPECT_NE(GenerateNamedContent("x", 512, 0.4),
+            GenerateNamedContent("y", 512, 0.4));
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,400 @@
+// Tests for the Binder driver model: parcels, nodes/handles, reference and
+// fd translation across processes, oneway buffers, death notification, the
+// ServiceManager, and the observer seam Selective Record hangs off.
+#include <gtest/gtest.h>
+
+#include "src/binder/binder_driver.h"
+#include "src/binder/service_manager.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+namespace {
+
+// ----- Parcel -----
+
+TEST(ParcelTest, SequentialReadWrite) {
+  Parcel parcel;
+  parcel.WriteI32(7);
+  parcel.WriteString("hi");
+  parcel.WriteBool(true);
+  parcel.WriteI64(1ll << 40);
+  parcel.WriteF64(2.5);
+  EXPECT_EQ(parcel.ReadI32().value(), 7);
+  EXPECT_EQ(parcel.ReadString().value(), "hi");
+  EXPECT_TRUE(parcel.ReadBool().value());
+  EXPECT_EQ(parcel.ReadI64().value(), 1ll << 40);
+  EXPECT_DOUBLE_EQ(parcel.ReadF64().value(), 2.5);
+}
+
+TEST(ParcelTest, TypeMismatchFails) {
+  Parcel parcel;
+  parcel.WriteI32(1);
+  EXPECT_FALSE(parcel.ReadString().ok());
+}
+
+TEST(ParcelTest, ReadPastEndFails) {
+  Parcel parcel;
+  parcel.WriteI32(1);
+  ASSERT_TRUE(parcel.ReadI32().ok());
+  EXPECT_FALSE(parcel.ReadI32().ok());
+  parcel.RewindRead();
+  EXPECT_TRUE(parcel.ReadI32().ok());
+}
+
+TEST(ParcelTest, I64AcceptsI32Widening) {
+  Parcel parcel;
+  parcel.WriteI32(-5);
+  EXPECT_EQ(parcel.ReadI64().value(), -5);
+}
+
+TEST(ParcelTest, NamedArgumentsFindable) {
+  Parcel parcel;
+  parcel.WriteNamed("id", static_cast<int32_t>(42));
+  parcel.WriteNamed("text", std::string("note"));
+  const ParcelValue* id = parcel.FindNamed("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(std::get<int32_t>(*id), 42);
+  EXPECT_EQ(parcel.FindNamed("nope"), nullptr);
+  // Named values still read positionally.
+  EXPECT_EQ(parcel.ReadI32().value(), 42);
+}
+
+TEST(ParcelTest, SerializeRoundTrip) {
+  Parcel parcel;
+  parcel.WriteNamed("id", static_cast<int32_t>(1));
+  parcel.WriteString("s");
+  parcel.WriteNode(55);
+  parcel.WriteFd(12);
+  parcel.WriteBytes({1, 2, 3});
+  ArchiveWriter writer;
+  parcel.Serialize(writer);
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  auto copy = Parcel::Deserialize(reader);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(*copy, parcel);
+  EXPECT_EQ(copy->name_at(0), "id");
+}
+
+TEST(ParcelTest, WireSizeGrowsWithContent) {
+  Parcel small;
+  small.WriteI32(1);
+  Parcel big;
+  big.WriteString(std::string(1000, 'x'));
+  EXPECT_GT(big.WireSize(), small.WireSize());
+}
+
+TEST(ParcelTest, ToStringMentionsNames) {
+  Parcel parcel;
+  parcel.WriteNamed("id", static_cast<int32_t>(9));
+  EXPECT_NE(parcel.ToString().find("id=9"), std::string::npos);
+}
+
+// ----- driver fixture -----
+
+class EchoService : public BinderObject {
+ public:
+  std::string_view interface_name() const override { return "test.IEcho"; }
+
+  Result<Parcel> OnTransact(std::string_view method, const Parcel& args,
+                            const BinderCallContext& context) override {
+    last_sender = context.sender_pid;
+    ++calls;
+    if (method == "echo") {
+      Parcel reply;
+      FLUX_ASSIGN_OR_RETURN(std::string text, args.ReadString());
+      reply.WriteString(text);
+      return reply;
+    }
+    if (method == "makeObject") {
+      auto child = std::make_shared<EchoService>();
+      const uint64_t node =
+          context.driver->RegisterNode(context.driver->NodeOwner(
+                                           context.driver->context_manager_node()),
+                                       child);
+      children.push_back(child);
+      Parcel reply;
+      reply.WriteNode(node);
+      return reply;
+    }
+    if (method == "fail") {
+      return InvalidArgument("requested failure");
+    }
+    return Parcel();
+  }
+
+  Pid last_sender = kInvalidPid;
+  int calls = 0;
+  std::vector<std::shared_ptr<BinderObject>> children;
+};
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : kernel_("3.4"), driver_(&kernel_, &clock_) {
+    sm_process_ = &kernel_.CreateProcess("servicemanager", 0);
+    manager_ = ServiceManager::Install(driver_, sm_process_->pid());
+    server_ = &kernel_.CreateProcess("system_server", kSystemUid);
+    client_ = &kernel_.CreateProcess("com.example.app", 10001);
+    echo_ = std::make_shared<EchoService>();
+    echo_node_ = driver_.RegisterNode(server_->pid(), echo_);
+  }
+
+  SimClock clock_;
+  SimKernel kernel_;
+  BinderDriver driver_;
+  SimProcess* sm_process_;
+  std::shared_ptr<ServiceManager> manager_;
+  SimProcess* server_;
+  SimProcess* client_;
+  std::shared_ptr<EchoService> echo_;
+  uint64_t echo_node_ = 0;
+};
+
+TEST_F(BinderTest, HandleCreationAndLookup) {
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_GE(*handle, 1u);
+  EXPECT_EQ(driver_.LookupNode(client_->pid(), *handle).value(), echo_node_);
+  // Same node -> same handle, ref count bumped.
+  EXPECT_EQ(driver_.GetOrCreateHandle(client_->pid(), echo_node_).value(),
+            *handle);
+  const auto table = driver_.HandleTableOf(client_->pid());
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].strong_refs, 2);
+}
+
+TEST_F(BinderTest, Handle0IsContextManager) {
+  auto node = driver_.LookupNode(client_->pid(), 0);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(*node, driver_.context_manager_node());
+}
+
+TEST_F(BinderTest, TransactDeliversAndReplies) {
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  Parcel args;
+  args.WriteString("ping");
+  auto reply = driver_.Transact(client_->pid(), *handle, "echo",
+                                std::move(args));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ReadString().value(), "ping");
+  EXPECT_EQ(echo_->last_sender, client_->pid());
+  EXPECT_EQ(driver_.transaction_count(), 1u);
+}
+
+TEST_F(BinderTest, TransactAdvancesClock) {
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  const SimTime before = clock_.now();
+  Parcel args;
+  args.WriteString("x");
+  ASSERT_TRUE(driver_.Transact(client_->pid(), *handle, "echo",
+                               std::move(args)).ok());
+  EXPECT_GT(clock_.now(), before);
+}
+
+TEST_F(BinderTest, ServiceErrorsPropagate) {
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  auto reply = driver_.Transact(client_->pid(), *handle, "fail", Parcel());
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, UnknownHandleRejected) {
+  auto reply = driver_.Transact(client_->pid(), 77, "echo", Parcel());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, ReplyObjectRefTranslatedToClientHandle) {
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  auto reply = driver_.Transact(client_->pid(), *handle, "makeObject",
+                                Parcel());
+  ASSERT_TRUE(reply.ok());
+  auto ref = reply->ReadObject();
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->space, ParcelObjectRef::Space::kHandle);
+  // The handle resolves, and the node is the child the service created.
+  auto node = driver_.LookupNode(client_->pid(), ref->value);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(driver_.NodeInterface(*node), "test.IEcho");
+}
+
+TEST_F(BinderTest, ArgumentObjectRefTranslatedForService) {
+  // Client passes its own object; service receives a handle valid in *its*
+  // handle space.
+  auto client_object = std::make_shared<EchoService>();
+  const uint64_t client_node =
+      driver_.RegisterNode(client_->pid(), client_object);
+
+  class Inspector : public BinderObject {
+   public:
+    std::string_view interface_name() const override { return "test.IIn"; }
+    Result<Parcel> OnTransact(std::string_view, const Parcel& args,
+                              const BinderCallContext& context) override {
+      auto ref = args.ReadObject();
+      if (!ref.ok()) {
+        return ref.status();
+      }
+      received_space = ref->space;
+      resolved = context.driver->LookupNode(
+          context.driver->NodeOwner(node_self), ref->value);
+      return Parcel();
+    }
+    uint64_t node_self = 0;
+    ParcelObjectRef::Space received_space = ParcelObjectRef::Space::kNode;
+    Result<uint64_t> resolved = NotFound("unset");
+  };
+  auto inspector = std::make_shared<Inspector>();
+  const uint64_t node = driver_.RegisterNode(server_->pid(), inspector);
+  inspector->node_self = node;
+
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), node);
+  Parcel args;
+  args.WriteNode(client_node);
+  ASSERT_TRUE(
+      driver_.Transact(client_->pid(), *handle, "take", std::move(args)).ok());
+  EXPECT_EQ(inspector->received_space, ParcelObjectRef::Space::kHandle);
+  ASSERT_TRUE(inspector->resolved.ok());
+  EXPECT_EQ(inspector->resolved.value(), client_node);
+}
+
+TEST_F(BinderTest, FdInReplyDupedIntoClient) {
+  class FdService : public BinderObject {
+   public:
+    explicit FdService(SimProcess* host) : host_(host) {}
+    std::string_view interface_name() const override { return "test.IFd"; }
+    Result<Parcel> OnTransact(std::string_view, const Parcel&,
+                              const BinderCallContext&) override {
+      const Fd fd =
+          host_->InstallFd(std::make_shared<UnixSocketFd>("chan", 1));
+      Parcel reply;
+      reply.WriteFd(fd);
+      return reply;
+    }
+    SimProcess* host_;
+  };
+  auto service = std::make_shared<FdService>(server_);
+  const uint64_t node = driver_.RegisterNode(server_->pid(), service);
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), node);
+  auto reply = driver_.Transact(client_->pid(), *handle, "get", Parcel());
+  ASSERT_TRUE(reply.ok());
+  auto fd = reply->ReadFd();
+  ASSERT_TRUE(fd.ok());
+  auto object = client_->LookupFd(*fd);
+  ASSERT_NE(object, nullptr);
+  EXPECT_EQ(object->kind(), FdKind::kUnixSocket);
+}
+
+TEST_F(BinderTest, OnewayQueuesAndDelivers) {
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  Parcel args;
+  args.WriteString("async");
+  ASSERT_TRUE(driver_.TransactOneway(client_->pid(), *handle, "echo",
+                                     std::move(args)).ok());
+  EXPECT_EQ(echo_->calls, 0);  // not delivered yet
+  EXPECT_EQ(driver_.PendingFor(server_->pid()).size(), 1u);
+  EXPECT_GT(driver_.PendingBufferBytes(server_->pid()), 0u);
+  ASSERT_TRUE(driver_.DeliverAsync(server_->pid()).ok());
+  EXPECT_EQ(echo_->calls, 1);
+  EXPECT_TRUE(driver_.PendingFor(server_->pid()).empty());
+}
+
+TEST_F(BinderTest, InstallHandleAtPreservesNumber) {
+  ASSERT_TRUE(
+      driver_.InstallHandleAt(client_->pid(), 42, echo_node_, 2, 1).ok());
+  EXPECT_EQ(driver_.LookupNode(client_->pid(), 42).value(), echo_node_);
+  // Conflicts rejected; handle 0 reserved.
+  EXPECT_EQ(driver_.InstallHandleAt(client_->pid(), 42, echo_node_, 1, 0)
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(driver_.InstallHandleAt(client_->pid(), 0, echo_node_, 1, 0)
+                   .ok());
+  // The allocator never reuses an injected number.
+  auto next = driver_.GetOrCreateHandle(
+      client_->pid(),
+      driver_.RegisterNode(server_->pid(), std::make_shared<EchoService>()));
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, 42u);
+}
+
+TEST_F(BinderTest, DeathNotificationOnProcessExit) {
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  int deaths = 0;
+  driver_.LinkToDeath(client_->pid(), *handle,
+                      [&deaths](uint64_t) { ++deaths; });
+  driver_.OnProcessExit(server_->pid());
+  EXPECT_EQ(deaths, 1);
+  EXPECT_FALSE(driver_.NodeAlive(echo_node_));
+  auto reply = driver_.Transact(client_->pid(), *handle, "echo", Parcel());
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(BinderTest, ProcessExitDropsOwnState) {
+  ASSERT_TRUE(driver_.GetOrCreateHandle(client_->pid(), echo_node_).ok());
+  driver_.OnProcessExit(client_->pid());
+  EXPECT_TRUE(driver_.HandleTableOf(client_->pid()).empty());
+}
+
+TEST_F(BinderTest, ObserverSeesClientPerspective) {
+  class Recorder : public TransactionObserver {
+   public:
+    void OnTransaction(const TransactionInfo& info) override {
+      infos.push_back(info);
+    }
+    std::vector<TransactionInfo> infos;
+  };
+  Recorder recorder;
+  driver_.AddObserver(&recorder);
+  auto handle = driver_.GetOrCreateHandle(client_->pid(), echo_node_);
+  Parcel args;
+  args.WriteNamed("text", std::string("watched"));
+  ASSERT_TRUE(driver_.Transact(client_->pid(), *handle, "echo",
+                               std::move(args)).ok());
+  driver_.RemoveObserver(&recorder);
+  ASSERT_EQ(recorder.infos.size(), 1u);
+  const TransactionInfo& info = recorder.infos[0];
+  EXPECT_EQ(info.client_pid, client_->pid());
+  EXPECT_EQ(info.interface, "test.IEcho");
+  EXPECT_EQ(info.method, "echo");
+  EXPECT_TRUE(info.ok);
+  ASSERT_NE(info.args.FindNamed("text"), nullptr);
+  EXPECT_EQ(info.reply.size(), 1u);
+  // After removal, no more observations.
+  ASSERT_TRUE(driver_.Transact(client_->pid(), *handle, "echo",
+                               Parcel()).status().ok() ||
+              true);
+  EXPECT_EQ(recorder.infos.size(), 1u);
+}
+
+// ----- ServiceManager -----
+
+TEST_F(BinderTest, ServiceRegistrationAndLookup) {
+  ASSERT_TRUE(manager_->AddService("echo", echo_node_).ok());
+  EXPECT_TRUE(manager_->HasService("echo"));
+  EXPECT_EQ(manager_->GetServiceNode("echo").value(), echo_node_);
+  EXPECT_EQ(driver_.NodeServiceName(echo_node_), "echo");
+  auto handle = manager_->GetServiceHandle(client_->pid(), "echo");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(driver_.LookupNode(client_->pid(), *handle).value(), echo_node_);
+  EXPECT_EQ(manager_->GetServiceNode("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, ServiceManagerViaBinderRpc) {
+  ASSERT_TRUE(manager_->AddService("echo", echo_node_).ok());
+  Parcel args;
+  args.WriteString("echo");
+  auto reply = driver_.Transact(client_->pid(), 0, "getService",
+                                std::move(args));
+  ASSERT_TRUE(reply.ok());
+  auto ref = reply->ReadObject();
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(driver_.LookupNode(client_->pid(), ref->value).value(),
+            echo_node_);
+}
+
+TEST_F(BinderTest, FindNodeByServiceName) {
+  ASSERT_TRUE(manager_->AddService("echo", echo_node_).ok());
+  EXPECT_EQ(driver_.FindNodeByServiceName("echo").value(), echo_node_);
+  EXPECT_FALSE(driver_.FindNodeByServiceName("ghost").ok());
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,214 @@
+// Tests for the LZ codec and the tagged archive, including parameterized
+// round-trip sweeps and corruption handling (checkpoint images must fail
+// loudly, never misread).
+#include <gtest/gtest.h>
+
+#include "src/base/archive.h"
+#include "src/base/compress.h"
+#include "src/base/rng.h"
+#include "src/base/synthetic_content.h"
+
+namespace flux {
+namespace {
+
+// ----- LZ codec -----
+
+TEST(CompressTest, EmptyInput) {
+  Bytes compressed = LzCompress({});
+  auto raw = LzDecompress(ByteSpan(compressed.data(), compressed.size()));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_TRUE(raw->empty());
+}
+
+TEST(CompressTest, OneByte) {
+  Bytes input = {0x42};
+  Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  auto raw = LzDecompress(ByteSpan(compressed.data(), compressed.size()));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, input);
+}
+
+TEST(CompressTest, HighlyRepetitiveShrinksALot) {
+  Bytes input(100000, 0xAA);
+  Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  EXPECT_LT(compressed.size(), input.size() / 20);
+  auto raw = LzDecompress(ByteSpan(compressed.data(), compressed.size()));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, input);
+}
+
+TEST(CompressTest, RandomDataDoesNotExplode) {
+  Bytes input = GenerateContent(3, 100000, 0.0);
+  Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  // Worst case: header + 1/8 flag overhead.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 7 + 32);
+  auto raw = LzDecompress(ByteSpan(compressed.data(), compressed.size()));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, input);
+}
+
+TEST(CompressTest, BadMagicRejected) {
+  Bytes bogus = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  auto raw = LzDecompress(ByteSpan(bogus.data(), bogus.size()));
+  EXPECT_FALSE(raw.ok());
+  EXPECT_EQ(raw.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(CompressTest, TruncatedStreamRejected) {
+  Bytes input = GenerateContent(4, 50000, 0.5);
+  Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  for (size_t cut : {compressed.size() / 2, compressed.size() - 1,
+                     static_cast<size_t>(13)}) {
+    auto raw = LzDecompress(ByteSpan(compressed.data(), cut));
+    EXPECT_FALSE(raw.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(CompressTest, CorruptedBodyFailsOrMismatches) {
+  Bytes input = GenerateContent(5, 20000, 0.7);
+  Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  // Flip a byte in the body (past the 12-byte header).
+  Bytes tampered = compressed;
+  tampered[tampered.size() / 2] ^= 0xFF;
+  auto raw = LzDecompress(ByteSpan(tampered.data(), tampered.size()));
+  if (raw.ok()) {
+    EXPECT_NE(*raw, input);  // silent success must at least differ
+  }
+}
+
+// Property sweep: round-trip across sizes and compressibilities.
+class CompressRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CompressRoundTrip, LosslessAndBounded) {
+  const auto [size, compressibility] = GetParam();
+  Bytes input = GenerateContent(static_cast<uint64_t>(size) * 7919,
+                                static_cast<uint64_t>(size),
+                                compressibility);
+  Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  auto raw = LzDecompress(ByteSpan(compressed.data(), compressed.size()));
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(*raw, input);
+  if (compressibility >= 0.8 && size >= 4096) {
+    EXPECT_LT(compressed.size(), input.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 7, 255, 4096, 65537, 300000),
+                       ::testing::Values(0.0, 0.3, 0.5, 0.8, 1.0)));
+
+// ----- Archive -----
+
+TEST(ArchiveTest, ScalarRoundTrip) {
+  ArchiveWriter writer;
+  writer.PutBool(true);
+  writer.PutU8(0xAB);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(1ull << 60);
+  writer.PutI64(-42);
+  writer.PutF64(3.25);
+  writer.PutString("flux");
+  Bytes payload = {9, 8, 7};
+  writer.PutBytes(ByteSpan(payload.data(), payload.size()));
+
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  bool b = false;
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  std::string text;
+  Bytes bytes;
+  ASSERT_TRUE(reader.GetBool(b).ok());
+  ASSERT_TRUE(reader.GetU8(u8).ok());
+  ASSERT_TRUE(reader.GetU32(u32).ok());
+  ASSERT_TRUE(reader.GetU64(u64).ok());
+  ASSERT_TRUE(reader.GetI64(i64).ok());
+  ASSERT_TRUE(reader.GetF64(f64).ok());
+  ASSERT_TRUE(reader.GetString(text).ok());
+  ASSERT_TRUE(reader.GetBytes(bytes).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(b);
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(f64, 3.25);
+  EXPECT_EQ(text, "flux");
+  EXPECT_EQ(bytes, payload);
+}
+
+TEST(ArchiveTest, TagMismatchDetected) {
+  ArchiveWriter writer;
+  writer.PutU32(7);
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  std::string text;
+  Status status = reader.GetString(text);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+}
+
+TEST(ArchiveTest, TruncationDetected) {
+  ArchiveWriter writer;
+  writer.PutString("some content here");
+  Bytes data = writer.TakeData();
+  data.resize(data.size() / 2);
+  ArchiveReader reader(ByteSpan(data.data(), data.size()));
+  std::string text;
+  EXPECT_FALSE(reader.GetString(text).ok());
+}
+
+TEST(ArchiveTest, NestedSections) {
+  ArchiveWriter inner;
+  inner.PutU64(99);
+  inner.PutString("nested");
+  ArchiveWriter outer;
+  outer.PutU32(1);
+  outer.PutSection(inner);
+  outer.PutU32(2);
+
+  ArchiveReader reader(ByteSpan(outer.data().data(), outer.data().size()));
+  uint32_t before = 0;
+  uint32_t after = 0;
+  ArchiveReader section({});
+  ASSERT_TRUE(reader.GetU32(before).ok());
+  ASSERT_TRUE(reader.GetSection(section).ok());
+  ASSERT_TRUE(reader.GetU32(after).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  uint64_t value = 0;
+  std::string text;
+  ASSERT_TRUE(section.GetU64(value).ok());
+  ASSERT_TRUE(section.GetString(text).ok());
+  EXPECT_EQ(before, 1u);
+  EXPECT_EQ(after, 2u);
+  EXPECT_EQ(value, 99u);
+  EXPECT_EQ(text, "nested");
+}
+
+TEST(ArchiveTest, EmptyStringAndBytes) {
+  ArchiveWriter writer;
+  writer.PutString("");
+  writer.PutBytes({});
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  std::string text = "sentinel";
+  Bytes bytes = {1};
+  ASSERT_TRUE(reader.GetString(text).ok());
+  ASSERT_TRUE(reader.GetBytes(bytes).ok());
+  EXPECT_TRUE(text.empty());
+  EXPECT_TRUE(bytes.empty());
+}
+
+TEST(ArchiveTest, ReadingPastEndFails) {
+  ArchiveWriter writer;
+  writer.PutU8(1);
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  uint8_t value = 0;
+  ASSERT_TRUE(reader.GetU8(value).ok());
+  EXPECT_FALSE(reader.GetU8(value).ok());
+}
+
+}  // namespace
+}  // namespace flux

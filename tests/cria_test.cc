@@ -1,0 +1,239 @@
+// CRIA unit tests (§3.3): checkpoint preconditions (shed GPU state, no pmem,
+// no vendor libraries, no external Binder connections), image integrity,
+// handle classification, PID-namespace restore, and fd reservation.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_instance.h"
+#include "src/cria/cria.h"
+#include "src/device/world.h"
+#include "src/flux/flux_agent.h"
+#include "src/flux/pairing.h"
+
+namespace flux {
+namespace {
+
+class CriaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.002;
+    home_ = world_.AddDevice("home", Nexus4Profile(), boot).value();
+    guest_ = world_.AddDevice("guest", Nexus7_2013Profile(), boot).value();
+    home_agent_ = std::make_unique<FluxAgent>(*home_);
+    guest_agent_ = std::make_unique<FluxAgent>(*guest_);
+    ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+
+    AppSpec spec = *FindApp("eBay");
+    spec.heap_bytes = 256 * 1024;  // keep tests quick
+    app_ = std::make_unique<AppInstance>(*home_, spec);
+    ASSERT_TRUE(app_->Install().ok());
+    ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, spec).ok());
+    ASSERT_TRUE(app_->Launch().ok());
+  }
+
+  // Runs the full preparation phase so a checkpoint is legal.
+  void PrepareApp() {
+    ASSERT_TRUE(
+        home_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+    world_.AdvanceTime(Seconds(2));
+    ASSERT_TRUE(home_->activity_manager()
+                    .RequestTrimMemory(app_->pid(), kTrimMemoryComplete)
+                    .ok());
+    ASSERT_TRUE(home_->egl().EglUnload(app_->pid()).ok());
+  }
+
+  World world_;
+  Device* home_ = nullptr;
+  Device* guest_ = nullptr;
+  std::unique_ptr<FluxAgent> home_agent_;
+  std::unique_ptr<FluxAgent> guest_agent_;
+  std::unique_ptr<AppInstance> app_;
+};
+
+TEST_F(CriaTest, CheckpointRefusedWithLiveGlContexts) {
+  // Straight after launch the app still has a GL context.
+  auto result = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CriaTest, CheckpointRefusedWithVendorLibraryMapped) {
+  ASSERT_TRUE(
+      home_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+  world_.AdvanceTime(Seconds(2));
+  ASSERT_TRUE(home_->activity_manager()
+                  .RequestTrimMemory(app_->pid(), kTrimMemoryComplete)
+                  .ok());
+  // GL contexts are gone but the vendor library is still mapped (eglUnload
+  // not yet called).
+  auto result = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("vendor"), std::string::npos);
+}
+
+TEST_F(CriaTest, CheckpointRefusedWithPmem) {
+  PrepareApp();
+  ASSERT_TRUE(home_->kernel().pmem().Allocate(app_->pid(), 4096).ok());
+  auto result = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("pmem"), std::string::npos);
+}
+
+TEST_F(CriaTest, CheckpointStatsAccountMemoryAndHandles) {
+  PrepareApp();
+  auto result = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.memory_bytes, 0u);
+  EXPECT_GT(result->stats.handles, 0);
+  EXPECT_GT(result->stats.fds, 0);
+  EXPECT_GE(result->stats.file_mappings, 2);  // APK + core.jar
+  EXPECT_EQ(result->stats.image_bytes, result->image.size());
+  // The serialized heap dominates the image.
+  EXPECT_GT(result->stats.memory_bytes, result->stats.image_bytes / 2);
+}
+
+TEST_F(CriaTest, ExternalBinderConnectionBlocksMigration) {
+  // A handle to a node owned by another *app* process (non-system).
+  SimProcess& other = home_->CreateAppProcess("com.other.app", 10777);
+  class Dummy : public BinderObject {
+   public:
+    std::string_view interface_name() const override { return "other.IX"; }
+    Result<Parcel> OnTransact(std::string_view, const Parcel&,
+                              const BinderCallContext&) override {
+      return Parcel();
+    }
+  };
+  auto dummy = std::make_shared<Dummy>();
+  const uint64_t node = home_->binder().RegisterNode(other.pid(), dummy);
+  ASSERT_TRUE(home_->binder().GetOrCreateHandle(app_->pid(), node).ok());
+
+  Status status = Cria::CheckMigratable(*home_, app_->pid());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnsupported);
+  EXPECT_NE(status.message().find("external"), std::string::npos);
+}
+
+TEST_F(CriaTest, RestoreRebuildsProcessInPrivateNamespace) {
+  PrepareApp();
+  const Pid home_pid = app_->pid();
+  const auto home_segments =
+      home_->kernel().FindProcess(home_pid)->address_space().segments().size();
+  auto checkpoint = Cria::Checkpoint(*home_, home_pid, app_->thread());
+  ASSERT_TRUE(checkpoint.ok());
+
+  CriaRestoreOptions options;
+  options.jail_root = FluxAgent::PairRoot(home_->name());
+  auto restored = Cria::Restore(
+      *guest_, ByteSpan(checkpoint->image.data(), checkpoint->image.size()),
+      options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Virtual pid preserved inside the namespace; real pid differs.
+  SimProcess* process = guest_->kernel().FindProcess(restored->pid);
+  ASSERT_NE(process, nullptr);
+  EXPECT_EQ(process->virtual_pid(), home_pid);
+  EXPECT_NE(process->pid_namespace(), 0);
+  EXPECT_EQ(process->jail_root(), options.jail_root);
+  // Memory layout carried over (minus nothing: prep removed vendor libs
+  // before checkpoint).
+  EXPECT_EQ(process->address_space().segments().size(), home_segments);
+  // Heap content identical.
+  const MemorySegment* heap =
+      process->address_space().FindByName("dalvik-heap");
+  ASSERT_NE(heap, nullptr);
+  EXPECT_GT(heap->content.size(), 0u);
+}
+
+TEST_F(CriaTest, RestoredHandleTableKeepsNumbersForServices) {
+  PrepareApp();
+  const auto home_table = home_->binder().HandleTableOf(app_->pid());
+  ASSERT_FALSE(home_table.empty());
+  auto checkpoint = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_TRUE(checkpoint.ok());
+  CriaRestoreOptions options;
+  options.jail_root = FluxAgent::PairRoot(home_->name());
+  auto restored = Cria::Restore(
+      *guest_, ByteSpan(checkpoint->image.data(), checkpoint->image.size()),
+      options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Every service handle resolves on the guest under the same number, to a
+  // node registered under the same service name.
+  for (const auto& entry : home_table) {
+    const std::string_view name =
+        home_->binder().NodeServiceName(entry.node_id);
+    if (name.empty()) {
+      continue;
+    }
+    auto node = guest_->binder().LookupNode(restored->pid, entry.handle);
+    ASSERT_TRUE(node.ok()) << "handle " << entry.handle;
+    EXPECT_EQ(guest_->binder().NodeServiceName(*node), name);
+  }
+}
+
+TEST_F(CriaTest, ActivitiesAdoptedOnGuest) {
+  PrepareApp();
+  auto checkpoint = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_TRUE(checkpoint.ok());
+  CriaRestoreOptions options;
+  options.jail_root = FluxAgent::PairRoot(home_->name());
+  auto restored = Cria::Restore(
+      *guest_, ByteSpan(checkpoint->image.data(), checkpoint->image.size()),
+      options);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->activity_tokens.size(), 1u);
+  EXPECT_EQ(restored->activity_tokens[0], app_->main_token());
+  const auto activities =
+      guest_->activity_manager().ActivitiesOf(restored->pid);
+  ASSERT_EQ(activities.size(), 1u);
+  EXPECT_EQ(activities[0]->state, ActivityState::kStopped);
+}
+
+TEST_F(CriaTest, CorruptImageRejected) {
+  PrepareApp();
+  auto checkpoint = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_TRUE(checkpoint.ok());
+  CriaRestoreOptions options;
+  options.jail_root = FluxAgent::PairRoot(home_->name());
+
+  // Truncated.
+  auto truncated = Cria::Restore(
+      *guest_, ByteSpan(checkpoint->image.data(), checkpoint->image.size() / 3),
+      options);
+  EXPECT_FALSE(truncated.ok());
+
+  // Bad magic.
+  Bytes tampered = checkpoint->image;
+  tampered[1] ^= 0xFF;
+  auto bad = Cria::Restore(*guest_,
+                           ByteSpan(tampered.data(), tampered.size()),
+                           options);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorrupt);
+}
+
+TEST_F(CriaTest, RestoreWithoutPairingFails) {
+  PrepareApp();
+  auto checkpoint = Cria::Checkpoint(*home_, app_->pid(), app_->thread());
+  ASSERT_TRUE(checkpoint.ok());
+  CriaRestoreOptions options;
+  options.jail_root = "/data/flux/pair/nonexistent";
+  auto restored = Cria::Restore(
+      *guest_, ByteSpan(checkpoint->image.data(), checkpoint->image.size()),
+      options);
+  // File-backed mappings cannot resolve without the paired tree... unless
+  // the identical file exists on the guest's own /system, which holds for
+  // core.jar but not for the APK.
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST_F(CriaTest, HandleClassNames) {
+  EXPECT_EQ(HandleClassName(HandleClass::kService), "service");
+  EXPECT_EQ(HandleClassName(HandleClass::kAppInternal), "app_internal");
+  EXPECT_EQ(HandleClassName(HandleClass::kAnonymousSystem),
+            "anonymous_system");
+  EXPECT_EQ(HandleClassName(HandleClass::kExternal), "external");
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,225 @@
+// Edge-case coverage: @elif alternative signatures at the record-engine
+// level, Binder fd passing in call arguments, handle release semantics, a
+// randomized sync-engine property sweep, and LZ matches across the window
+// boundary.
+#include <gtest/gtest.h>
+
+#include "src/base/compress.h"
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/base/synthetic_content.h"
+#include "src/binder/service_manager.h"
+#include "src/flux/record_engine.h"
+#include "src/fs/sync_engine.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+namespace {
+
+// ----- @elif at the engine level -----
+
+constexpr std::string_view kElifAidl = R"(
+interface IRegistry {
+  @record
+  void put(String scope, String key, String value);
+
+  @record {
+    @drop this, put;
+    @if scope, key;
+    @elif key;
+  }
+  void erase(String scope, String key);
+}
+)";
+
+class ElifEngineTest : public ::testing::Test {
+ protected:
+  ElifEngineTest() : engine_(&rules_) {
+    EXPECT_TRUE(rules_.RegisterService("registry", kElifAidl, false).ok());
+    engine_.TrackApp(300, "com.x");
+  }
+
+  void Call(std::string_view method, const std::string& scope,
+            const std::string& key) {
+    TransactionInfo info;
+    info.client_pid = 300;
+    info.node_id = 4;
+    info.service_name = "registry";
+    info.interface = "IRegistry";
+    info.method = std::string(method);
+    info.args.WriteNamed("scope", scope);
+    info.args.WriteNamed("key", key);
+    if (method == "put") {
+      info.args.WriteNamed("value", std::string("v"));
+    }
+    info.ok = true;
+    engine_.OnTransaction(info);
+  }
+
+  RecordRuleSet rules_;
+  RecordEngine engine_;
+};
+
+TEST_F(ElifEngineTest, PrimarySignatureMatchesScopeAndKey) {
+  Call("put", "user", "theme");
+  Call("put", "system", "theme");
+  Call("erase", "user", "theme");  // @if (scope,key): only the user entry
+  const auto& entries = engine_.LogFor(300)->entries();
+  // The system put survives; erase matched via either signature — note the
+  // @elif (key) alternative ALSO matches the system entry by key alone.
+  // Alternatives are disjunctive, so both puts are dropped.
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(ElifEngineTest, NoSignatureMatchKeepsEverything) {
+  Call("put", "user", "theme");
+  Call("erase", "user", "font");  // neither signature matches
+  const auto& entries = engine_.LogFor(300)->entries();
+  ASSERT_EQ(entries.size(), 2u);  // put kept, unmatched erase recorded
+  EXPECT_EQ(entries[0].method, "put");
+  EXPECT_EQ(entries[1].method, "erase");
+}
+
+// ----- Binder: fd in call arguments, handle release -----
+
+class FdArgService : public BinderObject {
+ public:
+  explicit FdArgService(SimProcess* host) : host_(host) {}
+  std::string_view interface_name() const override { return "test.IFdArg"; }
+  Result<Parcel> OnTransact(std::string_view, const Parcel& args,
+                            const BinderCallContext&) override {
+    FLUX_ASSIGN_OR_RETURN(Fd fd, args.ReadFd());
+    received_fd = fd;
+    received_object = host_->LookupFd(fd);
+    return Parcel();
+  }
+  SimProcess* host_;
+  Fd received_fd = kInvalidFd;
+  std::shared_ptr<FdObject> received_object;
+};
+
+TEST(BinderEdgeTest, FdArgumentDupedIntoService) {
+  SimClock clock;
+  SimKernel kernel("3.4");
+  BinderDriver driver(&kernel, &clock);
+  SimProcess& sm = kernel.CreateProcess("servicemanager", 0);
+  auto manager = ServiceManager::Install(driver, sm.pid());
+  SimProcess& server = kernel.CreateProcess("system_server", kSystemUid);
+  SimProcess& client = kernel.CreateProcess("app", 10001);
+
+  auto service = std::make_shared<FdArgService>(&server);
+  const uint64_t node = driver.RegisterNode(server.pid(), service);
+  const Fd client_fd =
+      client.InstallFd(std::make_shared<UnixSocketFd>("chan", 9));
+
+  auto handle = driver.GetOrCreateHandle(client.pid(), node);
+  Parcel args;
+  args.WriteFd(client_fd);
+  ASSERT_TRUE(driver.Transact(client.pid(), *handle, "take",
+                              std::move(args)).ok());
+  // The service got its own descriptor number pointing at the same object.
+  ASSERT_NE(service->received_object, nullptr);
+  EXPECT_EQ(service->received_object, client.LookupFd(client_fd));
+}
+
+TEST(BinderEdgeTest, ReleaseHandleDropsAtZeroRefs) {
+  SimClock clock;
+  SimKernel kernel("3.4");
+  BinderDriver driver(&kernel, &clock);
+  SimProcess& server = kernel.CreateProcess("system_server", kSystemUid);
+  SimProcess& client = kernel.CreateProcess("app", 10001);
+  auto service = std::make_shared<FdArgService>(&server);
+  const uint64_t node = driver.RegisterNode(server.pid(), service);
+
+  auto handle = driver.GetOrCreateHandle(client.pid(), node);
+  ASSERT_TRUE(driver.GetOrCreateHandle(client.pid(), node).ok());  // ref = 2
+  ASSERT_TRUE(driver.ReleaseHandle(client.pid(), *handle).ok());
+  EXPECT_TRUE(driver.LookupNode(client.pid(), *handle).ok());  // ref = 1
+  ASSERT_TRUE(driver.ReleaseHandle(client.pid(), *handle).ok());
+  EXPECT_FALSE(driver.LookupNode(client.pid(), *handle).ok());  // gone
+  EXPECT_FALSE(driver.ReleaseHandle(client.pid(), *handle).ok());
+}
+
+// ----- sync engine property sweep -----
+
+class SyncPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyncPropertyTest, MirrorConvergesAndLinksAreExact) {
+  Rng rng(GetParam());
+  SimFilesystem src;
+  SimFilesystem dst;
+  // Random tree on the source; some files duplicated into the destination's
+  // link-dest root, some with different content at the same path.
+  std::vector<std::string> paths;
+  for (int i = 0; i < 30; ++i) {
+    const std::string path =
+        StrFormat("/src/d%d/f%d.bin", static_cast<int>(rng.NextBelow(4)), i);
+    const uint64_t size = 128 + rng.NextBelow(4096);
+    Bytes content = GenerateContent(rng.NextU64(), size, 0.5);
+    if (rng.NextBool(0.4)) {
+      // Identical copy under the guest's link-dest root.
+      ASSERT_TRUE(dst.WriteFile("/system" + path.substr(4), content).ok());
+    } else if (rng.NextBool(0.3)) {
+      // Conflicting content at the link-dest path.
+      ASSERT_TRUE(dst.WriteFile("/system" + path.substr(4),
+                                GenerateContent(rng.NextU64(), size, 0.5))
+                      .ok());
+    }
+    ASSERT_TRUE(src.WriteFile(path, std::move(content)).ok());
+    paths.push_back(path);
+  }
+
+  SyncOptions options;
+  options.link_dest = "/system";
+  auto stats = SyncTree(src, "/src", dst, "/mirror", options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  // Invariants: every source file exists at the mirror with equal content;
+  // every hard link points at truly identical bytes; accounting adds up.
+  uint64_t linked = 0;
+  for (const auto& path : paths) {
+    const std::string mirrored = "/mirror" + path.substr(4);
+    ASSERT_TRUE(dst.IsFile(mirrored)) << mirrored;
+    EXPECT_EQ(dst.FileHash(mirrored).value(), src.FileHash(path).value());
+    const std::string linkdest = "/system" + path.substr(4);
+    if (dst.IsFile(linkdest) && dst.SameInode(mirrored, linkdest)) {
+      EXPECT_EQ(dst.FileHash(linkdest).value(), src.FileHash(path).value());
+      ++linked;
+    }
+  }
+  EXPECT_EQ(stats->files_linked, linked);
+  EXPECT_EQ(stats->files_total,
+            stats->files_linked + stats->files_copied +
+                stats->files_up_to_date);
+
+  // A second sync is a no-op on the wire.
+  auto again = SyncTree(src, "/src", dst, "/mirror", options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->bytes_transferred, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ----- LZ window-boundary matches -----
+
+TEST(CompressEdgeTest, MatchesAcrossLargeOffsets) {
+  // A motif recurring just inside / outside the 64 KiB window.
+  Bytes motif = GenerateContent(1, 512, 0.0);
+  Bytes input;
+  input.insert(input.end(), motif.begin(), motif.end());
+  Bytes noise = GenerateContent(2, 63 * 1024, 0.0);
+  input.insert(input.end(), noise.begin(), noise.end());
+  input.insert(input.end(), motif.begin(), motif.end());  // within window
+  Bytes far_noise = GenerateContent(3, 70 * 1024, 0.0);
+  input.insert(input.end(), far_noise.begin(), far_noise.end());
+  input.insert(input.end(), motif.begin(), motif.end());  // beyond window
+
+  Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+  auto raw = LzDecompress(ByteSpan(compressed.data(), compressed.size()));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, input);
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,275 @@
+// Tests for the features beyond the paper's prototype that §3.4 sketches:
+// ContentProviders (with mid-interaction migration refusal), and
+// multi-process app migration via CRIA process trees.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_instance.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+namespace flux {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.005;
+    home_ = world_.AddDevice("home", Nexus4Profile(), boot).value();
+    guest_ = world_.AddDevice("guest", Nexus7_2013Profile(), boot).value();
+    home_agent_ = std::make_unique<FluxAgent>(*home_);
+    guest_agent_ = std::make_unique<FluxAgent>(*guest_);
+    ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  }
+
+  // `heap_override` trims the live heap for speed; 0 keeps the spec's size.
+  std::unique_ptr<AppInstance> LaunchApp(AppSpec spec,
+                                         uint64_t heap_override = 256 * 1024) {
+    if (heap_override != 0) {
+      spec.heap_bytes = heap_override;
+    }
+    auto app = std::make_unique<AppInstance>(*home_, spec);
+    EXPECT_TRUE(app->Install().ok());
+    EXPECT_TRUE(PairApp(*home_agent_, *guest_agent_, spec).ok());
+    EXPECT_TRUE(app->Launch().ok());
+    home_agent_->Manage(app->pid(), spec.package);
+    return app;
+  }
+
+  World world_;
+  Device* home_ = nullptr;
+  Device* guest_ = nullptr;
+  std::unique_ptr<FluxAgent> home_agent_;
+  std::unique_ptr<FluxAgent> guest_agent_;
+};
+
+// ----- ContentProviders -----
+
+TEST_F(ExtensionsTest, ContactsProviderQueryInsertDelete) {
+  auto app = LaunchApp(*FindApp("Snapchat"));
+  Parcel acquire;
+  acquire.WriteString("contacts");
+  auto reply =
+      app->thread().CallService("content", "acquireProvider",
+                                std::move(acquire));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  auto provider = reply->ReadObject();
+  ASSERT_TRUE(provider.ok());
+
+  // Query all contacts.
+  Parcel query;
+  query.WriteString("");
+  query.WriteString("");
+  auto rows = home_->binder().Transact(app->pid(), provider->value, "query",
+                                       std::move(query));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->ReadI32().value(), 3);  // the shipped contacts
+
+  // Insert a new contact and re-query by name.
+  Parcel insert;
+  insert.WriteString("Barbara Liskov");
+  ASSERT_TRUE(home_->binder().Transact(app->pid(), provider->value, "insert",
+                                       std::move(insert)).ok());
+  Parcel query2;
+  query2.WriteString("display_name");
+  query2.WriteString("Barbara Liskov");
+  auto found = home_->binder().Transact(app->pid(), provider->value, "query",
+                                        std::move(query2));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->ReadI32().value(), 1);
+
+  // Delete and verify.
+  Parcel del;
+  del.WriteString("display_name");
+  del.WriteString("Barbara Liskov");
+  auto deleted = home_->binder().Transact(app->pid(), provider->value,
+                                          "delete", std::move(del));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->ReadI32().value(), 1);
+}
+
+TEST_F(ExtensionsTest, UnknownAuthorityRejected) {
+  auto app = LaunchApp(*FindApp("Bible"));
+  Parcel acquire;
+  acquire.WriteString("nonexistent.authority");
+  auto reply = app->thread().CallService("content", "acquireProvider",
+                                         std::move(acquire));
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExtensionsTest, MigrationRefusedMidProviderInteraction) {
+  auto app = LaunchApp(*FindApp("Snapchat"));
+  // Acquire a provider connection and *hold* it across the migration
+  // attempt (the §3.4 case).
+  Parcel acquire;
+  acquire.WriteString("contacts");
+  auto reply = app->thread().CallService("content", "acquireProvider",
+                                         std::move(acquire));
+  ASSERT_TRUE(reply.ok());
+  auto provider = reply->ReadObject();
+  ASSERT_TRUE(provider.ok());
+
+  MigrationManager manager(*home_agent_, *guest_agent_);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), app->spec());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->success);
+  EXPECT_NE(report->refusal_reason.find("ContentProvider"),
+            std::string::npos);
+  EXPECT_NE(home_->kernel().FindProcess(app->pid()), nullptr);
+
+  // Releasing the connection makes the app migratable again.
+  ASSERT_TRUE(home_->binder().Transact(app->pid(), provider->value, "release",
+                                       Parcel()).ok());
+  ASSERT_TRUE(home_->binder().ReleaseHandle(app->pid(), provider->value).ok());
+  auto retry = manager.Migrate(RunningApp::FromInstance(*app), app->spec());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(retry->success) << retry->refusal_reason;
+}
+
+TEST_F(ExtensionsTest, ProviderConnectionCountTracksClients) {
+  auto app = LaunchApp(*FindApp("Twitter"));
+  EXPECT_EQ(home_->content_service().ConnectionCountOf(app->pid()), 0);
+  Parcel acquire;
+  acquire.WriteString("contacts");
+  auto reply = app->thread().CallService("content", "acquireProvider",
+                                         std::move(acquire));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(home_->content_service().ConnectionCountOf(app->pid()), 1);
+  auto provider = reply->ReadObject();
+  ASSERT_TRUE(home_->binder().Transact(app->pid(), provider->value, "release",
+                                       Parcel()).ok());
+  EXPECT_EQ(home_->content_service().ConnectionCountOf(app->pid()), 0);
+}
+
+// ----- multi-process migration (the §3.4 extension) -----
+
+TEST_F(ExtensionsTest, FacebookRefusedByDefaultButMigratesWithExtension) {
+  AppSpec spec = *FindApp("Facebook");
+  spec.heap_bytes = 512 * 1024;
+  auto app = LaunchApp(spec);
+  ASSERT_TRUE(app->RunWorkload(11).ok());
+  ASSERT_EQ(app->all_pids().size(), 2u);
+  const auto home_notes =
+      home_->notification_service().ActiveFor(app->uid()).size();
+
+  // Default config: refused exactly as in the paper.
+  {
+    MigrationManager manager(*home_agent_, *guest_agent_);
+    auto report = manager.Migrate(RunningApp::FromInstance(*app), spec);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->success);
+    EXPECT_NE(report->refusal_reason.find("multi-process"),
+              std::string::npos);
+  }
+
+  // With the process-tree extension: the whole app migrates.
+  MigrationConfig config;
+  config.enable_multiprocess = true;
+  MigrationManager manager(*home_agent_, *guest_agent_, config);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->success) << report->refusal_reason;
+
+  // Both processes exist on the guest inside one namespace, with their
+  // virtual pids preserved; both are gone at home.
+  ASSERT_EQ(report->migrated.all_pids.size(), 2u);
+  ASSERT_EQ(report->cria.processes, 2);
+  SimProcess* main_process =
+      guest_->kernel().FindProcess(report->migrated.all_pids[0]);
+  SimProcess* helper_process =
+      guest_->kernel().FindProcess(report->migrated.all_pids[1]);
+  ASSERT_NE(main_process, nullptr);
+  ASSERT_NE(helper_process, nullptr);
+  EXPECT_EQ(main_process->pid_namespace(), helper_process->pid_namespace());
+  EXPECT_EQ(main_process->virtual_pid(), app->all_pids()[0]);
+  EXPECT_EQ(helper_process->virtual_pid(), app->all_pids()[1]);
+  EXPECT_EQ(helper_process->name(), spec.package + ":remote");
+  for (const Pid pid : app->all_pids()) {
+    EXPECT_EQ(home_->kernel().FindProcess(pid), nullptr);
+  }
+  // Helper heap carried over.
+  EXPECT_NE(helper_process->address_space().FindByName("dalvik-heap"),
+            nullptr);
+  // Service state migrated as usual.
+  EXPECT_EQ(
+      guest_->notification_service().ActiveFor(report->migrated.uid).size(),
+      home_notes);
+}
+
+TEST_F(ExtensionsTest, MultiProcessImageLargerThanSingle) {
+  AppSpec spec = *FindApp("Facebook");
+  spec.heap_bytes = 2 * 1024 * 1024;
+  auto app = LaunchApp(spec);
+  MigrationConfig config;
+  config.enable_multiprocess = true;
+  MigrationManager manager(*home_agent_, *guest_agent_, config);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), spec);
+  ASSERT_TRUE(report.ok() && report->success) << report->refusal_reason;
+  // The image holds both heaps: the fixture trims the main heap to 256 KB,
+  // so the helper's fixed 4 MB heap dominates and proves the tree is in.
+  EXPECT_GT(report->cria.memory_bytes, 4u * 1024 * 1024);
+  EXPECT_EQ(report->cria.processes, 2);
+}
+
+// ----- post-copy transfer (the §4 optimization) -----
+
+TEST_F(ExtensionsTest, PostCopyCutsPerceivedTimeNotBytes) {
+  AppSpec spec = *FindApp("Pinterest");  // posts 2 notifications
+  spec.heap_bytes = 8 * 1024 * 1024;
+
+  auto baseline_app = LaunchApp(spec, /*heap_override=*/0);
+  ASSERT_TRUE(baseline_app->RunWorkload(31).ok());
+  MigrationManager baseline_manager(*home_agent_, *guest_agent_);
+  auto baseline =
+      baseline_manager.Migrate(RunningApp::FromInstance(*baseline_app), spec);
+  ASSERT_TRUE(baseline.ok() && baseline->success)
+      << baseline->refusal_reason;
+
+  AppSpec spec2 = spec;
+  spec2.package += ".postcopy";
+  auto postcopy_app = LaunchApp(spec2, /*heap_override=*/0);
+  ASSERT_TRUE(postcopy_app->RunWorkload(31).ok());
+  MigrationConfig config;
+  config.post_copy = true;
+  MigrationManager postcopy_manager(*home_agent_, *guest_agent_, config);
+  auto postcopy =
+      postcopy_manager.Migrate(RunningApp::FromInstance(*postcopy_app), spec2);
+  ASSERT_TRUE(postcopy.ok() && postcopy->success)
+      << postcopy->refusal_reason;
+
+  // The user sees the app much sooner...
+  EXPECT_LT(postcopy->UserPerceived(), baseline->UserPerceived() * 2 / 3);
+  // ...while the same bytes ultimately cross the wire...
+  EXPECT_NEAR(static_cast<double>(postcopy->total_wire_bytes),
+              static_cast<double>(baseline->total_wire_bytes),
+              static_cast<double>(baseline->total_wire_bytes) * 0.05);
+  // ...streaming in the background, partially hidden behind restore.
+  EXPECT_GT(postcopy->deferred_bytes, 0u);
+  EXPECT_GT(postcopy->background_transfer, 0);
+  EXPECT_LE(postcopy->background_tail, postcopy->background_transfer);
+  // State correctness is unaffected: both migrated copies carry their two
+  // posted notifications.
+  EXPECT_EQ(
+      guest_->notification_service().ActiveFor(postcopy->migrated.uid).size(),
+      2u);
+  EXPECT_EQ(
+      guest_->notification_service().ActiveFor(baseline->migrated.uid).size(),
+      2u);
+}
+
+TEST_F(ExtensionsTest, PostCopyFullFractionEquivalentToPreCopy) {
+  AppSpec spec = *FindApp("Bible");
+  spec.package += ".full";
+  auto app = LaunchApp(spec);
+  MigrationConfig config;
+  config.post_copy = true;
+  config.post_copy_priority_fraction = 1.0;
+  MigrationManager manager(*home_agent_, *guest_agent_, config);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), spec);
+  ASSERT_TRUE(report.ok() && report->success);
+  EXPECT_EQ(report->deferred_bytes, 0u);
+  EXPECT_EQ(report->background_tail, 0);
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,321 @@
+// Unit tests for the remaining Flux components: CallLog serialization,
+// Intents, HardwareSnapshot, FluxAgent bookkeeping, World composition, and
+// migration failure injection (missing pairing, unknown services, corrupt
+// payloads).
+#include <gtest/gtest.h>
+
+#include "src/apps/app_instance.h"
+#include "src/device/world.h"
+#include "src/flux/hardware_snapshot.h"
+#include "src/flux/migration.h"
+
+namespace flux {
+namespace {
+
+// ----- CallLog -----
+
+CallRecord MakeRecord(const std::string& method, int32_t id) {
+  CallRecord record;
+  record.time = 123;
+  record.service = "notification";
+  record.interface = "INotificationManager";
+  record.method = method;
+  record.node_id = 7;
+  record.args.WriteNamed("id", id);
+  return record;
+}
+
+TEST(CallLogTest, AppendAssignsMonotonicSequence) {
+  CallLog log;
+  log.Append(MakeRecord("a", 1));
+  log.Append(MakeRecord("b", 2));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_LT(log.entries()[0].seq, log.entries()[1].seq);
+}
+
+TEST(CallLogTest, RemoveIfCounts) {
+  CallLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.Append(MakeRecord("m", i));
+  }
+  const int removed = log.RemoveIf([](const CallRecord& r) {
+    return std::get<int32_t>(*r.args.FindNamed("id")) % 2 == 0;
+  });
+  EXPECT_EQ(removed, 3);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(CallLogTest, SerializeRoundTripPreservesEverything) {
+  CallLog log;
+  CallRecord record = MakeRecord("enqueueNotification", 9);
+  record.reply.WriteString("ok");
+  record.oneway = true;
+  log.Append(std::move(record));
+  log.Append(MakeRecord("cancelNotification", 9));
+
+  ArchiveWriter writer;
+  log.Serialize(writer);
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  auto copy = CallLog::Deserialize(reader);
+  ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+  ASSERT_EQ(copy->size(), 2u);
+  EXPECT_EQ(copy->entries()[0].method, "enqueueNotification");
+  EXPECT_EQ(copy->entries()[0].args, log.entries()[0].args);
+  EXPECT_EQ(copy->entries()[0].reply, log.entries()[0].reply);
+  EXPECT_TRUE(copy->entries()[0].oneway);
+  EXPECT_EQ(copy->entries()[1].seq, log.entries()[1].seq);
+
+  // Appending after deserialize continues the sequence.
+  copy->Append(MakeRecord("x", 1));
+  EXPECT_GT(copy->entries()[2].seq, copy->entries()[1].seq);
+}
+
+TEST(CallLogTest, CorruptStreamRejected) {
+  CallLog log;
+  log.Append(MakeRecord("m", 1));
+  ArchiveWriter writer;
+  log.Serialize(writer);
+  Bytes data = writer.TakeData();
+  data.resize(data.size() / 2);
+  ArchiveReader reader(ByteSpan(data.data(), data.size()));
+  EXPECT_FALSE(CallLog::Deserialize(reader).ok());
+}
+
+TEST(CallLogTest, WireSizeTracksContent) {
+  CallLog small;
+  small.Append(MakeRecord("m", 1));
+  CallLog large;
+  CallRecord record = MakeRecord("m", 1);
+  record.args.WriteString(std::string(4096, 'x'));
+  large.Append(std::move(record));
+  EXPECT_GT(large.WireSize(), small.WireSize());
+}
+
+// ----- Intent -----
+
+TEST(IntentTest, SerializeRoundTrip) {
+  Intent intent;
+  intent.action = "android.net.conn.CONNECTIVITY_CHANGE";
+  intent.target_package = "com.example";
+  intent.extras["connected"] = "true";
+  intent.extras["network"] = "campus-wifi";
+  const Intent copy = Intent::Deserialize(intent.Serialize());
+  EXPECT_EQ(copy, intent);
+}
+
+TEST(IntentTest, EmptyAndPartial) {
+  Intent empty;
+  EXPECT_EQ(Intent::Deserialize(empty.Serialize()), empty);
+  Intent action_only;
+  action_only.action = "x";
+  EXPECT_EQ(Intent::Deserialize(action_only.Serialize()), action_only);
+}
+
+TEST(IntentTest, PendingIntentTokenShape) {
+  const std::string token = MakePendingIntentToken("com.app", 3, "WAKE");
+  EXPECT_EQ(token, "com.app/3/WAKE");
+}
+
+// ----- HardwareSnapshot -----
+
+TEST(HardwareSnapshotTest, CaptureAndRoundTrip) {
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.002;
+  Device* device = world.AddDevice("dut", Nexus7_2012Profile(), boot).value();
+  const HardwareSnapshot hw =
+      HardwareSnapshot::FromContext(device->context());
+  EXPECT_EQ(hw.device_name, "dut");
+  EXPECT_EQ(hw.display_width, 1280);
+  EXPECT_TRUE(hw.wifi_connected);
+
+  ArchiveWriter writer;
+  hw.Serialize(writer);
+  ArchiveReader reader(ByteSpan(writer.data().data(), writer.data().size()));
+  auto copy = HardwareSnapshot::Deserialize(reader);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->device_name, hw.device_name);
+  EXPECT_EQ(copy->max_music_volume, hw.max_music_volume);
+  EXPECT_EQ(copy->has_gps, hw.has_gps);
+  EXPECT_EQ(copy->display_height, hw.display_height);
+}
+
+// ----- World -----
+
+TEST(WorldTest, DeviceNamesUnique) {
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.002;
+  ASSERT_TRUE(world.AddDevice("a", Nexus4Profile(), boot).ok());
+  EXPECT_EQ(world.AddDevice("a", Nexus4Profile(), boot).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(world.device_count(), 1u);
+  EXPECT_NE(world.FindDevice("a"), nullptr);
+  EXPECT_EQ(world.FindDevice("b"), nullptr);
+}
+
+TEST(WorldTest, SharedClockAcrossDevices) {
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.002;
+  Device* a = world.AddDevice("a", Nexus4Profile(), boot).value();
+  Device* b = world.AddDevice("b", Nexus7_2013Profile(), boot).value();
+  const SimTime before = a->clock().now();
+  world.AdvanceTime(Seconds(3));
+  EXPECT_EQ(a->clock().now(), before + static_cast<SimTime>(Seconds(3)));
+  EXPECT_EQ(&a->clock(), &b->clock());
+}
+
+TEST(WorldTest, LinkBetweenUsesRadios) {
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.002;
+  Device* fast = world.AddDevice("fast", Nexus4Profile(), boot).value();
+  Device* slow = world.AddDevice("slow", Nexus7_2012Profile(), boot).value();
+  const EffectiveLink link = world.LinkBetween(*fast, *slow);
+  EXPECT_EQ(link.band, WifiBand::k2_4GHz);
+}
+
+// ----- FluxAgent -----
+
+TEST(FluxAgentTest, PairRootIsPerHomeDevice) {
+  EXPECT_EQ(FluxAgent::PairRoot("phone"), "/data/flux/pair/phone");
+  EXPECT_NE(FluxAgent::PairRoot("a"), FluxAgent::PairRoot("b"));
+}
+
+TEST(FluxAgentTest, ManageUnmanageLifecycle) {
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.002;
+  Device* device = world.AddDevice("dut", Nexus4Profile(), boot).value();
+  FluxAgent agent(*device);
+  agent.Manage(500, "com.x");
+  EXPECT_TRUE(agent.recorder().IsTracked(500));
+  agent.Unmanage(500);
+  EXPECT_FALSE(agent.recorder().IsTracked(500));
+  EXPECT_FALSE(agent.IsPairedWith("other"));
+  agent.MarkPaired("other");
+  EXPECT_TRUE(agent.IsPairedWith("other"));
+}
+
+// ----- migration failure injection -----
+
+class MigrationFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.005;
+    home_ = world_.AddDevice("home", Nexus4Profile(), boot).value();
+    guest_ = world_.AddDevice("guest", Nexus7_2013Profile(), boot).value();
+    home_agent_ = std::make_unique<FluxAgent>(*home_);
+    guest_agent_ = std::make_unique<FluxAgent>(*guest_);
+  }
+
+  std::unique_ptr<AppInstance> LaunchSmall(const char* name) {
+    AppSpec spec = *FindApp(name);
+    spec.heap_bytes = 128 * 1024;
+    auto app = std::make_unique<AppInstance>(*home_, spec);
+    EXPECT_TRUE(app->Install().ok());
+    EXPECT_TRUE(app->Launch().ok());
+    home_agent_->Manage(app->pid(), spec.package);
+    return app;
+  }
+
+  World world_;
+  Device* home_ = nullptr;
+  Device* guest_ = nullptr;
+  std::unique_ptr<FluxAgent> home_agent_;
+  std::unique_ptr<FluxAgent> guest_agent_;
+};
+
+TEST_F(MigrationFailureTest, UnpairedDevicesRejected) {
+  auto app = LaunchSmall("Bible");
+  MigrationManager manager(*home_agent_, *guest_agent_);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), app->spec());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  // The app is untouched.
+  EXPECT_NE(home_->kernel().FindProcess(app->pid()), nullptr);
+}
+
+TEST_F(MigrationFailureTest, ApiLevelIncompatibilityRefused) {
+  ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  auto app = LaunchSmall("Bible");
+  ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, app->spec()).ok());
+  // The app demands a newer API than the guest's stack provides (§3.1).
+  PackageInfo updated = *home_->package_manager().Find(app->spec().package);
+  updated.min_api_level = guest_->context().api_level + 2;
+  ASSERT_TRUE(home_->package_manager().Install(std::move(updated)).ok());
+
+  MigrationManager manager(*home_agent_, *guest_agent_);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), app->spec());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->success);
+  EXPECT_NE(report->refusal_reason.find("API level"), std::string::npos);
+}
+
+TEST_F(MigrationFailureTest, UnmanagedAppCannotMigrate) {
+  ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  AppSpec spec = *FindApp("Bible");
+  spec.heap_bytes = 128 * 1024;
+  AppInstance app(*home_, spec);
+  ASSERT_TRUE(app.Install().ok());
+  ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, spec).ok());
+  ASSERT_TRUE(app.Launch().ok());
+  // Never Manage()d: there is no record log to migrate.
+  MigrationManager manager(*home_agent_, *guest_agent_);
+  auto report = manager.Migrate(RunningApp::FromInstance(app), spec);
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MigrationFailureTest, NetworkLossMidMigrationRollsBack) {
+  ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  auto app = LaunchSmall("Twitter");
+  ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, app->spec()).ok());
+  ASSERT_TRUE(app->RunWorkload(13).ok());
+  const size_t log_before = home_agent_->recorder().LogFor(app->pid())->size();
+
+  // The WiFi network drops right before the transfer stage.
+  world_.wifi().set_up(false);
+  MigrationManager manager(*home_agent_, *guest_agent_);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), app->spec());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
+
+  // Rollback: the app is alive at home, foregrounded, can draw, and keeps
+  // recording; nothing was restored on the guest.
+  ASSERT_NE(home_->kernel().FindProcess(app->pid()), nullptr);
+  const auto activities =
+      home_->activity_manager().ActivitiesOf(app->pid());
+  ASSERT_FALSE(activities.empty());
+  EXPECT_EQ(activities[0]->state, ActivityState::kResumed);
+  EXPECT_TRUE(app->thread().DrawFrame(app->main_token()).ok());
+  EXPECT_EQ(guest_->kernel().ProcessesOfUid(app->uid()).size(), 0u);
+
+  Parcel note;
+  note.WriteNamed("id", static_cast<int32_t>(55));
+  note.WriteNamed("notification", std::string("still home"));
+  ASSERT_TRUE(app->thread()
+                  .CallService("notification", "enqueueNotification",
+                               std::move(note))
+                  .ok());
+  EXPECT_EQ(home_agent_->recorder().LogFor(app->pid())->size(),
+            log_before + 1);
+
+  // Network returns: the retry succeeds.
+  world_.wifi().set_up(true);
+  auto retry = manager.Migrate(RunningApp::FromInstance(*app), app->spec());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(retry->success) << retry->refusal_reason;
+}
+
+TEST_F(MigrationFailureTest, WrongHomeAgentRejected) {
+  ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  auto app = LaunchSmall("Bible");
+  ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, app->spec()).ok());
+  // Swapped direction: the app runs on home_, not on guest_.
+  MigrationManager manager(*guest_agent_, *home_agent_);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app), app->spec());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,334 @@
+// Behavioural tests for the system services, exercised over real Binder
+// transactions on a booted device.
+#include <gtest/gtest.h>
+
+#include "src/device/world.h"
+
+namespace flux {
+namespace {
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.002;
+    auto device = world_.AddDevice("dut", Nexus7_2013Profile(), boot);
+    ASSERT_TRUE(device.ok()) << device.status().ToString();
+    device_ = device.value();
+    app_ = &device_->CreateAppProcess("com.test.app", 10050);
+  }
+
+  // Calls a service as the app process.
+  Result<Parcel> Call(std::string_view service, std::string_view method,
+                      Parcel args) {
+    FLUX_ASSIGN_OR_RETURN(
+        uint64_t handle,
+        device_->service_manager().GetServiceHandle(app_->pid(), service));
+    return device_->binder().Transact(app_->pid(), handle, method,
+                                      std::move(args));
+  }
+
+  World world_;
+  Device* device_ = nullptr;
+  SimProcess* app_ = nullptr;
+};
+
+TEST_F(ServicesTest, AllTable2ServicesRegistered) {
+  for (const char* name :
+       {"audio", "bluetooth", "camera", "connectivity", "country_detector",
+        "input_method", "input", "location", "power", "serial", "usb",
+        "vibrator", "wifi", "activity", "alarm", "clipboard", "keyguard",
+        "notification", "servicediscovery", "textservices", "uimode",
+        "sensorservice", "window", "package"}) {
+    EXPECT_TRUE(device_->service_manager().HasService(name)) << name;
+  }
+}
+
+TEST_F(ServicesTest, NotificationPostReplaceCancel) {
+  Parcel post;
+  post.WriteI32(5);
+  post.WriteString("first");
+  ASSERT_TRUE(Call("notification", "enqueueNotification", std::move(post)).ok());
+  EXPECT_EQ(device_->notification_service().ActiveFor(10050).size(), 1u);
+
+  Parcel repost;
+  repost.WriteI32(5);
+  repost.WriteString("second");
+  ASSERT_TRUE(
+      Call("notification", "enqueueNotification", std::move(repost)).ok());
+  auto active = device_->notification_service().ActiveFor(10050);
+  ASSERT_EQ(active.size(), 1u);  // replaced, not duplicated
+  EXPECT_EQ(active[0].content, "second");
+
+  Parcel cancel;
+  cancel.WriteI32(5);
+  ASSERT_TRUE(
+      Call("notification", "cancelNotification", std::move(cancel)).ok());
+  EXPECT_TRUE(device_->notification_service().ActiveFor(10050).empty());
+}
+
+TEST_F(ServicesTest, NotificationsIsolatedByUid) {
+  Parcel post;
+  post.WriteI32(1);
+  post.WriteString("mine");
+  ASSERT_TRUE(Call("notification", "enqueueNotification", std::move(post)).ok());
+  EXPECT_TRUE(device_->notification_service().ActiveFor(99999).empty());
+}
+
+TEST_F(ServicesTest, AlarmSetFireAndBroadcast) {
+  Parcel set;
+  set.WriteI32(0);
+  set.WriteI64(static_cast<int64_t>(device_->clock().now() + Seconds(5)));
+  set.WriteString("com.test.app/0/wake");
+  ASSERT_TRUE(Call("alarm", "set", std::move(set)).ok());
+  EXPECT_EQ(device_->alarm_service().pending_count(), 1u);
+
+  // Not due yet.
+  world_.AdvanceTime(Seconds(1));
+  EXPECT_EQ(device_->alarm_service().pending_count(), 1u);
+  // Due now.
+  world_.AdvanceTime(Seconds(5));
+  EXPECT_EQ(device_->alarm_service().pending_count(), 0u);
+}
+
+TEST_F(ServicesTest, AlarmRemoveCancels) {
+  Parcel set;
+  set.WriteI32(0);
+  set.WriteI64(static_cast<int64_t>(device_->clock().now() + Seconds(5)));
+  set.WriteString("op");
+  ASSERT_TRUE(Call("alarm", "set", std::move(set)).ok());
+  Parcel remove;
+  remove.WriteString("op");
+  ASSERT_TRUE(Call("alarm", "remove", std::move(remove)).ok());
+  EXPECT_EQ(device_->alarm_service().pending_count(), 0u);
+  world_.AdvanceTime(Seconds(10));  // nothing fires
+}
+
+TEST_F(ServicesTest, AlarmSetReplacesSameOperation) {
+  for (int i = 0; i < 3; ++i) {
+    Parcel set;
+    set.WriteI32(0);
+    set.WriteI64(static_cast<int64_t>(device_->clock().now() + Seconds(5 + i)));
+    set.WriteString("same-op");
+    ASSERT_TRUE(Call("alarm", "set", std::move(set)).ok());
+  }
+  EXPECT_EQ(device_->alarm_service().pending_count(), 1u);
+}
+
+TEST_F(ServicesTest, AudioVolumeClampedToRange) {
+  Parcel set;
+  set.WriteI32(kStreamMusic);
+  set.WriteI32(99);
+  set.WriteI32(0);
+  ASSERT_TRUE(Call("audio", "setStreamVolume", std::move(set)).ok());
+  EXPECT_EQ(device_->audio_service().StreamVolume(kStreamMusic),
+            device_->profile().max_music_volume);
+
+  Parcel get;
+  get.WriteI32(kStreamMusic);
+  auto reply = Call("audio", "getStreamVolume", std::move(get));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ReadI32().value(),
+            device_->profile().max_music_volume);
+}
+
+TEST_F(ServicesTest, AudioFocusTracksHolder) {
+  Parcel request;
+  request.WriteString("dispatcher");
+  request.WriteI32(kStreamMusic);
+  request.WriteNode(device_->binder().RegisterNode(
+      app_->pid(), nullptr));  // a dummy callback node
+  // A null-target node is fine as a token: it is never transacted on.
+  auto reply = Call("audio", "requestAudioFocus", std::move(request));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ReadI32().value(), 1);
+  EXPECT_NE(device_->audio_service().focus_holder(), 0u);
+}
+
+TEST_F(ServicesTest, WifiLocksAcquireRelease) {
+  const uint64_t token =
+      device_->binder().RegisterNode(app_->pid(), nullptr);
+  Parcel acquire;
+  acquire.WriteNode(token);
+  acquire.WriteI32(1);
+  acquire.WriteString("mylock");
+  ASSERT_TRUE(Call("wifi", "acquireWifiLock", std::move(acquire)).ok());
+  EXPECT_EQ(device_->wifi_service().lock_count(), 1u);
+  Parcel release;
+  release.WriteNode(token);
+  auto reply = Call("wifi", "releaseWifiLock", std::move(release));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->ReadBool().value());
+  EXPECT_EQ(device_->wifi_service().lock_count(), 0u);
+}
+
+TEST_F(ServicesTest, LocationGpsRejectedWithoutHardware) {
+  // Nexus 7 2013 has GPS; simulate a GPS-less device via context flag.
+  device_->context().has_gps = false;
+  const uint64_t listener =
+      device_->binder().RegisterNode(app_->pid(), nullptr);
+  Parcel request;
+  request.WriteString("gps");
+  request.WriteI64(1000);
+  request.WriteF64(5.0);
+  request.WriteNode(listener);
+  auto reply = Call("location", "requestLocationUpdates", std::move(request));
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+
+  Parcel network_request;
+  network_request.WriteString("network");
+  network_request.WriteI64(1000);
+  network_request.WriteF64(5.0);
+  network_request.WriteNode(listener);
+  EXPECT_TRUE(Call("location", "requestLocationUpdates",
+                   std::move(network_request)).ok());
+  EXPECT_EQ(device_->location_service().requests().size(), 1u);
+}
+
+TEST_F(ServicesTest, PowerWakeLockReachesKernelDriver) {
+  const uint64_t token =
+      device_->binder().RegisterNode(app_->pid(), nullptr);
+  Parcel acquire;
+  acquire.WriteNode(token);
+  acquire.WriteI32(1);
+  acquire.WriteString("app:wakelock");
+  acquire.WriteString("com.test.app");
+  ASSERT_TRUE(Call("power", "acquireWakeLock", std::move(acquire)).ok());
+  EXPECT_TRUE(device_->kernel().wakelocks().IsHeld("app:wakelock"));
+  Parcel release;
+  release.WriteNode(token);
+  release.WriteI32(0);
+  ASSERT_TRUE(Call("power", "releaseWakeLock", std::move(release)).ok());
+  EXPECT_FALSE(device_->kernel().wakelocks().AnyHeld());
+}
+
+TEST_F(ServicesTest, ClipboardRoundTrip) {
+  Parcel set;
+  set.WriteString("copied text");
+  ASSERT_TRUE(Call("clipboard", "setPrimaryClip", std::move(set)).ok());
+  Parcel get;
+  get.WriteString("com.test.app");
+  auto reply = Call("clipboard", "getPrimaryClip", std::move(get));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ReadString().value(), "copied text");
+}
+
+TEST_F(ServicesTest, VibratorCancelOnlyByOwner) {
+  const uint64_t mine = device_->binder().RegisterNode(app_->pid(), nullptr);
+  const uint64_t other = device_->binder().RegisterNode(app_->pid(), nullptr);
+  Parcel vibrate;
+  vibrate.WriteI64(500);
+  vibrate.WriteNode(mine);
+  ASSERT_TRUE(Call("vibrator", "vibrate", std::move(vibrate)).ok());
+  EXPECT_TRUE(device_->vibrator_service().vibrating());
+  Parcel wrong;
+  wrong.WriteNode(other);
+  ASSERT_TRUE(Call("vibrator", "cancelVibrate", std::move(wrong)).ok());
+  EXPECT_TRUE(device_->vibrator_service().vibrating());
+  Parcel right;
+  right.WriteNode(mine);
+  ASSERT_TRUE(Call("vibrator", "cancelVibrate", std::move(right)).ok());
+  EXPECT_FALSE(device_->vibrator_service().vibrating());
+}
+
+TEST_F(ServicesTest, CameraConnectAllocatesPmemAndRejectsDouble) {
+  Parcel connect;
+  connect.WriteNode(device_->binder().RegisterNode(app_->pid(), nullptr));
+  connect.WriteI32(0);
+  connect.WriteString("com.test.app");
+  ASSERT_TRUE(Call("camera", "connect", std::move(connect)).ok());
+  EXPECT_GT(device_->kernel().pmem().BytesOf(app_->pid()), 0u);
+
+  Parcel again;
+  again.WriteNode(device_->binder().RegisterNode(app_->pid(), nullptr));
+  again.WriteI32(0);
+  again.WriteString("com.test.app");
+  EXPECT_EQ(Call("camera", "connect", std::move(again)).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  Parcel disconnect;
+  disconnect.WriteI32(0);
+  ASSERT_TRUE(Call("camera", "disconnect", std::move(disconnect)).ok());
+  EXPECT_EQ(device_->kernel().pmem().BytesOf(app_->pid()), 0u);
+}
+
+TEST_F(ServicesTest, SensorConnectionLifecycle) {
+  auto reply = Call("sensorservice", "createSensorEventConnection", Parcel());
+  ASSERT_TRUE(reply.ok());
+  auto ref = reply->ReadObject();
+  ASSERT_TRUE(ref.ok());
+  Parcel enable;
+  enable.WriteI32(1);
+  ASSERT_TRUE(device_->binder().Transact(app_->pid(), ref->value,
+                                         "enableSensor",
+                                         std::move(enable)).ok());
+  auto channel = device_->binder().Transact(app_->pid(), ref->value,
+                                            "getSensorChannel", Parcel());
+  ASSERT_TRUE(channel.ok());
+  auto fd = channel->ReadFd();
+  ASSERT_TRUE(fd.ok());
+  auto socket = app_->LookupFd(*fd);
+  ASSERT_NE(socket, nullptr);
+  EXPECT_EQ(socket->kind(), FdKind::kUnixSocket);
+  EXPECT_EQ(device_->sensor_service().ConnectionsOf(app_->pid()).size(), 1u);
+}
+
+TEST_F(ServicesTest, UiModeAndKeyguard) {
+  Parcel night;
+  night.WriteI32(2);
+  ASSERT_TRUE(Call("uimode", "setNightMode", std::move(night)).ok());
+  auto reply = Call("uimode", "getNightMode", Parcel());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->ReadI32().value(), 2);
+
+  auto showing = Call("keyguard", "isShowing", Parcel());
+  ASSERT_TRUE(showing.ok());
+  EXPECT_FALSE(showing->ReadBool().value());
+}
+
+TEST_F(ServicesTest, PackageManagerPermissions) {
+  PackageInfo info;
+  info.package = "com.perm.app";
+  info.apk_path = "/data/app/p.apk";
+  info.permissions = {"android.permission.INTERNET"};
+  ASSERT_TRUE(device_->package_manager().Install(std::move(info)).ok());
+
+  Parcel check;
+  check.WriteString("android.permission.INTERNET");
+  check.WriteString("com.perm.app");
+  auto granted = Call("package", "checkPermission", std::move(check));
+  ASSERT_TRUE(granted.ok());
+  EXPECT_EQ(granted->ReadI32().value(), 0);
+
+  Parcel check2;
+  check2.WriteString("android.permission.CAMERA");
+  check2.WriteString("com.perm.app");
+  auto denied = Call("package", "checkPermission", std::move(check2));
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied->ReadI32().value(), -1);
+}
+
+TEST_F(ServicesTest, PseudoInstallDistinctFromNative) {
+  PackageInfo native;
+  native.package = "com.dual.app";
+  ASSERT_TRUE(device_->package_manager().Install(native).ok());
+  PackageInfo wrapper;
+  wrapper.package = "com.dual.app";
+  ASSERT_TRUE(
+      device_->package_manager().PseudoInstall(wrapper, "other-device").ok());
+  // Both exist: the wrapper got a distinct key (§3.4).
+  EXPECT_TRUE(device_->package_manager().IsInstalled("com.dual.app"));
+  EXPECT_TRUE(device_->package_manager().IsInstalled("com.dual.app:flux"));
+  EXPECT_TRUE(
+      device_->package_manager().Find("com.dual.app:flux")->pseudo_installed);
+}
+
+TEST_F(ServicesTest, UnsupportedMethodsReturnUnsupported) {
+  EXPECT_EQ(Call("notification", "noSuchMethod", Parcel()).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(Call("alarm", "noSuchMethod", Parcel()).status().code(),
+            StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,156 @@
+// Tests for the EGL/GPU runtime (the state-shedding substrate CRIA depends
+// on) and the WiFi network model (the transfer-time substrate).
+#include <gtest/gtest.h>
+
+#include "src/gpu/egl_runtime.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/net/network.h"
+
+namespace flux {
+namespace {
+
+class EglTest : public ::testing::Test {
+ protected:
+  EglTest()
+      : kernel_("3.4"),
+        egl_(&kernel_, VendorGlProfile{"adreno320", 14 << 20, 1.0, 1.0}) {
+    process_ = &kernel_.CreateProcess("app", 10001);
+  }
+
+  SimKernel kernel_;
+  EglRuntime egl_;
+  SimProcess* process_;
+};
+
+TEST_F(EglTest, CreateContextLoadsVendorLibrary) {
+  EXPECT_FALSE(egl_.VendorLibraryLoaded(process_->pid()));
+  auto context = egl_.CreateContext(process_->pid());
+  ASSERT_TRUE(context.ok());
+  EXPECT_TRUE(egl_.VendorLibraryLoaded(process_->pid()));
+  EXPECT_TRUE(
+      process_->address_space().HasKind(SegmentKind::kVendorLibrary));
+  EXPECT_EQ(egl_.ContextsOf(process_->pid()).size(), 1u);
+}
+
+TEST_F(EglTest, TextureUploadsConsumePmem) {
+  auto context = egl_.CreateContext(process_->pid());
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(egl_.UploadTexture(*context, 1 << 20).ok());
+  ASSERT_TRUE(egl_.AllocateVertexBuffer(*context, 1 << 19).ok());
+  EXPECT_EQ(egl_.GpuBytesOf(process_->pid()), (1u << 20) + (1u << 19));
+  EXPECT_EQ(kernel_.pmem().BytesOf(process_->pid()),
+            (1u << 20) + (1u << 19));
+  // Destroying the context frees the device memory.
+  ASSERT_TRUE(egl_.DestroyContext(*context).ok());
+  EXPECT_EQ(kernel_.pmem().BytesOf(process_->pid()), 0u);
+}
+
+TEST_F(EglTest, EglUnloadRefusedWhileContextsLive) {
+  auto context = egl_.CreateContext(process_->pid());
+  ASSERT_TRUE(context.ok());
+  EXPECT_EQ(egl_.EglUnload(process_->pid()).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(egl_.DestroyContext(*context).ok());
+  ASSERT_TRUE(egl_.EglUnload(process_->pid()).ok());
+  EXPECT_FALSE(egl_.VendorLibraryLoaded(process_->pid()));
+  EXPECT_FALSE(
+      process_->address_space().HasKind(SegmentKind::kVendorLibrary));
+  // Idempotent when nothing is mapped.
+  EXPECT_TRUE(egl_.EglUnload(process_->pid()).ok());
+}
+
+TEST_F(EglTest, PreservedContextSurvivesNonForcedDestroy) {
+  auto context = egl_.CreateContext(process_->pid());
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(egl_.SetPreserveOnPause(*context, true).ok());
+  EXPECT_TRUE(egl_.HasPreservedContext(process_->pid()));
+  EXPECT_EQ(egl_.DestroyContextsOf(process_->pid(), /*force=*/false), 0);
+  EXPECT_EQ(egl_.ContextsOf(process_->pid()).size(), 1u);
+  EXPECT_EQ(egl_.DestroyContextsOf(process_->pid(), /*force=*/true), 1);
+  EXPECT_FALSE(egl_.HasPreservedContext(process_->pid()));
+}
+
+TEST_F(EglTest, OnProcessExitCleansEverything) {
+  auto context = egl_.CreateContext(process_->pid());
+  ASSERT_TRUE(context.ok());
+  ASSERT_TRUE(egl_.UploadTexture(*context, 4096).ok());
+  egl_.OnProcessExit(process_->pid());
+  EXPECT_TRUE(egl_.ContextsOf(process_->pid()).empty());
+  EXPECT_FALSE(egl_.VendorLibraryLoaded(process_->pid()));
+  EXPECT_EQ(kernel_.pmem().BytesOf(process_->pid()), 0u);
+}
+
+TEST_F(EglTest, OperationsOnDeadContextFail) {
+  EXPECT_FALSE(egl_.UploadTexture(999, 1).ok());
+  EXPECT_FALSE(egl_.CompileShader(999).ok());
+  EXPECT_FALSE(egl_.DestroyContext(999).ok());
+  EXPECT_FALSE(egl_.SetPreserveOnPause(999, true).ok());
+}
+
+// ----- network -----
+
+TEST(WifiNetworkTest, DualBandPairPrefers5GHz) {
+  WifiNetwork wifi;
+  RadioProfile a{WifiStandard::k80211n, true, 150'000'000};
+  RadioProfile b{WifiStandard::k80211n, true, 150'000'000};
+  const EffectiveLink link = wifi.LinkBetween(a, b);
+  EXPECT_EQ(link.band, WifiBand::k5GHz);
+  EXPECT_GT(link.goodput_bps, 0u);
+}
+
+TEST(WifiNetworkTest, SingleBandEndpointForcesCongested24) {
+  WifiNetwork wifi;
+  RadioProfile dual{WifiStandard::k80211n, true, 150'000'000};
+  RadioProfile narrow{WifiStandard::k80211n, false, 72'000'000};
+  const EffectiveLink link = wifi.LinkBetween(dual, narrow);
+  EXPECT_EQ(link.band, WifiBand::k2_4GHz);
+  const EffectiveLink fast = wifi.LinkBetween(dual, dual);
+  EXPECT_LT(link.goodput_bps, fast.goodput_bps);
+}
+
+TEST(WifiNetworkTest, TransferTimeScalesWithBytes) {
+  WifiNetwork wifi;
+  RadioProfile radio{WifiStandard::k80211n, true, 150'000'000};
+  const EffectiveLink link = wifi.LinkBetween(radio, radio);
+  const SimDuration small = wifi.TransferTime(100 * 1024, link);
+  const SimDuration large = wifi.TransferTime(10 * 1024 * 1024, link);
+  EXPECT_GT(large, small);
+  // Latency floor: even one byte pays the handshake.
+  EXPECT_GE(wifi.TransferTime(1, link), link.latency);
+}
+
+TEST(WifiNetworkTest, TransferAdvancesClockAndCountsBytes) {
+  WifiNetwork wifi;
+  SimClock clock;
+  RadioProfile radio{WifiStandard::k80211n, true, 150'000'000};
+  const EffectiveLink link = wifi.LinkBetween(radio, radio);
+  wifi.Transfer(clock, 1024 * 1024, link);
+  EXPECT_GT(clock.now(), 0u);
+  EXPECT_EQ(wifi.total_bytes_carried(), 1024u * 1024u);
+}
+
+TEST(WifiNetworkTest, BandConditionsConfigurable) {
+  WifiNetwork wifi;
+  RadioProfile radio{WifiStandard::k80211n, true, 150'000'000};
+  const EffectiveLink before = wifi.LinkBetween(radio, radio);
+  wifi.SetBandConditions(WifiBand::k5GHz, BandConditions{0.01, Millis(100)});
+  const EffectiveLink after = wifi.LinkBetween(radio, radio);
+  EXPECT_LT(after.goodput_bps, before.goodput_bps);
+  EXPECT_EQ(after.latency, Millis(100));
+}
+
+TEST(WifiNetworkTest, PaperDevicePairGoodputOrdering) {
+  // N7(2012) pairs must see materially slower links than N4<->N7(2013):
+  // the transfer-dominance pattern of Figure 12 depends on this.
+  WifiNetwork wifi;
+  RadioProfile n4{WifiStandard::k80211n, true, 150'000'000};
+  RadioProfile n7_2012{WifiStandard::k80211n, false, 72'000'000};
+  RadioProfile n7_2013{WifiStandard::k80211n, true, 150'000'000};
+  const auto fast = wifi.LinkBetween(n4, n7_2013);
+  const auto slow = wifi.LinkBetween(n7_2012, n7_2013);
+  EXPECT_GT(static_cast<double>(fast.goodput_bps),
+            1.4 * static_cast<double>(slow.goodput_bps));
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,282 @@
+// Tests for the simulated kernel: processes, threads, fd tables (including
+// the reserve/dup2 dance CRIA and replay rely on), address spaces, PID
+// namespaces, and the Android drivers.
+#include <gtest/gtest.h>
+
+#include "src/base/synthetic_content.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace flux {
+namespace {
+
+TEST(SimKernelTest, CreateAndKillProcess) {
+  SimKernel kernel("3.4");
+  SimProcess& process = kernel.CreateProcess("com.example", 10001);
+  EXPECT_GT(process.pid(), 0);
+  EXPECT_EQ(process.uid(), 10001);
+  EXPECT_EQ(process.virtual_pid(), process.pid());
+  EXPECT_EQ(kernel.process_count(), 1u);
+  ASSERT_TRUE(kernel.KillProcess(process.pid()).ok());
+  EXPECT_EQ(kernel.process_count(), 0u);
+  EXPECT_FALSE(kernel.KillProcess(9999).ok());
+}
+
+TEST(SimKernelTest, ProcessesOfUid) {
+  SimKernel kernel("3.4");
+  SimProcess& a = kernel.CreateProcess("app", 10001);
+  kernel.CreateProcess("app:remote", 10001);
+  kernel.CreateProcess("other", 10002);
+  EXPECT_EQ(kernel.ProcessesOfUid(10001).size(), 2u);
+  EXPECT_EQ(kernel.ProcessesOfUid(10002).size(), 1u);
+  (void)a;
+}
+
+TEST(SimKernelTest, MainThreadSpawnedAutomatically) {
+  SimKernel kernel("3.1");
+  SimProcess& process = kernel.CreateProcess("app", 10001);
+  ASSERT_EQ(process.threads().size(), 1u);
+  EXPECT_EQ(process.threads()[0].name, "main");
+}
+
+TEST(SimProcessTest, ThreadLifecycle) {
+  SimKernel kernel("3.4");
+  SimProcess& process = kernel.CreateProcess("app", 10001);
+  const Tid binder_thread = process.SpawnThread("Binder_1");
+  const Tid render_thread = process.SpawnThread("RenderThread");
+  EXPECT_EQ(process.threads().size(), 3u);
+  EXPECT_NE(process.FindThread(render_thread), nullptr);
+  ASSERT_TRUE(process.KillThread(binder_thread).ok());
+  EXPECT_EQ(process.threads().size(), 2u);
+  EXPECT_FALSE(process.KillThread(binder_thread).ok());
+}
+
+TEST(SimProcessTest, FdInstallLookupClose) {
+  SimKernel kernel("3.4");
+  SimProcess& process = kernel.CreateProcess("app", 10001);
+  const Fd fd = process.InstallFd(
+      std::make_shared<RegularFileFd>("/data/file", 0, true));
+  EXPECT_GE(fd, 3);
+  auto object = process.LookupFd(fd);
+  ASSERT_NE(object, nullptr);
+  EXPECT_EQ(object->kind(), FdKind::kRegularFile);
+  ASSERT_TRUE(process.CloseFd(fd).ok());
+  EXPECT_EQ(process.LookupFd(fd), nullptr);
+  EXPECT_FALSE(process.CloseFd(fd).ok());
+}
+
+TEST(SimProcessTest, InstallAtSpecificFdAndConflicts) {
+  SimKernel kernel("3.4");
+  SimProcess& process = kernel.CreateProcess("app", 10001);
+  ASSERT_TRUE(
+      process.InstallFdAt(17, std::make_shared<LoggerFd>("main")).ok());
+  EXPECT_EQ(process.InstallFdAt(17, std::make_shared<LoggerFd>("main")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(process.InstallFdAt(-1, std::make_shared<LoggerFd>("m")).ok());
+}
+
+TEST(SimProcessTest, ReservedFdSkippedByAllocatorAndConsumed) {
+  SimKernel kernel("3.4");
+  SimProcess& process = kernel.CreateProcess("app", 10001);
+  ASSERT_TRUE(process.ReserveFd(3).ok());
+  ASSERT_TRUE(process.ReserveFd(4).ok());
+  EXPECT_TRUE(process.IsReservedFd(3));
+  const Fd fd = process.InstallFd(std::make_shared<BinderFd>());
+  EXPECT_GE(fd, 5);  // allocator skipped the reserved slots
+  // Installing at the reserved slot consumes the reservation.
+  ASSERT_TRUE(process.InstallFdAt(3, std::make_shared<BinderFd>()).ok());
+  EXPECT_FALSE(process.IsReservedFd(3));
+}
+
+TEST(SimProcessTest, Dup2ReplacesTarget) {
+  SimKernel kernel("3.4");
+  SimProcess& process = kernel.CreateProcess("app", 10001);
+  const Fd source = process.InstallFd(
+      std::make_shared<UnixSocketFd>("sensor_channel:1", 1));
+  ASSERT_TRUE(process.ReserveFd(40).ok());
+  ASSERT_TRUE(process.DupFd(source, 40).ok());
+  EXPECT_FALSE(process.IsReservedFd(40));
+  EXPECT_EQ(process.LookupFd(40), process.LookupFd(source));
+  EXPECT_FALSE(process.DupFd(999, 41).ok());
+}
+
+TEST(AddressSpaceTest, MapUnmapAndAccounting) {
+  AddressSpace space;
+  MemorySegment heap;
+  heap.name = "dalvik-heap";
+  heap.kind = SegmentKind::kAnonPrivate;
+  heap.content = GenerateContent(1, 8192, 0.5);
+  const uint64_t heap_start = space.Map(std::move(heap));
+
+  MemorySegment lib;
+  lib.name = "/system/lib/libc.so";
+  lib.kind = SegmentKind::kFileBackedRo;
+  lib.mapped_size = 65536;
+  lib.backing_path = "/system/lib/libc.so";
+  space.Map(std::move(lib));
+
+  EXPECT_EQ(space.segments().size(), 2u);
+  EXPECT_EQ(space.TotalMapped(), 8192u + 65536u);
+  EXPECT_EQ(space.CheckpointableBytes(), 8192u);  // only the heap content
+  EXPECT_NE(space.FindByName("dalvik-heap"), nullptr);
+  ASSERT_TRUE(space.Unmap(heap_start).ok());
+  EXPECT_EQ(space.segments().size(), 1u);
+  EXPECT_FALSE(space.Unmap(heap_start).ok());
+}
+
+TEST(AddressSpaceTest, SegmentsGetDistinctAddresses) {
+  AddressSpace space;
+  MemorySegment a;
+  a.name = "a";
+  a.content = GenerateContent(1, 4096, 0.5);
+  MemorySegment b;
+  b.name = "b";
+  b.content = GenerateContent(2, 4096, 0.5);
+  const uint64_t start_a = space.Map(std::move(a));
+  const uint64_t start_b = space.Map(std::move(b));
+  EXPECT_NE(start_a, start_b);
+  EXPECT_GE(start_b, start_a + 4096);
+}
+
+TEST(AddressSpaceTest, UnmapAllOfKind) {
+  AddressSpace space;
+  for (int i = 0; i < 3; ++i) {
+    MemorySegment vendor;
+    vendor.name = "vendor" + std::to_string(i);
+    vendor.kind = SegmentKind::kVendorLibrary;
+    vendor.mapped_size = 4096;
+    space.Map(std::move(vendor));
+  }
+  MemorySegment heap;
+  heap.name = "heap";
+  heap.kind = SegmentKind::kAnonPrivate;
+  heap.content = GenerateContent(3, 4096, 0.5);
+  space.Map(std::move(heap));
+  EXPECT_TRUE(space.HasKind(SegmentKind::kVendorLibrary));
+  EXPECT_EQ(space.UnmapAllOfKind(SegmentKind::kVendorLibrary), 3);
+  EXPECT_FALSE(space.HasKind(SegmentKind::kVendorLibrary));
+  EXPECT_TRUE(space.HasKind(SegmentKind::kAnonPrivate));
+}
+
+TEST(PidNamespaceTest, VirtualPidsPreserved) {
+  SimKernel kernel("3.4");
+  const int ns = kernel.CreatePidNamespace();
+  auto process = kernel.CreateProcessInNamespace("restored", 10001, ns, 1234);
+  ASSERT_TRUE(process.ok());
+  EXPECT_EQ((*process)->virtual_pid(), 1234);
+  EXPECT_NE((*process)->pid(), 1234);  // real pid differs
+  // The same virtual pid cannot be taken twice in one namespace...
+  EXPECT_FALSE(
+      kernel.CreateProcessInNamespace("again", 10002, ns, 1234).ok());
+  // ...but is free in another namespace.
+  const int other_ns = kernel.CreatePidNamespace();
+  EXPECT_TRUE(
+      kernel.CreateProcessInNamespace("other", 10003, other_ns, 1234).ok());
+}
+
+TEST(PidNamespaceTest, KillFreesVirtualPid) {
+  SimKernel kernel("3.4");
+  const int ns = kernel.CreatePidNamespace();
+  auto process = kernel.CreateProcessInNamespace("restored", 10001, ns, 7);
+  ASSERT_TRUE(process.ok());
+  ASSERT_TRUE(kernel.KillProcess((*process)->pid()).ok());
+  EXPECT_TRUE(kernel.CreateProcessInNamespace("again", 10001, ns, 7).ok());
+}
+
+TEST(PidNamespaceTest, InvalidNamespaceRejected) {
+  SimKernel kernel("3.4");
+  EXPECT_FALSE(kernel.CreateProcessInNamespace("x", 10001, 99, 1).ok());
+}
+
+// ----- drivers -----
+
+TEST(LoggerDriverTest, AppendAndBound) {
+  LoggerDriver logger(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    logger.Append("main", LogEntry{0, 100, "tag", "msg" + std::to_string(i)});
+  }
+  const auto& buffer = logger.buffer("main");
+  ASSERT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.front().message, "msg2");  // oldest two evicted
+  EXPECT_EQ(logger.TotalEntries(), 3u);
+  EXPECT_TRUE(logger.buffer("radio").empty());
+}
+
+TEST(AshmemDriverTest, RegionLifecycle) {
+  AshmemDriver ashmem;
+  const uint64_t id = ashmem.CreateRegion(100, "dalvik-bitmap", 4096);
+  EXPECT_EQ(ashmem.BytesOf(100), 4096u);
+  EXPECT_EQ(ashmem.RegionsOf(100).size(), 1u);
+  ASSERT_NE(ashmem.FindRegion(id), nullptr);
+  EXPECT_EQ(ashmem.FindRegion(id)->name, "dalvik-bitmap");
+  ASSERT_TRUE(ashmem.ReleaseRegion(id).ok());
+  EXPECT_FALSE(ashmem.ReleaseRegion(id).ok());
+  EXPECT_EQ(ashmem.BytesOf(100), 0u);
+}
+
+TEST(PmemDriverTest, PoolAccountingAndExhaustion) {
+  PmemDriver pmem(/*pool_size=*/10000);
+  auto a = pmem.Allocate(100, 6000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pmem.bytes_in_use(), 6000u);
+  auto b = pmem.Allocate(101, 6000);
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(pmem.Free(*a).ok());
+  EXPECT_EQ(pmem.bytes_in_use(), 0u);
+  EXPECT_FALSE(pmem.Free(*a).ok());
+}
+
+TEST(PmemDriverTest, FreeAllOfPid) {
+  PmemDriver pmem(100000);
+  ASSERT_TRUE(pmem.Allocate(100, 1000).ok());
+  ASSERT_TRUE(pmem.Allocate(100, 2000).ok());
+  ASSERT_TRUE(pmem.Allocate(200, 4000).ok());
+  EXPECT_EQ(pmem.BytesOf(100), 3000u);
+  pmem.FreeAllOf(100);
+  EXPECT_EQ(pmem.BytesOf(100), 0u);
+  EXPECT_EQ(pmem.BytesOf(200), 4000u);
+}
+
+TEST(WakelockDriverTest, AcquireReleaseSemantics) {
+  WakelockDriver wakelocks;
+  EXPECT_FALSE(wakelocks.AnyHeld());
+  wakelocks.Acquire("audio", 100);
+  wakelocks.Acquire("audio", 101);
+  EXPECT_TRUE(wakelocks.IsHeld("audio"));
+  ASSERT_TRUE(wakelocks.Release("audio", 100).ok());
+  EXPECT_TRUE(wakelocks.IsHeld("audio"));  // second holder remains
+  ASSERT_TRUE(wakelocks.Release("audio", 101).ok());
+  EXPECT_FALSE(wakelocks.AnyHeld());
+  EXPECT_FALSE(wakelocks.Release("audio", 101).ok());
+}
+
+TEST(WakelockDriverTest, LocksHeldBy) {
+  WakelockDriver wakelocks;
+  wakelocks.Acquire("a", 100);
+  wakelocks.Acquire("b", 100);
+  wakelocks.Acquire("c", 200);
+  EXPECT_EQ(wakelocks.LocksHeldBy(100).size(), 2u);
+  EXPECT_EQ(wakelocks.LocksHeldBy(300).size(), 0u);
+}
+
+TEST(AlarmDriverTest, FireDueInOrder) {
+  AlarmDriver alarms;
+  alarms.SetAlarm(3000, "late");
+  alarms.SetAlarm(1000, "early");
+  alarms.SetAlarm(9000, "future");
+  const auto due = alarms.FireDue(5000);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].cookie, "early");
+  EXPECT_EQ(due[1].cookie, "late");
+  EXPECT_EQ(alarms.pending().size(), 1u);
+}
+
+TEST(AlarmDriverTest, CancelPreventsFiring) {
+  AlarmDriver alarms;
+  const uint64_t id = alarms.SetAlarm(1000, "x");
+  ASSERT_TRUE(alarms.CancelAlarm(id).ok());
+  EXPECT_FALSE(alarms.CancelAlarm(id).ok());
+  EXPECT_TRUE(alarms.FireDue(5000).empty());
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,184 @@
+// Activity lifecycle and GPU-state-shedding tests: the Resumed -> Paused ->
+// Stopped transitions, the task idler, the trim-memory cascade (§3.3), and
+// conditional reinitialization after shedding.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_instance.h"
+#include "src/device/world.h"
+
+namespace flux {
+namespace {
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.002;
+    auto device = world_.AddDevice("dut", Nexus4Profile(), boot);
+    ASSERT_TRUE(device.ok()) << device.status().ToString();
+    device_ = device.value();
+    AppSpec spec = *FindApp("Netflix");
+    app_ = std::make_unique<AppInstance>(*device_, spec);
+    ASSERT_TRUE(app_->Launch().ok());
+  }
+
+  const ActivityRecord* Record() {
+    auto activities = device_->activity_manager().ActivitiesOf(app_->pid());
+    return activities.empty() ? nullptr : activities[0];
+  }
+
+  World world_;
+  Device* device_ = nullptr;
+  std::unique_ptr<AppInstance> app_;
+};
+
+TEST_F(LifecycleTest, LaunchCreatesResumedActivityWithSurface) {
+  const ActivityRecord* record = Record();
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, ActivityState::kResumed);
+  const WindowRecord* window =
+      device_->window_manager().FindWindow(record->token);
+  ASSERT_NE(window, nullptr);
+  EXPECT_TRUE(window->surface.has_value());
+  EXPECT_EQ(window->surface->width, device_->profile().display.width_px);
+}
+
+TEST_F(LifecycleTest, BackgroundPausesThenIdlerStops) {
+  ASSERT_TRUE(
+      device_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+  EXPECT_EQ(Record()->state, ActivityState::kPaused);
+  // Too early for the idler.
+  device_->activity_manager().RunTaskIdler();
+  EXPECT_EQ(Record()->state, ActivityState::kPaused);
+  // After the idle delay the activity stops and loses its surface.
+  world_.AdvanceTime(device_->activity_manager().idle_stop_delay() +
+                     Millis(1));
+  EXPECT_EQ(Record()->state, ActivityState::kStopped);
+  EXPECT_FALSE(device_->window_manager()
+                   .FindWindow(Record()->token)
+                   ->surface.has_value());
+}
+
+TEST_F(LifecycleTest, ForegroundRestoresSurfaceAndResumed) {
+  ASSERT_TRUE(
+      device_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+  world_.AdvanceTime(Seconds(2));
+  ASSERT_EQ(Record()->state, ActivityState::kStopped);
+  ASSERT_TRUE(
+      device_->activity_manager().BringAppToForeground(app_->pid()).ok());
+  EXPECT_EQ(Record()->state, ActivityState::kResumed);
+  EXPECT_TRUE(device_->window_manager()
+                  .FindWindow(Record()->token)
+                  ->surface.has_value());
+}
+
+TEST_F(LifecycleTest, TrimMemoryCascadeShedsAllGraphicsState) {
+  // After launch the renderer is live: GL context + pmem + vendor library.
+  EXPECT_TRUE(app_->thread().renderer().initialized);
+  EXPECT_FALSE(device_->egl().ContextsOf(app_->pid()).empty());
+  EXPECT_TRUE(device_->egl().VendorLibraryLoaded(app_->pid()));
+
+  // Background + idler (frees the surface) ...
+  ASSERT_TRUE(
+      device_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+  world_.AdvanceTime(Seconds(2));
+  // ... trim at the highest severity (destroys contexts + caches) ...
+  ASSERT_TRUE(device_->activity_manager()
+                  .RequestTrimMemory(app_->pid(), kTrimMemoryComplete)
+                  .ok());
+  EXPECT_FALSE(app_->thread().renderer().initialized);
+  EXPECT_TRUE(device_->egl().ContextsOf(app_->pid()).empty());
+  EXPECT_EQ(device_->kernel().pmem().BytesOf(app_->pid()), 0u);
+  EXPECT_FALSE(app_->thread().HasLiveGraphicsState());
+  // ... and eglUnload removes the vendor library mapping.
+  ASSERT_TRUE(device_->egl().EglUnload(app_->pid()).ok());
+  EXPECT_FALSE(device_->egl().VendorLibraryLoaded(app_->pid()));
+}
+
+TEST_F(LifecycleTest, PartialTrimOnlyDropsCaches) {
+  ASSERT_TRUE(
+      device_->activity_manager().RequestTrimMemory(app_->pid(), 20).ok());
+  EXPECT_TRUE(app_->thread().renderer().initialized);
+  EXPECT_EQ(app_->thread().renderer().cache_bytes, 0u);
+}
+
+TEST_F(LifecycleTest, ConditionalReinitializationAfterShedding) {
+  ASSERT_TRUE(
+      device_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+  world_.AdvanceTime(Seconds(2));
+  ASSERT_TRUE(device_->activity_manager()
+                  .RequestTrimMemory(app_->pid(), kTrimMemoryComplete)
+                  .ok());
+  ASSERT_TRUE(device_->egl().EglUnload(app_->pid()).ok());
+
+  // Bringing the app back and drawing reinitializes everything on demand.
+  ASSERT_TRUE(
+      device_->activity_manager().BringAppToForeground(app_->pid()).ok());
+  ASSERT_TRUE(app_->thread().DrawFrame(app_->main_token()).ok());
+  EXPECT_TRUE(app_->thread().renderer().initialized);
+  EXPECT_TRUE(device_->egl().VendorLibraryLoaded(app_->pid()));
+  EXPECT_GT(device_->egl().GpuBytesOf(app_->pid()), 0u);
+}
+
+TEST_F(LifecycleTest, DrawWhileInvisibleFails) {
+  ASSERT_TRUE(
+      device_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+  EXPECT_EQ(app_->thread().DrawFrame(app_->main_token()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LifecycleTest, PreserveEglBlocksShedding) {
+  ASSERT_TRUE(app_->thread().SetPreserveEglContextOnPause(true).ok());
+  ASSERT_TRUE(
+      device_->activity_manager().MoveAppToBackground(app_->pid()).ok());
+  world_.AdvanceTime(Seconds(2));
+  ASSERT_TRUE(device_->activity_manager()
+                  .RequestTrimMemory(app_->pid(), kTrimMemoryComplete)
+                  .ok());
+  // The preserved context survives the cascade; eglUnload must refuse.
+  EXPECT_FALSE(device_->egl().ContextsOf(app_->pid()).empty());
+  EXPECT_EQ(device_->egl().EglUnload(app_->pid()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LifecycleTest, BroadcastReachesOnlyMatchingReceivers) {
+  ASSERT_TRUE(app_->thread().RegisterReceiver("custom.ACTION").ok());
+  Intent match;
+  match.action = "custom.ACTION";
+  Intent other;
+  other.action = "other.ACTION";
+  EXPECT_EQ(device_->activity_manager().BroadcastIntent(match), 1);
+  EXPECT_EQ(device_->activity_manager().BroadcastIntent(other), 0);
+  ASSERT_EQ(app_->thread().inbox().size(), 1u);
+  EXPECT_EQ(app_->thread().inbox()[0].action, "custom.ACTION");
+}
+
+TEST_F(LifecycleTest, UnregisterStopsDelivery) {
+  ASSERT_TRUE(app_->thread().RegisterReceiver("x.ACTION").ok());
+  ASSERT_TRUE(app_->thread().UnregisterReceiver("x.ACTION").ok());
+  Intent intent;
+  intent.action = "x.ACTION";
+  EXPECT_EQ(device_->activity_manager().BroadcastIntent(intent), 0);
+  EXPECT_FALSE(app_->thread().UnregisterReceiver("x.ACTION").ok());
+}
+
+TEST_F(LifecycleTest, KillAppProcessTearsDownEverything) {
+  const Pid pid = app_->pid();
+  const std::string token = app_->main_token();
+  ASSERT_TRUE(device_->KillAppProcess(pid).ok());
+  EXPECT_EQ(device_->kernel().FindProcess(pid), nullptr);
+  EXPECT_TRUE(device_->activity_manager().ActivitiesOf(pid).empty());
+  EXPECT_EQ(device_->window_manager().FindWindow(token), nullptr);
+  EXPECT_TRUE(device_->egl().ContextsOf(pid).empty());
+  EXPECT_EQ(device_->kernel().pmem().BytesOf(pid), 0u);
+}
+
+TEST_F(LifecycleTest, DeviceBootIdempotenceAndMetadata) {
+  EXPECT_TRUE(device_->booted());
+  EXPECT_EQ(device_->kernel().version(), "3.4");
+  EXPECT_TRUE(device_->filesystem().IsDirectory("/system/framework"));
+  EXPECT_TRUE(device_->filesystem().IsFile("/system/framework/core.jar"));
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,187 @@
+// Parameterized migration tests across the paper's four device combinations
+// (§4), plus round-trip (migrate back home) and pipeline ablations.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_instance.h"
+#include "src/base/strings.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+namespace flux {
+namespace {
+
+struct DevicePair {
+  const char* name;
+  DeviceProfile (*home)();
+  DeviceProfile (*guest)();
+};
+
+// The paper's four combinations (§4).
+const DevicePair kPairs[] = {
+    {"n7_2013_to_n7_2013", &Nexus7_2013Profile, &Nexus7_2013Profile},
+    {"n4_to_n7_2013", &Nexus4Profile, &Nexus7_2013Profile},
+    {"n7_to_n7_2013", &Nexus7_2012Profile, &Nexus7_2013Profile},
+    {"n7_to_n4", &Nexus7_2012Profile, &Nexus4Profile},
+};
+
+class MigrationMatrixTest : public ::testing::TestWithParam<DevicePair> {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.005;
+    home_ = world_.AddDevice("home", GetParam().home(), boot).value();
+    guest_ = world_.AddDevice("guest", GetParam().guest(), boot).value();
+    home_agent_ = std::make_unique<FluxAgent>(*home_);
+    guest_agent_ = std::make_unique<FluxAgent>(*guest_);
+    ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+    ASSERT_TRUE(PairDevices(*guest_agent_, *home_agent_).ok());
+  }
+
+  World world_;
+  Device* home_ = nullptr;
+  Device* guest_ = nullptr;
+  std::unique_ptr<FluxAgent> home_agent_;
+  std::unique_ptr<FluxAgent> guest_agent_;
+};
+
+TEST_P(MigrationMatrixTest, RepresentativeAppMigrates) {
+  AppSpec spec = *FindApp("Twitter");
+  spec.heap_bytes = 512 * 1024;  // trim for test speed; benches use full size
+  AppInstance app(*home_, spec);
+  ASSERT_TRUE(app.Install().ok());
+  ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, spec).ok());
+  ASSERT_TRUE(app.Launch().ok());
+  home_agent_->Manage(app.pid(), spec.package);
+  ASSERT_TRUE(app.RunWorkload(17).ok());
+  const auto home_notes =
+      home_->notification_service().ActiveFor(app.uid()).size();
+
+  MigrationManager manager(*home_agent_, *guest_agent_);
+  auto report = manager.Migrate(RunningApp::FromInstance(app), spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->success) << report->refusal_reason;
+
+  // App state carried across heterogeneous hardware and kernels.
+  EXPECT_EQ(
+      guest_->notification_service().ActiveFor(report->migrated.uid).size(),
+      home_notes);
+  // Stage ordering is sane and the breakdown covers the total.
+  EXPECT_LE(report->prepare.end, report->checkpoint.begin);
+  EXPECT_LE(report->checkpoint.end, report->transfer.begin);
+  EXPECT_LE(report->transfer.end, report->restore.begin);
+  EXPECT_LE(report->restore.end, report->reintegrate.begin);
+  EXPECT_GT(report->Total(), 0);
+  EXPECT_GT(report->image_compressed_bytes, 0u);
+  EXPECT_LT(report->image_compressed_bytes, report->image_raw_bytes);
+}
+
+TEST_P(MigrationMatrixTest, MigrateBackHomeRestoresState) {
+  AppSpec spec = *FindApp("Bible");
+  spec.heap_bytes = 256 * 1024;
+  AppInstance app(*home_, spec);
+  ASSERT_TRUE(app.Install().ok());
+  ASSERT_TRUE(PairApp(*home_agent_, *guest_agent_, spec).ok());
+  ASSERT_TRUE(app.Launch().ok());
+  home_agent_->Manage(app.pid(), spec.package);
+  ASSERT_TRUE(app.RunWorkload(23).ok());
+
+  MigrationManager out(*home_agent_, *guest_agent_);
+  auto to_guest = out.Migrate(RunningApp::FromInstance(app), spec);
+  ASSERT_TRUE(to_guest.ok()) << to_guest.status().ToString();
+  ASSERT_TRUE(to_guest->success) << to_guest->refusal_reason;
+
+  // Use the app on the guest: post one more notification.
+  Parcel note;
+  note.WriteNamed("id", static_cast<int32_t>(777));
+  note.WriteNamed("notification", std::string("written on guest"));
+  ASSERT_TRUE(to_guest->migrated.thread
+                  ->CallService("notification", "enqueueNotification",
+                                std::move(note))
+                  .ok());
+
+  // Migrate back to the home device (resolving the state inconsistency,
+  // §3.4): the guest-side edit must survive.
+  MigrationManager back(*guest_agent_, *home_agent_);
+  auto to_home = back.Migrate(to_guest->migrated, spec);
+  ASSERT_TRUE(to_home.ok()) << to_home.status().ToString();
+  ASSERT_TRUE(to_home->success) << to_home->refusal_reason;
+  EXPECT_EQ(to_home->migrated.device, home_);
+
+  bool found = false;
+  for (const auto& n :
+       home_->notification_service().ActiveFor(to_home->migrated.uid)) {
+    if (n.content == "written on guest") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicePairs, MigrationMatrixTest, ::testing::ValuesIn(kPairs),
+    [](const ::testing::TestParamInfo<DevicePair>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+// ----- ablations -----
+
+class AblationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.005;
+    home_ = world_.AddDevice("home", Nexus4Profile(), boot).value();
+    guest_ = world_.AddDevice("guest", Nexus7_2013Profile(), boot).value();
+    home_agent_ = std::make_unique<FluxAgent>(*home_);
+    guest_agent_ = std::make_unique<FluxAgent>(*guest_);
+    ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  }
+
+  Result<MigrationReport> RunOne(const MigrationConfig& config,
+                                 uint64_t seed) {
+    AppSpec spec = *FindApp("Pinterest");
+    spec.heap_bytes = 2 * 1024 * 1024;
+    spec.workload.wifi_queries = 6;  // read-only calls: only full record logs them
+    spec.package += StrFormat(".s%llu", static_cast<unsigned long long>(seed));
+    AppInstance app(*home_, spec);
+    FLUX_RETURN_IF_ERROR(app.Install());
+    FLUX_ASSIGN_OR_RETURN(auto wire, PairApp(*home_agent_, *guest_agent_, spec));
+    (void)wire;
+    FLUX_RETURN_IF_ERROR(app.Launch());
+    home_agent_->Manage(app.pid(), spec.package);
+    FLUX_RETURN_IF_ERROR(app.RunWorkload(seed));
+    MigrationManager manager(*home_agent_, *guest_agent_, config);
+    return manager.Migrate(RunningApp::FromInstance(app), spec);
+  }
+
+  World world_;
+  Device* home_ = nullptr;
+  Device* guest_ = nullptr;
+  std::unique_ptr<FluxAgent> home_agent_;
+  std::unique_ptr<FluxAgent> guest_agent_;
+};
+
+TEST_F(AblationTest, CompressionShrinksTransfer) {
+  MigrationConfig with;
+  auto compressed = RunOne(with, 1);
+  ASSERT_TRUE(compressed.ok() && compressed->success);
+  MigrationConfig without;
+  without.compress_image = false;
+  auto raw = RunOne(without, 2);
+  ASSERT_TRUE(raw.ok() && raw->success);
+  EXPECT_LT(compressed->image_compressed_bytes, raw->image_compressed_bytes);
+  EXPECT_LT(compressed->total_wire_bytes, raw->total_wire_bytes);
+}
+
+TEST_F(AblationTest, FullRecordInflatesLog) {
+  home_agent_->recorder().set_full_record_mode(true);
+  auto full = RunOne(MigrationConfig{}, 3);
+  ASSERT_TRUE(full.ok() && full->success);
+  home_agent_->recorder().set_full_record_mode(false);
+  auto selective = RunOne(MigrationConfig{}, 4);
+  ASSERT_TRUE(selective.ok() && selective->success);
+  EXPECT_GT(full->log_bytes, selective->log_bytes);
+}
+
+}  // namespace
+}  // namespace flux

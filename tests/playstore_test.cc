@@ -1,0 +1,111 @@
+// Tests for the Play-store catalog model (Figure 17) and the Table 3 app
+// specs.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_spec.h"
+#include "src/base/bytes.h"
+#include "src/playstore/catalog.h"
+
+namespace flux {
+namespace {
+
+TEST(PlayStoreCatalogTest, Deterministic) {
+  PlayStoreCatalog a(10000, 7);
+  PlayStoreCatalog b(10000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); i += 997) {
+    EXPECT_EQ(a.apps()[i].install_size, b.apps()[i].install_size);
+  }
+  EXPECT_EQ(a.preserve_egl_count(), b.preserve_egl_count());
+}
+
+TEST(PlayStoreCatalogTest, PaperQuantilesReproduce) {
+  PlayStoreCatalog catalog(100000);
+  // 60% of apps < 1 MB, 90% < 10 MB (§4).
+  EXPECT_NEAR(catalog.FractionBelow(1 << 20), 0.60, 0.02);
+  EXPECT_NEAR(catalog.FractionBelow(10 << 20), 0.90, 0.02);
+}
+
+TEST(PlayStoreCatalogTest, PreserveEglRateMatchesPaper) {
+  PlayStoreCatalog catalog(PlayStoreCatalog::kPaperAppCount);
+  // 3,300 of 488,259 (~0.68%).
+  const double expected = static_cast<double>(
+                              PlayStoreCatalog::kPaperPreserveEglCount) /
+                          PlayStoreCatalog::kPaperAppCount;
+  EXPECT_NEAR(catalog.preserve_egl_fraction(), expected, expected * 0.25);
+  // That is: the vast majority of Play apps are migratable by Flux.
+  EXPECT_LT(catalog.preserve_egl_fraction(), 0.01);
+}
+
+TEST(PlayStoreCatalogTest, CdfMonotoneAndBounded) {
+  PlayStoreCatalog catalog(50000);
+  const auto cdf = catalog.Cdf();
+  ASSERT_GT(cdf.size(), 10u);
+  double last = -1.0;
+  for (const auto& point : cdf) {
+    EXPECT_GE(point.fraction, last);
+    EXPECT_GE(point.fraction, 0.0);
+    EXPECT_LE(point.fraction, 1.0);
+    last = point.fraction;
+  }
+  EXPECT_LT(cdf.front().fraction, 0.1);
+  EXPECT_GT(cdf.back().fraction, 0.99);
+}
+
+TEST(PlayStoreCatalogTest, MedianNearHalfMegabyte) {
+  PlayStoreCatalog catalog(100000);
+  EXPECT_GT(catalog.MedianSize(), 200u * 1024);
+  EXPECT_LT(catalog.MedianSize(), 1200u * 1024);
+}
+
+// ----- Table 3 specs -----
+
+TEST(AppSpecTest, AllEighteenAppsPresent) {
+  EXPECT_EQ(TopApps().size(), 18u);
+  for (const char* name :
+       {"Bible", "Bubble Witch Saga", "Candy Crush Saga", "eBay",
+        "Flappy Bird", "Surpax Flashlight", "GroupOn", "Instagram", "Netflix",
+        "Pinterest", "Snapchat", "Skype", "Twitter", "Vine", "Subway Surfers",
+        "Facebook", "WhatsApp", "ZEDGE"}) {
+    EXPECT_NE(FindApp(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindApp("NoSuchApp"), nullptr);
+}
+
+TEST(AppSpecTest, ExactlyTwoUnmigratableApps) {
+  const auto migratable = MigratableApps();
+  EXPECT_EQ(migratable.size(), 16u);
+  EXPECT_TRUE(FindApp("Facebook")->multi_process);
+  EXPECT_TRUE(FindApp("Subway Surfers")->preserves_egl_context);
+  for (const auto* app : migratable) {
+    EXPECT_FALSE(app->multi_process) << app->display_name;
+    EXPECT_FALSE(app->preserves_egl_context) << app->display_name;
+  }
+}
+
+TEST(AppSpecTest, SpecsSane) {
+  for (const auto& app : TopApps()) {
+    EXPECT_FALSE(app.package.empty());
+    EXPECT_GT(app.apk_bytes, 0u) << app.display_name;
+    EXPECT_GT(app.heap_bytes, 0u) << app.display_name;
+    EXPECT_LE(app.workload.notifications_cancelled,
+              app.workload.notifications_posted)
+        << app.display_name;
+    EXPECT_LE(app.workload.alarms_removed, app.workload.alarms_set)
+        << app.display_name;
+    EXPECT_GE(app.heap_compressibility, 0.0);
+    EXPECT_LE(app.heap_compressibility, 1.0);
+  }
+}
+
+TEST(AppSpecTest, GamesUse3dGraphics) {
+  for (const char* game : {"Candy Crush Saga", "Bubble Witch Saga",
+                           "Flappy Bird", "Subway Surfers"}) {
+    EXPECT_TRUE(FindApp(game)->workload.uses_3d) << game;
+    EXPECT_GT(FindApp(game)->workload.texture_bytes_3d, 0u) << game;
+  }
+  EXPECT_FALSE(FindApp("Bible")->workload.uses_3d);
+}
+
+}  // namespace
+}  // namespace flux

@@ -1,0 +1,178 @@
+// Adaptive Replay proxy tests (§3.2): volume rescaling across different
+// device ranges, expired-alarm skipping, GPS fallback, transient-vibration
+// skipping, and WiFi no-op detection — each verified through a real
+// record -> migrate -> replay cycle between heterogeneous devices.
+#include <gtest/gtest.h>
+
+#include "src/apps/app_instance.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+namespace flux {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.002;
+    DeviceProfile home_profile = Nexus4Profile();
+    home_profile.max_music_volume = 15;
+    DeviceProfile guest_profile = Nexus7_2013Profile();
+    guest_profile.max_music_volume = 30;  // twice the volume steps
+    guest_profile.has_gps = false;        // tablet without GPS
+    home_ = world_.AddDevice("home", home_profile, boot).value();
+    guest_ = world_.AddDevice("guest", guest_profile, boot).value();
+    home_agent_ = std::make_unique<FluxAgent>(*home_);
+    guest_agent_ = std::make_unique<FluxAgent>(*guest_);
+    ASSERT_TRUE(PairDevices(*home_agent_, *guest_agent_).ok());
+  }
+
+  std::unique_ptr<AppInstance> LaunchApp(AppSpec spec) {
+    spec.heap_bytes = 128 * 1024;
+    auto app = std::make_unique<AppInstance>(*home_, spec);
+    EXPECT_TRUE(app->Install().ok());
+    EXPECT_TRUE(PairApp(*home_agent_, *guest_agent_, spec).ok());
+    EXPECT_TRUE(app->Launch().ok());
+    home_agent_->Manage(app->pid(), spec.package);
+    return app;
+  }
+
+  Result<MigrationReport> MigrateApp(AppInstance& app) {
+    MigrationManager manager(*home_agent_, *guest_agent_);
+    return manager.Migrate(RunningApp::FromInstance(app), app.spec());
+  }
+
+  World world_;
+  Device* home_ = nullptr;
+  Device* guest_ = nullptr;
+  std::unique_ptr<FluxAgent> home_agent_;
+  std::unique_ptr<FluxAgent> guest_agent_;
+};
+
+TEST_F(ReplayTest, VolumeRescaledToGuestRange) {
+  AppSpec spec = *FindApp("ZEDGE");
+  spec.workload = WorkloadProfile{};
+  spec.workload.view_count = 4;
+  spec.workload.frames_drawn = 1;
+  auto app = LaunchApp(spec);
+
+  // Set volume 10/15 on the home device.
+  Parcel args;
+  args.WriteNamed("streamType", kStreamMusic);
+  args.WriteNamed("index", static_cast<int32_t>(10));
+  args.WriteNamed("flags", static_cast<int32_t>(0));
+  ASSERT_TRUE(
+      app->thread().CallService("audio", "setStreamVolume", std::move(args))
+          .ok());
+  ASSERT_EQ(home_->audio_service().StreamVolume(kStreamMusic), 10);
+
+  auto report = MigrateApp(*app);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->success) << report->refusal_reason;
+  // 10/15 -> 20/30 on the guest.
+  EXPECT_EQ(guest_->audio_service().StreamVolume(kStreamMusic), 20);
+  EXPECT_GE(report->replay.adapted, 1);
+}
+
+TEST_F(ReplayTest, GpsFallsBackToNetworkProvider) {
+  AppSpec spec = *FindApp("GroupOn");  // requests gps + network
+  auto app = LaunchApp(spec);
+  ASSERT_TRUE(app->RunWorkload(3).ok());
+  ASSERT_EQ(home_->location_service().requests().size(), 2u);
+
+  auto report = MigrateApp(*app);
+  ASSERT_TRUE(report.ok() && report->success) << report->refusal_reason;
+  const auto& requests = guest_->location_service().requests();
+  ASSERT_EQ(requests.size(), 2u);
+  for (const auto& request : requests) {
+    EXPECT_NE(request.provider, "gps");  // adapted to the guest's hardware
+  }
+  EXPECT_GE(report->replay.adapted, 1);
+}
+
+TEST_F(ReplayTest, ExpiredVibrationNotReplayed) {
+  AppSpec spec = *FindApp("Surpax Flashlight");  // vibrates 80ms
+  auto app = LaunchApp(spec);
+  ASSERT_TRUE(app->RunWorkload(4).ok());
+  // Let the vibration end long before the checkpoint.
+  world_.AdvanceTime(Seconds(3));
+
+  auto report = MigrateApp(*app);
+  ASSERT_TRUE(report.ok() && report->success) << report->refusal_reason;
+  EXPECT_FALSE(guest_->vibrator_service().vibrating());
+  EXPECT_GE(report->replay.skipped, 1);
+}
+
+TEST_F(ReplayTest, WifiStateNotReappliedWhenEqual) {
+  AppSpec spec = *FindApp("Skype");
+  spec.workload = WorkloadProfile{};
+  spec.workload.view_count = 4;
+  spec.workload.frames_drawn = 1;
+  auto app = LaunchApp(spec);
+  // Enable WiFi explicitly (it already is enabled on both devices).
+  Parcel args;
+  args.WriteNamed("enable", true);
+  ASSERT_TRUE(
+      app->thread().CallService("wifi", "setWifiEnabled", std::move(args))
+          .ok());
+
+  auto report = MigrateApp(*app);
+  ASSERT_TRUE(report.ok() && report->success) << report->refusal_reason;
+  EXPECT_TRUE(guest_->wifi_service().enabled());
+  EXPECT_GE(report->replay.skipped, 1);  // the redundant toggle was elided
+}
+
+TEST_F(ReplayTest, ReplayedCallsNotReRecorded) {
+  AppSpec spec = *FindApp("WhatsApp");
+  auto app = LaunchApp(spec);
+  ASSERT_TRUE(app->RunWorkload(9).ok());
+  const size_t home_log = home_agent_->recorder().LogFor(app->pid())->size();
+
+  auto report = MigrateApp(*app);
+  ASSERT_TRUE(report.ok() && report->success) << report->refusal_reason;
+  // The guest's installed log equals the transferred log: replay performed
+  // its calls with recording paused, so nothing was double-recorded.
+  const CallLog* guest_log =
+      guest_agent_->recorder().LogFor(report->migrated.pid);
+  ASSERT_NE(guest_log, nullptr);
+  EXPECT_EQ(guest_log->size(), home_log);
+}
+
+TEST_F(ReplayTest, LogKeepsWorkingAfterMigration) {
+  AppSpec spec = *FindApp("Bible");
+  auto app = LaunchApp(spec);
+  ASSERT_TRUE(app->RunWorkload(5).ok());
+  auto report = MigrateApp(*app);
+  ASSERT_TRUE(report.ok() && report->success);
+
+  // New calls on the guest keep recording into the migrated log.
+  const size_t before =
+      guest_agent_->recorder().LogFor(report->migrated.pid)->size();
+  Parcel args;
+  args.WriteNamed("id", static_cast<int32_t>(900));
+  args.WriteNamed("notification", std::string("post-migration"));
+  ASSERT_TRUE(report->migrated.thread
+                  ->CallService("notification", "enqueueNotification",
+                                std::move(args))
+                  .ok());
+  EXPECT_EQ(guest_agent_->recorder().LogFor(report->migrated.pid)->size(),
+            before + 1);
+}
+
+TEST_F(ReplayTest, PendingAlarmRearmedAndFiresOnGuest) {
+  AppSpec spec = *FindApp("eBay");
+  auto app = LaunchApp(spec);
+  ASSERT_TRUE(app->RunWorkload(6).ok());  // sets auction-end alarms (+600s)
+  auto report = MigrateApp(*app);
+  ASSERT_TRUE(report.ok() && report->success);
+  const auto pending = guest_->alarm_service().PendingFor(report->migrated.uid);
+  ASSERT_FALSE(pending.empty());
+  // Advance past the trigger: the alarm fires on the *guest*.
+  world_.AdvanceTime(Seconds(700));
+  EXPECT_TRUE(
+      guest_->alarm_service().PendingFor(report->migrated.uid).empty());
+}
+
+}  // namespace
+}  // namespace flux
