@@ -9,6 +9,7 @@
 #include "src/apps/app_instance.h"
 #include "src/base/compress.h"
 #include "src/base/synthetic_content.h"
+#include "src/base/thread_pool.h"
 #include "src/cria/cria.h"
 #include "src/device/world.h"
 #include "src/flux/flux_agent.h"
@@ -107,6 +108,56 @@ void BM_LzDecompress(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_LzDecompress)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_LzCompressIncompressible(benchmark::State& state) {
+  // compressibility 0.0: no matches survive, so this is a pure measure of
+  // the literal emission path (batched runs, not per-byte pushes).
+  const Bytes input = GenerateContent(11, static_cast<uint64_t>(state.range(0)),
+                                      0.0);
+  for (auto _ : state) {
+    Bytes compressed = LzCompress(ByteSpan(input.data(), input.size()));
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzCompressIncompressible)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_LzCompressChunksParallel(benchmark::State& state) {
+  // Chunked compression across a host thread pool: wall-clock scaling of
+  // the pipelined migration's compress stage. Arg = thread count.
+  const Bytes input = GenerateContent(13, 16 << 20, 0.55);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Bytes container = LzCompressChunks(ByteSpan(input.data(), input.size()),
+                                       256 << 10, &pool);
+    benchmark::DoNotOptimize(container);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_LzCompressChunksParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_LzDecompressChunks(benchmark::State& state) {
+  const Bytes input = GenerateContent(15, static_cast<uint64_t>(state.range(0)),
+                                      0.55);
+  ThreadPool pool(4);
+  const Bytes container =
+      LzCompressChunks(ByteSpan(input.data(), input.size()), 256 << 10, &pool);
+  for (auto _ : state) {
+    auto raw = LzDecompressChunks(ByteSpan(container.data(), container.size()));
+    benchmark::DoNotOptimize(raw);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzDecompressChunks)->Arg(8 << 20);
 
 void BM_CriaCheckpoint(benchmark::State& state) {
   World world;

@@ -1,0 +1,146 @@
+// Pipelined-migration ablation: serial (paper baseline) vs chunked,
+// pipelined staging across the four Figure 12 device combinations.
+//
+// The pipelined engine overlaps serialize -> compress -> wire -> decompress
+// -> restore-apply per 256 KiB chunk, with compression fanned out over the
+// devices' four cores; the serial engine runs the Figure 13 stages strictly
+// back to back. Both paths move the same bytes over the same link model.
+//
+// Output: a per-combination table plus the mean improvement, and a
+// machine-readable BENCH_pipeline.json next to the working directory.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness/migration_matrix.h"
+#include "src/base/strings.h"
+
+int main() {
+  using namespace flux;
+  printf("=== Pipelined migration: serial vs chunked/pipelined ===\n");
+  printf("Four device combinations, %zu Table 3 apps, campus-WiFi model.\n\n",
+         TopApps().size());
+
+  MatrixOptions serial_options;
+  MatrixOptions pipelined_options;
+  pipelined_options.migration.pipelined = true;
+
+  MatrixResult serial = RunMigrationMatrix(serial_options);
+  MatrixResult pipelined = RunMigrationMatrix(pipelined_options);
+
+  struct Acc {
+    double serial_total = 0;
+    double pipelined_total = 0;
+    double serial_perceived = 0;
+    double pipelined_perceived = 0;
+    int count = 0;
+  };
+  std::map<std::string, Acc> by_combo;
+  Acc overall;
+
+  auto find_cell = [](const MatrixResult& matrix, const std::string& app,
+                      const std::string& combo) -> const MatrixCell* {
+    for (const auto& cell : matrix.cells) {
+      if (cell.app == app && cell.combo == combo) {
+        return &cell;
+      }
+    }
+    return nullptr;
+  };
+
+  for (const auto& app : serial.apps) {
+    for (const auto& combo : serial.combos) {
+      const MatrixCell* s = find_cell(serial, app, combo);
+      const MatrixCell* p = find_cell(pipelined, app, combo);
+      if (s == nullptr || p == nullptr) {
+        continue;
+      }
+      Acc& acc = by_combo[combo];
+      acc.serial_total += ToSecondsF(s->report.Total());
+      acc.pipelined_total += ToSecondsF(p->report.Total());
+      acc.serial_perceived += ToSecondsF(s->report.UserPerceived());
+      acc.pipelined_perceived += ToSecondsF(p->report.UserPerceived());
+      ++acc.count;
+      overall.serial_total += ToSecondsF(s->report.Total());
+      overall.pipelined_total += ToSecondsF(p->report.Total());
+      overall.serial_perceived += ToSecondsF(s->report.UserPerceived());
+      overall.pipelined_perceived += ToSecondsF(p->report.UserPerceived());
+      ++overall.count;
+    }
+  }
+
+  printf("%-28s | %10s | %10s | %9s\n", "Combination (mean seconds)",
+         "serial", "pipelined", "saved");
+  for (size_t i = 0; i < 66; ++i) {
+    printf("-");
+  }
+  printf("\n");
+  for (const auto& combo : serial.combos) {
+    const Acc& acc = by_combo[combo];
+    if (acc.count == 0) {
+      continue;
+    }
+    const double s = acc.serial_total / acc.count;
+    const double p = acc.pipelined_total / acc.count;
+    printf("%-28s | %10.2f | %10.2f | %8.1f%%\n", combo.c_str(), s, p,
+           100.0 * (s - p) / s);
+  }
+
+  const double mean_serial = overall.serial_total / overall.count;
+  const double mean_pipelined = overall.pipelined_total / overall.count;
+  const double mean_serial_perceived =
+      overall.serial_perceived / overall.count;
+  const double mean_pipelined_perceived =
+      overall.pipelined_perceived / overall.count;
+  const double improvement =
+      100.0 * (mean_serial - mean_pipelined) / mean_serial;
+  const double perceived_improvement =
+      100.0 * (mean_serial_perceived - mean_pipelined_perceived) /
+      mean_serial_perceived;
+
+  printf("\nSummary over %d successful migrations (each mode):\n",
+         overall.count);
+  printf("  mean total     : %6.2f s serial -> %6.2f s pipelined (%.1f%%)\n",
+         mean_serial, mean_pipelined, improvement);
+  printf("  mean perceived : %6.2f s serial -> %6.2f s pipelined (%.1f%%)\n",
+         mean_serial_perceived, mean_pipelined_perceived,
+         perceived_improvement);
+
+  // Machine-readable output for the driver / CI trend tracking.
+  FILE* json = fopen("BENCH_pipeline.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    fprintf(json, "  \"migrations_per_mode\": %d,\n", overall.count);
+    fprintf(json, "  \"mean_total_serial_s\": %.4f,\n", mean_serial);
+    fprintf(json, "  \"mean_total_pipelined_s\": %.4f,\n", mean_pipelined);
+    fprintf(json, "  \"mean_total_improvement_pct\": %.2f,\n", improvement);
+    fprintf(json, "  \"mean_perceived_serial_s\": %.4f,\n",
+            mean_serial_perceived);
+    fprintf(json, "  \"mean_perceived_pipelined_s\": %.4f,\n",
+            mean_pipelined_perceived);
+    fprintf(json, "  \"mean_perceived_improvement_pct\": %.2f,\n",
+            perceived_improvement);
+    fprintf(json, "  \"combos\": [\n");
+    bool first = true;
+    for (const auto& combo : serial.combos) {
+      const Acc& acc = by_combo[combo];
+      if (acc.count == 0) {
+        continue;
+      }
+      if (!first) {
+        fprintf(json, ",\n");
+      }
+      first = false;
+      fprintf(json,
+              "    {\"combo\": \"%s\", \"serial_s\": %.4f, "
+              "\"pipelined_s\": %.4f}",
+              combo.c_str(), acc.serial_total / acc.count,
+              acc.pipelined_total / acc.count);
+    }
+    fprintf(json, "\n  ]\n}\n");
+    fclose(json);
+    printf("\nWrote BENCH_pipeline.json\n");
+  }
+  return 0;
+}

@@ -72,6 +72,25 @@ void ArchiveWriter::PutBytes(ByteSpan v) {
   data_.insert(data_.end(), v.begin(), v.end());
 }
 
+size_t ArchiveWriter::BeginBytes() {
+  data_.push_back(kTagBytes);
+  const size_t token = data_.size();
+  RawU64(0);  // placeholder, patched by EndBytes
+  return token;
+}
+
+void ArchiveWriter::AppendRaw(ByteSpan v) {
+  data_.insert(data_.end(), v.begin(), v.end());
+}
+
+void ArchiveWriter::EndBytes(size_t token) {
+  const uint64_t length = data_.size() - (token + 8);
+  for (int i = 0; i < 8; ++i) {
+    data_[token + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(length >> (8 * i));
+  }
+}
+
 void ArchiveWriter::PutSection(const ArchiveWriter& section) {
   data_.push_back(kTagSection);
   RawU64(section.data_.size());
@@ -174,6 +193,18 @@ Status ArchiveReader::GetBytes(Bytes& out) {
   }
   out.assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
              data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return OkStatus();
+}
+
+Status ArchiveReader::GetBytesView(ByteSpan& out) {
+  FLUX_RETURN_IF_ERROR(Expect(kTagBytes));
+  uint64_t len = 0;
+  FLUX_RETURN_IF_ERROR(RawU64(len));
+  if (pos_ + len > data_.size()) {
+    return Corrupt("archive: truncated bytes");
+  }
+  out = data_.subspan(pos_, len);
   pos_ += len;
   return OkStatus();
 }

@@ -28,6 +28,16 @@ class ArchiveWriter {
   void PutString(std::string_view v);
   void PutBytes(ByteSpan v);
 
+  // Streaming bytes field, for content produced piecewise (compressed
+  // checkpoint chunks written straight into the payload instead of being
+  // staged in a scratch buffer first). BeginBytes writes the tag and a
+  // length placeholder and returns a patch token; AppendRaw appends
+  // content; EndBytes(token) fixes the length up. The resulting stream is
+  // byte-identical to a single PutBytes of the concatenated content.
+  size_t BeginBytes();
+  void AppendRaw(ByteSpan v);
+  void EndBytes(size_t token);
+
   // Embeds another archive as a length-prefixed section.
   void PutSection(const ArchiveWriter& section);
 
@@ -52,6 +62,9 @@ class ArchiveReader {
   Status GetF64(double& out);
   Status GetString(std::string& out);
   Status GetBytes(Bytes& out);
+  // Zero-copy variant: `out` views into this reader's buffer and is only
+  // valid while the underlying payload lives.
+  Status GetBytesView(ByteSpan& out);
 
   // Reads a section; the returned reader views into this reader's buffer.
   Status GetSection(ArchiveReader& out);

@@ -1,13 +1,17 @@
 #include "src/base/compress.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
+
+#include "src/base/thread_pool.h"
 
 namespace flux {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x464C5A31;  // "FLZ1"
+constexpr uint32_t kMagic = 0x464C5A31;       // "FLZ1"
+constexpr uint32_t kChunkMagic = 0x464C5A43;  // "FLZC"
 constexpr size_t kWindowSize = 64 * 1024;
 constexpr size_t kMinMatch = 4;
 constexpr size_t kMaxMatch = 4 + 255;
@@ -76,16 +80,17 @@ Bytes LzCompress(ByteSpan input) {
   size_t flag_index = 0;
   uint8_t flags = 0;
   int item_count = 0;
-  Bytes group;  // items for current flag byte
-  group.reserve(8 * 3);
+  // Items for the current flag byte; 8 items of at most 3 bytes each.
+  uint8_t group[8 * 3];
+  size_t group_len = 0;
 
   auto flush_group = [&]() {
     if (item_count == 0) {
       return;
     }
     out[flag_index] = flags;
-    out.insert(out.end(), group.begin(), group.end());
-    group.clear();
+    out.insert(out.end(), group, group + group_len);
+    group_len = 0;
     flags = 0;
     item_count = 0;
   };
@@ -97,6 +102,33 @@ Bytes LzCompress(ByteSpan input) {
     }
   };
 
+  // Literals are batched: the scan loop only remembers where a pending
+  // literal run started, and the run is emitted in bulk when a match (or
+  // the end of input) terminates it. Runs aligned to a fresh group go out
+  // as one 9-byte append (zero flag byte + 8 literals) instead of per-byte
+  // push_back bookkeeping — the hot path on incompressible data.
+  auto emit_literal_run = [&](size_t start, size_t count) {
+    const uint8_t* src = data + start;
+    while (count > 0) {
+      if (item_count == 0 && count >= 8) {
+        uint8_t packed[9];
+        packed[0] = 0;  // eight literal items: all flag bits clear
+        std::memcpy(packed + 1, src, 8);
+        out.insert(out.end(), packed, packed + 9);
+        src += 8;
+        count -= 8;
+        continue;
+      }
+      open_group();
+      group[group_len++] = *src++;
+      --count;
+      ++item_count;
+      if (item_count == 8) {
+        flush_group();
+      }
+    }
+  };
+
   auto insert_pos = [&](size_t p) {
     if (p + kMinMatch <= n && p + 4 <= n) {
       const uint32_t h = HashTriple(data + p) % kHashBuckets;
@@ -105,6 +137,7 @@ Bytes LzCompress(ByteSpan input) {
     }
   };
 
+  size_t literal_start = 0;
   while (pos < n) {
     size_t best_len = 0;
     size_t best_offset = 0;
@@ -141,26 +174,28 @@ Bytes LzCompress(ByteSpan input) {
       }
     }
 
-    open_group();
     if (best_len >= kMinMatch) {
+      emit_literal_run(literal_start, pos - literal_start);
+      open_group();
       flags |= static_cast<uint8_t>(1 << item_count);
-      group.push_back(static_cast<uint8_t>(best_offset));
-      group.push_back(static_cast<uint8_t>(best_offset >> 8));
-      group.push_back(static_cast<uint8_t>(best_len - kMinMatch));
+      group[group_len++] = static_cast<uint8_t>(best_offset);
+      group[group_len++] = static_cast<uint8_t>(best_offset >> 8);
+      group[group_len++] = static_cast<uint8_t>(best_len - kMinMatch);
+      ++item_count;
+      if (item_count == 8) {
+        flush_group();
+      }
       for (size_t k = 0; k < best_len; ++k) {
         insert_pos(pos + k);
       }
       pos += best_len;
+      literal_start = pos;
     } else {
-      group.push_back(data[pos]);
       insert_pos(pos);
       ++pos;
     }
-    ++item_count;
-    if (item_count == 8) {
-      flush_group();
-    }
   }
+  emit_literal_run(literal_start, n - literal_start);
   flush_group();
   return out;
 }
@@ -217,5 +252,142 @@ Result<Bytes> LzDecompress(ByteSpan input) {
 }
 
 uint64_t LzCompressedSize(ByteSpan input) { return LzCompress(input).size(); }
+
+// ----- chunked streams -----
+
+uint64_t LzChunkStreams::ContainerSize() const {
+  uint64_t total = 4 + 8 + 4 + 4;  // magic, raw size, chunk size, count
+  for (const Bytes& chunk : chunks) {
+    total += 4 + chunk.size();
+  }
+  return total;
+}
+
+uint64_t LzChunkStreams::RawChunkSize(size_t i) const {
+  const uint64_t begin = static_cast<uint64_t>(i) * chunk_size;
+  if (begin >= raw_size) {
+    return 0;
+  }
+  return std::min<uint64_t>(chunk_size, raw_size - begin);
+}
+
+LzChunkStreams LzCompressChunkStreams(ByteSpan input, uint32_t chunk_size,
+                                      ThreadPool* pool) {
+  LzChunkStreams streams;
+  streams.raw_size = input.size();
+  streams.chunk_size = chunk_size == 0 ? 256 * 1024 : chunk_size;
+  const size_t count =
+      (input.size() + streams.chunk_size - 1) / streams.chunk_size;
+  streams.chunks.resize(count);
+  auto compress_chunk = [&](size_t i) {
+    const size_t begin = i * static_cast<size_t>(streams.chunk_size);
+    const size_t len =
+        std::min<size_t>(streams.chunk_size, input.size() - begin);
+    streams.chunks[i] = LzCompress(input.subspan(begin, len));
+  };
+  if (pool != nullptr && count > 1) {
+    pool->ParallelFor(count, compress_chunk);
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      compress_chunk(i);
+    }
+  }
+  return streams;
+}
+
+Bytes LzAssembleChunkContainer(const LzChunkStreams& streams) {
+  Bytes out;
+  out.reserve(streams.ContainerSize());
+  PutU32(out, kChunkMagic);
+  PutU64(out, streams.raw_size);
+  PutU32(out, streams.chunk_size);
+  PutU32(out, static_cast<uint32_t>(streams.chunks.size()));
+  for (const Bytes& chunk : streams.chunks) {
+    PutU32(out, static_cast<uint32_t>(chunk.size()));
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+void LzFrameChunkContainer(LzChunkStreams& streams,
+                           const std::function<void(ByteSpan)>& append,
+                           bool release_chunks) {
+  Bytes header;
+  header.reserve(4 + 8 + 4 + 4);
+  PutU32(header, kChunkMagic);
+  PutU64(header, streams.raw_size);
+  PutU32(header, streams.chunk_size);
+  PutU32(header, static_cast<uint32_t>(streams.chunks.size()));
+  append(ByteSpan(header.data(), header.size()));
+  for (Bytes& chunk : streams.chunks) {
+    Bytes prefix;
+    PutU32(prefix, static_cast<uint32_t>(chunk.size()));
+    append(ByteSpan(prefix.data(), prefix.size()));
+    append(ByteSpan(chunk.data(), chunk.size()));
+    if (release_chunks) {
+      Bytes().swap(chunk);
+    }
+  }
+}
+
+Bytes LzCompressChunks(ByteSpan input, uint32_t chunk_size, ThreadPool* pool) {
+  return LzAssembleChunkContainer(
+      LzCompressChunkStreams(input, chunk_size, pool));
+}
+
+bool LzIsChunkedStream(ByteSpan input) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  return GetU32(input, pos, magic) && magic == kChunkMagic;
+}
+
+Result<Bytes> LzDecompressChunks(ByteSpan input) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint64_t raw_size = 0;
+  uint32_t chunk_size = 0;
+  uint32_t count = 0;
+  if (!GetU32(input, pos, magic) || magic != kChunkMagic) {
+    return Corrupt("LzDecompressChunks: bad container magic");
+  }
+  if (!GetU64(input, pos, raw_size) || !GetU32(input, pos, chunk_size) ||
+      !GetU32(input, pos, count)) {
+    return Corrupt("LzDecompressChunks: truncated header");
+  }
+  if (raw_size > (1ull << 36) || (raw_size > 0 && chunk_size == 0)) {
+    return Corrupt("LzDecompressChunks: implausible header");
+  }
+  const uint64_t expected_count =
+      chunk_size == 0 ? 0 : (raw_size + chunk_size - 1) / chunk_size;
+  if (count != expected_count) {
+    return Corrupt("LzDecompressChunks: chunk count mismatch");
+  }
+
+  Bytes out;
+  out.reserve(raw_size);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t compressed_size = 0;
+    if (!GetU32(input, pos, compressed_size) ||
+        pos + compressed_size > input.size()) {
+      return Corrupt("LzDecompressChunks: truncated chunk");
+    }
+    FLUX_ASSIGN_OR_RETURN(Bytes raw,
+                          LzDecompress(input.subspan(pos, compressed_size)));
+    pos += compressed_size;
+    const uint64_t expected =
+        std::min<uint64_t>(chunk_size, raw_size - out.size());
+    if (raw.size() != expected) {
+      return Corrupt("LzDecompressChunks: chunk raw size mismatch");
+    }
+    out.insert(out.end(), raw.begin(), raw.end());
+  }
+  if (out.size() != raw_size) {
+    return Corrupt("LzDecompressChunks: raw size mismatch");
+  }
+  if (pos != input.size()) {
+    return Corrupt("LzDecompressChunks: trailing bytes");
+  }
+  return out;
+}
 
 }  // namespace flux

@@ -10,13 +10,24 @@
 //   [u32 magic][u64 raw_size] then repeated groups of
 //   [flag byte][8 items], each item either a literal byte (flag bit 0) or a
 //   match (flag bit 1): [u16 offset][u8 length-4].
+//
+// Chunked container (the pipelined-migration framing): the input is split
+// into fixed-size chunks, each compressed as an independent FLZ1 stream so
+// chunks compress in parallel and decompress in order:
+//   [u32 chunk magic][u64 raw_size][u32 chunk_size][u32 chunk_count]
+//   then per chunk [u32 compressed_size][FLZ1 stream].
 #ifndef FLUX_SRC_BASE_COMPRESS_H_
 #define FLUX_SRC_BASE_COMPRESS_H_
+
+#include <functional>
+#include <vector>
 
 #include "src/base/bytes.h"
 #include "src/base/result.h"
 
 namespace flux {
+
+class ThreadPool;
 
 // Compresses `input`. Output is never larger than input + small header +
 // 1/8 overhead (worst case all-literals).
@@ -28,6 +39,52 @@ Result<Bytes> LzDecompress(ByteSpan input);
 
 // Convenience: compressed size without keeping the output.
 uint64_t LzCompressedSize(ByteSpan input);
+
+// ----- chunked streams (pipelined migration) -----
+
+// One FLZ1 stream per fixed-size chunk, kept separate so a payload writer
+// can frame them without another concatenation copy.
+struct LzChunkStreams {
+  uint64_t raw_size = 0;
+  uint32_t chunk_size = 0;
+  std::vector<Bytes> chunks;  // in input order
+
+  // Container bytes once framed (header + per-chunk size prefixes).
+  uint64_t ContainerSize() const;
+  // Raw bytes covered by chunk `i` (the tail chunk may be short).
+  uint64_t RawChunkSize(size_t i) const;
+};
+
+// Splits `input` into `chunk_size`-byte chunks and compresses each as an
+// independent FLZ1 stream — on `pool` when given (wall-clock parallel),
+// inline otherwise. Chunk independence costs a little ratio (the match
+// window cannot reach across a chunk boundary) but buys parallelism and
+// per-chunk pipelining.
+LzChunkStreams LzCompressChunkStreams(ByteSpan input, uint32_t chunk_size,
+                                      ThreadPool* pool = nullptr);
+
+// Frames chunk streams into one contiguous container.
+Bytes LzAssembleChunkContainer(const LzChunkStreams& streams);
+
+// Streams the same framing through `append` piecewise, for writers that
+// build the container inside a larger payload without staging it first.
+// With `release_chunks`, each chunk buffer is freed as soon as it is
+// framed, keeping peak assembly memory at ~1x the container size.
+void LzFrameChunkContainer(LzChunkStreams& streams,
+                           const std::function<void(ByteSpan)>& append,
+                           bool release_chunks = false);
+
+// Convenience: compress + frame in one call.
+Bytes LzCompressChunks(ByteSpan input, uint32_t chunk_size,
+                       ThreadPool* pool = nullptr);
+
+// True if `input` starts with the chunked-container magic.
+bool LzIsChunkedStream(ByteSpan input);
+
+// Decompresses a container produced by LzCompressChunks /
+// LzAssembleChunkContainer. Chunks are independent streams, so output is
+// reassembled strictly in order; fails with kCorrupt on malformed input.
+Result<Bytes> LzDecompressChunks(ByteSpan input);
 
 }  // namespace flux
 

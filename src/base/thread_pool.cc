@@ -1,0 +1,124 @@
+#include "src/base/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace flux {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = threads <= 1 ? 0 : threads;
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Dynamic index assignment: each runner pulls the next unclaimed index so
+  // uneven chunk costs balance across workers. Completion is tracked with a
+  // latch local to this call, so nested/sequential ParallelFor calls on the
+  // same pool cannot observe each other's tasks.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<ForState>();
+  const size_t runners =
+      std::min(n, workers_.size() + 1);  // + the calling thread
+  auto run = [state, n, &fn] {
+    size_t completed = 0;
+    for (;;) {
+      const size_t i = state->next.fetch_add(1);
+      if (i >= n) {
+        break;
+      }
+      fn(i);
+      ++completed;
+    }
+    if (completed > 0 &&
+        state->done.fetch_add(completed) + completed == n) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->finished.notify_all();
+    }
+  };
+  for (size_t r = 1; r < runners; ++r) {
+    Submit(run);
+  }
+  run();  // the caller participates instead of idling
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock,
+                       [&] { return state->done.load() == n; });
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(hw == 0 ? 4u : hw, 4u));
+}
+
+}  // namespace flux

@@ -1,0 +1,62 @@
+// A small fixed-size worker pool for real (wall-clock) parallelism.
+//
+// The simulation itself is single-threaded over a virtual clock; the pool
+// exists for genuinely CPU-bound host work — chunked checkpoint-image
+// compression during migration — where the paper's quad-core devices would
+// run FLZ1 streams on independent cores. Work items must not touch the
+// simulated world (SimClock, Device, ...), which is not thread-safe.
+#ifndef FLUX_SRC_BASE_THREAD_POOL_H_
+#define FLUX_SRC_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flux {
+
+class ThreadPool {
+ public:
+  // `threads` <= 1 degenerates to inline execution (no workers spawned),
+  // so callers can pass a configured width straight through.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Runs fn(0) ... fn(n-1) across the pool with dynamic (work-stealing-ish)
+  // index assignment, blocking until all complete. Safe to call with an
+  // empty pool (runs inline) and reentrant-safe from the owning thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // A sensible default width for this host, bounded to the paper's
+  // quad-core devices unless the caller asks for more.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool shutdown_ = false;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_THREAD_POOL_H_

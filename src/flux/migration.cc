@@ -1,16 +1,24 @@
 #include "src/flux/migration.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/base/compress.h"
 #include "src/base/logging.h"
 #include "src/base/strings.h"
+#include "src/base/thread_pool.h"
 
 namespace flux {
 
 namespace {
 
 constexpr uint32_t kPayloadMagic = 0x464C5558;  // "FLUX"
+
+// Bytes of container framing ahead of chunk 0: magic, raw size, chunk
+// size, chunk count (see compress.h).
+constexpr uint64_t kChunkContainerHeaderBytes = 4 + 8 + 4 + 4;
+// Per-chunk framing: the u32 compressed-size prefix.
+constexpr uint64_t kChunkFramingBytes = 4;
 
 // CPU time to push `bytes` through a `mbps` pipeline on `device`.
 SimDuration CpuCost(const Device& device, uint64_t bytes, double mbps) {
@@ -102,8 +110,12 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
                         Cria::CheckpointTree(device, pids, *app.thread));
   report.cria = cria.stats;
   report.image_raw_bytes = cria.image.size();
-  device.context().SpendCpu(
-      CpuCost(device, cria.image.size(), config_.serialize_mbps));
+  if (!config_.pipelined) {
+    // Pipelined mode charges serialize (and compress) per chunk from the
+    // overlapped stage schedule in TransferPipelined, not up front.
+    device.context().SpendCpu(
+        CpuCost(device, cria.image.size(), config_.serialize_mbps));
+  }
 
   ArchiveWriter payload;
   payload.PutU32(kPayloadMagic);
@@ -120,33 +132,81 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
   report.log_bytes = log_section.size();
   payload.PutSection(log_section);
 
-  // The CRIA image, compressed for transfer.
+  // The CRIA image, compressed for transfer. Pipelined mode splits it into
+  // fixed-size chunks — each an independent stream, compressed across host
+  // threads — and charges the serialize/compress CPU from the overlapped
+  // stage schedule (TransferPipelined) instead of up front here.
+  if (config_.pipelined) {
+    PipelineStats& stats = report.pipeline;
+    stats.enabled = true;
+    stats.chunk_bytes = std::clamp<uint64_t>(config_.pipeline_chunk_bytes,
+                                             4 * 1024, 64ull * 1024 * 1024);
+    const uint32_t chunk_size = static_cast<uint32_t>(stats.chunk_bytes);
+    if (config_.compress_image) {
+      ThreadPool pool(config_.compress_threads);
+      LzChunkStreams streams = LzCompressChunkStreams(
+          ByteSpan(cria.image.data(), cria.image.size()), chunk_size, &pool);
+      Bytes().swap(cria.image);  // the streams carry the content now
+      stats.chunk_count = static_cast<uint32_t>(streams.chunks.size());
+      stats.chunk_wire_bytes.reserve(streams.chunks.size());
+      for (const Bytes& chunk : streams.chunks) {
+        stats.chunk_wire_bytes.push_back(kChunkFramingBytes + chunk.size());
+      }
+      if (!stats.chunk_wire_bytes.empty()) {
+        stats.chunk_wire_bytes[0] += kChunkContainerHeaderBytes;
+      }
+      report.image_compressed_bytes = streams.ContainerSize();
+      payload.PutBool(true);
+      // Frame the container straight into the payload, releasing each chunk
+      // buffer as it lands: peak memory stays ~1x the compressed image.
+      const size_t token = payload.BeginBytes();
+      LzFrameChunkContainer(
+          streams, [&payload](ByteSpan part) { payload.AppendRaw(part); },
+          /*release_chunks=*/true);
+      payload.EndBytes(token);
+    } else {
+      const uint64_t raw = cria.image.size();
+      stats.chunk_count = static_cast<uint32_t>(
+          raw == 0 ? 0 : (raw + stats.chunk_bytes - 1) / stats.chunk_bytes);
+      stats.chunk_wire_bytes.reserve(stats.chunk_count);
+      for (uint32_t i = 0; i < stats.chunk_count; ++i) {
+        stats.chunk_wire_bytes.push_back(
+            std::min<uint64_t>(stats.chunk_bytes,
+                               raw - uint64_t{i} * stats.chunk_bytes));
+      }
+      report.image_compressed_bytes = raw;
+      payload.PutBool(false);
+      payload.PutBytes(ByteSpan(cria.image.data(), cria.image.size()));
+      Bytes().swap(cria.image);
+    }
+    return payload.TakeData();
+  }
+
   if (config_.compress_image) {
     Bytes compressed = LzCompress(
         ByteSpan(cria.image.data(), cria.image.size()));
     device.context().SpendCpu(
-        CpuCost(device, cria.image.size(), config_.compress_mbps));
+        CpuCost(device, report.image_raw_bytes, config_.compress_mbps));
+    // The raw image is dead once compressed; free it before the payload
+    // append so peak checkpoint memory stays ~1x the image, not ~3x.
+    Bytes().swap(cria.image);
     payload.PutBool(true);
     payload.PutBytes(ByteSpan(compressed.data(), compressed.size()));
     report.image_compressed_bytes = compressed.size();
   } else {
     payload.PutBool(false);
     payload.PutBytes(ByteSpan(cria.image.data(), cria.image.size()));
-    report.image_compressed_bytes = cria.image.size();
+    report.image_compressed_bytes = report.image_raw_bytes;
+    Bytes().swap(cria.image);
   }
   return payload.TakeData();
 }
 
-Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
-                                  uint64_t payload_bytes,
-                                  MigrationReport& report) {
+Result<uint64_t> MigrationManager::SyncAppData(const RunningApp& app,
+                                               const AppSpec& spec) {
   Device& home_device = *app.device;
   Device& guest_device = guest_.device();
-  ScopedTimer timer(home_device.clock(), report.transfer);
 
-  if (!home_device.wifi().up()) {
-    return Unavailable("network unreachable during migration transfer");
-  }
   // Verify (and if needed refresh) the paired APK (§3.1).
   FLUX_ASSIGN_OR_RETURN(uint64_t apk_wire,
                         VerifyPairedApk(home_, guest_, spec));
@@ -172,13 +232,213 @@ Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
                  pair_root + sd_dir, options));
     data_wire += sync.WireBytes();
   }
-  report.data_sync_bytes = apk_wire + data_wire;
+  return apk_wire + data_wire;
+}
+
+bool MigrationManager::AdvanceWithTicks(SimTime target, WifiNetwork* watch) {
+  Device& home_device = home_.device();
+  Device& guest_device = guest_.device();
+  SimClock& clock = home_device.clock();
+  const SimDuration slice =
+      config_.transfer_tick > 0 ? config_.transfer_tick : Millis(250);
+  while (clock.now() < target) {
+    if (watch != nullptr && !watch->UpAt(clock.now())) {
+      return false;
+    }
+    clock.Advance(std::min<SimDuration>(slice, target - clock.now()));
+    home_device.Tick();
+    guest_device.Tick();
+  }
+  return watch == nullptr || watch->UpAt(clock.now());
+}
+
+Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
+                                  uint64_t payload_bytes,
+                                  MigrationReport& report) {
+  Device& home_device = *app.device;
+  Device& guest_device = guest_.device();
+  ScopedTimer timer(home_device.clock(), report.transfer);
+
+  if (!home_device.wifi().UpAt(home_device.clock().now())) {
+    return Unavailable("network unreachable during migration transfer");
+  }
+  FLUX_ASSIGN_OR_RETURN(uint64_t sync_wire, SyncAppData(app, spec));
+  report.data_sync_bytes = sync_wire;
   report.total_wire_bytes = report.data_sync_bytes + payload_bytes;
 
   const EffectiveLink link = home_device.wifi().LinkBetween(
       home_device.profile().radio, guest_device.profile().radio);
-  home_device.wifi().Transfer(home_device.clock(), report.total_wire_bytes,
-                              link);
+  // The world keeps moving while bytes are in flight: advance in slices,
+  // ticking both devices so task idlers run and due alarms fire at the
+  // right simulated time.
+  const bool delivered = home_device.wifi().TransferWithTicks(
+      home_device.clock(), report.total_wire_bytes, link,
+      config_.transfer_tick, [&home_device, &guest_device] {
+        home_device.Tick();
+        guest_device.Tick();
+      });
+  if (!delivered) {
+    return Unavailable("network lost mid-transfer; payload incomplete");
+  }
+  return OkStatus();
+}
+
+Status MigrationManager::TransferPipelined(const RunningApp& app,
+                                           const AppSpec& spec,
+                                           uint64_t payload_bytes,
+                                           MigrationReport& report) {
+  Device& home_device = *app.device;
+  Device& guest_device = guest_.device();
+  SimClock& clock = home_device.clock();
+  WifiNetwork& wifi = home_device.wifi();
+  PipelineStats& stats = report.pipeline;
+
+  // The pipeline's time origin: checkpoint work (serialize + compress) was
+  // deferred by BuildPayload and is charged from here via the schedule, so
+  // the checkpoint interval stamped there collapses to ~0 and gets
+  // re-stamped below.
+  const SimTime t0 = clock.now();
+  if (!wifi.UpAt(t0)) {
+    return Unavailable("network unreachable during migration transfer");
+  }
+
+  // APK verification + data sync run first on the wire, concurrent with
+  // home-side serialization of the early chunks: they are the wire stage's
+  // initial busy period.
+  FLUX_ASSIGN_OR_RETURN(uint64_t sync_wire, SyncAppData(app, spec));
+  report.data_sync_bytes = sync_wire;
+  const SimDuration sync_elapsed = clock.now() - t0;
+
+  const EffectiveLink link = wifi.LinkBetween(home_device.profile().radio,
+                                              guest_device.profile().radio);
+
+  const size_t count = stats.chunk_count;
+  uint64_t container_bytes = 0;
+  for (const uint64_t wire : stats.chunk_wire_bytes) {
+    container_bytes += wire;
+  }
+  // Payload bytes outside the image container (magic, package name, hw +
+  // log sections) ship with the data sync, ahead of the chunk stream.
+  const uint64_t prefix_payload = payload_bytes - container_bytes;
+
+  // Post-copy composition: only the priority prefix of chunks streams in
+  // the foreground; deferred chunks cost nothing on the foreground wire
+  // (they stream in the background; demand paging serves faults).
+  size_t foreground_chunks = count;
+  if (config_.post_copy && count > 0) {
+    const double fraction =
+        std::clamp(config_.post_copy_priority_fraction, 0.05, 1.0);
+    foreground_chunks = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(static_cast<double>(count) * fraction)));
+    foreground_chunks = std::min(foreground_chunks, count);
+    for (size_t i = foreground_chunks; i < count; ++i) {
+      report.deferred_bytes += stats.chunk_wire_bytes[i];
+    }
+  }
+  const uint64_t foreground_wire =
+      report.data_sync_bytes + payload_bytes - report.deferred_bytes;
+
+  // Per-chunk stage costs from the same models as the serial path. The
+  // compress stage fans out over the device's cores (quad-core baseline),
+  // which is what the host thread pool mirrors in wall-clock time.
+  const int cores = std::clamp(config_.compress_threads, 1, 4);
+  std::vector<PipelineStageModel> stages(5);
+  stages[0].name = "serialize";
+  stages[1].name = "compress";
+  stages[2].name = "wire";
+  stages[3].name = "decompress";
+  stages[4].name = "restore";
+  for (auto& stage : stages) {
+    stage.chunk_cost.reserve(count);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t raw_i = std::min<uint64_t>(
+        stats.chunk_bytes,
+        report.image_raw_bytes - uint64_t{i} * stats.chunk_bytes);
+    stages[0].chunk_cost.push_back(
+        CpuCost(home_device, raw_i, config_.serialize_mbps));
+    stages[1].chunk_cost.push_back(
+        config_.compress_image
+            ? CpuCost(home_device, raw_i, config_.compress_mbps) / cores
+            : 0);
+    SimDuration wire_cost =
+        i < foreground_chunks
+            ? wifi.TransferTime(stats.chunk_wire_bytes[i], link) - link.latency
+            : 0;
+    if (i == 0) {
+      wire_cost += link.latency;  // one stream handshake, not one per chunk
+    }
+    stages[2].chunk_cost.push_back(wire_cost);
+    stages[3].chunk_cost.push_back(
+        config_.compress_image
+            ? CpuCost(guest_device, raw_i, config_.decompress_mbps)
+            : 0);
+    stages[4].chunk_cost.push_back(
+        CpuCost(guest_device, raw_i, config_.restore_mbps));
+  }
+  // The wire is busy before chunk 0 can stream: the sync protocol itself,
+  // then the synced bytes + non-image payload prefix on the stream (the
+  // serial path wires exactly these ahead of the image too). The stream
+  // handshake latency is charged once, on chunk 0.
+  stages[2].initial_offset =
+      sync_elapsed +
+      wifi.TransferTime(report.data_sync_bytes + prefix_payload, link) -
+      link.latency;
+
+  const PipelinePlan plan = SchedulePipeline(stages);
+
+  stats.makespan = plan.makespan;
+  stats.stages = plan.stages;
+  // What the strictly serial staging would have cost for the same work:
+  // full-image serialize + single-core compress, one monolithic transfer,
+  // then decompress + restore — the Figure 13 sum.
+  stats.serial_estimate =
+      CpuCost(home_device, report.image_raw_bytes, config_.serialize_mbps) +
+      (config_.compress_image
+           ? CpuCost(home_device, report.image_raw_bytes, config_.compress_mbps)
+           : 0) +
+      sync_elapsed + wifi.TransferTime(foreground_wire, link) +
+      (config_.compress_image
+           ? CpuCost(guest_device, report.image_raw_bytes,
+                     config_.decompress_mbps)
+           : 0) +
+      CpuCost(guest_device, report.image_raw_bytes, config_.restore_mbps);
+  stats.saved = stats.serial_estimate > stats.makespan
+                    ? stats.serial_estimate - stats.makespan
+                    : 0;
+
+  // Now walk the simulated clock along the schedule. The checkpoint
+  // interval (home-side fill) ends when chunk 0 is compressed and ready to
+  // ship; everything after that is perceived as transfer.
+  constexpr size_t kCompress = 1;
+  constexpr size_t kWire = 2;
+  const SimDuration fill =
+      count > 0 ? plan.stages[kCompress].first_finish : 0;
+  if (clock.now() < t0 + fill) {
+    AdvanceWithTicks(t0 + fill);
+  }
+  report.checkpoint.end = clock.now();
+  report.transfer.begin = clock.now();
+
+  // Stream the chunks: advance to each wire-stage finish, watching for
+  // outages at every tick boundary.
+  if (!AdvanceWithTicks(t0 + stages[kWire].initial_offset + link.latency,
+                        &wifi)) {
+    return Unavailable("network lost mid-transfer; payload incomplete");
+  }
+  for (size_t i = 0; i < foreground_chunks; ++i) {
+    if (!AdvanceWithTicks(t0 + plan.finish[kWire][i], &wifi)) {
+      return Unavailable("network lost mid-transfer; payload incomplete");
+    }
+  }
+  wifi.AccountTraffic(foreground_wire);
+  report.total_wire_bytes = foreground_wire;
+  report.transfer.end = clock.now();
+
+  // The guest-side drain (decompress + restore-apply beyond the last wire
+  // finish) is charged by RestoreOnGuest up to this deadline.
+  pipeline_restore_deadline_ = t0 + plan.makespan;
   return OkStatus();
 }
 
@@ -206,25 +466,41 @@ Result<CriaRestoredApp> MigrationManager::RestoreOnGuest(
   FLUX_ASSIGN_OR_RETURN(log_out, CallLog::Deserialize(log_section));
 
   bool compressed = false;
-  Bytes image_bytes;
+  ByteSpan image_view;
   FLUX_RETURN_IF_ERROR(reader.GetBool(compressed));
-  FLUX_RETURN_IF_ERROR(reader.GetBytes(image_bytes));
+  // Zero-copy view into the payload: the image is only staged once more if
+  // it needs decompressing.
+  FLUX_RETURN_IF_ERROR(reader.GetBytesView(image_view));
+  Bytes image_bytes;
+  ByteSpan image = image_view;
   if (compressed) {
-    FLUX_ASSIGN_OR_RETURN(
-        Bytes raw, LzDecompress(ByteSpan(image_bytes.data(),
-                                         image_bytes.size())));
-    guest_device.context().SpendCpu(
-        CpuCost(guest_device, raw.size(), config_.decompress_mbps));
-    image_bytes = std::move(raw);
+    if (LzIsChunkedStream(image_view)) {
+      FLUX_ASSIGN_OR_RETURN(Bytes raw, LzDecompressChunks(image_view));
+      image_bytes = std::move(raw);
+    } else {
+      FLUX_ASSIGN_OR_RETURN(Bytes raw, LzDecompress(image_view));
+      image_bytes = std::move(raw);
+    }
+    if (!config_.pipelined) {
+      guest_device.context().SpendCpu(
+          CpuCost(guest_device, image_bytes.size(), config_.decompress_mbps));
+    }
+    image = ByteSpan(image_bytes.data(), image_bytes.size());
   }
-  guest_device.context().SpendCpu(
-      CpuCost(guest_device, image_bytes.size(), config_.restore_mbps));
+  if (!config_.pipelined) {
+    guest_device.context().SpendCpu(
+        CpuCost(guest_device, image.size(), config_.restore_mbps));
+  }
 
   CriaRestoreOptions options;
   options.jail_root = FluxAgent::PairRoot(hw_out.device_name);
-  return Cria::Restore(guest_device,
-                       ByteSpan(image_bytes.data(), image_bytes.size()),
-                       options);
+  auto restored = Cria::Restore(guest_device, image, options);
+  if (restored.ok() && config_.pipelined) {
+    // Decompress + restore-apply overlapped with the transfer; only the
+    // pipeline drain past the last wire byte lands in this interval.
+    AdvanceWithTicks(pipeline_restore_deadline_);
+  }
+  return restored;
 }
 
 Status MigrationManager::Reintegrate(CriaRestoredApp& restored,
@@ -318,6 +594,15 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
   // From here on the app is frozen at home; any failure before the guest
   // copy is live must roll the home copy back to a usable state.
   auto rollback = [&](const Status& cause) -> Status {
+    // A restore that failed partway may have left wrapper processes on the
+    // guest; tear them down so the guest is clean for the next attempt.
+    if (const PackageInfo* wrapper =
+            guest_.device().package_manager().Find(app.package)) {
+      for (const Pid orphan :
+           guest_.device().kernel().ProcessesOfUid(wrapper->uid)) {
+        (void)guest_.device().KillAppProcess(orphan);
+      }
+    }
     home_.recorder().ResumeRecording(app.pid);
     Status fg = app.device->activity_manager().BringAppToForeground(app.pid);
     if (!fg.ok()) {
@@ -336,21 +621,36 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
     return rollback(payload_result.status());
   }
   Bytes payload = payload_result.TakeValue();
-
-  // Post-copy (§4's proposed optimization): only the hot working set of the
-  // image is pre-paged before restore; the rest streams while the app is
-  // already usable on the guest.
-  uint64_t foreground_bytes = payload.size();
-  if (config_.post_copy) {
-    const double fraction =
-        std::clamp(config_.post_copy_priority_fraction, 0.05, 1.0);
-    foreground_bytes = static_cast<uint64_t>(
-        static_cast<double>(payload.size()) * fraction);
-    report.deferred_bytes = payload.size() - foreground_bytes;
+  if (config_.payload_fault) {
+    // Test hook: corrupt the payload between checkpoint and transfer, as a
+    // wire or storage fault would.
+    config_.payload_fault(payload);
   }
-  if (Status transferred = Transfer(app, spec, foreground_bytes, report);
-      !transferred.ok()) {
-    return rollback(transferred);
+
+  if (config_.pipelined) {
+    // Chunked streaming: post-copy deferral happens per chunk inside the
+    // schedule, and the transfer is paced chunk by chunk.
+    if (Status transferred =
+            TransferPipelined(app, spec, payload.size(), report);
+        !transferred.ok()) {
+      return rollback(transferred);
+    }
+  } else {
+    // Post-copy (§4's proposed optimization): only the hot working set of
+    // the image is pre-paged before restore; the rest streams while the app
+    // is already usable on the guest.
+    uint64_t foreground_bytes = payload.size();
+    if (config_.post_copy) {
+      const double fraction =
+          std::clamp(config_.post_copy_priority_fraction, 0.05, 1.0);
+      foreground_bytes = static_cast<uint64_t>(
+          static_cast<double>(payload.size()) * fraction);
+      report.deferred_bytes = payload.size() - foreground_bytes;
+    }
+    if (Status transferred = Transfer(app, spec, foreground_bytes, report);
+        !transferred.ok()) {
+      return rollback(transferred);
+    }
   }
 
   CallLog log;

@@ -18,6 +18,7 @@
 #ifndef FLUX_SRC_FLUX_MIGRATION_H_
 #define FLUX_SRC_FLUX_MIGRATION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -25,8 +26,11 @@
 #include "src/cria/cria.h"
 #include "src/flux/flux_agent.h"
 #include "src/flux/pairing.h"
+#include "src/flux/pipeline.h"
 
 namespace flux {
+
+class WifiNetwork;
 
 struct MigrationConfig {
   // Modeled single-core throughputs for image handling (MB/s at the
@@ -53,6 +57,22 @@ struct MigrationConfig {
   // Fraction of the compressed image pre-paged up front when post_copy is
   // on (the adaptively chosen working set).
   double post_copy_priority_fraction = 0.25;
+  // Extension (the §4 overlap, taken further): chunked, pipelined
+  // migration. The CRIA image is split into `pipeline_chunk_bytes` chunks;
+  // serialize → compress (home) → wire → decompress → restore-apply
+  // (guest) overlap per chunk, and chunk compression fans out over
+  // `compress_threads` device cores (and, for real wall-clock wins, host
+  // threads). Off by default so the paper-baseline figures are unchanged.
+  bool pipelined = false;
+  uint64_t pipeline_chunk_bytes = 256 * 1024;
+  int compress_threads = 4;
+  // During long transfers the world keeps moving: the clock advances in
+  // slices of at most `transfer_tick`, ticking both devices (task idlers,
+  // due alarms) at each boundary.
+  SimDuration transfer_tick = Millis(250);
+  // Fault injection for tests: mutates the payload after checkpoint,
+  // before transfer (models wire corruption; exercises restore rollback).
+  std::function<void(Bytes&)> payload_fault;
 };
 
 struct RunningApp {
@@ -100,6 +120,9 @@ struct MigrationReport {
 
   CriaStats cria;
   ReplayStats replay;
+  // Pipelined mode only: stage-overlap accounting (chunk counts, per-stage
+  // busy/finish times, time saved vs strictly serial staging).
+  PipelineStats pipeline;
 
   // Where the app lives now.
   RunningApp migrated;
@@ -122,6 +145,14 @@ class MigrationManager {
   Result<Bytes> BuildPayload(const RunningApp& app, MigrationReport& report);
   Status Transfer(const RunningApp& app, const AppSpec& spec,
                   uint64_t payload_bytes, MigrationReport& report);
+  // APK verification + data-directory delta sync into the pairing root;
+  // returns the wire bytes it cost (shared by both transfer paths).
+  Result<uint64_t> SyncAppData(const RunningApp& app, const AppSpec& spec);
+  // Pipelined mode: data sync + chunked image streaming paced by the
+  // overlapped stage schedule. Fills report.pipeline and re-stamps the
+  // checkpoint/transfer intervals with the overlapped boundaries.
+  Status TransferPipelined(const RunningApp& app, const AppSpec& spec,
+                           uint64_t payload_bytes, MigrationReport& report);
   Result<CriaRestoredApp> RestoreOnGuest(ByteSpan payload,
                                          MigrationReport& report,
                                          CallLog& log_out,
@@ -130,9 +161,18 @@ class MigrationManager {
                      const HardwareSnapshot& home_hw,
                      MigrationReport& report);
 
+  // Advances the shared clock to `target` in transfer_tick slices, ticking
+  // both devices at each boundary so their timers observe time passing.
+  // With `watch` set, stops early and returns false if the network is down
+  // at a slice boundary; returns true once `target` is reached.
+  bool AdvanceWithTicks(SimTime target, WifiNetwork* watch = nullptr);
+
   FluxAgent& home_;
   FluxAgent& guest_;
   MigrationConfig config_;
+  // Absolute end of the overlapped decompress+restore stages, set by
+  // TransferPipelined and consumed by RestoreOnGuest.
+  SimTime pipeline_restore_deadline_ = 0;
 };
 
 }  // namespace flux

@@ -1,0 +1,51 @@
+#include "src/flux/pipeline.h"
+
+#include <algorithm>
+
+namespace flux {
+
+PipelinePlan SchedulePipeline(const std::vector<PipelineStageModel>& stages) {
+  PipelinePlan plan;
+  plan.stages.reserve(stages.size());
+  plan.finish.resize(stages.size());
+  const size_t chunks = stages.empty() ? 0 : stages[0].chunk_cost.size();
+
+  // prev_finish[s]: when stage s becomes free again (finished chunk i-1, or
+  // its initial offset before chunk 0).
+  std::vector<SimDuration> prev_finish;
+  prev_finish.reserve(stages.size());
+  for (const PipelineStageModel& stage : stages) {
+    PipelineStageTiming timing;
+    timing.name = stage.name;
+    timing.finish = stage.initial_offset;
+    plan.stages.push_back(std::move(timing));
+    prev_finish.push_back(stage.initial_offset);
+  }
+  for (auto& finish : plan.finish) {
+    finish.reserve(chunks);
+  }
+
+  for (size_t i = 0; i < chunks; ++i) {
+    SimDuration upstream = 0;  // when chunk i left the previous stage
+    for (size_t s = 0; s < stages.size(); ++s) {
+      const SimDuration cost = stages[s].chunk_cost[i];
+      const SimDuration start = std::max(prev_finish[s], upstream);
+      const SimDuration end = start + cost;
+      prev_finish[s] = end;
+      upstream = end;
+      plan.stages[s].busy += cost;
+      plan.stages[s].finish = end;
+      if (i == 0) {
+        plan.stages[s].first_finish = end;
+      }
+      plan.finish[s].push_back(end);
+    }
+  }
+
+  for (const SimDuration finish : prev_finish) {
+    plan.makespan = std::max(plan.makespan, finish);
+  }
+  return plan;
+}
+
+}  // namespace flux

@@ -58,4 +58,36 @@ void WifiNetwork::Transfer(SimClock& clock, uint64_t bytes,
   total_bytes_ += bytes;
 }
 
+bool WifiNetwork::UpAt(SimTime now) {
+  if (has_outage_ && now >= outage_at_) {
+    up_ = false;
+    has_outage_ = false;
+  }
+  return up_;
+}
+
+bool WifiNetwork::TransferWithTicks(SimClock& clock, uint64_t bytes,
+                                    const EffectiveLink& link,
+                                    SimDuration max_slice,
+                                    const std::function<void()>& on_tick) {
+  if (!UpAt(clock.now())) {
+    return false;
+  }
+  SimDuration remaining = TransferTime(bytes, link);
+  const SimDuration slice = max_slice > 0 ? max_slice : remaining;
+  while (remaining > 0) {
+    const SimDuration step = std::min(remaining, slice);
+    clock.Advance(step);
+    remaining -= step;
+    if (on_tick) {
+      on_tick();
+    }
+    if (!UpAt(clock.now())) {
+      return false;
+    }
+  }
+  total_bytes_ += bytes;
+  return true;
+}
+
 }  // namespace flux

@@ -11,6 +11,7 @@
 #define FLUX_SRC_NET_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/base/result.h"
@@ -66,6 +67,19 @@ class WifiNetwork {
   // Advances `clock` by TransferTime and accounts the traffic.
   void Transfer(SimClock& clock, uint64_t bytes, const EffectiveLink& link);
 
+  // Advances `clock` through TransferTime(bytes) in slices no longer than
+  // `max_slice`, invoking `on_tick` at every slice boundary so devices can
+  // run their periodic work (task idlers, due alarms) while a long transfer
+  // is in flight. Returns false — with the remaining time not advanced and
+  // no traffic accounted — if the network goes down mid-transfer.
+  bool TransferWithTicks(SimClock& clock, uint64_t bytes,
+                         const EffectiveLink& link, SimDuration max_slice,
+                         const std::function<void()>& on_tick);
+
+  // Accounts traffic without advancing any clock; pipelined migrations pace
+  // the clock themselves from the stage schedule.
+  void AccountTraffic(uint64_t bytes) { total_bytes_ += bytes; }
+
   uint64_t total_bytes_carried() const { return total_bytes_; }
 
   // Fault injection: while the network is down, migrations cannot transfer
@@ -73,11 +87,19 @@ class WifiNetwork {
   void set_up(bool up) { up_ = up; }
   bool up() const { return up_; }
 
+  // Fault injection: take the network down at a future instant. Transfers
+  // in progress observe the outage at their next slice boundary (UpAt).
+  void ScheduleOutageAt(SimTime t) { outage_at_ = t; has_outage_ = true; }
+  // Applies a due outage, then reports whether the network is up at `now`.
+  bool UpAt(SimTime now);
+
  private:
   BandConditions band_2_4_;
   BandConditions band_5_;
   uint64_t total_bytes_ = 0;
   bool up_ = true;
+  bool has_outage_ = false;
+  SimTime outage_at_ = 0;
 };
 
 // Device-observed connectivity state (what ConnectivityManagerService

@@ -3,10 +3,14 @@
 // loudly, never misread).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <vector>
+
 #include "src/base/archive.h"
 #include "src/base/compress.h"
 #include "src/base/rng.h"
 #include "src/base/synthetic_content.h"
+#include "src/base/thread_pool.h"
 
 namespace flux {
 namespace {
@@ -98,6 +102,124 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, CompressRoundTrip,
     ::testing::Combine(::testing::Values(0, 1, 7, 255, 4096, 65537, 300000),
                        ::testing::Values(0.0, 0.3, 0.5, 0.8, 1.0)));
+
+// ----- chunked streams -----
+
+TEST(ChunkedCompressTest, RoundTripByteIdentical) {
+  for (const size_t size : {size_t{0}, size_t{1}, size_t{1000},
+                            size_t{64 * 1024}, size_t{64 * 1024 + 1},
+                            size_t{300000}}) {
+    const Bytes input = GenerateContent(21 + size, size, 0.5);
+    const Bytes container =
+        LzCompressChunks(ByteSpan(input.data(), input.size()), 64 * 1024);
+    ASSERT_TRUE(LzIsChunkedStream(ByteSpan(container.data(),
+                                           container.size())) ||
+                size == 0)
+        << size;
+    auto raw = LzDecompressChunks(ByteSpan(container.data(),
+                                           container.size()));
+    ASSERT_TRUE(raw.ok()) << "size " << size << ": "
+                          << raw.status().ToString();
+    EXPECT_EQ(*raw, input) << size;
+  }
+}
+
+TEST(ChunkedCompressTest, ParallelMatchesSerialBitForBit) {
+  const Bytes input = GenerateContent(33, 1 << 20, 0.55);
+  const Bytes serial =
+      LzCompressChunks(ByteSpan(input.data(), input.size()), 128 * 1024);
+  ThreadPool pool(4);
+  const Bytes parallel = LzCompressChunks(
+      ByteSpan(input.data(), input.size()), 128 * 1024, &pool);
+  EXPECT_EQ(serial, parallel);
+  auto raw = LzDecompressChunks(ByteSpan(parallel.data(), parallel.size()));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, input);
+}
+
+TEST(ChunkedCompressTest, StreamedFramingMatchesAssembled) {
+  const Bytes input = GenerateContent(35, 500000, 0.4);
+  LzChunkStreams streams =
+      LzCompressChunkStreams(ByteSpan(input.data(), input.size()), 64 * 1024);
+  const Bytes assembled = LzAssembleChunkContainer(streams);
+  EXPECT_EQ(assembled.size(), streams.ContainerSize());
+  Bytes streamed;
+  LzFrameChunkContainer(
+      streams,
+      [&streamed](ByteSpan part) {
+        streamed.insert(streamed.end(), part.begin(), part.end());
+      },
+      /*release_chunks=*/true);
+  EXPECT_EQ(streamed, assembled);
+  for (const Bytes& chunk : streams.chunks) {
+    EXPECT_TRUE(chunk.empty());  // released as framed
+  }
+}
+
+TEST(ChunkedCompressTest, PlainStreamNotMistakenForChunked) {
+  const Bytes input = GenerateContent(37, 10000, 0.5);
+  const Bytes plain = LzCompress(ByteSpan(input.data(), input.size()));
+  EXPECT_FALSE(LzIsChunkedStream(ByteSpan(plain.data(), plain.size())));
+}
+
+TEST(ChunkedCompressTest, CorruptContainerRejected) {
+  const Bytes input = GenerateContent(39, 200000, 0.5);
+  Bytes container =
+      LzCompressChunks(ByteSpan(input.data(), input.size()), 64 * 1024);
+  // Truncations at the header, mid-framing, and mid-chunk.
+  for (const size_t cut :
+       {size_t{3}, size_t{12}, size_t{19}, container.size() / 2,
+        container.size() - 1}) {
+    auto raw = LzDecompressChunks(ByteSpan(container.data(), cut));
+    EXPECT_FALSE(raw.ok()) << "cut at " << cut;
+  }
+  // A lying chunk count.
+  Bytes tampered = container;
+  tampered[16] ^= 0x01;
+  auto raw = LzDecompressChunks(ByteSpan(tampered.data(), tampered.size()));
+  EXPECT_FALSE(raw.ok());
+}
+
+// ----- thread pool -----
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& hit : hits) {
+    hit.store(0);
+  }
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, InlineWhenSingleThreaded) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0);  // no workers: everything runs inline
+  int sum = 0;
+  pool.ParallelFor(10, [&sum](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, SequentialParallelForCallsDoNotInterfere) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(50, [&total](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 20 * 50);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
 
 // ----- Archive -----
 
@@ -199,6 +321,49 @@ TEST(ArchiveTest, EmptyStringAndBytes) {
   ASSERT_TRUE(reader.GetBytes(bytes).ok());
   EXPECT_TRUE(text.empty());
   EXPECT_TRUE(bytes.empty());
+}
+
+TEST(ArchiveTest, StreamedBytesMatchPutBytes) {
+  const Bytes content = GenerateContent(41, 100000, 0.5);
+
+  ArchiveWriter whole;
+  whole.PutU32(7);
+  whole.PutBytes(ByteSpan(content.data(), content.size()));
+  whole.PutString("tail");
+
+  ArchiveWriter streamed;
+  streamed.PutU32(7);
+  const size_t token = streamed.BeginBytes();
+  // Append in ragged pieces, including empty ones.
+  size_t pos = 0;
+  for (const size_t piece : {size_t{0}, size_t{1}, size_t{999}, size_t{64},
+                             content.size()}) {
+    const size_t len = std::min(piece, content.size() - pos);
+    streamed.AppendRaw(ByteSpan(content.data() + pos, len));
+    pos += len;
+  }
+  ASSERT_EQ(pos, content.size());
+  streamed.EndBytes(token);
+  streamed.PutString("tail");
+
+  EXPECT_EQ(whole.data(), streamed.data());
+}
+
+TEST(ArchiveTest, GetBytesViewIsZeroCopyAndEquivalent) {
+  const Bytes content = GenerateContent(43, 5000, 0.3);
+  ArchiveWriter writer;
+  writer.PutBytes(ByteSpan(content.data(), content.size()));
+  const Bytes data = writer.TakeData();
+
+  ArchiveReader reader(ByteSpan(data.data(), data.size()));
+  ByteSpan view;
+  ASSERT_TRUE(reader.GetBytesView(view).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  ASSERT_EQ(view.size(), content.size());
+  EXPECT_EQ(Bytes(view.begin(), view.end()), content);
+  // The view aliases the archive buffer rather than copying it.
+  EXPECT_GE(view.data(), data.data());
+  EXPECT_LE(view.data() + view.size(), data.data() + data.size());
 }
 
 TEST(ArchiveTest, ReadingPastEndFails) {
