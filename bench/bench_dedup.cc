@@ -1,0 +1,194 @@
+// Content-addressed delta transfer: cold vs warm re-migration wire bytes.
+//
+// For each Table 3 app, an N4 <-> N7(2013) ping-pong is run twice: once
+// with the plain pipelined engine (control) and once with chunk_dedup on.
+// Hop 1 (A -> B) is a cold transfer either way — the guest cache holds
+// only pairing-seeded framework chunks. Hop 2 (B -> A) returns to a device
+// whose cache saw every image chunk during hop 1, so the dedup run ships
+// 16-byte refs for the chunks that did not change while the app ran on B.
+//
+// Output: a per-app table (the Figure 15 transfer-size view, cold vs warm)
+// plus means, and a machine-readable BENCH_dedup.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+using namespace flux;
+
+namespace {
+
+struct PingPong {
+  bool ok = false;
+  std::string reason;
+  MigrationReport hop1;  // A -> B, cold caches
+  MigrationReport hop2;  // B -> A, warm caches (dedup runs only)
+};
+
+// One fresh, deterministic world per run: boot, pair both directions,
+// install + workload on A, then A -> B -> A.
+PingPong RunPingPong(const AppSpec& spec, const MigrationConfig& config) {
+  PingPong out;
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.02;
+  Device* a = world.AddDevice("n4", Nexus4Profile(), boot).value();
+  Device* b = world.AddDevice("n7-2013", Nexus7_2013Profile(), boot).value();
+  FluxAgent a_agent(*a);
+  FluxAgent b_agent(*b);
+  if (!PairDevices(a_agent, b_agent).ok() ||
+      !PairDevices(b_agent, a_agent).ok()) {
+    out.reason = "pairing failed";
+    return out;
+  }
+  AppInstance app(*a, spec);
+  if (!app.Install().ok() || !PairApp(a_agent, b_agent, spec).ok() ||
+      !app.Launch().ok()) {
+    out.reason = "install/launch failed";
+    return out;
+  }
+  a_agent.Manage(app.pid(), spec.package);
+  if (!app.RunWorkload(42).ok()) {
+    out.reason = "workload failed";
+    return out;
+  }
+  RunningApp running = RunningApp::FromInstance(app);
+
+  MigrationManager to_b(a_agent, b_agent, config);
+  auto hop1 = to_b.Migrate(running, spec);
+  if (!hop1.ok() || !hop1->success) {
+    out.reason = hop1.ok() ? hop1->refusal_reason : hop1.status().ToString();
+    return out;
+  }
+  running = hop1->migrated;
+
+  if (!PairApp(b_agent, a_agent, spec).ok()) {
+    out.reason = "return-edge pairing failed";
+    return out;
+  }
+  MigrationManager to_a(b_agent, a_agent, config);
+  auto hop2 = to_a.Migrate(running, spec);
+  if (!hop2.ok() || !hop2->success) {
+    out.reason = hop2.ok() ? hop2->refusal_reason : hop2.status().ToString();
+    return out;
+  }
+  out.hop1 = *hop1;
+  out.hop2 = *hop2;
+  out.ok = true;
+  return out;
+}
+
+struct AppRow {
+  std::string app;
+  double control_warm_kb = 0;  // hop 2 wire, plain pipelined
+  double dedup_warm_kb = 0;    // hop 2 wire, chunk_dedup
+  double reduction_pct = 0;
+  uint32_t ref_chunks = 0;
+  uint32_t chunk_count = 0;
+  double control_cold_s = 0;  // hop 1 total, plain pipelined
+  double dedup_cold_s = 0;    // hop 1 total, chunk_dedup
+};
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kError);
+  printf("=== Content-addressed delta transfer: cold vs warm hops ===\n");
+  printf("N4 <-> N7(2013) ping-pong per Table 3 app; warm hop returns to a\n"
+         "cache that saw the image once.\n\n");
+
+  MigrationConfig control;
+  control.pipelined = true;
+  MigrationConfig dedup = control;
+  dedup.chunk_dedup = true;
+
+  std::vector<AppRow> rows;
+  std::vector<std::string> skipped;
+  for (const AppSpec& spec : TopApps()) {
+    const PingPong c = RunPingPong(spec, control);
+    const PingPong d = RunPingPong(spec, dedup);
+    if (!c.ok || !d.ok) {
+      skipped.push_back(spec.display_name + ": " +
+                        (c.ok ? d.reason : c.reason));
+      continue;
+    }
+    AppRow row;
+    row.app = spec.display_name;
+    row.control_warm_kb = c.hop2.total_wire_bytes / 1024.0;
+    row.dedup_warm_kb = d.hop2.total_wire_bytes / 1024.0;
+    row.reduction_pct = 100.0 *
+                        (row.control_warm_kb - row.dedup_warm_kb) /
+                        row.control_warm_kb;
+    row.ref_chunks = d.hop2.dedup.ref_chunks;
+    row.chunk_count = d.hop2.dedup.chunk_count;
+    row.control_cold_s = ToSecondsF(c.hop1.Total());
+    row.dedup_cold_s = ToSecondsF(d.hop1.Total());
+    rows.push_back(row);
+  }
+
+  printf("%-22s | %9s | %9s | %7s | %9s\n", "App (warm-hop wire)",
+         "plain KB", "dedup KB", "saved", "ref/chunk");
+  for (size_t i = 0; i < 70; ++i) {
+    printf("-");
+  }
+  printf("\n");
+  double sum_reduction = 0;
+  double sum_control_warm = 0;
+  double sum_dedup_warm = 0;
+  double sum_cold_delta = 0;
+  for (const AppRow& row : rows) {
+    printf("%-22s | %9.0f | %9.0f | %6.1f%% | %4u/%-4u\n", row.app.c_str(),
+           row.control_warm_kb, row.dedup_warm_kb, row.reduction_pct,
+           row.ref_chunks, row.chunk_count);
+    sum_reduction += row.reduction_pct;
+    sum_control_warm += row.control_warm_kb;
+    sum_dedup_warm += row.dedup_warm_kb;
+    sum_cold_delta += row.dedup_cold_s - row.control_cold_s;
+  }
+  if (rows.empty()) {
+    fprintf(stderr, "no app completed the ping-pong\n");
+    return 1;
+  }
+  const double mean_reduction = sum_reduction / rows.size();
+  const double mean_cold_delta = sum_cold_delta / rows.size();
+  printf("\nSummary over %zu apps:\n", rows.size());
+  printf("  mean warm-hop transfer reduction : %.1f%%\n", mean_reduction);
+  printf("  total warm-hop wire              : %.0f KB -> %.0f KB\n",
+         sum_control_warm, sum_dedup_warm);
+  printf("  mean cold-hop time delta         : %+.3f s (dedup - plain)\n",
+         mean_cold_delta);
+  for (const std::string& reason : skipped) {
+    printf("  skipped %s\n", reason.c_str());
+  }
+
+  FILE* json = fopen("BENCH_dedup.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    fprintf(json, "  \"apps\": %zu,\n", rows.size());
+    fprintf(json, "  \"mean_warm_reduction_pct\": %.2f,\n", mean_reduction);
+    fprintf(json, "  \"total_warm_wire_plain_kb\": %.1f,\n", sum_control_warm);
+    fprintf(json, "  \"total_warm_wire_dedup_kb\": %.1f,\n", sum_dedup_warm);
+    fprintf(json, "  \"mean_cold_time_delta_s\": %.4f,\n", mean_cold_delta);
+    fprintf(json, "  \"per_app\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const AppRow& row = rows[i];
+      fprintf(json,
+              "    {\"app\": \"%s\", \"warm_plain_kb\": %.1f, "
+              "\"warm_dedup_kb\": %.1f, \"reduction_pct\": %.2f, "
+              "\"ref_chunks\": %u, \"chunk_count\": %u, "
+              "\"cold_plain_s\": %.4f, \"cold_dedup_s\": %.4f}%s\n",
+              row.app.c_str(), row.control_warm_kb, row.dedup_warm_kb,
+              row.reduction_pct, row.ref_chunks, row.chunk_count,
+              row.control_cold_s, row.dedup_cold_s,
+              i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(json, "  ]\n}\n");
+    fclose(json);
+    printf("\nWrote BENCH_dedup.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions.
+
+Usage: check_bench.py <pipeline|dedup> <fresh.json> <committed.json>
+
+Compares a freshly produced BENCH_*.json against the committed one and
+exits non-zero when the fresh numbers regress beyond tolerance:
+
+  pipeline  mean_total_improvement_pct may drop at most 5 points below
+            the committed value.
+  dedup     mean_warm_reduction_pct must stay >= 50 (the acceptance
+            floor) and within 5 points of the committed value;
+            mean_cold_time_delta_s must stay <= 0.05 s.
+
+The simulation is deterministic, so in practice fresh == committed; the
+tolerances only absorb intentional recalibrations small enough not to
+invalidate the claims.
+"""
+
+import json
+import sys
+
+TOLERANCE_PCT = 5.0
+DEDUP_FLOOR_PCT = 50.0
+COLD_DELTA_MAX_S = 0.05
+
+
+def fail(msg):
+    print("check_bench: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 4 or argv[1] not in ("pipeline", "dedup"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    mode, fresh_path, committed_path = argv[1], argv[2], argv[3]
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(committed_path) as f:
+        committed = json.load(f)
+
+    if mode == "pipeline":
+        key = "mean_total_improvement_pct"
+        got, want = fresh[key], committed[key]
+        if got < want - TOLERANCE_PCT:
+            fail("%s regressed: %.2f vs committed %.2f (tolerance %.1f)"
+                 % (key, got, want, TOLERANCE_PCT))
+        print("check_bench: pipeline OK (%s = %.2f, committed %.2f)"
+              % (key, got, want))
+    else:
+        key = "mean_warm_reduction_pct"
+        got, want = fresh[key], committed[key]
+        if got < DEDUP_FLOOR_PCT:
+            fail("%s below the %.0f%% acceptance floor: %.2f"
+                 % (key, DEDUP_FLOOR_PCT, got))
+        if got < want - TOLERANCE_PCT:
+            fail("%s regressed: %.2f vs committed %.2f (tolerance %.1f)"
+                 % (key, got, want, TOLERANCE_PCT))
+        cold = fresh["mean_cold_time_delta_s"]
+        if cold > COLD_DELTA_MAX_S:
+            fail("mean_cold_time_delta_s too high: %.4f s (max %.2f s)"
+                 % (cold, COLD_DELTA_MAX_S))
+        print("check_bench: dedup OK (%s = %.2f, committed %.2f, "
+              "cold delta %+.4f s)" % (key, got, want, cold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,8 +10,14 @@ namespace flux {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x464C5A31;       // "FLZ1"
-constexpr uint32_t kChunkMagic = 0x464C5A43;  // "FLZC"
+constexpr uint32_t kMagic = 0x464C5A31;         // "FLZ1"
+constexpr uint32_t kChunkMagic = 0x464C5A43;    // "FLZC" (v1)
+constexpr uint32_t kChunkMagicV2 = 0x464C5A32;  // "FLZ2" (kind-tagged)
+
+// v2 per-chunk prefix: kind in the top 2 bits, wire length in the low 30.
+constexpr uint32_t kKindShift = 30;
+constexpr uint32_t kLengthMask = (1u << kKindShift) - 1;
+constexpr size_t kRefBytes = 16;
 constexpr size_t kWindowSize = 64 * 1024;
 constexpr size_t kMinMatch = 4;
 constexpr size_t kMaxMatch = 4 + 255;
@@ -255,8 +261,44 @@ uint64_t LzCompressedSize(ByteSpan input) { return LzCompress(input).size(); }
 
 // ----- chunked streams -----
 
+namespace {
+
+void PutHash128(Bytes& out, const Hash128& h) {
+  PutU64(out, h.lo);
+  PutU64(out, h.hi);
+}
+
+bool GetHash128(ByteSpan in, size_t& pos, Hash128& h) {
+  return GetU64(in, pos, h.lo) && GetU64(in, pos, h.hi);
+}
+
+}  // namespace
+
+bool LzChunkStreams::NeedsV2() const {
+  for (const uint8_t kind : kinds) {
+    if (kind != static_cast<uint8_t>(LzChunkKind::kLz)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LzChunkKind LzChunkStreams::KindOf(size_t i) const {
+  return i < kinds.size() ? static_cast<LzChunkKind>(kinds[i])
+                          : LzChunkKind::kLz;
+}
+
+uint64_t LzChunkStreams::HeaderBytes() const {
+  // magic, raw size, chunk size, count; v2 adds the whole-input digest.
+  return 4 + 8 + 4 + 4 + (NeedsV2() ? kRefBytes : 0);
+}
+
+uint64_t LzChunkStreams::ChunkWireBytes(size_t i) const {
+  return 4 + chunks[i].size();
+}
+
 uint64_t LzChunkStreams::ContainerSize() const {
-  uint64_t total = 4 + 8 + 4 + 4;  // magic, raw size, chunk size, count
+  uint64_t total = HeaderBytes();
   for (const Bytes& chunk : chunks) {
     total += 4 + chunk.size();
   }
@@ -273,55 +315,113 @@ uint64_t LzChunkStreams::RawChunkSize(size_t i) const {
 
 LzChunkStreams LzCompressChunkStreams(ByteSpan input, uint32_t chunk_size,
                                       ThreadPool* pool) {
+  return LzCompressChunkStreamsDeduped(input, chunk_size, pool, {});
+}
+
+LzChunkStreams LzCompressChunkStreamsDeduped(ByteSpan input,
+                                             uint32_t chunk_size,
+                                             ThreadPool* pool,
+                                             const LzChunkDedupPlan& plan) {
   LzChunkStreams streams;
   streams.raw_size = input.size();
   streams.chunk_size = chunk_size == 0 ? 256 * 1024 : chunk_size;
   const size_t count =
       (input.size() + streams.chunk_size - 1) / streams.chunk_size;
   streams.chunks.resize(count);
-  auto compress_chunk = [&](size_t i) {
+  const bool any_ref = [&] {
+    for (const uint8_t r : plan.ref_chunks) {
+      if (r != 0) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  if (any_ref || plan.stored_fallback) {
+    streams.kinds.assign(count, static_cast<uint8_t>(LzChunkKind::kLz));
+  }
+  auto encode_chunk = [&](size_t i) {
     const size_t begin = i * static_cast<size_t>(streams.chunk_size);
     const size_t len =
         std::min<size_t>(streams.chunk_size, input.size() - begin);
-    streams.chunks[i] = LzCompress(input.subspan(begin, len));
+    if (i < plan.ref_chunks.size() && plan.ref_chunks[i] != 0 &&
+        i < plan.hashes.size()) {
+      Bytes ref;
+      ref.reserve(kRefBytes);
+      PutHash128(ref, plan.hashes[i]);
+      streams.chunks[i] = std::move(ref);
+      streams.kinds[i] = static_cast<uint8_t>(LzChunkKind::kRef);
+      return;
+    }
+    Bytes stream = LzCompress(input.subspan(begin, len));
+    if (plan.stored_fallback && stream.size() >= len) {
+      // The LZ framing expanded an incompressible chunk; ship it verbatim
+      // so its wire cost is capped at raw + the 4-byte prefix.
+      streams.chunks[i] = Bytes(input.data() + begin, input.data() + begin + len);
+      streams.kinds[i] = static_cast<uint8_t>(LzChunkKind::kStored);
+      return;
+    }
+    streams.chunks[i] = std::move(stream);
   };
   if (pool != nullptr && count > 1) {
-    pool->ParallelFor(count, compress_chunk);
+    pool->ParallelFor(count, encode_chunk);
   } else {
     for (size_t i = 0; i < count; ++i) {
-      compress_chunk(i);
+      encode_chunk(i);
     }
   }
+  if (streams.NeedsV2()) {
+    streams.content_hash = FluxHash128(input);
+  }
   return streams;
+}
+
+std::vector<Hash128> LzChunkHashes(ByteSpan input, uint32_t chunk_size) {
+  const uint32_t size = chunk_size == 0 ? 256 * 1024 : chunk_size;
+  const size_t count = (input.size() + size - 1) / size;
+  std::vector<Hash128> hashes;
+  hashes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t begin = i * static_cast<size_t>(size);
+    const size_t len = std::min<size_t>(size, input.size() - begin);
+    hashes.push_back(FluxHash128(input.subspan(begin, len)));
+  }
+  return hashes;
 }
 
 Bytes LzAssembleChunkContainer(const LzChunkStreams& streams) {
   Bytes out;
   out.reserve(streams.ContainerSize());
-  PutU32(out, kChunkMagic);
-  PutU64(out, streams.raw_size);
-  PutU32(out, streams.chunk_size);
-  PutU32(out, static_cast<uint32_t>(streams.chunks.size()));
-  for (const Bytes& chunk : streams.chunks) {
-    PutU32(out, static_cast<uint32_t>(chunk.size()));
-    out.insert(out.end(), chunk.begin(), chunk.end());
-  }
+  // The const_cast is safe: release_chunks is off, so the streams are only
+  // read.
+  LzFrameChunkContainer(const_cast<LzChunkStreams&>(streams),
+                        [&out](ByteSpan part) {
+                          out.insert(out.end(), part.begin(), part.end());
+                        });
   return out;
 }
 
 void LzFrameChunkContainer(LzChunkStreams& streams,
                            const std::function<void(ByteSpan)>& append,
                            bool release_chunks) {
+  const bool v2 = streams.NeedsV2();
   Bytes header;
-  header.reserve(4 + 8 + 4 + 4);
-  PutU32(header, kChunkMagic);
+  header.reserve(streams.HeaderBytes());
+  PutU32(header, v2 ? kChunkMagicV2 : kChunkMagic);
   PutU64(header, streams.raw_size);
   PutU32(header, streams.chunk_size);
   PutU32(header, static_cast<uint32_t>(streams.chunks.size()));
+  if (v2) {
+    PutHash128(header, streams.content_hash);
+  }
   append(ByteSpan(header.data(), header.size()));
-  for (Bytes& chunk : streams.chunks) {
+  for (size_t i = 0; i < streams.chunks.size(); ++i) {
+    Bytes& chunk = streams.chunks[i];
+    uint32_t word = static_cast<uint32_t>(chunk.size());
+    if (v2) {
+      word |= static_cast<uint32_t>(streams.KindOf(i)) << kKindShift;
+    }
     Bytes prefix;
-    PutU32(prefix, static_cast<uint32_t>(chunk.size()));
+    PutU32(prefix, word);
     append(ByteSpan(prefix.data(), prefix.size()));
     append(ByteSpan(chunk.data(), chunk.size()));
     if (release_chunks) {
@@ -338,54 +438,118 @@ Bytes LzCompressChunks(ByteSpan input, uint32_t chunk_size, ThreadPool* pool) {
 bool LzIsChunkedStream(ByteSpan input) {
   size_t pos = 0;
   uint32_t magic = 0;
-  return GetU32(input, pos, magic) && magic == kChunkMagic;
+  return GetU32(input, pos, magic) &&
+         (magic == kChunkMagic || magic == kChunkMagicV2);
 }
 
-Result<Bytes> LzDecompressChunks(ByteSpan input) {
+Result<LzChunkContainerInfo> LzPeekChunkContainer(ByteSpan input) {
   size_t pos = 0;
   uint32_t magic = 0;
-  uint64_t raw_size = 0;
-  uint32_t chunk_size = 0;
-  uint32_t count = 0;
-  if (!GetU32(input, pos, magic) || magic != kChunkMagic) {
-    return Corrupt("LzDecompressChunks: bad container magic");
+  LzChunkContainerInfo info;
+  if (!GetU32(input, pos, magic) ||
+      (magic != kChunkMagic && magic != kChunkMagicV2)) {
+    return Corrupt("LzPeekChunkContainer: bad container magic");
   }
-  if (!GetU64(input, pos, raw_size) || !GetU32(input, pos, chunk_size) ||
-      !GetU32(input, pos, count)) {
-    return Corrupt("LzDecompressChunks: truncated header");
+  info.v2 = magic == kChunkMagicV2;
+  if (!GetU64(input, pos, info.raw_size) ||
+      !GetU32(input, pos, info.chunk_size) ||
+      !GetU32(input, pos, info.chunk_count)) {
+    return Corrupt("LzPeekChunkContainer: truncated header");
   }
+  return info;
+}
+
+Result<Bytes> LzDecompressChunks(ByteSpan input,
+                                 const LzChunkRefResolver& resolver) {
+  FLUX_ASSIGN_OR_RETURN(LzChunkContainerInfo info,
+                        LzPeekChunkContainer(input));
+  size_t pos = 4 + 8 + 4 + 4;  // past magic + raw size + chunk size + count
+  const uint64_t raw_size = info.raw_size;
+  const uint32_t chunk_size = info.chunk_size;
   if (raw_size > (1ull << 36) || (raw_size > 0 && chunk_size == 0)) {
     return Corrupt("LzDecompressChunks: implausible header");
   }
   const uint64_t expected_count =
       chunk_size == 0 ? 0 : (raw_size + chunk_size - 1) / chunk_size;
-  if (count != expected_count) {
+  if (info.chunk_count != expected_count) {
     return Corrupt("LzDecompressChunks: chunk count mismatch");
+  }
+  Hash128 content_hash;
+  if (info.v2 && !GetHash128(input, pos, content_hash)) {
+    return Corrupt("LzDecompressChunks: truncated v2 header");
   }
 
   Bytes out;
   out.reserve(raw_size);
-  for (uint32_t i = 0; i < count; ++i) {
-    uint32_t compressed_size = 0;
-    if (!GetU32(input, pos, compressed_size) ||
-        pos + compressed_size > input.size()) {
+  for (uint32_t i = 0; i < info.chunk_count; ++i) {
+    uint32_t word = 0;
+    if (!GetU32(input, pos, word)) {
+      return Corrupt("LzDecompressChunks: truncated chunk prefix");
+    }
+    const uint32_t wire_size = info.v2 ? (word & kLengthMask) : word;
+    const auto kind = static_cast<LzChunkKind>(info.v2 ? word >> kKindShift
+                                                       : 0);
+    if (pos + wire_size > input.size()) {
       return Corrupt("LzDecompressChunks: truncated chunk");
     }
-    FLUX_ASSIGN_OR_RETURN(Bytes raw,
-                          LzDecompress(input.subspan(pos, compressed_size)));
-    pos += compressed_size;
     const uint64_t expected =
         std::min<uint64_t>(chunk_size, raw_size - out.size());
-    if (raw.size() != expected) {
-      return Corrupt("LzDecompressChunks: chunk raw size mismatch");
+    switch (kind) {
+      case LzChunkKind::kLz: {
+        FLUX_ASSIGN_OR_RETURN(Bytes raw,
+                              LzDecompress(input.subspan(pos, wire_size)));
+        if (raw.size() != expected) {
+          return Corrupt("LzDecompressChunks: chunk raw size mismatch");
+        }
+        out.insert(out.end(), raw.begin(), raw.end());
+        break;
+      }
+      case LzChunkKind::kStored: {
+        if (wire_size != expected) {
+          return Corrupt("LzDecompressChunks: stored chunk size mismatch");
+        }
+        out.insert(out.end(), input.data() + pos,
+                   input.data() + pos + wire_size);
+        break;
+      }
+      case LzChunkKind::kRef: {
+        if (wire_size != kRefBytes) {
+          return Corrupt("LzDecompressChunks: malformed ref chunk");
+        }
+        if (!resolver) {
+          return Corrupt("LzDecompressChunks: ref chunk without a resolver");
+        }
+        size_t ref_pos = pos;
+        Hash128 ref;
+        if (!GetHash128(input, ref_pos, ref)) {
+          return Corrupt("LzDecompressChunks: truncated ref chunk");
+        }
+        Bytes raw;
+        if (!resolver(ref, raw)) {
+          return Corrupt("LzDecompressChunks: unresolvable ref chunk " +
+                         ref.ToHex());
+        }
+        if (raw.size() != expected || FluxHash128(ByteSpan(
+                                          raw.data(), raw.size())) != ref) {
+          return Corrupt("LzDecompressChunks: resolved chunk fails its hash");
+        }
+        out.insert(out.end(), raw.begin(), raw.end());
+        break;
+      }
+      default:
+        return Corrupt("LzDecompressChunks: unknown chunk kind");
     }
-    out.insert(out.end(), raw.begin(), raw.end());
+    pos += wire_size;
   }
   if (out.size() != raw_size) {
     return Corrupt("LzDecompressChunks: raw size mismatch");
   }
   if (pos != input.size()) {
     return Corrupt("LzDecompressChunks: trailing bytes");
+  }
+  if (info.v2 &&
+      FluxHash128(ByteSpan(out.data(), out.size())) != content_hash) {
+    return Corrupt("LzDecompressChunks: reassembled image fails its digest");
   }
   return out;
 }

@@ -13,9 +13,26 @@
 //
 // Chunked container (the pipelined-migration framing): the input is split
 // into fixed-size chunks, each compressed as an independent FLZ1 stream so
-// chunks compress in parallel and decompress in order:
-//   [u32 chunk magic][u64 raw_size][u32 chunk_size][u32 chunk_count]
-//   then per chunk [u32 compressed_size][FLZ1 stream].
+// chunks compress in parallel and decompress in order. Two container
+// versions share the framing:
+//
+//   FLZC (v1): [u32 chunk magic][u64 raw_size][u32 chunk_size]
+//              [u32 chunk_count], then per chunk
+//              [u32 compressed_size][FLZ1 stream].
+//
+//   FLZ2 (v2): same header plus a 16-byte whole-input FluxHash128, then per
+//              chunk a kind-tagged u32 prefix (kind in the top 2 bits, byte
+//              length in the low 30):
+//                kLz     — an FLZ1 stream, as in v1;
+//                kStored — the chunk's raw bytes verbatim (emitted when LZ
+//                          output would be >= the raw size, capping chunk
+//                          wire bytes at raw + 4);
+//                kRef    — a 16-byte content hash referencing a chunk the
+//                          receiver already holds in its ChunkCache.
+//
+// A v2 container is only produced when at least one chunk is stored or a
+// ref; otherwise the encoder emits v1, byte-identical to what it always
+// produced — cold migrations are unchanged on the wire.
 #ifndef FLUX_SRC_BASE_COMPRESS_H_
 #define FLUX_SRC_BASE_COMPRESS_H_
 
@@ -23,6 +40,7 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/base/hash.h"
 #include "src/base/result.h"
 
 namespace flux {
@@ -42,14 +60,32 @@ uint64_t LzCompressedSize(ByteSpan input);
 
 // ----- chunked streams (pipelined migration) -----
 
-// One FLZ1 stream per fixed-size chunk, kept separate so a payload writer
+// How one chunk travels inside the container.
+enum class LzChunkKind : uint8_t {
+  kLz = 0,      // FLZ1 stream
+  kStored = 1,  // raw bytes (incompressible chunk)
+  kRef = 2,     // 16-byte content hash resolved from the receiver's cache
+};
+
+// One wire item per fixed-size chunk, kept separate so a payload writer
 // can frame them without another concatenation copy.
 struct LzChunkStreams {
   uint64_t raw_size = 0;
   uint32_t chunk_size = 0;
-  std::vector<Bytes> chunks;  // in input order
+  // Whole-input digest; serialized (and verified) in v2 containers only.
+  Hash128 content_hash;
+  std::vector<Bytes> chunks;  // in input order: stream, raw bytes, or hash
+  // Per-chunk kinds; empty means every chunk is kLz (v1 container).
+  std::vector<uint8_t> kinds;
 
-  // Container bytes once framed (header + per-chunk size prefixes).
+  // True if any chunk is stored or a ref — the container must be v2.
+  bool NeedsV2() const;
+  LzChunkKind KindOf(size_t i) const;
+  // Container framing ahead of chunk 0 (v2 adds the 16-byte digest).
+  uint64_t HeaderBytes() const;
+  // Wire bytes of chunk `i` including its u32 prefix.
+  uint64_t ChunkWireBytes(size_t i) const;
+  // Container bytes once framed (header + per-chunk prefixed items).
   uint64_t ContainerSize() const;
   // Raw bytes covered by chunk `i` (the tail chunk may be short).
   uint64_t RawChunkSize(size_t i) const;
@@ -59,9 +95,34 @@ struct LzChunkStreams {
 // independent FLZ1 stream — on `pool` when given (wall-clock parallel),
 // inline otherwise. Chunk independence costs a little ratio (the match
 // window cannot reach across a chunk boundary) but buys parallelism and
-// per-chunk pipelining.
+// per-chunk pipelining. Always yields a v1 container (all chunks kLz).
 LzChunkStreams LzCompressChunkStreams(ByteSpan input, uint32_t chunk_size,
                                       ThreadPool* pool = nullptr);
+
+// Delta-transfer plan for the dedup-aware encoder.
+struct LzChunkDedupPlan {
+  // Emit incompressible chunks verbatim instead of letting the LZ framing
+  // expand them past their raw size.
+  bool stored_fallback = false;
+  // Per-chunk raw-content hashes (LzChunkHashes order); required when any
+  // ref_chunks entry is set — a ref chunk ships hashes[i] instead of its
+  // content.
+  std::vector<Hash128> hashes;
+  // ref_chunks[i] != 0 => the receiver holds chunk i; ship a 16-byte ref.
+  std::vector<uint8_t> ref_chunks;
+};
+
+// Dedup-aware variant: ref chunks skip compression entirely and serialize
+// their 16-byte hash; the rest compress (in parallel on `pool`) with the
+// optional stored fallback. With an empty plan this is exactly
+// LzCompressChunkStreams.
+LzChunkStreams LzCompressChunkStreamsDeduped(ByteSpan input,
+                                             uint32_t chunk_size,
+                                             ThreadPool* pool,
+                                             const LzChunkDedupPlan& plan);
+
+// FluxHash128 of each `chunk_size`-byte slice of `input`, in order.
+std::vector<Hash128> LzChunkHashes(ByteSpan input, uint32_t chunk_size);
 
 // Frames chunk streams into one contiguous container.
 Bytes LzAssembleChunkContainer(const LzChunkStreams& streams);
@@ -78,13 +139,30 @@ void LzFrameChunkContainer(LzChunkStreams& streams,
 Bytes LzCompressChunks(ByteSpan input, uint32_t chunk_size,
                        ThreadPool* pool = nullptr);
 
-// True if `input` starts with the chunked-container magic.
+// True if `input` starts with either chunked-container magic.
 bool LzIsChunkedStream(ByteSpan input);
+
+// Container header fields without decoding any chunk.
+struct LzChunkContainerInfo {
+  uint64_t raw_size = 0;
+  uint32_t chunk_size = 0;
+  uint32_t chunk_count = 0;
+  bool v2 = false;
+};
+Result<LzChunkContainerInfo> LzPeekChunkContainer(ByteSpan input);
+
+// Resolves a v2 ref chunk: fill `out` with the raw chunk content for
+// `hash` and return true, or return false if the content is unavailable
+// (unknown hash, or a cached entry that failed verification).
+using LzChunkRefResolver = std::function<bool(const Hash128& hash, Bytes& out)>;
 
 // Decompresses a container produced by LzCompressChunks /
 // LzAssembleChunkContainer. Chunks are independent streams, so output is
 // reassembled strictly in order; fails with kCorrupt on malformed input.
-Result<Bytes> LzDecompressChunks(ByteSpan input);
+// A v2 container containing ref chunks requires `resolver`; after
+// reassembly the whole-input digest is re-verified against the header.
+Result<Bytes> LzDecompressChunks(ByteSpan input,
+                                 const LzChunkRefResolver& resolver = nullptr);
 
 }  // namespace flux
 

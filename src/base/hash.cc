@@ -1,6 +1,7 @@
 #include "src/base/hash.h"
 
 #include <array>
+#include <cstring>
 
 namespace flux {
 
@@ -55,6 +56,87 @@ void Fnv1a64Hasher::Update(std::string_view data) {
     h *= kFnvPrime;
   }
   state_ = h;
+}
+
+namespace {
+
+// Folded 64x64 -> 128 multiply, the wyhash/mum mixing primitive: the high
+// half of the product diffuses every input bit into every output bit.
+inline uint64_t FoldMul64(uint64_t a, uint64_t b) {
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return static_cast<uint64_t>(product) ^
+         static_cast<uint64_t>(product >> 64);
+}
+
+// Little-endian partial-word load: 0..8 bytes.
+inline uint64_t LoadTail(const uint8_t* p, size_t len) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < len; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Independent odd secrets for the two lanes (digits of pi / e).
+constexpr uint64_t kSecretA = 0x243F6A8885A308D3ull;
+constexpr uint64_t kSecretB = 0x13198A2E03707345ull;
+constexpr uint64_t kSecretC = 0xA4093822299F31D1ull;
+constexpr uint64_t kSecretD = 0x082EFA98EC4E6C89ull;
+
+}  // namespace
+
+Hash128 FluxHash128(ByteSpan data, uint64_t seed) {
+  const uint8_t* p = data.data();
+  size_t remaining = data.size();
+  uint64_t lane0 = seed ^ kSecretA;
+  uint64_t lane1 = ~seed ^ kSecretB;
+
+  while (remaining >= 16) {
+    const uint64_t w0 = Load64(p);
+    const uint64_t w1 = Load64(p + 8);
+    lane0 = FoldMul64(w0 ^ lane0, kSecretC ^ lane1);
+    lane1 = FoldMul64(w1 ^ lane1, kSecretD ^ lane0);
+    p += 16;
+    remaining -= 16;
+  }
+  if (remaining > 0) {
+    const size_t first = remaining < 8 ? remaining : 8;
+    const uint64_t w0 = LoadTail(p, first);
+    const uint64_t w1 = remaining > 8 ? LoadTail(p + 8, remaining - 8) : 0;
+    lane0 = FoldMul64(w0 ^ lane0, kSecretC ^ lane1);
+    lane1 = FoldMul64(w1 ^ lane1, kSecretD ^ lane0);
+  }
+
+  // Finalize with the length so prefixes of zero bytes don't collide.
+  const uint64_t n = data.size();
+  Hash128 digest;
+  digest.lo = FoldMul64(lane0 ^ n, kSecretD ^ lane1);
+  digest.hi = FoldMul64(lane1 ^ n, kSecretC ^ digest.lo);
+  return digest;
+}
+
+uint64_t FluxHash64(ByteSpan data, uint64_t seed) {
+  return FluxHash128(data, seed).lo;
+}
+
+std::string Hash128::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t word = i < 8 ? hi : lo;
+    const int shift = 8 * (7 - (i % 8));
+    const uint8_t byte = static_cast<uint8_t>(word >> shift);
+    out[2 * i] = kDigits[byte >> 4];
+    out[2 * i + 1] = kDigits[byte & 0xF];
+  }
+  return out;
 }
 
 uint32_t Crc32(ByteSpan data) {

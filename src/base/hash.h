@@ -1,10 +1,14 @@
-// Content hashing used by the filesystem (rsync-style sync) and checkpoint
-// image integrity checks. FNV-1a is used as a cheap stable content hash;
-// CRC32 guards checkpoint image sections.
+// Content hashing used by the filesystem (rsync-style sync), checkpoint
+// image integrity checks, and the content-addressed chunk store. FNV-1a is
+// used as a cheap stable content hash; CRC32 guards checkpoint image
+// sections; FluxHash128 keys chunk-cache entries and transfer manifests.
 #ifndef FLUX_SRC_BASE_HASH_H_
 #define FLUX_SRC_BASE_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <string_view>
 
 #include "src/base/bytes.h"
@@ -29,6 +33,56 @@ class Fnv1a64Hasher {
 // CRC-32 (IEEE 802.3 polynomial, reflected).
 uint32_t Crc32(ByteSpan data);
 
+// A 128-bit content digest. Two independently mixed 64-bit lanes: at the
+// chunk-cache scale (thousands of 256 KiB chunks) 64 bits would already be
+// collision-safe, but 128 bits make accidental cross-app collisions
+// negligible for the lifetime of a device pair, and the 16-byte value *is*
+// the wire format of a `ref` chunk.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Hash128& a, const Hash128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  std::string ToHex() const;
+};
+
+// Hasher for unordered containers keyed by Hash128. The digest is already
+// uniformly mixed, so the low lane is a fine bucket index.
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.lo ^ (h.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+// Fast 128-bit hash over a byte span (wyhash-style folded 64x64->128
+// multiplies, two lanes with independent secrets). Roughly an order of
+// magnitude faster than FNV-1a on large buffers because it consumes 16
+// bytes per step instead of 1. Stable across runs and platforms
+// (little-endian lane loads); the digest is part of the FLZ2 container
+// format, so its value must never change.
+Hash128 FluxHash128(ByteSpan data, uint64_t seed = 0);
+
+// Convenience: the low lane alone, for callers that only need 64 bits.
+uint64_t FluxHash64(ByteSpan data, uint64_t seed = 0);
+
 }  // namespace flux
+
+namespace std {
+template <>
+struct hash<flux::Hash128> {
+  size_t operator()(const flux::Hash128& h) const {
+    return flux::Hash128Hasher{}(h);
+  }
+};
+}  // namespace std
 
 #endif  // FLUX_SRC_BASE_HASH_H_

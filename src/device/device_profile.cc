@@ -16,6 +16,7 @@ DeviceProfile Nexus4Profile() {
   profile.perf_cpu = 1.0;
   profile.perf_mem = 1.0;
   profile.perf_io = 1.0;
+  profile.chunk_cache_budget_bytes = 64ull * 1024 * 1024;
   profile.max_music_volume = 15;
   return profile;
 }
@@ -36,6 +37,8 @@ DeviceProfile Nexus7_2012Profile() {
   profile.perf_cpu = 0.62;
   profile.perf_mem = 0.70;
   profile.perf_io = 0.75;
+  // 1 GB of RAM: half the chunk-cache budget of the 2 GB devices.
+  profile.chunk_cache_budget_bytes = 32ull * 1024 * 1024;
   profile.max_music_volume = 15;
   return profile;
 }
@@ -54,6 +57,7 @@ DeviceProfile Nexus7_2013Profile() {
   profile.perf_cpu = 1.0;
   profile.perf_mem = 0.98;
   profile.perf_io = 0.95;
+  profile.chunk_cache_budget_bytes = 64ull * 1024 * 1024;
   profile.max_music_volume = 15;
   return profile;
 }

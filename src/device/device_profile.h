@@ -42,6 +42,11 @@ struct DeviceProfile {
   double perf_cpu = 1.0;
   double perf_mem = 1.0;
   double perf_io = 1.0;
+
+  // Byte budget of the content-addressed chunk cache backing warm
+  // re-migrations (LRU-evicted past this). Sized to the device's RAM:
+  // a slice of the data partition's page cache in a real deployment.
+  uint64_t chunk_cache_budget_bytes = 64ull * 1024 * 1024;
 };
 
 DeviceProfile Nexus4Profile();

@@ -1,0 +1,112 @@
+#include "src/flux/chunk_cache.h"
+
+#include <algorithm>
+
+namespace flux {
+
+void ChunkCache::Insert(const Hash128& hash, ByteSpan content) {
+  auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Already cached: refresh recency (and content, in case the entry was
+    // poisoned since — Insert is the one writer that knows good bytes).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (it->second->content.size() != content.size() ||
+        !std::equal(content.begin(), content.end(),
+                    it->second->content.begin())) {
+      bytes_ -= it->second->content.size();
+      it->second->content.assign(content.begin(), content.end());
+      bytes_ += content.size();
+    }
+    ++stats_.refreshes;
+    EvictToBudget();
+    return;
+  }
+  if (content.size() > budget_bytes_) {
+    return;
+  }
+  lru_.push_front(Entry{hash, Bytes(content.begin(), content.end())});
+  index_[hash] = lru_.begin();
+  bytes_ += content.size();
+  ++stats_.insertions;
+  EvictToBudget();
+}
+
+bool ChunkCache::HasValid(const Hash128& hash) {
+  auto it = index_.find(hash);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  const Bytes& content = it->second->content;
+  if (FluxHash128(ByteSpan(content.data(), content.size())) != hash) {
+    // Poisoned entry: drop it so the peer ships the full chunk.
+    ++stats_.verify_failures;
+    bytes_ -= content.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return true;
+}
+
+bool ChunkCache::Fetch(const Hash128& hash, Bytes& out) {
+  if (!HasValid(hash)) {
+    return false;
+  }
+  out = lru_.front().content;  // HasValid bumped it most-recent
+  return true;
+}
+
+bool ChunkCache::Remove(const Hash128& hash) {
+  auto it = index_.find(hash);
+  if (it == index_.end()) {
+    return false;
+  }
+  bytes_ -= it->second->content.size();
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void ChunkCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ChunkCache::set_budget_bytes(uint64_t budget_bytes) {
+  budget_bytes_ = budget_bytes;
+  EvictToBudget();
+}
+
+bool ChunkCache::PoisonForTest(const Hash128& hash) {
+  auto it = index_.find(hash);
+  if (it == index_.end() || it->second->content.empty()) {
+    return false;
+  }
+  it->second->content[0] ^= 0x01;
+  return true;
+}
+
+std::vector<Hash128> ChunkCache::Keys() const {
+  std::vector<Hash128> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& entry : lru_) {
+    keys.push_back(entry.hash);
+  }
+  return keys;
+}
+
+void ChunkCache::EvictToBudget() {
+  while (bytes_ > budget_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.content.size();
+    index_.erase(victim.hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace flux

@@ -1,0 +1,102 @@
+// Per-device content-addressed chunk store for delta transfer.
+//
+// Every migration ships the CRIA image as fixed-size chunks; on the
+// phone<->tablet ping-pong pattern Flux is built for, most chunks are
+// byte-identical to ones the peer already saw in an earlier hop. Each
+// device keeps a ChunkCache of raw chunk content keyed by FluxHash128:
+// the home side queries the guest's cache through a hash manifest before
+// streaming and replaces hits with 16-byte `ref` chunks; the guest side
+// resolves refs locally and re-inserts everything it restores, so the
+// cache warms in both directions.
+//
+// Entries are verified against their key on every query: a poisoned entry
+// (bit rot, a torn write) is indistinguishable from a miss, so the home
+// side ships the full chunk instead of letting a bad cache corrupt a
+// restore. Eviction is LRU by bytes against a per-device budget.
+#ifndef FLUX_SRC_FLUX_CHUNK_CACHE_H_
+#define FLUX_SRC_FLUX_CHUNK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/hash.h"
+
+namespace flux {
+
+// Raw bytes covered by one cache entry. Pairing-time seeding and the
+// migration engine must agree on this granularity or seeded entries can
+// never match an image chunk (MigrationConfig::pipeline_chunk_bytes
+// defaults to the same value).
+inline constexpr uint64_t kChunkCacheChunkBytes = 256 * 1024;
+
+class ChunkCache {
+ public:
+  struct Stats {
+    uint64_t insertions = 0;       // new entries stored
+    uint64_t refreshes = 0;        // inserts that found the entry present
+    uint64_t hits = 0;             // verified lookups that matched
+    uint64_t misses = 0;           // lookups with no entry
+    uint64_t verify_failures = 0;  // entries dropped on content mismatch
+    uint64_t evictions = 0;        // entries dropped for the byte budget
+  };
+
+  explicit ChunkCache(uint64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  // Stores (a copy of) `content` under `hash`, bumping it most-recent and
+  // evicting least-recently-used entries past the byte budget. An entry
+  // larger than the whole budget is not stored. The caller vouches that
+  // `hash` is the content's FluxHash128; Insert does not re-hash.
+  void Insert(const Hash128& hash, ByteSpan content);
+
+  // True if the entry exists AND its content still hashes to `hash`.
+  // Bumps the entry most-recent on success; drops it on verify failure.
+  // This is the manifest-time query: answering "have" for a poisoned entry
+  // would make the home side ship an unusable ref.
+  bool HasValid(const Hash128& hash);
+
+  // Fetches a verified copy of the entry into `out`; same verification and
+  // LRU semantics as HasValid. Returns false on miss or verify failure.
+  bool Fetch(const Hash128& hash, Bytes& out);
+
+  // Drops one entry; returns whether it existed.
+  bool Remove(const Hash128& hash);
+
+  void Clear();
+
+  // Shrinking the budget evicts immediately.
+  void set_budget_bytes(uint64_t budget_bytes);
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  uint64_t bytes() const { return bytes_; }
+  size_t entries() const { return index_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  // Fault injection for tests: flips one bit of the stored content so the
+  // entry no longer matches its key. Returns whether the entry existed.
+  bool PoisonForTest(const Hash128& hash);
+
+  // Every key currently cached, most recently used first (for tests that
+  // poison or drop the whole store).
+  std::vector<Hash128> Keys() const;
+
+ private:
+  struct Entry {
+    Hash128 hash;
+    Bytes content;
+  };
+  using Lru = std::list<Entry>;
+
+  void EvictToBudget();
+
+  uint64_t budget_bytes_;
+  uint64_t bytes_ = 0;
+  Lru lru_;  // front = most recently used
+  std::unordered_map<Hash128, Lru::iterator, Hash128Hasher> index_;
+  Stats stats_;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_CHUNK_CACHE_H_

@@ -5,7 +5,8 @@ namespace flux {
 FluxAgent::FluxAgent(Device& device)
     : device_(device),
       recorder_(&device.record_rules()),
-      replayer_(device) {
+      replayer_(device),
+      chunk_cache_(device.profile().chunk_cache_budget_bytes) {
   recorder_.set_clock(&device.clock());
   recorder_.Arm(device.binder());
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/device/device.h"
+#include "src/flux/chunk_cache.h"
 #include "src/flux/record_engine.h"
 #include "src/flux/replay_engine.h"
 
@@ -30,6 +31,10 @@ class FluxAgent {
   Device& device() { return device_; }
   RecordEngine& recorder() { return recorder_; }
   ReplayEngine& replayer() { return replayer_; }
+  // The content-addressed store backing delta transfer: seeded at pairing,
+  // fed by every migration in either direction (home side on checkpoint,
+  // guest side on restore).
+  ChunkCache& chunk_cache() { return chunk_cache_; }
 
   // Starts recording the app's service calls (call after launch).
   void Manage(Pid pid, const std::string& package);
@@ -46,6 +51,7 @@ class FluxAgent {
   Device& device_;
   RecordEngine recorder_;
   ReplayEngine replayer_;
+  ChunkCache chunk_cache_;
   std::set<std::string> paired_;
 };
 

@@ -14,11 +14,12 @@ namespace {
 
 constexpr uint32_t kPayloadMagic = 0x464C5558;  // "FLUX"
 
-// Bytes of container framing ahead of chunk 0: magic, raw size, chunk
-// size, chunk count (see compress.h).
-constexpr uint64_t kChunkContainerHeaderBytes = 4 + 8 + 4 + 4;
-// Per-chunk framing: the u32 compressed-size prefix.
-constexpr uint64_t kChunkFramingBytes = 4;
+// Modeled wire bytes of the dedup manifest handshake: the home side sends
+// a small header plus one 16-byte hash per chunk; the guest answers with a
+// header plus a one-bit-per-chunk availability bitmap.
+uint64_t ManifestWireBytes(uint64_t chunk_count) {
+  return 16 + 16 * chunk_count + 8 + (chunk_count + 7) / 8;
+}
 
 // CPU time to push `bytes` through a `mbps` pipeline on `device`.
 SimDuration CpuCost(const Device& device, uint64_t bytes, double mbps) {
@@ -61,6 +62,15 @@ SimDuration MigrationReport::PerceivedExcludingTransfer() const {
 MigrationManager::MigrationManager(FluxAgent& home, FluxAgent& guest,
                                    MigrationConfig config)
     : home_(home), guest_(guest), config_(config) {}
+
+MigrationManager::~MigrationManager() = default;
+
+ThreadPool* MigrationManager::CompressionPool() {
+  if (compress_pool_ == nullptr) {
+    compress_pool_ = std::make_unique<ThreadPool>(config_.compress_threads);
+  }
+  return compress_pool_.get();
+}
 
 Status MigrationManager::Prepare(const RunningApp& app,
                                  MigrationReport& report) {
@@ -110,6 +120,11 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
                         Cria::CheckpointTree(device, pids, *app.thread));
   report.cria = cria.stats;
   report.image_raw_bytes = cria.image.size();
+  // Digest of the raw image as checkpointed; the guest recomputes it after
+  // reassembly so tests can assert end-to-end byte identity. Host-side
+  // work only — no simulated time.
+  report.image_hash =
+      FluxHash128(ByteSpan(cria.image.data(), cria.image.size()));
   if (!config_.pipelined) {
     // Pipelined mode charges serialize (and compress) per chunk from the
     // overlapped stage schedule in TransferPipelined, not up front.
@@ -143,17 +158,50 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
                                              4 * 1024, 64ull * 1024 * 1024);
     const uint32_t chunk_size = static_cast<uint32_t>(stats.chunk_bytes);
     if (config_.compress_image) {
-      ThreadPool pool(config_.compress_threads);
-      LzChunkStreams streams = LzCompressChunkStreams(
-          ByteSpan(cria.image.data(), cria.image.size()), chunk_size, &pool);
+      const ByteSpan image_span(cria.image.data(), cria.image.size());
+      LzChunkDedupPlan plan;
+      if (config_.chunk_dedup) {
+        // Content-addressed delta transfer: hash every raw chunk, ask the
+        // guest's cache which ones it already holds (the manifest bytes and
+        // round trip are charged to the wire in TransferPipelined), and
+        // ship hits as 16-byte refs. Every chunk also lands in the home
+        // cache so the return hop can dedup against this checkpoint.
+        DedupStats& dedup = report.dedup;
+        dedup.enabled = true;
+        plan.stored_fallback = true;
+        plan.hashes = LzChunkHashes(image_span, chunk_size);
+        plan.ref_chunks.assign(plan.hashes.size(), 0);
+        dedup.chunk_count = static_cast<uint32_t>(plan.hashes.size());
+        dedup.manifest_wire_bytes = ManifestWireBytes(plan.hashes.size());
+        ChunkCache& guest_cache = guest_.chunk_cache();
+        ChunkCache& home_cache = home_.chunk_cache();
+        for (size_t i = 0; i < plan.hashes.size(); ++i) {
+          const uint64_t begin = uint64_t{i} * stats.chunk_bytes;
+          const uint64_t len = std::min<uint64_t>(stats.chunk_bytes,
+                                                  image_span.size() - begin);
+          const ByteSpan chunk(image_span.data() + begin, len);
+          if (guest_cache.HasValid(plan.hashes[i])) {
+            plan.ref_chunks[i] = 1;
+            ++dedup.ref_chunks;
+            dedup.ref_raw_bytes += len;
+          }
+          home_cache.Insert(plan.hashes[i], chunk);
+        }
+      }
+      LzChunkStreams streams = LzCompressChunkStreamsDeduped(
+          image_span, chunk_size, CompressionPool(), plan);
       Bytes().swap(cria.image);  // the streams carry the content now
       stats.chunk_count = static_cast<uint32_t>(streams.chunks.size());
+      stats.chunk_kind = streams.kinds;
       stats.chunk_wire_bytes.reserve(streams.chunks.size());
-      for (const Bytes& chunk : streams.chunks) {
-        stats.chunk_wire_bytes.push_back(kChunkFramingBytes + chunk.size());
+      for (size_t i = 0; i < streams.chunks.size(); ++i) {
+        stats.chunk_wire_bytes.push_back(streams.ChunkWireBytes(i));
+        if (streams.KindOf(i) == LzChunkKind::kStored) {
+          ++report.dedup.stored_chunks;
+        }
       }
       if (!stats.chunk_wire_bytes.empty()) {
-        stats.chunk_wire_bytes[0] += kChunkContainerHeaderBytes;
+        stats.chunk_wire_bytes[0] += streams.HeaderBytes();
       }
       report.image_compressed_bytes = streams.ContainerSize();
       payload.PutBool(true);
@@ -336,8 +384,11 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
       report.deferred_bytes += stats.chunk_wire_bytes[i];
     }
   }
-  const uint64_t foreground_wire =
-      report.data_sync_bytes + payload_bytes - report.deferred_bytes;
+  // The manifest handshake (hashes out, availability bitmap back) is real
+  // wire traffic even though its latency mostly hides under the data sync.
+  const uint64_t foreground_wire = report.data_sync_bytes + payload_bytes -
+                                   report.deferred_bytes +
+                                   report.dedup.manifest_wire_bytes;
 
   // Per-chunk stage costs from the same models as the serial path. The
   // compress stage fans out over the device's cores (quad-core baseline),
@@ -356,10 +407,17 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
     const uint64_t raw_i = std::min<uint64_t>(
         stats.chunk_bytes,
         report.image_raw_bytes - uint64_t{i} * stats.chunk_bytes);
+    // Dedup mode: a ref chunk never runs the codec — the home side ships
+    // its hash and the guest memcpys verified cache content. A stored
+    // chunk still paid the compress attempt (that is how it was found
+    // incompressible) but decodes with a plain copy.
+    const LzChunkKind kind = i < stats.chunk_kind.size()
+                                 ? static_cast<LzChunkKind>(stats.chunk_kind[i])
+                                 : LzChunkKind::kLz;
     stages[0].chunk_cost.push_back(
         CpuCost(home_device, raw_i, config_.serialize_mbps));
     stages[1].chunk_cost.push_back(
-        config_.compress_image
+        config_.compress_image && kind != LzChunkKind::kRef
             ? CpuCost(home_device, raw_i, config_.compress_mbps) / cores
             : 0);
     SimDuration wire_cost =
@@ -371,7 +429,7 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
     }
     stages[2].chunk_cost.push_back(wire_cost);
     stages[3].chunk_cost.push_back(
-        config_.compress_image
+        config_.compress_image && kind == LzChunkKind::kLz
             ? CpuCost(guest_device, raw_i, config_.decompress_mbps)
             : 0);
     stages[4].chunk_cost.push_back(
@@ -381,10 +439,30 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
   // then the synced bytes + non-image payload prefix on the stream (the
   // serial path wires exactly these ahead of the image too). The stream
   // handshake latency is charged once, on chunk 0.
-  stages[2].initial_offset =
+  SimDuration wire_offset =
       sync_elapsed +
       wifi.TransferTime(report.data_sync_bytes + prefix_payload, link) -
       link.latency;
+  if (report.dedup.enabled) {
+    // The manifest handshake: hashes go out as soon as the checkpoint is
+    // hashed, and the home streams data chunks optimistically while the
+    // availability bitmap is in flight — only a hop that actually encodes
+    // ref chunks had to wait for the reply. Even then the round trip
+    // overlaps the data sync on the same link and the home-side fill of
+    // chunk 0 (hashing finishes before compression begins), so it delays
+    // the stream only when it outlasts both.
+    const uint64_t hashes_out = 16 + 16 * uint64_t{report.dedup.chunk_count};
+    const uint64_t bitmap_back =
+        8 + (uint64_t{report.dedup.chunk_count} + 7) / 8;
+    report.dedup.manifest_rtt = wifi.TransferTime(hashes_out, link) +
+                                wifi.TransferTime(bitmap_back, link);
+    const SimDuration fill0 =
+        count > 0 ? stages[0].chunk_cost[0] + stages[1].chunk_cost[0] : 0;
+    if (report.dedup.ref_chunks > 0 && report.dedup.manifest_rtt > fill0) {
+      wire_offset = std::max(wire_offset, report.dedup.manifest_rtt);
+    }
+  }
+  stages[2].initial_offset = wire_offset;
 
   const PipelinePlan plan = SchedulePipeline(stages);
 
@@ -475,7 +553,17 @@ Result<CriaRestoredApp> MigrationManager::RestoreOnGuest(
   ByteSpan image = image_view;
   if (compressed) {
     if (LzIsChunkedStream(image_view)) {
-      FLUX_ASSIGN_OR_RETURN(Bytes raw, LzDecompressChunks(image_view));
+      LzChunkRefResolver resolver;
+      if (config_.chunk_dedup) {
+        // Ref chunks resolve from this device's cache; Fetch re-verifies
+        // content against the hash, so a poisoned entry reads as a miss
+        // and the decode fails loudly instead of corrupting the restore.
+        resolver = [this](const Hash128& hash, Bytes& out) {
+          return guest_.chunk_cache().Fetch(hash, out);
+        };
+      }
+      FLUX_ASSIGN_OR_RETURN(Bytes raw,
+                            LzDecompressChunks(image_view, resolver));
       image_bytes = std::move(raw);
     } else {
       FLUX_ASSIGN_OR_RETURN(Bytes raw, LzDecompress(image_view));
@@ -490,6 +578,23 @@ Result<CriaRestoredApp> MigrationManager::RestoreOnGuest(
   if (!config_.pipelined) {
     guest_device.context().SpendCpu(
         CpuCost(guest_device, image.size(), config_.restore_mbps));
+  }
+  report.restored_image_hash = FluxHash128(image);
+  if (config_.chunk_dedup && LzIsChunkedStream(image_view)) {
+    // Feed the reassembled image back into this device's cache at the
+    // container's own chunk granularity: the next hop (either direction)
+    // dedups against exactly these chunks. Content is verified — the
+    // container digest already matched.
+    if (auto info = LzPeekChunkContainer(image_view);
+        info.ok() && info.value().chunk_size > 0) {
+      const uint64_t chunk = info.value().chunk_size;
+      ChunkCache& cache = guest_.chunk_cache();
+      for (uint64_t begin = 0; begin < image.size(); begin += chunk) {
+        const uint64_t len = std::min<uint64_t>(chunk, image.size() - begin);
+        const ByteSpan slice(image.data() + begin, len);
+        cache.Insert(FluxHash128(slice), slice);
+      }
+    }
   }
 
   CriaRestoreOptions options;

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "src/apps/app_instance.h"
+#include "src/base/hash.h"
 #include "src/cria/cria.h"
 #include "src/flux/flux_agent.h"
 #include "src/flux/pairing.h"
@@ -30,6 +31,7 @@
 
 namespace flux {
 
+class ThreadPool;
 class WifiNetwork;
 
 struct MigrationConfig {
@@ -66,6 +68,13 @@ struct MigrationConfig {
   bool pipelined = false;
   uint64_t pipeline_chunk_bytes = 256 * 1024;
   int compress_threads = 4;
+  // Extension: content-addressed delta transfer. With pipelined mode on,
+  // every raw image chunk is hashed; a manifest handshake asks the guest
+  // which hashes its ChunkCache already holds, and hits ship as 16-byte
+  // refs instead of compressed bytes. Warm re-migrations (A->B->A) shrink
+  // to the chunks that actually changed. Off by default: baseline payloads
+  // and figures stay bit-for-bit unchanged.
+  bool chunk_dedup = false;
   // During long transfers the world keeps moving: the clock advances in
   // slices of at most `transfer_tick`, ticking both devices (task idlers,
   // due alarms) at each boundary.
@@ -73,6 +82,19 @@ struct MigrationConfig {
   // Fault injection for tests: mutates the payload after checkpoint,
   // before transfer (models wire corruption; exercises restore rollback).
   std::function<void(Bytes&)> payload_fault;
+};
+
+// Delta-transfer accounting for one migration (chunk_dedup mode).
+struct DedupStats {
+  bool enabled = false;
+  uint32_t chunk_count = 0;
+  uint32_t ref_chunks = 0;     // shipped as 16-byte cache references
+  uint32_t stored_chunks = 0;  // incompressible; shipped raw
+  uint64_t ref_raw_bytes = 0;  // raw image bytes the guest cache covered
+  // Hash manifest + availability bitmap, charged to the wire ahead of the
+  // first image chunk (overlapped with the data-dir sync).
+  uint64_t manifest_wire_bytes = 0;
+  SimDuration manifest_rtt = 0;
 };
 
 struct RunningApp {
@@ -123,6 +145,12 @@ struct MigrationReport {
   // Pipelined mode only: stage-overlap accounting (chunk counts, per-stage
   // busy/finish times, time saved vs strictly serial staging).
   PipelineStats pipeline;
+  // chunk_dedup mode only.
+  DedupStats dedup;
+  // Whole-image digests for end-to-end identity checks: the raw CRIA image
+  // as checkpointed at home and as reassembled on the guest.
+  Hash128 image_hash;
+  Hash128 restored_image_hash;
 
   // Where the app lives now.
   RunningApp migrated;
@@ -132,6 +160,7 @@ class MigrationManager {
  public:
   MigrationManager(FluxAgent& home, FluxAgent& guest,
                    MigrationConfig config = {});
+  ~MigrationManager();
 
   // Migrates a running app home -> guest. On success the home process is
   // gone and `report.migrated` points at the guest instance. On refusal the
@@ -167,9 +196,15 @@ class MigrationManager {
   // at a slice boundary; returns true once `target` is reached.
   bool AdvanceWithTicks(SimTime target, WifiNetwork* watch = nullptr);
 
+  // Worker pool for chunk compression, created on first pipelined payload
+  // and reused across migrations (spawning threads per call is pure host
+  // overhead — no simulated time involved).
+  ThreadPool* CompressionPool();
+
   FluxAgent& home_;
   FluxAgent& guest_;
   MigrationConfig config_;
+  std::unique_ptr<ThreadPool> compress_pool_;
   // Absolute end of the overlapped decompress+restore stages, set by
   // TransferPipelined and consumed by RestoreOnGuest.
   SimTime pipeline_restore_deadline_ = 0;

@@ -1,5 +1,7 @@
 #include "src/flux/pairing.h"
 
+#include <algorithm>
+
 #include "src/base/logging.h"
 
 namespace flux {
@@ -13,6 +15,41 @@ void TransferBetween(FluxAgent& home, FluxAgent& guest, uint64_t bytes) {
   const EffectiveLink link =
       h.wifi().LinkBetween(h.profile().radio, g.profile().radio);
   h.wifi().Transfer(h.clock(), bytes, link);
+}
+
+// Seeds both devices' chunk caches from a freshly synced tree: after the
+// framework sync the content is byte-identical on both sides, so each
+// 256 KiB slice is a chunk both caches can vouch for without any further
+// wire traffic. Costs no simulated time — the hashing rides along with the
+// sync's own checksum pass.
+void SeedChunkCachesFromTree(FluxAgent& home, FluxAgent& guest,
+                             const SimFilesystem& fs,
+                             const std::string& path) {
+  if (fs.IsFile(path)) {
+    auto content = fs.ReadFile(path);
+    if (!content.ok()) {
+      return;
+    }
+    const Bytes& bytes = *content.value();
+    for (uint64_t begin = 0; begin < bytes.size();
+         begin += kChunkCacheChunkBytes) {
+      const uint64_t len =
+          std::min<uint64_t>(kChunkCacheChunkBytes, bytes.size() - begin);
+      const ByteSpan chunk(bytes.data() + begin, len);
+      const Hash128 hash = FluxHash128(chunk);
+      home.chunk_cache().Insert(hash, chunk);
+      guest.chunk_cache().Insert(hash, chunk);
+    }
+    return;
+  }
+  auto children = fs.List(path);
+  if (!children.ok()) {
+    return;
+  }
+  for (const std::string& child : children.value()) {
+    SeedChunkCachesFromTree(home, guest, fs,
+                            path == "/" ? "/" + child : path + "/" + child);
+  }
 }
 
 }  // namespace
@@ -38,6 +75,11 @@ Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest) {
   stats.framework_delta_bytes = sync.bytes_copied_raw;
   stats.framework_wire_bytes = sync.WireBytes();
   TransferBetween(home, guest, sync.WireBytes());
+
+  // Both sides now hold identical framework bytes: seed the
+  // content-addressed chunk caches so even a first migration can
+  // dedup against framework content it happens to carry verbatim.
+  SeedChunkCachesFromTree(home, guest, h.filesystem(), "/system");
 
   home.MarkPaired(g.name());
   guest.MarkPaired(h.name());

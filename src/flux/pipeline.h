@@ -57,6 +57,10 @@ struct PipelineStats {
   SimDuration makespan = 0;               // overlapped image-path time
   SimDuration serial_estimate = 0;        // same work staged strictly serially
   SimDuration saved = 0;                  // serial_estimate - makespan
+  // chunk_dedup mode: per-chunk LzChunkKind (kLz/kStored/kRef) so the
+  // scheduler can zero the compress/decompress cost of ref chunks. Empty
+  // when every chunk is a plain LZ stream.
+  std::vector<uint8_t> chunk_kind;
   std::vector<PipelineStageTiming> stages;
 };
 

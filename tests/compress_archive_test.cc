@@ -3,7 +3,9 @@
 // loudly, never misread).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/archive.h"
@@ -177,6 +179,189 @@ TEST(ChunkedCompressTest, CorruptContainerRejected) {
   Bytes tampered = container;
   tampered[16] ^= 0x01;
   auto raw = LzDecompressChunks(ByteSpan(tampered.data(), tampered.size()));
+  EXPECT_FALSE(raw.ok());
+}
+
+// ----- FluxHash128 -----
+
+TEST(HashTest, DeterministicAndSeedSensitive) {
+  const Bytes input = GenerateContent(101, 100000, 0.5);
+  const ByteSpan span(input.data(), input.size());
+  EXPECT_EQ(FluxHash128(span), FluxHash128(span));
+  EXPECT_NE(FluxHash128(span), FluxHash128(span, /*seed=*/1));
+  EXPECT_EQ(FluxHash128(span).ToHex().size(), 32u);
+}
+
+TEST(HashTest, SingleBitFlipChangesDigest) {
+  Bytes input = GenerateContent(103, 4096, 0.8);
+  const Hash128 before = FluxHash128(ByteSpan(input.data(), input.size()));
+  input[input.size() / 2] ^= 0x01;
+  EXPECT_NE(before, FluxHash128(ByteSpan(input.data(), input.size())));
+}
+
+TEST(HashTest, EveryTailLengthDistinct) {
+  // Lengths 0..40 cover the empty case, sub-16-byte tails, and multi-step
+  // inputs; identical prefixes of different lengths must not collide.
+  Bytes input(41, 0x5C);
+  std::vector<Hash128> seen;
+  for (size_t len = 0; len <= input.size(); ++len) {
+    const Hash128 digest = FluxHash128(ByteSpan(input.data(), len));
+    for (const Hash128& prior : seen) {
+      EXPECT_NE(digest, prior) << "length " << len;
+    }
+    seen.push_back(digest);
+  }
+}
+
+// ----- dedup-aware container (FLZ2) -----
+
+TEST(DedupCompressTest, EmptyPlanMatchesPlainEncoderBitForBit) {
+  const Bytes input = GenerateContent(51, 400000, 0.5);
+  const ByteSpan span(input.data(), input.size());
+  LzChunkStreams plain = LzCompressChunkStreams(span, 64 * 1024);
+  LzChunkStreams deduped =
+      LzCompressChunkStreamsDeduped(span, 64 * 1024, nullptr, {});
+  EXPECT_EQ(LzAssembleChunkContainer(plain),
+            LzAssembleChunkContainer(deduped));
+}
+
+TEST(DedupCompressTest, StoredFallbackCapsIncompressibleChunks) {
+  // Pure random input: every LZ stream would exceed its raw chunk, so the
+  // fallback must store each chunk verbatim and cap wire bytes.
+  const Bytes input = GenerateContent(53, 300000, 0.0);
+  const ByteSpan span(input.data(), input.size());
+  LzChunkDedupPlan plan;
+  plan.stored_fallback = true;
+  LzChunkStreams streams =
+      LzCompressChunkStreamsDeduped(span, 64 * 1024, nullptr, plan);
+  ASSERT_TRUE(streams.NeedsV2());
+  size_t stored = 0;
+  for (size_t i = 0; i < streams.chunks.size(); ++i) {
+    EXPECT_LE(streams.ChunkWireBytes(i), streams.RawChunkSize(i) + 4) << i;
+    if (streams.KindOf(i) == LzChunkKind::kStored) {
+      ++stored;
+    }
+  }
+  EXPECT_GT(stored, 0u);
+  const Bytes container = LzAssembleChunkContainer(streams);
+  EXPECT_TRUE(LzIsChunkedStream(ByteSpan(container.data(), container.size())));
+  auto raw = LzDecompressChunks(ByteSpan(container.data(), container.size()));
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(*raw, input);
+}
+
+TEST(DedupCompressTest, StoredFallbackOnCompressibleInputStaysV1) {
+  // The fallback is armed but never needed: the container must stay v1,
+  // bit-identical to the plain encoder's output.
+  const Bytes input = GenerateContent(55, 300000, 0.9);
+  const ByteSpan span(input.data(), input.size());
+  LzChunkDedupPlan plan;
+  plan.stored_fallback = true;
+  LzChunkStreams streams =
+      LzCompressChunkStreamsDeduped(span, 64 * 1024, nullptr, plan);
+  EXPECT_FALSE(streams.NeedsV2());
+  EXPECT_EQ(LzAssembleChunkContainer(streams),
+            LzCompressChunks(span, 64 * 1024));
+}
+
+// A resolver backed by the input itself, as the guest's ChunkCache would be
+// after an earlier hop.
+LzChunkRefResolver ResolverOver(const Bytes& input, uint32_t chunk_size) {
+  std::unordered_map<Hash128, Bytes, Hash128Hasher> store;
+  const std::vector<Hash128> hashes =
+      LzChunkHashes(ByteSpan(input.data(), input.size()), chunk_size);
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    const uint64_t begin = uint64_t{i} * chunk_size;
+    const uint64_t len =
+        std::min<uint64_t>(chunk_size, input.size() - begin);
+    store[hashes[i]] = Bytes(input.begin() + begin, input.begin() + begin + len);
+  }
+  return [store](const Hash128& hash, Bytes& out) {
+    auto it = store.find(hash);
+    if (it == store.end()) {
+      return false;
+    }
+    out = it->second;
+    return true;
+  };
+}
+
+TEST(DedupCompressTest, RefChunksRoundTripThroughResolver) {
+  constexpr uint32_t kChunk = 64 * 1024;
+  const Bytes input = GenerateContent(57, 500000, 0.5);
+  const ByteSpan span(input.data(), input.size());
+  LzChunkDedupPlan plan;
+  plan.stored_fallback = true;
+  plan.hashes = LzChunkHashes(span, kChunk);
+  plan.ref_chunks.assign(plan.hashes.size(), 0);
+  for (size_t i = 0; i < plan.ref_chunks.size(); i += 2) {
+    plan.ref_chunks[i] = 1;  // the receiver "already holds" every other chunk
+  }
+  LzChunkStreams streams =
+      LzCompressChunkStreamsDeduped(span, kChunk, nullptr, plan);
+  ASSERT_TRUE(streams.NeedsV2());
+  for (size_t i = 0; i < streams.chunks.size(); i += 2) {
+    EXPECT_EQ(streams.KindOf(i), LzChunkKind::kRef) << i;
+    EXPECT_EQ(streams.ChunkWireBytes(i), 4u + 16u) << i;
+  }
+  const Bytes container = LzAssembleChunkContainer(streams);
+  const Bytes full = LzCompressChunks(span, kChunk);
+  EXPECT_LT(container.size(), full.size());
+
+  auto raw = LzDecompressChunks(ByteSpan(container.data(), container.size()),
+                                ResolverOver(input, kChunk));
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(*raw, input);
+}
+
+TEST(DedupCompressTest, RefWithoutResolverRejected) {
+  constexpr uint32_t kChunk = 64 * 1024;
+  const Bytes input = GenerateContent(59, 200000, 0.5);
+  const ByteSpan span(input.data(), input.size());
+  LzChunkDedupPlan plan;
+  plan.hashes = LzChunkHashes(span, kChunk);
+  plan.ref_chunks.assign(plan.hashes.size(), 1);
+  const Bytes container = LzAssembleChunkContainer(
+      LzCompressChunkStreamsDeduped(span, kChunk, nullptr, plan));
+  auto raw = LzDecompressChunks(ByteSpan(container.data(), container.size()));
+  ASSERT_FALSE(raw.ok());
+  EXPECT_EQ(raw.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(DedupCompressTest, ResolverServingWrongContentRejected) {
+  constexpr uint32_t kChunk = 64 * 1024;
+  const Bytes input = GenerateContent(61, 200000, 0.5);
+  const ByteSpan span(input.data(), input.size());
+  LzChunkDedupPlan plan;
+  plan.hashes = LzChunkHashes(span, kChunk);
+  plan.ref_chunks.assign(plan.hashes.size(), 1);
+  const Bytes container = LzAssembleChunkContainer(
+      LzCompressChunkStreamsDeduped(span, kChunk, nullptr, plan));
+  // A lying resolver: content that does not hash to the requested key must
+  // be caught before it reaches the image.
+  auto raw = LzDecompressChunks(
+      ByteSpan(container.data(), container.size()),
+      [](const Hash128&, Bytes& out) {
+        out.assign(kChunk, 0x00);
+        return true;
+      });
+  ASSERT_FALSE(raw.ok());
+  EXPECT_EQ(raw.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(DedupCompressTest, TamperedV2BodyCaughtByContainerDigest) {
+  const Bytes input = GenerateContent(63, 300000, 0.0);
+  const ByteSpan span(input.data(), input.size());
+  LzChunkDedupPlan plan;
+  plan.stored_fallback = true;
+  LzChunkStreams streams =
+      LzCompressChunkStreamsDeduped(span, 64 * 1024, nullptr, plan);
+  ASSERT_TRUE(streams.NeedsV2());
+  Bytes container = LzAssembleChunkContainer(streams);
+  // Flip a byte deep in a stored chunk's body: chunk framing still parses,
+  // so only the whole-image digest can catch it.
+  container[container.size() - 10] ^= 0x01;
+  auto raw = LzDecompressChunks(ByteSpan(container.data(), container.size()));
   EXPECT_FALSE(raw.ok());
 }
 
