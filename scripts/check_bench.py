@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate CI on benchmark regressions.
 
-Usage: check_bench.py <pipeline|dedup> <fresh.json> <committed.json>
+Usage: check_bench.py <pipeline|dedup|record> <fresh.json> <committed.json>
 
 Compares a freshly produced BENCH_*.json against the committed one and
 exits non-zero when the fresh numbers regress beyond tolerance:
@@ -11,10 +11,16 @@ exits non-zero when the fresh numbers regress beyond tolerance:
   dedup     mean_warm_reduction_pct must stay >= 50 (the acceptance
             floor) and within 5 points of the committed value;
             mean_cold_time_delta_s must stay <= 0.05 s.
+  record    min_drop_speedup must stay >= 5 (the acceptance floor:
+            drop-heavy record-path workloads run at least 5x faster
+            through the compiled fast lane than the legacy engine).
+            Wall-clock ratios vary across machines, so the committed
+            value is informational only.
 
-The simulation is deterministic, so in practice fresh == committed; the
-tolerances only absorb intentional recalibrations small enough not to
-invalidate the claims.
+The simulation is deterministic, so in practice fresh == committed for
+pipeline and dedup; the tolerances only absorb intentional
+recalibrations small enough not to invalidate the claims. The record
+mode measures real wall-clock speedups and gates only on its floor.
 """
 
 import json
@@ -23,6 +29,7 @@ import sys
 TOLERANCE_PCT = 5.0
 DEDUP_FLOOR_PCT = 50.0
 COLD_DELTA_MAX_S = 0.05
+RECORD_SPEEDUP_FLOOR = 5.0
 
 
 def fail(msg):
@@ -31,7 +38,7 @@ def fail(msg):
 
 
 def main(argv):
-    if len(argv) != 4 or argv[1] not in ("pipeline", "dedup"):
+    if len(argv) != 4 or argv[1] not in ("pipeline", "dedup", "record"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, fresh_path, committed_path = argv[1], argv[2], argv[3]
@@ -48,6 +55,14 @@ def main(argv):
                  % (key, got, want, TOLERANCE_PCT))
         print("check_bench: pipeline OK (%s = %.2f, committed %.2f)"
               % (key, got, want))
+    elif mode == "record":
+        key = "min_drop_speedup"
+        got, want = fresh[key], committed[key]
+        if got < RECORD_SPEEDUP_FLOOR:
+            fail("%s below the %.0fx acceptance floor: %.2fx"
+                 % (key, RECORD_SPEEDUP_FLOOR, got))
+        print("check_bench: record OK (%s = %.2fx, committed %.2fx, "
+              "floor %.0fx)" % (key, got, want, RECORD_SPEEDUP_FLOOR))
     else:
         key = "mean_warm_reduction_pct"
         got, want = fresh[key], committed[key]

@@ -2,7 +2,75 @@
 
 #include <algorithm>
 
+#include "src/base/interner.h"
+
 namespace flux {
+
+namespace {
+
+// Parameter index of `name` in `method`, or -1 when not declared.
+int ParamSlot(const AidlMethod& method, std::string_view name) {
+  for (size_t i = 0; i < method.params.size(); ++i) {
+    if (method.params[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+CompiledDropClause CompileClause(const AidlInterface& interface,
+                                 const AidlMethod& method,
+                                 const DropClause& clause) {
+  Interner& interner = Interner::Global();
+  CompiledDropClause compiled;
+
+  // Victims: "this" resolves to the decorated method itself.
+  std::vector<const AidlMethod*> victim_methods;
+  for (const std::string& name : clause.methods) {
+    if (name == "this") {
+      compiled.drops_this = true;
+      compiled.victim_ids.push_back(interner.Intern(method.name));
+      victim_methods.push_back(&method);
+    } else {
+      compiled.has_other = true;
+      compiled.victim_ids.push_back(interner.Intern(name));
+      victim_methods.push_back(interface.FindMethod(name));
+    }
+  }
+
+  // Signatures: the @if conjunction, then each @elif alternative. Slot
+  // hints are resolved against the decorated method (the new call) here and
+  // against each victim's declaration below.
+  auto add_signature = [&](const std::vector<std::string>& sig_args) {
+    const uint16_t begin = static_cast<uint16_t>(compiled.args.size());
+    for (const std::string& arg : sig_args) {
+      compiled.args.push_back({arg, ParamSlot(method, arg)});
+    }
+    compiled.sig_ranges.emplace_back(
+        begin, static_cast<uint16_t>(compiled.args.size()));
+  };
+  if (!clause.if_args.empty()) {
+    add_signature(clause.if_args);
+  }
+  for (const auto& alt : clause.elif_args) {
+    add_signature(alt);
+  }
+
+  compiled.victim_arg_slots.resize(
+      compiled.victim_ids.size() * compiled.args.size(), -1);
+  for (size_t v = 0; v < victim_methods.size(); ++v) {
+    if (victim_methods[v] == nullptr) {
+      continue;
+    }
+    for (size_t k = 0; k < compiled.args.size(); ++k) {
+      compiled.victim_arg_slots[v * compiled.args.size() + k] =
+          ParamSlot(*victim_methods[v], compiled.args[k].name);
+    }
+  }
+  return compiled;
+}
+
+}  // namespace
 
 Status RecordRuleSet::RegisterService(std::string service_name,
                                       std::string_view aidl_source,
@@ -30,7 +98,27 @@ Status RecordRuleSet::RegisterNative(std::string service_name,
                                             std::move(info));
   (void)inserted;
   by_interface_[it->second.interface_name] = &it->second;
+  CompileInterface(it->second.interface);
   return OkStatus();
+}
+
+void RecordRuleSet::CompileInterface(const AidlInterface& interface) {
+  Interner& interner = Interner::Global();
+  const uint32_t interface_id = interner.Intern(interface.name);
+  for (const AidlMethod& method : interface.methods) {
+    if (!method.rule.has_value() || !method.rule->record) {
+      continue;
+    }
+    CompiledRule rule;
+    rule.interface_id = interface_id;
+    rule.method_id = interner.Intern(method.name);
+    rule.drops.reserve(method.rule->drops.size());
+    for (const DropClause& clause : method.rule->drops) {
+      rule.drops.push_back(CompileClause(interface, method, clause));
+    }
+    // Mirrors by_interface_: a re-registered interface name wins.
+    compiled_[DispatchKey(interface_id, rule.method_id)] = std::move(rule);
+  }
 }
 
 const RecordRule* RecordRuleSet::FindRule(std::string_view interface_name,
@@ -44,7 +132,7 @@ const RecordRule* RecordRuleSet::FindRule(std::string_view interface_name,
 
 const AidlMethod* RecordRuleSet::FindMethod(std::string_view interface_name,
                                             std::string_view method) const {
-  auto it = by_interface_.find(std::string(interface_name));
+  auto it = by_interface_.find(interface_name);
   if (it == by_interface_.end()) {
     return nullptr;
   }
@@ -52,12 +140,12 @@ const AidlMethod* RecordRuleSet::FindMethod(std::string_view interface_name,
 }
 
 bool RecordRuleSet::IsServiceRegistered(std::string_view service_name) const {
-  return by_service_.count(std::string(service_name)) > 0;
+  return by_service_.find(service_name) != by_service_.end();
 }
 
 const ServiceRuleInfo* RecordRuleSet::FindService(
     std::string_view service_name) const {
-  auto it = by_service_.find(std::string(service_name));
+  auto it = by_service_.find(service_name);
   return it == by_service_.end() ? nullptr : &it->second;
 }
 

@@ -6,11 +6,22 @@
 // entries become stale; the ReplayEngine consults it for @replayproxy
 // bindings. Table 2's per-service method/decoration counts are computed
 // from the registered sources.
+//
+// Registration also *compiles* every @record rule into a fast-lane form
+// (§3.2 record path): interface and method names are interned to dense ids
+// (src/base/interner.h), rule dispatch becomes a single hash probe on
+// (interface_id << 32 | method_id), and each @drop clause is resolved once
+// into a CompiledDropClause — victim-method id array, drops-this/has-other
+// flags, and @if/@elif argument lists pre-resolved to parcel-slot hints —
+// so the per-transaction path loops over plain arrays and allocates
+// nothing. The string-keyed lookups remain for the replay path and tools.
 #ifndef FLUX_SRC_AIDL_RECORD_RULES_H_
 #define FLUX_SRC_AIDL_RECORD_RULES_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/aidl/aidl_parser.h"
@@ -25,6 +36,54 @@ struct ServiceRuleInfo {
   int method_count = 0;
   int decoration_loc = 0;
   AidlInterface interface;
+};
+
+// One @drop clause, resolved at registration time so transaction-time
+// evaluation is allocation-free.
+struct CompiledDropClause {
+  // One @if/@elif signature argument. `caller_slot` is the argument's
+  // parameter index in the *decorated* method (a hint into the new call's
+  // parcel; -1 when the name is not a declared parameter).
+  struct Arg {
+    std::string name;
+    int caller_slot = -1;
+  };
+
+  // Interned ids of the methods whose prior calls this clause drops;
+  // "this" is resolved to the decorated method's own id.
+  std::vector<uint32_t> victim_ids;
+  bool drops_this = false;  // "this" appeared in the drop list
+  bool has_other = false;   // a method other than "this" appeared
+
+  // All signature arguments, flattened: @if first, then each @elif, with
+  // sig_ranges holding each signature's [begin, end) into `args`. Empty
+  // sig_ranges means the drop is unconditional.
+  std::vector<Arg> args;
+  std::vector<std::pair<uint16_t, uint16_t>> sig_ranges;
+
+  // Per-victim slot hints: victim_arg_slots[v * args.size() + k] is the
+  // parameter index of args[k].name in victim v's method declaration, or
+  // -1 when unknown (undeclared victim or parameter).
+  std::vector<int> victim_arg_slots;
+
+  // Index of `method_id` in victim_ids, or -1.
+  int VictimIndex(uint32_t method_id) const {
+    for (size_t i = 0; i < victim_ids.size(); ++i) {
+      if (victim_ids[i] == method_id) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+// A @record rule ready for the transaction fast lane. Only methods with
+// `record` set compile (a decorated-but-unrecorded method behaves exactly
+// like an undecorated one at transaction time).
+struct CompiledRule {
+  uint32_t interface_id = 0;
+  uint32_t method_id = 0;
+  std::vector<CompiledDropClause> drops;
 };
 
 class RecordRuleSet {
@@ -45,6 +104,14 @@ class RecordRuleSet {
   const AidlMethod* FindMethod(std::string_view interface_name,
                                std::string_view method) const;
 
+  // Fast-lane dispatch: single hash probe on interned ids. nullptr when the
+  // method is undecorated or its rule does not record.
+  const CompiledRule* FindCompiled(uint32_t interface_id,
+                                   uint32_t method_id) const {
+    auto it = compiled_.find(DispatchKey(interface_id, method_id));
+    return it == compiled_.end() ? nullptr : &it->second;
+  }
+
   bool IsServiceRegistered(std::string_view service_name) const;
   const ServiceRuleInfo* FindService(std::string_view service_name) const;
 
@@ -52,8 +119,17 @@ class RecordRuleSet {
   std::vector<const ServiceRuleInfo*> AllServices() const;
 
  private:
-  std::map<std::string, ServiceRuleInfo> by_service_;
-  std::map<std::string, const ServiceRuleInfo*> by_interface_;
+  static uint64_t DispatchKey(uint32_t interface_id, uint32_t method_id) {
+    return (static_cast<uint64_t>(interface_id) << 32) | method_id;
+  }
+
+  void CompileInterface(const AidlInterface& interface);
+
+  // Transparent comparators: string_view lookups probe without building
+  // temporary std::strings.
+  std::map<std::string, ServiceRuleInfo, std::less<>> by_service_;
+  std::map<std::string, const ServiceRuleInfo*, std::less<>> by_interface_;
+  std::unordered_map<uint64_t, CompiledRule> compiled_;
 };
 
 }  // namespace flux

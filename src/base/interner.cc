@@ -1,0 +1,40 @@
+#include "src/base/interner.h"
+
+namespace flux {
+
+Interner& Interner::Global() {
+  static Interner* instance = new Interner();
+  return *instance;
+}
+
+uint32_t Interner::Intern(std::string_view symbol) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_id_.empty()) {
+    by_id_.push_back({});  // kUnset sentinel
+  }
+  auto it = ids_.find(symbol);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  storage_.emplace_back(symbol);
+  const std::string_view stored = storage_.back();
+  const uint32_t id = static_cast<uint32_t>(by_id_.size());
+  by_id_.push_back(stored);
+  ids_.emplace(stored, id);
+  return id;
+}
+
+std::string_view Interner::Lookup(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kUnset || id >= by_id_.size()) {
+    return {};
+  }
+  return by_id_[id];
+}
+
+size_t Interner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.empty() ? 0 : by_id_.size() - 1;
+}
+
+}  // namespace flux

@@ -1,0 +1,60 @@
+// Symbol interner for the record path (§3.2 fast lane).
+//
+// Service, interface, and method names recur on every Binder transaction a
+// tracked app makes; comparing and hashing them as strings is the dominant
+// per-call cost of Selective Record. The interner maps each distinct name
+// to a dense uint32_t id once, so the hot path dispatches on integer ids:
+// rule lookup becomes a single hash probe on (interface_id, method_id) and
+// log pruning compares ids instead of strings.
+//
+// On real hardware this table would be global per device (built by the
+// framework at boot from the installed AIDL set); in this single-process
+// simulation one process-global table stands in for every device's, which
+// also lets a deserialized CallLog re-intern its symbols without device
+// context. Ids are process-local and never serialized — the wire format
+// stays string-based, so logs migrate between devices unchanged.
+//
+// Id 0 is reserved as "unset"; real ids start at 1 and are dense.
+#ifndef FLUX_SRC_BASE_INTERNER_H_
+#define FLUX_SRC_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace flux {
+
+class Interner {
+ public:
+  static constexpr uint32_t kUnset = 0;
+
+  // The process-wide table (stand-in for the per-device table, see above).
+  static Interner& Global();
+
+  // Returns the id for `symbol`, assigning the next dense id on first sight.
+  // No temporary std::string is built on the lookup path.
+  uint32_t Intern(std::string_view symbol);
+
+  // Inverse mapping; empty view for kUnset or an unknown id. The returned
+  // view stays valid for the interner's lifetime.
+  std::string_view Lookup(uint32_t id) const;
+
+  // Number of distinct symbols interned (excluding the kUnset sentinel).
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Owns the symbol bytes; deque never relocates elements, so the views in
+  // ids_ and by_id_ stay valid as the table grows.
+  std::deque<std::string> storage_;
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  std::vector<std::string_view> by_id_;  // by_id_[0] is the kUnset sentinel
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_INTERNER_H_

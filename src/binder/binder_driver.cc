@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/interner.h"
 #include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/kernel/sim_kernel.h"
@@ -14,6 +15,9 @@ uint64_t BinderDriver::RegisterNode(Pid owner_pid,
   Node node;
   node.owner = owner_pid;
   node.target = std::move(target);
+  if (node.target != nullptr) {
+    node.interface_id = Interner::Global().Intern(node.target->interface_name());
+  }
   nodes_.emplace(id, std::move(node));
   return id;
 }
@@ -248,11 +252,13 @@ void BinderDriver::NotifyObservers(Pid sender_pid, uint64_t node_id,
   auto node_it = nodes_.find(node_id);
   if (node_it != nodes_.end()) {
     info.service_name = node_it->second.service_name;
+    info.interface_id = node_it->second.interface_id;
     if (node_it->second.target) {
       info.interface = std::string(node_it->second.target->interface_name());
     }
   }
   info.method = std::string(method);
+  info.method_id = Interner::Global().Intern(method);
   info.args = original_args;
   if (translated_reply != nullptr) {
     info.reply = *translated_reply;

@@ -68,6 +68,13 @@ struct TransactionInfo {
   std::string service_name;  // empty if node not registered with ServiceManager
   std::string interface;
   std::string method;
+  // Interned ids for `interface`/`method` (src/base/interner.h). The driver
+  // fills them from the node's cached interface id plus one method-intern
+  // probe, so observers dispatch on integers without touching the strings.
+  // 0 (Interner::kUnset) means "not interned"; observers fall back to
+  // interning the strings themselves (hand-built infos in tests).
+  uint32_t interface_id = 0;
+  uint32_t method_id = 0;
   Parcel args;
   Parcel reply;
   bool ok = false;
@@ -167,6 +174,7 @@ class BinderDriver {
     Pid owner = kInvalidPid;
     std::shared_ptr<BinderObject> target;
     std::string service_name;
+    uint32_t interface_id = 0;  // interned once at RegisterNode
     bool alive = true;
   };
   struct ProcState {

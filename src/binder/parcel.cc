@@ -48,16 +48,41 @@ void Parcel::WriteNamed(std::string_view name, ParcelValue value) {
   Append(name, std::move(value));
 }
 
+const Parcel::Rep& Parcel::rep() const {
+  static const Rep* empty = new Rep();
+  return rep_ != nullptr ? *rep_ : *empty;
+}
+
+Parcel::Rep& Parcel::Mutable() {
+  if (rep_ == nullptr) {
+    rep_ = std::make_shared<Rep>();
+  } else if (rep_.use_count() > 1) {
+    rep_ = std::make_shared<Rep>(*rep_);
+  }
+  return *rep_;
+}
+
 void Parcel::Append(std::string_view name, ParcelValue value) {
-  values_.push_back(std::move(value));
-  names_.emplace_back(name);
+  Rep& r = Mutable();
+  r.values.push_back(std::move(value));
+  r.names.emplace_back(name);
+}
+
+bool Parcel::operator==(const Parcel& other) const {
+  if (rep_ == other.rep_) {
+    return true;  // shared or both empty
+  }
+  const Rep& a = rep();
+  const Rep& b = other.rep();
+  return a.values == b.values && a.names == b.names;
 }
 
 Result<const ParcelValue*> Parcel::Next() const {
-  if (read_pos_ >= values_.size()) {
+  const Rep& r = rep();
+  if (read_pos_ >= r.values.size()) {
     return FailedPrecondition("parcel read past end");
   }
-  return &values_[read_pos_++];
+  return &r.values[read_pos_++];
 }
 
 Result<bool> Parcel::ReadBool() const {
@@ -128,9 +153,10 @@ Result<Fd> Parcel::ReadFd() const {
 }
 
 const ParcelValue* Parcel::FindNamed(std::string_view name) const {
-  for (size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == name) {
-      return &values_[i];
+  const Rep& r = rep();
+  for (size_t i = 0; i < r.names.size(); ++i) {
+    if (r.names[i] == name) {
+      return &r.values[i];
     }
   }
   return nullptr;
@@ -138,7 +164,7 @@ const ParcelValue* Parcel::FindNamed(std::string_view name) const {
 
 uint64_t Parcel::WireSize() const {
   uint64_t total = 0;
-  for (const auto& value : values_) {
+  for (const auto& value : rep().values) {
     struct Visitor {
       uint64_t operator()(bool) const { return 4; }
       uint64_t operator()(int32_t) const { return 4; }
@@ -155,26 +181,28 @@ uint64_t Parcel::WireSize() const {
 }
 
 std::string Parcel::ToString() const {
+  const Rep& r = rep();
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < r.values.size(); ++i) {
     if (i > 0) {
       out += ", ";
     }
-    if (!names_[i].empty()) {
-      out += names_[i];
+    if (!r.names[i].empty()) {
+      out += r.names[i];
       out += "=";
     }
-    out += ParcelValueToString(values_[i]);
+    out += ParcelValueToString(r.values[i]);
   }
   out += ")";
   return out;
 }
 
 void Parcel::Serialize(ArchiveWriter& out) const {
-  out.PutU64(values_.size());
-  for (size_t i = 0; i < values_.size(); ++i) {
-    out.PutString(names_[i]);
-    const ParcelValue& value = values_[i];
+  const Rep& r = rep();
+  out.PutU64(r.values.size());
+  for (size_t i = 0; i < r.values.size(); ++i) {
+    out.PutString(r.names[i]);
+    const ParcelValue& value = r.values[i];
     out.PutU8(static_cast<uint8_t>(value.index()));
     struct Visitor {
       ArchiveWriter& w;

@@ -17,6 +17,7 @@
 #define FLUX_SRC_BINDER_PARCEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -85,11 +86,11 @@ class Parcel {
   void RewindRead() const { read_pos_ = 0; }
 
   // ----- introspection -----
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
-  const ParcelValue& at(size_t i) const { return values_[i]; }
-  ParcelValue& at(size_t i) { return values_[i]; }
-  const std::string& name_at(size_t i) const { return names_[i]; }
+  size_t size() const { return rep().values.size(); }
+  bool empty() const { return rep().values.empty(); }
+  const ParcelValue& at(size_t i) const { return rep().values[i]; }
+  ParcelValue& at(size_t i) { return Mutable().values[i]; }
+  const std::string& name_at(size_t i) const { return rep().names[i]; }
 
   // Finds a value by argument name; nullptr if absent.
   const ParcelValue* FindNamed(std::string_view name) const;
@@ -99,20 +100,29 @@ class Parcel {
 
   std::string ToString() const;
 
-  bool operator==(const Parcel& other) const {
-    return values_ == other.values_ && names_ == other.names_;
-  }
+  bool operator==(const Parcel& other) const;
 
   // ----- serialization -----
   void Serialize(ArchiveWriter& out) const;
   static Result<Parcel> Deserialize(ArchiveReader& in);
 
  private:
+  // Copy-on-write storage: copying a Parcel shares the rep (a refcount
+  // bump), so the record path can keep args/reply in both the observed
+  // TransactionInfo and the CallRecord without duplicating the payload.
+  // Mutation through a non-const path detaches first. Like all CoW, a rep
+  // must not be mutated concurrently with copies on other threads.
+  struct Rep {
+    std::vector<ParcelValue> values;
+    std::vector<std::string> names;
+  };
+
   void Append(std::string_view name, ParcelValue value);
   Result<const ParcelValue*> Next() const;
+  const Rep& rep() const;
+  Rep& Mutable();
 
-  std::vector<ParcelValue> values_;
-  std::vector<std::string> names_;
+  std::shared_ptr<Rep> rep_;  // null means empty
   mutable size_t read_pos_ = 0;
 };
 

@@ -2,10 +2,31 @@
 
 #include <algorithm>
 
+#include "src/base/interner.h"
+
 namespace flux {
 
+namespace {
+
+// Looks up `name` in `parcel`, trying the precompiled slot hint before the
+// linear FindNamed scan. Apps marshal arguments in declaration order, so the
+// hint hits unless the caller reordered or renamed arguments.
+const ParcelValue* FindArg(const Parcel& parcel, int slot_hint,
+                           const std::string& name) {
+  if (slot_hint >= 0 && static_cast<size_t>(slot_hint) < parcel.size() &&
+      parcel.name_at(static_cast<size_t>(slot_hint)) == name) {
+    return &parcel.at(static_cast<size_t>(slot_hint));
+  }
+  return parcel.FindNamed(name);
+}
+
+}  // namespace
+
 void RecordEngine::TrackApp(Pid pid, std::string package) {
-  apps_[pid] = TrackedApp{std::move(package), false, CallLog{}};
+  auto [it, inserted] = apps_.try_emplace(pid);
+  it->second.package = std::move(package);
+  it->second.paused = false;
+  (void)inserted;  // re-tracking keeps the existing log
 }
 
 void RecordEngine::UntrackApp(Pid pid) { apps_.erase(pid); }
@@ -51,20 +72,6 @@ void RecordEngine::InstallLog(Pid pid, CallLog log) {
   }
 }
 
-bool RecordEngine::SignatureMatches(const CallRecord& entry,
-                                    const TransactionInfo& info,
-                                    const std::vector<std::string>& sig_args) {
-  for (const auto& arg_name : sig_args) {
-    const ParcelValue* old_value = entry.args.FindNamed(arg_name);
-    const ParcelValue* new_value = info.args.FindNamed(arg_name);
-    if (old_value == nullptr || new_value == nullptr ||
-        !(*old_value == *new_value)) {
-      return false;
-    }
-  }
-  return true;
-}
-
 void RecordEngine::OnTransaction(const TransactionInfo& info) {
   auto it = apps_.find(info.client_pid);
   if (it == apps_.end() || it->second.paused || !info.ok) {
@@ -73,14 +80,24 @@ void RecordEngine::OnTransaction(const TransactionInfo& info) {
   TrackedApp& app = it->second;
   ++stats_.transactions_seen;
 
+  // The driver interns these; hand-built infos (tests) fall back here.
+  const uint32_t interface_id = info.interface_id != 0
+                                    ? info.interface_id
+                                    : Interner::Global().Intern(info.interface);
+  const uint32_t method_id = info.method_id != 0
+                                 ? info.method_id
+                                 : Interner::Global().Intern(info.method);
+
   auto append = [&] {
     CallRecord record;
     record.time = info.time;
     record.service = info.service_name;
     record.interface = info.interface;
     record.method = info.method;
+    record.interface_id = interface_id;
+    record.method_id = method_id;
     record.node_id = info.node_id;
-    record.args = info.args;
+    record.args = info.args;    // copy-on-write share, no payload copy
     record.reply = info.reply;
     record.oneway = info.oneway;
     app.log.Append(std::move(record));
@@ -95,65 +112,60 @@ void RecordEngine::OnTransaction(const TransactionInfo& info) {
     return;
   }
 
-  const RecordRule* rule =
-      rules_ != nullptr ? rules_->FindRule(info.interface, info.method)
+  const CompiledRule* rule =
+      rules_ != nullptr ? rules_->FindCompiled(interface_id, method_id)
                         : nullptr;
-  if (rule == nullptr || !rule->record) {
-    return;  // undecorated: never enters the log
+  if (rule == nullptr) {
+    return;  // undecorated (or not recorded): never enters the log
   }
 
   bool suppress = false;
-  for (const auto& clause : rule->drops) {
-    // Resolve "this" and collect the other method names.
-    std::vector<std::string> methods;
-    bool drops_this = false;
-    bool has_other = false;
-    for (const auto& name : clause.methods) {
-      if (name == "this") {
-        drops_this = true;
-        methods.push_back(info.method);
-      } else {
-        has_other = true;
-        methods.push_back(name);
-      }
-    }
-    // All signatures: @if conjunction plus each @elif alternative. No
-    // signature at all means an unconditional drop.
-    std::vector<std::vector<std::string>> signatures;
-    if (!clause.if_args.empty()) {
-      signatures.push_back(clause.if_args);
-    }
-    for (const auto& alt : clause.elif_args) {
-      signatures.push_back(alt);
+  for (const CompiledDropClause& clause : rule->drops) {
+    // Resolve every signature argument on the new call once; a missing
+    // argument rules its signature out for every candidate entry.
+    sig_values_.clear();
+    for (const CompiledDropClause::Arg& arg : clause.args) {
+      sig_values_.push_back(FindArg(info.args, arg.caller_slot, arg.name));
     }
 
+    const size_t n_args = clause.args.size();
     int dropped_other = 0;
-    const int removed = app.log.RemoveIf([&](const CallRecord& entry) {
-      if (entry.interface != info.interface ||
-          entry.node_id != info.node_id) {
-        return false;
-      }
-      if (std::find(methods.begin(), methods.end(), entry.method) ==
-          methods.end()) {
-        return false;
-      }
-      bool matches = signatures.empty();
-      for (const auto& sig : signatures) {
-        if (SignatureMatches(entry, info, sig)) {
-          matches = true;
-          break;
-        }
-      }
-      if (matches && entry.method != info.method) {
-        ++dropped_other;
-      }
-      return matches;
-    });
+    const int removed = app.log.PruneBucket(
+        interface_id, info.node_id, [&](const CallRecord& entry) {
+          const int victim = clause.VictimIndex(entry.method_id);
+          if (victim < 0) {
+            return false;
+          }
+          bool matches = clause.sig_ranges.empty();  // no signature at all
+          for (const auto& [begin, end] : clause.sig_ranges) {
+            if (matches) {
+              break;
+            }
+            matches = true;
+            for (uint16_t k = begin; k < end; ++k) {
+              const ParcelValue* new_value = sig_values_[k];
+              const ParcelValue* old_value =
+                  new_value == nullptr
+                      ? nullptr
+                      : FindArg(entry.args,
+                                clause.victim_arg_slots[victim * n_args + k],
+                                clause.args[k].name);
+              if (old_value == nullptr || !(*old_value == *new_value)) {
+                matches = false;
+                break;
+              }
+            }
+          }
+          if (matches && entry.method_id != method_id) {
+            ++dropped_other;
+          }
+          return matches;
+        });
     stats_.calls_dropped_stale += static_cast<uint64_t>(removed);
 
     // A negating call ("this" listed with the calls it cancels) is itself
     // stale once it found a victim: replaying it would cancel nothing.
-    if (drops_this && has_other && dropped_other > 0) {
+    if (clause.drops_this && clause.has_other && dropped_other > 0) {
       suppress = true;
     }
   }

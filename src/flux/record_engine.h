@@ -13,11 +13,19 @@
 // Undecorated calls are ignored entirely — that is the "selective": reads
 // and stateless calls never enter the log. A full-record mode exists for the
 // ablation benchmark.
+//
+// The transaction path is a compiled fast lane: rule dispatch is one hash
+// probe on the interned (interface_id, method_id) pair, drop clauses come
+// pre-resolved (CompiledDropClause), pruning visits only the matching
+// (interface, node) bucket of the log, and appending shares the observed
+// parcels copy-on-write — no allocation and no string comparisons on calls
+// that record cleanly.
 #ifndef FLUX_SRC_FLUX_RECORD_ENGINE_H_
 #define FLUX_SRC_FLUX_RECORD_ENGINE_H_
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/aidl/record_rules.h"
 #include "src/binder/binder_driver.h"
@@ -39,6 +47,8 @@ class RecordEngine : public TransactionObserver {
   explicit RecordEngine(const RecordRuleSet* rules) : rules_(rules) {}
 
   // ----- app tracking -----
+  // Re-tracking an already-tracked pid keeps its existing log (an app can
+  // be re-managed after a restore without losing recorded state).
   void TrackApp(Pid pid, std::string package);
   void UntrackApp(Pid pid);
   bool IsTracked(Pid pid) const { return apps_.count(pid) > 0; }
@@ -74,18 +84,16 @@ class RecordEngine : public TransactionObserver {
     CallLog log;
   };
 
-  // True if `entry` matches the new call under signature `sig_args`
-  // (every named arg listed equal between the two).
-  static bool SignatureMatches(const CallRecord& entry,
-                               const TransactionInfo& info,
-                               const std::vector<std::string>& sig_args);
-
   const RecordRuleSet* rules_;
   std::map<Pid, TrackedApp> apps_;
   RecordStats stats_;
   bool full_record_ = false;
   SimDuration record_cost_ = Micros(4);
   SimClock* clock_ = nullptr;
+  // New-call signature values, resolved once per drop clause and reused for
+  // every candidate entry; member scratch so OnTransaction never allocates
+  // after warm-up.
+  std::vector<const ParcelValue*> sig_values_;
 
  public:
   // Optional: charge record costs to this clock.

@@ -270,6 +270,134 @@ TEST_F(RecordEngineTest, UntrackDropsState) {
   EXPECT_FALSE(engine_.IsTracked(kAppPid));
 }
 
+TEST_F(RecordEngineTest, ReTrackingKeepsExistingLog) {
+  // Migration-in re-manages an app after InstallLog; re-tracking the pid must
+  // not discard the restored log.
+  Enqueue(1);
+  ASSERT_EQ(LogSize(), 1u);
+  engine_.TrackApp(kAppPid, "com.example");
+  EXPECT_EQ(LogSize(), 1u);
+  EXPECT_TRUE(engine_.IsTracked(kAppPid));
+  // And re-tracking un-pauses (a restored app records again).
+  engine_.PauseRecording(kAppPid);
+  engine_.TrackApp(kAppPid, "com.example");
+  Enqueue(2);
+  EXPECT_EQ(LogSize(), 2u);
+}
+
+// ----- drop-clause edge cases on the compiled path -----
+
+class DropClauseEdgeTest : public ::testing::Test {
+ protected:
+  // update drops prior updates matching either signature: (uri, row) or the
+  // @elif alternative (token). refresh drops only itself (no other methods),
+  // so it must never be suppression-eligible.
+  static constexpr std::string_view kProviderAidl = R"(
+interface IProvider {
+  @record {
+    @drop this;
+    @if uri, row;
+    @elif token;
+  }
+  void update(String uri, int row, String token);
+
+  @record {
+    @drop this;
+  }
+  void refresh(String uri);
+}
+)";
+
+  DropClauseEdgeTest() : engine_(&rules_) {
+    EXPECT_TRUE(rules_.RegisterService("provider", kProviderAidl, false).ok());
+    engine_.TrackApp(kPid, "com.edge");
+  }
+
+  void Update(const std::string& uri, int32_t row, const std::string& token,
+              uint64_t node = 30) {
+    Parcel args;
+    args.WriteNamed("uri", uri);
+    args.WriteNamed("row", row);
+    args.WriteNamed("token", token);
+    TransactionInfo info;
+    info.client_pid = kPid;
+    info.node_id = node;
+    info.interface = "IProvider";
+    info.method = "update";
+    info.args = std::move(args);
+    info.ok = true;
+    engine_.OnTransaction(info);
+  }
+
+  void Refresh(const std::string& uri, uint64_t node = 30) {
+    Parcel args;
+    args.WriteNamed("uri", uri);
+    TransactionInfo info;
+    info.client_pid = kPid;
+    info.node_id = node;
+    info.interface = "IProvider";
+    info.method = "refresh";
+    info.args = std::move(args);
+    info.ok = true;
+    engine_.OnTransaction(info);
+  }
+
+  size_t LogSize() { return engine_.LogFor(kPid)->size(); }
+
+  static constexpr Pid kPid = 600;
+  RecordRuleSet rules_;
+  RecordEngine engine_;
+};
+
+TEST_F(DropClauseEdgeTest, ElifAlternativeSignatureMatches) {
+  Update("content://a", 1, "t1");
+  // Different (uri, row) but same token: the @elif alternative fires.
+  Update("content://b", 2, "t1");
+  ASSERT_EQ(LogSize(), 1u);
+  EXPECT_EQ(engine_.stats().calls_dropped_stale, 1u);
+  EXPECT_EQ(std::get<std::string>(
+                *engine_.LogFor(kPid)->entries()[0].args.FindNamed("uri")),
+            "content://b");
+}
+
+TEST_F(DropClauseEdgeTest, PrimarySignatureStillMatches) {
+  Update("content://a", 1, "t1");
+  Update("content://a", 1, "t2");  // same (uri, row), different token: @if
+  ASSERT_EQ(LogSize(), 1u);
+  EXPECT_EQ(engine_.stats().calls_dropped_stale, 1u);
+}
+
+TEST_F(DropClauseEdgeTest, NoSignatureOverlapKeepsBoth) {
+  Update("content://a", 1, "t1");
+  Update("content://b", 2, "t2");  // neither @if nor @elif matches
+  EXPECT_EQ(LogSize(), 2u);
+  EXPECT_EQ(engine_.stats().calls_dropped_stale, 0u);
+}
+
+TEST_F(DropClauseEdgeTest, ThisOnlyClauseNeverSuppresses) {
+  // A this-only drop replaces the prior call but the new call must still be
+  // recorded — suppression requires dropping some *other* method's entry.
+  Refresh("content://a");
+  Refresh("content://a");
+  Refresh("content://a");
+  ASSERT_EQ(LogSize(), 1u);
+  EXPECT_EQ(engine_.stats().calls_recorded, 3u);
+  EXPECT_EQ(engine_.stats().calls_dropped_stale, 2u);
+  EXPECT_EQ(engine_.stats().calls_suppressed, 0u);
+}
+
+TEST_F(DropClauseEdgeTest, SameMethodOtherNodeIsolated) {
+  // Identical method and signature against two nodes: indexed pruning must
+  // keep the buckets separate.
+  Update("content://a", 1, "t1", /*node=*/30);
+  Update("content://a", 1, "t1", /*node=*/31);
+  EXPECT_EQ(LogSize(), 2u);
+  EXPECT_EQ(engine_.stats().calls_dropped_stale, 0u);
+  Update("content://a", 1, "t1", /*node=*/30);  // replaces only node 30's
+  EXPECT_EQ(LogSize(), 2u);
+  EXPECT_EQ(engine_.stats().calls_dropped_stale, 1u);
+}
+
 // Property sweep: after any interleaving of enqueue/cancel over a small id
 // space, *replaying the pruned log in order* reproduces exactly the live
 // notification set — the correctness contract of Selective Record — and the

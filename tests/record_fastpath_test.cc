@@ -1,0 +1,292 @@
+// Tests for the record-path fast lane: the symbol interner, copy-on-write
+// parcels, and the indexed CallLog (bucketed pruning, tombstone compaction,
+// incremental WireSize, and the pinned serialization format — the wire
+// bytes must be exactly what the pre-index log wrote, since checkpoints
+// cross devices and releases).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/base/interner.h"
+#include "src/base/rng.h"
+#include "src/flux/call_log.h"
+
+namespace flux {
+namespace {
+
+// ----- interner -----
+
+TEST(InternerTest, AssignsDenseStableIds) {
+  Interner interner;
+  const uint32_t a = interner.Intern("IAlpha");
+  const uint32_t b = interner.Intern("IBeta");
+  EXPECT_EQ(a, 1u);  // ids are dense, starting after the kUnset sentinel
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(interner.Intern("IAlpha"), a);
+  EXPECT_EQ(interner.Intern(std::string("IAlpha")), a);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, LookupIsInverse) {
+  Interner interner;
+  const uint32_t id = interner.Intern("enqueueNotification");
+  EXPECT_EQ(interner.Lookup(id), "enqueueNotification");
+  EXPECT_EQ(interner.Lookup(Interner::kUnset), "");
+  EXPECT_EQ(interner.Lookup(999), "");
+}
+
+TEST(InternerTest, EmptySymbolGetsARealId) {
+  Interner interner;
+  const uint32_t id = interner.Intern("");
+  EXPECT_NE(id, Interner::kUnset);
+  EXPECT_EQ(interner.Intern(""), id);
+}
+
+// ----- copy-on-write parcels -----
+
+TEST(ParcelCowTest, CopySharesStorageUntilMutation) {
+  Parcel original;
+  original.WriteNamed("id", static_cast<int32_t>(7));
+  original.WriteNamed("payload", std::string("content"));
+
+  Parcel copy = original;
+  const Parcel& const_copy = copy;
+  const Parcel& const_original = original;
+  // Shared rep: const access resolves to the same underlying value objects.
+  EXPECT_EQ(&const_copy.at(0), &const_original.at(0));
+
+  // Mutation detaches the copy; the original is untouched.
+  copy.at(0) = static_cast<int32_t>(8);
+  EXPECT_NE(&const_copy.at(0), &const_original.at(0));
+  EXPECT_EQ(std::get<int32_t>(const_original.at(0)), 7);
+  EXPECT_EQ(std::get<int32_t>(const_copy.at(0)), 8);
+}
+
+TEST(ParcelCowTest, EqualityComparesValues) {
+  Parcel a;
+  a.WriteNamed("id", static_cast<int32_t>(1));
+  Parcel b = a;  // shared rep: compared by identity
+  EXPECT_TRUE(a == b);
+  Parcel c;
+  c.WriteNamed("id", static_cast<int32_t>(1));  // distinct rep, same values
+  EXPECT_TRUE(a == c);
+  c.at(0) = static_cast<int32_t>(2);
+  EXPECT_FALSE(a == c);
+}
+
+// ----- CallLog -----
+
+CallRecord MakeRecord(std::string interface, std::string method, uint64_t node,
+                      int32_t key) {
+  CallRecord record;
+  record.time = 5;
+  record.service = "svc";
+  record.interface = std::move(interface);
+  record.method = std::move(method);
+  record.node_id = node;
+  record.args.WriteNamed("key", key);
+  return record;
+}
+
+// The seed computed WireSize by summing this per-entry formula on demand;
+// the indexed log maintains it incrementally and must agree.
+uint64_t ExpectedWireSize(const CallLog& log) {
+  uint64_t total = 0;
+  for (const auto& entry : log.entries()) {
+    total += 48 + entry.service.size() + entry.interface.size() +
+             entry.method.size() + entry.args.WireSize() +
+             entry.reply.WireSize();
+  }
+  return total;
+}
+
+TEST(CallLogTest, AppendInternsAndIndexes) {
+  CallLog log;
+  log.Append(MakeRecord("IStore", "put", 10, 1));
+  ASSERT_EQ(log.size(), 1u);
+  const CallRecord& entry = log.entries()[0];
+  EXPECT_NE(entry.interface_id, 0u);
+  EXPECT_NE(entry.method_id, 0u);
+  EXPECT_EQ(Interner::Global().Lookup(entry.interface_id), "IStore");
+  EXPECT_EQ(entry.seq, 1u);
+  EXPECT_EQ(log.WireSize(), ExpectedWireSize(log));
+}
+
+TEST(CallLogTest, PruneBucketOnlyTouchesItsBucket) {
+  CallLog log;
+  log.Append(MakeRecord("IStore", "put", 10, 1));
+  log.Append(MakeRecord("IStore", "put", 11, 1));  // same iface, other node
+  log.Append(MakeRecord("IOther", "put", 10, 1));  // other iface, same node
+  const uint32_t store_id = Interner::Global().Intern("IStore");
+
+  int visited = 0;
+  const int removed = log.PruneBucket(store_id, 10, [&](const CallRecord&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(visited, 1);  // the (IStore, 11) and (IOther, 10) entries not seen
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries()[0].node_id, 11u);
+  EXPECT_EQ(log.entries()[1].interface, "IOther");
+  EXPECT_EQ(log.WireSize(), ExpectedWireSize(log));
+}
+
+TEST(CallLogTest, PruneBucketMissingBucketIsNoop) {
+  CallLog log;
+  log.Append(MakeRecord("IStore", "put", 10, 1));
+  EXPECT_EQ(log.PruneBucket(Interner::Global().Intern("INotThere"), 10,
+                            [](const CallRecord&) { return true; }),
+            0);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(CallLogTest, PruneBucketMatchesRemoveIf) {
+  // Random interleavings: bucket-indexed pruning must leave exactly the log
+  // a whole-log RemoveIf with the same (interface, node, predicate) leaves.
+  Rng rng(99);
+  CallLog indexed;
+  CallLog scanned;
+  const char* ifaces[] = {"IA", "IB", "IC"};
+  for (int step = 0; step < 400; ++step) {
+    const char* iface = ifaces[rng.NextBelow(3)];
+    const uint64_t node = 10 + rng.NextBelow(2);
+    const int32_t key = static_cast<int32_t>(rng.NextBelow(8));
+    if (rng.NextBool(0.4)) {
+      indexed.Append(MakeRecord(iface, "put", node, key));
+      scanned.Append(MakeRecord(iface, "put", node, key));
+    } else {
+      const uint32_t iface_id = Interner::Global().Intern(iface);
+      const auto matches = [&](const CallRecord& entry) {
+        return std::get<int32_t>(*entry.args.FindNamed("key")) == key;
+      };
+      const int a = indexed.PruneBucket(iface_id, node, matches);
+      const int b = scanned.RemoveIf([&](const CallRecord& entry) {
+        return entry.interface == iface && entry.node_id == node &&
+               matches(entry);
+      });
+      EXPECT_EQ(a, b);
+    }
+  }
+  ASSERT_EQ(indexed.size(), scanned.size());
+  for (size_t i = 0; i < indexed.size(); ++i) {
+    EXPECT_EQ(indexed.entries()[i].seq, scanned.entries()[i].seq);
+  }
+  EXPECT_EQ(indexed.WireSize(), scanned.WireSize());
+  EXPECT_EQ(indexed.WireSize(), ExpectedWireSize(indexed));
+}
+
+TEST(CallLogTest, TombstoneCompactionPreservesOrder) {
+  // Enough drops to trip amortized compaction several times; entries() must
+  // always be the live records in append order.
+  CallLog log;
+  const uint32_t iface_id = Interner::Global().Intern("IStore");
+  for (int round = 0; round < 50; ++round) {
+    for (int32_t k = 0; k < 8; ++k) {
+      log.Append(MakeRecord("IStore", "put", 10, k));
+    }
+    // Drop 6 of the 8 keys written this round (seqs round*8+1 .. round*8+8),
+    // so tombstones outpace live entries and compaction fires repeatedly.
+    log.PruneBucket(iface_id, 10, [&](const CallRecord& entry) {
+      return entry.seq > static_cast<uint64_t>(round) * 8 &&
+             std::get<int32_t>(*entry.args.FindNamed("key")) % 4 != 3;
+    });
+  }
+  EXPECT_EQ(log.size(), 50u * 2u);
+  uint64_t prev_seq = 0;
+  for (const auto& entry : log.entries()) {
+    EXPECT_GT(entry.seq, prev_seq);  // strictly increasing append order
+    prev_seq = entry.seq;
+  }
+  EXPECT_EQ(log.WireSize(), ExpectedWireSize(log));
+}
+
+TEST(CallLogTest, ClearResetsEverything) {
+  CallLog log;
+  log.Append(MakeRecord("IStore", "put", 10, 1));
+  log.Clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.WireSize(), 0u);
+  log.Append(MakeRecord("IStore", "put", 10, 2));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.WireSize(), ExpectedWireSize(log));
+}
+
+// The wire format is pinned: ids, buckets, and cached sizes are process-local
+// acceleration state and must never leak into the bytes.
+TEST(CallLogTest, SerializationFormatIsPinned) {
+  CallLog log;
+  CallRecord record;
+  record.time = 77;
+  record.service = "notification";
+  record.interface = "INotificationManager";
+  record.method = "enqueueNotification";
+  record.node_id = 10;
+  record.oneway = true;
+  record.args.WriteNamed("id", static_cast<int32_t>(3));
+  log.Append(record);  // seq becomes 1
+
+  ArchiveWriter actual;
+  log.Serialize(actual);
+
+  // Hand-built reference stream: exactly what the pre-index log wrote.
+  ArchiveWriter expected;
+  expected.PutU64(1);  // entry count
+  expected.PutU64(1);  // seq
+  expected.PutU64(77);
+  expected.PutString("notification");
+  expected.PutString("INotificationManager");
+  expected.PutString("enqueueNotification");
+  expected.PutU64(10);
+  expected.PutBool(true);
+  ArchiveWriter args;
+  record.args.Serialize(args);
+  expected.PutSection(args);
+  ArchiveWriter reply;
+  record.reply.Serialize(reply);
+  expected.PutSection(reply);
+
+  EXPECT_EQ(actual.data(), expected.data());
+}
+
+TEST(CallLogTest, SerializeSkipsTombstonesAndRoundTrips) {
+  CallLog log;
+  for (int32_t k = 0; k < 6; ++k) {
+    log.Append(MakeRecord("IStore", "put", 10, k));
+  }
+  const uint32_t iface_id = Interner::Global().Intern("IStore");
+  log.PruneBucket(iface_id, 10, [](const CallRecord& entry) {
+    return std::get<int32_t>(*entry.args.FindNamed("key")) % 2 == 0;
+  });
+  ASSERT_EQ(log.size(), 3u);
+
+  ArchiveWriter out;
+  log.Serialize(out);
+  ArchiveReader in(out.data());
+  auto restored = CallLog::Deserialize(in);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 3u);
+  EXPECT_EQ(restored->WireSize(), log.WireSize());
+  for (size_t i = 0; i < 3; ++i) {
+    const CallRecord& a = log.entries()[i];
+    const CallRecord& b = restored->entries()[i];
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.method, b.method);
+    EXPECT_TRUE(a.args == b.args);
+    EXPECT_NE(b.interface_id, 0u);  // re-interned on load
+  }
+
+  // The rebuilt index is live: pruning the restored log works.
+  EXPECT_EQ(restored->PruneBucket(iface_id, 10,
+                                  [](const CallRecord&) { return true; }),
+            3);
+  EXPECT_TRUE(restored->empty());
+
+  // Appends continue the sequence rather than reusing dropped seqs.
+  restored->Append(MakeRecord("IStore", "put", 10, 9));
+  EXPECT_GT(restored->entries()[0].seq, 6u);
+}
+
+}  // namespace
+}  // namespace flux
