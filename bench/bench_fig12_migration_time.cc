@@ -4,18 +4,26 @@
 //   - mean user-perceived time         (paper: ~5.8 s; prepare+checkpoint
 //     overlap with the target-selection menu)
 // Facebook and Subway Surfers are exercised and refused, as in the paper.
+//
+// Pass --trace-out=FILE to record every migration and dump one merged
+// Chrome trace (chrome://tracing / ui.perfetto.dev). Tracing does not
+// change any reported number — spans are post-hoc stamps of the same
+// simulated intervals (see OBSERVABILITY.md).
 #include <cstdio>
 
 #include "bench/harness/migration_matrix.h"
 #include "src/base/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flux;
   printf("=== Figure 12: overall migration time (seconds) ===\n");
   printf("Four device combinations, %zu Table 3 apps, campus-WiFi model.\n\n",
          TopApps().size());
 
-  MatrixResult matrix = RunMigrationMatrix();
+  const char* trace_path = TraceOutPath(argc, argv);
+  MatrixOptions options;
+  options.trace = trace_path != nullptr;
+  MatrixResult matrix = RunMigrationMatrix(options);
 
   printf("%-18s", "Application");
   for (const auto& combo : matrix.combos) {
@@ -55,5 +63,9 @@ int main() {
          total_sum / count);
   printf("  mean user-perceived time  : %6.2f s   (paper: ~5.8 s)\n",
          perceived_sum / count);
+
+  if (trace_path != nullptr) {
+    WriteMatrixTrace(matrix, trace_path);
+  }
   return 0;
 }

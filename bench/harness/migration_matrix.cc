@@ -1,5 +1,9 @@
 #include "bench/harness/migration_matrix.h"
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
 #include "src/apps/app_instance.h"
 #include "src/device/world.h"
 #include "src/flux/pairing.h"
@@ -22,9 +26,9 @@ const Combo kCombos[] = {
     {"Nexus 7 to Nexus 4", &Nexus7_2012Profile, &Nexus4Profile},
 };
 
-Result<MigrationReport> MigrateInFreshWorld(const AppSpec& spec,
-                                            const Combo& combo,
-                                            const MatrixOptions& options) {
+Result<MigrationReport> MigrateInFreshWorld(
+    const AppSpec& spec, const Combo& combo, const MatrixOptions& options,
+    std::shared_ptr<Tracer>* trace_out) {
   World world;
   BootOptions boot;
   boot.framework_scale = options.framework_scale;
@@ -34,12 +38,28 @@ Result<MigrationReport> MigrateInFreshWorld(const AppSpec& spec,
                         world.AddDevice("guest", combo.guest(), boot));
   FluxAgent home_agent(*home);
   FluxAgent guest_agent(*guest);
-  FLUX_ASSIGN_OR_RETURN(auto pairing, PairDevices(home_agent, guest_agent));
+
+  // One tracer per cell, on this world's clock. The tracer outlives the
+  // world (the caller keeps it for export) — safe, because nothing records
+  // into it after Migrate returns.
+  std::shared_ptr<Tracer> trace;
+  MigrationConfig migration = options.migration;
+  if (options.trace) {
+    trace = std::make_shared<Tracer>(&home->clock());
+    migration.trace = trace.get();
+  }
+  if (trace_out != nullptr) {
+    *trace_out = trace;
+  }
+
+  FLUX_ASSIGN_OR_RETURN(auto pairing,
+                        PairDevices(home_agent, guest_agent, trace.get()));
   (void)pairing;
 
   AppInstance app(*home, spec);
   FLUX_RETURN_IF_ERROR(app.Install());
-  FLUX_ASSIGN_OR_RETURN(auto wire, PairApp(home_agent, guest_agent, spec));
+  FLUX_ASSIGN_OR_RETURN(auto wire,
+                        PairApp(home_agent, guest_agent, spec, trace.get()));
   (void)wire;
   FLUX_RETURN_IF_ERROR(app.Launch());
   home_agent.Manage(app.pid(), spec.package);
@@ -48,7 +68,7 @@ Result<MigrationReport> MigrateInFreshWorld(const AppSpec& spec,
   // short-fused alarms) lapse before the user initiates migration.
   world.AdvanceTime(Seconds(1));
 
-  MigrationManager manager(home_agent, guest_agent, options.migration);
+  MigrationManager manager(home_agent, guest_agent, migration);
   return manager.Migrate(RunningApp::FromInstance(app), spec);
 }
 
@@ -66,7 +86,8 @@ MatrixResult RunMigrationMatrix(const MatrixOptions& options) {
     }
     bool listed = false;
     for (const Combo& combo : kCombos) {
-      auto report = MigrateInFreshWorld(spec, combo, options);
+      std::shared_ptr<Tracer> trace;
+      auto report = MigrateInFreshWorld(spec, combo, options, &trace);
       if (!report.ok()) {
         result.refused.push_back(spec.display_name + ": " +
                                  report.status().ToString());
@@ -85,16 +106,17 @@ MatrixResult RunMigrationMatrix(const MatrixOptions& options) {
       cell.app = spec.display_name;
       cell.combo = combo.name;
       cell.report = std::move(*report);
+      cell.trace = std::move(trace);
       result.cells.push_back(std::move(cell));
     }
   }
   return result;
 }
 
-Result<MigrationReport> RunSingleMigration(const std::string& app_name,
-                                           const std::string& home_model,
-                                           const std::string& guest_model,
-                                           const MatrixOptions& options) {
+Result<MigrationReport> RunSingleMigration(
+    const std::string& app_name, const std::string& home_model,
+    const std::string& guest_model, const MatrixOptions& options,
+    std::shared_ptr<Tracer>* trace_out) {
   const AppSpec* spec = FindApp(app_name);
   if (spec == nullptr) {
     return NotFound("unknown app: " + app_name);
@@ -120,18 +142,57 @@ Result<MigrationReport> RunSingleMigration(const std::string& app_name,
       world.AddDevice("guest", profile_by_model(guest_model), boot));
   FluxAgent home_agent(*home);
   FluxAgent guest_agent(*guest);
-  FLUX_ASSIGN_OR_RETURN(auto pairing, PairDevices(home_agent, guest_agent));
+  std::shared_ptr<Tracer> trace;
+  MigrationConfig migration = options.migration;
+  if (options.trace) {
+    trace = std::make_shared<Tracer>(&home->clock());
+    migration.trace = trace.get();
+  }
+  if (trace_out != nullptr) {
+    *trace_out = trace;
+  }
+  FLUX_ASSIGN_OR_RETURN(auto pairing,
+                        PairDevices(home_agent, guest_agent, trace.get()));
   (void)pairing;
   AppInstance app(*home, *spec);
   FLUX_RETURN_IF_ERROR(app.Install());
-  FLUX_ASSIGN_OR_RETURN(auto wire, PairApp(home_agent, guest_agent, *spec));
+  FLUX_ASSIGN_OR_RETURN(auto wire,
+                        PairApp(home_agent, guest_agent, *spec, trace.get()));
   (void)wire;
   FLUX_RETURN_IF_ERROR(app.Launch());
   home_agent.Manage(app.pid(), spec->package);
   FLUX_RETURN_IF_ERROR(app.RunWorkload(2015));
   world.AdvanceTime(Seconds(1));
-  MigrationManager manager(home_agent, guest_agent, options.migration);
+  MigrationManager manager(home_agent, guest_agent, migration);
   return manager.Migrate(RunningApp::FromInstance(app), *spec);
+}
+
+const char* TraceOutPath(int argc, char** argv) {
+  constexpr const char kFlag[] = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  return nullptr;
+}
+
+bool WriteMatrixTrace(const MatrixResult& result, const char* path) {
+  std::vector<TraceProcess> processes;
+  for (const MatrixCell& cell : result.cells) {
+    if (cell.trace != nullptr) {
+      processes.push_back({cell.app + " | " + cell.combo, cell.trace.get()});
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path);
+    return false;
+  }
+  WriteChromeTrace(processes, out);
+  std::fprintf(stderr, "trace written to %s (%zu migrations)\n", path,
+               processes.size());
+  return true;
 }
 
 }  // namespace flux

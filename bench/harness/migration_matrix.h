@@ -9,10 +9,12 @@
 #ifndef FLUX_BENCH_HARNESS_MIGRATION_MATRIX_H_
 #define FLUX_BENCH_HARNESS_MIGRATION_MATRIX_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/flux/migration.h"
+#include "src/flux/trace.h"
 
 namespace flux {
 
@@ -22,6 +24,10 @@ struct MatrixOptions {
   // full scale instead.
   double framework_scale = 0.02;
   bool include_unmigratable = true;  // run Facebook / Subway Surfers too
+  // Attach a fresh Tracer to every migration (one per cell, stored in
+  // MatrixCell::trace). Simulated results are identical either way —
+  // spans are post-hoc stamps of the same intervals (DESIGN.md §9).
+  bool trace = false;
   MigrationConfig migration;
 };
 
@@ -29,6 +35,11 @@ struct MatrixCell {
   std::string app;
   std::string combo;  // e.g. "N4 -> N7(2013)"
   MigrationReport report;
+  // Set when MatrixOptions::trace is on. shared_ptr because cells are
+  // copied around freely; the Tracer itself is not copyable. The world
+  // (and its clock) are gone by the time the cell is returned — that is
+  // fine, exporters never touch the clock.
+  std::shared_ptr<Tracer> trace;
 };
 
 struct MatrixResult {
@@ -42,11 +53,22 @@ struct MatrixResult {
 // independent and deterministic.
 MatrixResult RunMigrationMatrix(const MatrixOptions& options = {});
 
-// Convenience for single-cell experiments.
-Result<MigrationReport> RunSingleMigration(const std::string& app_name,
-                                           const std::string& home_model,
-                                           const std::string& guest_model,
-                                           const MatrixOptions& options = {});
+// Convenience for single-cell experiments. With `trace_out` non-null and
+// MatrixOptions::trace set, the migration's Tracer is returned through it.
+Result<MigrationReport> RunSingleMigration(
+    const std::string& app_name, const std::string& home_model,
+    const std::string& guest_model, const MatrixOptions& options = {},
+    std::shared_ptr<Tracer>* trace_out = nullptr);
+
+// ----- --trace-out support for bench binaries -----
+
+// Returns the FILE argument of a `--trace-out=FILE` flag, or null.
+const char* TraceOutPath(int argc, char** argv);
+
+// Writes every traced cell of `result` as one merged Chrome trace (one
+// process per cell, named "app | combo"). No-op for cells without traces.
+// Returns false (with a message on stderr) if the file cannot be written.
+bool WriteMatrixTrace(const MatrixResult& result, const char* path);
 
 }  // namespace flux
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace produced by the flux tracing layer.
+
+Usage: check_trace.py <trace.json> <trace.h> <OBSERVABILITY.md>
+
+Three gates, all cheap enough for every CI run:
+
+  1. The file is well-formed Chrome trace_event JSON ("JSON Object
+     Format"): a traceEvents array of objects whose required keys match
+     their phase type, with non-negative timestamps and durations.
+  2. Every successful migration in the trace (= every pid) carries each
+     canonical migration phase span exactly once, and the five timeline
+     phases tile [prepare.begin, reintegrate.end] without gaps.
+  3. Every counter constant registered in src/flux/trace.h is documented
+     in OBSERVABILITY.md, so the catalog cannot silently drift from the
+     code.
+"""
+
+import json
+import re
+import sys
+
+CANONICAL_PHASES = [
+    "migration/prepare",
+    "migration/checkpoint",
+    "migration/compress",
+    "migration/transfer",
+    "migration/restore",
+    "migration/replay",
+]
+TIMELINE_PHASES = [
+    "migration/prepare",
+    "migration/checkpoint",
+    "migration/transfer",
+    "migration/restore",
+    "migration/reintegrate",
+]
+
+
+def fail(msg):
+    print("check_trace: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_events(trace):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("X", "M", "C"):
+            fail("unexpected event phase %r" % ph)
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                fail("event missing %r: %r" % (key, event))
+        if ph == "X":
+            if event.get("ts", -1) < 0 or event.get("dur", -1) < 0:
+                fail("complete event with bad ts/dur: %r" % event)
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            fail("counter event without args: %r" % event)
+    return events
+
+
+def check_migrations(events):
+    # name -> pid -> list of (ts, dur), for complete events only.
+    spans = {}
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        spans.setdefault(event["name"], {}).setdefault(
+            event["pid"], []).append((event["ts"], event["dur"]))
+    if "migration/total" not in spans:
+        fail("no migration/total span in trace")
+    migrations = spans["migration/total"]
+    for name in CANONICAL_PHASES:
+        for pid in migrations:
+            count = len(spans.get(name, {}).get(pid, ()))
+            if count != 1:
+                fail("pid %s: %s emitted %d times, want exactly once"
+                     % (pid, name, count))
+    # The five timeline phases tile the foreground migration contiguously.
+    for pid in migrations:
+        cursor = None
+        for name in TIMELINE_PHASES:
+            ((ts, dur),) = spans[name][pid]
+            if cursor is not None and ts != cursor:
+                fail("pid %s: %s begins at %d, previous phase ended at %d"
+                     % (pid, name, ts, cursor))
+            cursor = ts + dur
+    return len(migrations)
+
+
+def registered_counters(trace_h):
+    # Counter constants live in namespace trace_names as
+    #   inline constexpr std::string_view kFoo = "dotted.name";
+    # Spans use slash-separated names; counters dotted ones.
+    with open(trace_h) as f:
+        source = f.read()
+    names = re.findall(r'std::string_view\s+k\w+\s*=\s*\n?\s*"([a-z_.]+)"',
+                       source)
+    counters = [n for n in names if "." in n]
+    if len(counters) < 20:
+        fail("only %d counter constants parsed from %s — regex drifted?"
+             % (len(counters), trace_h))
+    return counters
+
+
+def check_docs(counters, observability_md):
+    with open(observability_md) as f:
+        docs = f.read()
+    missing = [name for name in counters if name not in docs]
+    if missing:
+        fail("counters registered in trace.h but undocumented in %s: %s"
+             % (observability_md, ", ".join(missing)))
+
+
+def main(argv):
+    if len(argv) != 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path, trace_h, observability_md = argv[1:]
+    with open(trace_path) as f:
+        trace = json.load(f)
+    events = check_events(trace)
+    migrations = check_migrations(events)
+    counters = registered_counters(trace_h)
+    check_docs(counters, observability_md)
+    print("check_trace: OK: %d events, %d migrations, %d counters documented"
+          % (len(events), migrations, len(counters)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

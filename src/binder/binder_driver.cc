@@ -284,6 +284,7 @@ Result<Parcel> BinderDriver::TransactInternal(Pid sender_pid, uint64_t node_id,
     clock_->Advance(transaction_cost_);
   }
   ++transaction_count_;
+  FLUX_TRACE_COUNTER_ADD(trace_transactions_, 1);
 
   BinderCallContext context;
   context.sender_pid = sender_pid;
@@ -424,6 +425,15 @@ void BinderDriver::RemoveObserver(TransactionObserver* observer) {
   observers_.erase(
       std::remove(observers_.begin(), observers_.end(), observer),
       observers_.end());
+}
+
+void BinderDriver::set_tracer(Tracer* tracer) {
+#if FLUX_TRACE_ENABLED
+  trace_transactions_ =
+      tracer ? tracer->counter(trace_names::kBinderTransactions) : nullptr;
+#else
+  (void)tracer;
+#endif
 }
 
 }  // namespace flux

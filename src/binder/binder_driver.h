@@ -28,6 +28,7 @@
 #include "src/base/result.h"
 #include "src/base/sim_clock.h"
 #include "src/binder/parcel.h"
+#include "src/flux/trace.h"
 #include "src/kernel/ids.h"
 
 namespace flux {
@@ -169,6 +170,11 @@ class BinderDriver {
 
   uint64_t transaction_count() const { return transaction_count_; }
 
+  // Mirrors transaction_count into a binder.transactions trace counter
+  // (null detaches); the pointer is cached so the IPC hot path pays one
+  // pointer test.
+  void set_tracer(Tracer* tracer);
+
  private:
   struct Node {
     Pid owner = kInvalidPid;
@@ -209,6 +215,7 @@ class BinderDriver {
   std::vector<TransactionObserver*> observers_;
   SimDuration transaction_cost_ = Micros(60);
   uint64_t transaction_count_ = 0;
+  TraceCounter* trace_transactions_ = nullptr;
 };
 
 }  // namespace flux

@@ -552,16 +552,18 @@ Status Cria::CheckMigratable(Device& device, Pid pid,
 }
 
 Result<CriaCheckpointResult> Cria::Checkpoint(Device& device, Pid pid,
-                                              const ActivityThread& thread) {
-  return CheckpointTree(device, {pid}, thread);
+                                              const ActivityThread& thread,
+                                              Tracer* trace) {
+  return CheckpointTree(device, {pid}, thread, trace);
 }
 
 Result<CriaCheckpointResult> Cria::CheckpointTree(
     Device& device, const std::vector<Pid>& pids,
-    const ActivityThread& thread) {
+    const ActivityThread& thread, Tracer* trace) {
   if (pids.empty()) {
     return InvalidArgument("no processes to checkpoint");
   }
+  FLUX_TRACE_SPAN(checkpoint_span, trace, trace_names::kSpanCriaCheckpoint);
   SimProcess* main = device.kernel().FindProcess(pids.front());
   if (main == nullptr) {
     return NotFound(StrFormat("no process %d", pids.front()));
@@ -599,11 +601,15 @@ Result<CriaCheckpointResult> Cria::CheckpointTree(
   result.image = image.TakeData();
   stats.image_bytes = result.image.size();
   result.stats = stats;
+  FLUX_TRACE_COUNT(trace, trace_names::kCriaCheckpoints, 1);
+  FLUX_TRACE_COUNT(trace, trace_names::kCriaImageBytes, stats.image_bytes);
   return result;
 }
 
 Result<CriaRestoredApp> Cria::Restore(Device& guest, ByteSpan image,
                                       const CriaRestoreOptions& options) {
+  FLUX_TRACE_SPAN(restore_span, options.trace, trace_names::kSpanCriaRestore);
+  FLUX_TRACE_COUNT(options.trace, trace_names::kCriaRestores, 1);
   ArchiveReader reader(image);
   uint32_t magic = 0;
   uint32_t version = 0;

@@ -34,6 +34,7 @@
 
 #include "src/base/archive.h"
 #include "src/device/device.h"
+#include "src/flux/trace.h"
 #include "src/framework/activity_thread.h"
 
 namespace flux {
@@ -77,6 +78,8 @@ struct CriaRestoreOptions {
   // mappings resolve under it first, then the guest's own tree (identical
   // /system files are hard-linked there).
   std::string jail_root;
+  // Optional: records a cria/restore span and cria.* counters.
+  Tracer* trace = nullptr;
 };
 
 // Everything the reintegration phase needs from a restored process tree.
@@ -127,14 +130,16 @@ struct CriaCheckOptions {
 class Cria {
  public:
   // Checkpoints the single process `pid` (the paper's prototype behaviour).
+  // A non-null tracer records a cria/checkpoint span and cria.* counters.
   static Result<CriaCheckpointResult> Checkpoint(Device& device, Pid pid,
-                                                 const ActivityThread& thread);
+                                                 const ActivityThread& thread,
+                                                 Tracer* trace = nullptr);
 
   // Extension: checkpoints a whole process tree. `pids.front()` must be the
   // main (activity-hosting) process owning `thread`.
   static Result<CriaCheckpointResult> CheckpointTree(
       Device& device, const std::vector<Pid>& pids,
-      const ActivityThread& thread);
+      const ActivityThread& thread, Tracer* trace = nullptr);
 
   // Restores an image on `guest` inside a fresh private PID namespace,
   // re-binding service handles through the guest's ServiceManager.

@@ -4,6 +4,24 @@
 
 namespace flux {
 
+void ChunkCache::set_tracer(Tracer* tracer) {
+#if FLUX_TRACE_ENABLED
+  trace_hits_ = tracer ? tracer->counter(trace_names::kCacheHits) : nullptr;
+  trace_misses_ =
+      tracer ? tracer->counter(trace_names::kCacheMisses) : nullptr;
+  trace_insertions_ =
+      tracer ? tracer->counter(trace_names::kCacheInsertions) : nullptr;
+  trace_refreshes_ =
+      tracer ? tracer->counter(trace_names::kCacheRefreshes) : nullptr;
+  trace_evictions_ =
+      tracer ? tracer->counter(trace_names::kCacheEvictions) : nullptr;
+  trace_verify_failures_ =
+      tracer ? tracer->counter(trace_names::kCacheVerifyFailures) : nullptr;
+#else
+  (void)tracer;
+#endif
+}
+
 void ChunkCache::Insert(const Hash128& hash, ByteSpan content) {
   auto it = index_.find(hash);
   if (it != index_.end()) {
@@ -18,6 +36,7 @@ void ChunkCache::Insert(const Hash128& hash, ByteSpan content) {
       bytes_ += content.size();
     }
     ++stats_.refreshes;
+    FLUX_TRACE_COUNTER_ADD(trace_refreshes_, 1);
     EvictToBudget();
     return;
   }
@@ -28,6 +47,7 @@ void ChunkCache::Insert(const Hash128& hash, ByteSpan content) {
   index_[hash] = lru_.begin();
   bytes_ += content.size();
   ++stats_.insertions;
+  FLUX_TRACE_COUNTER_ADD(trace_insertions_, 1);
   EvictToBudget();
 }
 
@@ -35,12 +55,14 @@ bool ChunkCache::HasValid(const Hash128& hash) {
   auto it = index_.find(hash);
   if (it == index_.end()) {
     ++stats_.misses;
+    FLUX_TRACE_COUNTER_ADD(trace_misses_, 1);
     return false;
   }
   const Bytes& content = it->second->content;
   if (FluxHash128(ByteSpan(content.data(), content.size())) != hash) {
     // Poisoned entry: drop it so the peer ships the full chunk.
     ++stats_.verify_failures;
+    FLUX_TRACE_COUNTER_ADD(trace_verify_failures_, 1);
     bytes_ -= content.size();
     lru_.erase(it->second);
     index_.erase(it);
@@ -48,6 +70,7 @@ bool ChunkCache::HasValid(const Hash128& hash) {
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
+  FLUX_TRACE_COUNTER_ADD(trace_hits_, 1);
   return true;
 }
 
@@ -106,6 +129,7 @@ void ChunkCache::EvictToBudget() {
     index_.erase(victim.hash);
     lru_.pop_back();
     ++stats_.evictions;
+    FLUX_TRACE_COUNTER_ADD(trace_evictions_, 1);
   }
 }
 

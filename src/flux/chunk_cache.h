@@ -23,6 +23,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/hash.h"
+#include "src/flux/trace.h"
 
 namespace flux {
 
@@ -73,6 +74,11 @@ class ChunkCache {
   size_t entries() const { return index_.size(); }
   const Stats& stats() const { return stats_; }
 
+  // Mirrors the Stats increments into cache.* trace counters (null
+  // detaches). Counter pointers are cached here so the hot lookups pay one
+  // pointer test, not a registry probe.
+  void set_tracer(Tracer* tracer);
+
   // Fault injection for tests: flips one bit of the stored content so the
   // entry no longer matches its key. Returns whether the entry existed.
   bool PoisonForTest(const Hash128& hash);
@@ -95,6 +101,12 @@ class ChunkCache {
   Lru lru_;  // front = most recently used
   std::unordered_map<Hash128, Lru::iterator, Hash128Hasher> index_;
   Stats stats_;
+  TraceCounter* trace_hits_ = nullptr;
+  TraceCounter* trace_misses_ = nullptr;
+  TraceCounter* trace_insertions_ = nullptr;
+  TraceCounter* trace_refreshes_ = nullptr;
+  TraceCounter* trace_evictions_ = nullptr;
+  TraceCounter* trace_verify_failures_ = nullptr;
 };
 
 }  // namespace flux

@@ -13,6 +13,14 @@ FluxAgent::FluxAgent(Device& device)
 
 FluxAgent::~FluxAgent() { recorder_.Disarm(device_.binder()); }
 
+void FluxAgent::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  recorder_.set_tracer(tracer);
+  replayer_.set_tracer(tracer);
+  chunk_cache_.set_tracer(tracer);
+  device_.binder().set_tracer(tracer);
+}
+
 void FluxAgent::Manage(Pid pid, const std::string& package) {
   recorder_.TrackApp(pid, package);
 }

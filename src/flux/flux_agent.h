@@ -36,6 +36,11 @@ class FluxAgent {
   // guest side on restore).
   ChunkCache& chunk_cache() { return chunk_cache_; }
 
+  // Attaches a tracer to every subsystem this agent owns (recorder,
+  // replayer, chunk cache, the device's binder driver). Null detaches.
+  void set_tracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+
   // Starts recording the app's service calls (call after launch).
   void Manage(Pid pid, const std::string& package);
   void Unmanage(Pid pid);
@@ -53,6 +58,7 @@ class FluxAgent {
   ReplayEngine replayer_;
   ChunkCache chunk_cache_;
   std::set<std::string> paired_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace flux

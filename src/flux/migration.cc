@@ -116,8 +116,9 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
 
   const std::vector<Pid> pids =
       app.all_pids.empty() ? std::vector<Pid>{app.pid} : app.all_pids;
-  FLUX_ASSIGN_OR_RETURN(CriaCheckpointResult cria,
-                        Cria::CheckpointTree(device, pids, *app.thread));
+  FLUX_ASSIGN_OR_RETURN(
+      CriaCheckpointResult cria,
+      Cria::CheckpointTree(device, pids, *app.thread, config_.trace));
   report.cria = cria.stats;
   report.image_raw_bytes = cria.image.size();
   // Digest of the raw image as checkpointed; the guest recomputes it after
@@ -231,10 +232,12 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
   }
 
   if (config_.compress_image) {
+    report.compress.begin = device.clock().now();
     Bytes compressed = LzCompress(
         ByteSpan(cria.image.data(), cria.image.size()));
     device.context().SpendCpu(
         CpuCost(device, report.image_raw_bytes, config_.compress_mbps));
+    report.compress.end = device.clock().now();
     // The raw image is dead once compressed; free it before the payload
     // append so peak checkpoint memory stays ~1x the image, not ~3x.
     Bytes().swap(cria.image);
@@ -242,6 +245,8 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
     payload.PutBytes(ByteSpan(compressed.data(), compressed.size()));
     report.image_compressed_bytes = compressed.size();
   } else {
+    report.compress.begin = device.clock().now();
+    report.compress.end = report.compress.begin;
     payload.PutBool(false);
     payload.PutBytes(ByteSpan(cria.image.data(), cria.image.size()));
     report.image_compressed_bytes = report.image_raw_bytes;
@@ -250,14 +255,18 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
   return payload.TakeData();
 }
 
-Result<uint64_t> MigrationManager::SyncAppData(const RunningApp& app,
-                                               const AppSpec& spec) {
+Result<AppDataSync> MigrationManager::SyncAppData(const RunningApp& app,
+                                                  const AppSpec& spec,
+                                                  MigrationReport& report) {
   Device& home_device = *app.device;
   Device& guest_device = guest_.device();
+  ScopedTimer timer(home_device.clock(), report.data_sync);
 
-  // Verify (and if needed refresh) the paired APK (§3.1).
-  FLUX_ASSIGN_OR_RETURN(uint64_t apk_wire,
-                        VerifyPairedApk(home_, guest_, spec));
+  // Verify (and if needed refresh) the paired APK (§3.1). This is a real
+  // protocol exchange: the clock advances here, for exactly these bytes.
+  FLUX_ASSIGN_OR_RETURN(
+      uint64_t apk_wire,
+      VerifyPairedApk(home_, guest_, spec, config_.trace));
 
   // Delta-sync the app's data directories into the pairing root.
   const std::string pair_root = FluxAgent::PairRoot(home_device.name());
@@ -280,7 +289,7 @@ Result<uint64_t> MigrationManager::SyncAppData(const RunningApp& app,
                  pair_root + sd_dir, options));
     data_wire += sync.WireBytes();
   }
-  return apk_wire + data_wire;
+  return AppDataSync{apk_wire, data_wire};
 }
 
 bool MigrationManager::AdvanceWithTicks(SimTime target, WifiNetwork* watch) {
@@ -310,8 +319,8 @@ Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
   if (!home_device.wifi().UpAt(home_device.clock().now())) {
     return Unavailable("network unreachable during migration transfer");
   }
-  FLUX_ASSIGN_OR_RETURN(uint64_t sync_wire, SyncAppData(app, spec));
-  report.data_sync_bytes = sync_wire;
+  FLUX_ASSIGN_OR_RETURN(AppDataSync sync, SyncAppData(app, spec, report));
+  report.data_sync_bytes = sync.total();
   report.total_wire_bytes = report.data_sync_bytes + payload_bytes;
 
   const EffectiveLink link = home_device.wifi().LinkBetween(
@@ -353,8 +362,8 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
   // APK verification + data sync run first on the wire, concurrent with
   // home-side serialization of the early chunks: they are the wire stage's
   // initial busy period.
-  FLUX_ASSIGN_OR_RETURN(uint64_t sync_wire, SyncAppData(app, spec));
-  report.data_sync_bytes = sync_wire;
+  FLUX_ASSIGN_OR_RETURN(AppDataSync sync, SyncAppData(app, spec, report));
+  report.data_sync_bytes = sync.total();
   const SimDuration sync_elapsed = clock.now() - t0;
 
   const EffectiveLink link = wifi.LinkBetween(home_device.profile().radio,
@@ -435,13 +444,17 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
     stages[4].chunk_cost.push_back(
         CpuCost(guest_device, raw_i, config_.restore_mbps));
   }
-  // The wire is busy before chunk 0 can stream: the sync protocol itself,
-  // then the synced bytes + non-image payload prefix on the stream (the
-  // serial path wires exactly these ahead of the image too). The stream
-  // handshake latency is charged once, on chunk 0.
+  // The wire is busy before chunk 0 can stream: the sync protocol itself
+  // (already on the clock — `sync_elapsed` covers the APK verification
+  // exchange), then the data-sync bytes + non-image payload prefix still
+  // owed to the stream. Only the data-dir bytes are owed: the APK bytes
+  // rode the verification exchange inside sync_elapsed, so charging
+  // sync.total() here would bill them twice (the pre-trace phase timing
+  // did exactly that — pinned by PipelineTest.ApkResyncChargedOnce). The
+  // stream handshake latency is charged once, on chunk 0.
   SimDuration wire_offset =
       sync_elapsed +
-      wifi.TransferTime(report.data_sync_bytes + prefix_payload, link) -
+      wifi.TransferTime(sync.data_wire_bytes + prefix_payload, link) -
       link.latency;
   if (report.dedup.enabled) {
     // The manifest handshake: hashes go out as soon as the checkpoint is
@@ -498,6 +511,45 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
   }
   report.checkpoint.end = clock.now();
   report.transfer.begin = clock.now();
+
+  // The compress sub-phase, re-derived from the schedule: chunk 0's
+  // compress start through the last chunk's compress finish. It extends
+  // past checkpoint.end into the transfer window — compression overlaps
+  // the wire by design; it is a contained detail, not a sixth timeline
+  // phase (Total() stays the sum of the five + tail).
+  if (count > 0 && config_.compress_image &&
+      plan.stages[kCompress].busy > 0) {
+    report.compress.begin = t0 + plan.finish[kCompress][0] -
+                            stages[kCompress].chunk_cost[0];
+    report.compress.end = t0 + plan.stages[kCompress].finish;
+  } else {
+    report.compress.begin = report.checkpoint.end;
+    report.compress.end = report.checkpoint.end;
+  }
+
+#if FLUX_TRACE_ENABLED
+  // Per-chunk stage spans on "pipeline/<stage>" tracks, straight from the
+  // schedule (zero-cost chunks — deduped refs, deferred wire — skipped).
+  if (Tracer* trace = config_.trace; trace != nullptr) {
+    for (size_t s = 0; s < stages.size(); ++s) {
+      const std::string track =
+          std::string(trace_names::kTrackPipelinePrefix) + stages[s].name;
+      for (size_t i = 0; i < count; ++i) {
+        const SimDuration cost = stages[s].chunk_cost[i];
+        if (cost <= 0) {
+          continue;
+        }
+        const SimTime end = t0 + plan.finish[s][i];
+        trace->EmitSpanOnTrack("chunk " + std::to_string(i), track,
+                               end - cost, end);
+      }
+    }
+  }
+#endif  // FLUX_TRACE_ENABLED
+  FLUX_TRACE_COUNT(config_.trace, trace_names::kMigrationChunksTotal,
+                   stats.chunk_count);
+  FLUX_TRACE_COUNT(config_.trace, trace_names::kMigrationChunksDeduped,
+                   report.dedup.ref_chunks);
 
   // Stream the chunks: advance to each wire-stage finish, watching for
   // outages at every tick boundary.
@@ -599,6 +651,7 @@ Result<CriaRestoredApp> MigrationManager::RestoreOnGuest(
 
   CriaRestoreOptions options;
   options.jail_root = FluxAgent::PairRoot(hw_out.device_name);
+  options.trace = config_.trace;
   auto restored = Cria::Restore(guest_device, image, options);
   if (restored.ok() && config_.pipelined) {
     // Decompress + restore-apply overlapped with the transfer; only the
@@ -620,8 +673,11 @@ Status MigrationManager::Reintegrate(CriaRestoredApp& restored,
   guest_.Manage(restored.pid, restored.package);
   guest_.recorder().PauseRecording(restored.pid);
 
-  FLUX_ASSIGN_OR_RETURN(report.replay,
-                        guest_.replayer().Replay(log, restored, home_hw));
+  {
+    ScopedTimer replay_timer(guest_device.clock(), report.replay_window);
+    FLUX_ASSIGN_OR_RETURN(report.replay,
+                          guest_.replayer().Replay(log, restored, home_hw));
+  }
 
   // The log keeps living on the guest so the app can migrate again.
   guest_.recorder().InstallLog(restored.pid, log);
@@ -657,6 +713,13 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
   report.app = app.display_name.empty() ? app.package : app.display_name;
   report.home_device = home_.device().name();
   report.guest_device = guest_.device().name();
+
+  // Fan the tracer out to every layer the migration touches (agents cover
+  // recorder/replayer/chunk-cache/binder). Null is valid and clears it.
+  home_.set_tracer(config_.trace);
+  guest_.set_tracer(config_.trace);
+  home_.device().wifi().set_tracer(config_.trace);
+  guest_.device().wifi().set_tracer(config_.trace);
 
   if (app.device != &home_.device()) {
     return InvalidArgument("app is not running on the home agent's device");
@@ -708,6 +771,7 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
         (void)guest_.device().KillAppProcess(orphan);
       }
     }
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kMigrationRollbacks, 1);
     home_.recorder().ResumeRecording(app.pid);
     Status fg = app.device->activity_manager().BringAppToForeground(app.pid);
     if (!fg.ok()) {
@@ -805,7 +869,46 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
       << report.guest_device << " in "
       << StrFormat("%.2f s", ToSecondsF(report.Total())) << " ("
       << report.total_wire_bytes / 1024 << " KB transferred)";
+  EmitTraceSpans(report);
   return report;
+}
+
+void MigrationManager::EmitTraceSpans(const MigrationReport& report) {
+#if FLUX_TRACE_ENABLED
+  Tracer* trace = config_.trace;
+  if (trace == nullptr) {
+    return;
+  }
+  // The five timeline phases nest under the total on the caller's thread
+  // track (they tile it, so containment is exact). Sub-phases that overlap
+  // a timeline phase only partially (pipelined compress runs into the
+  // transfer window) go on the detail track.
+  namespace names = trace_names;
+  const SimTime total_end = report.reintegrate.end + report.background_tail;
+  trace->EmitSpan(names::kSpanTotal, report.prepare.begin, total_end);
+  trace->EmitSpan(names::kSpanPrepare, report.prepare.begin,
+                  report.prepare.end);
+  trace->EmitSpan(names::kSpanCheckpoint, report.checkpoint.begin,
+                  report.checkpoint.end);
+  trace->EmitSpan(names::kSpanTransfer, report.transfer.begin,
+                  report.transfer.end);
+  trace->EmitSpan(names::kSpanRestore, report.restore.begin,
+                  report.restore.end);
+  trace->EmitSpan(names::kSpanReintegrate, report.reintegrate.begin,
+                  report.reintegrate.end);
+  if (report.background_tail > 0) {
+    trace->EmitSpan(names::kSpanBackgroundTail, report.reintegrate.end,
+                    total_end);
+  }
+  trace->EmitSpanOnTrack(names::kSpanCompress, names::kTrackDetail,
+                         report.compress.begin, report.compress.end);
+  trace->EmitSpanOnTrack(names::kSpanReplay, names::kTrackDetail,
+                         report.replay_window.begin, report.replay_window.end);
+  trace->EmitSpanOnTrack(names::kSpanDataSync, names::kTrackDetail,
+                         report.data_sync.begin, report.data_sync.end);
+#else
+  (void)report;
+#endif  // FLUX_TRACE_ENABLED
 }
 
 }  // namespace flux

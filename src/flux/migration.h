@@ -28,6 +28,7 @@
 #include "src/flux/flux_agent.h"
 #include "src/flux/pairing.h"
 #include "src/flux/pipeline.h"
+#include "src/flux/trace.h"
 
 namespace flux {
 
@@ -82,6 +83,23 @@ struct MigrationConfig {
   // Fault injection for tests: mutates the payload after checkpoint,
   // before transfer (models wire corruption; exercises restore rollback).
   std::function<void(Bytes&)> payload_fault;
+  // Observability (OBSERVABILITY.md): when set, the migration emits phase
+  // spans and counters into this tracer, and propagates it to both agents
+  // (recorder, replayer, chunk cache, binder) and the network for the
+  // duration of the manager's use. Null = no tracing (the default; the
+  // instrumented sites cost nothing beyond a pointer test).
+  Tracer* trace = nullptr;
+};
+
+// Wire-byte split of the pre-image data sync (SyncAppData). The APK
+// verification advances the clock itself (it is a real protocol exchange);
+// the data-directory delta sync only reports bytes, which the transfer
+// paths charge to the wire afterwards. Keeping the two apart is what lets
+// the pipelined schedule charge each exactly once.
+struct AppDataSync {
+  uint64_t apk_wire_bytes = 0;   // clock already advanced for these
+  uint64_t data_wire_bytes = 0;  // still to be charged to the wire
+  uint64_t total() const { return apk_wire_bytes + data_wire_bytes; }
 };
 
 // Delta-transfer accounting for one migration (chunk_dedup mode).
@@ -122,6 +140,14 @@ struct MigrationReport {
   TimedInterval transfer;
   TimedInterval restore;
   TimedInterval reintegrate;
+  // Sub-phase intervals (contained in the five above; not added to Total).
+  // compress ⊂ checkpoint on the serial path but extends into transfer on
+  // the pipelined path (chunk compression overlaps the wire); replay_window
+  // ⊂ reintegrate; data_sync ⊂ transfer (serial) / the pipeline fill
+  // (pipelined).
+  TimedInterval compress;
+  TimedInterval replay_window;
+  TimedInterval data_sync;
   // Post-copy only: background streaming of the deferred image bytes,
   // overlapped with restore/reintegration; the tail (if any) extends the
   // total beyond reintegration.
@@ -175,8 +201,10 @@ class MigrationManager {
   Status Transfer(const RunningApp& app, const AppSpec& spec,
                   uint64_t payload_bytes, MigrationReport& report);
   // APK verification + data-directory delta sync into the pairing root;
-  // returns the wire bytes it cost (shared by both transfer paths).
-  Result<uint64_t> SyncAppData(const RunningApp& app, const AppSpec& spec);
+  // returns the wire bytes it cost, split by whether the clock was already
+  // advanced for them (shared by both transfer paths).
+  Result<AppDataSync> SyncAppData(const RunningApp& app, const AppSpec& spec,
+                                  MigrationReport& report);
   // Pipelined mode: data sync + chunked image streaming paced by the
   // overlapped stage schedule. Fills report.pipeline and re-stamps the
   // checkpoint/transfer intervals with the overlapped boundaries.
@@ -195,6 +223,11 @@ class MigrationManager {
   // With `watch` set, stops early and returns false if the network is down
   // at a slice boundary; returns true once `target` is reached.
   bool AdvanceWithTicks(SimTime target, WifiNetwork* watch = nullptr);
+
+  // Stamps the finished report's phase intervals into config_.trace as
+  // spans (no-op without a tracer). Post-hoc emission keeps the simulated
+  // timeline byte-identical with tracing on or off.
+  void EmitTraceSpans(const MigrationReport& report);
 
   // Worker pool for chunk compression, created on first pipelined payload
   // and reused across migrations (spawning threads per call is pure host

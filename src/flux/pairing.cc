@@ -9,12 +9,14 @@ namespace flux {
 namespace {
 
 // Transfers `bytes` between the two devices' radios on the shared network.
-void TransferBetween(FluxAgent& home, FluxAgent& guest, uint64_t bytes) {
+void TransferBetween(FluxAgent& home, FluxAgent& guest, uint64_t bytes,
+                     Tracer* trace = nullptr) {
   Device& h = home.device();
   Device& g = guest.device();
   const EffectiveLink link =
       h.wifi().LinkBetween(h.profile().radio, g.profile().radio);
   h.wifi().Transfer(h.clock(), bytes, link);
+  FLUX_TRACE_COUNT(trace, trace_names::kPairingWireBytes, bytes);
 }
 
 // Seeds both devices' chunk caches from a freshly synced tree: after the
@@ -54,10 +56,12 @@ void SeedChunkCachesFromTree(FluxAgent& home, FluxAgent& guest,
 
 }  // namespace
 
-Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest) {
+Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest,
+                                 Tracer* trace) {
   Device& h = home.device();
   Device& g = guest.device();
   const SimTime begin = h.clock().now();
+  FLUX_TRACE_SPAN(pair_span, trace, trace_names::kSpanPairDevices);
 
   PairingStats stats;
   const std::string pair_root = FluxAgent::PairRoot(h.name());
@@ -74,7 +78,7 @@ Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest) {
   stats.framework_linked_bytes = sync.bytes_linked + sync.bytes_up_to_date;
   stats.framework_delta_bytes = sync.bytes_copied_raw;
   stats.framework_wire_bytes = sync.WireBytes();
-  TransferBetween(home, guest, sync.WireBytes());
+  TransferBetween(home, guest, sync.WireBytes(), trace);
 
   // Both sides now hold identical framework bytes: seed the
   // content-addressed chunk caches so even a first migration can
@@ -94,12 +98,13 @@ Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest) {
 }
 
 Result<uint64_t> PairApp(FluxAgent& home, FluxAgent& guest,
-                         const AppSpec& spec) {
+                         const AppSpec& spec, Tracer* trace) {
   Device& h = home.device();
   Device& g = guest.device();
   if (!home.IsPairedWith(g.name())) {
     return FailedPrecondition("devices are not paired");
   }
+  FLUX_TRACE_SPAN(pair_span, trace, trace_names::kSpanPairApp);
   const PackageInfo* info = h.package_manager().Find(spec.package);
   if (info == nullptr) {
     return NotFound("app not installed on home device: " + spec.package);
@@ -145,18 +150,19 @@ Result<uint64_t> PairApp(FluxAgent& home, FluxAgent& guest,
   FLUX_RETURN_IF_ERROR(
       g.package_manager().PseudoInstall(std::move(wrapper), h.name()));
 
-  TransferBetween(home, guest, wire);
+  TransferBetween(home, guest, wire, trace);
   return wire;
 }
 
 Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
-                                 const AppSpec& spec) {
+                                 const AppSpec& spec, Tracer* trace) {
   Device& h = home.device();
   Device& g = guest.device();
   const PackageInfo* info = h.package_manager().Find(spec.package);
   if (info == nullptr) {
     return NotFound("app not installed on home device: " + spec.package);
   }
+  FLUX_TRACE_SPAN(verify_span, trace, trace_names::kSpanVerifyApk);
   const std::string paired_apk =
       FluxAgent::PairRoot(h.name()) + "/data/app/" +
       info->apk_path.substr(info->apk_path.rfind('/') + 1);
@@ -167,7 +173,7 @@ Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
     FLUX_ASSIGN_OR_RETURN(uint64_t guest_hash,
                           g.filesystem().FileHash(paired_apk));
     if (guest_hash == home_hash) {
-      TransferBetween(home, guest, wire);
+      TransferBetween(home, guest, wire, trace);
       return wire;
     }
   }
@@ -179,7 +185,7 @@ Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
       SyncTree(h.filesystem(), info->apk_path, g.filesystem(),
                FluxAgent::PairRoot(h.name()) + "/data/app", options));
   wire += sync.WireBytes();
-  TransferBetween(home, guest, wire);
+  TransferBetween(home, guest, wire, trace);
   return wire;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/apps/app_spec.h"
 #include "src/flux/flux_agent.h"
+#include "src/flux/trace.h"
 #include "src/fs/sync_engine.h"
 
 namespace flux {
@@ -35,19 +36,22 @@ struct PairingStats {
 };
 
 // Pairs `home` -> `guest`: syncs the framework tree and marks the pair.
-// Idempotent; re-pairing syncs deltas only.
-Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest);
+// Idempotent; re-pairing syncs deltas only. A non-null tracer records a
+// pairing/devices span and pairing.wire_bytes.
+Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest,
+                                 Tracer* trace = nullptr);
 
 // Pairs one installed app: APK + data + SD data + pseudo-install. The app
 // must be installed on the home device. Returns the wire bytes used.
 Result<uint64_t> PairApp(FluxAgent& home, FluxAgent& guest,
-                         const AppSpec& spec);
+                         const AppSpec& spec, Tracer* trace = nullptr);
 
 // Re-verifies an APK before migration (apps update frequently, §3.1):
 // compares hashes; re-syncs if they differ. Returns wire bytes (metadata
 // only when the APK is unchanged).
 Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
-                                 const AppSpec& spec);
+                                 const AppSpec& spec,
+                                 Tracer* trace = nullptr);
 
 }  // namespace flux
 

@@ -22,6 +22,21 @@ const ParcelValue* FindArg(const Parcel& parcel, int slot_hint,
 
 }  // namespace
 
+void RecordEngine::set_tracer(Tracer* tracer) {
+#if FLUX_TRACE_ENABLED
+  trace_seen_ =
+      tracer ? tracer->counter(trace_names::kRecordTransactionsSeen) : nullptr;
+  trace_recorded_ =
+      tracer ? tracer->counter(trace_names::kRecordCallsRecorded) : nullptr;
+  trace_pruned_ =
+      tracer ? tracer->counter(trace_names::kRecordCallsPruned) : nullptr;
+  trace_suppressed_ =
+      tracer ? tracer->counter(trace_names::kRecordCallsSuppressed) : nullptr;
+#else
+  (void)tracer;
+#endif
+}
+
 void RecordEngine::TrackApp(Pid pid, std::string package) {
   auto [it, inserted] = apps_.try_emplace(pid);
   it->second.package = std::move(package);
@@ -79,6 +94,7 @@ void RecordEngine::OnTransaction(const TransactionInfo& info) {
   }
   TrackedApp& app = it->second;
   ++stats_.transactions_seen;
+  FLUX_TRACE_COUNTER_ADD(trace_seen_, 1);
 
   // The driver interns these; hand-built infos (tests) fall back here.
   const uint32_t interface_id = info.interface_id != 0
@@ -102,6 +118,7 @@ void RecordEngine::OnTransaction(const TransactionInfo& info) {
     record.oneway = info.oneway;
     app.log.Append(std::move(record));
     ++stats_.calls_recorded;
+    FLUX_TRACE_COUNTER_ADD(trace_recorded_, 1);
     if (clock_ != nullptr) {
       clock_->Advance(record_cost_);
     }
@@ -162,6 +179,7 @@ void RecordEngine::OnTransaction(const TransactionInfo& info) {
           return matches;
         });
     stats_.calls_dropped_stale += static_cast<uint64_t>(removed);
+    FLUX_TRACE_COUNTER_ADD(trace_pruned_, static_cast<uint64_t>(removed));
 
     // A negating call ("this" listed with the calls it cancels) is itself
     // stale once it found a victim: replaying it would cancel nothing.
@@ -172,6 +190,7 @@ void RecordEngine::OnTransaction(const TransactionInfo& info) {
 
   if (suppress) {
     ++stats_.calls_suppressed;
+    FLUX_TRACE_COUNTER_ADD(trace_suppressed_, 1);
     return;
   }
   append();

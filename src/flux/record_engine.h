@@ -30,6 +30,7 @@
 #include "src/aidl/record_rules.h"
 #include "src/binder/binder_driver.h"
 #include "src/flux/call_log.h"
+#include "src/flux/trace.h"
 
 namespace flux {
 
@@ -70,6 +71,11 @@ class RecordEngine : public TransactionObserver {
   // Simulated cost per recorded call (asynchronous enqueue on the app side).
   void set_record_cost(SimDuration cost) { record_cost_ = cost; }
 
+  // Mirrors RecordStats increments into record.* trace counters (null
+  // detaches); cached pointers keep the transaction fast lane allocation-
+  // and lookup-free.
+  void set_tracer(Tracer* tracer);
+
   // ----- TransactionObserver -----
   void OnTransaction(const TransactionInfo& info) override;
 
@@ -94,6 +100,10 @@ class RecordEngine : public TransactionObserver {
   // every candidate entry; member scratch so OnTransaction never allocates
   // after warm-up.
   std::vector<const ParcelValue*> sig_values_;
+  TraceCounter* trace_seen_ = nullptr;
+  TraceCounter* trace_recorded_ = nullptr;
+  TraceCounter* trace_pruned_ = nullptr;
+  TraceCounter* trace_suppressed_ = nullptr;
 
  public:
   // Optional: charge record costs to this clock.

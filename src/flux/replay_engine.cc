@@ -104,6 +104,16 @@ Result<ReplayStats> ReplayEngine::Replay(const CallLog& log,
           << " replay failed: " << reply.status().ToString();
     }
   }
+  FLUX_TRACE_COUNT(tracer_, trace_names::kReplayCallsReplayed,
+                   static_cast<uint64_t>(context.stats.replayed));
+  FLUX_TRACE_COUNT(tracer_, trace_names::kReplayCallsProxied,
+                   static_cast<uint64_t>(context.stats.proxied));
+  FLUX_TRACE_COUNT(tracer_, trace_names::kReplayCallsSkipped,
+                   static_cast<uint64_t>(context.stats.skipped));
+  FLUX_TRACE_COUNT(tracer_, trace_names::kReplayCallsAdapted,
+                   static_cast<uint64_t>(context.stats.adapted));
+  FLUX_TRACE_COUNT(tracer_, trace_names::kReplayCallsFailed,
+                   static_cast<uint64_t>(context.stats.failed));
   return context.stats;
 }
 

@@ -22,6 +22,7 @@
 #include "src/cria/cria.h"
 #include "src/flux/call_log.h"
 #include "src/flux/hardware_snapshot.h"
+#include "src/flux/trace.h"
 
 namespace flux {
 
@@ -65,11 +66,16 @@ class ReplayEngine {
   Result<ReplayStats> Replay(const CallLog& log, CriaRestoredApp& app,
                              const HardwareSnapshot& home_hw);
 
+  // Replay is cold (one pass per migration), so counters are flushed from
+  // the finished ReplayStats rather than incremented per call.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void RegisterDefaultProxies();
 
   Device& guest_;
   std::map<std::string, Proxy> proxies_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace flux

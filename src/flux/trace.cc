@@ -1,0 +1,296 @@
+#include "src/flux/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace flux {
+namespace {
+
+// Process-wide thread ordinals: the first thread that records a span gets 0,
+// the next 1, … Stable across Tracers so a merged export keeps one row per
+// real thread.
+int ThisThreadOrdinal() {
+  static std::atomic<int> next{0};
+  thread_local int ord = next.fetch_add(1, std::memory_order_relaxed);
+  return ord;
+}
+
+// Per-thread RAII nesting depth (global, not per-tracer: a thread drives one
+// migration at a time, and cross-tracer nesting is not meaningful).
+thread_local int g_span_depth = 0;
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceCounter* Tracer::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<TraceCounter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+size_t Tracer::OpenSpan(std::string_view name) {
+  TraceSpanRecord rec;
+  rec.name = std::string(name);
+  rec.begin = clock_->now();
+  rec.end = rec.begin;
+  rec.thread_ord = ThisThreadOrdinal();
+  rec.depth = g_span_depth++;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+  return spans_.size();  // slot + 1 so 0 stays "no token"
+}
+
+void Tracer::CloseSpan(size_t token) {
+  const SimTime now = clock_->now();
+  --g_span_depth;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_[token - 1].end = now;
+}
+
+void Tracer::EmitSpan(std::string_view name, SimTime begin, SimTime end) {
+  TraceSpanRecord rec;
+  rec.name = std::string(name);
+  rec.begin = begin;
+  rec.end = end;
+  rec.thread_ord = ThisThreadOrdinal();
+  rec.depth = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+void Tracer::EmitSpanOnTrack(std::string_view name, std::string_view track,
+                             SimTime begin, SimTime end) {
+  TraceSpanRecord rec;
+  rec.name = std::string(name);
+  rec.track = std::string(track);
+  rec.begin = begin;
+  rec.end = end;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<TraceSpanRecord> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Tracer::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+SimDuration Tracer::SpanTotal(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SimDuration total = 0;
+  for (const TraceSpanRecord& s : spans_) {
+    if (s.name == name) total += static_cast<SimDuration>(s.end - s.begin);
+  }
+  return total;
+}
+
+size_t Tracer::SpanCount(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const TraceSpanRecord& s : spans_) {
+    if (s.name == name) ++n;
+  }
+  return n;
+}
+
+// ----- exporters -----
+
+namespace {
+
+// Maps a span to its Chrome trace tid. Real threads get tid = ord + 1
+// (tid 0 renders oddly in some viewers); named tracks get 1000 + k in
+// first-seen order, with the mapping accumulated in `track_tids`.
+int SpanTid(const TraceSpanRecord& s,
+            std::map<std::string, int, std::less<>>& track_tids) {
+  if (s.track.empty()) return s.thread_ord + 1;
+  auto it = track_tids.find(s.track);
+  if (it == track_tids.end()) {
+    it = track_tids.emplace(s.track, 1000 + static_cast<int>(track_tids.size()))
+             .first;
+  }
+  return it->second;
+}
+
+void AppendEvent(std::string& out, bool& first, std::string_view body) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  ";
+  out += body;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceProcess>& processes,
+                      std::ostream& out) {
+  std::string json = "{\"traceEvents\": [\n";
+  bool first = true;
+  char buf[256];
+  int pid = 0;
+  for (const TraceProcess& proc : processes) {
+    ++pid;
+    {
+      std::string ev = "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": ";
+      std::snprintf(buf, sizeof(buf), "%d", pid);
+      ev += buf;
+      ev += ", \"tid\": 0, \"args\": {\"name\": \"";
+      AppendJsonEscaped(ev, proc.name);
+      ev += "\"}}";
+      AppendEvent(json, first, ev);
+    }
+    if (proc.tracer == nullptr) continue;
+
+    const std::vector<TraceSpanRecord> spans = proc.tracer->Spans();
+    std::map<std::string, int, std::less<>> track_tids;
+    std::map<int, std::string> tid_names;
+    SimTime max_end = 0;
+    for (const TraceSpanRecord& s : spans) {
+      const int tid = SpanTid(s, track_tids);
+      if (tid_names.find(tid) == tid_names.end()) {
+        tid_names[tid] = s.track.empty()
+                             ? "thread " + std::to_string(s.thread_ord)
+                             : s.track;
+      }
+      max_end = std::max(max_end, s.end);
+
+      std::string ev = "{\"name\": \"";
+      AppendJsonEscaped(ev, s.name);
+      ev += "\", \"cat\": \"flux\", \"ph\": \"X\", \"ts\": ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, s.begin);
+      ev += buf;
+      ev += ", \"dur\": ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                    static_cast<uint64_t>(s.end - s.begin));
+      ev += buf;
+      std::snprintf(buf, sizeof(buf), ", \"pid\": %d, \"tid\": %d}", pid, tid);
+      ev += buf;
+      AppendEvent(json, first, ev);
+    }
+    for (const auto& [tid, name] : tid_names) {
+      std::string ev = "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": ";
+      std::snprintf(buf, sizeof(buf), "%d, \"tid\": %d", pid, tid);
+      ev += buf;
+      ev += ", \"args\": {\"name\": \"";
+      AppendJsonEscaped(ev, name);
+      ev += "\"}}";
+      AppendEvent(json, first, ev);
+    }
+    // Counters: one "C" sample stamped at the trace end (values are final
+    // totals, not a time series — the migration is simulated, so sampling
+    // mid-flight would be fiction).
+    for (const auto& [name, value] : proc.tracer->Counters()) {
+      std::string ev = "{\"name\": \"";
+      AppendJsonEscaped(ev, name);
+      ev += "\", \"cat\": \"flux\", \"ph\": \"C\", \"ts\": ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, max_end);
+      ev += buf;
+      std::snprintf(buf, sizeof(buf), ", \"pid\": %d, \"tid\": 0", pid);
+      ev += buf;
+      ev += ", \"args\": {\"value\": ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+      ev += buf;
+      ev += "}}";
+      AppendEvent(json, first, ev);
+    }
+  }
+  json += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  out << json;
+}
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  std::ostringstream out;
+  WriteChromeTrace({{"flux", &tracer}}, out);
+  return out.str();
+}
+
+MigrationPhases ExtractMigrationPhases(const Tracer& tracer) {
+  MigrationPhases p;
+  p.prepare = tracer.SpanTotal(trace_names::kSpanPrepare);
+  p.checkpoint = tracer.SpanTotal(trace_names::kSpanCheckpoint);
+  p.compress = tracer.SpanTotal(trace_names::kSpanCompress);
+  p.transfer = tracer.SpanTotal(trace_names::kSpanTransfer);
+  p.restore = tracer.SpanTotal(trace_names::kSpanRestore);
+  p.reintegrate = tracer.SpanTotal(trace_names::kSpanReintegrate);
+  p.replay = tracer.SpanTotal(trace_names::kSpanReplay);
+  p.background_tail = tracer.SpanTotal(trace_names::kSpanBackgroundTail);
+  return p;
+}
+
+std::string PhaseReportText(const Tracer& tracer) {
+  const MigrationPhases p = ExtractMigrationPhases(tracer);
+  const double total = ToSecondsF(p.Total());
+  std::string out = "migration phase breakdown\n";
+  char buf[160];
+  auto row = [&](const char* name, SimDuration d) {
+    const double sec = ToSecondsF(d);
+    const double pct = total > 0 ? 100.0 * sec / total : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-16s %10.6f s  %6.1f%%\n", name, sec,
+                  pct);
+    out += buf;
+  };
+  row("prepare", p.prepare);
+  row("checkpoint", p.checkpoint);
+  row("transfer", p.transfer);
+  row("restore", p.restore);
+  row("reintegrate", p.reintegrate);
+  if (p.background_tail > 0) row("background_tail", p.background_tail);
+  std::snprintf(buf, sizeof(buf), "  %-16s %10.6f s\n", "total", total);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  (sub-phases: compress %.6f s, replay %.6f s)\n",
+                ToSecondsF(p.compress), ToSecondsF(p.replay));
+  out += buf;
+
+  const auto counters = tracer.Counters();
+  if (!counters.empty()) {
+    out += "counters\n";
+    for (const auto& [name, value] : counters) {
+      std::snprintf(buf, sizeof(buf), "  %-28s %" PRIu64 "\n", name.c_str(),
+                    value);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace flux

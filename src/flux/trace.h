@@ -1,0 +1,331 @@
+// Tracing & metrics for the migration path (the observability layer).
+//
+// Figure 13's stage breakdown is exactly a trace: named intervals on the
+// shared simulated timeline. This module makes that first-class instead of
+// ad hoc per-bench timers: a Tracer collects hierarchical spans (stamped on
+// the SimClock, nestable, thread-safe — the pipelined compression pool
+// records from worker threads) and named monotonic counters (bytes on the
+// wire, chunks deduped, calls recorded and pruned, replay adaptations,
+// rollbacks). Two exporters turn one Tracer — or a batch of them — into
+// something a human can read: a Chrome trace_event JSON writer (loadable in
+// chrome://tracing or Perfetto) and a plain-text phase-breakdown report.
+//
+// Design constraints (DESIGN.md §9):
+//  - lock-cheap: counters are atomics incremented relaxed through cached
+//    pointers; spans take one mutex acquisition at open and one at close;
+//  - sim-clock-aware: spans stamp SimTime from the world clock, so traces
+//    are deterministic and phase sums reproduce the figure benches exactly;
+//  - zero-cost when compiled out: every instrumentation site goes through
+//    the FLUX_TRACE_* macros below, which collapse to dead code when
+//    FLUX_TRACE_ENABLED is 0 (cmake -DFLUX_TRACE=OFF);
+//  - runtime-toggleable: a null Tracer* disables every site at run time.
+//
+// This library depends only on flux_base so the net, binder, and cria
+// layers (all below flux_core) can link it.
+#ifndef FLUX_SRC_FLUX_TRACE_H_
+#define FLUX_SRC_FLUX_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+
+// Compile-time master switch. The default build compiles instrumentation
+// in; configuring with -DFLUX_TRACE=OFF defines FLUX_TRACE_ENABLED=0 and
+// every FLUX_TRACE_* macro below becomes a discarded dead branch.
+#ifndef FLUX_TRACE_ENABLED
+#define FLUX_TRACE_ENABLED 1
+#endif
+
+namespace flux {
+
+// ----- canonical names -----
+//
+// Span taxonomy and counter catalog. Every counter the runtime registers is
+// named here (and only here) so OBSERVABILITY.md and scripts/check_trace.py
+// can enumerate them from a single source.
+namespace trace_names {
+
+// The six canonical migration phases. Every successful migration emits each
+// exactly once (tests/trace_test.cc pins this). prepare..reintegrate tile
+// the migration end to end on the main track; compress and replay are
+// sub-phases (compress overlaps transfer on the pipelined path, so they
+// live on the detail track).
+inline constexpr std::string_view kSpanPrepare = "migration/prepare";
+inline constexpr std::string_view kSpanCheckpoint = "migration/checkpoint";
+inline constexpr std::string_view kSpanCompress = "migration/compress";
+inline constexpr std::string_view kSpanTransfer = "migration/transfer";
+inline constexpr std::string_view kSpanRestore = "migration/restore";
+inline constexpr std::string_view kSpanReplay = "migration/replay";
+// Companions: the fig13 table's fifth column, the whole migration, the
+// post-copy tail past reintegration, and the pre-image data sync.
+inline constexpr std::string_view kSpanReintegrate = "migration/reintegrate";
+inline constexpr std::string_view kSpanTotal = "migration/total";
+inline constexpr std::string_view kSpanBackgroundTail =
+    "migration/background_tail";
+inline constexpr std::string_view kSpanDataSync = "migration/data_sync";
+// Lower layers.
+inline constexpr std::string_view kSpanCriaCheckpoint = "cria/checkpoint";
+inline constexpr std::string_view kSpanCriaRestore = "cria/restore";
+inline constexpr std::string_view kSpanPairDevices = "pairing/devices";
+inline constexpr std::string_view kSpanPairApp = "pairing/app";
+inline constexpr std::string_view kSpanVerifyApk = "pairing/verify_apk";
+// Per-chunk pipeline stage spans land on tracks named
+// "pipeline/<stage>" (serialize, compress, wire, decompress, restore).
+inline constexpr std::string_view kTrackDetail = "migration/detail";
+inline constexpr std::string_view kTrackPipelinePrefix = "pipeline/";
+
+// Counters.
+inline constexpr std::string_view kMigrationRollbacks = "migration.rollbacks";
+inline constexpr std::string_view kMigrationChunksTotal =
+    "migration.chunks_total";
+inline constexpr std::string_view kMigrationChunksDeduped =
+    "migration.chunks_deduped";
+inline constexpr std::string_view kNetWireBytes = "net.wire_bytes";
+inline constexpr std::string_view kNetTransfers = "net.transfers";
+inline constexpr std::string_view kNetTransferTicks = "net.transfer_ticks";
+inline constexpr std::string_view kCacheHits = "cache.hits";
+inline constexpr std::string_view kCacheMisses = "cache.misses";
+inline constexpr std::string_view kCacheInsertions = "cache.insertions";
+inline constexpr std::string_view kCacheRefreshes = "cache.refreshes";
+inline constexpr std::string_view kCacheEvictions = "cache.evictions";
+inline constexpr std::string_view kCacheVerifyFailures =
+    "cache.verify_failures";
+inline constexpr std::string_view kRecordTransactionsSeen =
+    "record.transactions_seen";
+inline constexpr std::string_view kRecordCallsRecorded =
+    "record.calls_recorded";
+inline constexpr std::string_view kRecordCallsPruned = "record.calls_pruned";
+inline constexpr std::string_view kRecordCallsSuppressed =
+    "record.calls_suppressed";
+inline constexpr std::string_view kReplayCallsReplayed =
+    "replay.calls_replayed";
+inline constexpr std::string_view kReplayCallsProxied = "replay.calls_proxied";
+inline constexpr std::string_view kReplayCallsSkipped = "replay.calls_skipped";
+inline constexpr std::string_view kReplayCallsAdapted = "replay.calls_adapted";
+inline constexpr std::string_view kReplayCallsFailed = "replay.calls_failed";
+inline constexpr std::string_view kBinderTransactions = "binder.transactions";
+inline constexpr std::string_view kCriaCheckpoints = "cria.checkpoints";
+inline constexpr std::string_view kCriaRestores = "cria.restores";
+inline constexpr std::string_view kCriaImageBytes = "cria.image_bytes";
+inline constexpr std::string_view kPairingWireBytes = "pairing.wire_bytes";
+
+}  // namespace trace_names
+
+// A monotonic counter. Instrumented code caches the pointer returned by
+// Tracer::counter() (registration takes the registry mutex once) and then
+// increments lock-free; the pointer stays valid for the Tracer's lifetime.
+class TraceCounter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// One finished (or still-open: end == begin) span.
+struct TraceSpanRecord {
+  std::string name;
+  // Empty = the opening thread's own track; non-empty = a named synthetic
+  // track (per-chunk pipeline stages, the migration detail track).
+  std::string track;
+  SimTime begin = 0;
+  SimTime end = 0;
+  int thread_ord = 0;  // process-wide thread ordinal of the opener
+  int depth = 0;       // RAII nesting depth on the opening thread
+};
+
+class TraceSpan;
+
+class Tracer {
+ public:
+  // Spans stamp begin/end from `clock` (the world clock the migration
+  // advances). The clock must outlive recording; a Tracer may outlive its
+  // clock as long as no further spans are opened (exporters never touch
+  // it), which lets bench harnesses keep traces after their World dies.
+  explicit Tracer(const SimClock* clock) : clock_(clock) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  const SimClock* clock() const { return clock_; }
+
+  // Registers (or finds) a counter; the returned pointer is stable.
+  TraceCounter* counter(std::string_view name);
+  // Convenience for cold paths: one registry lookup per call.
+  void Count(std::string_view name, uint64_t delta) {
+    counter(name)->Add(delta);
+  }
+
+  // Records a span with explicit stamps — for intervals re-derived after
+  // the fact (the pipelined schedule, report intervals). Lands on the
+  // calling thread's track at depth 0.
+  void EmitSpan(std::string_view name, SimTime begin, SimTime end);
+  // Same, on a named synthetic track.
+  void EmitSpanOnTrack(std::string_view name, std::string_view track,
+                       SimTime begin, SimTime end);
+
+  // ----- inspection (tests, exporters) -----
+  std::vector<TraceSpanRecord> Spans() const;
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+  // Sum of durations / number of spans with this exact name.
+  SimDuration SpanTotal(std::string_view name) const;
+  size_t SpanCount(std::string_view name) const;
+
+ private:
+  friend class TraceSpan;
+
+  // RAII path: opens a span stamped at clock->now(); returns slot + 1.
+  size_t OpenSpan(std::string_view name);
+  void CloseSpan(size_t token);
+
+  mutable std::mutex mu_;
+  const SimClock* clock_;
+  std::vector<TraceSpanRecord> spans_;
+  std::map<std::string, std::unique_ptr<TraceCounter>, std::less<>> counters_;
+};
+
+// RAII span on a Tracer's current thread track. Null tracer = no-op, which
+// is the runtime toggle: instrumented code never branches on a flag, it
+// just carries a possibly-null Tracer*.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(Tracer* tracer, std::string_view name) {
+    if (tracer != nullptr) {
+      tracer_ = tracer;
+      token_ = tracer->OpenSpan(name);
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Ends the span early (idempotent).
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->CloseSpan(token_);
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  size_t token_ = 0;
+};
+
+// ----- exporters -----
+
+// One process row in a merged Chrome trace (the bench harness maps each
+// migration cell to its own pid so 64 migrations load side by side).
+struct TraceProcess {
+  std::string name;
+  const Tracer* tracer = nullptr;
+};
+
+// Chrome trace_event JSON ("JSON Object Format": {"traceEvents": [...]}).
+// Spans become complete ("X") events; counters become one "C" sample at the
+// trace end. Loadable in chrome://tracing and ui.perfetto.dev.
+void WriteChromeTrace(const std::vector<TraceProcess>& processes,
+                      std::ostream& out);
+std::string ChromeTraceJson(const Tracer& tracer);
+
+// Durations of the canonical migration phases, summed over the spans in a
+// tracer (intended use: one migration per tracer). Total() mirrors
+// MigrationReport::Total(): the five timeline phases plus the post-copy
+// tail — compress and replay are contained sub-phases and not added.
+struct MigrationPhases {
+  SimDuration prepare = 0;
+  SimDuration checkpoint = 0;
+  SimDuration compress = 0;
+  SimDuration transfer = 0;
+  SimDuration restore = 0;
+  SimDuration reintegrate = 0;
+  SimDuration replay = 0;
+  SimDuration background_tail = 0;
+  SimDuration Total() const {
+    return prepare + checkpoint + transfer + restore + reintegrate +
+           background_tail;
+  }
+};
+MigrationPhases ExtractMigrationPhases(const Tracer& tracer);
+
+// Plain-text phase breakdown + counter dump (the human-readable exporter;
+// bench_fig13_breakdown derives its table from the same MigrationPhases).
+std::string PhaseReportText(const Tracer& tracer);
+
+}  // namespace flux
+
+// ----- instrumentation macros -----
+//
+// All call sites go through these. When FLUX_TRACE_ENABLED is 0 they expand
+// to a discarded `if (false)` branch: operands are parsed (so the code keeps
+// compiling and variables count as used) but never evaluated, and the
+// optimizer deletes the branch entirely.
+#if FLUX_TRACE_ENABLED
+
+#define FLUX_TRACE_SPAN(var, tracer, name) \
+  ::flux::TraceSpan var((tracer), (name))
+#define FLUX_TRACE_EMIT(tracer, name, begin_ts, end_ts)      \
+  do {                                                       \
+    ::flux::Tracer* flux_trace_t = (tracer);                 \
+    if (flux_trace_t != nullptr) {                           \
+      flux_trace_t->EmitSpan((name), (begin_ts), (end_ts));  \
+    }                                                        \
+  } while (0)
+#define FLUX_TRACE_EMIT_ON_TRACK(tracer, name, track, begin_ts, end_ts)      \
+  do {                                                                       \
+    ::flux::Tracer* flux_trace_t = (tracer);                                 \
+    if (flux_trace_t != nullptr) {                                           \
+      flux_trace_t->EmitSpanOnTrack((name), (track), (begin_ts), (end_ts));  \
+    }                                                                        \
+  } while (0)
+#define FLUX_TRACE_COUNT(tracer, name, delta)     \
+  do {                                            \
+    ::flux::Tracer* flux_trace_t = (tracer);      \
+    if (flux_trace_t != nullptr) {                \
+      flux_trace_t->Count((name), (delta));       \
+    }                                             \
+  } while (0)
+#define FLUX_TRACE_COUNTER_ADD(counter_ptr, delta)   \
+  do {                                               \
+    ::flux::TraceCounter* flux_trace_c = (counter_ptr); \
+    if (flux_trace_c != nullptr) {                   \
+      flux_trace_c->Add(delta);                      \
+    }                                                \
+  } while (0)
+
+#else  // !FLUX_TRACE_ENABLED
+
+#define FLUX_TRACE_DISCARD_(...)      \
+  do {                                \
+    if (false) {                      \
+      (void)sizeof((__VA_ARGS__, 0)); \
+    }                                 \
+  } while (0)
+#define FLUX_TRACE_SPAN(var, tracer, name) \
+  FLUX_TRACE_DISCARD_((tracer), (name))
+#define FLUX_TRACE_EMIT(tracer, name, begin_ts, end_ts) \
+  FLUX_TRACE_DISCARD_((tracer), (name), (begin_ts), (end_ts))
+#define FLUX_TRACE_EMIT_ON_TRACK(tracer, name, track, begin_ts, end_ts) \
+  FLUX_TRACE_DISCARD_((tracer), (name), (track), (begin_ts), (end_ts))
+#define FLUX_TRACE_COUNT(tracer, name, delta) \
+  FLUX_TRACE_DISCARD_((tracer), (name), (delta))
+#define FLUX_TRACE_COUNTER_ADD(counter_ptr, delta) \
+  FLUX_TRACE_DISCARD_((counter_ptr), (delta))
+
+#endif  // FLUX_TRACE_ENABLED
+
+#endif  // FLUX_SRC_FLUX_TRACE_H_

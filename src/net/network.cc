@@ -13,6 +13,19 @@ WifiNetwork::WifiNetwork() {
   band_5_ = BandConditions{0.13, Millis(6)};
 }
 
+void WifiNetwork::set_tracer(Tracer* tracer) {
+#if FLUX_TRACE_ENABLED
+  trace_bytes_ =
+      tracer ? tracer->counter(trace_names::kNetWireBytes) : nullptr;
+  trace_transfers_ =
+      tracer ? tracer->counter(trace_names::kNetTransfers) : nullptr;
+  trace_ticks_ =
+      tracer ? tracer->counter(trace_names::kNetTransferTicks) : nullptr;
+#else
+  (void)tracer;
+#endif
+}
+
 void WifiNetwork::SetBandConditions(WifiBand band, BandConditions conditions) {
   (band == WifiBand::k2_4GHz ? band_2_4_ : band_5_) = conditions;
 }
@@ -56,6 +69,8 @@ void WifiNetwork::Transfer(SimClock& clock, uint64_t bytes,
                            const EffectiveLink& link) {
   clock.Advance(TransferTime(bytes, link));
   total_bytes_ += bytes;
+  FLUX_TRACE_COUNTER_ADD(trace_bytes_, bytes);
+  FLUX_TRACE_COUNTER_ADD(trace_transfers_, 1);
 }
 
 bool WifiNetwork::UpAt(SimTime now) {
@@ -79,6 +94,7 @@ bool WifiNetwork::TransferWithTicks(SimClock& clock, uint64_t bytes,
     const SimDuration step = std::min(remaining, slice);
     clock.Advance(step);
     remaining -= step;
+    FLUX_TRACE_COUNTER_ADD(trace_ticks_, 1);
     if (on_tick) {
       on_tick();
     }
@@ -87,6 +103,8 @@ bool WifiNetwork::TransferWithTicks(SimClock& clock, uint64_t bytes,
     }
   }
   total_bytes_ += bytes;
+  FLUX_TRACE_COUNTER_ADD(trace_bytes_, bytes);
+  FLUX_TRACE_COUNTER_ADD(trace_transfers_, 1);
   return true;
 }
 

@@ -16,6 +16,7 @@
 
 #include "src/base/result.h"
 #include "src/base/sim_clock.h"
+#include "src/flux/trace.h"
 
 namespace flux {
 
@@ -78,9 +79,16 @@ class WifiNetwork {
 
   // Accounts traffic without advancing any clock; pipelined migrations pace
   // the clock themselves from the stage schedule.
-  void AccountTraffic(uint64_t bytes) { total_bytes_ += bytes; }
+  void AccountTraffic(uint64_t bytes) {
+    total_bytes_ += bytes;
+    FLUX_TRACE_COUNTER_ADD(trace_bytes_, bytes);
+    FLUX_TRACE_COUNTER_ADD(trace_transfers_, 1);
+  }
 
   uint64_t total_bytes_carried() const { return total_bytes_; }
+
+  // Mirrors traffic accounting into net.* trace counters (null detaches).
+  void set_tracer(Tracer* tracer);
 
   // Fault injection: while the network is down, migrations cannot transfer
   // (devices would fall back to ad-hoc networking in a full deployment, §1).
@@ -100,6 +108,9 @@ class WifiNetwork {
   bool up_ = true;
   bool has_outage_ = false;
   SimTime outage_at_ = 0;
+  TraceCounter* trace_bytes_ = nullptr;
+  TraceCounter* trace_transfers_ = nullptr;
+  TraceCounter* trace_ticks_ = nullptr;
 };
 
 // Device-observed connectivity state (what ConnectivityManagerService

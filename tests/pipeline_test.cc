@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/apps/app_instance.h"
+#include "src/base/rng.h"
 #include "src/device/world.h"
 #include "src/flux/migration.h"
 #include "src/flux/pipeline.h"
@@ -197,6 +198,76 @@ TEST(PipelinedMigrationTest, SucceedsAndBeatsSerialByTwentyPercent) {
     EXPECT_LE(stage.busy, stats.makespan) << stage.name;
     EXPECT_LE(stage.first_finish, stage.finish) << stage.name;
   }
+}
+
+// Migrates in a world where the home APK was updated since pairing, so
+// VerifyPairedApk must re-sync the whole APK, and measures how much slower
+// that migration was than an identical clean-world one — alongside the
+// wire time those extra bytes cost when charged exactly once.
+struct ApkUpdateCost {
+  SimDuration slowdown;   // changed-world Total() minus clean-world Total()
+  SimDuration wire_once;  // one wire crossing of the extra re-sync bytes
+};
+
+Result<ApkUpdateCost> MeasureApkUpdateCost(const MigrationConfig& config) {
+  TestWorld clean;
+  clean.Boot("Candy Crush Saga");
+  FLUX_ASSIGN_OR_RETURN(MigrationReport clean_report, clean.Migrate(config));
+
+  TestWorld changed;
+  changed.Boot("Candy Crush Saga");
+  const PackageInfo* info =
+      changed.home->package_manager().Find(changed.app->spec().package);
+  if (info == nullptr) {
+    return NotFound("package missing");
+  }
+  FLUX_ASSIGN_OR_RETURN(const Bytes* apk,
+                        changed.home->filesystem().ReadFile(info->apk_path));
+  // Same-size incompressible replacement: the paired copy's hash no longer
+  // matches, forcing a full APK re-sync during migration prepare.
+  Bytes noise(apk->size());
+  Rng rng(0xA9C);
+  for (size_t i = 0; i < noise.size(); ++i) {
+    noise[i] = static_cast<uint8_t>(rng.NextU64());
+  }
+  FLUX_RETURN_IF_ERROR(
+      changed.home->filesystem().WriteFile(info->apk_path, std::move(noise)));
+  FLUX_ASSIGN_OR_RETURN(MigrationReport changed_report,
+                        changed.Migrate(config));
+  if (!clean_report.success || !changed_report.success) {
+    return Internal("migration refused");
+  }
+  if (changed_report.data_sync_bytes <= clean_report.data_sync_bytes) {
+    return Internal("APK update moved no extra bytes");
+  }
+  const uint64_t delta_bytes =
+      changed_report.data_sync_bytes - clean_report.data_sync_bytes;
+  WifiNetwork& wifi = changed.home->wifi();
+  const EffectiveLink link = wifi.LinkBetween(changed.home->profile().radio,
+                                              changed.guest->profile().radio);
+  return ApkUpdateCost{changed_report.Total() - clean_report.Total(),
+                       wifi.TransferTime(delta_bytes, link) - link.latency};
+}
+
+// Regression: the pipelined schedule used to bill the APK re-sync bytes
+// twice — once as wire time already on the clock from the verification
+// exchange, and again inside the wire stage's initial offset (computed
+// from data_sync_bytes, which included the APK bytes). An app update
+// before migration must slow the pipelined migration by one wire crossing
+// of the re-synced bytes, not two.
+TEST(PipelineTest, ApkResyncChargedOnce) {
+  MigrationConfig config;
+  config.pipelined = true;
+  auto cost = MeasureApkUpdateCost(config);
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+
+  // The re-sync is seconds of wire time, so single vs double billing is
+  // unambiguous at this tolerance.
+  ASSERT_GT(cost->wire_once, Seconds(1));
+  EXPECT_NEAR(ToSecondsF(cost->slowdown), ToSecondsF(cost->wire_once), 0.3)
+      << "APK update slows the pipelined migration by "
+      << ToSecondsF(cost->slowdown) << " s; one wire crossing costs "
+      << ToSecondsF(cost->wire_once) << " s";
 }
 
 TEST(PipelinedMigrationTest, ComposesWithPostCopy) {
