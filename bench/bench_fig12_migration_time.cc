@@ -21,8 +21,9 @@ int main(int argc, char** argv) {
          TopApps().size());
 
   const char* trace_path = TraceOutPath(argc, argv);
+  const char* stats_path = StatsOutPath(argc, argv);
   MatrixOptions options;
-  options.trace = trace_path != nullptr;
+  options.trace = trace_path != nullptr || stats_path != nullptr;
   MatrixResult matrix = RunMigrationMatrix(options);
 
   printf("%-18s", "Application");
@@ -66,6 +67,9 @@ int main(int argc, char** argv) {
 
   if (trace_path != nullptr) {
     WriteMatrixTrace(matrix, trace_path);
+  }
+  if (stats_path != nullptr) {
+    WriteMatrixStats(matrix, stats_path);
   }
   return 0;
 }

@@ -90,5 +90,8 @@ int main(int argc, char** argv) {
   if (const char* trace_path = TraceOutPath(argc, argv)) {
     WriteMatrixTrace(matrix, trace_path);
   }
+  if (const char* stats_path = StatsOutPath(argc, argv)) {
+    WriteMatrixStats(matrix, stats_path);
+  }
   return 0;
 }

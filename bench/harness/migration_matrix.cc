@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 
 #include "src/apps/app_instance.h"
 #include "src/device/world.h"
@@ -177,6 +178,16 @@ const char* TraceOutPath(int argc, char** argv) {
   return nullptr;
 }
 
+const char* StatsOutPath(int argc, char** argv) {
+  constexpr const char kFlag[] = "--stats-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  return nullptr;
+}
+
 bool WriteMatrixTrace(const MatrixResult& result, const char* path) {
   std::vector<TraceProcess> processes;
   for (const MatrixCell& cell : result.cells) {
@@ -192,6 +203,50 @@ bool WriteMatrixTrace(const MatrixResult& result, const char* path) {
   WriteChromeTrace(processes, out);
   std::fprintf(stderr, "trace written to %s (%zu migrations)\n", path,
                processes.size());
+  return true;
+}
+
+bool WriteMatrixStats(const MatrixResult& result, const char* path) {
+  // std::map keeps the JSON key order deterministic across runs.
+  std::map<std::string, TraceHistogram::Snapshot> histograms;
+  std::map<std::string, uint64_t> counters;
+  size_t traced_cells = 0;
+  for (const MatrixCell& cell : result.cells) {
+    if (cell.trace == nullptr) {
+      continue;
+    }
+    ++traced_cells;
+    for (const auto& [name, snapshot] : cell.trace->Histograms()) {
+      histograms[name].Merge(snapshot);
+    }
+    for (const auto& [name, value] : cell.trace->Counters()) {
+      counters[name] += value;
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write stats to %s\n", path);
+    return false;
+  }
+  out << "{\n  \"cells\": " << traced_cells << ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+        << "\"count\": " << snap.count << ", \"max\": " << snap.max
+        << ", \"p50\": " << snap.Percentile(50)
+        << ", \"p90\": " << snap.Percentile(90)
+        << ", \"p99\": " << snap.Percentile(99) << "}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  std::fprintf(stderr, "stats written to %s (%zu histograms, %zu counters)\n",
+               path, histograms.size(), counters.size());
   return true;
 }
 

@@ -60,15 +60,24 @@ Result<MigrationReport> RunSingleMigration(
     const std::string& guest_model, const MatrixOptions& options = {},
     std::shared_ptr<Tracer>* trace_out = nullptr);
 
-// ----- --trace-out support for bench binaries -----
+// ----- --trace-out / --stats-out support for bench binaries -----
 
 // Returns the FILE argument of a `--trace-out=FILE` flag, or null.
 const char* TraceOutPath(int argc, char** argv);
+
+// Returns the FILE argument of a `--stats-out=FILE` flag, or null.
+const char* StatsOutPath(int argc, char** argv);
 
 // Writes every traced cell of `result` as one merged Chrome trace (one
 // process per cell, named "app | combo"). No-op for cells without traces.
 // Returns false (with a message on stderr) if the file cannot be written.
 bool WriteMatrixTrace(const MatrixResult& result, const char* path);
+
+// Writes fleet-level statistics as JSON: per-cell tracer histograms merged
+// via TraceHistogram::Snapshot::Merge (count/max/p50/p90/p99 each) and
+// counters summed across cells. The shape is validated by
+// scripts/check_forensics.py. Returns false if the file cannot be written.
+bool WriteMatrixStats(const MatrixResult& result, const char* path);
 
 }  // namespace flux
 

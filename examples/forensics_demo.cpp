@@ -1,0 +1,108 @@
+// Failure forensics walkthrough (OBSERVABILITY.md): break a migration on
+// purpose and read the black box.
+//
+// A WiFi outage is scheduled for the middle of the image transfer. The
+// migration aborts, the app rolls back home, and the MigrationManager cuts
+// a forensic report: both devices' flight-recorder rings, the Status cause
+// chain, tracer counters, and the replay audit journal. The report prints
+// as human-readable text here and is also written as JSON (the schema
+// scripts/check_forensics.py validates) to the path in argv[1], if given.
+#include <cstdio>
+#include <fstream>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/forensics.h"
+#include "src/flux/migration.h"
+
+using namespace flux;
+
+namespace {
+
+struct Setup {
+  World world;
+  Device* phone = nullptr;
+  Device* tablet = nullptr;
+  std::unique_ptr<FluxAgent> phone_agent;
+  std::unique_ptr<FluxAgent> tablet_agent;
+  std::unique_ptr<AppInstance> app;
+
+  bool Boot() {
+    phone = world.AddDevice("phone", Nexus4Profile()).value();
+    tablet = world.AddDevice("tablet", Nexus7_2013Profile()).value();
+    // The recorder is always on; force-enable in case the environment
+    // carries FLUX_FLIGHT_RECORDER=0 (the CI identity check does).
+    phone->flight_recorder().set_enabled(true);
+    tablet->flight_recorder().set_enabled(true);
+    phone_agent = std::make_unique<FluxAgent>(*phone);
+    tablet_agent = std::make_unique<FluxAgent>(*tablet);
+    if (!PairDevices(*phone_agent, *tablet_agent).ok()) {
+      return false;
+    }
+    const AppSpec* spec = FindApp("Candy Crush Saga");
+    app = std::make_unique<AppInstance>(*phone, *spec);
+    return app->Install().ok() &&
+           PairApp(*phone_agent, *tablet_agent, *spec).ok() &&
+           app->Launch().ok() &&
+           (phone_agent->Manage(app->pid(), spec->package),
+            app->RunWorkload(2015).ok());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Probe run: where does the transfer sit on the timeline?
+  SimTime mid = 0;
+  {
+    Setup probe;
+    if (!probe.Boot()) {
+      return 1;
+    }
+    MigrationManager manager(*probe.phone_agent, *probe.tablet_agent);
+    auto report =
+        manager.Migrate(RunningApp::FromInstance(*probe.app),
+                        probe.app->spec());
+    if (!report.ok() || !report->success) {
+      fprintf(stderr, "probe migration failed\n");
+      return 1;
+    }
+    mid = report->transfer.begin + report->transfer.duration() / 2;
+    printf("probe: migration takes %.2f s; transfer midpoint at t=%.2f s\n",
+           ToSecondsF(report->Total()), ToSecondsF(mid));
+  }
+
+  // Failure run: identical world, but the link dies mid-transfer.
+  Setup run;
+  if (!run.Boot()) {
+    return 1;
+  }
+  run.phone->wifi().ScheduleOutageAt(mid);
+  Tracer tracer(&run.phone->clock());
+  MigrationConfig config;
+  config.trace = &tracer;
+  MigrationManager manager(*run.phone_agent, *run.tablet_agent, config);
+  auto report = manager.Migrate(RunningApp::FromInstance(*run.app),
+                                run.app->spec());
+  if (report.ok()) {
+    fprintf(stderr, "expected the migration to abort\n");
+    return 1;
+  }
+  printf("\nmigration failed as arranged:\n  %s\n",
+         report.status().ToString().c_str());
+
+  auto forensics = manager.last_forensics();
+  if (forensics == nullptr) {
+    fprintf(stderr, "no forensic report was cut\n");
+    return 1;
+  }
+  printf("\n%s\n", ForensicReportText(*forensics).c_str());
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    WriteForensicReport(*forensics, out);
+    printf("forensic JSON written to %s\n", argv[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validate the forensics/observability artifacts in CI.
+
+Usage:
+  check_forensics.py report <forensic.json> <flight_recorder.h> <OBSERVABILITY.md>
+  check_forensics.py stats <stats.json> <trace.h> <OBSERVABILITY.md>
+
+`report` mode gates the forensic-report JSON schema (the output of
+WriteForensicReport / the forensics_demo example) and keeps the event
+taxonomy honest: every flight_events constant registered in
+flight_recorder.h must appear in OBSERVABILITY.md, and every event name in
+the report must be a registered constant.
+
+`stats` mode gates the --stats-out JSON written by the figure benches
+(WriteMatrixStats): shape, monotone percentiles, and that every histogram
+constant registered in trace.h is documented.
+"""
+
+import json
+import re
+import sys
+
+SEVERITIES = {"debug", "info", "warning", "error"}
+OUTCOMES = {"verbatim", "proxied", "skipped", "adapted", "failed"}
+
+REPORT_KEYS = {
+    "app", "home_device", "guest_device", "failure_phase", "captured_at_us",
+    "rolled_back", "cause_chain", "home_events", "guest_events", "counters",
+    "open_spans", "replay_journal",
+}
+EVENT_KEYS = {"t", "sub", "name", "sev", "arg0", "arg1"}
+
+
+def fail(msg):
+    print("check_forensics: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def registered_names(header, min_expected):
+    """Dotted string constants from a header's inline constexpr table."""
+    with open(header) as f:
+        source = f.read()
+    names = re.findall(r'std::string_view\s+k\w+\s*=\s*\n?\s*"([a-z_.]+)"',
+                       source)
+    dotted = [n for n in names if "." in n]
+    if len(dotted) < min_expected:
+        fail("only %d dotted constants parsed from %s — regex drifted?"
+             % (len(dotted), header))
+    return dotted
+
+
+def check_docs(names, observability_md, what):
+    with open(observability_md) as f:
+        docs = f.read()
+    missing = [name for name in names if name not in docs]
+    if missing:
+        fail("%s registered but undocumented in %s: %s"
+             % (what, observability_md, ", ".join(missing)))
+
+
+def check_events(events, where, known):
+    if not isinstance(events, list):
+        fail("%s is not a list" % where)
+    last_t = -1
+    for event in events:
+        if not EVENT_KEYS <= set(event):
+            fail("%s event missing keys %s: %r"
+                 % (where, EVENT_KEYS - set(event), event))
+        if event["sev"] not in SEVERITIES:
+            fail("%s event with unknown severity: %r" % (where, event))
+        if not isinstance(event["t"], int) or event["t"] < 0:
+            fail("%s event with bad timestamp: %r" % (where, event))
+        if event["t"] < last_t:
+            fail("%s events not oldest-to-newest at t=%d" % (where,
+                                                             event["t"]))
+        last_t = event["t"]
+        if event["name"] not in known:
+            fail("%s event name %r is not registered in flight_recorder.h"
+                 % (where, event["name"]))
+
+
+def check_report(report_path, recorder_h, observability_md):
+    with open(report_path) as f:
+        report = json.load(f)
+    if set(report) != REPORT_KEYS:
+        fail("report keys %s != expected %s" % (sorted(report),
+                                                sorted(REPORT_KEYS)))
+    if not isinstance(report["rolled_back"], bool):
+        fail("rolled_back is not a bool")
+    if not report["failure_phase"]:
+        fail("failure_phase is empty")
+    if not isinstance(report["captured_at_us"], int):
+        fail("captured_at_us is not an integer")
+    chain = report["cause_chain"]
+    if not isinstance(chain, list) or not chain:
+        fail("cause_chain missing or empty")
+    for link in chain:
+        if set(link) != {"code", "message"}:
+            fail("bad cause-chain link: %r" % link)
+
+    known = set(registered_names(recorder_h, 20))
+    check_events(report["home_events"], "home_events", known)
+    check_events(report["guest_events"], "guest_events", known)
+    if not report["home_events"]:
+        fail("home_events is empty — the flight recorder captured nothing")
+
+    if not isinstance(report["counters"], dict):
+        fail("counters is not an object")
+    if not isinstance(report["open_spans"], list):
+        fail("open_spans is not a list")
+
+    journal = report["replay_journal"]
+    for key in ("log_calls", "entries", "mismatches"):
+        if key not in journal:
+            fail("replay_journal missing %r" % key)
+    for entry in journal["entries"]:
+        if not {"index", "seq", "call", "outcome"} <= set(entry):
+            fail("bad journal entry: %r" % entry)
+        if entry["outcome"] not in OUTCOMES:
+            fail("unknown replay outcome: %r" % entry)
+
+    check_docs(sorted(known), observability_md, "flight-recorder events")
+    events = len(report["home_events"]) + len(report["guest_events"])
+    print("check_forensics: OK: report for %r failed during %s; %d events, "
+          "%d cause links, %d journal entries, %d events documented"
+          % (report["app"], report["failure_phase"], events, len(chain),
+             len(journal["entries"]), len(known)))
+
+
+def check_stats(stats_path, trace_h, observability_md):
+    with open(stats_path) as f:
+        stats = json.load(f)
+    for key in ("cells", "counters", "histograms"):
+        if key not in stats:
+            fail("stats missing %r" % key)
+    if not isinstance(stats["cells"], int) or stats["cells"] <= 0:
+        fail("stats cells not a positive integer: %r" % stats.get("cells"))
+    if not isinstance(stats["counters"], dict) or not stats["counters"]:
+        fail("stats counters missing or empty")
+    for name, value in stats["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail("counter %r has bad value %r" % (name, value))
+    histograms = stats["histograms"]
+    if not isinstance(histograms, dict) or not histograms:
+        fail("stats histograms missing or empty")
+    recorded = 0
+    for name, hist in histograms.items():
+        if set(hist) != {"count", "max", "p50", "p90", "p99"}:
+            fail("histogram %r keys %s" % (name, sorted(hist)))
+        if hist["count"] < 0 or hist["max"] < 0:
+            fail("histogram %r has negative count/max" % name)
+        if not hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"]:
+            fail("histogram %r percentiles not monotone: %r" % (name, hist))
+        if hist["count"] > 0:
+            recorded += 1
+    if recorded == 0:
+        fail("no histogram recorded any value — instrumentation dead?")
+
+    # Every histogram constant in trace.h ends in `_us`; the benches must
+    # produce them under their registered names and the docs must list them.
+    with open(trace_h) as f:
+        source = f.read()
+    registered = [n for n in re.findall(
+        r'std::string_view\s+k\w+\s*=\s*\n?\s*"([a-z_.]+)"', source)
+        if n.endswith("_us")]
+    if len(registered) < 4:
+        fail("only %d histogram constants parsed from %s" % (len(registered),
+                                                             trace_h))
+    missing = [n for n in registered
+               if n not in histograms and not n.startswith("pipeline.")]
+    # pipeline.* histograms only exist in pipelined-mode runs.
+    if missing:
+        fail("histograms registered in trace.h but absent from stats: %s"
+             % ", ".join(missing))
+    check_docs(registered, observability_md, "histograms")
+    print("check_forensics: OK: stats over %d cells, %d counters, "
+          "%d histograms (%d non-empty), %d registered names documented"
+          % (stats["cells"], len(stats["counters"]), len(histograms),
+             recorded, len(registered)))
+
+
+def main(argv):
+    if len(argv) != 5 or argv[1] not in ("report", "stats"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if argv[1] == "report":
+        check_report(argv[2], argv[3], argv[4])
+    else:
+        check_stats(argv[2], argv[3], argv[4])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

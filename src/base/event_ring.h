@@ -1,0 +1,78 @@
+// Fixed-capacity event ring for the always-on flight recorder.
+//
+// A migration fleet cannot afford to trace everything all the time, but a
+// post-mortem needs the last moments before a failure. The classic answer
+// is a flight recorder: a fixed-size ring that always records and simply
+// forgets the distant past. This header provides the storage primitive —
+// appends claim a slot with one relaxed fetch_add and write it in place, so
+// the steady-state cost is a counter bump plus a struct copy, with no
+// locks, no allocation, and no growth.
+//
+// Concurrency model: appends may come from any thread (the compression
+// pool logs through the capture hook); Snapshot() is meant for quiescent
+// moments (a failure has already happened and the simulation stopped).
+// A snapshot taken while writers race may contain torn slots near the
+// head — acceptable for a forensic aid, never for program logic.
+#ifndef FLUX_SRC_BASE_EVENT_RING_H_
+#define FLUX_SRC_BASE_EVENT_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flux {
+
+template <typename Event>
+class EventRing {
+ public:
+  // Capacity is rounded up to a power of two so the slot index is a mask,
+  // not a modulo.
+  explicit EventRing(size_t capacity) {
+    size_t rounded = 1;
+    while (rounded < capacity) {
+      rounded <<= 1;
+    }
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  void Append(const Event& event) {
+    const uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+    slots_[slot & mask_] = event;
+  }
+
+  // Oldest-to-newest copy of the retained window.
+  std::vector<Event> Snapshot() const {
+    const uint64_t end = next_.load(std::memory_order_acquire);
+    const uint64_t begin = end > slots_.size() ? end - slots_.size() : 0;
+    std::vector<Event> out;
+    out.reserve(static_cast<size_t>(end - begin));
+    for (uint64_t i = begin; i < end; ++i) {
+      out.push_back(slots_[i & mask_]);
+    }
+    return out;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+  // Total events ever appended (including ones the ring has forgotten).
+  uint64_t appended() const { return next_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const {
+    const uint64_t n = appended();
+    return n > slots_.size() ? n - slots_.size() : 0;
+  }
+
+  void Clear() { next_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::vector<Event> slots_;
+  uint64_t mask_ = 0;
+  std::atomic<uint64_t> next_{0};
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_EVENT_RING_H_

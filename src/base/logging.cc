@@ -3,11 +3,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/base/sim_clock.h"
+
 namespace flux {
 
 namespace {
 
 LogLevel g_log_level = LogLevel::kWarning;
+const SimClock* g_log_clock = nullptr;
+LogSinkFn g_log_sink = nullptr;
 
 std::string_view LevelTag(LogLevel level) {
   switch (level) {
@@ -31,16 +35,32 @@ void SetLogLevel(LogLevel level) { g_log_level = level; }
 
 LogLevel GetLogLevel() { return g_log_level; }
 
+void SetLogClock(const SimClock* clock) { g_log_clock = clock; }
+
+const SimClock* GetLogClock() { return g_log_clock; }
+
+void SetLogSink(LogSinkFn sink) { g_log_sink = sink; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, std::string_view component)
-    : level_(level) {
-  stream_ << LevelTag(level) << "/" << component << ": ";
-}
+    : level_(level), component_(component) {}
 
 LogMessage::~LogMessage() {
-  stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  const std::string body = stream_.str();
+  char stamp[32];
+  stamp[0] = '\0';
+  if (g_log_clock != nullptr) {
+    // Simulated seconds, microsecond precision: `[  12.345678] `.
+    std::snprintf(stamp, sizeof(stamp), "[%12.6f] ",
+                  static_cast<double>(g_log_clock->now()) / 1e6);
+  }
+  std::fprintf(stderr, "%s%s/%s: %s\n", stamp,
+               std::string(LevelTag(level_)).c_str(), component_.c_str(),
+               body.c_str());
+  if (g_log_sink != nullptr) {
+    g_log_sink(level_, component_, body);
+  }
   if (level_ == LogLevel::kFatal) {
     std::abort();
   }

@@ -3,6 +3,17 @@
 // Log lines go to stderr and are prefixed with a severity tag and the
 // emitting component. The global level defaults to kWarning so tests and
 // benchmarks stay quiet; examples raise it to kInfo.
+//
+// Two hooks tie free-form logs into the observability layer:
+//  - SetLogClock installs a simulated clock (the World does this at
+//    construction); while installed, every line is stamped with the
+//    simulated time in seconds: `[  12.345678] W/migration: ...`.
+//  - SetLogSink installs a process-wide tap that receives every emitted
+//    line's (level, component, message) after the stderr write. The flight
+//    recorder (src/flux/flight_recorder.h) uses it to route kError+ lines
+//    into the always-on ring so logs and structured events share one
+//    timeline. The sink is a bare function pointer so this base layer
+//    stays free of upward dependencies.
 #ifndef FLUX_SRC_BASE_LOGGING_H_
 #define FLUX_SRC_BASE_LOGGING_H_
 
@@ -11,6 +22,8 @@
 #include <string_view>
 
 namespace flux {
+
+class SimClock;
 
 enum class LogLevel : int {
   kDebug = 0,
@@ -23,6 +36,19 @@ enum class LogLevel : int {
 // Sets / reads the process-wide minimum level that will be emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Installs (or, with null, removes) the simulated clock used to stamp log
+// lines. The clock must outlive its installation; the World installs its
+// clock on construction and removes it on destruction.
+void SetLogClock(const SimClock* clock);
+const SimClock* GetLogClock();
+
+// Process-wide tap over emitted log lines (null removes). Called after the
+// stderr write with the bare message body (no prefix, no newline). Must not
+// log from inside the sink.
+using LogSinkFn = void (*)(LogLevel level, std::string_view component,
+                           std::string_view message);
+void SetLogSink(LogSinkFn sink);
 
 namespace internal {
 
@@ -38,6 +64,7 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  std::string component_;
   std::ostringstream stream_;
 };
 

@@ -30,6 +30,18 @@ std::string_view StatusCodeName(StatusCode code) {
   return "unknown";
 }
 
+Status Status::WithCause(Status cause) const {
+  Status out = *this;
+  if (out.cause_ == nullptr) {
+    out.cause_ = std::make_shared<const Status>(std::move(cause));
+  } else {
+    // Links are immutable; rebuild the (short) chain with the new tail.
+    out.cause_ = std::make_shared<const Status>(
+        out.cause_->WithCause(std::move(cause)));
+  }
+  return out;
+}
+
 std::string Status::ToString() const {
   if (ok()) {
     return "ok";
@@ -38,6 +50,14 @@ std::string Status::ToString() const {
   if (!message_.empty()) {
     out += ": ";
     out += message_;
+  }
+  for (const Status* link = cause(); link != nullptr; link = link->cause()) {
+    out += " <- caused by: ";
+    out += StatusCodeName(link->code());
+    if (!link->message().empty()) {
+      out += ": ";
+      out += link->message();
+    }
   }
   return out;
 }

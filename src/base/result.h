@@ -8,6 +8,7 @@
 #define FLUX_SRC_BASE_RESULT_H_
 
 #include <cassert>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -33,7 +34,11 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 // A Status is either OK or an error code with a message. Copyable, cheap when
-// OK (message stays empty).
+// OK (message stays empty). An error Status may carry a *cause chain*: a
+// linked list of deeper statuses explaining how the failure propagated
+// ("migration aborted during transfer" <- "network lost mid-transfer").
+// Forensic reports (src/flux/forensics.h) walk the chain; equality ignores
+// it so existing code comparing statuses by code+message is unaffected.
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
@@ -46,7 +51,16 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // "ok" or "<code>: <message>" for logging.
+  // The next link in the cause chain, or null. Links are immutable and
+  // shared between copies of a Status.
+  const Status* cause() const { return cause_.get(); }
+
+  // Returns a copy of this status with `cause` appended at the *tail* of
+  // its cause chain, so repeated annotation reads outermost-first. Chains
+  // are expected to stay short (a handful of links).
+  Status WithCause(Status cause) const;
+
+  // "ok" or "<code>: <message>", with " <- caused by: ..." per chain link.
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
@@ -56,6 +70,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  std::shared_ptr<const Status> cause_;
 };
 
 inline Status OkStatus() { return Status::Ok(); }

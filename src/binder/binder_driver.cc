@@ -324,6 +324,14 @@ Result<Parcel> BinderDriver::Transact(Pid sender_pid, uint64_t handle,
   FLUX_RETURN_IF_ERROR(TranslateOutgoing(sender_pid, args));
   Result<Parcel> reply =
       TransactInternal(sender_pid, node_id, method, std::move(args));
+  if (!reply.ok()) {
+    // BinderCracker-style failure context: which call, from whom, to where.
+    std::string what(NodeInterface(node_id));
+    what.append(".").append(method);
+    FLUX_EVENT_DETAIL(flight_recorder_, flight_events::kSubBinder,
+                      flight_events::kBinderTransactionFailed,
+                      EventSeverity::kWarning, sender_pid, node_id, what);
+  }
   NotifyObservers(sender_pid, node_id, method, original_args,
                   reply.ok() ? &reply.value() : nullptr, reply.ok(),
                   /*oneway=*/false);

@@ -28,6 +28,7 @@
 #include "src/base/result.h"
 #include "src/base/sim_clock.h"
 #include "src/binder/parcel.h"
+#include "src/flux/flight_recorder.h"
 #include "src/flux/trace.h"
 #include "src/kernel/ids.h"
 
@@ -175,6 +176,12 @@ class BinderDriver {
   // pointer test.
   void set_tracer(Tracer* tracer);
 
+  // Failed synchronous transactions emit a binder.transaction_failed event
+  // (interface.method in the detail) into the owning device's recorder.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
  private:
   struct Node {
     Pid owner = kInvalidPid;
@@ -216,6 +223,7 @@ class BinderDriver {
   SimDuration transaction_cost_ = Micros(60);
   uint64_t transaction_count_ = 0;
   TraceCounter* trace_transactions_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 
 }  // namespace flux

@@ -603,6 +603,9 @@ Result<CriaCheckpointResult> Cria::CheckpointTree(
   result.stats = stats;
   FLUX_TRACE_COUNT(trace, trace_names::kCriaCheckpoints, 1);
   FLUX_TRACE_COUNT(trace, trace_names::kCriaImageBytes, stats.image_bytes);
+  FLUX_EVENT(&device.flight_recorder(), flight_events::kSubCria,
+             flight_events::kCriaCheckpoint, EventSeverity::kInfo,
+             stats.image_bytes, pids.size());
   return result;
 }
 
@@ -746,6 +749,9 @@ Result<CriaRestoredApp> Cria::Restore(Device& guest, ByteSpan image,
   if (!reader.AtEnd()) {
     return Corrupt("trailing bytes in CRIA image");
   }
+  FLUX_EVENT(&guest.flight_recorder(), flight_events::kSubCria,
+             flight_events::kCriaRestore, EventSeverity::kInfo, image.size(),
+             static_cast<uint64_t>(restored.pid));
   return restored;
 }
 

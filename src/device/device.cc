@@ -13,9 +13,12 @@ Device::Device(std::string name, DeviceProfile profile, SimClock* clock,
       profile_(std::move(profile)),
       clock_(clock),
       wifi_(wifi),
+      flight_recorder_(clock, FlightRecorder::kDefaultCapacity,
+                       /*capture_logs=*/true),
       kernel_(profile_.kernel_version, /*pmem_pool=*/profile_.ram_bytes / 4),
       binder_(&kernel_, clock),
       egl_(&kernel_, profile_.gpu) {
+  binder_.set_flight_recorder(&flight_recorder_);
   context_.device_name = name_;
   context_.android_version = profile_.android_version;
   context_.api_level = profile_.api_level;

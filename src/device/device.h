@@ -26,6 +26,7 @@
 #include "src/framework/sensor_service.h"
 #include "src/framework/system_service.h"
 #include "src/framework/window_manager.h"
+#include "src/flux/flight_recorder.h"
 #include "src/fs/sim_filesystem.h"
 #include "src/gpu/egl_runtime.h"
 #include "src/kernel/sim_kernel.h"
@@ -61,6 +62,11 @@ class Device {
   RecordRuleSet& record_rules() { return record_rules_; }
   SimClock& clock() { return *clock_; }
   WifiNetwork& wifi() { return *wifi_; }
+  // Always-on flight recorder: the last kDefaultCapacity structured events
+  // from every subsystem on this device, mirrored kError+ log lines
+  // included. Snapshotted into forensic reports on migration failure.
+  FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const FlightRecorder& flight_recorder() const { return flight_recorder_; }
 
   SystemServer& system_server() { return *system_server_; }
   ActivityManagerService& activity_manager() { return *activity_manager_; }
@@ -107,6 +113,7 @@ class Device {
   SimClock* clock_;
   WifiNetwork* wifi_;
 
+  FlightRecorder flight_recorder_;
   SimKernel kernel_;
   SimFilesystem filesystem_;
   BinderDriver binder_;

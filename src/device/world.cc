@@ -1,6 +1,16 @@
 #include "src/device/world.h"
 
+#include "src/base/logging.h"
+
 namespace flux {
+
+World::World() { SetLogClock(&clock_); }
+
+World::~World() {
+  if (GetLogClock() == &clock_) {
+    SetLogClock(nullptr);
+  }
+}
 
 Result<Device*> World::AddDevice(const std::string& name,
                                  const DeviceProfile& profile,

@@ -14,7 +14,12 @@ namespace flux {
 
 class World {
  public:
-  World() = default;
+  // Construction points the logging layer's timestamp clock at this world's
+  // timeline, so FLUX_LOG lines carry simulated time (OBSERVABILITY.md);
+  // destruction unhooks it again. With multiple worlds alive (probe worlds
+  // in tests), the most recently built one stamps the logs.
+  World();
+  ~World();
 
   SimClock& clock() { return clock_; }
   WifiNetwork& wifi() { return wifi_; }

@@ -63,6 +63,9 @@ bool ChunkCache::HasValid(const Hash128& hash) {
     // Poisoned entry: drop it so the peer ships the full chunk.
     ++stats_.verify_failures;
     FLUX_TRACE_COUNTER_ADD(trace_verify_failures_, 1);
+    FLUX_EVENT(flight_recorder_, flight_events::kSubCache,
+               flight_events::kCacheVerifyFailure, EventSeverity::kWarning,
+               content.size(), index_.size());
     bytes_ -= content.size();
     lru_.erase(it->second);
     index_.erase(it);

@@ -23,6 +23,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/hash.h"
+#include "src/flux/flight_recorder.h"
 #include "src/flux/trace.h"
 
 namespace flux {
@@ -79,6 +80,12 @@ class ChunkCache {
   // pointer test, not a registry probe.
   void set_tracer(Tracer* tracer);
 
+  // Emits a cache.verify_failure flight-recorder event whenever a poisoned
+  // entry is dropped (content no longer matches its key).
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
   // Fault injection for tests: flips one bit of the stored content so the
   // entry no longer matches its key. Returns whether the entry existed.
   bool PoisonForTest(const Hash128& hash);
@@ -107,6 +114,7 @@ class ChunkCache {
   TraceCounter* trace_refreshes_ = nullptr;
   TraceCounter* trace_evictions_ = nullptr;
   TraceCounter* trace_verify_failures_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 
 }  // namespace flux

@@ -1,0 +1,133 @@
+#include "src/flux/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+namespace flux {
+
+namespace {
+
+// Runtime default for the always-on recorder: on unless the environment
+// says otherwise (the CI identity check runs with FLUX_FLIGHT_RECORDER=0).
+bool DefaultEnabled() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("FLUX_FLIGHT_RECORDER");
+    return value == nullptr || std::string_view(value) != "0";
+  }();
+  return enabled;
+}
+
+// Registry of recorders mirroring kError+ log lines. The sink fires on the
+// cold error path only; a mutex is fine.
+std::mutex g_capture_mu;
+std::vector<FlightRecorder*>& CaptureRegistry() {
+  static std::vector<FlightRecorder*> recorders;
+  return recorders;
+}
+
+void LogCaptureSink(LogLevel level, std::string_view component,
+                    std::string_view message) {
+  if (level < LogLevel::kError) {
+    return;
+  }
+  const uint32_t sub =
+      Interner::Global().Intern(flight_events::kSubLog);
+  const uint32_t name = Interner::Global().Intern(flight_events::kLogError);
+  const uint32_t component_id = Interner::Global().Intern(component);
+  std::string combined;
+  combined.reserve(component.size() + 2 + message.size());
+  combined.append(component).append(": ").append(message);
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  for (FlightRecorder* recorder : CaptureRegistry()) {
+    if (recorder->enabled()) {
+      recorder->EmitDetail(sub, name, EventSeverity::kError, component_id, 0,
+                           combined);
+    }
+  }
+}
+
+void RegisterForLogCapture(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  auto& registry = CaptureRegistry();
+  registry.push_back(recorder);
+  if (registry.size() == 1) {
+    SetLogSink(&LogCaptureSink);
+  }
+}
+
+void UnregisterFromLogCapture(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(g_capture_mu);
+  auto& registry = CaptureRegistry();
+  registry.erase(std::remove(registry.begin(), registry.end(), recorder),
+                 registry.end());
+  if (registry.empty()) {
+    SetLogSink(nullptr);
+  }
+}
+
+}  // namespace
+
+std::string_view EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kDebug:
+      return "debug";
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarning:
+      return "warning";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(const SimClock* clock, size_t capacity,
+                               bool capture_logs)
+    : clock_(clock), ring_(capacity), enabled_(DefaultEnabled()) {
+  if (capture_logs) {
+    capturing_logs_ = true;
+    RegisterForLogCapture(this);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (capturing_logs_) {
+    UnregisterFromLogCapture(this);
+  }
+}
+
+void FlightRecorder::EmitDetail(uint32_t subsystem_id, uint32_t name_id,
+                                EventSeverity severity, uint64_t arg0,
+                                uint64_t arg1, std::string_view detail) {
+  FlightEvent event;
+  event.time = clock_ != nullptr ? clock_->now() : 0;
+  event.subsystem = subsystem_id;
+  event.name = name_id;
+  event.severity = severity;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  const size_t n = std::min(detail.size(), sizeof(event.detail));
+  std::memcpy(event.detail, detail.data(), n);
+  event.detail_len = static_cast<uint8_t>(n);
+  ring_.Append(event);
+}
+
+std::vector<FlightEventView> FlightRecorder::Snapshot() const {
+  std::vector<FlightEventView> out;
+  const Interner& interner = Interner::Global();
+  for (const FlightEvent& event : ring_.Snapshot()) {
+    FlightEventView view;
+    view.time = event.time;
+    view.subsystem = std::string(interner.Lookup(event.subsystem));
+    view.name = std::string(interner.Lookup(event.name));
+    view.severity = event.severity;
+    view.arg0 = event.arg0;
+    view.arg1 = event.arg1;
+    view.detail.assign(event.detail, event.detail_len);
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+}  // namespace flux

@@ -1,0 +1,250 @@
+// Always-on flight recorder (failure forensics, OBSERVABILITY.md).
+//
+// The opt-in Tracer answers "where did the time go" for a migration you
+// chose to watch; the flight recorder answers "what happened" for the one
+// you didn't — the 3am rollback. Every Device owns one: a fixed-size
+// EventRing of small structured events, stamped on the simulated clock,
+// with interned subsystem/name ids, a severity, two scalar payloads, and an
+// optional short detail string. Subsystems emit through the FLUX_EVENT_*
+// macros below, which cost one null/enabled check plus a relaxed ring
+// append when on and compile out entirely under -DFLUX_TRACE=OFF — so the
+// recorder can stay on for every migration without perturbing the figure
+// benches (events never touch the simulated clock).
+//
+// When a forensic report is cut (src/flux/forensics.h), both devices' rings
+// are snapshotted and the interned ids resolve back to strings.
+//
+// Log capture: a recorder constructed with `capture_logs` registers with
+// the logging layer's sink hook; kError+ log lines from anywhere in the
+// process are mirrored into every capturing ring (the process-global logger
+// stands in for per-device loggers in this single-process simulation), so
+// free-form logs and structured events share one timeline.
+//
+// This library depends only on flux_base, like the tracer, so net, binder,
+// and cria (all below flux_core) can link it.
+#ifndef FLUX_SRC_FLUX_FLIGHT_RECORDER_H_
+#define FLUX_SRC_FLUX_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/event_ring.h"
+#include "src/base/interner.h"
+#include "src/base/logging.h"
+#include "src/base/sim_clock.h"
+
+#ifndef FLUX_TRACE_ENABLED
+#define FLUX_TRACE_ENABLED 1
+#endif
+
+namespace flux {
+
+// ----- event taxonomy -----
+//
+// Every structured event the runtime emits is named here (and only here);
+// scripts/check_forensics.py fails CI if a constant is missing from
+// OBSERVABILITY.md's taxonomy table. Names are `subsystem.what`, matching
+// the counter convention.
+namespace flight_events {
+
+// Subsystems (the first column of every event).
+inline constexpr std::string_view kSubMigration = "migration";
+inline constexpr std::string_view kSubPairing = "pairing";
+inline constexpr std::string_view kSubRecord = "record";
+inline constexpr std::string_view kSubReplay = "replay";
+inline constexpr std::string_view kSubCria = "cria";
+inline constexpr std::string_view kSubCache = "cache";
+inline constexpr std::string_view kSubNet = "net";
+inline constexpr std::string_view kSubBinder = "binder";
+inline constexpr std::string_view kSubLog = "log";
+
+// MigrationManager lifecycle.
+inline constexpr std::string_view kMigrationStart = "migration.start";
+inline constexpr std::string_view kMigrationRefused = "migration.refused";
+inline constexpr std::string_view kMigrationPrepared = "migration.prepared";
+inline constexpr std::string_view kMigrationCheckpointed =
+    "migration.checkpointed";
+inline constexpr std::string_view kMigrationTransferred =
+    "migration.transferred";
+inline constexpr std::string_view kMigrationRestored = "migration.restored";
+inline constexpr std::string_view kMigrationComplete = "migration.complete";
+inline constexpr std::string_view kMigrationRollback = "migration.rollback";
+inline constexpr std::string_view kMigrationRollbackFailed =
+    "migration.rollback_failed";
+// Pairing protocol (§3.1).
+inline constexpr std::string_view kPairingDevices = "pairing.devices";
+inline constexpr std::string_view kPairingApp = "pairing.app";
+inline constexpr std::string_view kPairingVerifyApk = "pairing.verify_apk";
+// Selective Record bookkeeping.
+inline constexpr std::string_view kRecordTracked = "record.tracked";
+inline constexpr std::string_view kRecordUntracked = "record.untracked";
+inline constexpr std::string_view kRecordPaused = "record.paused";
+inline constexpr std::string_view kRecordResumed = "record.resumed";
+// Adaptive Replay.
+inline constexpr std::string_view kReplayStart = "replay.start";
+inline constexpr std::string_view kReplayDone = "replay.done";
+inline constexpr std::string_view kReplayCallFailed = "replay.call_failed";
+// CRIA.
+inline constexpr std::string_view kCriaCheckpoint = "cria.checkpoint";
+inline constexpr std::string_view kCriaRestore = "cria.restore";
+// Chunk cache.
+inline constexpr std::string_view kCacheVerifyFailure =
+    "cache.verify_failure";
+// Radio model.
+inline constexpr std::string_view kNetOutage = "net.outage";
+inline constexpr std::string_view kNetTransfer = "net.transfer";
+// Binder driver (BinderCracker-style per-transaction failure context).
+inline constexpr std::string_view kBinderTransactionFailed =
+    "binder.transaction_failed";
+// Routed log lines (the name is the interned component).
+inline constexpr std::string_view kLogError = "log.error";
+
+}  // namespace flight_events
+
+enum class EventSeverity : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+std::string_view EventSeverityName(EventSeverity severity);
+
+// One ring slot: 8-byte aligned PODs plus a short inline detail buffer so a
+// slot copy is a memcpy and the ring never allocates.
+struct FlightEvent {
+  SimTime time = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint32_t subsystem = 0;  // interned (Interner::Global())
+  uint32_t name = 0;       // interned
+  EventSeverity severity = EventSeverity::kInfo;
+  uint8_t detail_len = 0;
+  char detail[46] = {};  // truncated; long context belongs in logs
+};
+
+// A snapshot row with the interned ids resolved.
+struct FlightEventView {
+  SimTime time = 0;
+  std::string subsystem;
+  std::string name;
+  EventSeverity severity = EventSeverity::kInfo;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 512;
+
+  // Events stamp `clock->now()`. With `capture_logs`, kError+ log lines are
+  // mirrored into this ring for as long as the recorder lives.
+  explicit FlightRecorder(const SimClock* clock,
+                          size_t capacity = kDefaultCapacity,
+                          bool capture_logs = false);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Runtime kill switch, honored by the FLUX_EVENT_* macros. Defaults from
+  // the FLUX_FLIGHT_RECORDER environment variable ("0" disables) so the
+  // three-config identity check in CI can exercise the off path.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  const SimClock* clock() const { return clock_; }
+
+  void Emit(uint32_t subsystem_id, uint32_t name_id, EventSeverity severity,
+            uint64_t arg0, uint64_t arg1) {
+    FlightEvent event;
+    event.time = clock_ != nullptr ? clock_->now() : 0;
+    event.subsystem = subsystem_id;
+    event.name = name_id;
+    event.severity = severity;
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    ring_.Append(event);
+  }
+
+  void EmitDetail(uint32_t subsystem_id, uint32_t name_id,
+                  EventSeverity severity, uint64_t arg0, uint64_t arg1,
+                  std::string_view detail);
+
+  // Oldest-to-newest view of the retained window, ids resolved.
+  std::vector<FlightEventView> Snapshot() const;
+
+  size_t capacity() const { return ring_.capacity(); }
+  uint64_t events_emitted() const { return ring_.appended(); }
+  uint64_t events_dropped() const { return ring_.dropped(); }
+  void Clear() { ring_.Clear(); }
+
+ private:
+  const SimClock* clock_;
+  EventRing<FlightEvent> ring_;
+  bool enabled_;
+  bool capturing_logs_ = false;
+};
+
+}  // namespace flux
+
+// ----- instrumentation macros -----
+//
+// FLUX_EVENT(recorder*, subsystem_sv, name_sv, severity, arg0, arg1) and
+// FLUX_EVENT_DETAIL(..., detail_sv). Subsystem/name are interned once per
+// call site (function-local statics), so the steady-state cost is a
+// null+enabled check and a relaxed ring append. Under FLUX_TRACE_ENABLED=0
+// both collapse to a discarded dead branch, mirroring FLUX_TRACE_*.
+#if FLUX_TRACE_ENABLED
+
+#define FLUX_EVENT(recorder, subsystem, name, severity, a0, a1)         \
+  do {                                                                  \
+    ::flux::FlightRecorder* flux_event_r = (recorder);                  \
+    if (flux_event_r != nullptr && flux_event_r->enabled()) {           \
+      static const uint32_t flux_event_sub =                           \
+          ::flux::Interner::Global().Intern(subsystem);                \
+      static const uint32_t flux_event_name =                          \
+          ::flux::Interner::Global().Intern(name);                     \
+      flux_event_r->Emit(flux_event_sub, flux_event_name, (severity),   \
+                         static_cast<uint64_t>(a0),                     \
+                         static_cast<uint64_t>(a1));                    \
+    }                                                                   \
+  } while (0)
+
+#define FLUX_EVENT_DETAIL(recorder, subsystem, name, severity, a0, a1,  \
+                          detail)                                       \
+  do {                                                                  \
+    ::flux::FlightRecorder* flux_event_r = (recorder);                  \
+    if (flux_event_r != nullptr && flux_event_r->enabled()) {           \
+      static const uint32_t flux_event_sub =                           \
+          ::flux::Interner::Global().Intern(subsystem);                \
+      static const uint32_t flux_event_name =                          \
+          ::flux::Interner::Global().Intern(name);                     \
+      flux_event_r->EmitDetail(flux_event_sub, flux_event_name,         \
+                               (severity), static_cast<uint64_t>(a0),   \
+                               static_cast<uint64_t>(a1), (detail));    \
+    }                                                                   \
+  } while (0)
+
+#else  // !FLUX_TRACE_ENABLED
+
+#define FLUX_EVENT_DISCARD_(...)      \
+  do {                                \
+    if (false) {                      \
+      (void)sizeof((__VA_ARGS__, 0)); \
+    }                                 \
+  } while (0)
+#define FLUX_EVENT(recorder, subsystem, name, severity, a0, a1) \
+  FLUX_EVENT_DISCARD_((recorder), (subsystem), (name), (severity), (a0), (a1))
+#define FLUX_EVENT_DETAIL(recorder, subsystem, name, severity, a0, a1, \
+                          detail)                                      \
+  FLUX_EVENT_DISCARD_((recorder), (subsystem), (name), (severity), (a0), \
+                      (a1), (detail))
+
+#endif  // FLUX_TRACE_ENABLED
+
+#endif  // FLUX_SRC_FLUX_FLIGHT_RECORDER_H_

@@ -9,6 +9,8 @@ FluxAgent::FluxAgent(Device& device)
       chunk_cache_(device.profile().chunk_cache_budget_bytes) {
   recorder_.set_clock(&device.clock());
   recorder_.Arm(device.binder());
+  recorder_.set_flight_recorder(&device.flight_recorder());
+  chunk_cache_.set_flight_recorder(&device.flight_recorder());
 }
 
 FluxAgent::~FluxAgent() { recorder_.Disarm(device_.binder()); }

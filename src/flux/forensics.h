@@ -1,0 +1,117 @@
+// Failure forensics (OBSERVABILITY.md): the report cut when a migration
+// rolls back or a replay call fails.
+//
+// The flight recorder retains the last N structured events per device; this
+// module freezes that evidence the moment something goes wrong. A forensic
+// report bundles, for one failed (or partially failed) migration:
+//  - both devices' flight-recorder rings, resolved to strings;
+//  - the Status cause chain (src/base/result.h) from the failure site up;
+//  - the tracer's still-open spans and a full counter dump, when a tracer
+//    was attached;
+//  - the Adaptive Replay audit journal: one entry per replayed call with
+//    its outcome (verbatim / proxied / skipped / adapted / failed) and the
+//    proxy's adaptation note, cross-checked against the frozen record log.
+//
+// Reports render as JSON (stable schema, validated by
+// scripts/check_forensics.py) and as human-readable text.
+#ifndef FLUX_SRC_FLUX_FORENSICS_H_
+#define FLUX_SRC_FLUX_FORENSICS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/sim_clock.h"
+#include "src/flux/flight_recorder.h"
+
+namespace flux {
+
+class CallLog;
+class Tracer;
+
+// ----- replay audit journal -----
+
+// How one recorded call fared during Adaptive Replay.
+enum class ReplayOutcome : uint8_t {
+  kVerbatim = 0,  // re-issued unchanged
+  kProxied = 1,   // handled by a @replayproxy, no adaptation needed
+  kSkipped = 2,   // proxy decided the call is moot on the guest
+  kAdapted = 3,   // proxy modified the call for the guest
+  kFailed = 4,
+};
+
+std::string_view ReplayOutcomeName(ReplayOutcome outcome);
+
+struct ReplayAuditEntry {
+  uint64_t index = 0;  // position in the replayed log
+  uint64_t seq = 0;    // CallRecord::seq from the frozen log
+  std::string interface;
+  std::string method;
+  ReplayOutcome outcome = ReplayOutcome::kVerbatim;
+  std::string detail;  // adaptation note or failure status
+};
+
+struct ReplayAuditJournal {
+  std::vector<ReplayAuditEntry> entries;
+  // Cross-check against the frozen record log (CrossCheckJournal): how many
+  // calls the log holds, and any discrepancies found.
+  uint64_t log_calls = 0;
+  std::vector<std::string> mismatches;
+};
+
+// Verifies the journal covers the frozen log call-for-call: same count,
+// same interface/method at each index. Fills `journal.log_calls` and
+// appends human-readable discrepancies to `journal.mismatches` (none on a
+// clean pass). A truncated journal (replay aborted mid-log) reports the
+// uncovered tail as a single mismatch.
+void CrossCheckJournal(ReplayAuditJournal& journal, const CallLog& log);
+
+// ----- forensic report -----
+
+// One link of a Status cause chain, outermost first.
+struct ForensicCause {
+  std::string code;
+  std::string message;
+};
+
+struct ForensicReport {
+  std::string app;
+  std::string home_device;
+  std::string guest_device;
+  // Which migration phase failed ("prepare", "checkpoint", "transfer",
+  // "restore", "reintegrate", or "replay" for a partial replay on an
+  // otherwise successful migration).
+  std::string failure_phase;
+  SimTime captured_at = 0;
+  bool rolled_back = false;
+
+  // The failure Status and its cause chain, outermost first.
+  std::vector<ForensicCause> cause_chain;
+
+  // Flight-recorder snapshots from both devices, oldest first.
+  std::vector<FlightEventView> home_events;
+  std::vector<FlightEventView> guest_events;
+
+  // Tracer state at capture time (empty without a tracer).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::string> open_spans;
+
+  ReplayAuditJournal replay_journal;
+};
+
+// Builds the cause-chain rows from a Status (no-op for OK).
+std::vector<ForensicCause> FlattenCauseChain(const Status& status);
+
+// Stable JSON rendering (schema checked by scripts/check_forensics.py).
+void WriteForensicReport(const ForensicReport& report, std::ostream& out);
+std::string ForensicReportJson(const ForensicReport& report);
+
+// Human-readable rendering for terminals and test logs.
+std::string ForensicReportText(const ForensicReport& report);
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_FLUX_FORENSICS_H_

@@ -534,11 +534,16 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
     for (size_t s = 0; s < stages.size(); ++s) {
       const std::string track =
           std::string(trace_names::kTrackPipelinePrefix) + stages[s].name;
+      // Per-chunk stage latencies also feed the pipeline.<stage>_us
+      // histograms (the name matches the kHistPipeline* constants).
+      TraceHistogram* hist =
+          trace->histogram("pipeline." + stages[s].name + "_us");
       for (size_t i = 0; i < count; ++i) {
         const SimDuration cost = stages[s].chunk_cost[i];
         if (cost <= 0) {
           continue;
         }
+        hist->Record(static_cast<uint64_t>(cost));
         const SimTime end = t0 + plan.finish[s][i];
         trace->EmitSpanOnTrack("chunk " + std::to_string(i), track,
                                end - cost, end);
@@ -664,7 +669,8 @@ Result<CriaRestoredApp> MigrationManager::RestoreOnGuest(
 Status MigrationManager::Reintegrate(CriaRestoredApp& restored,
                                      const CallLog& log,
                                      const HardwareSnapshot& home_hw,
-                                     MigrationReport& report) {
+                                     MigrationReport& report,
+                                     ReplayAuditJournal& journal) {
   Device& guest_device = guest_.device();
   ScopedTimer timer(guest_device.clock(), report.reintegrate);
 
@@ -675,8 +681,9 @@ Status MigrationManager::Reintegrate(CriaRestoredApp& restored,
 
   {
     ScopedTimer replay_timer(guest_device.clock(), report.replay_window);
-    FLUX_ASSIGN_OR_RETURN(report.replay,
-                          guest_.replayer().Replay(log, restored, home_hw));
+    FLUX_ASSIGN_OR_RETURN(
+        report.replay,
+        guest_.replayer().Replay(log, restored, home_hw, &journal));
   }
 
   // The log keeps living on the guest so the app can migrate again.
@@ -720,6 +727,11 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
   guest_.set_tracer(config_.trace);
   home_.device().wifi().set_tracer(config_.trace);
   guest_.device().wifi().set_tracer(config_.trace);
+  // The shared network has no device of its own; its outage/transfer events
+  // land in the home ring for the duration of this migration.
+  home_.device().wifi().set_flight_recorder(
+      &home_.device().flight_recorder());
+  FlightRecorder* home_rec = &home_.device().flight_recorder();
 
   if (app.device != &home_.device()) {
     return InvalidArgument("app is not running on the home agent's device");
@@ -727,41 +739,57 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
   if (!home_.IsPairedWith(guest_.device().name())) {
     return FailedPrecondition("devices are not paired");
   }
+  FLUX_EVENT_DETAIL(home_rec, flight_events::kSubMigration,
+                    flight_events::kMigrationStart, EventSeverity::kInfo,
+                    static_cast<uint64_t>(app.pid), 0,
+                    app.package + " -> " + report.guest_device);
+
+  auto refuse = [&](std::string reason) -> MigrationReport {
+    report.refusal_reason = std::move(reason);
+    FLUX_EVENT_DETAIL(home_rec, flight_events::kSubMigration,
+                      flight_events::kMigrationRefused,
+                      EventSeverity::kWarning,
+                      static_cast<uint64_t>(app.pid), 0,
+                      report.refusal_reason);
+    return report;
+  };
+
   // API-level compatibility (§3.1).
   const PackageInfo* info =
       home_.device().package_manager().Find(app.package);
   if (info != nullptr &&
       info->min_api_level > guest_.device().context().api_level) {
-    report.refusal_reason = StrFormat(
-        "app requires API level %d but guest runs %d", info->min_api_level,
-        guest_.device().context().api_level);
-    return report;
+    return refuse(StrFormat("app requires API level %d but guest runs %d",
+                            info->min_api_level,
+                            guest_.device().context().api_level));
   }
 
   // Up-front refusals (§3.4): these leave the app running untouched.
   if (!config_.enable_multiprocess &&
       home_.device().kernel().ProcessesOfUid(app.uid).size() > 1) {
-    report.refusal_reason = "multi-process apps are not supported";
-    return report;
+    return refuse("multi-process apps are not supported");
   }
   if (home_.device().egl().HasPreservedContext(app.pid)) {
-    report.refusal_reason =
+    return refuse(
         "app requests its EGL context persist in the background "
-        "(setPreserveEGLContextOnPause)";
-    return report;
+        "(setPreserveEGLContextOnPause)");
   }
   CriaCheckOptions check;
   check.allow_multiprocess = config_.enable_multiprocess;
   if (Status migratable =
           Cria::CheckMigratable(home_.device(), app.pid, check);
       !migratable.ok()) {
-    report.refusal_reason = std::string(migratable.message());
-    return report;
+    return refuse(std::string(migratable.message()));
   }
 
+  // Filled by Reintegrate's replay pass; rolled into the forensic report
+  // whether the migration aborts or merely limps (partial replay failure).
+  ReplayAuditJournal journal;
+
   // From here on the app is frozen at home; any failure before the guest
-  // copy is live must roll the home copy back to a usable state.
-  auto rollback = [&](const Status& cause) -> Status {
+  // copy is live must roll the home copy back to a usable state. `phase`
+  // names the pipeline stage that failed, for the forensic report.
+  auto rollback = [&](const char* phase, const Status& cause) -> Status {
     // A restore that failed partway may have left wrapper processes on the
     // guest; tear them down so the guest is clean for the next attempt.
     if (const PackageInfo* wrapper =
@@ -775,21 +803,52 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
     home_.recorder().ResumeRecording(app.pid);
     Status fg = app.device->activity_manager().BringAppToForeground(app.pid);
     if (!fg.ok()) {
+      // Double fault: the rollback itself failed and the app is in limbo —
+      // the worst state this pipeline can reach. Counted and journaled so
+      // a fleet can alert on it.
+      FLUX_TRACE_COUNT(config_.trace,
+                       trace_names::kMigrationRollbackFailures, 1);
+      FLUX_EVENT_DETAIL(home_rec, flight_events::kSubMigration,
+                        flight_events::kMigrationRollbackFailed,
+                        EventSeverity::kError,
+                        static_cast<uint64_t>(app.pid), 0, fg.ToString());
       FLUX_LOG(kError, "migration")
           << "rollback foreground failed: " << fg.ToString();
     }
+    FLUX_EVENT_DETAIL(home_rec, flight_events::kSubMigration,
+                      flight_events::kMigrationRollback,
+                      EventSeverity::kError, static_cast<uint64_t>(app.pid),
+                      0, phase);
     FLUX_LOG(kWarning, "migration")
         << report.app << ": migration aborted (" << cause.ToString()
         << "); app resumed on " << report.home_device;
-    return cause;
+    // Freeze the evidence only after the rollback ran, so its own events
+    // (including a double fault) are in the snapshot.
+    last_forensics_ =
+        BuildForensics(phase, cause, /*rolled_back=*/true, std::move(journal),
+                       report);
+    return cause.WithCause(
+        Internal(StrFormat("migration of %s from %s to %s aborted during "
+                           "%s; app rolled back to %s",
+                           report.app.c_str(), report.home_device.c_str(),
+                           report.guest_device.c_str(), phase,
+                           report.home_device.c_str())));
   };
 
-  FLUX_RETURN_IF_ERROR(Prepare(app, report));
+  if (Status prepared = Prepare(app, report); !prepared.ok()) {
+    return rollback("prepare", prepared);
+  }
+  FLUX_EVENT(home_rec, flight_events::kSubMigration,
+             flight_events::kMigrationPrepared, EventSeverity::kInfo,
+             static_cast<uint64_t>(app.pid), 0);
   auto payload_result = BuildPayload(app, report);
   if (!payload_result.ok()) {
-    return rollback(payload_result.status());
+    return rollback("checkpoint", payload_result.status());
   }
   Bytes payload = payload_result.TakeValue();
+  FLUX_EVENT(home_rec, flight_events::kSubMigration,
+             flight_events::kMigrationCheckpointed, EventSeverity::kInfo,
+             payload.size(), report.image_raw_bytes);
   if (config_.payload_fault) {
     // Test hook: corrupt the payload between checkpoint and transfer, as a
     // wire or storage fault would.
@@ -802,7 +861,7 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
     if (Status transferred =
             TransferPipelined(app, spec, payload.size(), report);
         !transferred.ok()) {
-      return rollback(transferred);
+      return rollback("transfer", transferred);
     }
   } else {
     // Post-copy (§4's proposed optimization): only the hot working set of
@@ -818,19 +877,33 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
     }
     if (Status transferred = Transfer(app, spec, foreground_bytes, report);
         !transferred.ok()) {
-      return rollback(transferred);
+      return rollback("transfer", transferred);
     }
   }
+  FLUX_EVENT(home_rec, flight_events::kSubMigration,
+             flight_events::kMigrationTransferred, EventSeverity::kInfo,
+             report.total_wire_bytes, 0);
 
   CallLog log;
   HardwareSnapshot home_hw;
   auto restored_result = RestoreOnGuest(
       ByteSpan(payload.data(), payload.size()), report, log, home_hw);
   if (!restored_result.ok()) {
-    return rollback(restored_result.status());
+    return rollback("restore", restored_result.status());
   }
   CriaRestoredApp restored = restored_result.TakeValue();
-  FLUX_RETURN_IF_ERROR(Reintegrate(restored, log, home_hw, report));
+  FLUX_EVENT(&guest_.device().flight_recorder(), flight_events::kSubMigration,
+             flight_events::kMigrationRestored, EventSeverity::kInfo,
+             static_cast<uint64_t>(restored.pid), 0);
+  if (Status reintegrated =
+          Reintegrate(restored, log, home_hw, report, journal);
+      !reintegrated.ok()) {
+    // The replay journal covers however far replay got; cross-check it
+    // against the frozen log before the evidence is bundled.
+    CrossCheckJournal(journal, log);
+    return rollback("reintegrate", reintegrated);
+  }
+  CrossCheckJournal(journal, log);
 
   if (report.deferred_bytes > 0) {
     // The deferred bytes streamed while restore + reintegration ran; only
@@ -864,6 +937,22 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
   report.migrated.package = restored.package;
   report.migrated.display_name = report.app;
   report.migrated.thread = restored.thread;
+  FLUX_EVENT(&guest_.device().flight_recorder(), flight_events::kSubMigration,
+             flight_events::kMigrationComplete, EventSeverity::kInfo,
+             static_cast<uint64_t>(restored.pid), report.total_wire_bytes);
+  if (report.replay.failed > 0) {
+    // The migration survived, but not unscathed: some replayed calls
+    // failed on the guest. Attach the evidence to the report so the caller
+    // can diagnose without re-running.
+    last_forensics_ = BuildForensics(
+        "replay",
+        Internal(StrFormat("%d of %d replayed calls failed on %s",
+                           report.replay.failed,
+                           static_cast<int>(journal.entries.size()),
+                           report.guest_device.c_str())),
+        /*rolled_back=*/false, std::move(journal), report);
+    report.forensics = last_forensics_;
+  }
   FLUX_LOG(kInfo, "migration")
       << report.app << ": " << report.home_device << " -> "
       << report.guest_device << " in "
@@ -871,6 +960,29 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
       << report.total_wire_bytes / 1024 << " KB transferred)";
   EmitTraceSpans(report);
   return report;
+}
+
+std::shared_ptr<ForensicReport> MigrationManager::BuildForensics(
+    const char* phase, const Status& cause, bool rolled_back,
+    ReplayAuditJournal journal, const MigrationReport& report) {
+  auto forensics = std::make_shared<ForensicReport>();
+  forensics->app = report.app;
+  forensics->home_device = report.home_device;
+  forensics->guest_device = report.guest_device;
+  forensics->failure_phase = phase;
+  forensics->captured_at = home_.device().clock().now();
+  forensics->rolled_back = rolled_back;
+  forensics->cause_chain = FlattenCauseChain(cause);
+  forensics->home_events = home_.device().flight_recorder().Snapshot();
+  forensics->guest_events = guest_.device().flight_recorder().Snapshot();
+#if FLUX_TRACE_ENABLED
+  if (config_.trace != nullptr) {
+    forensics->counters = config_.trace->Counters();
+    forensics->open_spans = config_.trace->OpenSpanNames();
+  }
+#endif
+  forensics->replay_journal = std::move(journal);
+  return forensics;
 }
 
 void MigrationManager::EmitTraceSpans(const MigrationReport& report) {

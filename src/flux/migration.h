@@ -26,6 +26,7 @@
 #include "src/base/hash.h"
 #include "src/cria/cria.h"
 #include "src/flux/flux_agent.h"
+#include "src/flux/forensics.h"
 #include "src/flux/pairing.h"
 #include "src/flux/pipeline.h"
 #include "src/flux/trace.h"
@@ -180,6 +181,12 @@ struct MigrationReport {
 
   // Where the app lives now.
   RunningApp migrated;
+
+  // Set when something went wrong that did not abort the migration — some
+  // replayed calls failed but the app is live on the guest. Aborted
+  // migrations return an error Status instead; their forensics hang off
+  // MigrationManager::last_forensics().
+  std::shared_ptr<const ForensicReport> forensics;
 };
 
 class MigrationManager {
@@ -194,6 +201,14 @@ class MigrationManager {
   // with an OK status).
   Result<MigrationReport> Migrate(const RunningApp& app,
                                   const AppSpec& spec);
+
+  // The forensic report cut by the most recent failed (rolled-back or
+  // partially failed) migration; null until something goes wrong. Snapshots
+  // both devices' flight-recorder rings, the Status cause chain, the
+  // tracer's counters and still-open spans, and the replay audit journal.
+  std::shared_ptr<const ForensicReport> last_forensics() const {
+    return last_forensics_;
+  }
 
  private:
   Status Prepare(const RunningApp& app, MigrationReport& report);
@@ -216,7 +231,16 @@ class MigrationManager {
                                          HardwareSnapshot& hw_out);
   Status Reintegrate(CriaRestoredApp& restored, const CallLog& log,
                      const HardwareSnapshot& home_hw,
-                     MigrationReport& report);
+                     MigrationReport& report, ReplayAuditJournal& journal);
+
+  // Freezes the failure evidence: both flight-recorder rings, the cause
+  // chain, tracer counters + open spans, and the (already cross-checked)
+  // replay audit journal.
+  std::shared_ptr<ForensicReport> BuildForensics(const char* phase,
+                                                 const Status& cause,
+                                                 bool rolled_back,
+                                                 ReplayAuditJournal journal,
+                                                 const MigrationReport& report);
 
   // Advances the shared clock to `target` in transfer_tick slices, ticking
   // both devices at each boundary so their timers observe time passing.
@@ -241,6 +265,7 @@ class MigrationManager {
   // Absolute end of the overlapped decompress+restore stages, set by
   // TransferPipelined and consumed by RestoreOnGuest.
   SimTime pipeline_restore_deadline_ = 0;
+  std::shared_ptr<const ForensicReport> last_forensics_;
 };
 
 }  // namespace flux

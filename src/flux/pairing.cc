@@ -88,6 +88,12 @@ Result<PairingStats> PairDevices(FluxAgent& home, FluxAgent& guest,
   home.MarkPaired(g.name());
   guest.MarkPaired(h.name());
   stats.elapsed = static_cast<SimDuration>(h.clock().now() - begin);
+  FLUX_EVENT_DETAIL(&h.flight_recorder(), flight_events::kSubPairing,
+                    flight_events::kPairingDevices, EventSeverity::kInfo,
+                    stats.framework_wire_bytes, stats.elapsed, g.name());
+  FLUX_EVENT_DETAIL(&g.flight_recorder(), flight_events::kSubPairing,
+                    flight_events::kPairingDevices, EventSeverity::kInfo,
+                    stats.framework_wire_bytes, stats.elapsed, h.name());
   FLUX_LOG(kInfo, "pairing")
       << h.name() << " -> " << g.name() << ": "
       << stats.framework_total_bytes / (1024 * 1024) << " MB constant, "
@@ -151,6 +157,9 @@ Result<uint64_t> PairApp(FluxAgent& home, FluxAgent& guest,
       g.package_manager().PseudoInstall(std::move(wrapper), h.name()));
 
   TransferBetween(home, guest, wire, trace);
+  FLUX_EVENT_DETAIL(&h.flight_recorder(), flight_events::kSubPairing,
+                    flight_events::kPairingApp, EventSeverity::kInfo, wire, 0,
+                    spec.package);
   return wire;
 }
 
@@ -174,6 +183,10 @@ Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
                           g.filesystem().FileHash(paired_apk));
     if (guest_hash == home_hash) {
       TransferBetween(home, guest, wire, trace);
+      FLUX_EVENT_DETAIL(&h.flight_recorder(), flight_events::kSubPairing,
+                        flight_events::kPairingVerifyApk,
+                        EventSeverity::kInfo, wire, /*resynced=*/0,
+                        spec.package);
       return wire;
     }
   }
@@ -186,6 +199,9 @@ Result<uint64_t> VerifyPairedApk(FluxAgent& home, FluxAgent& guest,
                FluxAgent::PairRoot(h.name()) + "/data/app", options));
   wire += sync.WireBytes();
   TransferBetween(home, guest, wire, trace);
+  FLUX_EVENT_DETAIL(&h.flight_recorder(), flight_events::kSubPairing,
+                    flight_events::kPairingVerifyApk, EventSeverity::kInfo,
+                    wire, /*resynced=*/1, spec.package);
   return wire;
 }
 

@@ -32,6 +32,8 @@ void RecordEngine::set_tracer(Tracer* tracer) {
       tracer ? tracer->counter(trace_names::kRecordCallsPruned) : nullptr;
   trace_suppressed_ =
       tracer ? tracer->counter(trace_names::kRecordCallsSuppressed) : nullptr;
+  hist_txn_cost_ =
+      tracer ? tracer->histogram(trace_names::kHistRecordTxn) : nullptr;
 #else
   (void)tracer;
 #endif
@@ -42,14 +44,25 @@ void RecordEngine::TrackApp(Pid pid, std::string package) {
   it->second.package = std::move(package);
   it->second.paused = false;
   (void)inserted;  // re-tracking keeps the existing log
+  FLUX_EVENT_DETAIL(flight_recorder_, flight_events::kSubRecord,
+                    flight_events::kRecordTracked, EventSeverity::kInfo,
+                    static_cast<uint64_t>(pid), 0, it->second.package);
 }
 
-void RecordEngine::UntrackApp(Pid pid) { apps_.erase(pid); }
+void RecordEngine::UntrackApp(Pid pid) {
+  apps_.erase(pid);
+  FLUX_EVENT(flight_recorder_, flight_events::kSubRecord,
+             flight_events::kRecordUntracked, EventSeverity::kInfo,
+             static_cast<uint64_t>(pid), 0);
+}
 
 void RecordEngine::PauseRecording(Pid pid) {
   auto it = apps_.find(pid);
   if (it != apps_.end()) {
     it->second.paused = true;
+    FLUX_EVENT(flight_recorder_, flight_events::kSubRecord,
+               flight_events::kRecordPaused, EventSeverity::kInfo,
+               static_cast<uint64_t>(pid), 0);
   }
 }
 
@@ -57,6 +70,9 @@ void RecordEngine::ResumeRecording(Pid pid) {
   auto it = apps_.find(pid);
   if (it != apps_.end()) {
     it->second.paused = false;
+    FLUX_EVENT(flight_recorder_, flight_events::kSubRecord,
+               flight_events::kRecordResumed, EventSeverity::kInfo,
+               static_cast<uint64_t>(pid), 0);
   }
 }
 
@@ -119,6 +135,8 @@ void RecordEngine::OnTransaction(const TransactionInfo& info) {
     app.log.Append(std::move(record));
     ++stats_.calls_recorded;
     FLUX_TRACE_COUNTER_ADD(trace_recorded_, 1);
+    FLUX_TRACE_HIST_RECORD(hist_txn_cost_,
+                           static_cast<uint64_t>(record_cost_));
     if (clock_ != nullptr) {
       clock_->Advance(record_cost_);
     }

@@ -30,6 +30,7 @@
 #include "src/aidl/record_rules.h"
 #include "src/binder/binder_driver.h"
 #include "src/flux/call_log.h"
+#include "src/flux/flight_recorder.h"
 #include "src/flux/trace.h"
 
 namespace flux {
@@ -76,6 +77,13 @@ class RecordEngine : public TransactionObserver {
   // and lookup-free.
   void set_tracer(Tracer* tracer);
 
+  // Flight-recorder events for app-tracking lifecycle transitions
+  // (record.tracked/untracked/paused/resumed); the per-transaction fast
+  // lane emits nothing.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
   // ----- TransactionObserver -----
   void OnTransaction(const TransactionInfo& info) override;
 
@@ -104,6 +112,8 @@ class RecordEngine : public TransactionObserver {
   TraceCounter* trace_recorded_ = nullptr;
   TraceCounter* trace_pruned_ = nullptr;
   TraceCounter* trace_suppressed_ = nullptr;
+  TraceHistogram* hist_txn_cost_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
 
  public:
   // Optional: charge record costs to this clock.

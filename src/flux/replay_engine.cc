@@ -70,19 +70,61 @@ bool ReplayEngine::HasProxy(std::string_view qualified_name) const {
 
 Result<ReplayStats> ReplayEngine::Replay(const CallLog& log,
                                          CriaRestoredApp& app,
-                                         const HardwareSnapshot& home_hw) {
+                                         const HardwareSnapshot& home_hw,
+                                         ReplayAuditJournal* journal) {
   ReplayContext context;
   context.guest = &guest_;
   context.app = &app;
   context.home_hw = home_hw;
 
+  FlightRecorder* recorder = &guest_.flight_recorder();
+  FLUX_EVENT(recorder, flight_events::kSubReplay, flight_events::kReplayStart,
+             EventSeverity::kInfo, log.size(),
+             static_cast<uint64_t>(app.pid));
+  TraceHistogram* hist_call = nullptr;
+#if FLUX_TRACE_ENABLED
+  if (tracer_ != nullptr) {
+    hist_call = tracer_->histogram(trace_names::kHistReplayCall);
+  }
+#endif
+  (void)hist_call;
+
+  // Appends one audit row per call; kept cheap (no-op) without a journal.
+  uint64_t index = 0;
+  auto journal_call = [&](const CallRecord& record, ReplayOutcome outcome,
+                          std::string detail) {
+    if (outcome == ReplayOutcome::kFailed) {
+      FLUX_EVENT_DETAIL(recorder, flight_events::kSubReplay,
+                        flight_events::kReplayCallFailed,
+                        EventSeverity::kWarning, index, record.seq,
+                        record.interface + "." + record.method);
+    }
+    if (journal != nullptr) {
+      ReplayAuditEntry entry;
+      entry.index = index;
+      entry.seq = record.seq;
+      entry.interface = record.interface;
+      entry.method = record.method;
+      entry.outcome = outcome;
+      entry.detail = std::move(detail);
+      journal->entries.push_back(std::move(entry));
+    }
+    ++index;
+  };
+
   for (const CallRecord& record : log.entries()) {
+    context.audit_note.clear();
+    const ReplayStats before = context.stats;
+    const SimTime call_begin = guest_.clock().now();
     const RecordRule* rule =
         guest_.record_rules().FindRule(record.interface, record.method);
     if (rule != nullptr && !rule->replay_proxy.empty()) {
       auto it = proxies_.find(rule->replay_proxy);
       if (it == proxies_.end()) {
-        return Internal("no replay proxy registered as " + rule->replay_proxy);
+        Status status =
+            Internal("no replay proxy registered as " + rule->replay_proxy);
+        journal_call(record, ReplayOutcome::kFailed, status.ToString());
+        return status;
       }
       ++context.stats.proxied;
       Status status = it->second(record, context);
@@ -91,19 +133,37 @@ Result<ReplayStats> ReplayEngine::Replay(const CallLog& log,
         FLUX_LOG(kWarning, "replay")
             << record.interface << "." << record.method
             << " proxy failed: " << status.ToString();
+        journal_call(record, ReplayOutcome::kFailed, status.ToString());
+      } else if (context.stats.skipped > before.skipped) {
+        journal_call(record, ReplayOutcome::kSkipped, context.audit_note);
+      } else if (context.stats.adapted > before.adapted) {
+        journal_call(record, ReplayOutcome::kAdapted, context.audit_note);
+      } else {
+        journal_call(record, ReplayOutcome::kProxied, context.audit_note);
       }
+      FLUX_TRACE_HIST_RECORD(hist_call, guest_.clock().now() - call_begin);
       continue;
     }
     auto reply = context.Reissue(record);
     if (reply.ok()) {
       ++context.stats.replayed;
+      journal_call(record, ReplayOutcome::kVerbatim, {});
     } else {
       ++context.stats.failed;
       FLUX_LOG(kWarning, "replay")
           << record.interface << "." << record.method
           << " replay failed: " << reply.status().ToString();
+      journal_call(record, ReplayOutcome::kFailed,
+                   reply.status().ToString());
     }
+    FLUX_TRACE_HIST_RECORD(hist_call, guest_.clock().now() - call_begin);
   }
+  FLUX_EVENT(recorder, flight_events::kSubReplay, flight_events::kReplayDone,
+             context.stats.failed > 0 ? EventSeverity::kWarning
+                                      : EventSeverity::kInfo,
+             static_cast<uint64_t>(context.stats.replayed +
+                                   context.stats.proxied),
+             static_cast<uint64_t>(context.stats.failed));
   FLUX_TRACE_COUNT(tracer_, trace_names::kReplayCallsReplayed,
                    static_cast<uint64_t>(context.stats.replayed));
   FLUX_TRACE_COUNT(tracer_, trace_names::kReplayCallsProxied,
@@ -130,6 +190,7 @@ void ReplayEngine::RegisterDefaultProxies() {
         }
         if (static_cast<SimTime>(*trigger_at) <= ctx.app->checkpoint_time) {
           ++ctx.stats.skipped;
+          ctx.audit_note = "alarm trigger predates checkpoint";
           return OkStatus();
         }
         FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
@@ -163,6 +224,9 @@ void ReplayEngine::RegisterDefaultProxies() {
           new_index = static_cast<int>(std::lround(
               static_cast<double>(*index) * guest_max / home_max));
           ++ctx.stats.adapted;
+          ctx.audit_note =
+              StrFormat("volume %d of %d rescaled to %d of %d", *index,
+                        home_max, new_index, guest_max);
         }
         CallRecord adapted = record;
         *std::get_if<int32_t>(
@@ -183,6 +247,7 @@ void ReplayEngine::RegisterDefaultProxies() {
                                     : nullptr;
         if (enable != nullptr && guest_.wifi_service().enabled() == *enable) {
           ++ctx.stats.skipped;
+          ctx.audit_note = "guest wifi state already matches";
           return OkStatus();
         }
         FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
@@ -206,6 +271,7 @@ void ReplayEngine::RegisterDefaultProxies() {
           *std::get_if<std::string>(const_cast<ParcelValue*>(
               adapted.args.FindNamed("provider"))) = "network";
           ++ctx.stats.adapted;
+          ctx.audit_note = "guest lacks GPS; provider gps -> network";
           FLUX_LOG(kInfo, "replay")
               << "guest lacks GPS; forwarding location request to the "
                  "network provider";
@@ -234,6 +300,7 @@ void ReplayEngine::RegisterDefaultProxies() {
             record.time + static_cast<SimTime>(Millis(*ms)) <=
                 ctx.app->checkpoint_time) {
           ++ctx.stats.skipped;
+          ctx.audit_note = "vibration finished before checkpoint";
           return OkStatus();
         }
         FLUX_ASSIGN_OR_RETURN(Parcel reply, ctx.Reissue(record));
@@ -246,6 +313,7 @@ void ReplayEngine::RegisterDefaultProxies() {
       [this](const CallRecord& record, ReplayContext& ctx) -> Status {
         if (!guest_.context().has_camera) {
           ++ctx.stats.skipped;
+          ctx.audit_note = "guest has no camera";
           FLUX_LOG(kWarning, "replay")
               << "guest has no camera; offering network passthrough instead "
                  "of replaying connect";
@@ -285,6 +353,9 @@ void ReplayEngine::RegisterDefaultProxies() {
           return install;
         }
         ++ctx.stats.adapted;
+        ctx.audit_note = StrFormat(
+            "connection recreated under original handle %llu",
+            static_cast<unsigned long long>(old_handle));
         return OkStatus();
       });
 
@@ -306,6 +377,8 @@ void ReplayEngine::RegisterDefaultProxies() {
           FLUX_RETURN_IF_ERROR(process->CloseFd(new_fd));
         }
         ++ctx.stats.adapted;
+        ctx.audit_note = StrFormat("event channel dup2'd %d -> %d", new_fd,
+                                   old_fd);
         return OkStatus();
       });
 }

@@ -21,6 +21,7 @@
 
 #include "src/cria/cria.h"
 #include "src/flux/call_log.h"
+#include "src/flux/forensics.h"
 #include "src/flux/hardware_snapshot.h"
 #include "src/flux/trace.h"
 
@@ -40,6 +41,10 @@ struct ReplayContext {
   CriaRestoredApp* app = nullptr;
   HardwareSnapshot home_hw;
   ReplayStats stats;
+  // Proxies describe what they did with the current call here ("volume 11
+  // -> 7 of 15", "stale alarm"); the engine copies it into the audit
+  // journal entry and clears it between calls.
+  std::string audit_note;
 
   // Resolves the guest-side Binder handle for a recorded call's target.
   Result<uint64_t> ResolveTarget(const CallRecord& record);
@@ -62,9 +67,13 @@ class ReplayEngine {
   bool HasProxy(std::string_view qualified_name) const;
 
   // Replays the whole log in order. `home_hw` captures the home device's
-  // hardware profile at checkpoint time.
+  // hardware profile at checkpoint time. With `journal` set, every call
+  // appends an audit entry (outcome + adaptation detail) — the raw material
+  // for forensic reports; a structural failure still journals the call that
+  // broke before returning the error.
   Result<ReplayStats> Replay(const CallLog& log, CriaRestoredApp& app,
-                             const HardwareSnapshot& home_hw);
+                             const HardwareSnapshot& home_hw,
+                             ReplayAuditJournal* journal = nullptr);
 
   // Replay is cold (one pass per migration), so counters are flushed from
   // the finished ReplayStats rather than incremented per call.

@@ -50,11 +50,73 @@ void AppendJsonEscaped(std::string& out, std::string_view s) {
 
 }  // namespace
 
+void TraceHistogram::Snapshot::Merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double TraceHistogram::Snapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  p = std::min(std::max(p, 0.0), 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    const uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      // Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds only 0.
+      if (b == 0) {
+        return 0.0;
+      }
+      const double lo = static_cast<double>(1ull << (b - 1));
+      double hi = b < 63 ? static_cast<double>(1ull << b)
+                         : static_cast<double>(max);
+      hi = std::min(hi, static_cast<double>(max));
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      return lo + std::min(std::max(frac, 0.0), 1.0) * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+TraceHistogram::Snapshot TraceHistogram::Take() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
 TraceCounter* Tracer::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<TraceCounter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+TraceHistogram* Tracer::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<TraceHistogram>())
              .first;
   }
   return it->second.get();
@@ -67,6 +129,7 @@ size_t Tracer::OpenSpan(std::string_view name) {
   rec.end = rec.begin;
   rec.thread_ord = ThisThreadOrdinal();
   rec.depth = g_span_depth++;
+  rec.open = true;
   std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(rec));
   return spans_.size();  // slot + 1 so 0 stays "no token"
@@ -77,6 +140,7 @@ void Tracer::CloseSpan(size_t token) {
   --g_span_depth;
   std::lock_guard<std::mutex> lock(mu_);
   spans_[token - 1].end = now;
+  spans_[token - 1].open = false;
 }
 
 void Tracer::EmitSpan(std::string_view name, SimTime begin, SimTime end) {
@@ -112,6 +176,28 @@ std::vector<std::pair<std::string, uint64_t>> Tracer::Counters() const {
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, TraceHistogram::Snapshot>>
+Tracer::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, TraceHistogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Take());
+  }
+  return out;
+}
+
+std::vector<std::string> Tracer::OpenSpanNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const TraceSpanRecord& s : spans_) {
+    if (s.open) {
+      out.push_back(s.name);
+    }
   }
   return out;
 }

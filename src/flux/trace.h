@@ -25,6 +25,7 @@
 #ifndef FLUX_SRC_FLUX_TRACE_H_
 #define FLUX_SRC_FLUX_TRACE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -117,6 +118,24 @@ inline constexpr std::string_view kCriaCheckpoints = "cria.checkpoints";
 inline constexpr std::string_view kCriaRestores = "cria.restores";
 inline constexpr std::string_view kCriaImageBytes = "cria.image_bytes";
 inline constexpr std::string_view kPairingWireBytes = "pairing.wire_bytes";
+inline constexpr std::string_view kMigrationRollbackFailures =
+    "migration.rollback_failures";
+
+// Histograms (log-bucketed latency distributions; all values in simulated
+// microseconds, hence the `_us` suffix — scripts/check_forensics.py keys the
+// histogram catalog off it).
+inline constexpr std::string_view kHistPipelineSerialize =
+    "pipeline.serialize_us";
+inline constexpr std::string_view kHistPipelineCompress =
+    "pipeline.compress_us";
+inline constexpr std::string_view kHistPipelineWire = "pipeline.wire_us";
+inline constexpr std::string_view kHistPipelineDecompress =
+    "pipeline.decompress_us";
+inline constexpr std::string_view kHistPipelineRestore =
+    "pipeline.restore_us";
+inline constexpr std::string_view kHistRecordTxn = "record.txn_cost_us";
+inline constexpr std::string_view kHistReplayCall = "replay.call_us";
+inline constexpr std::string_view kHistNetTick = "net.tick_us";
 
 }  // namespace trace_names
 
@@ -134,6 +153,59 @@ class TraceCounter {
   std::atomic<uint64_t> value_{0};
 };
 
+// A log-bucketed latency histogram: 64 power-of-two buckets plus exact
+// count/sum/max, all relaxed atomics, so recording from hot paths costs two
+// relaxed adds (the record/binder cached-pointer pattern applies — cache the
+// pointer from Tracer::histogram() at set_tracer time). Percentiles are
+// estimated by linear interpolation inside the bucket and clamped to the
+// exact max, which is plenty for p50/p90/p99 dashboards.
+class TraceHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // A copyable, mergeable view — the bench harness merges snapshots across
+  // matrix cells before computing fleet-level percentiles.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    void Merge(const Snapshot& other);
+    // p in [0, 100]; 0 when empty.
+    double Percentile(double p) const;
+  };
+  Snapshot Take() const;
+
+ private:
+  static int BucketOf(uint64_t value) {
+    int bits = 0;
+    while (value != 0) {
+      ++bits;
+      value >>= 1;
+    }
+    return bits < kBuckets ? bits : kBuckets - 1;
+  }
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
 // One finished (or still-open: end == begin) span.
 struct TraceSpanRecord {
   std::string name;
@@ -144,6 +216,9 @@ struct TraceSpanRecord {
   SimTime end = 0;
   int thread_ord = 0;  // process-wide thread ordinal of the opener
   int depth = 0;       // RAII nesting depth on the opening thread
+  // True between OpenSpan and CloseSpan; post-hoc emissions are never open.
+  // Forensics uses this to report spans still active at failure time.
+  bool open = false;
 };
 
 class TraceSpan;
@@ -167,6 +242,12 @@ class Tracer {
   void Count(std::string_view name, uint64_t delta) {
     counter(name)->Add(delta);
   }
+  // Registers (or finds) a histogram; the returned pointer is stable.
+  TraceHistogram* histogram(std::string_view name);
+  // Convenience for cold paths.
+  void Observe(std::string_view name, uint64_t value) {
+    histogram(name)->Record(value);
+  }
 
   // Records a span with explicit stamps — for intervals re-derived after
   // the fact (the pipelined schedule, report intervals). Lands on the
@@ -179,6 +260,11 @@ class Tracer {
   // ----- inspection (tests, exporters) -----
   std::vector<TraceSpanRecord> Spans() const;
   std::vector<std::pair<std::string, uint64_t>> Counters() const;
+  std::vector<std::pair<std::string, TraceHistogram::Snapshot>> Histograms()
+      const;
+  // Names of spans opened via the RAII path and not yet closed (a finished
+  // migration must leave this empty — tests/forensics_test.cc pins it).
+  std::vector<std::string> OpenSpanNames() const;
   // Sum of durations / number of spans with this exact name.
   SimDuration SpanTotal(std::string_view name) const;
   size_t SpanCount(std::string_view name) const;
@@ -194,6 +280,8 @@ class Tracer {
   const SimClock* clock_;
   std::vector<TraceSpanRecord> spans_;
   std::map<std::string, std::unique_ptr<TraceCounter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<TraceHistogram>, std::less<>>
+      histograms_;
 };
 
 // RAII span on a Tracer's current thread track. Null tracer = no-op, which
@@ -306,6 +394,20 @@ std::string PhaseReportText(const Tracer& tracer);
       flux_trace_c->Add(delta);                      \
     }                                                \
   } while (0)
+#define FLUX_TRACE_OBSERVE(tracer, name, value)      \
+  do {                                               \
+    ::flux::Tracer* flux_trace_t = (tracer);         \
+    if (flux_trace_t != nullptr) {                   \
+      flux_trace_t->Observe((name), (value));        \
+    }                                                \
+  } while (0)
+#define FLUX_TRACE_HIST_RECORD(hist_ptr, value)            \
+  do {                                                     \
+    ::flux::TraceHistogram* flux_trace_h = (hist_ptr);     \
+    if (flux_trace_h != nullptr) {                         \
+      flux_trace_h->Record(value);                         \
+    }                                                      \
+  } while (0)
 
 #else  // !FLUX_TRACE_ENABLED
 
@@ -325,6 +427,10 @@ std::string PhaseReportText(const Tracer& tracer);
   FLUX_TRACE_DISCARD_((tracer), (name), (delta))
 #define FLUX_TRACE_COUNTER_ADD(counter_ptr, delta) \
   FLUX_TRACE_DISCARD_((counter_ptr), (delta))
+#define FLUX_TRACE_OBSERVE(tracer, name, value) \
+  FLUX_TRACE_DISCARD_((tracer), (name), (value))
+#define FLUX_TRACE_HIST_RECORD(hist_ptr, value) \
+  FLUX_TRACE_DISCARD_((hist_ptr), (value))
 
 #endif  // FLUX_TRACE_ENABLED
 

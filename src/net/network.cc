@@ -21,6 +21,7 @@ void WifiNetwork::set_tracer(Tracer* tracer) {
       tracer ? tracer->counter(trace_names::kNetTransfers) : nullptr;
   trace_ticks_ =
       tracer ? tracer->counter(trace_names::kNetTransferTicks) : nullptr;
+  hist_tick_ = tracer ? tracer->histogram(trace_names::kHistNetTick) : nullptr;
 #else
   (void)tracer;
 #endif
@@ -71,12 +72,18 @@ void WifiNetwork::Transfer(SimClock& clock, uint64_t bytes,
   total_bytes_ += bytes;
   FLUX_TRACE_COUNTER_ADD(trace_bytes_, bytes);
   FLUX_TRACE_COUNTER_ADD(trace_transfers_, 1);
+  FLUX_EVENT(flight_recorder_, flight_events::kSubNet,
+             flight_events::kNetTransfer, EventSeverity::kDebug, bytes,
+             link.goodput_bps);
 }
 
 bool WifiNetwork::UpAt(SimTime now) {
   if (has_outage_ && now >= outage_at_) {
     up_ = false;
     has_outage_ = false;
+    FLUX_EVENT(flight_recorder_, flight_events::kSubNet,
+               flight_events::kNetOutage, EventSeverity::kError, outage_at_,
+               now);
   }
   return up_;
 }
@@ -95,6 +102,7 @@ bool WifiNetwork::TransferWithTicks(SimClock& clock, uint64_t bytes,
     clock.Advance(step);
     remaining -= step;
     FLUX_TRACE_COUNTER_ADD(trace_ticks_, 1);
+    FLUX_TRACE_HIST_RECORD(hist_tick_, static_cast<uint64_t>(step));
     if (on_tick) {
       on_tick();
     }
@@ -105,6 +113,9 @@ bool WifiNetwork::TransferWithTicks(SimClock& clock, uint64_t bytes,
   total_bytes_ += bytes;
   FLUX_TRACE_COUNTER_ADD(trace_bytes_, bytes);
   FLUX_TRACE_COUNTER_ADD(trace_transfers_, 1);
+  FLUX_EVENT(flight_recorder_, flight_events::kSubNet,
+             flight_events::kNetTransfer, EventSeverity::kDebug, bytes,
+             link.goodput_bps);
   return true;
 }
 

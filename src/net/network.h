@@ -16,6 +16,7 @@
 
 #include "src/base/result.h"
 #include "src/base/sim_clock.h"
+#include "src/flux/flight_recorder.h"
 #include "src/flux/trace.h"
 
 namespace flux {
@@ -87,8 +88,17 @@ class WifiNetwork {
 
   uint64_t total_bytes_carried() const { return total_bytes_; }
 
-  // Mirrors traffic accounting into net.* trace counters (null detaches).
+  // Mirrors traffic accounting into net.* trace counters and the
+  // net.tick_us slice-duration histogram (null detaches).
   void set_tracer(Tracer* tracer);
+
+  // Flight-recorder events: net.transfer on each completed transfer,
+  // net.outage the moment a scheduled outage takes the network down.
+  // Migrations point this at the *home* device's recorder for their
+  // duration (the network itself is shared and has no device).
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
 
   // Fault injection: while the network is down, migrations cannot transfer
   // (devices would fall back to ad-hoc networking in a full deployment, §1).
@@ -111,6 +121,8 @@ class WifiNetwork {
   TraceCounter* trace_bytes_ = nullptr;
   TraceCounter* trace_transfers_ = nullptr;
   TraceCounter* trace_ticks_ = nullptr;
+  TraceHistogram* hist_tick_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 
 // Device-observed connectivity state (what ConnectivityManagerService

@@ -1,0 +1,395 @@
+// Failure-forensics tests: the event ring's retention window, flight
+// recorder emission + log routing, latency histogram percentiles, the
+// Status cause chain, the replay audit journal cross-check, and the
+// end-to-end contract that a failed migration cuts a forensic report — a
+// mid-transfer outage rolls back with phase "transfer", no span left open,
+// and the rollback visible in the home device's ring; a poisoned call log
+// completes the migration but attaches a "replay" report with the failed
+// call journaled.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_instance.h"
+#include "src/base/event_ring.h"
+#include "src/base/interner.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/call_log.h"
+#include "src/flux/flight_recorder.h"
+#include "src/flux/forensics.h"
+#include "src/flux/migration.h"
+#include "src/flux/trace.h"
+
+namespace flux {
+namespace {
+
+// ----- event ring -----
+
+struct Tick {
+  uint64_t value = 0;
+};
+
+TEST(EventRingTest, KeepsTheNewestWindowAndCountsDrops) {
+  EventRing<Tick> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);  // already a power of two
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Append({i});
+  }
+  EXPECT_EQ(ring.appended(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto window = ring.Snapshot();
+  ASSERT_EQ(window.size(), 4u);
+  // Oldest-to-newest: 6, 7, 8, 9.
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(window[i].value, 6 + i);
+  }
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(EventRingTest, RoundsCapacityUpToAPowerOfTwo) {
+  EventRing<Tick> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  ring.Append({1});
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+}
+
+// ----- flight recorder -----
+
+TEST(FlightRecorderTest, EmitResolvesInternedIdsInSnapshot) {
+  SimClock clock;
+  clock.Advance(Millis(250));
+  FlightRecorder recorder(&clock, /*capacity=*/8);
+  recorder.set_enabled(true);
+  const uint32_t sub = Interner::Global().Intern(flight_events::kSubNet);
+  const uint32_t name = Interner::Global().Intern(flight_events::kNetOutage);
+  recorder.Emit(sub, name, EventSeverity::kError, 7, 9);
+  clock.Advance(Millis(10));
+  recorder.EmitDetail(sub, name, EventSeverity::kWarning, 1, 2,
+                      "link down at boundary");
+
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, static_cast<SimTime>(Millis(250)));
+  EXPECT_EQ(events[0].subsystem, "net");
+  EXPECT_EQ(events[0].name, "net.outage");
+  EXPECT_EQ(events[0].severity, EventSeverity::kError);
+  EXPECT_EQ(events[0].arg0, 7u);
+  EXPECT_EQ(events[0].arg1, 9u);
+  EXPECT_EQ(events[1].time, static_cast<SimTime>(Millis(260)));
+  EXPECT_EQ(events[1].detail, "link down at boundary");
+}
+
+TEST(FlightRecorderTest, DetailLongerThanTheSlotIsTruncatedNotDropped) {
+  SimClock clock;
+  FlightRecorder recorder(&clock, 8);
+  recorder.set_enabled(true);
+  const std::string long_detail(200, 'x');
+  recorder.EmitDetail(Interner::Global().Intern("t"),
+                      Interner::Global().Intern("t.e"), EventSeverity::kInfo,
+                      0, 0, long_detail);
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail, std::string(46, 'x'));
+}
+
+TEST(FlightRecorderTest, ErrorLogsAreMirroredIntoCapturingRings) {
+  SimClock clock;
+  clock.Advance(Seconds(3));
+  SetLogClock(&clock);
+  {
+    FlightRecorder recorder(&clock, 16, /*capture_logs=*/true);
+    recorder.set_enabled(true);
+    FLUX_LOG(kError, "unit") << "disk on fire";
+    FLUX_LOG(kWarning, "unit") << "only a warning";  // below the bar
+    const auto events = recorder.Snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].subsystem, "log");
+    EXPECT_EQ(events[0].name, "log.error");
+    EXPECT_EQ(events[0].severity, EventSeverity::kError);
+    EXPECT_EQ(events[0].time, static_cast<SimTime>(Seconds(3)));
+    EXPECT_EQ(events[0].detail, "unit: disk on fire");
+  }
+  // The recorder unhooked itself: logging after destruction must not crash.
+  FLUX_LOG(kError, "unit") << "after the recorder is gone";
+  SetLogClock(nullptr);
+}
+
+// ----- histograms -----
+
+TEST(TraceHistogramTest, PercentilesTrackTheDistribution) {
+  TraceHistogram hist;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    hist.Record(v);
+  }
+  const auto snap = hist.Take();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.max, 1000u);
+  // Log-bucketed estimates: generous bounds, one bucket of slack.
+  EXPECT_GE(snap.Percentile(50), 256.0);
+  EXPECT_LE(snap.Percentile(50), 1000.0);
+  EXPECT_LE(snap.Percentile(99), 1000.0);
+  EXPECT_GE(snap.Percentile(99), snap.Percentile(50));
+  EXPECT_EQ(snap.Percentile(100), 1000.0);
+}
+
+TEST(TraceHistogramTest, MergeSumsCountsAndKeepsTheLargerMax) {
+  TraceHistogram a;
+  TraceHistogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(4000);
+  auto snap = a.Take();
+  snap.Merge(b.Take());
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.max, 4000u);
+  EXPECT_EQ(snap.sum, 4030u);
+  TraceHistogram::Snapshot empty;
+  EXPECT_EQ(empty.Percentile(99), 0.0);
+}
+
+// ----- status cause chain -----
+
+TEST(StatusCauseChainTest, WithCauseAppendsAtTheTail) {
+  const Status root = Unavailable("wifi link is down");
+  const Status wrapped =
+      root.WithCause(Internal("migration aborted during transfer"));
+  // Top-level identity is unchanged — existing call sites keep matching.
+  EXPECT_EQ(wrapped.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(wrapped.message(), "wifi link is down");
+  ASSERT_NE(wrapped.cause(), nullptr);
+  EXPECT_EQ(wrapped.cause()->code(), StatusCode::kInternal);
+  EXPECT_NE(wrapped.ToString().find("caused by"), std::string::npos);
+
+  const auto chain = FlattenCauseChain(wrapped);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].message, "wifi link is down");
+  EXPECT_EQ(chain[1].message, "migration aborted during transfer");
+
+  EXPECT_TRUE(FlattenCauseChain(OkStatus()).empty());
+}
+
+// ----- replay audit journal -----
+
+CallRecord MakeRecord(const std::string& interface,
+                      const std::string& method) {
+  CallRecord record;
+  record.interface = interface;
+  record.method = method;
+  record.node_id = 1;
+  return record;
+}
+
+TEST(ReplayAuditJournalTest, CrossCheckFlagsTruncationAndDivergence) {
+  CallLog log;
+  log.Append(MakeRecord("android.media.IAudioService", "setStreamVolume"));
+  log.Append(MakeRecord("android.app.IAlarmManager", "set"));
+
+  ReplayAuditJournal truncated;
+  ReplayAuditEntry first;
+  first.index = 0;
+  first.interface = "android.media.IAudioService";
+  first.method = "setStreamVolume";
+  truncated.entries.push_back(first);
+  CrossCheckJournal(truncated, log);
+  EXPECT_EQ(truncated.log_calls, 2u);
+  ASSERT_FALSE(truncated.mismatches.empty());
+  EXPECT_NE(truncated.mismatches.back().find("1 of 2"), std::string::npos)
+      << truncated.mismatches.back();
+
+  ReplayAuditJournal diverged;
+  diverged.entries.push_back(first);
+  ReplayAuditEntry second = first;
+  second.index = 1;
+  second.method = "somethingElse";
+  diverged.entries.push_back(second);
+  CrossCheckJournal(diverged, log);
+  EXPECT_FALSE(diverged.mismatches.empty());
+
+  // A faithful journal (seqs copied from the log, as the engine does)
+  // passes clean.
+  ReplayAuditJournal clean;
+  for (size_t i = 0; i < log.entries().size(); ++i) {
+    ReplayAuditEntry entry;
+    entry.index = i;
+    entry.seq = log.entries()[i].seq;
+    entry.interface = log.entries()[i].interface;
+    entry.method = log.entries()[i].method;
+    clean.entries.push_back(std::move(entry));
+  }
+  CrossCheckJournal(clean, log);
+  EXPECT_TRUE(clean.mismatches.empty());
+}
+
+TEST(ReplayAuditJournalTest, OutcomeNamesAreStable) {
+  EXPECT_EQ(ReplayOutcomeName(ReplayOutcome::kVerbatim), "verbatim");
+  EXPECT_EQ(ReplayOutcomeName(ReplayOutcome::kFailed), "failed");
+}
+
+// ----- end-to-end forensics -----
+
+// Mirrors pipeline_test's TestWorld, but keeps the MigrationManager alive
+// so last_forensics() can be read after a failure.
+struct ForensicsWorld {
+  World world;
+  Device* home = nullptr;
+  Device* guest = nullptr;
+  std::unique_ptr<FluxAgent> home_agent;
+  std::unique_ptr<FluxAgent> guest_agent;
+  std::unique_ptr<AppInstance> app;
+  std::unique_ptr<MigrationManager> manager;
+
+  void Boot(const std::string& app_name) {
+    BootOptions boot;
+    boot.framework_scale = 0.01;
+    home = world.AddDevice("n4", Nexus4Profile(), boot).value();
+    guest = world.AddDevice("n7-2013", Nexus7_2013Profile(), boot).value();
+    // Deterministic regardless of the FLUX_FLIGHT_RECORDER environment.
+    home->flight_recorder().set_enabled(true);
+    guest->flight_recorder().set_enabled(true);
+    home_agent = std::make_unique<FluxAgent>(*home);
+    guest_agent = std::make_unique<FluxAgent>(*guest);
+    ASSERT_TRUE(PairDevices(*home_agent, *guest_agent).ok());
+    const AppSpec* spec = FindApp(app_name);
+    ASSERT_NE(spec, nullptr) << app_name;
+    app = std::make_unique<AppInstance>(*home, *spec);
+    ASSERT_TRUE(app->Install().ok());
+    ASSERT_TRUE(PairApp(*home_agent, *guest_agent, *spec).ok());
+    ASSERT_TRUE(app->Launch().ok());
+    home_agent->Manage(app->pid(), spec->package);
+    ASSERT_TRUE(app->RunWorkload(42).ok());
+  }
+
+  Result<MigrationReport> Migrate(const MigrationConfig& config) {
+    manager = std::make_unique<MigrationManager>(*home_agent, *guest_agent,
+                                                 config);
+    return manager->Migrate(RunningApp::FromInstance(*app), app->spec());
+  }
+};
+
+// Unused when the event macros are compiled out (-DFLUX_TRACE=OFF).
+[[maybe_unused]] bool HasEvent(const std::vector<FlightEventView>& events,
+                               std::string_view name) {
+  for (const FlightEventView& event : events) {
+    if (event.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime ProbeTransferMidpoint(const std::string& app_name) {
+  ForensicsWorld probe;
+  probe.Boot(app_name);
+  auto report = probe.Migrate({});
+  EXPECT_TRUE(report.ok() && report->success);
+  return report->transfer.begin + report->transfer.duration() / 2;
+}
+
+TEST(ForensicsTest, MidTransferOutageCutsARolledBackReport) {
+  const SimTime mid = ProbeTransferMidpoint("Candy Crush Saga");
+  ASSERT_GT(mid, 0);
+
+  ForensicsWorld tw;
+  tw.Boot("Candy Crush Saga");
+  tw.home->wifi().ScheduleOutageAt(mid);
+  MigrationConfig config;
+  Tracer tracer(&tw.home->clock());
+  config.trace = &tracer;
+  auto report = tw.Migrate(config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
+  // The abort context rides the cause chain, not the top-level status.
+  ASSERT_NE(report.status().cause(), nullptr);
+  EXPECT_NE(report.status().cause()->message().find("transfer"),
+            std::string::npos);
+
+  auto forensics = tw.manager->last_forensics();
+  ASSERT_NE(forensics, nullptr);
+  EXPECT_EQ(forensics->failure_phase, "transfer");
+  EXPECT_TRUE(forensics->rolled_back);
+  EXPECT_EQ(forensics->app, "Candy Crush Saga");
+  EXPECT_GT(forensics->captured_at, 0u);
+  ASSERT_GE(forensics->cause_chain.size(), 1u);
+  EXPECT_EQ(forensics->cause_chain[0].code, "unavailable");
+  // A rolled-back migration leaves no span open — the trace contract.
+  EXPECT_TRUE(forensics->open_spans.empty());
+
+#if FLUX_TRACE_ENABLED
+  // The ring shows the story: the outage and the rollback both on the home
+  // device's timeline.
+  EXPECT_TRUE(HasEvent(forensics->home_events,
+                       flight_events::kMigrationStart));
+  EXPECT_TRUE(HasEvent(forensics->home_events, flight_events::kNetOutage));
+  EXPECT_TRUE(HasEvent(forensics->home_events,
+                       flight_events::kMigrationRollback));
+  bool saw_rollback_counter = false;
+  for (const auto& [name, value] : forensics->counters) {
+    if (name == trace_names::kMigrationRollbacks) {
+      saw_rollback_counter = value >= 1;
+    }
+  }
+  EXPECT_TRUE(saw_rollback_counter);
+#endif
+
+  // Both renderings stay well-formed.
+  const std::string json = ForensicReportJson(*forensics);
+  EXPECT_NE(json.find("\"failure_phase\": \"transfer\""), std::string::npos);
+  EXPECT_NE(json.find("\"rolled_back\": true"), std::string::npos);
+  const std::string text = ForensicReportText(*forensics);
+  EXPECT_NE(text.find("transfer"), std::string::npos);
+}
+
+TEST(ForensicsTest, PoisonedCallLogAttachesAReplayReport) {
+  ForensicsWorld tw;
+  tw.Boot("Candy Crush Saga");
+
+  // Inject a call that cannot replay: an anonymous node the guest mapping
+  // will never contain.
+  CallLog* log = tw.home_agent->recorder().LogFor(tw.app->pid());
+  ASSERT_NE(log, nullptr);
+  CallRecord bogus;
+  bogus.interface = "com.fake.IFake";
+  bogus.method = "doTheThing";
+  bogus.node_id = 999999;
+  log->Append(std::move(bogus));
+
+  auto report = tw.Migrate({});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->success) << report->refusal_reason;
+  EXPECT_GE(report->replay.failed, 1);
+
+  // The partial failure did not abort, but it did freeze the evidence.
+  ASSERT_NE(report->forensics, nullptr);
+  EXPECT_EQ(report->forensics->failure_phase, "replay");
+  EXPECT_FALSE(report->forensics->rolled_back);
+  EXPECT_EQ(tw.manager->last_forensics(), report->forensics);
+
+  const ReplayAuditJournal& journal = report->forensics->replay_journal;
+  ASSERT_FALSE(journal.entries.empty());
+  EXPECT_EQ(journal.log_calls, journal.entries.size());
+  EXPECT_TRUE(journal.mismatches.empty());
+  bool saw_failed = false;
+  for (const ReplayAuditEntry& entry : journal.entries) {
+    if (entry.interface == "com.fake.IFake") {
+      EXPECT_EQ(entry.outcome, ReplayOutcome::kFailed);
+      EXPECT_FALSE(entry.detail.empty());
+      saw_failed = true;
+    }
+  }
+  EXPECT_TRUE(saw_failed);
+
+#if FLUX_TRACE_ENABLED
+  EXPECT_TRUE(HasEvent(report->forensics->guest_events,
+                       flight_events::kReplayCallFailed));
+#endif
+  const std::string json = ForensicReportJson(*report->forensics);
+  EXPECT_NE(json.find("com.fake.IFake"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\": \"failed\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flux
