@@ -1,0 +1,242 @@
+// Iterative pre-copy (DESIGN.md §10): perceived-time CDF and
+// rounds-to-converge across the Figure 12 app set.
+//
+// For each Table 3 app, an N4 <-> N7(2013) ping-pong runs with
+// MigrationConfig::precopy on. Hop 1 (A -> B) is a cold migration: the
+// warm-up rounds stream the full image into an empty guest cache while the
+// app keeps dirtying memory, so the stop-and-copy ships mostly 16-byte
+// refs. Hop 2 (B -> A) is a warm re-migration: A's cache already holds the
+// image from hop 1, so the rounds shrink to the actually-changed chunks. A
+// plain pipelined cold hop runs as the control each app is judged against.
+//
+// Output: per-app table (rounds, wire, perceived times), the cold
+// perceived-time CDF, and a machine-readable BENCH_precopy.json gated by
+// `check_bench.py precopy` (p50_perceived_s < 1.0, warm_perceived_s < 0.3).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+
+using namespace flux;
+
+namespace {
+
+struct PingPong {
+  bool ok = false;
+  std::string reason;
+  MigrationReport hop1;  // A -> B, cold caches
+  MigrationReport hop2;  // B -> A, warm caches
+};
+
+// One fresh, deterministic world per run: boot, pair both directions,
+// install + workload on A, then A -> B (-> A unless `single_hop`).
+PingPong RunPingPong(const AppSpec& spec, const MigrationConfig& config,
+                     bool single_hop) {
+  PingPong out;
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.02;
+  Device* a = world.AddDevice("n4", Nexus4Profile(), boot).value();
+  Device* b = world.AddDevice("n7-2013", Nexus7_2013Profile(), boot).value();
+  FluxAgent a_agent(*a);
+  FluxAgent b_agent(*b);
+  if (!PairDevices(a_agent, b_agent).ok() ||
+      !PairDevices(b_agent, a_agent).ok()) {
+    out.reason = "pairing failed";
+    return out;
+  }
+  AppInstance app(*a, spec);
+  if (!app.Install().ok() || !PairApp(a_agent, b_agent, spec).ok() ||
+      !app.Launch().ok()) {
+    out.reason = "install/launch failed";
+    return out;
+  }
+  a_agent.Manage(app.pid(), spec.package);
+  if (!app.RunWorkload(42).ok()) {
+    out.reason = "workload failed";
+    return out;
+  }
+  RunningApp running = RunningApp::FromInstance(app);
+
+  MigrationManager to_b(a_agent, b_agent, config);
+  auto hop1 = to_b.Migrate(running, spec);
+  if (!hop1.ok() || !hop1->success) {
+    out.reason = hop1.ok() ? hop1->refusal_reason : hop1.status().ToString();
+    return out;
+  }
+  out.hop1 = *hop1;
+  if (single_hop) {
+    out.ok = true;
+    return out;
+  }
+  running = hop1->migrated;
+
+  if (!PairApp(b_agent, a_agent, spec).ok()) {
+    out.reason = "return-edge pairing failed";
+    return out;
+  }
+  MigrationManager to_a(b_agent, a_agent, config);
+  auto hop2 = to_a.Migrate(running, spec);
+  if (!hop2.ok() || !hop2->success) {
+    out.reason = hop2.ok() ? hop2->refusal_reason : hop2.status().ToString();
+    return out;
+  }
+  out.hop2 = *hop2;
+  out.ok = true;
+  return out;
+}
+
+struct AppRow {
+  std::string app;
+  int cold_rounds = 0;
+  int warm_rounds = 0;
+  bool cold_converged = false;
+  bool warm_converged = false;
+  double precopy_wire_kb = 0;   // hop 1 warm-up rounds
+  double cold_perceived_s = 0;  // hop 1, precopy
+  double warm_perceived_s = 0;  // hop 2, precopy
+  double control_perceived_s = 0;  // cold hop, plain pipelined
+};
+
+double Percentile(std::vector<double> values, int pct) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t index =
+      std::min(values.size() - 1, values.size() * pct / 100);
+  return values[index];
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kError);
+  printf("=== Iterative pre-copy: perceived time and rounds to converge "
+         "===\n");
+  printf("N4 <-> N7(2013) ping-pong per Table 3 app; hop 1 cold, hop 2 "
+         "warm.\n\n");
+
+  MigrationConfig control;
+  control.pipelined = true;
+  control.chunk_dedup = true;
+  MigrationConfig precopy;
+  precopy.precopy = true;
+
+  std::vector<AppRow> rows;
+  std::vector<std::string> skipped;
+  int converged = 0;
+  int hops = 0;
+  for (const AppSpec& spec : TopApps()) {
+    const PingPong c = RunPingPong(spec, control, /*single_hop=*/true);
+    const PingPong p = RunPingPong(spec, precopy, /*single_hop=*/false);
+    if (!c.ok || !p.ok) {
+      skipped.push_back(spec.display_name + ": " +
+                        (c.ok ? p.reason : c.reason));
+      continue;
+    }
+    AppRow row;
+    row.app = spec.display_name;
+    row.cold_rounds = static_cast<int>(p.hop1.precopy.rounds.size());
+    row.warm_rounds = static_cast<int>(p.hop2.precopy.rounds.size());
+    row.cold_converged = p.hop1.precopy.converged;
+    row.warm_converged = p.hop2.precopy.converged;
+    row.precopy_wire_kb = p.hop1.precopy.wire_bytes / 1024.0;
+    row.cold_perceived_s = ToSecondsF(p.hop1.UserPerceived());
+    row.warm_perceived_s = ToSecondsF(p.hop2.UserPerceived());
+    row.control_perceived_s = ToSecondsF(c.hop1.UserPerceived());
+    converged += (row.cold_converged ? 1 : 0) + (row.warm_converged ? 1 : 0);
+    hops += 2;
+    rows.push_back(row);
+  }
+  if (rows.empty()) {
+    fprintf(stderr, "no app completed the ping-pong\n");
+    return 1;
+  }
+
+  printf("%-22s | %6s | %6s | %9s | %8s | %8s | %8s\n", "App", "rnds",
+         "warm", "pre KB", "cold s", "warm s", "plain s");
+  for (size_t i = 0; i < 84; ++i) {
+    printf("-");
+  }
+  printf("\n");
+  std::vector<double> cold_perceived;
+  std::vector<double> warm_perceived;
+  double sum_rounds = 0;
+  for (const AppRow& row : rows) {
+    printf("%-22s | %4d%s | %4d%s | %9.0f | %8.3f | %8.3f | %8.3f\n",
+           row.app.c_str(), row.cold_rounds, row.cold_converged ? " " : "!",
+           row.warm_rounds, row.warm_converged ? " " : "!",
+           row.precopy_wire_kb, row.cold_perceived_s, row.warm_perceived_s,
+           row.control_perceived_s);
+    cold_perceived.push_back(row.cold_perceived_s);
+    warm_perceived.push_back(row.warm_perceived_s);
+    sum_rounds += row.cold_rounds;
+  }
+
+  const double p50_cold = Percentile(cold_perceived, 50);
+  const double p90_cold = Percentile(cold_perceived, 90);
+  const double max_cold =
+      *std::max_element(cold_perceived.begin(), cold_perceived.end());
+  const double p50_warm = Percentile(warm_perceived, 50);
+  const double max_warm =
+      *std::max_element(warm_perceived.begin(), warm_perceived.end());
+  const double mean_rounds = sum_rounds / rows.size();
+
+  printf("\nCold perceived-time CDF (%zu apps):\n", cold_perceived.size());
+  std::vector<double> sorted = cold_perceived;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    printf("  %5.1f%% <= %.3f s\n",
+           100.0 * static_cast<double>(i + 1) / sorted.size(), sorted[i]);
+  }
+
+  printf("\nSummary over %zu apps (%d/%d hops converged):\n", rows.size(),
+         converged, hops);
+  printf("  cold perceived p50 / p90 / max : %.3f / %.3f / %.3f s\n",
+         p50_cold, p90_cold, max_cold);
+  printf("  warm perceived p50 / max       : %.3f / %.3f s\n", p50_warm,
+         max_warm);
+  printf("  mean rounds to converge (cold) : %.1f\n", mean_rounds);
+  for (const std::string& reason : skipped) {
+    printf("  skipped %s\n", reason.c_str());
+  }
+
+  FILE* json = fopen("BENCH_precopy.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    fprintf(json, "  \"apps\": %zu,\n", rows.size());
+    fprintf(json, "  \"p50_perceived_s\": %.4f,\n", p50_cold);
+    fprintf(json, "  \"p90_perceived_s\": %.4f,\n", p90_cold);
+    fprintf(json, "  \"max_perceived_s\": %.4f,\n", max_cold);
+    fprintf(json, "  \"warm_perceived_s\": %.4f,\n", p50_warm);
+    fprintf(json, "  \"max_warm_perceived_s\": %.4f,\n", max_warm);
+    fprintf(json, "  \"mean_rounds\": %.2f,\n", mean_rounds);
+    fprintf(json, "  \"converged_hops\": %d,\n", converged);
+    fprintf(json, "  \"total_hops\": %d,\n", hops);
+    fprintf(json, "  \"per_app\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const AppRow& row = rows[i];
+      fprintf(json,
+              "    {\"app\": \"%s\", \"cold_rounds\": %d, "
+              "\"warm_rounds\": %d, \"cold_converged\": %s, "
+              "\"warm_converged\": %s, \"precopy_wire_kb\": %.1f, "
+              "\"cold_perceived_s\": %.4f, \"warm_perceived_s\": %.4f, "
+              "\"control_perceived_s\": %.4f}%s\n",
+              row.app.c_str(), row.cold_rounds, row.warm_rounds,
+              row.cold_converged ? "true" : "false",
+              row.warm_converged ? "true" : "false", row.precopy_wire_kb,
+              row.cold_perceived_s, row.warm_perceived_s,
+              row.control_perceived_s, i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(json, "  ]\n}\n");
+    fclose(json);
+    printf("\nWrote BENCH_precopy.json\n");
+  }
+  return 0;
+}

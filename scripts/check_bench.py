@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate CI on benchmark regressions.
 
-Usage: check_bench.py <pipeline|dedup|record> <fresh.json> <committed.json>
+Usage: check_bench.py <pipeline|dedup|record|precopy> <fresh.json> <committed.json>
 
 Compares a freshly produced BENCH_*.json against the committed one and
 exits non-zero when the fresh numbers regress beyond tolerance:
@@ -16,6 +16,10 @@ exits non-zero when the fresh numbers regress beyond tolerance:
             through the compiled fast lane than the legacy engine).
             Wall-clock ratios vary across machines, so the committed
             value is informational only.
+  precopy   p50_perceived_s must stay < 1.0 (the sub-second cold
+            migration claim) and warm_perceived_s < 0.3 (warm
+            re-migration); both must also stay within 10% of the
+            committed values.
 
 The simulation is deterministic, so in practice fresh == committed for
 pipeline and dedup; the tolerances only absorb intentional
@@ -30,6 +34,9 @@ TOLERANCE_PCT = 5.0
 DEDUP_FLOOR_PCT = 50.0
 COLD_DELTA_MAX_S = 0.05
 RECORD_SPEEDUP_FLOOR = 5.0
+PRECOPY_P50_MAX_S = 1.0
+PRECOPY_WARM_MAX_S = 0.3
+PRECOPY_DRIFT_FRAC = 0.10
 
 
 def fail(msg):
@@ -38,7 +45,8 @@ def fail(msg):
 
 
 def main(argv):
-    if len(argv) != 4 or argv[1] not in ("pipeline", "dedup", "record"):
+    if len(argv) != 4 or argv[1] not in ("pipeline", "dedup", "record",
+                                         "precopy"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, fresh_path, committed_path = argv[1], argv[2], argv[3]
@@ -63,6 +71,21 @@ def main(argv):
                  % (key, RECORD_SPEEDUP_FLOOR, got))
         print("check_bench: record OK (%s = %.2fx, committed %.2fx, "
               "floor %.0fx)" % (key, got, want, RECORD_SPEEDUP_FLOOR))
+    elif mode == "precopy":
+        for key, ceiling in (("p50_perceived_s", PRECOPY_P50_MAX_S),
+                             ("warm_perceived_s", PRECOPY_WARM_MAX_S)):
+            got, want = fresh[key], committed[key]
+            if got >= ceiling:
+                fail("%s above the %.1f s acceptance ceiling: %.3f s"
+                     % (key, ceiling, got))
+            if got > want * (1.0 + PRECOPY_DRIFT_FRAC):
+                fail("%s regressed: %.3f s vs committed %.3f s "
+                     "(tolerance %.0f%%)"
+                     % (key, got, want, PRECOPY_DRIFT_FRAC * 100))
+        print("check_bench: precopy OK (p50 %.3f s < %.1f s, warm "
+              "%.3f s < %.1f s)"
+              % (fresh["p50_perceived_s"], PRECOPY_P50_MAX_S,
+                 fresh["warm_perceived_s"], PRECOPY_WARM_MAX_S))
     else:
         key = "mean_warm_reduction_pct"
         got, want = fresh[key], committed[key]

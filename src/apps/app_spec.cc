@@ -21,6 +21,8 @@ std::vector<AppSpec> BuildTopApps() {
     app.workload.notifications_posted = 2;
     app.workload.notifications_cancelled = 1;
     app.workload.alarms_set = 1;  // daily verse
+    app.workload.dirty_bytes_per_s = 48 * 1024;   // static page view
+    app.workload.dirty_hot_fraction = 0.02;
     apps.push_back(app);
   }
   {
@@ -34,6 +36,8 @@ std::vector<AppSpec> BuildTopApps() {
     app.data_dir_bytes = MiB(10);
     app.workload.uses_3d = true;
     app.workload.texture_bytes_3d = MiB(20);
+    app.workload.dirty_bytes_per_s = 224 * 1024;  // backgrounded game loop
+    app.workload.dirty_hot_fraction = 0.01;
     app.workload.frames_drawn = 60;
     app.workload.audio_volume_changes = 2;
     app.workload.alarms_set = 2;  // lives refill
@@ -51,6 +55,8 @@ std::vector<AppSpec> BuildTopApps() {
     app.data_dir_bytes = MiB(12);
     app.workload.uses_3d = true;
     app.workload.texture_bytes_3d = MiB(24);
+    app.workload.dirty_bytes_per_s = 256 * 1024;  // backgrounded game loop
+    app.workload.dirty_hot_fraction = 0.01;
     app.workload.frames_drawn = 80;
     app.workload.audio_volume_changes = 3;
     app.workload.alarms_set = 3;
@@ -86,6 +92,8 @@ std::vector<AppSpec> BuildTopApps() {
     app.workload.view_count = 8;
     app.workload.uses_3d = true;
     app.workload.texture_bytes_3d = MiB(4);
+    app.workload.dirty_bytes_per_s = 160 * 1024;  // paused render loop
+    app.workload.dirty_hot_fraction = 0.05;
     app.workload.frames_drawn = 120;
     app.workload.uses_sensors = false;
     apps.push_back(app);
@@ -102,6 +110,8 @@ std::vector<AppSpec> BuildTopApps() {
     app.workload.view_count = 6;
     app.workload.frames_drawn = 4;
     app.workload.vibrations = 1;
+    app.workload.dirty_bytes_per_s = 8 * 1024;    // nearly idle
+    app.workload.dirty_hot_fraction = 0.02;
     apps.push_back(app);
   }
   {
@@ -148,6 +158,8 @@ std::vector<AppSpec> BuildTopApps() {
     app.workload.frames_drawn = 25;
     app.workload.audio_volume_changes = 1;
     app.workload.wifi_queries = 3;
+    app.workload.dirty_bytes_per_s = 128 * 1024;  // media buffer churn
+    app.workload.dirty_hot_fraction = 0.015;
     apps.push_back(app);
   }
   {

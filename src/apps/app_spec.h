@@ -43,6 +43,14 @@ struct WorkloadProfile {
   int frames_drawn = 12;
   bool uses_3d = false;          // extra GL textures/buffers (games)
   uint64_t texture_bytes_3d = 0; // uploaded when uses_3d
+  // Write load while prepared-but-running (drives pre-copy convergence,
+  // DESIGN.md §10). The app is backgrounded during the warm-up rounds, so
+  // these are background rates: GC, timers, message queues — not the
+  // foreground render loop. `dirty_hot_fraction` is the slice of the heap
+  // that absorbs 9 in 10 writes (the resident working set a freeze always
+  // finds dirty; it bounds the stop-and-copy floor).
+  uint64_t dirty_bytes_per_s = 96 * 1024;
+  double dirty_hot_fraction = 0.02;
 };
 
 struct AppSpec {

@@ -97,6 +97,12 @@ void ArchiveWriter::PutSection(const ArchiveWriter& section) {
   data_.insert(data_.end(), section.data_.begin(), section.data_.end());
 }
 
+void ArchiveWriter::PutSectionRaw(ByteSpan section) {
+  data_.push_back(kTagSection);
+  RawU64(section.size());
+  data_.insert(data_.end(), section.begin(), section.end());
+}
+
 Status ArchiveReader::Expect(uint8_t tag) {
   if (pos_ >= data_.size()) {
     return Corrupt("archive: truncated (expected tag)");
@@ -203,6 +209,18 @@ Status ArchiveReader::GetBytesView(ByteSpan& out) {
   FLUX_RETURN_IF_ERROR(RawU64(len));
   if (pos_ + len > data_.size()) {
     return Corrupt("archive: truncated bytes");
+  }
+  out = data_.subspan(pos_, len);
+  pos_ += len;
+  return OkStatus();
+}
+
+Status ArchiveReader::GetSectionRaw(ByteSpan& out) {
+  FLUX_RETURN_IF_ERROR(Expect(kTagSection));
+  uint64_t len = 0;
+  FLUX_RETURN_IF_ERROR(RawU64(len));
+  if (pos_ + len > data_.size()) {
+    return Corrupt("archive: truncated section");
   }
   out = data_.subspan(pos_, len);
   pos_ += len;

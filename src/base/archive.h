@@ -41,6 +41,11 @@ class ArchiveWriter {
   // Embeds another archive as a length-prefixed section.
   void PutSection(const ArchiveWriter& section);
 
+  // Re-embeds a section from raw bytes (as returned by GetSectionRaw),
+  // byte-identical to the PutSection that produced them. Used by CRIA's
+  // incremental-checkpoint patcher to pass untouched sections through.
+  void PutSectionRaw(ByteSpan section);
+
   const Bytes& data() const { return data_; }
   Bytes TakeData() { return std::move(data_); }
   size_t size() const { return data_.size(); }
@@ -68,6 +73,10 @@ class ArchiveReader {
 
   // Reads a section; the returned reader views into this reader's buffer.
   Status GetSection(ArchiveReader& out);
+
+  // Reads a section's raw bytes without interpreting them; `out` views into
+  // this reader's buffer. Pairs with ArchiveWriter::PutSectionRaw.
+  Status GetSectionRaw(ByteSpan& out);
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }

@@ -67,6 +67,8 @@ inline constexpr std::string_view kMigrationRefused = "migration.refused";
 inline constexpr std::string_view kMigrationPrepared = "migration.prepared";
 inline constexpr std::string_view kMigrationCheckpointed =
     "migration.checkpointed";
+inline constexpr std::string_view kMigrationPrecopyRound =
+    "migration.precopy_round";
 inline constexpr std::string_view kMigrationTransferred =
     "migration.transferred";
 inline constexpr std::string_view kMigrationRestored = "migration.restored";

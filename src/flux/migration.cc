@@ -5,7 +5,9 @@
 
 #include "src/base/compress.h"
 #include "src/base/logging.h"
+#include "src/base/rng.h"
 #include "src/base/strings.h"
+#include "src/base/synthetic_content.h"
 #include "src/base/thread_pool.h"
 
 namespace flux {
@@ -29,6 +31,113 @@ SimDuration CpuCost(const Device& device, uint64_t bytes, double mbps) {
       static_cast<double>(bytes) / (mbps * 1024.0 * 1024.0) / factor;
   return FromSecondsF(seconds);
 }
+
+// The write load of a prepared-but-still-running app during the pre-copy
+// window (DESIGN.md §10): deterministic page-granular heap writes at the
+// workload's dirty rate, with hot-region locality — most writes land in
+// the head of each anonymous segment, the rest scatter. Page content comes
+// from the synthetic generator at the heap's own compressibility, so
+// dirtied pages compress like the rest of the image.
+class PrecopyWriteLoad {
+ public:
+  PrecopyWriteLoad(Device& device, const std::vector<Pid>& pids,
+                   const AppSpec& spec)
+      : device_(device),
+        spec_(spec),
+        rng_(FluxHash64(
+            ByteSpan(reinterpret_cast<const uint8_t*>(spec.package.data()),
+                     spec.package.size()),
+            /*seed=*/0x70726563)) {
+    for (const Pid pid : pids) {
+      if (SimProcess* process = device.kernel().FindProcess(pid)) {
+        for (const MemorySegment& segment :
+             process->address_space().segments()) {
+          if (segment.kind == SegmentKind::kAnonPrivate &&
+              segment.content.size() >= kPage) {
+            targets_.push_back({pid, segment.start, segment.content.size()});
+            total_bytes_ += segment.content.size();
+          }
+        }
+      }
+    }
+  }
+
+  // Dirties pages for `elapsed` of app runtime; fractional pages carry
+  // over so the rate holds across arbitrary tick slices.
+  void Apply(SimDuration elapsed) {
+    if (targets_.empty() || spec_.workload.dirty_bytes_per_s == 0 ||
+        elapsed <= 0) {
+      return;
+    }
+    budget_ += static_cast<double>(spec_.workload.dirty_bytes_per_s) *
+               ToSecondsF(elapsed);
+    while (budget_ >= static_cast<double>(kPage)) {
+      budget_ -= static_cast<double>(WriteBurst());
+    }
+  }
+
+ private:
+  static constexpr uint64_t kPage = 4096;
+  // Cold (non-hot-set) writes land as contiguous runs — allocation sweeps
+  // and buffer fills, not uniformly scattered single pages. Uniform
+  // scatter would touch nearly every 256 KiB pipeline chunk and no write
+  // load could ever converge, which is not how real heaps behave.
+  static constexpr uint64_t kColdBurstPages = 16;
+
+  struct Target {
+    Pid pid = kInvalidPid;
+    uint64_t start = 0;
+    uint64_t size = 0;
+  };
+
+  // Writes one hot page (9 in 10) or one cold contiguous burst; returns
+  // the bytes dirtied.
+  uint64_t WriteBurst() {
+    // Segment weighted by size.
+    uint64_t point = rng_.NextBelow(total_bytes_);
+    const Target* target = &targets_.back();
+    for (const Target& t : targets_) {
+      if (point < t.size) {
+        target = &t;
+        break;
+      }
+      point -= t.size;
+    }
+    const uint64_t pages = target->size / kPage;
+    if (pages == 0) {
+      return kPage;
+    }
+    SimProcess* process = device_.kernel().FindProcess(target->pid);
+    if (process == nullptr) {
+      return kPage;
+    }
+    const double hot =
+        std::clamp(spec_.workload.dirty_hot_fraction, 0.001, 1.0);
+    const uint64_t hot_pages = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(pages) * hot));
+    uint64_t page = 0;
+    uint64_t run = 1;
+    if (rng_.NextDouble() < 0.9) {
+      page = rng_.NextBelow(hot_pages);
+    } else {
+      page = rng_.NextBelow(pages);
+      run = std::min(kColdBurstPages, pages - page);
+    }
+    const Bytes content = GenerateContent(rng_.NextU64(), run * kPage,
+                                          spec_.heap_compressibility);
+    (void)process->address_space().Write(
+        target->start, page * kPage,
+        ByteSpan(content.data(), content.size()));
+    return run * kPage;
+  }
+
+  Device& device_;
+  const AppSpec& spec_;
+  Rng rng_;
+  std::vector<Target> targets_;
+  uint64_t total_bytes_ = 0;
+  double budget_ = 0;
+};
 
 }  // namespace
 
@@ -61,7 +170,15 @@ SimDuration MigrationReport::PerceivedExcludingTransfer() const {
 
 MigrationManager::MigrationManager(FluxAgent& home, FluxAgent& guest,
                                    MigrationConfig config)
-    : home_(home), guest_(guest), config_(config) {}
+    : home_(home), guest_(guest), config_(config) {
+  if (config_.precopy) {
+    // Pre-copy rides on the chunked pipeline and the content-addressed
+    // cache: rounds warm the guest cache, and the final stop-and-copy
+    // ships warmed chunks as refs.
+    config_.pipelined = true;
+    config_.chunk_dedup = true;
+  }
+}
 
 MigrationManager::~MigrationManager() = default;
 
@@ -255,6 +372,270 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
   return payload.TakeData();
 }
 
+Result<Bytes> MigrationManager::BuildPayloadPrecopy(const RunningApp& app,
+                                                    const AppSpec& spec,
+                                                    MigrationReport& report) {
+  Device& device = *app.device;
+  Device& guest_device = guest_.device();
+  SimClock& clock = device.clock();
+  WifiNetwork& wifi = device.wifi();
+  FlightRecorder* home_rec = &device.flight_recorder();
+  PrecopyStats& pre = report.precopy;
+  pre.enabled = true;
+  pre.window.begin = clock.now();
+
+  const std::vector<Pid> pids =
+      app.all_pids.empty() ? std::vector<Pid>{app.pid} : app.all_pids;
+
+  // The app is prepared (backgrounded, trimmed, GL-free) but its processes
+  // keep running until the freeze: this write load dirties the heap at the
+  // workload's rate from every AdvanceWithTicks slice below.
+  PrecopyWriteLoad load(device, pids, spec);
+  precopy_mutator_ = [&load](SimDuration elapsed) { load.Apply(elapsed); };
+
+  const uint32_t chunk_size = static_cast<uint32_t>(std::clamp<uint64_t>(
+      config_.pipeline_chunk_bytes, 4 * 1024, 64ull * 1024 * 1024));
+  const EffectiveLink link = wifi.LinkBetween(device.profile().radio,
+                                              guest_device.profile().radio);
+  ChunkCache& guest_cache = guest_.chunk_cache();
+  ChunkCache& home_cache = home_.chunk_cache();
+  const int cores = std::clamp(config_.compress_threads, 1, 4);
+
+  Bytes current;             // the image as of the latest cut
+  uint64_t epoch = 0;        // dirty epoch opened at that cut
+  uint64_t pending_prev = 0; // pending raw bytes at the previous cut
+  bool converged = false;
+  std::string stop_reason;
+
+  for (int round = 0; round < config_.precopy_max_rounds; ++round) {
+    PrecopyRound r;
+    r.index = round;
+    r.interval.begin = clock.now();
+    const SimTime t0 = clock.now();
+
+    // Cut: a full checkpoint on round 0, a dirty-segment delta applied to
+    // the running image after — falling back to a full cut if the address
+    // space changed shape since the base cut.
+    const uint64_t prev_epoch = epoch;
+    epoch = Cria::BeginDirtyEpoch(device, pids);
+    bool full_cut = round == 0;
+    if (!full_cut) {
+      FLUX_ASSIGN_OR_RETURN(
+          CriaIncrementalResult delta,
+          Cria::CheckpointIncremental(device, pids, prev_epoch,
+                                      config_.trace));
+      auto patched = Cria::ApplyIncremental(
+          ByteSpan(current.data(), current.size()),
+          ByteSpan(delta.delta.data(), delta.delta.size()));
+      if (patched.ok()) {
+        current = patched.TakeValue();
+      } else if (patched.status().code() == StatusCode::kUnsupported) {
+        full_cut = true;
+      } else {
+        return patched.status();
+      }
+    }
+    if (full_cut) {
+      FLUX_ASSIGN_OR_RETURN(
+          CriaCheckpointResult full,
+          Cria::CheckpointTree(device, pids, *app.thread, config_.trace));
+      current = std::move(full.image);
+    }
+
+    // Plan: which chunks of this cut the guest cache is missing, and what
+    // they would cost. Dirty tracking is segment-granular, but the wire
+    // works in content-addressed chunks — a re-written page only re-ships
+    // its chunk if the bytes actually changed, so the pending set (not
+    // DirtyBytesSince) is what termination must reason about.
+    const ByteSpan image_span(current.data(), current.size());
+    const std::vector<Hash128> hashes = LzChunkHashes(image_span, chunk_size);
+    r.chunk_count = static_cast<uint32_t>(hashes.size());
+    struct Planned {
+      size_t index;
+      uint64_t begin;
+      uint64_t len;
+      uint64_t wire;
+    };
+    std::vector<Planned> plan_chunks;
+    for (size_t i = 0; i < hashes.size(); ++i) {
+      const uint64_t begin = uint64_t{i} * chunk_size;
+      const uint64_t len =
+          std::min<uint64_t>(chunk_size, image_span.size() - begin);
+      if (guest_cache.HasValid(hashes[i])) {
+        continue;
+      }
+      // Compress for the wire, with the dedup container's stored fallback
+      // for incompressible chunks.
+      const ByteSpan chunk(image_span.data() + begin, len);
+      uint64_t wire = len;
+      if (config_.compress_image) {
+        const Bytes packed = LzCompress(chunk);
+        if (packed.size() < len) {
+          wire = packed.size();
+        }
+      }
+      plan_chunks.push_back({i, begin, len, wire});
+      r.pending_raw_bytes += len;
+    }
+    r.pending_chunks = static_cast<uint32_t>(plan_chunks.size());
+    pre.dirty_bytes += r.pending_raw_bytes;
+
+    // Bandwidth-aware termination: what would freezing at this cut cost?
+    // The pending chunks pay the full serialize → wire → restore path in
+    // the stop-and-copy; everything else rides the cache as refs.
+    uint64_t pending_wire = 0;
+    for (const Planned& p : plan_chunks) {
+      pending_wire += p.wire;
+    }
+    r.est_stop_copy =
+        CpuCost(device, r.pending_raw_bytes, config_.serialize_mbps) +
+        wifi.TransferTime(pending_wire, link) +
+        CpuCost(guest_device, r.pending_raw_bytes, config_.restore_mbps);
+    FLUX_EVENT(home_rec, flight_events::kSubMigration,
+               flight_events::kMigrationPrecopyRound, EventSeverity::kInfo,
+               static_cast<uint64_t>(round), r.pending_raw_bytes);
+    if (r.est_stop_copy <= config_.precopy_stop_copy_target) {
+      // Freeze here: this cut is a probe, nothing streams, the pending
+      // chunks ship in the stop-and-copy itself.
+      converged = true;
+      r.interval.end = clock.now();
+      pre.rounds.push_back(r);
+      break;
+    }
+    if (round > 0 && pending_prev > 0 &&
+        static_cast<double>(r.pending_raw_bytes) >
+            config_.precopy_min_round_shrink *
+                static_cast<double>(pending_prev)) {
+      stop_reason = StrFormat(
+          "pending set stopped shrinking (%llu -> %llu bytes in round %d)",
+          static_cast<unsigned long long>(pending_prev),
+          static_cast<unsigned long long>(r.pending_raw_bytes), round);
+      r.interval.end = clock.now();
+      pre.rounds.push_back(r);
+      break;
+    }
+    pending_prev = r.pending_raw_bytes;
+
+    // Stream the missing chunks, warming both caches for the final
+    // stop-and-copy's dedup pass. Round 0 streams the whole image; later
+    // rounds only the chunks the writes actually changed.
+    for (const Planned& p : plan_chunks) {
+      const ByteSpan chunk(image_span.data() + p.begin, p.len);
+      home_cache.Insert(hashes[p.index], chunk);
+      guest_cache.Insert(hashes[p.index], chunk);
+      r.raw_bytes_sent += p.len;
+      r.wire_bytes += p.wire;
+    }
+    r.chunks_sent = static_cast<uint32_t>(plan_chunks.size());
+
+    // Pace the simulated clock along a serialize → compress → wire →
+    // decompress schedule (no restore stage: the guest only caches). The
+    // app keeps mutating while this advances — that is the race pre-copy
+    // iterates against.
+    {
+      std::vector<PipelineStageModel> stages(4);
+      stages[0].name = "serialize";
+      stages[1].name = "compress";
+      stages[2].name = "wire";
+      stages[3].name = "decompress";
+      for (auto& stage : stages) {
+        stage.chunk_cost.reserve(plan_chunks.size());
+      }
+      for (size_t i = 0; i < plan_chunks.size(); ++i) {
+        const Planned& p = plan_chunks[i];
+        stages[0].chunk_cost.push_back(
+            CpuCost(device, p.len, config_.serialize_mbps));
+        stages[1].chunk_cost.push_back(
+            config_.compress_image
+                ? CpuCost(device, p.len, config_.compress_mbps) / cores
+                : 0);
+        SimDuration wire_cost = wifi.TransferTime(p.wire, link) - link.latency;
+        if (i == 0) {
+          wire_cost += link.latency;
+        }
+        stages[2].chunk_cost.push_back(wire_cost);
+        stages[3].chunk_cost.push_back(
+            config_.compress_image && p.wire < p.len
+                ? CpuCost(guest_device, p.len, config_.decompress_mbps)
+                : 0);
+      }
+      const PipelinePlan plan = SchedulePipeline(stages);
+      if (!AdvanceWithTicks(t0 + plan.makespan, &wifi)) {
+        precopy_mutator_ = nullptr;
+        return Unavailable("network lost during pre-copy round");
+      }
+      wifi.AccountTraffic(r.wire_bytes);
+      pre.wire_bytes += r.wire_bytes;
+    }
+    r.interval.end = clock.now();
+    pre.rounds.push_back(r);
+  }
+
+  // Freeze: the app stops mutating; everything after this is the
+  // stop-and-copy the user can perceive.
+  precopy_mutator_ = nullptr;
+  pre.converged = converged;
+  pre.window.end = clock.now();
+  if (!converged) {
+    if (stop_reason.empty()) {
+      stop_reason = StrFormat("round budget (%d) exhausted",
+                              config_.precopy_max_rounds);
+    }
+    // Not fatal — the stop-and-copy still runs, just longer than the
+    // target — but it is a policy failure worth evidence: freeze both
+    // flight-recorder rings and the counters for post-hoc analysis.
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kPrecopyAbortedConvergence,
+                     1);
+    last_forensics_ = BuildForensics(
+        "precopy",
+        Internal("pre-copy did not converge: " + stop_reason),
+        /*rolled_back=*/false, ReplayAuditJournal{}, report);
+    report.forensics = last_forensics_;
+  }
+
+  // The final cut. A write can race the freeze (the test hook models
+  // one): if anything dirtied after the cut, the image is stale — re-cut
+  // instead of silently dropping the bytes. The mutator is off, so the
+  // loop terminates as soon as the racing writer goes quiet.
+  Bytes payload;
+  for (int cut = 0;; ++cut) {
+    const uint64_t final_epoch = Cria::BeginDirtyEpoch(device, pids);
+    report.pipeline = PipelineStats{};
+    report.dedup = DedupStats{};
+    FLUX_ASSIGN_OR_RETURN(payload, BuildPayload(app, report));
+    if (cut == 0 && config_.precopy_after_final_cut) {
+      config_.precopy_after_final_cut();
+    }
+    if (Cria::DirtyBytesSince(device, pids, final_epoch) == 0) {
+      break;
+    }
+    ++pre.final_recuts;
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kPrecopyFinalRecuts, 1);
+    if (cut >= 4) {
+      return Internal("pre-copy final cut kept racing writes");
+    }
+  }
+  // The warm-up rounds live inside the checkpoint interval (the user is
+  // still at the target menu; §4): fold the window back in. The end gets
+  // re-stamped by TransferPipelined at the pipeline-fill boundary.
+  report.checkpoint.begin = pre.window.begin;
+
+  FLUX_TRACE_COUNT(config_.trace, trace_names::kPrecopyRounds,
+                   pre.rounds.size());
+  FLUX_TRACE_COUNT(config_.trace, trace_names::kPrecopyWireBytes,
+                   pre.wire_bytes);
+  FLUX_TRACE_COUNT(config_.trace, trace_names::kPrecopyDirtyBytes,
+                   pre.dirty_bytes);
+  uint64_t resent = 0;
+  for (const PrecopyRound& r : pre.rounds) {
+    if (r.index > 0) {
+      resent += r.chunks_sent;
+    }
+  }
+  FLUX_TRACE_COUNT(config_.trace, trace_names::kPrecopyChunksResent, resent);
+  return payload;
+}
+
 Result<AppDataSync> MigrationManager::SyncAppData(const RunningApp& app,
                                                   const AppSpec& spec,
                                                   MigrationReport& report) {
@@ -302,7 +683,13 @@ bool MigrationManager::AdvanceWithTicks(SimTime target, WifiNetwork* watch) {
     if (watch != nullptr && !watch->UpAt(clock.now())) {
       return false;
     }
-    clock.Advance(std::min<SimDuration>(slice, target - clock.now()));
+    const SimDuration step = std::min<SimDuration>(slice, target - clock.now());
+    clock.Advance(step);
+    if (precopy_mutator_) {
+      // Pre-copy rounds only: the app is still running at home and keeps
+      // dirtying its heap while chunks stream.
+      precopy_mutator_(step);
+    }
     home_device.Tick();
     guest_device.Tick();
   }
@@ -423,8 +810,12 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
     const LzChunkKind kind = i < stats.chunk_kind.size()
                                  ? static_cast<LzChunkKind>(stats.chunk_kind[i])
                                  : LzChunkKind::kLz;
+    // Pre-copy: a ref chunk was serialized during the warm-up rounds (the
+    // dirty bitmap proves it unchanged since), and the guest applied its
+    // cached content then too — both endpoints skip it in the stop-and-copy.
+    const bool prewarmed = config_.precopy && kind == LzChunkKind::kRef;
     stages[0].chunk_cost.push_back(
-        CpuCost(home_device, raw_i, config_.serialize_mbps));
+        prewarmed ? 0 : CpuCost(home_device, raw_i, config_.serialize_mbps));
     stages[1].chunk_cost.push_back(
         config_.compress_image && kind != LzChunkKind::kRef
             ? CpuCost(home_device, raw_i, config_.compress_mbps) / cores
@@ -442,7 +833,7 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
             ? CpuCost(guest_device, raw_i, config_.decompress_mbps)
             : 0);
     stages[4].chunk_cost.push_back(
-        CpuCost(guest_device, raw_i, config_.restore_mbps));
+        prewarmed ? 0 : CpuCost(guest_device, raw_i, config_.restore_mbps));
   }
   // The wire is busy before chunk 0 can stream: the sync protocol itself
   // (already on the clock — `sync_elapsed` covers the APK verification
@@ -841,7 +1232,9 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
   FLUX_EVENT(home_rec, flight_events::kSubMigration,
              flight_events::kMigrationPrepared, EventSeverity::kInfo,
              static_cast<uint64_t>(app.pid), 0);
-  auto payload_result = BuildPayload(app, report);
+  auto payload_result = config_.precopy
+                            ? BuildPayloadPrecopy(app, spec, report)
+                            : BuildPayload(app, report);
   if (!payload_result.ok()) {
     return rollback("checkpoint", payload_result.status());
   }
@@ -879,6 +1272,11 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
         !transferred.ok()) {
       return rollback("transfer", transferred);
     }
+  }
+  if (config_.precopy) {
+    // The warm-up traffic already hit the wire round by round; fold it
+    // into the migration's byte accounting (Figure 15).
+    report.total_wire_bytes += report.precopy.wire_bytes;
   }
   FLUX_EVENT(home_rec, flight_events::kSubMigration,
              flight_events::kMigrationTransferred, EventSeverity::kInfo,
@@ -1018,6 +1416,17 @@ void MigrationManager::EmitTraceSpans(const MigrationReport& report) {
                          report.replay_window.begin, report.replay_window.end);
   trace->EmitSpanOnTrack(names::kSpanDataSync, names::kTrackDetail,
                          report.data_sync.begin, report.data_sync.end);
+  if (report.precopy.enabled) {
+    trace->EmitSpanOnTrack(names::kSpanPrecopyWindow, names::kTrackDetail,
+                           report.precopy.window.begin,
+                           report.precopy.window.end);
+    for (const PrecopyRound& round : report.precopy.rounds) {
+      trace->EmitSpanOnTrack(std::string(names::kSpanPrecopyRoundPrefix) +
+                                 std::to_string(round.index),
+                             names::kTrackPrecopy, round.interval.begin,
+                             round.interval.end);
+    }
+  }
 #else
   (void)report;
 #endif  // FLUX_TRACE_ENABLED

@@ -77,6 +77,27 @@ struct MigrationConfig {
   // to the chunks that actually changed. Off by default: baseline payloads
   // and figures stay bit-for-bit unchanged.
   bool chunk_dedup = false;
+  // Extension (DESIGN.md §10): iterative pre-copy. After preparation the
+  // full image streams into the guest's chunk cache while the app keeps
+  // running (and dirtying memory at its workload's rate); converging
+  // rounds re-send only the chunks covering segments dirtied since the
+  // previous cut; then a short stop-and-copy ships the final image, in
+  // which every warmed chunk travels as a 16-byte ref. Implies pipelined
+  // and chunk_dedup (the constructor forces both on). Off by default:
+  // every baseline figure stays bit-for-bit unchanged.
+  bool precopy = false;
+  // Round budget before pre-copy gives up on convergence (forensics).
+  int precopy_max_rounds = 8;
+  // Bandwidth-aware termination: freeze once the estimated stop-and-copy
+  // of the remaining dirty delta drops below this.
+  SimDuration precopy_stop_copy_target = Millis(250);
+  // A round must shrink the dirty set to at most this fraction of the
+  // previous round's, or pre-copy declares non-convergence.
+  double precopy_min_round_shrink = 0.85;
+  // Test hook: runs once, right after the final stop-and-copy cut (models
+  // a write racing the freeze; exercises the re-cut path that keeps such
+  // writes from being silently dropped).
+  std::function<void()> precopy_after_final_cut;
   // During long transfers the world keeps moving: the clock advances in
   // slices of at most `transfer_tick`, ticking both devices (task idlers,
   // due alarms) at each boundary.
@@ -174,6 +195,8 @@ struct MigrationReport {
   PipelineStats pipeline;
   // chunk_dedup mode only.
   DedupStats dedup;
+  // precopy mode only: round-by-round warm-up accounting.
+  PrecopyStats precopy;
   // Whole-image digests for end-to-end identity checks: the raw CRIA image
   // as checkpointed at home and as reassembled on the guest.
   Hash128 image_hash;
@@ -213,6 +236,13 @@ class MigrationManager {
  private:
   Status Prepare(const RunningApp& app, MigrationReport& report);
   Result<Bytes> BuildPayload(const RunningApp& app, MigrationReport& report);
+  // Pre-copy mode: runs the converging warm-up rounds (streaming chunks
+  // into the guest cache while the app keeps dirtying memory), then
+  // freezes the app and cuts the final stop-and-copy payload — re-cutting
+  // if a write raced the cut. Fills report.precopy and folds the whole
+  // window into the checkpoint interval.
+  Result<Bytes> BuildPayloadPrecopy(const RunningApp& app, const AppSpec& spec,
+                                    MigrationReport& report);
   Status Transfer(const RunningApp& app, const AppSpec& spec,
                   uint64_t payload_bytes, MigrationReport& report);
   // APK verification + data-directory delta sync into the pairing root;
@@ -265,6 +295,11 @@ class MigrationManager {
   // Absolute end of the overlapped decompress+restore stages, set by
   // TransferPipelined and consumed by RestoreOnGuest.
   SimTime pipeline_restore_deadline_ = 0;
+  // Pre-copy only: the modeled write load of the still-running app,
+  // invoked from AdvanceWithTicks with each slice's duration. Installed
+  // for the duration of the warm-up rounds; null (the default) leaves
+  // every other path byte-identical.
+  std::function<void(SimDuration)> precopy_mutator_;
   std::shared_ptr<const ForensicReport> last_forensics_;
 };
 

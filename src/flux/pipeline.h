@@ -64,6 +64,41 @@ struct PipelineStats {
   std::vector<PipelineStageTiming> stages;
 };
 
+// ----- iterative pre-copy (DESIGN.md §10) -----
+
+// One pre-copy round: a checkpoint cut (full on round 0, dirty-segment
+// delta after) followed by streaming the chunks the guest cache is missing.
+struct PrecopyRound {
+  int index = 0;                  // 0 = the full-image warm-up round
+  uint32_t chunk_count = 0;       // chunks in the image at this cut
+  uint32_t pending_chunks = 0;    // guest-cache misses found at this cut
+  uint32_t chunks_sent = 0;       // misses actually streamed this round
+  uint64_t pending_raw_bytes = 0; // raw image bytes behind the misses
+  uint64_t raw_bytes_sent = 0;    // raw bytes streamed this round
+  uint64_t wire_bytes = 0;        // what the streamed chunks cost on wire
+  // Estimated stop-and-copy time if the migration froze at this cut
+  // (serialize + wire + restore of the pending chunks; drives the
+  // bandwidth-aware termination policy). A round that undercuts the
+  // target is a probe: it freezes without streaming (chunks_sent = 0).
+  SimDuration est_stop_copy = 0;
+  TimedInterval interval;
+};
+
+// Per-migration pre-copy accounting surfaced in MigrationReport.
+struct PrecopyStats {
+  bool enabled = false;
+  // True when a cut found the estimated stop-and-copy of its pending
+  // chunks below the configured target; false when the round budget ran
+  // out or the pending set stopped shrinking (routed through forensics,
+  // migration continues with a longer stop-and-copy).
+  bool converged = false;
+  int final_recuts = 0;        // extra cuts for writes racing the freeze
+  uint64_t wire_bytes = 0;     // total pre-copy wire traffic (all rounds)
+  uint64_t dirty_bytes = 0;    // pending raw bytes summed over all cuts
+  TimedInterval window;        // all rounds; lives inside checkpoint
+  std::vector<PrecopyRound> rounds;
+};
+
 }  // namespace flux
 
 #endif  // FLUX_SRC_FLUX_PIPELINE_H_

@@ -73,9 +73,17 @@ inline constexpr std::string_view kSpanTotal = "migration/total";
 inline constexpr std::string_view kSpanBackgroundTail =
     "migration/background_tail";
 inline constexpr std::string_view kSpanDataSync = "migration/data_sync";
+// Pre-copy (DESIGN.md §10): the iterative warm-up window before the final
+// stop-and-copy. The window span covers all rounds and lives inside the
+// checkpoint phase on the detail track; each round additionally emits a
+// "precopy/round/<n>" span on the precopy track.
+inline constexpr std::string_view kSpanPrecopyWindow = "migration/precopy";
+inline constexpr std::string_view kTrackPrecopy = "precopy";
+inline constexpr std::string_view kSpanPrecopyRoundPrefix = "precopy/round/";
 // Lower layers.
 inline constexpr std::string_view kSpanCriaCheckpoint = "cria/checkpoint";
 inline constexpr std::string_view kSpanCriaRestore = "cria/restore";
+inline constexpr std::string_view kSpanCriaPreDump = "cria/pre_dump";
 inline constexpr std::string_view kSpanPairDevices = "pairing/devices";
 inline constexpr std::string_view kSpanPairApp = "pairing/app";
 inline constexpr std::string_view kSpanVerifyApk = "pairing/verify_apk";
@@ -120,6 +128,19 @@ inline constexpr std::string_view kCriaImageBytes = "cria.image_bytes";
 inline constexpr std::string_view kPairingWireBytes = "pairing.wire_bytes";
 inline constexpr std::string_view kMigrationRollbackFailures =
     "migration.rollback_failures";
+// Pre-copy rounds (DESIGN.md §10).
+inline constexpr std::string_view kPrecopyRounds = "precopy.rounds";
+inline constexpr std::string_view kPrecopyWireBytes = "precopy.wire_bytes";
+inline constexpr std::string_view kPrecopyDirtyBytes = "precopy.dirty_bytes";
+inline constexpr std::string_view kPrecopyChunksResent =
+    "precopy.chunks_resent";
+inline constexpr std::string_view kPrecopyAbortedConvergence =
+    "precopy.aborted_convergence";
+inline constexpr std::string_view kPrecopyFinalRecuts = "precopy.final_recuts";
+inline constexpr std::string_view kCriaIncrementalCheckpoints =
+    "cria.incremental_checkpoints";
+inline constexpr std::string_view kCriaIncrementalBytes =
+    "cria.incremental_bytes";
 
 // Histograms (log-bucketed latency distributions; all values in simulated
 // microseconds, hence the `_us` suffix — scripts/check_forensics.py keys the

@@ -25,10 +25,53 @@ std::string_view SegmentKindName(SegmentKind kind) {
 uint64_t AddressSpace::Map(MemorySegment segment) {
   constexpr uint64_t kPage = 4096;
   segment.start = next_addr_;
+  segment.dirty_gen = generation_;
   const uint64_t size = std::max<uint64_t>(segment.size(), kPage);
   next_addr_ += (size + kPage - 1) / kPage * kPage + kPage;  // guard page
   segments_.push_back(std::move(segment));
   return segments_.back().start;
+}
+
+Status AddressSpace::Write(uint64_t start, uint64_t offset, ByteSpan data) {
+  MemorySegment* segment = Find(start);
+  if (segment == nullptr) {
+    return NotFound("no segment at given address");
+  }
+  if (offset + data.size() > segment->content.size()) {
+    return InvalidArgument("write past end of segment content");
+  }
+  std::copy(data.begin(), data.end(), segment->content.begin() + offset);
+  segment->dirty_gen = generation_;
+  return OkStatus();
+}
+
+Status AddressSpace::Touch(uint64_t start) {
+  MemorySegment* segment = Find(start);
+  if (segment == nullptr) {
+    return NotFound("no segment at given address");
+  }
+  segment->dirty_gen = generation_;
+  return OkStatus();
+}
+
+uint64_t AddressSpace::DirtyBytesSince(uint64_t epoch) const {
+  uint64_t total = 0;
+  for (const auto& segment : segments_) {
+    if (segment.checkpointed() && segment.dirty_gen >= epoch) {
+      total += segment.content.size();
+    }
+  }
+  return total;
+}
+
+int AddressSpace::DirtySegmentsSince(uint64_t epoch) const {
+  int count = 0;
+  for (const auto& segment : segments_) {
+    if (segment.checkpointed() && segment.dirty_gen >= epoch) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 Status AddressSpace::Unmap(uint64_t start) {

@@ -38,6 +38,11 @@ struct MemorySegment {
   Bytes content;           // empty for kFileBackedRo / kVendorLibrary
   uint64_t mapped_size = 0;  // full size even when content is not held
   std::string backing_path;  // for file-backed segments
+  // Write generation at which this segment was last dirtied (mapping counts
+  // as a write). Compared against an epoch from AddressSpace::BeginEpoch:
+  // `dirty_gen >= epoch` means "written since that epoch". Pre-copy's
+  // snapshot-and-clear is therefore O(1) — no per-segment bit to clear.
+  uint64_t dirty_gen = 0;
 
   uint64_t size() const {
     return content.empty() ? mapped_size : content.size();
@@ -61,8 +66,48 @@ struct MemorySegment {
 
 class AddressSpace {
  public:
-  // Maps a new segment at the next free address; returns its start.
+  // Maps a new segment at the next free address; returns its start. The
+  // fresh segment is stamped with the current write generation (its entire
+  // content is "dirty" relative to any earlier epoch).
   uint64_t Map(MemorySegment segment);
+
+  // ----- dirty-segment tracking (pre-copy, DESIGN.md §10) -----
+  //
+  // A monotonic write generation plus a per-segment stamp replace classic
+  // dirty bits: starting a new epoch is one increment, and "dirtied since
+  // epoch E" is `segment.dirty_gen >= E`. Several epochs can be live at
+  // once (each pre-copy round keeps its own), which plain clear-on-read
+  // bits cannot express.
+
+  // The current write generation; writes stamp this value.
+  uint64_t generation() const { return generation_; }
+
+  // Starts a new dirty epoch and returns it: segments written from this
+  // point on satisfy `dirty_gen >= epoch`.
+  uint64_t BeginEpoch() { return ++generation_; }
+
+  // Raises the write generation to at least `generation` (keeps several
+  // address spaces of one app in lockstep across pre-copy rounds).
+  void AlignGeneration(uint64_t generation) {
+    if (generation > generation_) {
+      generation_ = generation;
+    }
+  }
+
+  // Overwrites `data.size()` bytes at `offset` within the segment mapped at
+  // `start`, stamping the segment dirty at the current generation. The
+  // write must land inside the segment's existing content.
+  Status Write(uint64_t start, uint64_t offset, ByteSpan data);
+
+  // Marks a whole segment dirty at the current generation without changing
+  // its content (for callers that mutate `segments()` in place).
+  Status Touch(uint64_t start);
+
+  // Checkpointable content bytes of segments dirtied since `epoch`.
+  uint64_t DirtyBytesSince(uint64_t epoch) const;
+
+  // Number of checkpointed segments dirtied since `epoch`.
+  int DirtySegmentsSince(uint64_t epoch) const;
 
   // Unmaps the segment starting at `start`.
   Status Unmap(uint64_t start);
@@ -85,6 +130,9 @@ class AddressSpace {
  private:
   std::vector<MemorySegment> segments_;
   uint64_t next_addr_ = 0x4000'0000;
+  // Write generation counter; starts at 1 so a freshly mapped segment
+  // (dirty_gen = 1) reads as dirty against the never-begun epoch 0.
+  uint64_t generation_ = 1;
 };
 
 }  // namespace flux
