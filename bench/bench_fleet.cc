@@ -1,0 +1,254 @@
+// Fleet-scale coordinator benchmark.
+//
+// The figure benches measure one migration at a time; this bench measures
+// the machinery that runs *many*: the sharded discrete-event scheduler, the
+// contended-AP fabric, and the migration coordinator, driven by a synthetic
+// campus fleet at 1k / 10k / 100k devices. Devices come in per-user groups
+// of four (phone, tablet, TV, watch — all mutually paired), users share APs
+// (~64 stations each), and every user's foreground app ping-pongs between
+// their devices on a deterministic seeded arrival schedule. A slice of each
+// fleet bootstraps through a real pairing storm instead of MarkPaired so
+// the storm path is exercised at every scale.
+//
+// Reported per scale: completed migrations, simulated span, coordinator
+// throughput in migrations per host second, queue-wait p50/p99 (from the
+// fleet.queue_wait_us TraceHistogram — the same PR-5 snapshot/merge
+// machinery the --stats-out path uses, not ad-hoc sorting), peak in-flight
+// concurrency, warm-chunk ratio, and host wall time.
+//
+// Writes BENCH_fleet.json (gated by scripts/check_bench.py fleet) and
+// supports --stats-out=FILE for the merged counter/histogram dump.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness/migration_matrix.h"
+#include "src/base/event_queue.h"
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/flux/coordinator.h"
+#include "src/flux/trace.h"
+#include "src/net/contended_link.h"
+
+namespace flux {
+namespace {
+
+constexpr int kDevicesPerGroup = 4;
+constexpr int kDevicesPerAp = 64;
+constexpr int kStormGroups = 16;  // groups that pair through the queue
+
+struct ScaleConfig {
+  int devices = 0;
+  int max_concurrent = 0;
+  SimDuration arrival_window = 0;
+  int hops_per_app = 3;
+  bool trace_spans = false;
+};
+
+struct ScaleResult {
+  int devices = 0;
+  uint64_t requested = 0;
+  uint64_t refused = 0;
+  uint64_t completed = 0;
+  uint64_t pairings = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t warm_chunks = 0;
+  uint64_t total_chunks = 0;
+  int peak_in_flight = 0;
+  double sim_span_s = 0;
+  double host_wall_s = 0;
+  double migrations_per_host_s = 0;
+  double queue_wait_p50_ms = 0;
+  double queue_wait_p99_ms = 0;
+  double concurrency_p50 = 0;
+  std::shared_ptr<Tracer> trace;
+};
+
+ScaleResult RunScale(const ScaleConfig& cfg) {
+  const auto host_begin = std::chrono::steady_clock::now();
+
+  SimClock clock;
+  // Shard count mirrors what a threaded driver would use; correctness and
+  // pop order are shard-count-invariant (event_sched_test pins this).
+  EventScheduler sched(&clock, 8);
+  auto tracer = std::make_shared<Tracer>(&clock);
+  ContendedFabric fabric;
+
+  const int groups = cfg.devices / kDevicesPerGroup;
+  const int aps = (cfg.devices + kDevicesPerAp - 1) / kDevicesPerAp;
+  for (int a = 0; a < aps; ++a) {
+    fabric.AddAp("ap" + std::to_string(a), 150'000'000);  // 802.11n airtime
+  }
+
+  CoordinatorConfig coord_cfg;
+  coord_cfg.max_concurrent_migrations = cfg.max_concurrent;
+  coord_cfg.max_concurrent_pairings = cfg.max_concurrent / 2;
+  coord_cfg.trace = tracer.get();
+  coord_cfg.trace_spans = cfg.trace_spans;
+  MigrationCoordinator coord(&sched, &fabric, coord_cfg);
+
+  Rng rng(0x5eedULL + static_cast<uint64_t>(cfg.devices));
+  std::vector<FleetAppId> group_apps(groups);
+  for (int g = 0; g < groups; ++g) {
+    FleetDeviceId ids[kDevicesPerGroup];
+    for (int d = 0; d < kDevicesPerGroup; ++d) {
+      FleetDeviceSpec spec;
+      const int index = g * kDevicesPerGroup + d;
+      spec.name = "dev" + std::to_string(index);
+      spec.ap = static_cast<ContendedFabric::ApId>(index / kDevicesPerAp);
+      spec.link_peak_bps = 20'000'000 + rng.NextBelow(20'000'000);
+      spec.cpu_factor = 0.6 + 0.2 * static_cast<double>(rng.NextBelow(4));
+      ids[d] = coord.AddDevice(spec);
+    }
+    // The first kStormGroups groups pair through the coordinator's queue
+    // (the storm path); the rest bootstrap as already-paired.
+    const bool storm = g < kStormGroups;
+    for (int i = 0; i < kDevicesPerGroup; ++i) {
+      for (int j = i + 1; j < kDevicesPerGroup; ++j) {
+        if (storm) {
+          coord.RequestPairing(ids[i], ids[j]);
+        } else {
+          coord.MarkPaired(ids[i], ids[j]);
+        }
+      }
+    }
+    FleetAppSpec app;
+    app.name = "app" + std::to_string(g);
+    app.home = ids[0];
+    // 4..32 MiB images, skewed small like the Figure 17 CDF.
+    app.image_bytes = (4ULL << 20) + rng.NextBelow(28ULL << 20);
+    app.dirty_bytes_per_s = 128 * 1024 + rng.NextBelow(512 * 1024);
+    group_apps[g] = coord.AddApp(app);
+  }
+
+  // Deterministic ping-pong arrivals: each app asks to migrate hops_per_app
+  // times at uniform random offsets across the window (the storm phase at
+  // t=0 plus the natural rush keep admission queuing anyway). Requests that
+  // land while the previous hop is still in flight are refused and counted,
+  // like a real controller would.
+  uint64_t requested = 0;
+  for (int g = 0; g < groups; ++g) {
+    const FleetAppId app = group_apps[g];
+    SimTime at = Seconds(1);
+    for (int hop = 0; hop < cfg.hops_per_app; ++hop) {
+      const double u = rng.NextDouble();
+      at += static_cast<SimTime>(
+          u * ToSecondsF(cfg.arrival_window) / cfg.hops_per_app * 1e6);
+      sched.ScheduleAt(at, [&coord, app] { coord.RequestMigration(app); },
+                       static_cast<uint32_t>(g) % 8);
+      ++requested;
+    }
+  }
+
+  // Drain everything: arrivals, storms, and the queue tail past the window.
+  sched.DrainUntil(~SimTime{0} >> 1);
+
+  const auto host_end = std::chrono::steady_clock::now();
+
+  ScaleResult res;
+  res.devices = cfg.devices;
+  res.requested = requested;
+  res.completed = coord.completed().size();
+  res.pairings = coord.pairings_completed();
+  res.peak_in_flight = coord.peak_concurrency();
+  res.sim_span_s = ToSecondsF(static_cast<SimDuration>(clock.now()));
+  res.host_wall_s =
+      std::chrono::duration<double>(host_end - host_begin).count();
+  res.migrations_per_host_s =
+      res.host_wall_s > 0 ? res.completed / res.host_wall_s : 0;
+  for (const FleetMigrationRecord& rec : coord.completed()) {
+    res.wire_bytes += rec.wire_bytes;
+    res.warm_chunks += rec.warm_chunks;
+    res.total_chunks += rec.chunks;
+  }
+  const auto wait =
+      tracer->histogram(trace_names::kHistFleetQueueWait)->Take();
+  res.queue_wait_p50_ms = wait.Percentile(50) / 1000.0;
+  res.queue_wait_p99_ms = wait.Percentile(99) / 1000.0;
+  const auto conc =
+      tracer->histogram(trace_names::kHistFleetConcurrency)->Take();
+  res.concurrency_p50 = conc.Percentile(50);
+  for (const auto& [name, value] : tracer->Counters()) {
+    if (name == trace_names::kFleetMigrationsRefused) {
+      res.refused = value;
+    }
+  }
+  res.trace = tracer;
+  return res;
+}
+
+int Run(int argc, char** argv) {
+  const char* stats_out = StatsOutPath(argc, argv);
+
+  const ScaleConfig scales[] = {
+      {1'000, 32, Seconds(120), 3, true},
+      {10'000, 128, Seconds(300), 3, true},
+      {100'000, 512, Seconds(600), 2, false},
+  };
+
+  std::printf("Fleet coordinator scaling (groups of %d devices, %d per AP)\n",
+              kDevicesPerGroup, kDevicesPerAp);
+  std::printf(
+      "%8s %9s %9s %8s %9s %10s %10s %8s %7s %9s\n", "devices", "requested",
+      "completed", "refused", "mig/s", "p50wait", "p99wait", "inflight",
+      "warm%", "host_s");
+
+  std::vector<ScaleResult> results;
+  for (const ScaleConfig& cfg : scales) {
+    ScaleResult res = RunScale(cfg);
+    const double warm_pct =
+        res.total_chunks > 0 ? 100.0 * res.warm_chunks / res.total_chunks : 0;
+    std::printf(
+        "%8d %9" PRIu64 " %9" PRIu64 " %8" PRIu64
+        " %9.0f %8.1fms %8.1fms %8d %6.1f%% %9.2f\n",
+        res.devices, res.requested, res.completed, res.refused,
+        res.migrations_per_host_s, res.queue_wait_p50_ms,
+        res.queue_wait_p99_ms, res.peak_in_flight, warm_pct, res.host_wall_s);
+    results.push_back(std::move(res));
+  }
+
+  FILE* json = std::fopen("BENCH_fleet.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"scales\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ScaleResult& r = results[i];
+      std::fprintf(
+          json,
+          "    {\"devices\": %d, \"requested\": %" PRIu64
+          ", \"completed\": %" PRIu64 ", \"refused\": %" PRIu64
+          ", \"pairings\": %" PRIu64
+          ", \"migrations_per_host_s\": %.1f, \"queue_wait_p50_ms\": %.2f, "
+          "\"queue_wait_p99_ms\": %.2f, \"max_in_flight\": %d, "
+          "\"warm_chunk_pct\": %.2f, \"wire_mb\": %.1f, "
+          "\"sim_span_s\": %.1f, \"host_wall_s\": %.2f}%s\n",
+          r.devices, r.requested, r.completed, r.refused, r.pairings,
+          r.migrations_per_host_s, r.queue_wait_p50_ms, r.queue_wait_p99_ms,
+          r.peak_in_flight,
+          r.total_chunks > 0 ? 100.0 * r.warm_chunks / r.total_chunks : 0.0,
+          r.wire_bytes / 1048576.0, r.sim_span_s, r.host_wall_s,
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nWrote BENCH_fleet.json\n");
+  }
+
+  if (stats_out != nullptr) {
+    std::vector<const Tracer*> tracers;
+    for (const ScaleResult& r : results) {
+      tracers.push_back(r.trace.get());
+    }
+    if (!WriteTracerStats(tracers, stats_out)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flux
+
+int main(int argc, char** argv) { return flux::Run(argc, argv); }

@@ -206,20 +206,21 @@ bool WriteMatrixTrace(const MatrixResult& result, const char* path) {
   return true;
 }
 
-bool WriteMatrixStats(const MatrixResult& result, const char* path) {
+bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
+                      const char* path) {
   // std::map keeps the JSON key order deterministic across runs.
   std::map<std::string, TraceHistogram::Snapshot> histograms;
   std::map<std::string, uint64_t> counters;
   size_t traced_cells = 0;
-  for (const MatrixCell& cell : result.cells) {
-    if (cell.trace == nullptr) {
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) {
       continue;
     }
     ++traced_cells;
-    for (const auto& [name, snapshot] : cell.trace->Histograms()) {
+    for (const auto& [name, snapshot] : tracer->Histograms()) {
       histograms[name].Merge(snapshot);
     }
-    for (const auto& [name, value] : cell.trace->Counters()) {
+    for (const auto& [name, value] : tracer->Counters()) {
       counters[name] += value;
     }
   }
@@ -248,6 +249,16 @@ bool WriteMatrixStats(const MatrixResult& result, const char* path) {
   std::fprintf(stderr, "stats written to %s (%zu histograms, %zu counters)\n",
                path, histograms.size(), counters.size());
   return true;
+}
+
+bool WriteMatrixStats(const MatrixResult& result, const char* path) {
+  std::vector<const Tracer*> tracers;
+  for (const MatrixCell& cell : result.cells) {
+    if (cell.trace != nullptr) {
+      tracers.push_back(cell.trace.get());
+    }
+  }
+  return WriteTracerStats(tracers, path);
 }
 
 }  // namespace flux

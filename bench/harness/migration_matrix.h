@@ -73,10 +73,15 @@ const char* StatsOutPath(int argc, char** argv);
 // Returns false (with a message on stderr) if the file cannot be written.
 bool WriteMatrixTrace(const MatrixResult& result, const char* path);
 
-// Writes fleet-level statistics as JSON: per-cell tracer histograms merged
-// via TraceHistogram::Snapshot::Merge (count/max/p50/p90/p99 each) and
-// counters summed across cells. The shape is validated by
-// scripts/check_forensics.py. Returns false if the file cannot be written.
+// Writes fleet-level statistics for a batch of tracers as JSON: histograms
+// merged via TraceHistogram::Snapshot::Merge (count/max/p50/p90/p99 each)
+// and counters summed. The "cells" field reports tracers.size(). The shape
+// is validated by scripts/check_forensics.py. Null tracers are skipped.
+// Returns false (with a message on stderr) if the file cannot be written.
+bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
+                      const char* path);
+
+// WriteTracerStats over every traced cell of a matrix result.
 bool WriteMatrixStats(const MatrixResult& result, const char* path);
 
 }  // namespace flux

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate CI on benchmark regressions.
 
-Usage: check_bench.py <pipeline|dedup|record|precopy> <fresh.json> <committed.json>
+Usage: check_bench.py <pipeline|dedup|record|precopy|fleet> <fresh.json> <committed.json>
 
 Compares a freshly produced BENCH_*.json against the committed one and
 exits non-zero when the fresh numbers regress beyond tolerance:
@@ -20,6 +20,12 @@ exits non-zero when the fresh numbers regress beyond tolerance:
             migration claim) and warm_perceived_s < 0.3 (warm
             re-migration); both must also stay within 10% of the
             committed values.
+  fleet     per scale: max_in_flight must stay >= 8 (the concurrent-
+            migration claim), queue_wait_p99_ms is deterministic
+            simulation output and may not regress more than 50% over
+            the committed value, and the 10k-device run must finish in
+            under 60 s of host wall clock. migrations_per_host_s is
+            host-dependent: gated only by an absolute floor of 1000/s.
 
 The simulation is deterministic, so in practice fresh == committed for
 pipeline and dedup; the tolerances only absorb intentional
@@ -37,6 +43,10 @@ RECORD_SPEEDUP_FLOOR = 5.0
 PRECOPY_P50_MAX_S = 1.0
 PRECOPY_WARM_MAX_S = 0.3
 PRECOPY_DRIFT_FRAC = 0.10
+FLEET_MIN_IN_FLIGHT = 8
+FLEET_P99_DRIFT_FRAC = 0.50
+FLEET_THROUGHPUT_FLOOR = 1000.0
+FLEET_10K_WALL_MAX_S = 60.0
 
 
 def fail(msg):
@@ -46,7 +56,7 @@ def fail(msg):
 
 def main(argv):
     if len(argv) != 4 or argv[1] not in ("pipeline", "dedup", "record",
-                                         "precopy"):
+                                         "precopy", "fleet"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, fresh_path, committed_path = argv[1], argv[2], argv[3]
@@ -86,6 +96,42 @@ def main(argv):
               "%.3f s < %.1f s)"
               % (fresh["p50_perceived_s"], PRECOPY_P50_MAX_S,
                  fresh["warm_perceived_s"], PRECOPY_WARM_MAX_S))
+    elif mode == "fleet":
+        committed_by_devices = {s["devices"]: s for s in committed["scales"]}
+        for scale in fresh["scales"]:
+            devices = scale["devices"]
+            want = committed_by_devices.get(devices)
+            if want is None:
+                fail("scale %d has no committed baseline" % devices)
+            if scale["max_in_flight"] < FLEET_MIN_IN_FLIGHT:
+                fail("%dk max_in_flight %d below the %d concurrent-"
+                     "migration floor" % (devices // 1000,
+                                          scale["max_in_flight"],
+                                          FLEET_MIN_IN_FLIGHT))
+            got_p99, want_p99 = (scale["queue_wait_p99_ms"],
+                                 want["queue_wait_p99_ms"])
+            if got_p99 > want_p99 * (1.0 + FLEET_P99_DRIFT_FRAC):
+                fail("%dk queue_wait_p99_ms regressed: %.1f vs committed "
+                     "%.1f (tolerance %.0f%%)"
+                     % (devices // 1000, got_p99, want_p99,
+                        FLEET_P99_DRIFT_FRAC * 100))
+            if scale["migrations_per_host_s"] < FLEET_THROUGHPUT_FLOOR:
+                fail("%dk migrations_per_host_s below the %.0f/s floor: "
+                     "%.0f" % (devices // 1000,
+                               FLEET_THROUGHPUT_FLOOR,
+                               scale["migrations_per_host_s"]))
+            if devices == 10000 and scale["host_wall_s"] >= FLEET_10K_WALL_MAX_S:
+                fail("10k-device run took %.1f s host wall clock (max %.0f)"
+                     % (scale["host_wall_s"], FLEET_10K_WALL_MAX_S))
+        print("check_bench: fleet OK (%d scales; 10k: %.0f mig/s, p99 wait "
+              "%.1f ms, %.2f s wall)"
+              % (len(fresh["scales"]),
+                 next(s["migrations_per_host_s"] for s in fresh["scales"]
+                      if s["devices"] == 10000),
+                 next(s["queue_wait_p99_ms"] for s in fresh["scales"]
+                      if s["devices"] == 10000),
+                 next(s["host_wall_s"] for s in fresh["scales"]
+                      if s["devices"] == 10000)))
     else:
         key = "mean_warm_reduction_pct"
         got, want = fresh[key], committed[key]

@@ -167,8 +167,10 @@ def check_stats(stats_path, trace_h, observability_md):
         fail("only %d histogram constants parsed from %s" % (len(registered),
                                                              trace_h))
     missing = [n for n in registered
-               if n not in histograms and not n.startswith("pipeline.")]
-    # pipeline.* histograms only exist in pipelined-mode runs.
+               if n not in histograms and not n.startswith("pipeline.")
+               and not n.startswith("fleet.")]
+    # pipeline.* histograms only exist in pipelined-mode runs; fleet.*
+    # histograms come from bench_fleet's coordinator, not the fig13 matrix.
     if missing:
         fail("histograms registered in trace.h but absent from stats: %s"
              % ", ".join(missing))

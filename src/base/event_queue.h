@@ -1,0 +1,117 @@
+// Sharded discrete-event scheduler for the simulated world.
+//
+// The original simulation core ticked every device on every time slice:
+// World::AdvanceTime(d) advanced the clock and called Device::Tick() for the
+// whole fleet, making a virtual second cost O(fleet) even when almost every
+// device was idle. The scheduler inverts that: anything with timed work —
+// alarms, idle-stop deadlines, workload dirty-write bursts, transfer
+// completions, coordinator admission retries — registers a wake-up keyed by
+// SimTime in one of N per-shard priority queues, and the world advances by
+// popping events in global (due, seq) order. Idle devices register nothing
+// and cost nothing, so a virtual second is O(active events), which is what
+// lets one process simulate 1k-100k devices (bench_fleet).
+//
+// Determinism contract: events fire in strictly increasing (due, seq) order
+// where `seq` is the global registration ordinal. The order is therefore a
+// pure function of the schedule calls, independent of the shard count —
+// sharding only partitions the heap maintenance cost. Handlers may schedule
+// further events (including at the current instant) and cancel pending ones;
+// cancellation is lazy (tombstoned, reaped on pop) so Cancel is O(1).
+#ifndef FLUX_SRC_BASE_EVENT_QUEUE_H_
+#define FLUX_SRC_BASE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+
+namespace flux {
+
+// Wake-up callback. Fired with the clock already advanced to the due time.
+using EventFn = std::function<void()>;
+
+// Handle for cancellation. seq 0 = invalid (default-constructed).
+struct EventId {
+  uint32_t shard = 0;
+  uint64_t seq = 0;
+
+  explicit operator bool() const { return seq != 0; }
+};
+
+class EventScheduler {
+ public:
+  // `clock` must outlive the scheduler. `shards` partitions the pending set
+  // (devices map to shards by index); values < 1 are clamped to 1.
+  explicit EventScheduler(SimClock* clock, int shards = 1);
+
+  // Registers a wake-up at `due` (clamped to now: scheduling into the past
+  // fires at the current instant) on the given shard. Shards out of range
+  // wrap. Returns a handle usable with Cancel.
+  EventId ScheduleAt(SimTime due, EventFn fn, uint32_t shard = 0);
+  EventId ScheduleAfter(SimDuration delay, EventFn fn, uint32_t shard = 0);
+
+  // Tombstones a pending event. Returns false if the handle is invalid,
+  // already fired, or already cancelled.
+  bool Cancel(EventId id);
+
+  // Pops and runs every pending event with due <= target in (due, seq)
+  // order, advancing the clock to each event's due time, then advances the
+  // clock to `target`. Events scheduled by handlers at or before `target`
+  // fire within the same call.
+  void RunUntil(SimTime target);
+
+  // Runs pending events until none remain at or before `horizon`; the clock
+  // stops at the last event fired (or does not move if none is due). Unlike
+  // RunUntil, the clock is NOT advanced to the horizon — fleet benches use
+  // this to stop the instant the work dries up.
+  void DrainUntil(SimTime horizon);
+
+  // Earliest pending due time (the clock's now when idle); `has_pending()`
+  // guards validity.
+  bool has_pending() const { return !live_.empty(); }
+  size_t pending() const { return live_.size(); }
+  SimTime NextDue() const;
+
+  SimClock& clock() { return *clock_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  // Lifetime statistics (bench_fleet reports events popped per sim second).
+  uint64_t scheduled_total() const { return next_seq_ - 1; }
+  uint64_t fired_total() const { return fired_; }
+
+ private:
+  struct Item {
+    SimTime due = 0;
+    uint64_t seq = 0;
+    EventFn fn;
+  };
+  // Min-heap ordering on (due, seq): `a` sorts after `b` when it is due
+  // later or tied-but-registered-later.
+  static bool Later(const Item& a, const Item& b) {
+    return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+  }
+
+  struct Shard {
+    std::vector<Item> heap;  // std::push_heap/pop_heap with Later
+  };
+
+  // Index of the shard whose head is globally next, or -1 when idle.
+  // Reaps cancelled heads as a side effect.
+  int NextShard();
+  // Pops the head of `shard` (assumed live) and runs it.
+  void FireHead(Shard& shard);
+
+  SimClock* clock_;
+  std::vector<Shard> shards_;
+  // Seqs scheduled and not yet fired or cancelled. Cancel erases here and
+  // leaves the heap entry behind as a tombstone, reaped when it surfaces.
+  std::unordered_set<uint64_t> live_;
+  uint64_t next_seq_ = 1;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_BASE_EVENT_QUEUE_H_

@@ -1,33 +1,58 @@
 #include "src/device/world.h"
 
+#include <algorithm>
+
 #include "src/base/logging.h"
 
 namespace flux {
 
-World::World() { SetLogClock(&clock_); }
+namespace {
+
+// Living worlds' clocks, in construction order. The log clock always points
+// at the top; destroying any world (LIFO or not) re-points it at the newest
+// survivor instead of leaving it on a dead clock or dropping it to null
+// while an outer world is still alive.
+std::vector<const SimClock*>& LogClockStack() {
+  static std::vector<const SimClock*> stack;
+  return stack;
+}
+
+}  // namespace
+
+World::World() : World(WorldOptions{}) {}
+
+World::World(const WorldOptions& options)
+    : scheduler_(&clock_, options.scheduler_shards) {
+  LogClockStack().push_back(&clock_);
+  SetLogClock(&clock_);
+}
 
 World::~World() {
-  if (GetLogClock() == &clock_) {
-    SetLogClock(nullptr);
+  auto& stack = LogClockStack();
+  const auto it = std::find(stack.rbegin(), stack.rend(), &clock_);
+  if (it != stack.rend()) {
+    stack.erase(std::next(it).base());
   }
+  SetLogClock(stack.empty() ? nullptr : stack.back());
 }
 
 Result<Device*> World::AddDevice(const std::string& name,
                                  const DeviceProfile& profile,
                                  const BootOptions& options) {
-  if (devices_.count(name) > 0) {
+  if (index_.count(name) > 0) {
     return AlreadyExists("device name in use: " + name);
   }
   auto device = std::make_unique<Device>(name, profile, &clock_, &wifi_);
   FLUX_RETURN_IF_ERROR(device->Boot(options));
   Device* raw = device.get();
-  devices_[name] = std::move(device);
+  index_[name] = devices_.size();
+  devices_.push_back(std::move(device));
   return raw;
 }
 
-Device* World::FindDevice(const std::string& name) {
-  auto it = devices_.find(name);
-  return it == devices_.end() ? nullptr : it->second.get();
+Device* World::FindDevice(std::string_view name) {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : devices_[it->second].get();
 }
 
 EffectiveLink World::LinkBetween(const Device& a, const Device& b) const {
@@ -35,11 +60,21 @@ EffectiveLink World::LinkBetween(const Device& a, const Device& b) const {
 }
 
 void World::AdvanceTime(SimDuration d) {
-  clock_.Advance(d);
-  for (auto& [name, device] : devices_) {
+  const SimTime target =
+      clock_.now() + static_cast<SimTime>(d > 0 ? d : 0);
+  // Legacy tick semantics, reproduced exactly: the clock reaches the target
+  // and every device ticks once there, in name order (the order the old
+  // name-keyed map iterated). Going through the scheduler lets wake-ups
+  // registered via ScheduleAt fire at their exact due times in between.
+  for (const auto& [name, idx] : index_) {
     (void)name;
-    device->Tick();
+    Device* device = devices_[idx].get();
+    scheduler_.ScheduleAt(
+        target, [device] { device->Tick(); },
+        static_cast<uint32_t>(idx) %
+            static_cast<uint32_t>(scheduler_.shards()));
   }
+  scheduler_.RunUntil(target);
 }
 
 }  // namespace flux

@@ -1,46 +1,88 @@
 // The World: a set of devices on one shared WiFi network and one virtual
-// timeline. Benchmarks build a world with the paper's four devices, pair
-// them, and run migrations between them.
+// timeline, advanced by a sharded discrete-event scheduler. Benchmarks build
+// a world with the paper's four devices, pair them, and run migrations
+// between them; fleet benches drive the scheduler directly so 1k-100k
+// devices cost O(active events) per virtual second instead of O(fleet).
 #ifndef FLUX_SRC_DEVICE_WORLD_H_
 #define FLUX_SRC_DEVICE_WORLD_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/base/event_queue.h"
 #include "src/device/device.h"
 
 namespace flux {
 
+struct WorldOptions {
+  // Shard count of the event scheduler. Devices map to shards by their
+  // dense index modulo this; 1 (the default) keeps the legacy single-queue
+  // behavior. The pop order is shard-count independent (EventScheduler's
+  // determinism contract), so this only tunes heap sizes at fleet scale.
+  int scheduler_shards = 1;
+};
+
 class World {
  public:
   // Construction points the logging layer's timestamp clock at this world's
-  // timeline, so FLUX_LOG lines carry simulated time (OBSERVABILITY.md);
-  // destruction unhooks it again. With multiple worlds alive (probe worlds
-  // in tests), the most recently built one stamps the logs.
+  // timeline, so FLUX_LOG lines carry simulated time (OBSERVABILITY.md).
+  // Worlds nest with stack discipline: destroying an inner (probe) world
+  // restores the next-outer living world's clock — never a dead one, and
+  // never null while some world is still alive.
   World();
+  explicit World(const WorldOptions& options);
   ~World();
 
   SimClock& clock() { return clock_; }
   WifiNetwork& wifi() { return wifi_; }
+  EventScheduler& scheduler() { return scheduler_; }
 
   // Creates and boots a device.
   Result<Device*> AddDevice(const std::string& name,
                             const DeviceProfile& profile,
                             const BootOptions& options = {});
-  Device* FindDevice(const std::string& name);
+  // Heterogeneous lookup: string literals and string_views probe the name
+  // index without materializing a std::string.
+  Device* FindDevice(std::string_view name);
+  // Stable dense index in insertion order — fleet-scale iteration walks
+  // this instead of churning string keys. Out-of-range returns null.
+  Device* at(size_t index) {
+    return index < devices_.size() ? devices_[index].get() : nullptr;
+  }
   size_t device_count() const { return devices_.size(); }
 
   // Link between two devices given the current band conditions.
   EffectiveLink LinkBetween(const Device& a, const Device& b) const;
 
-  // Advances time and ticks every device (task idlers, alarms).
+  // Advances time and ticks every device (task idlers, alarms), exactly as
+  // the legacy slice loop did: one tick per device at the target instant,
+  // in name order. Implemented as scheduler events so wake-ups registered
+  // via ScheduleAt interleave at their exact due times.
   void AdvanceTime(SimDuration d);
+
+  // Event-driven advancement: registers a wake-up (optionally pinned to a
+  // device's shard) and pops events up to `target`. Idle devices cost
+  // nothing on this path.
+  EventId ScheduleAt(SimTime due, EventFn fn, size_t device_index = 0) {
+    return scheduler_.ScheduleAt(
+        due, std::move(fn),
+        static_cast<uint32_t>(device_index) %
+            static_cast<uint32_t>(scheduler_.shards()));
+  }
+  void RunUntil(SimTime target) { scheduler_.RunUntil(target); }
 
  private:
   SimClock clock_;
   WifiNetwork wifi_;
-  std::map<std::string, std::unique_ptr<Device>> devices_;
+  EventScheduler scheduler_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  // name -> dense index; transparent comparator so FindDevice(string_view)
+  // never allocates.
+  std::map<std::string, size_t, std::less<>> index_;
 };
 
 }  // namespace flux

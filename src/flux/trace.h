@@ -91,6 +91,15 @@ inline constexpr std::string_view kSpanVerifyApk = "pairing/verify_apk";
 // "pipeline/<stage>" (serialize, compress, wire, decompress, restore).
 inline constexpr std::string_view kTrackDetail = "migration/detail";
 inline constexpr std::string_view kTrackPipelinePrefix = "pipeline/";
+// Fleet coordinator (DESIGN.md §11): one span per coordinated migration
+// (admission -> completion) and one per queue residency (submission ->
+// admission), all on the "coordinator" track; pairings likewise.
+inline constexpr std::string_view kTrackCoordinator = "coordinator";
+inline constexpr std::string_view kSpanCoordMigration =
+    "coordinator/migration";
+inline constexpr std::string_view kSpanCoordQueueWait =
+    "coordinator/queue_wait";
+inline constexpr std::string_view kSpanCoordPairing = "coordinator/pairing";
 
 // Counters.
 inline constexpr std::string_view kMigrationRollbacks = "migration.rollbacks";
@@ -141,6 +150,23 @@ inline constexpr std::string_view kCriaIncrementalCheckpoints =
     "cria.incremental_checkpoints";
 inline constexpr std::string_view kCriaIncrementalBytes =
     "cria.incremental_bytes";
+// Fleet coordinator (DESIGN.md §11).
+inline constexpr std::string_view kFleetMigrationsRequested =
+    "fleet.migrations_requested";
+inline constexpr std::string_view kFleetMigrationsAdmitted =
+    "fleet.migrations_admitted";
+inline constexpr std::string_view kFleetMigrationsCompleted =
+    "fleet.migrations_completed";
+inline constexpr std::string_view kFleetMigrationsRefused =
+    "fleet.migrations_refused";
+inline constexpr std::string_view kFleetPairingsCompleted =
+    "fleet.pairings_completed";
+inline constexpr std::string_view kFleetPlacementProbes =
+    "fleet.placement_probes";
+inline constexpr std::string_view kFleetPlacementWarmChunks =
+    "fleet.placement_warm_chunks";
+inline constexpr std::string_view kFleetWireBytes = "fleet.wire_bytes";
+inline constexpr std::string_view kFleetDirtyBursts = "fleet.dirty_bursts";
 
 // Histograms (log-bucketed latency distributions; all values in simulated
 // microseconds, hence the `_us` suffix — scripts/check_forensics.py keys the
@@ -157,6 +183,12 @@ inline constexpr std::string_view kHistPipelineRestore =
 inline constexpr std::string_view kHistRecordTxn = "record.txn_cost_us";
 inline constexpr std::string_view kHistReplayCall = "replay.call_us";
 inline constexpr std::string_view kHistNetTick = "net.tick_us";
+// Fleet coordinator histograms: queue residency (submission -> admission)
+// in simulated micros, and the in-flight migration count sampled at every
+// admission (dimensionless — the one catalog entry without a `_us` unit).
+// bench_fleet's percentiles come from these snapshots, not ad-hoc sorting.
+inline constexpr std::string_view kHistFleetQueueWait = "fleet.queue_wait_us";
+inline constexpr std::string_view kHistFleetConcurrency = "fleet.concurrency";
 
 }  // namespace trace_names
 

@@ -1,0 +1,132 @@
+#include "src/net/contended_link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flux {
+
+ContendedFabric::ApId ContendedFabric::AddAp(std::string name,
+                                             uint64_t capacity_bps) {
+  Ap ap;
+  ap.name = std::move(name);
+  ap.capacity_bps = capacity_bps;
+  aps_.push_back(std::move(ap));
+  return static_cast<ApId>(aps_.size() - 1);
+}
+
+int ContendedFabric::ActiveFlows(ApId ap) const {
+  return ap < aps_.size() ? aps_[ap].active : 0;
+}
+
+ContendedFabric::FlowId ContendedFabric::StartFlow(SimTime now, uint64_t bytes,
+                                                   uint64_t peak_bps,
+                                                   ApId home_ap,
+                                                   ApId guest_ap) {
+  if (bytes == 0) {
+    return kInvalidFlow;
+  }
+  // Fix everyone's progress at the old rates before membership changes.
+  RecomputeRates(now);
+  Flow flow;
+  flow.id = next_flow_++;
+  flow.home_ap = home_ap;
+  flow.guest_ap = guest_ap;
+  flow.peak_bps = std::max<uint64_t>(peak_bps, 1);
+  flow.total_bytes = bytes;
+  flow.remaining_bytes = static_cast<double>(bytes);
+  flow.settled_at = now;
+  flows_.push_back(flow);
+  if (home_ap < aps_.size()) {
+    ++aps_[home_ap].active;
+  }
+  if (guest_ap < aps_.size() && guest_ap != home_ap) {
+    ++aps_[guest_ap].active;
+  }
+  RecomputeRates(now);
+  return flow.id;
+}
+
+void ContendedFabric::RecomputeRates(SimTime now) {
+  // Settle progress at the rates in force since each flow's last settle
+  // point, then hand out fresh equal shares.
+  for (Flow& flow : flows_) {
+    if (now > flow.settled_at && flow.rate_bps > 0) {
+      const double elapsed_s = ToSecondsF(
+          static_cast<SimDuration>(now - flow.settled_at));
+      flow.remaining_bytes =
+          std::max(0.0, flow.remaining_bytes - flow.rate_bps / 8.0 * elapsed_s);
+    }
+    flow.settled_at = now;
+  }
+  for (Flow& flow : flows_) {
+    double rate = static_cast<double>(flow.peak_bps);
+    const ApId crossed[2] = {flow.home_ap, flow.guest_ap};
+    for (int i = 0; i < (flow.home_ap == flow.guest_ap ? 1 : 2); ++i) {
+      if (crossed[i] < aps_.size() && aps_[crossed[i]].active > 0) {
+        rate = std::min(rate, static_cast<double>(aps_[crossed[i]].capacity_bps) /
+                                  aps_[crossed[i]].active);
+      }
+    }
+    flow.rate_bps = std::max(rate, 1.0);
+  }
+}
+
+bool ContendedFabric::NextCompletion(SimTime now, SimTime* when) const {
+  bool any = false;
+  SimTime best = 0;
+  for (const Flow& flow : flows_) {
+    // ceil to a whole microsecond so Settle at the reported instant always
+    // sees the flow drained.
+    const double seconds = flow.remaining_bytes / (flow.rate_bps / 8.0);
+    const SimTime done =
+        now + static_cast<SimTime>(std::ceil(seconds * 1e6));
+    if (!any || done < best) {
+      best = done;
+      any = true;
+    }
+  }
+  if (any) {
+    *when = best;
+  }
+  return any;
+}
+
+void ContendedFabric::Settle(SimTime now, std::vector<FinishedFlow>* out) {
+  RecomputeRates(now);
+  // Sub-byte residue is wire rounding, not payload: a flow is done once
+  // less than a byte remains.
+  std::vector<Flow> still_active;
+  still_active.reserve(flows_.size());
+  std::vector<FinishedFlow> done;
+  for (Flow& flow : flows_) {
+    if (flow.remaining_bytes < 1.0) {
+      FinishedFlow fin;
+      fin.id = flow.id;
+      fin.finished_at = now;
+      fin.bytes = flow.total_bytes;
+      done.push_back(fin);
+      bytes_carried_ += flow.total_bytes;
+      if (flow.home_ap < aps_.size()) {
+        --aps_[flow.home_ap].active;
+      }
+      if (flow.guest_ap < aps_.size() && flow.guest_ap != flow.home_ap) {
+        --aps_[flow.guest_ap].active;
+      }
+    } else {
+      still_active.push_back(flow);
+    }
+  }
+  if (!done.empty()) {
+    flows_ = std::move(still_active);
+    RecomputeRates(now);
+    std::sort(done.begin(), done.end(),
+              [](const FinishedFlow& a, const FinishedFlow& b) {
+                return a.finished_at != b.finished_at
+                           ? a.finished_at < b.finished_at
+                           : a.id < b.id;
+              });
+    out->insert(out->end(), done.begin(), done.end());
+  }
+}
+
+}  // namespace flux

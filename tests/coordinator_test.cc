@@ -1,0 +1,299 @@
+// Migration coordinator tests: admission/queue ordering, per-AP contention
+// math, cache-aware placement, pairing storms, dirty bursts, refusal
+// semantics, and a 1k-device smoke run (also exercised under ASan/UBSan in
+// CI's sanitizer job).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/event_queue.h"
+#include "src/flux/coordinator.h"
+#include "src/flux/trace.h"
+#include "src/net/contended_link.h"
+
+namespace flux {
+namespace {
+
+constexpr SimTime kForever = ~SimTime{0} >> 1;
+
+// Small harness: one clock, one sharded scheduler, one fabric, one tracer.
+struct Fleet {
+  explicit Fleet(CoordinatorConfig cfg = {}, int shards = 4)
+      : sched(&clock, shards), tracer(&clock) {
+    cfg.trace = &tracer;
+    coord = std::make_unique<MigrationCoordinator>(&sched, &fabric, cfg);
+  }
+
+  FleetDeviceId Dev(ContendedFabric::ApId ap, uint64_t peak_bps = 30'000'000) {
+    FleetDeviceSpec spec;
+    spec.name = "d" + std::to_string(coord->device_count());
+    spec.ap = ap;
+    spec.link_peak_bps = peak_bps;
+    return coord->AddDevice(spec);
+  }
+
+  FleetAppId App(FleetDeviceId home, uint64_t image_bytes = 1 << 20,
+                 uint64_t dirty_bytes_per_s = 0) {
+    FleetAppSpec spec;
+    spec.name = "app" + std::to_string(home);
+    spec.home = home;
+    spec.image_bytes = image_bytes;
+    spec.dirty_bytes_per_s = dirty_bytes_per_s;
+    return coord->AddApp(spec);
+  }
+
+  uint64_t Counter(std::string_view name) {
+    return tracer.counter(name)->value();
+  }
+
+  SimClock clock;
+  EventScheduler sched;
+  ContendedFabric fabric;
+  Tracer tracer;
+  std::unique_ptr<MigrationCoordinator> coord;
+};
+
+TEST(ContendedFabricTest, EqualFlowsThroughOneApSplitItsCapacity) {
+  ContendedFabric fabric;
+  const auto ap = fabric.AddAp("ap0", 8'000'000);  // 8 Mbps airtime
+  // Two 1 MB flows with ample station peaks: each gets cap/2 = 4 Mbps, so
+  // both drain their 8 Mbit in exactly 2 simulated seconds.
+  auto f1 = fabric.StartFlow(0, 1'000'000, 100'000'000, ap, ap);
+  auto f2 = fabric.StartFlow(0, 1'000'000, 100'000'000, ap, ap);
+  ASSERT_NE(f1, ContendedFabric::kInvalidFlow);
+  ASSERT_NE(f2, ContendedFabric::kInvalidFlow);
+  EXPECT_EQ(fabric.ActiveFlows(ap), 2);
+  SimTime when = 0;
+  ASSERT_TRUE(fabric.NextCompletion(0, &when));
+  EXPECT_EQ(when, static_cast<SimTime>(Seconds(2)));
+  std::vector<ContendedFabric::FinishedFlow> done;
+  fabric.Settle(when, &done);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, f1);
+  EXPECT_EQ(done[1].id, f2);
+  EXPECT_EQ(fabric.ActiveFlows(ap), 0);
+}
+
+TEST(ContendedFabricTest, StationPeakCapsAnIdleAp) {
+  ContendedFabric fabric;
+  const auto ap = fabric.AddAp("ap0", 8'000'000);
+  // One flow with a 2 Mbps station: the AP is idle but the station can't
+  // fill its share, so 1 MB takes 4 s.
+  fabric.StartFlow(0, 1'000'000, 2'000'000, ap, ap);
+  SimTime when = 0;
+  ASSERT_TRUE(fabric.NextCompletion(0, &when));
+  EXPECT_EQ(when, static_cast<SimTime>(Seconds(4)));
+}
+
+TEST(ContendedFabricTest, CrossApFlowTakesTheTighterShare) {
+  ContendedFabric fabric;
+  const auto ap_a = fabric.AddAp("a", 8'000'000);
+  const auto ap_b = fabric.AddAp("b", 2'000'000);
+  // The cross flow is limited by its share on BOTH APs: b's 2 Mbps is the
+  // bottleneck even though a is idle.
+  fabric.StartFlow(0, 1'000'000, 100'000'000, ap_a, ap_b);
+  EXPECT_EQ(fabric.ActiveFlows(ap_a), 1);
+  EXPECT_EQ(fabric.ActiveFlows(ap_b), 1);
+  SimTime when = 0;
+  ASSERT_TRUE(fabric.NextCompletion(0, &when));
+  EXPECT_EQ(when, static_cast<SimTime>(Seconds(4)));
+}
+
+TEST(CoordinatorTest, AdmitsFifoAndRecordsQueueWait) {
+  CoordinatorConfig cfg;
+  cfg.max_concurrent_migrations = 1;
+  Fleet fleet(cfg);
+  const auto ap = fleet.fabric.AddAp("ap0", 150'000'000);
+  const auto d0 = fleet.Dev(ap), d1 = fleet.Dev(ap);
+  const auto d2 = fleet.Dev(ap), d3 = fleet.Dev(ap);
+  fleet.coord->MarkPaired(d0, d1);
+  fleet.coord->MarkPaired(d2, d3);
+  const auto a0 = fleet.App(d0), a1 = fleet.App(d2);
+  ASSERT_TRUE(fleet.coord->RequestMigration(a0));
+  ASSERT_TRUE(fleet.coord->RequestMigration(a1));
+  EXPECT_EQ(fleet.coord->inflight_migrations(), 1u);
+  EXPECT_EQ(fleet.coord->queued_migrations(), 1u);
+  fleet.sched.DrainUntil(kForever);
+  const auto& done = fleet.coord->completed();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].app, a0);
+  EXPECT_EQ(done[1].app, a1);
+  // The second migration waited for the single slot.
+  EXPECT_EQ(done[0].queue_wait(), 0);
+  EXPECT_GT(done[1].queue_wait(), 0);
+  EXPECT_EQ(done[1].admitted, done[0].completed);
+  // Histogram count matches admissions; waits land in the snapshot.
+  const auto wait = fleet.tracer.histogram(
+      trace_names::kHistFleetQueueWait)->Take();
+  EXPECT_EQ(wait.count, 2u);
+  EXPECT_EQ(wait.max, static_cast<uint64_t>(done[1].queue_wait()));
+  EXPECT_EQ(fleet.Counter(trace_names::kFleetMigrationsAdmitted), 2u);
+  EXPECT_EQ(fleet.Counter(trace_names::kFleetMigrationsCompleted), 2u);
+}
+
+TEST(CoordinatorTest, BlockedHeadDoesNotBlockTheQueue) {
+  CoordinatorConfig cfg;
+  cfg.max_concurrent_migrations = 4;
+  Fleet fleet(cfg);
+  const auto ap = fleet.fabric.AddAp("ap0", 150'000'000);
+  const auto d0 = fleet.Dev(ap), d1 = fleet.Dev(ap);
+  const auto d2 = fleet.Dev(ap), d3 = fleet.Dev(ap);
+  fleet.coord->MarkPaired(d0, d1);
+  fleet.coord->MarkPaired(d2, d3);
+  const auto a0 = fleet.App(d0);      // in flight first
+  const auto a0b = fleet.App(d0);     // blocked: d0 busy with a0
+  const auto a2 = fleet.App(d2);      // runnable: must skip past a0b
+  ASSERT_TRUE(fleet.coord->RequestMigration(a0));
+  ASSERT_TRUE(fleet.coord->RequestMigration(a0b));
+  ASSERT_TRUE(fleet.coord->RequestMigration(a2));
+  // a2 was admitted immediately even though a0b sits ahead of it blocked.
+  EXPECT_EQ(fleet.coord->inflight_migrations(), 2u);
+  EXPECT_EQ(fleet.coord->queued_migrations(), 1u);
+  fleet.sched.DrainUntil(kForever);
+  ASSERT_EQ(fleet.coord->completed().size(), 3u);
+  EXPECT_EQ(fleet.coord->completed()[0].app, a0);
+  EXPECT_EQ(fleet.coord->completed()[1].app, a2);
+  EXPECT_EQ(fleet.coord->completed()[2].app, a0b);
+}
+
+TEST(CoordinatorTest, PlacementPrefersTheWarmCache) {
+  Fleet fleet;
+  const auto ap = fleet.fabric.AddAp("ap0", 150'000'000);
+  const auto d0 = fleet.Dev(ap), cold = fleet.Dev(ap), warm = fleet.Dev(ap);
+  fleet.coord->MarkPaired(d0, cold);
+  fleet.coord->MarkPaired(d0, warm);
+  fleet.coord->MarkPaired(cold, warm);
+  const auto app = fleet.App(d0);  // zero dirty rate: chunks stay stable
+  // Warm `warm` up: ship the app there and back explicitly.
+  ASSERT_TRUE(fleet.coord->RequestMigration(app, warm));
+  fleet.sched.DrainUntil(kForever);
+  ASSERT_TRUE(fleet.coord->RequestMigration(app, d0));
+  fleet.sched.DrainUntil(kForever);
+  ASSERT_EQ(fleet.coord->AppHome(app), d0);
+  // Auto placement must now pick `warm` over `cold` and ship refs only.
+  ASSERT_TRUE(fleet.coord->RequestMigration(app));
+  fleet.sched.DrainUntil(kForever);
+  ASSERT_EQ(fleet.coord->completed().size(), 3u);
+  const FleetMigrationRecord& rec = fleet.coord->completed().back();
+  EXPECT_EQ(rec.guest, warm);
+  EXPECT_EQ(rec.warm_chunks, rec.chunks);
+  // A fully warm transfer ships only 16-byte refs.
+  EXPECT_EQ(rec.wire_bytes, static_cast<uint64_t>(rec.chunks) * 16);
+  EXPECT_GT(fleet.Counter(trace_names::kFleetPlacementWarmChunks), 0u);
+  EXPECT_GT(fleet.Counter(trace_names::kFleetPlacementProbes), 0u);
+}
+
+TEST(CoordinatorTest, DirtyWritesCoolTheCacheBetweenHops) {
+  Fleet fleet;
+  const auto ap = fleet.fabric.AddAp("ap0", 150'000'000);
+  const auto d0 = fleet.Dev(ap), d1 = fleet.Dev(ap);
+  fleet.coord->MarkPaired(d0, d1);
+  // 32 MiB image, heavy writes: chunks mutate between hops, and the
+  // pre-cut window (~1.7 s of prepare + serialize + compress) spans
+  // several 500 ms dirty bursts.
+  const auto app = fleet.App(d0, 32 << 20, 2 << 20);
+  ASSERT_TRUE(fleet.coord->RequestMigration(app, d1));
+  fleet.sched.DrainUntil(kForever);
+  // Let the app run (and dirty its hot set) for a while before returning.
+  fleet.sched.ScheduleAfter(Seconds(30), [] {});
+  fleet.sched.DrainUntil(kForever);
+  ASSERT_TRUE(fleet.coord->RequestMigration(app, d0));
+  fleet.sched.DrainUntil(kForever);
+  ASSERT_EQ(fleet.coord->completed().size(), 2u);
+  const FleetMigrationRecord& back = fleet.coord->completed().back();
+  // The return hop finds d0's cache warm for the clean chunks but cold for
+  // the rewritten hot set.
+  EXPECT_GT(back.warm_chunks, 0u);
+  EXPECT_LT(back.warm_chunks, back.chunks);
+  EXPECT_GT(fleet.Counter(trace_names::kFleetDirtyBursts), 0u);
+}
+
+TEST(CoordinatorTest, PairingStormOf64DevicesRespectsTheCap) {
+  CoordinatorConfig cfg;
+  cfg.max_concurrent_pairings = 4;
+  Fleet fleet(cfg);
+  const auto ap = fleet.fabric.AddAp("ap0", 150'000'000);
+  std::vector<FleetDeviceId> devs;
+  for (int i = 0; i < 64; ++i) {
+    devs.push_back(fleet.Dev(ap));
+  }
+  for (int i = 0; i < 64; i += 2) {
+    ASSERT_TRUE(fleet.coord->RequestPairing(devs[i], devs[i + 1]));
+  }
+  EXPECT_EQ(fleet.coord->inflight_pairings(), 4u);
+  fleet.sched.DrainUntil(kForever);
+  EXPECT_EQ(fleet.coord->pairings_completed(), 32u);
+  EXPECT_LE(fleet.coord->peak_concurrency(), 4);
+  for (int i = 0; i < 64; i += 2) {
+    EXPECT_TRUE(fleet.coord->IsPaired(devs[i], devs[i + 1]));
+    EXPECT_FALSE(fleet.coord->DeviceBusy(devs[i]));
+  }
+  EXPECT_EQ(fleet.Counter(trace_names::kFleetPairingsCompleted), 32u);
+}
+
+TEST(CoordinatorTest, RefusalSemantics) {
+  Fleet fleet;
+  const auto ap = fleet.fabric.AddAp("ap0", 150'000'000);
+  const auto d0 = fleet.Dev(ap), d1 = fleet.Dev(ap);
+  const auto lonely = fleet.Dev(ap);
+  fleet.coord->MarkPaired(d0, d1);
+  const auto app = fleet.App(d0);
+  const auto stranded = fleet.App(lonely);
+  EXPECT_FALSE(fleet.coord->RequestMigration(9999));      // unknown app
+  EXPECT_FALSE(fleet.coord->RequestMigration(stranded));  // no paired peer
+  EXPECT_FALSE(fleet.coord->RequestMigration(app, lonely));  // unpaired guest
+  ASSERT_TRUE(fleet.coord->RequestMigration(app));
+  EXPECT_FALSE(fleet.coord->RequestMigration(app));  // already migrating
+  fleet.sched.DrainUntil(kForever);
+  EXPECT_EQ(fleet.Counter(trace_names::kFleetMigrationsRefused), 4u);
+  EXPECT_EQ(fleet.Counter(trace_names::kFleetMigrationsCompleted), 1u);
+}
+
+TEST(CoordinatorTest, ThousandDeviceSmoke) {
+  CoordinatorConfig cfg;
+  cfg.max_concurrent_migrations = 32;
+  Fleet fleet(cfg, 8);
+  constexpr int kDevices = 1000;
+  for (int a = 0; a < (kDevices + 63) / 64; ++a) {
+    fleet.fabric.AddAp("ap" + std::to_string(a), 150'000'000);
+  }
+  std::vector<FleetAppId> apps;
+  for (int g = 0; g < kDevices / 4; ++g) {
+    FleetDeviceId ids[4];
+    for (int d = 0; d < 4; ++d) {
+      ids[d] = fleet.Dev(static_cast<ContendedFabric::ApId>(
+          (g * 4 + d) / 64));
+    }
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        fleet.coord->MarkPaired(ids[i], ids[j]);
+      }
+    }
+    apps.push_back(fleet.App(ids[0], 2 << 20, 64 << 10));
+  }
+  // Stagger one migration per app across a minute.
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const FleetAppId app = apps[i];
+    fleet.sched.ScheduleAt(
+        static_cast<SimTime>(Millis(static_cast<int64_t>(i) * 240)),
+        [&fleet, app] { fleet.coord->RequestMigration(app); },
+        static_cast<uint32_t>(i % 8));
+  }
+  fleet.sched.DrainUntil(kForever);
+  EXPECT_EQ(fleet.coord->completed().size(), apps.size());
+  EXPECT_EQ(fleet.coord->inflight_migrations(), 0u);
+  EXPECT_EQ(fleet.coord->queued_migrations(), 0u);
+  EXPECT_GE(fleet.coord->peak_concurrency(), 1);
+  EXPECT_EQ(fleet.fabric.active_flows(), 0u);
+  // Every app re-homed onto one of its group peers.
+  for (size_t g = 0; g < apps.size(); ++g) {
+    const FleetDeviceId home = fleet.coord->AppHome(apps[g]);
+    EXPECT_NE(home, static_cast<FleetDeviceId>(g * 4));
+    EXPECT_GE(home, static_cast<FleetDeviceId>(g * 4));
+    EXPECT_LT(home, static_cast<FleetDeviceId>(g * 4 + 4));
+  }
+}
+
+}  // namespace
+}  // namespace flux

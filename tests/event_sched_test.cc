@@ -1,0 +1,181 @@
+// Discrete-event scheduler tests: (due, seq) pop order independent of shard
+// count, cancellation, events scheduled mid-run, clock semantics — plus the
+// World satellites that ride on it: the log-clock stack discipline,
+// heterogeneous FindDevice, and the stable dense device index.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/event_queue.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+
+namespace flux {
+namespace {
+
+TEST(EventSchedulerTest, FiresInDueThenSeqOrderAcrossShards) {
+  SimClock clock;
+  EventScheduler sched(&clock, 4);
+  std::vector<int> order;
+  // Interleave shards and due times; two events tie at t=200 — the one
+  // scheduled first must fire first regardless of shard.
+  sched.ScheduleAt(300, [&] { order.push_back(0); }, 3);
+  sched.ScheduleAt(100, [&] { order.push_back(1); }, 1);
+  sched.ScheduleAt(200, [&] { order.push_back(2); }, 2);
+  sched.ScheduleAt(200, [&] { order.push_back(3); }, 0);
+  sched.ScheduleAt(50, [&] { order.push_back(4); }, 2);
+  sched.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{4, 1, 2, 3, 0}));
+  EXPECT_EQ(clock.now(), 1000u);
+  EXPECT_FALSE(sched.has_pending());
+}
+
+TEST(EventSchedulerTest, PopOrderIsShardCountInvariant) {
+  // The same event set must fire in the same order on 1 shard and on 7.
+  auto run = [](int shards) {
+    SimClock clock;
+    EventScheduler sched(&clock, shards);
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      const SimTime due = static_cast<SimTime>((i * 37) % 11) * 10;
+      sched.ScheduleAt(due, [&order, i] { order.push_back(i); },
+                       static_cast<uint32_t>(i % shards));
+    }
+    sched.RunUntil(1000);
+    return order;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(EventSchedulerTest, EventSeesClockAtItsDueTime) {
+  SimClock clock;
+  EventScheduler sched(&clock);
+  SimTime seen = 0;
+  sched.ScheduleAt(123, [&] { seen = clock.now(); });
+  sched.RunUntil(500);
+  EXPECT_EQ(seen, 123u);
+  EXPECT_EQ(clock.now(), 500u);
+}
+
+TEST(EventSchedulerTest, CancelPreventsFiringAndStaleIdsAreRejected) {
+  SimClock clock;
+  EventScheduler sched(&clock, 2);
+  int fired = 0;
+  EventId keep = sched.ScheduleAt(10, [&] { ++fired; }, 0);
+  EventId drop = sched.ScheduleAt(20, [&] { ++fired; }, 1);
+  EXPECT_EQ(sched.pending(), 2u);
+  EXPECT_TRUE(sched.Cancel(drop));
+  EXPECT_FALSE(sched.Cancel(drop));  // already cancelled
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sched.Cancel(keep));  // already fired
+}
+
+TEST(EventSchedulerTest, EventsScheduledDuringRunFireAtTheirDueTime) {
+  SimClock clock;
+  EventScheduler sched(&clock, 2);
+  std::vector<SimTime> fired_at;
+  sched.ScheduleAt(100, [&] {
+    fired_at.push_back(clock.now());
+    // Due inside the current run: must fire in this RunUntil, on another
+    // shard. Due past the target: must stay pending.
+    sched.ScheduleAt(150, [&] { fired_at.push_back(clock.now()); }, 1);
+    sched.ScheduleAfter(5000, [&] { fired_at.push_back(clock.now()); }, 0);
+  });
+  sched.RunUntil(1000);
+  EXPECT_EQ(fired_at, (std::vector<SimTime>{100, 150}));
+  EXPECT_TRUE(sched.has_pending());
+  sched.RunUntil(6000);
+  EXPECT_EQ(fired_at.size(), 3u);
+  EXPECT_EQ(fired_at.back(), 5100u);
+}
+
+TEST(EventSchedulerTest, DrainUntilStopsClockAtLastFiredEvent) {
+  SimClock clock;
+  EventScheduler sched(&clock);
+  sched.ScheduleAt(10, [] {});
+  sched.ScheduleAt(20, [] {});
+  sched.DrainUntil(1000);
+  EXPECT_EQ(clock.now(), 20u);
+  EXPECT_FALSE(sched.has_pending());
+}
+
+TEST(EventSchedulerTest, PastDueClampsToNow) {
+  SimClock clock;
+  clock.AdvanceTo(500);
+  EventScheduler sched(&clock);
+  SimTime seen = 0;
+  sched.ScheduleAt(100, [&] { seen = clock.now(); });
+  sched.RunUntil(500);
+  EXPECT_EQ(seen, 500u);
+}
+
+// ----- World satellites -----
+
+TEST(WorldClockTest, LogClockFollowsInnerWorldAndRestoresOuter) {
+  World outer;
+  EXPECT_EQ(GetLogClock(), &outer.clock());
+  {
+    World probe;
+    EXPECT_EQ(GetLogClock(), &probe.clock());
+  }
+  // Destroying the probe world must re-point logging at the outer world's
+  // clock, not leave a dangling pointer (the pre-scheduler World nulled or
+  // clobbered it).
+  EXPECT_EQ(GetLogClock(), &outer.clock());
+}
+
+TEST(WorldClockTest, NonLifoDestructionKeepsTopOfStack) {
+  World outer;
+  auto w2 = std::make_unique<World>();
+  auto w3 = std::make_unique<World>();
+  EXPECT_EQ(GetLogClock(), &w3->clock());
+  w2.reset();  // destroy out of order: the top stays live
+  EXPECT_EQ(GetLogClock(), &w3->clock());
+  w3.reset();
+  EXPECT_EQ(GetLogClock(), &outer.clock());
+}
+
+class WorldDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BootOptions boot;
+    boot.framework_scale = 0.002;
+    ASSERT_TRUE(world_.AddDevice("phone", Nexus4Profile(), boot).ok());
+    ASSERT_TRUE(world_.AddDevice("tablet", Nexus7_2013Profile(), boot).ok());
+  }
+  World world_;
+};
+
+TEST_F(WorldDeviceTest, FindDeviceIsHeterogeneous) {
+  const std::string_view phone_view = "phone";
+  Device* by_view = world_.FindDevice(phone_view);
+  ASSERT_NE(by_view, nullptr);
+  EXPECT_EQ(by_view->name(), "phone");
+  EXPECT_EQ(world_.FindDevice("tablet"), world_.at(1));
+  EXPECT_EQ(world_.FindDevice("nope"), nullptr);
+}
+
+TEST_F(WorldDeviceTest, DenseIndexIsInsertionOrderedAndBounded) {
+  ASSERT_EQ(world_.device_count(), 2u);
+  ASSERT_NE(world_.at(0), nullptr);
+  EXPECT_EQ(world_.at(0)->name(), "phone");
+  EXPECT_EQ(world_.at(1)->name(), "tablet");
+  EXPECT_EQ(world_.at(2), nullptr);
+}
+
+TEST_F(WorldDeviceTest, ScheduledWakeupsInterleaveWithAdvanceTime) {
+  const SimTime start = world_.clock().now();
+  SimTime woke_at = 0;
+  world_.ScheduleAt(start + Millis(500),
+                    [&] { woke_at = world_.clock().now(); }, 1);
+  world_.AdvanceTime(Seconds(1));
+  EXPECT_EQ(woke_at, start + static_cast<SimTime>(Millis(500)));
+  EXPECT_EQ(world_.clock().now(), start + static_cast<SimTime>(Seconds(1)));
+}
+
+}  // namespace
+}  // namespace flux
