@@ -10,25 +10,41 @@
 // fleet bootstraps through a real pairing storm instead of MarkPaired so
 // the storm path is exercised at every scale.
 //
+// Each scale runs twice: once with the serial driver (--threads=1
+// semantics) and once under the parallel staged-event driver on a
+// --threads=N pool (default 8). The two runs must produce byte-identical
+// merged stats (TracerStatsJson) — that equality is the `stats_match`
+// field, gated by scripts/check_bench.py — and the wall-clock ratio is the
+// reported `speedup`. Simulated results never depend on the thread count
+// (DESIGN.md §12).
+//
 // Reported per scale: completed migrations, simulated span, coordinator
 // throughput in migrations per host second, queue-wait p50/p99 (from the
 // fleet.queue_wait_us TraceHistogram — the same PR-5 snapshot/merge
 // machinery the --stats-out path uses, not ad-hoc sorting), peak in-flight
-// concurrency, warm-chunk ratio, and host wall time.
+// concurrency, warm-chunk ratio, host wall time for both drivers, and the
+// scheduler's window statistics (fleet.sched.* counters).
 //
 // Writes BENCH_fleet.json (gated by scripts/check_bench.py fleet) and
-// supports --stats-out=FILE for the merged counter/histogram dump.
+// supports --stats-out=FILE for the merged counter/histogram dump (taken
+// from the threaded run; byte-identical to the serial run's by the gate).
+// --devices=N replaces the standard scales with one custom scale — the CI
+// TSan smoke uses `--devices=2000 --threads=4`.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness/migration_matrix.h"
 #include "src/base/event_queue.h"
 #include "src/base/rng.h"
 #include "src/base/sim_clock.h"
+#include "src/base/thread_pool.h"
 #include "src/flux/coordinator.h"
 #include "src/flux/trace.h"
 #include "src/net/contended_link.h"
@@ -50,6 +66,7 @@ struct ScaleConfig {
 
 struct ScaleResult {
   int devices = 0;
+  int threads = 1;
   uint64_t requested = 0;
   uint64_t refused = 0;
   uint64_t completed = 0;
@@ -59,7 +76,10 @@ struct ScaleResult {
   uint64_t total_chunks = 0;
   int peak_in_flight = 0;
   double sim_span_s = 0;
-  double host_wall_s = 0;
+  double host_wall_s = 0;      // threaded run
+  double host_wall_1t_s = 0;   // serial-driver run
+  double speedup = 0;          // host_wall_1t_s / host_wall_s
+  bool stats_match = false;    // serial vs threaded TracerStatsJson equal
   double migrations_per_host_s = 0;
   double queue_wait_p50_ms = 0;
   double queue_wait_p99_ms = 0;
@@ -67,13 +87,18 @@ struct ScaleResult {
   std::shared_ptr<Tracer> trace;
 };
 
-ScaleResult RunScale(const ScaleConfig& cfg) {
+ScaleResult RunScale(const ScaleConfig& cfg, int threads) {
   const auto host_begin = std::chrono::steady_clock::now();
 
   SimClock clock;
   // Shard count mirrors what a threaded driver would use; correctness and
   // pop order are shard-count-invariant (event_sched_test pins this).
   EventScheduler sched(&clock, 8);
+  // threads=1 keeps the driver serial (no pool). The shared pool is keyed
+  // by width and reused across scales, so pool spawn cost never lands in
+  // host_wall_s.
+  ThreadPool* pool = threads > 1 ? ThreadPool::Shared(threads) : nullptr;
+  sched.SetParallelDriver({pool, Millis(20)});
   auto tracer = std::make_shared<Tracer>(&clock);
   ContendedFabric fabric;
 
@@ -148,8 +173,23 @@ ScaleResult RunScale(const ScaleConfig& cfg) {
 
   const auto host_end = std::chrono::steady_clock::now();
 
+  // Import the driver's window statistics. These are pure functions of the
+  // schedule/cancel call sequence — invariant across thread counts and pool
+  // presence — so they are safe inside the byte-identity comparison.
+  const EventScheduler::DriverStats& ds = sched.driver_stats();
+  tracer->Count(trace_names::kFleetSchedWindows, ds.windows);
+  tracer->Count(trace_names::kFleetSchedWindowEvents, ds.window_events);
+  tracer->Count(trace_names::kFleetSchedSerialEvents, ds.serial_events);
+  tracer->Count(trace_names::kFleetSchedMailboxOps, ds.mailbox_ops);
+  TraceHistogram* shards_hist =
+      tracer->histogram(trace_names::kHistFleetSchedWindowShards);
+  for (size_t k = 0; k < ds.window_shards.size(); ++k) {
+    shards_hist->RecordMany(k, ds.window_shards[k]);
+  }
+
   ScaleResult res;
   res.devices = cfg.devices;
+  res.threads = threads;
   res.requested = requested;
   res.completed = coord.completed().size();
   res.pairings = coord.pairings_completed();
@@ -180,39 +220,101 @@ ScaleResult RunScale(const ScaleConfig& cfg) {
   return res;
 }
 
+// Runs one scale serially then threaded, fills in the cross-driver fields
+// (speedup, stats_match), and returns the threaded run's result. With
+// threads <= 1 the single serial run stands alone (speedup 1, match true).
+ScaleResult RunScaleSweep(const ScaleConfig& cfg, int threads) {
+  // The serial run's tracer is dropped after the JSON comparison; only the
+  // threaded tracer survives into --stats-out (the gate guarantees the two
+  // are byte-identical anyway).
+  if (threads <= 1) {
+    ScaleResult res = RunScale(cfg, 1);
+    res.host_wall_1t_s = res.host_wall_s;
+    res.speedup = 1.0;
+    res.stats_match = true;
+    return res;
+  }
+  ScaleResult serial = RunScale(cfg, 1);
+  const std::string serial_stats = TracerStatsJson({serial.trace.get()});
+  ScaleResult res = RunScale(cfg, threads);
+  const std::string threaded_stats = TracerStatsJson({res.trace.get()});
+  res.host_wall_1t_s = serial.host_wall_s;
+  res.speedup =
+      res.host_wall_s > 0 ? serial.host_wall_s / res.host_wall_s : 0;
+  res.stats_match = serial_stats == threaded_stats;
+  if (!res.stats_match) {
+    std::fprintf(stderr,
+                 "DETERMINISM BREAK at %d devices: serial and %d-thread "
+                 "stats differ (%zu vs %zu bytes)\n",
+                 cfg.devices, threads, serial_stats.size(),
+                 threaded_stats.size());
+  }
+  return res;
+}
+
+int IntFlag(int argc, char** argv, const char* flag, int fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0) {
+      return std::atoi(argv[i] + len);
+    }
+  }
+  return fallback;
+}
+
 int Run(int argc, char** argv) {
   const char* stats_out = StatsOutPath(argc, argv);
+  const int threads = IntFlag(argc, argv, "--threads=", 8);
+  const int custom_devices = IntFlag(argc, argv, "--devices=", 0);
 
-  const ScaleConfig scales[] = {
-      {1'000, 32, Seconds(120), 3, true},
-      {10'000, 128, Seconds(300), 3, true},
-      {100'000, 512, Seconds(600), 2, false},
-  };
+  std::vector<ScaleConfig> scales;
+  if (custom_devices > 0) {
+    // One custom scale (CI smoke / experiments): concurrency cap scaled
+    // like the standard ladder, spans off to keep the run lean.
+    ScaleConfig cfg;
+    cfg.devices = (custom_devices / kDevicesPerGroup) * kDevicesPerGroup;
+    cfg.max_concurrent = cfg.devices / 32 < 8 ? 8 : cfg.devices / 32;
+    cfg.arrival_window = Seconds(120);
+    cfg.hops_per_app = 3;
+    cfg.trace_spans = false;
+    scales.push_back(cfg);
+  } else {
+    scales.push_back({1'000, 32, Seconds(120), 3, true});
+    scales.push_back({10'000, 128, Seconds(300), 3, true});
+    scales.push_back({100'000, 512, Seconds(600), 2, false});
+  }
 
-  std::printf("Fleet coordinator scaling (groups of %d devices, %d per AP)\n",
-              kDevicesPerGroup, kDevicesPerAp);
   std::printf(
-      "%8s %9s %9s %8s %9s %10s %10s %8s %7s %9s\n", "devices", "requested",
-      "completed", "refused", "mig/s", "p50wait", "p99wait", "inflight",
-      "warm%", "host_s");
+      "Fleet coordinator scaling (groups of %d devices, %d per AP, "
+      "%d threads)\n",
+      kDevicesPerGroup, kDevicesPerAp, threads);
+  std::printf("%8s %9s %9s %8s %9s %10s %10s %8s %7s %9s %8s %6s\n",
+              "devices", "requested", "completed", "refused", "mig/s",
+              "p50wait", "p99wait", "inflight", "warm%", "host_s", "speedup",
+              "match");
 
   std::vector<ScaleResult> results;
+  bool all_match = true;
   for (const ScaleConfig& cfg : scales) {
-    ScaleResult res = RunScale(cfg);
+    ScaleResult res = RunScaleSweep(cfg, threads);
+    all_match = all_match && res.stats_match;
     const double warm_pct =
         res.total_chunks > 0 ? 100.0 * res.warm_chunks / res.total_chunks : 0;
     std::printf(
         "%8d %9" PRIu64 " %9" PRIu64 " %8" PRIu64
-        " %9.0f %8.1fms %8.1fms %8d %6.1f%% %9.2f\n",
+        " %9.0f %8.1fms %8.1fms %8d %6.1f%% %9.2f %7.2fx %6s\n",
         res.devices, res.requested, res.completed, res.refused,
         res.migrations_per_host_s, res.queue_wait_p50_ms,
-        res.queue_wait_p99_ms, res.peak_in_flight, warm_pct, res.host_wall_s);
+        res.queue_wait_p99_ms, res.peak_in_flight, warm_pct, res.host_wall_s,
+        res.speedup, res.stats_match ? "yes" : "NO");
     results.push_back(std::move(res));
   }
 
   FILE* json = std::fopen("BENCH_fleet.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"scales\": [\n");
+    std::fprintf(json, "{\n  \"threads\": %d,\n  \"host_cores\": %u,\n",
+                 threads, std::thread::hardware_concurrency());
+    std::fprintf(json, "  \"scales\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
       const ScaleResult& r = results[i];
       std::fprintf(
@@ -223,12 +325,15 @@ int Run(int argc, char** argv) {
           ", \"migrations_per_host_s\": %.1f, \"queue_wait_p50_ms\": %.2f, "
           "\"queue_wait_p99_ms\": %.2f, \"max_in_flight\": %d, "
           "\"warm_chunk_pct\": %.2f, \"wire_mb\": %.1f, "
-          "\"sim_span_s\": %.1f, \"host_wall_s\": %.2f}%s\n",
+          "\"sim_span_s\": %.1f, \"host_wall_s\": %.2f, "
+          "\"host_wall_1t_s\": %.2f, \"speedup\": %.2f, "
+          "\"stats_match\": %s}%s\n",
           r.devices, r.requested, r.completed, r.refused, r.pairings,
           r.migrations_per_host_s, r.queue_wait_p50_ms, r.queue_wait_p99_ms,
           r.peak_in_flight,
           r.total_chunks > 0 ? 100.0 * r.warm_chunks / r.total_chunks : 0.0,
           r.wire_bytes / 1048576.0, r.sim_span_s, r.host_wall_s,
+          r.host_wall_1t_s, r.speedup, r.stats_match ? "true" : "false",
           i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
@@ -245,7 +350,7 @@ int Run(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  return all_match ? 0 : 1;
 }
 
 }  // namespace

@@ -206,8 +206,7 @@ bool WriteMatrixTrace(const MatrixResult& result, const char* path) {
   return true;
 }
 
-bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
-                      const char* path) {
+std::string TracerStatsJson(const std::vector<const Tracer*>& tracers) {
   // std::map keeps the JSON key order deterministic across runs.
   std::map<std::string, TraceHistogram::Snapshot> histograms;
   std::map<std::string, uint64_t> counters;
@@ -224,11 +223,7 @@ bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
       counters[name] += value;
     }
   }
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write stats to %s\n", path);
-    return false;
-  }
+  std::ostringstream out;
   out << "{\n  \"cells\": " << traced_cells << ",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
@@ -246,8 +241,20 @@ bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
     first = false;
   }
   out << "\n  }\n}\n";
-  std::fprintf(stderr, "stats written to %s (%zu histograms, %zu counters)\n",
-               path, histograms.size(), counters.size());
+  return std::move(out).str();
+}
+
+bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
+                      const char* path) {
+  const std::string json = TracerStatsJson(tracers);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write stats to %s\n", path);
+    return false;
+  }
+  out << json;
+  std::fprintf(stderr, "stats written to %s (%zu bytes)\n", path,
+               json.size());
   return true;
 }
 

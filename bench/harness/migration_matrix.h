@@ -73,6 +73,14 @@ const char* StatsOutPath(int argc, char** argv);
 // Returns false (with a message on stderr) if the file cannot be written.
 bool WriteMatrixTrace(const MatrixResult& result, const char* path);
 
+// Builds the --stats-out JSON for a batch of tracers as a string:
+// histograms merged via TraceHistogram::Snapshot::Merge (count/max/p50/
+// p90/p99 each) and counters summed, keys in deterministic (sorted) order.
+// bench_fleet compares these strings across thread counts for the
+// byte-identity gate, so the output must stay a pure function of the
+// tracer contents.
+std::string TracerStatsJson(const std::vector<const Tracer*>& tracers);
+
 // Writes fleet-level statistics for a batch of tracers as JSON: histograms
 // merged via TraceHistogram::Snapshot::Merge (count/max/p50/p90/p99 each)
 // and counters summed. The "cells" field reports tracers.size(). The shape

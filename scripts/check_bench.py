@@ -26,6 +26,12 @@ exits non-zero when the fresh numbers regress beyond tolerance:
             the committed value, and the 10k-device run must finish in
             under 60 s of host wall clock. migrations_per_host_s is
             host-dependent: gated only by an absolute floor of 1000/s.
+            stats_match must be true at every scale (the serial and
+            threaded drivers produced byte-identical merged stats — the
+            determinism contract of DESIGN.md §12). speedup is gated
+            only where the host has the cores to show it: >= 2.0 with
+            8+ cores, >= 1.2 with 4+, unchecked below (single-core CI
+            runners legitimately see ~1.0x).
 
 The simulation is deterministic, so in practice fresh == committed for
 pipeline and dedup; the tolerances only absorb intentional
@@ -47,6 +53,8 @@ FLEET_MIN_IN_FLIGHT = 8
 FLEET_P99_DRIFT_FRAC = 0.50
 FLEET_THROUGHPUT_FLOOR = 1000.0
 FLEET_10K_WALL_MAX_S = 60.0
+FLEET_SPEEDUP_8CORE = 2.0
+FLEET_SPEEDUP_4CORE = 1.2
 
 
 def fail(msg):
@@ -98,6 +106,13 @@ def main(argv):
                  fresh["warm_perceived_s"], PRECOPY_WARM_MAX_S))
     elif mode == "fleet":
         committed_by_devices = {s["devices"]: s for s in committed["scales"]}
+        host_cores = fresh.get("host_cores", 0)
+        threads = fresh.get("threads", 1)
+        if threads >= 4 and host_cores >= 4:
+            floor = (FLEET_SPEEDUP_8CORE if host_cores >= 8
+                     else FLEET_SPEEDUP_4CORE)
+        else:
+            floor = None
         for scale in fresh["scales"]:
             devices = scale["devices"]
             want = committed_by_devices.get(devices)
@@ -123,6 +138,15 @@ def main(argv):
             if devices == 10000 and scale["host_wall_s"] >= FLEET_10K_WALL_MAX_S:
                 fail("10k-device run took %.1f s host wall clock (max %.0f)"
                      % (scale["host_wall_s"], FLEET_10K_WALL_MAX_S))
+            if not scale.get("stats_match", False):
+                fail("%dk stats_match is false: the %d-thread run diverged "
+                     "from the serial driver (determinism break)"
+                     % (devices // 1000, threads))
+            if floor is not None and scale.get("speedup", 0.0) < floor:
+                fail("%dk threaded speedup %.2fx below the %.1fx floor "
+                     "(%d threads on %d cores)"
+                     % (devices // 1000, scale.get("speedup", 0.0), floor,
+                        threads, host_cores))
         print("check_bench: fleet OK (%d scales; 10k: %.0f mig/s, p99 wait "
               "%.1f ms, %.2f s wall)"
               % (len(fresh["scales"]),

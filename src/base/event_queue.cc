@@ -1,25 +1,64 @@
 #include "src/base/event_queue.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "src/base/thread_pool.h"
 
 namespace flux {
 
 EventScheduler::EventScheduler(SimClock* clock, int shards) : clock_(clock) {
-  shards_.resize(shards < 1 ? 1 : static_cast<size_t>(shards));
+  const int clamped = shards < 1 ? 1 : (shards > 0x7fff ? 0x7fff : shards);
+  shards_.resize(static_cast<size_t>(clamped));
+}
+
+EventScheduler::Item EventScheduler::PopHeapHead(Shard& shard) {
+  std::pop_heap(shard.heap.begin(), shard.heap.end(), Later);
+  Item item = std::move(shard.heap.back());
+  shard.heap.pop_back();
+  return item;
+}
+
+void EventScheduler::PushHeap(Shard& shard, Item item) {
+  shard.heap.push_back(std::move(item));
+  std::push_heap(shard.heap.begin(), shard.heap.end(), Later);
+}
+
+EventId EventScheduler::ScheduleImpl(SimTime due, EventFn run, EventFn commit,
+                                     bool staged, uint32_t shard) {
+  const uint32_t s = shard % static_cast<uint32_t>(shards_.size());
+  due = std::max(due, clock_->now());  // run phases see their due as now()
+  if (tls_ctx_.sched == this) {
+    // Inside one of our staged run phases: divert into the mailbox and
+    // mint a provisional handle; the merge assigns the real seq in exactly
+    // the order a serial execution would have.
+    Shard& origin = shards_[tls_ctx_.shard];
+    MailboxOp op;
+    op.is_schedule = true;
+    op.due = due;
+    op.run = std::move(run);
+    op.commit = std::move(commit);
+    op.staged = staged;
+    op.target_shard = s;
+    op.provisional = MakeProvisional(tls_ctx_.shard, origin.prov_counter++);
+    const EventId id{s, op.provisional};
+    origin.mailbox.push_back(std::move(op));
+    return id;
+  }
+  Item item;
+  item.due = due;
+  item.seq = next_seq_++;
+  item.fn = std::move(run);
+  item.commit = std::move(commit);
+  item.staged = staged;
+  const EventId id{s, item.seq};
+  PushHeap(shards_[s], std::move(item));
+  live_.insert(id.seq);
+  return id;
 }
 
 EventId EventScheduler::ScheduleAt(SimTime due, EventFn fn, uint32_t shard) {
-  const uint32_t s = shard % static_cast<uint32_t>(shards_.size());
-  Item item;
-  item.due = std::max(due, clock_->now());
-  item.seq = next_seq_++;
-  item.fn = std::move(fn);
-  const EventId id{s, item.seq};
-  Shard& sh = shards_[s];
-  sh.heap.push_back(std::move(item));
-  std::push_heap(sh.heap.begin(), sh.heap.end(), Later);
-  live_.insert(id.seq);
-  return id;
+  return ScheduleImpl(due, std::move(fn), EventFn{}, false, shard);
 }
 
 EventId EventScheduler::ScheduleAfter(SimDuration delay, EventFn fn,
@@ -29,10 +68,117 @@ EventId EventScheduler::ScheduleAfter(SimDuration delay, EventFn fn,
   return ScheduleAt(due, std::move(fn), shard);
 }
 
+EventId EventScheduler::ScheduleStagedAt(SimTime due, StagedEvent ev,
+                                         uint32_t shard) {
+  return ScheduleImpl(due, std::move(ev.run), std::move(ev.commit), true,
+                      shard);
+}
+
+EventId EventScheduler::ScheduleStagedAfter(SimDuration delay, StagedEvent ev,
+                                            uint32_t shard) {
+  const SimTime due =
+      delay > 0 ? clock_->now() + static_cast<SimTime>(delay) : clock_->now();
+  return ScheduleStagedAt(due, std::move(ev), shard);
+}
+
+uint64_t EventScheduler::ResolveSeq(uint64_t seq, bool erase_alias) {
+  if ((seq & kProvisionalBit) == 0) {
+    return seq;
+  }
+  auto it = provisional_map_.find(seq);
+  if (it == provisional_map_.end()) {
+    return 0;
+  }
+  const uint64_t real = it->second;
+  if (erase_alias) {
+    provisional_map_.erase(it);
+  }
+  return real;
+}
+
 bool EventScheduler::Cancel(EventId id) {
-  // Erasing from the live set is the whole cancellation; the heap entry
-  // stays behind as a tombstone and is reaped when it surfaces.
-  return id.seq != 0 && live_.erase(id.seq) != 0;
+  if (id.seq == 0) {
+    return false;
+  }
+  if (tls_ctx_.sched == this) {
+    return CancelFromRunPhase(id);
+  }
+  // Serial context: erasing from the live set is the whole cancellation;
+  // the heap entry stays behind as a tombstone, reaped when it surfaces or
+  // when tombstones pile past the fractional threshold.
+  const uint64_t seq = ResolveSeq(id.seq, /*erase_alias=*/true);
+  if (seq == 0 || live_.erase(seq) == 0) {
+    return false;
+  }
+  ++dead_in_heap_;
+  MaybeReap();
+  return true;
+}
+
+bool EventScheduler::CancelFromRunPhase(EventId id) {
+  Shard& origin = shards_[tls_ctx_.shard];
+  uint64_t seq = id.seq;
+  if ((seq & kProvisionalBit) != 0) {
+    const uint32_t minted_on = ProvisionalShard(seq);
+    if (ProvisionalCount(seq) >= shards_[minted_on].window_prov_base) {
+      // Minted earlier in this same window (the alias is not assigned
+      // yet). Run phases may only cancel ids their own shard minted.
+      assert(minted_on == tls_ctx_.shard);
+      (void)minted_on;
+      MailboxOp op;
+      op.target = seq;
+      op.target_is_provisional = true;
+      origin.mailbox.push_back(std::move(op));
+      return true;  // optimistic; the merge settles the race
+    }
+    // Minted in an earlier window. The alias table is frozen during run
+    // phases, so the concurrent lookup is safe; the stale alias entry is
+    // dropped by the next sweep.
+    seq = ResolveSeq(seq, /*erase_alias=*/false);
+    if (seq == 0) {
+      return false;
+    }
+  }
+  if (live_.count(seq) == 0 || origin.local_cancelled.count(seq) != 0) {
+    return false;  // already fired or already cancelled
+  }
+  // If the target sits in this shard's own window it must be kept from
+  // running: entries at or before run_pos already fired (serial would say
+  // "too late"), later ones are skipped by the run loop.
+  for (size_t i = 0; i < origin.run_list.size(); ++i) {
+    if (origin.run_list[i].seq != seq) {
+      continue;
+    }
+    if (i <= origin.run_pos) {
+      return false;
+    }
+    origin.local_cancelled.insert(seq);
+    MailboxOp op;
+    op.target = seq;
+    op.target_in_window = true;
+    origin.mailbox.push_back(std::move(op));
+    return true;
+  }
+#ifndef NDEBUG
+  // Contract check: cancelling another shard's same-window event races its
+  // speculative run phase. Run lists are frozen during the run phase, so
+  // scanning them here is safe.
+  for (const Shard& other : shards_) {
+    if (&other == &origin) {
+      continue;
+    }
+    for (const Item& item : other.run_list) {
+      assert(item.seq != seq &&
+             "run-phase Cancel targets another shard's in-window event");
+    }
+  }
+#endif
+  // Heap-resident target: divert the erase to the merge so live_ stays
+  // frozen for concurrent readers.
+  MailboxOp op;
+  op.target = seq;
+  origin.mailbox.push_back(std::move(op));
+  return true;
 }
 
 int EventScheduler::NextShard() {
@@ -43,8 +189,10 @@ int EventScheduler::NextShard() {
     Shard& sh = shards_[s];
     // Reap tombstoned (cancelled) heads so the comparison sees live events.
     while (!sh.heap.empty() && live_.count(sh.heap.front().seq) == 0) {
-      std::pop_heap(sh.heap.begin(), sh.heap.end(), Later);
-      sh.heap.pop_back();
+      PopHeapHead(sh);
+      if (dead_in_heap_ > 0) {
+        --dead_in_heap_;
+      }
     }
     if (sh.heap.empty()) {
       continue;
@@ -61,13 +209,15 @@ int EventScheduler::NextShard() {
 }
 
 void EventScheduler::FireHead(Shard& shard) {
-  std::pop_heap(shard.heap.begin(), shard.heap.end(), Later);
-  Item item = std::move(shard.heap.back());
-  shard.heap.pop_back();
+  Item item = PopHeapHead(shard);
   live_.erase(item.seq);
   ++fired_;
+  ++stats_.serial_events;
   clock_->AdvanceTo(item.due);
   item.fn();
+  if (item.commit) {
+    item.commit();
+  }
 }
 
 SimTime EventScheduler::NextDue() const {
@@ -90,24 +240,247 @@ SimTime EventScheduler::NextDue() const {
   return any ? best : clock_->now();
 }
 
-void EventScheduler::RunUntil(SimTime target) {
-  for (;;) {
-    const int s = NextShard();
-    if (s < 0 || shards_[s].heap.front().due > target) {
-      break;
-    }
-    FireHead(shards_[s]);
+size_t EventScheduler::heap_items() const {
+  size_t total = 0;
+  for (const Shard& sh : shards_) {
+    total += sh.heap.size() + sh.run_list.size();
   }
-  clock_->AdvanceTo(target);
+  return total;
+}
+
+void EventScheduler::MaybeReap() {
+  if (dead_in_heap_ <= 64 || dead_in_heap_ * 2 < live_.size()) {
+    return;
+  }
+  // Sweep: drop every tombstone, restore the heap property. All (due, seq)
+  // keys are distinct and the comparator is a total order, so the pop
+  // sequence of the surviving items is unchanged.
+  for (Shard& sh : shards_) {
+    auto dead = std::remove_if(
+        sh.heap.begin(), sh.heap.end(),
+        [this](const Item& item) { return live_.count(item.seq) == 0; });
+    sh.heap.erase(dead, sh.heap.end());
+    std::make_heap(sh.heap.begin(), sh.heap.end(), Later);
+  }
+  // Aliases whose real event is gone can never resolve again.
+  for (auto it = provisional_map_.begin(); it != provisional_map_.end();) {
+    it = live_.count(it->second) == 0 ? provisional_map_.erase(it)
+                                      : std::next(it);
+  }
+  dead_in_heap_ = 0;
+  ++reap_sweeps_;
+}
+
+void EventScheduler::RunUntil(SimTime target) {
+  RunLoop(target, /*advance_to_bound=*/true);
 }
 
 void EventScheduler::DrainUntil(SimTime horizon) {
+  RunLoop(horizon, /*advance_to_bound=*/false);
+}
+
+void EventScheduler::RunLoop(SimTime bound, bool advance_to_bound) {
   for (;;) {
+    MaybeReap();
     const int s = NextShard();
-    if (s < 0 || shards_[s].heap.front().due > horizon) {
-      return;
+    if (s < 0 || shards_[s].heap.front().due > bound) {
+      break;
     }
-    FireHead(shards_[s]);
+    if (shards_[s].heap.front().staged) {
+      RunWindow(s, bound);
+    } else {
+      FireHead(shards_[s]);
+    }
+  }
+  if (advance_to_bound) {
+    clock_->AdvanceTo(bound);
+  }
+}
+
+void EventScheduler::RunWindow(int head_shard, SimTime bound) {
+  const SimTime head_due = shards_[head_shard].heap.front().due;
+  const SimTime max_due =
+      std::min(bound, head_due + static_cast<SimTime>(std::max<SimDuration>(
+                                     driver_.lookahead, 0)));
+
+  // ---- Extraction ----
+  // Per shard, pop live staged items up to max_due, stopping at the first
+  // barrier head; the earliest barrier (due, seq) trims every shard.
+  SimTime lim_due = max_due;
+  uint64_t lim_seq = ~uint64_t{0};
+  for (Shard& sh : shards_) {
+    sh.run_list.clear();
+    sh.op_ranges.clear();
+    sh.local_cancelled.clear();
+    sh.run_pos = 0;
+    while (!sh.heap.empty()) {
+      const Item& head = sh.heap.front();
+      if (live_.count(head.seq) == 0) {
+        PopHeapHead(sh);
+        if (dead_in_heap_ > 0) {
+          --dead_in_heap_;
+        }
+        continue;
+      }
+      if (head.due > max_due) {
+        break;
+      }
+      if (!head.staged) {
+        if (head.due < lim_due ||
+            (head.due == lim_due && head.seq < lim_seq)) {
+          lim_due = head.due;
+          lim_seq = head.seq;
+        }
+        break;
+      }
+      sh.run_list.push_back(PopHeapHead(sh));
+    }
+  }
+  // Trim each run list (it is (due, seq)-sorted) at the final limit and
+  // push the tail back.
+  active_shards_.clear();
+  for (uint32_t s = 0; s < static_cast<uint32_t>(shards_.size()); ++s) {
+    Shard& sh = shards_[s];
+    while (!sh.run_list.empty()) {
+      const Item& back = sh.run_list.back();
+      if (back.due < lim_due || (back.due == lim_due && back.seq < lim_seq)) {
+        break;
+      }
+      PushHeap(sh, std::move(sh.run_list.back()));
+      sh.run_list.pop_back();
+    }
+    if (!sh.run_list.empty()) {
+      active_shards_.push_back(s);
+      sh.mailbox.clear();
+    }
+    // Every shard's base advances each window so provisional ids from
+    // earlier windows are recognized as already aliased.
+    sh.window_prov_base = sh.prov_counter;
+  }
+  assert(!active_shards_.empty());  // the staged head is always in range
+
+  ++stats_.windows;
+  if (stats_.window_shards.size() <= active_shards_.size()) {
+    stats_.window_shards.resize(active_shards_.size() + 1, 0);
+  }
+  ++stats_.window_shards[active_shards_.size()];
+
+  // ---- Run phase (speculative, parallel across shards) ----
+  auto run_shard = [this](uint32_t s) {
+    Shard& sh = shards_[s];
+    tls_ctx_ = RunCtx{this, s};
+    for (sh.run_pos = 0; sh.run_pos < sh.run_list.size(); ++sh.run_pos) {
+      Item& item = sh.run_list[sh.run_pos];
+      const auto ops_begin = static_cast<uint32_t>(sh.mailbox.size());
+      if (sh.local_cancelled.count(item.seq) == 0) {
+        SimClock::ScopedNowOverride at_due(item.due);
+        item.fn();
+      }
+      sh.op_ranges.emplace_back(ops_begin,
+                                static_cast<uint32_t>(sh.mailbox.size()));
+    }
+    tls_ctx_ = RunCtx{};
+  };
+  if (driver_.pool != nullptr && driver_.pool->size() > 0 &&
+      active_shards_.size() > 1) {
+    driver_.pool->ParallelForChunked(
+        active_shards_.size(), [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            run_shard(active_shards_[i]);
+          }
+        });
+  } else {
+    for (uint32_t s : active_shards_) {
+      run_shard(s);
+    }
+  }
+
+  // ---- Merge (serial, exact (due, seq) order) ----
+  // Any heap-resident event that sorts before the next window item — e.g.
+  // one a commit just scheduled with a near due — is fired inline first, so
+  // the global firing order is exactly the serial one.
+  std::vector<size_t>& cursor = merge_cursor_;
+  cursor.assign(active_shards_.size(), 0);
+  for (;;) {
+    int pick = -1;
+    SimTime pick_due = 0;
+    uint64_t pick_seq = 0;
+    for (size_t i = 0; i < active_shards_.size(); ++i) {
+      Shard& sh = shards_[active_shards_[i]];
+      if (cursor[i] >= sh.run_list.size()) {
+        continue;
+      }
+      const Item& item = sh.run_list[cursor[i]];
+      if (pick < 0 || item.due < pick_due ||
+          (item.due == pick_due && item.seq < pick_seq)) {
+        pick = static_cast<int>(i);
+        pick_due = item.due;
+        pick_seq = item.seq;
+      }
+    }
+    if (pick < 0) {
+      break;
+    }
+    for (;;) {
+      const int hs = NextShard();
+      if (hs < 0) {
+        break;
+      }
+      const Item& head = shards_[hs].heap.front();
+      if (head.due > pick_due ||
+          (head.due == pick_due && head.seq > pick_seq)) {
+        break;
+      }
+      FireHead(shards_[hs]);
+    }
+    CommitRunItem(shards_[active_shards_[pick]], cursor[pick]);
+    ++cursor[pick];
+  }
+  for (uint32_t s : active_shards_) {
+    Shard& sh = shards_[s];
+    sh.run_list.clear();
+    sh.op_ranges.clear();
+    sh.local_cancelled.clear();
+  }
+}
+
+void EventScheduler::CommitRunItem(Shard& shard, size_t index) {
+  Item& item = shard.run_list[index];
+  const auto [ops_begin, ops_end] = shard.op_ranges[index];
+  if (live_.count(item.seq) == 0) {
+    // Cancelled before its turn: a same-window cancel already replayed and
+    // erased it (the run phase was skipped, so there are no ops), or an
+    // interleaved serial handler cancelled it. Serial execution would not
+    // have fired it — and would not have advanced the clock to it.
+    return;
+  }
+  live_.erase(item.seq);
+  clock_->AdvanceTo(item.due);
+  ++fired_;
+  ++stats_.window_events;
+  for (uint32_t o = ops_begin; o < ops_end; ++o) {
+    MailboxOp& op = shard.mailbox[o];
+    ++stats_.mailbox_ops;
+    if (op.is_schedule) {
+      Item out;
+      out.due = op.due;
+      out.seq = next_seq_++;
+      out.fn = std::move(op.run);
+      out.commit = std::move(op.commit);
+      out.staged = op.staged;
+      provisional_map_[op.provisional] = out.seq;
+      live_.insert(out.seq);
+      PushHeap(shards_[op.target_shard], std::move(out));
+    } else {
+      const uint64_t seq =
+          op.target_is_provisional ? ResolveSeq(op.target, true) : op.target;
+      if (seq != 0 && live_.erase(seq) != 0 && !op.target_in_window) {
+        ++dead_in_heap_;
+      }
+    }
+  }
+  if (item.commit) {
+    item.commit();
   }
 }
 

@@ -34,9 +34,21 @@ constexpr double ToMillisF(SimDuration d) {
 }
 
 // A monotonically advancing virtual clock.
+//
+// Threading: the clock itself is single-writer (the event loop advances it).
+// The parallel scheduler driver (event_queue.h) executes same-window events
+// speculatively on worker threads *before* the shared clock reaches their
+// due times; each worker installs a thread-local now override so handler
+// code reading now() — directly or via ScheduleAfter — sees its own event's
+// due time, exactly as it would under serial execution. The override is
+// thread-local and process-wide (it applies to any SimClock read on that
+// thread), which is fine because a worker only ever runs events of one
+// world at a time.
 class SimClock {
  public:
-  SimTime now() const { return now_; }
+  SimTime now() const {
+    return tls_now_override_ != 0 ? tls_now_override_ - 1 : now_;
+  }
 
   // Advances the clock; negative durations are ignored.
   void Advance(SimDuration d) {
@@ -52,7 +64,25 @@ class SimClock {
     }
   }
 
+  // Installs `t` as this thread's view of now() for the scope's lifetime.
+  // Nestable; restores the previous override on destruction.
+  class ScopedNowOverride {
+   public:
+    explicit ScopedNowOverride(SimTime t) : saved_(tls_now_override_) {
+      tls_now_override_ = t + 1;  // +1 so 0 can mean "no override"
+    }
+    ~ScopedNowOverride() { tls_now_override_ = saved_; }
+    ScopedNowOverride(const ScopedNowOverride&) = delete;
+    ScopedNowOverride& operator=(const ScopedNowOverride&) = delete;
+
+   private:
+    SimTime saved_;
+  };
+
  private:
+  // Value + 1; 0 = none. `inline` so no out-of-line definition is needed.
+  inline static thread_local SimTime tls_now_override_ = 0;
+
   SimTime now_ = 0;
 };
 

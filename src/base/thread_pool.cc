@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
 
 namespace flux {
@@ -116,9 +117,60 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
                        [&] { return state->done.load() == n; });
 }
 
+void ThreadPool::ParallelForChunked(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  const size_t runners = std::min(n, workers_.size() + 1);
+  if (runners <= 1) {
+    fn(0, n);
+    return;
+  }
+  struct ChunkState {
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<ChunkState>();
+  auto run_chunk = [state, n, runners, &fn](size_t r) {
+    const size_t begin = r * n / runners;
+    const size_t end = (r + 1) * n / runners;
+    if (begin < end) {
+      fn(begin, end);
+    }
+    if (state->done.fetch_add(1) + 1 == runners) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->finished.notify_all();
+    }
+  };
+  for (size_t r = 1; r < runners; ++r) {
+    Submit([run_chunk, r] { run_chunk(r); });
+  }
+  run_chunk(0);  // the caller participates instead of idling
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock, [&] { return state->done.load() == runners; });
+}
+
 int ThreadPool::DefaultThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::min(hw == 0 ? 4u : hw, 4u));
+}
+
+ThreadPool* ThreadPool::Shared(int threads) {
+  // One pool per distinct width, created on first use and intentionally
+  // leaked: shared pools must outlive every late user (static-destruction
+  // order across translation units is otherwise unsequenced), and worker
+  // threads parked in cvs are reclaimed by process exit anyway.
+  static std::mutex registry_mutex;
+  static std::map<int, ThreadPool*>* registry = new std::map<int, ThreadPool*>;
+  const int width = threads < 1 ? 1 : threads;
+  std::unique_lock<std::mutex> lock(registry_mutex);
+  ThreadPool*& pool = (*registry)[width];
+  if (pool == nullptr) {
+    pool = new ThreadPool(width);
+  }
+  return pool;
 }
 
 }  // namespace flux

@@ -41,9 +41,25 @@ class ThreadPool {
   // empty pool (runs inline) and reentrant-safe from the owning thread.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Runs fn(begin, end) over a static, deterministic split of [0, n): the
+  // range is cut into size()+1 contiguous chunks (one per worker plus the
+  // caller), chunk r covering [r*n/W, (r+1)*n/W). Unlike ParallelFor, the
+  // index->runner assignment is a pure function of (n, pool width), which is
+  // what the deterministic scheduler driver (event_queue.h) needs; it is
+  // also friendlier to per-chunk locality in compress.cc. Blocks until all
+  // chunks complete; runs inline with an empty pool.
+  void ParallelForChunked(size_t n,
+                          const std::function<void(size_t, size_t)>& fn);
+
   // A sensible default width for this host, bounded to the paper's
   // quad-core devices unless the caller asks for more.
   static int DefaultThreads();
+
+  // A lazily-created process-shared pool of the given width (one per
+  // distinct width, never destroyed before exit). Fleet runs use this so
+  // per-MigrationManager compression does not spawn pool-per-device
+  // threads. Thread-safe.
+  static ThreadPool* Shared(int threads);
 
  private:
   void WorkerLoop();

@@ -23,6 +23,8 @@ World::World() : World(WorldOptions{}) {}
 
 World::World(const WorldOptions& options)
     : scheduler_(&clock_, options.scheduler_shards) {
+  scheduler_.SetParallelDriver(
+      {options.scheduler_pool, options.scheduler_lookahead});
   LogClockStack().push_back(&clock_);
   SetLogClock(&clock_);
 }

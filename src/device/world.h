@@ -24,6 +24,16 @@ struct WorldOptions {
   // behavior. The pop order is shard-count independent (EventScheduler's
   // determinism contract), so this only tunes heap sizes at fleet scale.
   int scheduler_shards = 1;
+  // Parallel driver for staged events (DESIGN.md §12), passed through to
+  // EventScheduler::SetParallelDriver. Null keeps the driver serial. Note
+  // the device tick events AdvanceTime schedules are *barrier* events and
+  // always fire serially — Device::Tick reaches shared world state
+  // (WifiNetwork, MigrationManager, the log clock) that is not
+  // thread-compatible — so figure benches are bit-identical with or
+  // without a pool; only workloads that schedule staged events (the fleet
+  // coordinator) parallelize. The pool must outlive the world.
+  ThreadPool* scheduler_pool = nullptr;
+  SimDuration scheduler_lookahead = Millis(20);
 };
 
 class World {

@@ -41,6 +41,11 @@ struct MigrationCoordinator::FleetApp {
   FleetAppSpec spec;
   FleetDeviceId home;
   std::vector<uint32_t> generations;  // sized lazily to ChunkCount
+  // Memoized ChunkHash(ChunkSeed(app, i, generations[i])), updated eagerly
+  // as AccrueDirt bumps generations. Placement probes and checkpoint cuts
+  // used to recompute these per probe — at 100k-fleet scale the seed
+  // formatting + hashing dominated the profile.
+  std::vector<Hash128> chunk_hashes;
   SimTime last_dirt_at = 0;
   uint64_t dirt_carry_bytes = 0;  // sub-chunk residue between accruals
   uint32_t next_hot = 0;          // round-robin cursor over the hot set
@@ -158,6 +163,10 @@ void MigrationCoordinator::AccrueDirt(FleetApp& app, SimTime upto) {
   const uint32_t chunks = ChunkCount(app);
   if (app.generations.size() != chunks) {
     app.generations.assign(chunks, 0);
+    app.chunk_hashes.resize(chunks);
+    for (uint32_t i = 0; i < chunks; ++i) {
+      app.chunk_hashes[i] = ChunkHash(ChunkSeed(app, i, 0));
+    }
   }
   if (upto <= app.last_dirt_at) {
     return;
@@ -179,6 +188,8 @@ void MigrationCoordinator::AccrueDirt(FleetApp& app, SimTime upto) {
   for (uint64_t i = 0; i < dirtied; ++i) {
     app.next_hot = (app.next_hot + 1) % hot;
     ++app.generations[app.next_hot];
+    app.chunk_hashes[app.next_hot] = ChunkHash(
+        ChunkSeed(app, app.next_hot, app.generations[app.next_hot]));
   }
 }
 
@@ -263,10 +274,12 @@ FleetDeviceId MigrationCoordinator::PlaceGuest(const FleetApp& app) {
     // The dedup manifest probe: how many of the app's current chunk hashes
     // does this candidate's cache hold? (HasValid verifies content, so a
     // poisoned entry reads as cold here exactly as it would on the wire.)
+    // Every caller runs AccrueDirt first, so the memoized hashes are sized
+    // and current — no per-probe seed hashing.
+    assert(app.chunk_hashes.size() == chunks);
     uint32_t warm = 0;
     for (uint32_t i = 0; i < chunks; ++i) {
-      const uint32_t gen = i < app.generations.size() ? app.generations[i] : 0;
-      if (dev.cache.HasValid(ChunkHash(ChunkSeed(app, i, gen)))) {
+      if (dev.cache.HasValid(app.chunk_hashes[i])) {
         ++warm;
       }
     }
@@ -365,10 +378,17 @@ void MigrationCoordinator::AdmitMigration(PendingMigration req,
   const uint32_t shard = ShardOf(req.home);
   pending_migrations_[key] = std::make_unique<PendingMigration>(std::move(req));
   PendingMigration& live = *pending_migrations_[key];
-  live.dirty_event = scheduler_->ScheduleAfter(
-      config_.dirty_burst_period, [this, key] { DirtyBurst(key); }, shard);
-  scheduler_->ScheduleAfter(
-      cpu_pre, [this, key] { OnCheckpointCut(key); }, shard);
+  // Both per-migration events are staged on the home's shard: their run
+  // phases only touch state this migration owns, so the parallel driver
+  // may overlap them with other migrations' events.
+  live.dirty_event = scheduler_->ScheduleStagedAfter(
+      config_.dirty_burst_period,
+      StagedEvent{[this, key] { DirtyBurst(key); }, EventFn{}}, shard);
+  scheduler_->ScheduleStagedAfter(
+      cpu_pre,
+      StagedEvent{[this, key] { OnCheckpointCut(key); },
+                  [this, key] { OnCheckpointCutCommit(key); }},
+      shard);
 }
 
 void MigrationCoordinator::DirtyBurst(uint64_t migration_key) {
@@ -379,17 +399,22 @@ void MigrationCoordinator::DirtyBurst(uint64_t migration_key) {
   PendingMigration& mig = *it->second;
   AccrueDirt(*apps_[mig.app], now());
   FLUX_TRACE_COUNTER_ADD(ctr_dirty_bursts_, 1);
-  mig.dirty_event = scheduler_->ScheduleAfter(
+  mig.dirty_event = scheduler_->ScheduleStagedAfter(
       config_.dirty_burst_period,
-      [this, migration_key] { DirtyBurst(migration_key); },
+      StagedEvent{[this, migration_key] { DirtyBurst(migration_key); },
+                  EventFn{}},
       ShardOf(mig.home));
 }
 
 void MigrationCoordinator::OnCheckpointCut(uint64_t migration_key) {
+  // Staged run phase: the expensive part of the cut — seed formatting,
+  // cache probes/inserts, wire math — against state only this migration
+  // touches (its app, its two busy devices). The fabric flow starts in the
+  // serial commit below.
   PendingMigration& mig = *pending_migrations_.at(migration_key);
   mig.cut_done = true;
   if (mig.dirty_event) {
-    scheduler_->Cancel(mig.dirty_event);
+    scheduler_->Cancel(mig.dirty_event);  // same-shard: mailbox settles it
     mig.dirty_event = EventId{};
   }
   FleetApp& app = *apps_[mig.app];
@@ -404,7 +429,7 @@ void MigrationCoordinator::OnCheckpointCut(uint64_t migration_key) {
   mig.hashes.reserve(chunks);
   for (uint32_t i = 0; i < chunks; ++i) {
     mig.seeds.push_back(ChunkSeed(app, i, app.generations[i]));
-    mig.hashes.push_back(ChunkHash(mig.seeds.back()));
+    mig.hashes.push_back(app.chunk_hashes[i]);
     if (guest.cache.HasValid(mig.hashes.back())) {
       ++mig.warm_chunks;
     }
@@ -427,15 +452,23 @@ void MigrationCoordinator::OnCheckpointCut(uint64_t migration_key) {
       CpuCost(guest.spec.cpu_factor, app.spec.image_bytes,
               config_.restore_mbps) +
       config_.reintegrate_fixed;
+}
 
+void MigrationCoordinator::OnCheckpointCutCommit(uint64_t migration_key) {
+  PendingMigration& mig = *pending_migrations_.at(migration_key);
+  const FleetDevice& home = *devices_[mig.home];
+  const FleetDevice& guest = *devices_[mig.guest];
   const uint64_t peak =
       std::min(home.spec.link_peak_bps, guest.spec.link_peak_bps);
   mig.flow = fabric_->StartFlow(now(), mig.wire_bytes, peak, home.spec.ap,
                                 guest.spec.ap);
   if (mig.flow == ContendedFabric::kInvalidFlow) {
     // Fully deduped: nothing to put on the wire.
-    scheduler_->ScheduleAfter(
-        mig.cpu_post, [this, migration_key] { OnMigrationDone(migration_key); },
+    scheduler_->ScheduleStagedAfter(
+        mig.cpu_post,
+        StagedEvent{
+            [this, migration_key] { OnMigrationDone(migration_key); },
+            [this, migration_key] { OnMigrationDoneCommit(migration_key); }},
         ShardOf(mig.guest));
     return;
   }
@@ -465,8 +498,10 @@ void MigrationCoordinator::OnFlowsSettled() {
       const uint64_t key = it->second;
       flow_to_migration_.erase(it);
       PendingMigration& mig = *pending_migrations_.at(key);
-      scheduler_->ScheduleAfter(
-          mig.cpu_post, [this, key] { OnMigrationDone(key); },
+      scheduler_->ScheduleStagedAfter(
+          mig.cpu_post,
+          StagedEvent{[this, key] { OnMigrationDone(key); },
+                      [this, key] { OnMigrationDoneCommit(key); }},
           ShardOf(mig.guest));
     } else if (auto pit = flow_to_pairing_.find(fin.id);
                pit != flow_to_pairing_.end()) {
@@ -479,17 +514,22 @@ void MigrationCoordinator::OnFlowsSettled() {
 }
 
 void MigrationCoordinator::OnMigrationDone(uint64_t migration_key) {
+  // Staged run phase: the guest restored every chunk, so its
+  // content-addressed store now holds all of them — this is what
+  // placement's manifest probe sees on the way back. The guest is still
+  // busy under this migration, so its cache is ours to warm.
+  PendingMigration& mig = *pending_migrations_.at(migration_key);
+  FleetDevice& guest = *devices_[mig.guest];
+  for (uint32_t i = 0; i < mig.chunks; ++i) {
+    guest.cache.Insert(mig.hashes[i], AsBytes(mig.seeds[i]));
+  }
+}
+
+void MigrationCoordinator::OnMigrationDoneCommit(uint64_t migration_key) {
   auto node = pending_migrations_.extract(migration_key);
   PendingMigration& mig = *node.mapped();
   FleetApp& app = *apps_[mig.app];
   FleetDevice& guest = *devices_[mig.guest];
-
-  // The guest restored every chunk, so its content-addressed store now
-  // holds all of them — this is what placement's manifest probe sees on
-  // the way back.
-  for (uint32_t i = 0; i < mig.chunks; ++i) {
-    guest.cache.Insert(mig.hashes[i], AsBytes(mig.seeds[i]));
-  }
 
   app.home = mig.guest;
   app.migrating = false;
@@ -570,7 +610,7 @@ void MigrationCoordinator::FinishPairing(uint64_t pairing_key) {
     const uint32_t chunks = ChunkCount(app);
     for (uint32_t i = 0; i < chunks; ++i) {
       const std::string seed = ChunkSeed(app, i, app.generations[i]);
-      devices_[target]->cache.Insert(ChunkHash(seed), AsBytes(seed));
+      devices_[target]->cache.Insert(app.chunk_hashes[i], AsBytes(seed));
     }
   }
   devices_[req.a]->busy = false;

@@ -211,10 +211,19 @@ class MigrationCoordinator {
   // kNoFleetDevice when no paired candidate is free.
   FleetDeviceId PlaceGuest(const FleetApp& app);
 
-  // Stage transitions (each runs as a scheduler event).
-  void OnCheckpointCut(uint64_t migration_key);
+  // Stage transitions (each runs as a scheduler event). The per-migration
+  // heavy ones — checkpoint cut, completion, dirty bursts — are *staged*
+  // events (DESIGN.md §12): the run phase executes on the home/guest
+  // device's shard, touching only state this migration owns (its app, its
+  // two busy devices' caches) plus relaxed-atomic counters, so different
+  // migrations' cuts hash and probe in parallel; fabric flows, queue pumps,
+  // re-homing, and records happen in the serial commit phase. Everything
+  // else (pump, settles, pairings, arrivals) stays a barrier event.
+  void OnCheckpointCut(uint64_t migration_key);        // staged run
+  void OnCheckpointCutCommit(uint64_t migration_key);  // serial commit
   void OnFlowsSettled();
-  void OnMigrationDone(uint64_t migration_key);
+  void OnMigrationDone(uint64_t migration_key);        // staged run
+  void OnMigrationDoneCommit(uint64_t migration_key);  // serial commit
   void OnPairingFlowDone(uint64_t pairing_key);
   void FinishPairing(uint64_t pairing_key);
   void ScheduleFabricWakeup();

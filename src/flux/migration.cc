@@ -183,10 +183,14 @@ MigrationManager::MigrationManager(FluxAgent& home, FluxAgent& guest,
 MigrationManager::~MigrationManager() = default;
 
 ThreadPool* MigrationManager::CompressionPool() {
-  if (compress_pool_ == nullptr) {
-    compress_pool_ = std::make_unique<ThreadPool>(config_.compress_threads);
+  if (config_.compress_pool != nullptr) {
+    return config_.compress_pool;
   }
-  return compress_pool_.get();
+  // Process-shared pool, one per width: a fleet of managers compresses on
+  // the same workers instead of spawning pool-per-device threads. The
+  // encoded output is a pure function of the input and pool width, so
+  // sharing changes no bytes.
+  return ThreadPool::Shared(config_.compress_threads);
 }
 
 Status MigrationManager::Prepare(const RunningApp& app,

@@ -70,6 +70,11 @@ struct MigrationConfig {
   bool pipelined = false;
   uint64_t pipeline_chunk_bytes = 256 * 1024;
   int compress_threads = 4;
+  // Worker pool for chunk compression. Null (the default) uses the lazily
+  // created process-shared pool of width `compress_threads`
+  // (ThreadPool::Shared); tests and embedders may inject their own. The
+  // pool must outlive the manager.
+  ThreadPool* compress_pool = nullptr;
   // Extension: content-addressed delta transfer. With pipelined mode on,
   // every raw image chunk is hashed; a manifest handshake asks the guest
   // which hashes its ChunkCache already holds, and hits ship as 16-byte
@@ -283,15 +288,15 @@ class MigrationManager {
   // timeline byte-identical with tracing on or off.
   void EmitTraceSpans(const MigrationReport& report);
 
-  // Worker pool for chunk compression, created on first pipelined payload
-  // and reused across migrations (spawning threads per call is pure host
-  // overhead — no simulated time involved).
+  // Worker pool for chunk compression: the injected
+  // MigrationConfig::compress_pool, or the process-shared pool of the
+  // configured width (spawning threads per manager is pure host overhead —
+  // no simulated time involved).
   ThreadPool* CompressionPool();
 
   FluxAgent& home_;
   FluxAgent& guest_;
   MigrationConfig config_;
-  std::unique_ptr<ThreadPool> compress_pool_;
   // Absolute end of the overlapped decompress+restore stages, set by
   // TransferPipelined and consumed by RestoreOnGuest.
   SimTime pipeline_restore_deadline_ = 0;

@@ -167,6 +167,17 @@ inline constexpr std::string_view kFleetPlacementWarmChunks =
     "fleet.placement_warm_chunks";
 inline constexpr std::string_view kFleetWireBytes = "fleet.wire_bytes";
 inline constexpr std::string_view kFleetDirtyBursts = "fleet.dirty_bursts";
+// Parallel scheduler driver (DESIGN.md §12). Copied from
+// EventScheduler::DriverStats after a fleet run; every value is a pure
+// function of the schedule calls — identical at every thread count — so
+// the byte-identity gate can include them in the stats digest.
+inline constexpr std::string_view kFleetSchedWindows = "fleet.sched.windows";
+inline constexpr std::string_view kFleetSchedWindowEvents =
+    "fleet.sched.window_events";
+inline constexpr std::string_view kFleetSchedSerialEvents =
+    "fleet.sched.serial_events";
+inline constexpr std::string_view kFleetSchedMailboxOps =
+    "fleet.sched.mailbox_ops";
 
 // Histograms (log-bucketed latency distributions; all values in simulated
 // microseconds, hence the `_us` suffix — scripts/check_forensics.py keys the
@@ -189,6 +200,11 @@ inline constexpr std::string_view kHistNetTick = "net.tick_us";
 // bench_fleet's percentiles come from these snapshots, not ad-hoc sorting.
 inline constexpr std::string_view kHistFleetQueueWait = "fleet.queue_wait_us";
 inline constexpr std::string_view kHistFleetConcurrency = "fleet.concurrency";
+// Shards running per parallel window (dimensionless, like
+// fleet.concurrency): the shard-utilization distribution of the parallel
+// scheduler driver, fed from DriverStats::window_shards after a fleet run.
+inline constexpr std::string_view kHistFleetSchedWindowShards =
+    "fleet.sched.window_shards";
 
 }  // namespace trace_names
 
@@ -225,6 +241,23 @@ class TraceHistogram {
                                        std::memory_order_relaxed)) {
     }
     buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Records `n` samples of `value` in O(1) — used to import precomputed
+  // distributions (e.g. the scheduler driver's windows-by-shard-count
+  // table) without n Record calls.
+  void RecordMany(uint64_t value, uint64_t n) {
+    if (n == 0) {
+      return;
+    }
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_.fetch_add(value * n, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    buckets_[BucketOf(value)].fetch_add(n, std::memory_order_relaxed);
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }

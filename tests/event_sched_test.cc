@@ -4,12 +4,14 @@
 // heterogeneous FindDevice, and the stable dense device index.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/base/event_queue.h"
 #include "src/base/logging.h"
+#include "src/base/thread_pool.h"
 #include "src/device/world.h"
 
 namespace flux {
@@ -111,6 +113,210 @@ TEST(EventSchedulerTest, PastDueClampsToNow) {
   sched.ScheduleAt(100, [&] { seen = clock.now(); });
   sched.RunUntil(500);
   EXPECT_EQ(seen, 500u);
+}
+
+// ----- Parallel staged-event driver (DESIGN.md §12) -----
+
+// One deterministic mixed workload exercising every mailbox path: staged
+// events whose run phases schedule barriers (near-due, so the merge's
+// inline interleave fires them), schedule further staged events, cancel
+// heap-resident victims, and cancel their own just-minted provisional ids;
+// commits that schedule near-due barriers (the fabric-wakeup pattern); and
+// plain barrier events breaking windows. Returns the serial-side log (commit
+// and barrier appends only) plus per-shard run-phase clock observations —
+// both must be identical at every pool width.
+struct WorkloadResult {
+  std::vector<std::string> log;
+  std::array<std::vector<SimTime>, 4> run_now;
+  EventScheduler::DriverStats stats;
+  bool operator==(const WorkloadResult& o) const {
+    return log == o.log && run_now == o.run_now &&
+           stats.windows == o.stats.windows &&
+           stats.window_events == o.stats.window_events &&
+           stats.serial_events == o.stats.serial_events &&
+           stats.mailbox_ops == o.stats.mailbox_ops &&
+           stats.window_shards == o.stats.window_shards;
+  }
+};
+
+WorkloadResult RunMixedStagedWorkload(ThreadPool* pool) {
+  SimClock clock;
+  EventScheduler sched(&clock, 4);
+  sched.SetParallelDriver({pool, Millis(10)});
+  WorkloadResult out;
+  auto* log = &out.log;
+  auto* runs = &out.run_now;
+
+  // Heap-resident victims, each cancelled from one shard's run phase.
+  std::array<EventId, 4> victims;
+  for (uint32_t s = 0; s < 4; ++s) {
+    victims[s] = sched.ScheduleAt(
+        Millis(900), [log, s] { log->push_back("victim" + std::to_string(s)); },
+        s);
+  }
+  // A barrier in the middle of the staged burst splits it into windows.
+  sched.ScheduleAt(Millis(16), [log] { log->push_back("mid-barrier"); }, 2);
+
+  for (uint32_t s = 0; s < 4; ++s) {
+    for (int k = 0; k < 6; ++k) {
+      const SimTime due = Millis(10 + 2 * k) + s;  // staggered across shards
+      sched.ScheduleStagedAt(
+          due,
+          StagedEvent{
+              [&sched, &clock, runs, victims, s, k] {
+                (*runs)[s].push_back(clock.now());  // TLS due-time override
+                if (k == 1) {
+                  // Near-due barrier from a run phase: replayed at the merge
+                  // and fired by the inline interleave, exactly where a
+                  // serial execution would have fired it.
+                  auto* l = &(*runs)[s];
+                  sched.ScheduleAfter(
+                      Millis(1), [l, &clock] { l->push_back(clock.now()); },
+                      s);
+                }
+                if (k == 2) {
+                  // Cancel a heap-resident barrier from a worker thread.
+                  sched.Cancel(victims[s]);
+                }
+                if (k == 3) {
+                  // Mint and immediately cancel a provisional id.
+                  EventId id = sched.ScheduleStagedAfter(
+                      Millis(2), StagedEvent{[] {}, {}}, s);
+                  EXPECT_TRUE(sched.Cancel(id));
+                }
+              },
+              [&sched, &clock, log, s, k] {
+                log->push_back("c" + std::to_string(s) + "." +
+                               std::to_string(k) + "@" +
+                               std::to_string(clock.now()));
+                if (k == 4) {
+                  // Commit-scheduled near-due barrier (the fabric-wakeup
+                  // pattern): sorts into the middle of the window being
+                  // merged and must still fire in exact (due, seq) order.
+                  sched.ScheduleAfter(
+                      Millis(1),
+                      [log, &clock] {
+                        log->push_back("wake@" + std::to_string(clock.now()));
+                      },
+                      (s + 1) % 4);
+                }
+              }},
+          s);
+    }
+  }
+  sched.DrainUntil(Seconds(2));
+  out.stats = sched.driver_stats();
+  return out;
+}
+
+TEST(ParallelDriverTest, StagedWorkloadIsIdenticalAtEveryThreadCount) {
+  const WorkloadResult serial = RunMixedStagedWorkload(nullptr);
+  // The window machinery must have actually engaged (not trivially serial).
+  EXPECT_GT(serial.stats.windows, 0u);
+  EXPECT_GT(serial.stats.window_events, 0u);
+  EXPECT_GT(serial.stats.mailbox_ops, 0u);
+  // Victims never fire; every staged commit does.
+  for (const std::string& line : serial.log) {
+    EXPECT_EQ(line.find("victim"), std::string::npos) << line;
+  }
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  EXPECT_TRUE(serial == RunMixedStagedWorkload(&pool2));
+  EXPECT_TRUE(serial == RunMixedStagedWorkload(&pool8));
+}
+
+TEST(ParallelDriverTest, StagedMatchesBarrierOnlySemantics) {
+  // The same event set expressed as staged events (run-only, no commit)
+  // must fire in the same global order as barrier events — staging is an
+  // execution strategy, not a semantic change. Run phases only touch
+  // per-shard state, so the per-shard observation order is the comparable.
+  auto run = [](bool staged) {
+    SimClock clock;
+    EventScheduler sched(&clock, 4);
+    sched.SetParallelDriver({nullptr, Millis(10)});
+    std::array<std::vector<int>, 4> per_shard;
+    for (int i = 0; i < 40; ++i) {
+      const uint32_t s = static_cast<uint32_t>(i % 4);
+      const SimTime due = static_cast<SimTime>((i * 37) % 11) * 100;
+      auto fn = [&per_shard, s, i] { per_shard[s].push_back(i); };
+      if (staged) {
+        sched.ScheduleStagedAt(due, StagedEvent{fn, {}}, s);
+      } else {
+        sched.ScheduleAt(due, fn, s);
+      }
+    }
+    sched.DrainUntil(Seconds(1));
+    return per_shard;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ParallelDriverTest, ProvisionalIdCancelsAcrossWindows) {
+  // An id minted inside a run phase must stay cancellable after its window
+  // merges (the alias table maps it to the real seq).
+  SimClock clock;
+  EventScheduler sched(&clock, 2);
+  ThreadPool pool(2);
+  sched.SetParallelDriver({&pool, Millis(5)});
+  int fired = 0;
+  EventId minted;  // provisional, aliased at the first merge
+  sched.ScheduleStagedAt(
+      Millis(10),
+      StagedEvent{[&] {
+                    minted = sched.ScheduleAfter(Seconds(1), [&] { ++fired; },
+                                                 1);
+                  },
+                  {}},
+      0);
+  sched.RunUntil(Millis(500));
+  ASSERT_TRUE(static_cast<bool>(minted));
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_TRUE(sched.Cancel(minted));   // resolved through the alias
+  EXPECT_FALSE(sched.Cancel(minted));  // and only once
+  sched.RunUntil(Seconds(2));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ParallelDriverTest, DriverStatsCountWindowsAndSerialEvents) {
+  SimClock clock;
+  EventScheduler sched(&clock, 4);
+  sched.SetParallelDriver({nullptr, Millis(10)});
+  // 4 staged events in one window (one per shard), one barrier after.
+  for (uint32_t s = 0; s < 4; ++s) {
+    sched.ScheduleStagedAt(Millis(10) + s, StagedEvent{[] {}, {}}, s);
+  }
+  sched.ScheduleAt(Seconds(1), [] {}, 0);
+  sched.DrainUntil(Seconds(2));
+  const auto& stats = sched.driver_stats();
+  EXPECT_EQ(stats.windows, 1u);
+  EXPECT_EQ(stats.window_events, 4u);
+  EXPECT_EQ(stats.serial_events, 1u);
+  ASSERT_EQ(stats.window_shards.size(), 5u);
+  EXPECT_EQ(stats.window_shards[4], 1u);  // one window ran all four shards
+}
+
+TEST(EventSchedulerTest, FractionalReapBoundsHeapUnderScheduleCancelChurn) {
+  // A million schedule+cancel pairs against a long-lived survivor: heap
+  // residency (live + tombstones) must stay bounded by the fractional reap
+  // instead of growing linearly with cancellations.
+  SimClock clock;
+  EventScheduler sched(&clock, 4);
+  int fired = 0;
+  EventId keep = sched.ScheduleAt(Seconds(20), [&] { ++fired; }, 0);
+  size_t peak = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    EventId id = sched.ScheduleAt(
+        Seconds(10) + static_cast<SimTime>(i % 1000), [&] { ++fired; },
+        static_cast<uint32_t>(i % 4));
+    ASSERT_TRUE(sched.Cancel(id));
+    peak = sched.heap_items() > peak ? sched.heap_items() : peak;
+  }
+  EXPECT_LT(peak, 4096u);
+  EXPECT_GT(sched.reap_sweeps(), 0u);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.RunUntil(Seconds(30));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sched.Cancel(keep));  // already fired
 }
 
 // ----- World satellites -----
