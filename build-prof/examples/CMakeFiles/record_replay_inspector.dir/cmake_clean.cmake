@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_replay_inspector.dir/record_replay_inspector.cpp.o"
+  "CMakeFiles/record_replay_inspector.dir/record_replay_inspector.cpp.o.d"
+  "record_replay_inspector"
+  "record_replay_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_replay_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for record_replay_inspector.
+# This may be replaced when dependencies are built.

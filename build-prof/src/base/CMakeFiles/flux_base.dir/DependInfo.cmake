@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/archive.cc" "src/base/CMakeFiles/flux_base.dir/archive.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/archive.cc.o.d"
+  "/root/repo/src/base/compress.cc" "src/base/CMakeFiles/flux_base.dir/compress.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/compress.cc.o.d"
+  "/root/repo/src/base/event_queue.cc" "src/base/CMakeFiles/flux_base.dir/event_queue.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/event_queue.cc.o.d"
+  "/root/repo/src/base/hash.cc" "src/base/CMakeFiles/flux_base.dir/hash.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/hash.cc.o.d"
+  "/root/repo/src/base/interner.cc" "src/base/CMakeFiles/flux_base.dir/interner.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/interner.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/base/CMakeFiles/flux_base.dir/logging.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/logging.cc.o.d"
+  "/root/repo/src/base/result.cc" "src/base/CMakeFiles/flux_base.dir/result.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/result.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/base/CMakeFiles/flux_base.dir/rng.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/rng.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/flux_base.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/strings.cc.o.d"
+  "/root/repo/src/base/synthetic_content.cc" "src/base/CMakeFiles/flux_base.dir/synthetic_content.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/synthetic_content.cc.o.d"
+  "/root/repo/src/base/thread_pool.cc" "src/base/CMakeFiles/flux_base.dir/thread_pool.cc.o" "gcc" "src/base/CMakeFiles/flux_base.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

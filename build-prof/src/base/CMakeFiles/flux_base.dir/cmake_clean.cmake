@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_base.dir/archive.cc.o"
+  "CMakeFiles/flux_base.dir/archive.cc.o.d"
+  "CMakeFiles/flux_base.dir/compress.cc.o"
+  "CMakeFiles/flux_base.dir/compress.cc.o.d"
+  "CMakeFiles/flux_base.dir/event_queue.cc.o"
+  "CMakeFiles/flux_base.dir/event_queue.cc.o.d"
+  "CMakeFiles/flux_base.dir/hash.cc.o"
+  "CMakeFiles/flux_base.dir/hash.cc.o.d"
+  "CMakeFiles/flux_base.dir/interner.cc.o"
+  "CMakeFiles/flux_base.dir/interner.cc.o.d"
+  "CMakeFiles/flux_base.dir/logging.cc.o"
+  "CMakeFiles/flux_base.dir/logging.cc.o.d"
+  "CMakeFiles/flux_base.dir/result.cc.o"
+  "CMakeFiles/flux_base.dir/result.cc.o.d"
+  "CMakeFiles/flux_base.dir/rng.cc.o"
+  "CMakeFiles/flux_base.dir/rng.cc.o.d"
+  "CMakeFiles/flux_base.dir/strings.cc.o"
+  "CMakeFiles/flux_base.dir/strings.cc.o.d"
+  "CMakeFiles/flux_base.dir/synthetic_content.cc.o"
+  "CMakeFiles/flux_base.dir/synthetic_content.cc.o.d"
+  "CMakeFiles/flux_base.dir/thread_pool.cc.o"
+  "CMakeFiles/flux_base.dir/thread_pool.cc.o.d"
+  "libflux_base.a"
+  "libflux_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_cria.dir/cria.cc.o"
+  "CMakeFiles/flux_cria.dir/cria.cc.o.d"
+  "libflux_cria.a"
+  "libflux_cria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_cria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device.cc" "src/device/CMakeFiles/flux_device.dir/device.cc.o" "gcc" "src/device/CMakeFiles/flux_device.dir/device.cc.o.d"
+  "/root/repo/src/device/device_profile.cc" "src/device/CMakeFiles/flux_device.dir/device_profile.cc.o" "gcc" "src/device/CMakeFiles/flux_device.dir/device_profile.cc.o.d"
+  "/root/repo/src/device/world.cc" "src/device/CMakeFiles/flux_device.dir/world.cc.o" "gcc" "src/device/CMakeFiles/flux_device.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/framework/CMakeFiles/flux_framework.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/binder/CMakeFiles/flux_binder.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/aidl/CMakeFiles/flux_aidl.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/gpu/CMakeFiles/flux_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/kernel/CMakeFiles/flux_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/net/CMakeFiles/flux_net.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/flux/CMakeFiles/flux_trace.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/fs/CMakeFiles/flux_fs.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

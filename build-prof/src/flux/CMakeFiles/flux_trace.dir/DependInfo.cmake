@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flux/flight_recorder.cc" "src/flux/CMakeFiles/flux_trace.dir/flight_recorder.cc.o" "gcc" "src/flux/CMakeFiles/flux_trace.dir/flight_recorder.cc.o.d"
+  "/root/repo/src/flux/trace.cc" "src/flux/CMakeFiles/flux_trace.dir/trace.cc.o" "gcc" "src/flux/CMakeFiles/flux_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

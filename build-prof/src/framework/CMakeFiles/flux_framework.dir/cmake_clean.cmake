@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_framework.dir/activity_manager.cc.o"
+  "CMakeFiles/flux_framework.dir/activity_manager.cc.o.d"
+  "CMakeFiles/flux_framework.dir/activity_thread.cc.o"
+  "CMakeFiles/flux_framework.dir/activity_thread.cc.o.d"
+  "CMakeFiles/flux_framework.dir/aidl_sources.cc.o"
+  "CMakeFiles/flux_framework.dir/aidl_sources.cc.o.d"
+  "CMakeFiles/flux_framework.dir/alarm_service.cc.o"
+  "CMakeFiles/flux_framework.dir/alarm_service.cc.o.d"
+  "CMakeFiles/flux_framework.dir/audio_service.cc.o"
+  "CMakeFiles/flux_framework.dir/audio_service.cc.o.d"
+  "CMakeFiles/flux_framework.dir/content_provider.cc.o"
+  "CMakeFiles/flux_framework.dir/content_provider.cc.o.d"
+  "CMakeFiles/flux_framework.dir/hardware_services.cc.o"
+  "CMakeFiles/flux_framework.dir/hardware_services.cc.o.d"
+  "CMakeFiles/flux_framework.dir/intent.cc.o"
+  "CMakeFiles/flux_framework.dir/intent.cc.o.d"
+  "CMakeFiles/flux_framework.dir/misc_services.cc.o"
+  "CMakeFiles/flux_framework.dir/misc_services.cc.o.d"
+  "CMakeFiles/flux_framework.dir/notification_service.cc.o"
+  "CMakeFiles/flux_framework.dir/notification_service.cc.o.d"
+  "CMakeFiles/flux_framework.dir/package_manager.cc.o"
+  "CMakeFiles/flux_framework.dir/package_manager.cc.o.d"
+  "CMakeFiles/flux_framework.dir/sensor_service.cc.o"
+  "CMakeFiles/flux_framework.dir/sensor_service.cc.o.d"
+  "CMakeFiles/flux_framework.dir/system_context.cc.o"
+  "CMakeFiles/flux_framework.dir/system_context.cc.o.d"
+  "CMakeFiles/flux_framework.dir/system_service.cc.o"
+  "CMakeFiles/flux_framework.dir/system_service.cc.o.d"
+  "CMakeFiles/flux_framework.dir/window_manager.cc.o"
+  "CMakeFiles/flux_framework.dir/window_manager.cc.o.d"
+  "libflux_framework.a"
+  "libflux_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

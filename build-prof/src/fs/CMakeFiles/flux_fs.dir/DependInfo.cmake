@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/sim_filesystem.cc" "src/fs/CMakeFiles/flux_fs.dir/sim_filesystem.cc.o" "gcc" "src/fs/CMakeFiles/flux_fs.dir/sim_filesystem.cc.o.d"
+  "/root/repo/src/fs/sync_engine.cc" "src/fs/CMakeFiles/flux_fs.dir/sync_engine.cc.o" "gcc" "src/fs/CMakeFiles/flux_fs.dir/sync_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/contended_link.cc" "src/net/CMakeFiles/flux_net.dir/contended_link.cc.o" "gcc" "src/net/CMakeFiles/flux_net.dir/contended_link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/flux_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/flux_net.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/flux/CMakeFiles/flux_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

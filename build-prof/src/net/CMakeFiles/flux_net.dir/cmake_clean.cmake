@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_net.dir/contended_link.cc.o"
+  "CMakeFiles/flux_net.dir/contended_link.cc.o.d"
+  "CMakeFiles/flux_net.dir/network.cc.o"
+  "CMakeFiles/flux_net.dir/network.cc.o.d"
+  "libflux_net.a"
+  "libflux_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_playstore.dir/catalog.cc.o"
+  "CMakeFiles/flux_playstore.dir/catalog.cc.o.d"
+  "libflux_playstore.a"
+  "libflux_playstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_playstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aidl_test.dir/aidl_test.cc.o"
+  "CMakeFiles/aidl_test.dir/aidl_test.cc.o.d"
+  "aidl_test"
+  "aidl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aidl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_matrix_test.dir/migration_matrix_test.cc.o"
+  "CMakeFiles/migration_matrix_test.dir/migration_matrix_test.cc.o.d"
+  "migration_matrix_test"
+  "migration_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/playstore_test.dir/playstore_test.cc.o"
+  "CMakeFiles/playstore_test.dir/playstore_test.cc.o.d"
+  "playstore_test"
+  "playstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/playstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dedup.dir/bench_dedup.cc.o"
+  "CMakeFiles/bench_dedup.dir/bench_dedup.cc.o.d"
+  "bench_dedup"
+  "bench_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_perceived.dir/bench_fig14_perceived.cc.o"
+  "CMakeFiles/bench_fig14_perceived.dir/bench_fig14_perceived.cc.o.d"
+  "bench_fig14_perceived"
+  "bench_fig14_perceived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_perceived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

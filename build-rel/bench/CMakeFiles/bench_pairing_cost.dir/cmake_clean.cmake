@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pairing_cost.dir/bench_pairing_cost.cc.o"
+  "CMakeFiles/bench_pairing_cost.dir/bench_pairing_cost.cc.o.d"
+  "bench_pairing_cost"
+  "bench_pairing_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pairing_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_to_tablet.dir/movie_to_tablet.cpp.o"
+  "CMakeFiles/movie_to_tablet.dir/movie_to_tablet.cpp.o.d"
+  "movie_to_tablet"
+  "movie_to_tablet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_to_tablet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aidl/aidl_parser.cc" "src/aidl/CMakeFiles/flux_aidl.dir/aidl_parser.cc.o" "gcc" "src/aidl/CMakeFiles/flux_aidl.dir/aidl_parser.cc.o.d"
+  "/root/repo/src/aidl/record_rules.cc" "src/aidl/CMakeFiles/flux_aidl.dir/record_rules.cc.o" "gcc" "src/aidl/CMakeFiles/flux_aidl.dir/record_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_apps.dir/app_instance.cc.o"
+  "CMakeFiles/flux_apps.dir/app_instance.cc.o.d"
+  "CMakeFiles/flux_apps.dir/app_spec.cc.o"
+  "CMakeFiles/flux_apps.dir/app_spec.cc.o.d"
+  "libflux_apps.a"
+  "libflux_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

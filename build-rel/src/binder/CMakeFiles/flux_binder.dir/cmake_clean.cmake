@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_binder.dir/binder_driver.cc.o"
+  "CMakeFiles/flux_binder.dir/binder_driver.cc.o.d"
+  "CMakeFiles/flux_binder.dir/parcel.cc.o"
+  "CMakeFiles/flux_binder.dir/parcel.cc.o.d"
+  "CMakeFiles/flux_binder.dir/service_manager.cc.o"
+  "CMakeFiles/flux_binder.dir/service_manager.cc.o.d"
+  "libflux_binder.a"
+  "libflux_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

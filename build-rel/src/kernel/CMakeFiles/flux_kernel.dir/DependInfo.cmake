@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/address_space.cc" "src/kernel/CMakeFiles/flux_kernel.dir/address_space.cc.o" "gcc" "src/kernel/CMakeFiles/flux_kernel.dir/address_space.cc.o.d"
+  "/root/repo/src/kernel/drivers.cc" "src/kernel/CMakeFiles/flux_kernel.dir/drivers.cc.o" "gcc" "src/kernel/CMakeFiles/flux_kernel.dir/drivers.cc.o.d"
+  "/root/repo/src/kernel/fd_object.cc" "src/kernel/CMakeFiles/flux_kernel.dir/fd_object.cc.o" "gcc" "src/kernel/CMakeFiles/flux_kernel.dir/fd_object.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/flux_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/flux_kernel.dir/process.cc.o.d"
+  "/root/repo/src/kernel/sim_kernel.cc" "src/kernel/CMakeFiles/flux_kernel.dir/sim_kernel.cc.o" "gcc" "src/kernel/CMakeFiles/flux_kernel.dir/sim_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cria_test.dir/cria_test.cc.o"
+  "CMakeFiles/cria_test.dir/cria_test.cc.o.d"
+  "cria_test"
+  "cria_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cria_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_migration_test.dir/dedup_migration_test.cc.o"
+  "CMakeFiles/dedup_migration_test.dir/dedup_migration_test.cc.o.d"
+  "dedup_migration_test"
+  "dedup_migration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_edge_cases_test.dir/engine_edge_cases_test.cc.o"
+  "CMakeFiles/engine_edge_cases_test.dir/engine_edge_cases_test.cc.o.d"
+  "engine_edge_cases_test"
+  "engine_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

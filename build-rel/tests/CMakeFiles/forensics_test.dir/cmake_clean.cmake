@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics_test.dir/forensics_test.cc.o"
+  "CMakeFiles/forensics_test.dir/forensics_test.cc.o.d"
+  "forensics_test"
+  "forensics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

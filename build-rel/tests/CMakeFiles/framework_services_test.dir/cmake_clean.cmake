@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_services_test.dir/framework_services_test.cc.o"
+  "CMakeFiles/framework_services_test.dir/framework_services_test.cc.o.d"
+  "framework_services_test"
+  "framework_services_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairing_test.dir/pairing_test.cc.o"
+  "CMakeFiles/pairing_test.dir/pairing_test.cc.o.d"
+  "pairing_test"
+  "pairing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

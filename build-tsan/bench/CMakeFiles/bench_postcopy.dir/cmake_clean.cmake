@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postcopy.dir/bench_postcopy.cc.o"
+  "CMakeFiles/bench_postcopy.dir/bench_postcopy.cc.o.d"
+  "bench_postcopy"
+  "bench_postcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

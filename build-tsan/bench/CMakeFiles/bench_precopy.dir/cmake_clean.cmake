@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precopy.dir/bench_precopy.cc.o"
+  "CMakeFiles/bench_precopy.dir/bench_precopy.cc.o.d"
+  "bench_precopy"
+  "bench_precopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

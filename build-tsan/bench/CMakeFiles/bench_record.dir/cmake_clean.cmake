@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_record.dir/bench_record.cc.o"
+  "CMakeFiles/bench_record.dir/bench_record.cc.o.d"
+  "bench_record"
+  "bench_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_bench_harness.dir/harness/migration_matrix.cc.o"
+  "CMakeFiles/flux_bench_harness.dir/harness/migration_matrix.cc.o.d"
+  "libflux_bench_harness.a"
+  "libflux_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

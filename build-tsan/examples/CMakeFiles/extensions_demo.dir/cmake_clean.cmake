@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_demo.dir/extensions_demo.cpp.o"
+  "CMakeFiles/extensions_demo.dir/extensions_demo.cpp.o.d"
+  "extensions_demo"
+  "extensions_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics_demo.dir/forensics_demo.cpp.o"
+  "CMakeFiles/forensics_demo.dir/forensics_demo.cpp.o.d"
+  "forensics_demo"
+  "forensics_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

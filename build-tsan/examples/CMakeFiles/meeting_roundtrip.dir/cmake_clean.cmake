@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_roundtrip.dir/meeting_roundtrip.cpp.o"
+  "CMakeFiles/meeting_roundtrip.dir/meeting_roundtrip.cpp.o.d"
+  "meeting_roundtrip"
+  "meeting_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("fs")
+subdirs("kernel")
+subdirs("binder")
+subdirs("aidl")
+subdirs("gpu")
+subdirs("net")
+subdirs("device")
+subdirs("framework")
+subdirs("apps")
+subdirs("cria")
+subdirs("flux")
+subdirs("playstore")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_aidl.dir/aidl_parser.cc.o"
+  "CMakeFiles/flux_aidl.dir/aidl_parser.cc.o.d"
+  "CMakeFiles/flux_aidl.dir/record_rules.cc.o"
+  "CMakeFiles/flux_aidl.dir/record_rules.cc.o.d"
+  "libflux_aidl.a"
+  "libflux_aidl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_aidl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflux_base.a"
+)

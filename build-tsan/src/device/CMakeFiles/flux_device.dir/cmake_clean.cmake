@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_device.dir/device.cc.o"
+  "CMakeFiles/flux_device.dir/device.cc.o.d"
+  "CMakeFiles/flux_device.dir/device_profile.cc.o"
+  "CMakeFiles/flux_device.dir/device_profile.cc.o.d"
+  "CMakeFiles/flux_device.dir/world.cc.o"
+  "CMakeFiles/flux_device.dir/world.cc.o.d"
+  "libflux_device.a"
+  "libflux_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flux/call_log.cc" "src/flux/CMakeFiles/flux_core.dir/call_log.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/call_log.cc.o.d"
+  "/root/repo/src/flux/chunk_cache.cc" "src/flux/CMakeFiles/flux_core.dir/chunk_cache.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/chunk_cache.cc.o.d"
+  "/root/repo/src/flux/coordinator.cc" "src/flux/CMakeFiles/flux_core.dir/coordinator.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/flux/flux_agent.cc" "src/flux/CMakeFiles/flux_core.dir/flux_agent.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/flux_agent.cc.o.d"
+  "/root/repo/src/flux/forensics.cc" "src/flux/CMakeFiles/flux_core.dir/forensics.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/forensics.cc.o.d"
+  "/root/repo/src/flux/migration.cc" "src/flux/CMakeFiles/flux_core.dir/migration.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/migration.cc.o.d"
+  "/root/repo/src/flux/pairing.cc" "src/flux/CMakeFiles/flux_core.dir/pairing.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/pairing.cc.o.d"
+  "/root/repo/src/flux/pipeline.cc" "src/flux/CMakeFiles/flux_core.dir/pipeline.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/flux/record_engine.cc" "src/flux/CMakeFiles/flux_core.dir/record_engine.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/record_engine.cc.o.d"
+  "/root/repo/src/flux/replay_engine.cc" "src/flux/CMakeFiles/flux_core.dir/replay_engine.cc.o" "gcc" "src/flux/CMakeFiles/flux_core.dir/replay_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/cria/CMakeFiles/flux_cria.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/flux_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/device/CMakeFiles/flux_device.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/flux_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flux/CMakeFiles/flux_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/framework/CMakeFiles/flux_framework.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/binder/CMakeFiles/flux_binder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/aidl/CMakeFiles/flux_aidl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/flux_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kernel/CMakeFiles/flux_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fs/CMakeFiles/flux_fs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

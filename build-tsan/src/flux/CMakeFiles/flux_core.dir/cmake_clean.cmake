@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_core.dir/call_log.cc.o"
+  "CMakeFiles/flux_core.dir/call_log.cc.o.d"
+  "CMakeFiles/flux_core.dir/chunk_cache.cc.o"
+  "CMakeFiles/flux_core.dir/chunk_cache.cc.o.d"
+  "CMakeFiles/flux_core.dir/coordinator.cc.o"
+  "CMakeFiles/flux_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/flux_core.dir/flux_agent.cc.o"
+  "CMakeFiles/flux_core.dir/flux_agent.cc.o.d"
+  "CMakeFiles/flux_core.dir/forensics.cc.o"
+  "CMakeFiles/flux_core.dir/forensics.cc.o.d"
+  "CMakeFiles/flux_core.dir/migration.cc.o"
+  "CMakeFiles/flux_core.dir/migration.cc.o.d"
+  "CMakeFiles/flux_core.dir/pairing.cc.o"
+  "CMakeFiles/flux_core.dir/pairing.cc.o.d"
+  "CMakeFiles/flux_core.dir/pipeline.cc.o"
+  "CMakeFiles/flux_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/flux_core.dir/record_engine.cc.o"
+  "CMakeFiles/flux_core.dir/record_engine.cc.o.d"
+  "CMakeFiles/flux_core.dir/replay_engine.cc.o"
+  "CMakeFiles/flux_core.dir/replay_engine.cc.o.d"
+  "libflux_core.a"
+  "libflux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

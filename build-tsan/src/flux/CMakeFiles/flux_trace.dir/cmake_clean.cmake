@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_trace.dir/flight_recorder.cc.o"
+  "CMakeFiles/flux_trace.dir/flight_recorder.cc.o.d"
+  "CMakeFiles/flux_trace.dir/trace.cc.o"
+  "CMakeFiles/flux_trace.dir/trace.cc.o.d"
+  "libflux_trace.a"
+  "libflux_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

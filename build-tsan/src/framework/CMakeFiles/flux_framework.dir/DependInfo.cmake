@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/framework/activity_manager.cc" "src/framework/CMakeFiles/flux_framework.dir/activity_manager.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/activity_manager.cc.o.d"
+  "/root/repo/src/framework/activity_thread.cc" "src/framework/CMakeFiles/flux_framework.dir/activity_thread.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/activity_thread.cc.o.d"
+  "/root/repo/src/framework/aidl_sources.cc" "src/framework/CMakeFiles/flux_framework.dir/aidl_sources.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/aidl_sources.cc.o.d"
+  "/root/repo/src/framework/alarm_service.cc" "src/framework/CMakeFiles/flux_framework.dir/alarm_service.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/alarm_service.cc.o.d"
+  "/root/repo/src/framework/audio_service.cc" "src/framework/CMakeFiles/flux_framework.dir/audio_service.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/audio_service.cc.o.d"
+  "/root/repo/src/framework/content_provider.cc" "src/framework/CMakeFiles/flux_framework.dir/content_provider.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/content_provider.cc.o.d"
+  "/root/repo/src/framework/hardware_services.cc" "src/framework/CMakeFiles/flux_framework.dir/hardware_services.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/hardware_services.cc.o.d"
+  "/root/repo/src/framework/intent.cc" "src/framework/CMakeFiles/flux_framework.dir/intent.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/intent.cc.o.d"
+  "/root/repo/src/framework/misc_services.cc" "src/framework/CMakeFiles/flux_framework.dir/misc_services.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/misc_services.cc.o.d"
+  "/root/repo/src/framework/notification_service.cc" "src/framework/CMakeFiles/flux_framework.dir/notification_service.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/notification_service.cc.o.d"
+  "/root/repo/src/framework/package_manager.cc" "src/framework/CMakeFiles/flux_framework.dir/package_manager.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/package_manager.cc.o.d"
+  "/root/repo/src/framework/sensor_service.cc" "src/framework/CMakeFiles/flux_framework.dir/sensor_service.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/sensor_service.cc.o.d"
+  "/root/repo/src/framework/system_context.cc" "src/framework/CMakeFiles/flux_framework.dir/system_context.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/system_context.cc.o.d"
+  "/root/repo/src/framework/system_service.cc" "src/framework/CMakeFiles/flux_framework.dir/system_service.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/system_service.cc.o.d"
+  "/root/repo/src/framework/window_manager.cc" "src/framework/CMakeFiles/flux_framework.dir/window_manager.cc.o" "gcc" "src/framework/CMakeFiles/flux_framework.dir/window_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kernel/CMakeFiles/flux_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/binder/CMakeFiles/flux_binder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/aidl/CMakeFiles/flux_aidl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/flux_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/flux_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fs/CMakeFiles/flux_fs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flux/CMakeFiles/flux_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_fs.dir/sim_filesystem.cc.o"
+  "CMakeFiles/flux_fs.dir/sim_filesystem.cc.o.d"
+  "CMakeFiles/flux_fs.dir/sync_engine.cc.o"
+  "CMakeFiles/flux_fs.dir/sync_engine.cc.o.d"
+  "libflux_fs.a"
+  "libflux_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

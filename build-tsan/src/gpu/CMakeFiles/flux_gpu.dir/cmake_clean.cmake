@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_gpu.dir/egl_runtime.cc.o"
+  "CMakeFiles/flux_gpu.dir/egl_runtime.cc.o.d"
+  "libflux_gpu.a"
+  "libflux_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

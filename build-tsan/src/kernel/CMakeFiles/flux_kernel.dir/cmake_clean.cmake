@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_kernel.dir/address_space.cc.o"
+  "CMakeFiles/flux_kernel.dir/address_space.cc.o.d"
+  "CMakeFiles/flux_kernel.dir/drivers.cc.o"
+  "CMakeFiles/flux_kernel.dir/drivers.cc.o.d"
+  "CMakeFiles/flux_kernel.dir/fd_object.cc.o"
+  "CMakeFiles/flux_kernel.dir/fd_object.cc.o.d"
+  "CMakeFiles/flux_kernel.dir/process.cc.o"
+  "CMakeFiles/flux_kernel.dir/process.cc.o.d"
+  "CMakeFiles/flux_kernel.dir/sim_kernel.cc.o"
+  "CMakeFiles/flux_kernel.dir/sim_kernel.cc.o.d"
+  "libflux_kernel.a"
+  "libflux_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

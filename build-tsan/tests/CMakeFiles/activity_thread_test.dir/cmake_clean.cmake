@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_thread_test.dir/activity_thread_test.cc.o"
+  "CMakeFiles/activity_thread_test.dir/activity_thread_test.cc.o.d"
+  "activity_thread_test"
+  "activity_thread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

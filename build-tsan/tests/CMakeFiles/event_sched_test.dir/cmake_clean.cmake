@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_sched_test.dir/event_sched_test.cc.o"
+  "CMakeFiles/event_sched_test.dir/event_sched_test.cc.o.d"
+  "event_sched_test"
+  "event_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_components_test.dir/flux_components_test.cc.o"
+  "CMakeFiles/flux_components_test.dir/flux_components_test.cc.o.d"
+  "flux_components_test"
+  "flux_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
