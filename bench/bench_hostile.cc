@@ -1,0 +1,381 @@
+// Hostile-network migration (DESIGN.md §13): loss sweep, profile sweep,
+// and the resume retransmission gate.
+//
+// Three sections, each a fresh deterministic world per migration:
+//   1. Loss sweep — a loss-only profile at 0.1%..5% per-frame loss, FEC on
+//      and off, across a fixed app subset. Shows the CRC32C/FEC wire frame
+//      (PROTOCOL.md §3-§5) holding migrations together as loss climbs, and
+//      what parity groups cost when the link is clean enough not to need
+//      them.
+//   2. Profile sweep — the named presets (campus, home, lte, hostile) with
+//      chunk-resumable transfers on; hostile's recurring outage windows
+//      exercise the PROTOCOL.md §8 resume handshake end to end. Emits the
+//      completion-time CDF.
+//   3. Resume gate — a 2 s outage dropped mid-transfer under a clean
+//      profile; only the in-flight chunk may re-ship, so re-sent bytes stay
+//      within 1.2x of what the outage destroyed.
+//
+// Output: tables per section plus BENCH_hostile.json, gated by
+// `check_bench.py hostile` (success_rate_1pct_fec >= 0.99,
+// resume_retransmit_ratio <= 1.2).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_instance.h"
+#include "src/base/logging.h"
+#include "src/device/world.h"
+#include "src/flux/migration.h"
+#include "src/net/network.h"
+
+using namespace flux;
+
+namespace {
+
+// A small fixed subset keeps the sweep affordable: ~70 full migrations.
+const char* const kApps[] = {"Flappy Bird", "Bible", "eBay", "Vine"};
+
+struct HopResult {
+  bool ok = false;
+  std::string reason;
+  MigrationReport report;
+  SimTime transfer_begin = 0;
+  SimTime transfer_end = 0;
+};
+
+// One cold A -> B migration in a fresh world. `outage_at`/`outage_for`
+// schedule a recoverable window on the shared network (0 = none).
+HopResult RunHop(const AppSpec& spec, const MigrationConfig& config,
+                 SimTime outage_at = 0, SimDuration outage_for = 0) {
+  HopResult out;
+  World world;
+  BootOptions boot;
+  boot.framework_scale = 0.02;
+  Device* a = world.AddDevice("n4", Nexus4Profile(), boot).value();
+  Device* b = world.AddDevice("n7-2013", Nexus7_2013Profile(), boot).value();
+  FluxAgent a_agent(*a);
+  FluxAgent b_agent(*b);
+  if (!PairDevices(a_agent, b_agent).ok()) {
+    out.reason = "pairing failed";
+    return out;
+  }
+  AppInstance app(*a, spec);
+  if (!app.Install().ok() || !PairApp(a_agent, b_agent, spec).ok() ||
+      !app.Launch().ok()) {
+    out.reason = "install/launch failed";
+    return out;
+  }
+  a_agent.Manage(app.pid(), spec.package);
+  if (!app.RunWorkload(42).ok()) {
+    out.reason = "workload failed";
+    return out;
+  }
+  if (outage_for > 0) {
+    world.wifi().ScheduleOutageWindow(outage_at, outage_for);
+  }
+  MigrationManager manager(a_agent, b_agent, config);
+  auto report = manager.Migrate(RunningApp::FromInstance(app), spec);
+  if (!report.ok()) {
+    out.reason = report.status().ToString();
+    return out;
+  }
+  if (!report->success) {
+    out.reason = report->refusal_reason;
+    return out;
+  }
+  if (report->image_hash != report->restored_image_hash) {
+    out.reason = "restored image differs from checkpoint";
+    return out;
+  }
+  out.ok = true;
+  out.report = *report;
+  out.transfer_begin = report->transfer.begin;
+  out.transfer_end = report->transfer.end;
+  return out;
+}
+
+double Percentile(std::vector<double> values, int pct) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(values.size() - 1, values.size() * pct / 100);
+  return values[index];
+}
+
+struct LossCell {
+  double loss = 0;
+  bool fec = false;
+  int attempted = 0;
+  int succeeded = 0;
+  uint64_t frames_lost = 0;
+  uint64_t frames_recovered = 0;
+  uint64_t lost_bytes = 0;
+  uint64_t retransmit_bytes = 0;
+  double mean_total_s = 0;
+  double wire_overhead = 0;  // wire bytes vs the same run at zero loss
+};
+
+struct ProfileRow {
+  std::string name;
+  int attempted = 0;
+  int succeeded = 0;
+  uint32_t interruptions = 0;
+  uint32_t resume_attempts = 0;
+  double stalled_s = 0;
+  double p50_total_s = 0;
+  double p90_total_s = 0;
+  double max_total_s = 0;
+};
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kError);
+  printf("=== Hostile-network migration: loss, profiles, resume ===\n");
+  printf("Cold N4 -> N7(2013) hops; fresh world per run; resume on.\n\n");
+
+  std::vector<const AppSpec*> specs;
+  for (const char* name : kApps) {
+    const AppSpec* spec = FindApp(name);
+    if (spec != nullptr) {
+      specs.push_back(spec);
+    }
+  }
+  if (specs.empty()) {
+    fprintf(stderr, "no bench apps found\n");
+    return 1;
+  }
+
+  // ----- 1. loss sweep x FEC -----
+  const double kLossRates[] = {0.001, 0.005, 0.01, 0.02, 0.05};
+  std::vector<LossCell> cells;
+  uint64_t seed = 1;
+  // Zero-loss framed baseline per app, FEC on/off, for the overhead column.
+  double clean_wire[2] = {0, 0};
+  for (int fec = 0; fec < 2; ++fec) {
+    for (const AppSpec* spec : specs) {
+      MigrationConfig config;
+      config.resume = true;
+      config.fec = fec == 1;
+      config.net_profile.name = "framed-clean";
+      // An all-but-clean profile: framing is charged, nothing is lost.
+      config.net_profile.rate_dip_factor = 1.0;
+      config.net_profile.rate_dip_duty = 1e-9;
+      config.net_seed = seed++;
+      const HopResult hop = RunHop(*spec, config);
+      if (hop.ok) {
+        clean_wire[fec] += static_cast<double>(hop.report.total_wire_bytes);
+      }
+    }
+  }
+  for (const double loss : kLossRates) {
+    for (int fec = 0; fec < 2; ++fec) {
+      LossCell cell;
+      cell.loss = loss;
+      cell.fec = fec == 1;
+      double total_s = 0;
+      double wire = 0;
+      for (const AppSpec* spec : specs) {
+        MigrationConfig config;
+        config.resume = true;
+        config.fec = cell.fec;
+        config.net_profile.name = "loss-sweep";
+        config.net_profile.loss_rate = loss;
+        config.net_seed = seed++;
+        ++cell.attempted;
+        const HopResult hop = RunHop(*spec, config);
+        if (!hop.ok) {
+          continue;
+        }
+        ++cell.succeeded;
+        cell.frames_lost += hop.report.frame_wire.frames_lost;
+        cell.frames_recovered += hop.report.frame_wire.frames_recovered;
+        cell.lost_bytes += hop.report.frame_wire.lost_bytes;
+        cell.retransmit_bytes += hop.report.frame_wire.retransmit_bytes;
+        total_s += ToSecondsF(hop.report.Total());
+        wire += static_cast<double>(hop.report.total_wire_bytes);
+      }
+      if (cell.succeeded > 0) {
+        cell.mean_total_s = total_s / cell.succeeded;
+        cell.wire_overhead =
+            clean_wire[fec] > 0 ? wire / clean_wire[fec] : 0;
+      }
+      cells.push_back(cell);
+    }
+  }
+
+  printf("%-7s | %-3s | %7s | %7s | %7s | %8s | %8s\n", "loss", "fec",
+         "ok", "lost", "fec-fix", "total s", "wire x");
+  for (size_t i = 0; i < 62; ++i) {
+    printf("-");
+  }
+  printf("\n");
+  for (const LossCell& cell : cells) {
+    printf("%6.1f%% | %-3s | %3d/%-3d | %7llu | %7llu | %8.3f | %8.4f\n",
+           cell.loss * 100, cell.fec ? "on" : "off", cell.succeeded,
+           cell.attempted, static_cast<unsigned long long>(cell.frames_lost),
+           static_cast<unsigned long long>(cell.frames_recovered),
+           cell.mean_total_s, cell.wire_overhead);
+  }
+
+  // ----- 2. profile sweep -----
+  std::vector<ProfileRow> profiles;
+  std::vector<double> completion_s;
+  for (const std::string_view name :
+       {std::string_view("campus"), std::string_view("home"),
+        std::string_view("lte"), std::string_view("hostile")}) {
+    ProfileRow row;
+    row.name = std::string(name);
+    std::vector<double> totals;
+    for (const AppSpec* spec : specs) {
+      MigrationConfig config;
+      config.resume = true;
+      config.net_profile = NetProfile::Named(name).value();
+      config.net_seed = seed++;
+      ++row.attempted;
+      const HopResult hop = RunHop(*spec, config);
+      if (!hop.ok) {
+        continue;
+      }
+      ++row.succeeded;
+      row.interruptions += hop.report.resume.interruptions;
+      row.resume_attempts += hop.report.resume.attempts;
+      row.stalled_s += ToSecondsF(hop.report.resume.stalled);
+      totals.push_back(ToSecondsF(hop.report.Total()));
+      completion_s.push_back(totals.back());
+    }
+    row.p50_total_s = Percentile(totals, 50);
+    row.p90_total_s = Percentile(totals, 90);
+    row.max_total_s =
+        totals.empty() ? 0 : *std::max_element(totals.begin(), totals.end());
+    profiles.push_back(row);
+  }
+
+  printf("\n%-8s | %7s | %6s | %6s | %8s | %8s | %8s | %8s\n", "profile",
+         "ok", "intr", "resume", "stall s", "p50 s", "p90 s", "max s");
+  for (size_t i = 0; i < 76; ++i) {
+    printf("-");
+  }
+  printf("\n");
+  for (const ProfileRow& row : profiles) {
+    printf("%-8s | %3d/%-3d | %6u | %6u | %8.2f | %8.3f | %8.3f | %8.3f\n",
+           row.name.c_str(), row.succeeded, row.attempted, row.interruptions,
+           row.resume_attempts, row.stalled_s, row.p50_total_s,
+           row.p90_total_s, row.max_total_s);
+  }
+
+  printf("\nCompletion-time CDF over profile sweep (%zu runs):\n",
+         completion_s.size());
+  std::vector<double> sorted = completion_s;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    printf("  %5.1f%% <= %.3f s\n",
+           100.0 * static_cast<double>(i + 1) / sorted.size(), sorted[i]);
+  }
+
+  // ----- 3. resume retransmission gate -----
+  // Clean link, one 2 s hole mid-transfer: the resume handshake must limit
+  // re-sent bytes to the in-flight chunk. The transfer window comes from a
+  // no-fault run of the same deterministic world.
+  int resume_ok = 0;
+  int resume_attempted = 0;
+  uint64_t resume_lost = 0;
+  uint64_t resume_resent = 0;
+  double worst_ratio = 0;
+  for (const AppSpec* spec : specs) {
+    MigrationConfig config;
+    config.resume = true;
+    const HopResult clean = RunHop(*spec, config);
+    if (!clean.ok) {
+      continue;
+    }
+    const SimTime mid =
+        clean.transfer_begin +
+        (clean.transfer_end - clean.transfer_begin) / 2;
+    ++resume_attempted;
+    const HopResult hop = RunHop(*spec, config, mid, Seconds(2));
+    if (!hop.ok || hop.report.resume.interruptions == 0) {
+      continue;
+    }
+    ++resume_ok;
+    resume_lost += hop.report.resume.lost_bytes;
+    resume_resent += hop.report.resume.retransmit_bytes;
+    const double ratio =
+        hop.report.resume.lost_bytes > 0
+            ? static_cast<double>(hop.report.resume.retransmit_bytes) /
+                  static_cast<double>(hop.report.resume.lost_bytes)
+            : (hop.report.resume.retransmit_bytes > 0 ? 1e9 : 1.0);
+    worst_ratio = std::max(worst_ratio, ratio);
+  }
+
+  printf("\nResume gate: %d/%d interrupted hops resumed; "
+         "worst retransmit ratio %.3f (re-sent %llu of %llu lost bytes)\n",
+         resume_ok, resume_attempted, worst_ratio,
+         static_cast<unsigned long long>(resume_resent),
+         static_cast<unsigned long long>(resume_lost));
+
+  // The headline gate: 1% loss with FEC on.
+  double success_1pct_fec = 0;
+  for (const LossCell& cell : cells) {
+    if (cell.loss == 0.01 && cell.fec && cell.attempted > 0) {
+      success_1pct_fec =
+          static_cast<double>(cell.succeeded) / cell.attempted;
+    }
+  }
+
+  FILE* json = fopen("BENCH_hostile.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    fprintf(json, "  \"apps\": %zu,\n", specs.size());
+    fprintf(json, "  \"success_rate_1pct_fec\": %.4f,\n", success_1pct_fec);
+    fprintf(json, "  \"resume_retransmit_ratio\": %.4f,\n", worst_ratio);
+    fprintf(json, "  \"resume_interrupted_hops\": %d,\n", resume_ok);
+    fprintf(json, "  \"completion_p50_s\": %.4f,\n",
+            Percentile(completion_s, 50));
+    fprintf(json, "  \"completion_p90_s\": %.4f,\n",
+            Percentile(completion_s, 90));
+    fprintf(json, "  \"completion_max_s\": %.4f,\n",
+            completion_s.empty()
+                ? 0.0
+                : *std::max_element(completion_s.begin(), completion_s.end()));
+    fprintf(json, "  \"loss_sweep\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const LossCell& cell = cells[i];
+      fprintf(json,
+              "    {\"loss\": %.3f, \"fec\": %s, \"attempted\": %d, "
+              "\"succeeded\": %d, \"frames_lost\": %llu, "
+              "\"frames_recovered\": %llu, \"lost_bytes\": %llu, "
+              "\"retransmit_bytes\": %llu, \"mean_total_s\": %.4f, "
+              "\"wire_overhead\": %.4f}%s\n",
+              cell.loss, cell.fec ? "true" : "false", cell.attempted,
+              cell.succeeded,
+              static_cast<unsigned long long>(cell.frames_lost),
+              static_cast<unsigned long long>(cell.frames_recovered),
+              static_cast<unsigned long long>(cell.lost_bytes),
+              static_cast<unsigned long long>(cell.retransmit_bytes),
+              cell.mean_total_s, cell.wire_overhead,
+              i + 1 < cells.size() ? "," : "");
+    }
+    fprintf(json, "  ],\n");
+    fprintf(json, "  \"profiles\": [\n");
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      const ProfileRow& row = profiles[i];
+      fprintf(json,
+              "    {\"profile\": \"%s\", \"attempted\": %d, "
+              "\"succeeded\": %d, \"interruptions\": %u, "
+              "\"resume_attempts\": %u, \"stalled_s\": %.3f, "
+              "\"p50_total_s\": %.4f, \"p90_total_s\": %.4f, "
+              "\"max_total_s\": %.4f}%s\n",
+              row.name.c_str(), row.attempted, row.succeeded,
+              row.interruptions, row.resume_attempts, row.stalled_s,
+              row.p50_total_s, row.p90_total_s, row.max_total_s,
+              i + 1 < profiles.size() ? "," : "");
+    }
+    fprintf(json, "  ]\n}\n");
+    fclose(json);
+    printf("\nWrote BENCH_hostile.json\n");
+  }
+  return 0;
+}

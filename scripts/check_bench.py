@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate CI on benchmark regressions.
 
-Usage: check_bench.py <pipeline|dedup|record|precopy|fleet> <fresh.json> <committed.json>
+Usage: check_bench.py <pipeline|dedup|record|precopy|fleet|hostile> <fresh.json> <committed.json>
 
 Compares a freshly produced BENCH_*.json against the committed one and
 exits non-zero when the fresh numbers regress beyond tolerance:
@@ -32,6 +32,13 @@ exits non-zero when the fresh numbers regress beyond tolerance:
             only where the host has the cores to show it: >= 2.0 with
             8+ cores, >= 1.2 with 4+, unchecked below (single-core CI
             runners legitimately see ~1.0x).
+  hostile   success_rate_1pct_fec must stay >= 0.99 (at 1% per-frame
+            loss with FEC on, migrations complete and restore
+            byte-identically) and resume_retransmit_ratio <= 1.2 (a
+            resumed transfer re-sends at most 1.2x the bytes the
+            outage destroyed — the chunk-granular resume claim). Both
+            are deterministic simulation outputs; the committed values
+            are the exact expectation.
 
 The simulation is deterministic, so in practice fresh == committed for
 pipeline and dedup; the tolerances only absorb intentional
@@ -55,6 +62,8 @@ FLEET_THROUGHPUT_FLOOR = 1000.0
 FLEET_10K_WALL_MAX_S = 60.0
 FLEET_SPEEDUP_8CORE = 2.0
 FLEET_SPEEDUP_4CORE = 1.2
+HOSTILE_SUCCESS_FLOOR = 0.99
+HOSTILE_RETRANSMIT_MAX = 1.2
 
 
 def fail(msg):
@@ -64,7 +73,7 @@ def fail(msg):
 
 def main(argv):
     if len(argv) != 4 or argv[1] not in ("pipeline", "dedup", "record",
-                                         "precopy", "fleet"):
+                                         "precopy", "fleet", "hostile"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, fresh_path, committed_path = argv[1], argv[2], argv[3]
@@ -156,6 +165,21 @@ def main(argv):
                       if s["devices"] == 10000),
                  next(s["host_wall_s"] for s in fresh["scales"]
                       if s["devices"] == 10000)))
+    elif mode == "hostile":
+        got = fresh["success_rate_1pct_fec"]
+        want = committed["success_rate_1pct_fec"]
+        if got < HOSTILE_SUCCESS_FLOOR:
+            fail("success_rate_1pct_fec below the %.2f floor: %.4f "
+                 "(committed %.4f)" % (HOSTILE_SUCCESS_FLOOR, got, want))
+        ratio = fresh["resume_retransmit_ratio"]
+        if ratio > HOSTILE_RETRANSMIT_MAX:
+            fail("resume_retransmit_ratio above the %.1fx ceiling: %.4f"
+                 % (HOSTILE_RETRANSMIT_MAX, ratio))
+        if fresh.get("resume_interrupted_hops", 0) < 1:
+            fail("no interrupted hop resumed: the resume gate did not run")
+        print("check_bench: hostile OK (1%%-loss FEC success %.2f >= %.2f, "
+              "resume retransmit ratio %.3f <= %.1f)"
+              % (got, HOSTILE_SUCCESS_FLOOR, ratio, HOSTILE_RETRANSMIT_MAX))
     else:
         key = "mean_warm_reduction_pct"
         got, want = fresh[key], committed[key]

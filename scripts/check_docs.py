@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Keep PROTOCOL.md and src/net/frame.h in lock-step.
+
+Usage: check_docs.py [repo_root]
+
+PROTOCOL.md is the normative wire spec; frame.h is the implementation.
+Neither is allowed to drift: this script parses the layout constants out
+of both and fails CI when they disagree.
+
+Checked, in both directions (a constant missing from either side fails):
+
+  * every header-field offset  (kFrameOff*)        PROTOCOL.md section 3.1
+  * field sizes tile the header contiguously up to kFrameHeaderSize
+  * kFrameMagic, kFrameVersion, kFrameHeaderSize, kFrameNoFecGroup
+  * every FrameType enumerator and its value       PROTOCOL.md section 3.2
+  * every kFrameFlag* bit and its value            PROTOCOL.md section 3.3
+
+The doc tables carry the constant names in backticks precisely so this
+script can match rows mechanically; keep that column when editing.
+"""
+
+import os
+import re
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print("check_docs: FAIL: %s" % e, file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_header(path):
+    """Extract layout constants from src/net/frame.h."""
+    text = open(path).read()
+    consts = {}
+    for name, expr in re.findall(
+            r"inline constexpr \w+ (k\w+) = ([^;]+);", text):
+        expr = expr.split("//")[0].strip()
+        m = re.match(r"(\d+)u? << (\d+)$", expr)
+        if m:
+            consts[name] = int(m.group(1)) << int(m.group(2))
+        else:
+            consts[name] = int(expr.rstrip("u"), 0)
+    enum_body = re.search(r"enum class FrameType[^{]*\{(.*?)\};", text,
+                          re.DOTALL)
+    types = {}
+    if enum_body:
+        for name, value in re.findall(r"(k\w+) = (\d+),", enum_body.group(1)):
+            types[name] = int(value)
+    return consts, types
+
+
+def parse_doc(path):
+    """Extract constant/value claims from PROTOCOL.md's tables."""
+    text = open(path).read()
+    offsets = {}   # constant -> (offset, size)
+    for m in re.finditer(
+            r"^\|\s*(\d+)\s*\|\s*(\d+)\s*\|\s*[^|]+\|\s*`(kFrameOff\w+)`",
+            text, re.MULTILINE):
+        offsets[m.group(3)] = (int(m.group(1)), int(m.group(2)))
+    def section(start, end):
+        begin = text.find(start)
+        stop = text.find(end, begin) if begin >= 0 else -1
+        return text[begin:stop] if begin >= 0 and stop >= 0 else ""
+
+    row = r"^\|\s*`(k\w+)`\s*\|\s*`?(0x[0-9A-Fa-f]+|\d+)`?\s*\|"
+    types = {m.group(1): int(m.group(2), 0)
+             for m in re.finditer(row, section("### 3.2", "### 3.3"),
+                                  re.MULTILINE)}
+    flags = {m.group(1): int(m.group(2), 0)
+             for m in re.finditer(row, section("### 3.3", "## 4"),
+                                  re.MULTILINE)}
+    scalars = {}
+    for name in ("kFrameHeaderSize", "kFrameVersion"):
+        m = re.search(r"`%s` = (\d+)|`%s = (\d+)`" % (name, name), text)
+        if m:
+            scalars[name] = int(m.group(1) or m.group(2))
+    m = re.search(r"`(0x[0-9A-Fa-f]{8})`[^|]*`\"FLXF\"`|"
+                  r"= `(0x[0-9A-Fa-f]{8})` — `\"FLXF\"`", text)
+    if m:
+        scalars["kFrameMagic"] = int(m.group(1) or m.group(2), 0)
+    m = re.search(r"`0x(F{8})`\s*\(`kFrameNoFecGroup`\)|"
+                  r"`(0xF{8})`\s*\(`kFrameNoFecGroup`\)", text)
+    if m is None:
+        m = re.search(r"`?(0xFFFFFFFF)`?\s*\(`kFrameNoFecGroup`\)", text)
+    if m:
+        scalars["kFrameNoFecGroup"] = 0xFFFFFFFF
+    return offsets, types, flags, scalars
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    header_path = os.path.join(root, "src/net/frame.h")
+    doc_path = os.path.join(root, "PROTOCOL.md")
+    consts, header_types = parse_header(header_path)
+    doc_offsets, doc_types, doc_flags, doc_scalars = parse_doc(doc_path)
+    errors = []
+
+    header_offsets = {k: v for k, v in consts.items()
+                      if k.startswith("kFrameOff")}
+    if not header_offsets:
+        errors.append("no kFrameOff* constants parsed from %s" % header_path)
+    for name, off in sorted(header_offsets.items(), key=lambda kv: kv[1]):
+        if name not in doc_offsets:
+            errors.append("%s missing from PROTOCOL.md section 3.1" % name)
+        elif doc_offsets[name][0] != off:
+            errors.append("%s: PROTOCOL.md says offset %d, frame.h says %d"
+                          % (name, doc_offsets[name][0], off))
+    for name in doc_offsets:
+        if name not in header_offsets:
+            errors.append("%s documented but absent from frame.h" % name)
+
+    # The documented field sizes must tile [0, kFrameHeaderSize) exactly.
+    rows = sorted(doc_offsets.values())
+    expect = 0
+    for off, size in rows:
+        if off != expect:
+            errors.append("section 3.1 rows leave a gap: expected a field at "
+                          "offset %d, next row is at %d" % (expect, off))
+            break
+        expect = off + size
+    if rows and expect != consts.get("kFrameHeaderSize", -1):
+        errors.append("section 3.1 fields end at %d, kFrameHeaderSize is %s"
+                      % (expect, consts.get("kFrameHeaderSize")))
+
+    for name in ("kFrameHeaderSize", "kFrameVersion", "kFrameMagic",
+                 "kFrameNoFecGroup"):
+        if name not in doc_scalars:
+            errors.append("%s value not stated in PROTOCOL.md" % name)
+        elif doc_scalars[name] != consts.get(name):
+            errors.append("%s: PROTOCOL.md says %#x, frame.h says %#x"
+                          % (name, doc_scalars[name], consts.get(name, -1)))
+
+    if not header_types:
+        errors.append("no FrameType enumerators parsed from %s" % header_path)
+    for name, value in header_types.items():
+        if name not in doc_types:
+            errors.append("FrameType %s missing from PROTOCOL.md section 3.2"
+                          % name)
+        elif doc_types[name] != value:
+            errors.append("FrameType %s: PROTOCOL.md says %d, frame.h says %d"
+                          % (name, doc_types[name], value))
+    for name in doc_types:
+        if name not in header_types:
+            errors.append("FrameType %s documented but absent from frame.h"
+                          % name)
+
+    header_flags = {k: v for k, v in consts.items()
+                    if k.startswith("kFrameFlag")}
+    for name, value in header_flags.items():
+        if name not in doc_flags:
+            errors.append("flag %s missing from PROTOCOL.md section 3.3"
+                          % name)
+        elif doc_flags[name] != value:
+            errors.append("flag %s: PROTOCOL.md says %#06x, frame.h says "
+                          "%#06x" % (name, doc_flags[name], value))
+    for name in doc_flags:
+        if name not in header_flags:
+            errors.append("flag %s documented but absent from frame.h" % name)
+
+    if errors:
+        fail(errors)
+    print("check_docs: OK (%d offsets, %d frame types, %d flags, %d scalars "
+          "match frame.h)" % (len(header_offsets), len(header_types),
+                              len(header_flags), len(doc_scalars)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,6 +26,23 @@ const std::array<uint32_t, 256>& Crc32Table() {
   return table;
 }
 
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = BuildCrc32cTable();
+  return table;
+}
+
 }  // namespace
 
 uint64_t Fnv1a64(ByteSpan data) {
@@ -141,6 +158,15 @@ std::string Hash128::ToHex() const {
 
 uint32_t Crc32(ByteSpan data) {
   const auto& table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32c(ByteSpan data) {
+  const auto& table = Crc32cTable();
   uint32_t crc = 0xFFFFFFFFu;
   for (uint8_t byte : data) {
     crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);

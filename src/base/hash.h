@@ -33,6 +33,12 @@ class Fnv1a64Hasher {
 // CRC-32 (IEEE 802.3 polynomial, reflected).
 uint32_t Crc32(ByteSpan data);
 
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78). The
+// wire-frame checksum (src/net/frame.h, PROTOCOL.md §4): computed over a
+// frame's payload only, init 0xFFFFFFFF, final xor 0xFFFFFFFF. Kept apart
+// from Crc32 because the frame layout pins this exact polynomial.
+uint32_t Crc32c(ByteSpan data);
+
 // A 128-bit content digest. Two independently mixed 64-bit lanes: at the
 // chunk-cache scale (thousands of 256 KiB chunks) 64 bits would already be
 // collision-safe, but 128 bits make accidental cross-app collisions

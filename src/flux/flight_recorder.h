@@ -76,6 +76,7 @@ inline constexpr std::string_view kMigrationComplete = "migration.complete";
 inline constexpr std::string_view kMigrationRollback = "migration.rollback";
 inline constexpr std::string_view kMigrationRollbackFailed =
     "migration.rollback_failed";
+inline constexpr std::string_view kMigrationResume = "migration.resume";
 // Pairing protocol (§3.1).
 inline constexpr std::string_view kPairingDevices = "pairing.devices";
 inline constexpr std::string_view kPairingApp = "pairing.app";
@@ -98,6 +99,9 @@ inline constexpr std::string_view kCacheVerifyFailure =
 // Radio model.
 inline constexpr std::string_view kNetOutage = "net.outage";
 inline constexpr std::string_view kNetTransfer = "net.transfer";
+// Wire framing (src/net/frame.h): a frame arrived with a CRC32C mismatch
+// (a0 = frame wire bytes, a1 = the chunk's base seq).
+inline constexpr std::string_view kNetFrameCrcError = "net.frame.crc_error";
 // Binder driver (BinderCracker-style per-transaction failure context).
 inline constexpr std::string_view kBinderTransactionFailed =
     "binder.transaction_failed";

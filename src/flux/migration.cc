@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "src/base/compress.h"
 #include "src/base/logging.h"
@@ -178,6 +179,12 @@ MigrationManager::MigrationManager(FluxAgent& home, FluxAgent& guest,
     config_.pipelined = true;
     config_.chunk_dedup = true;
   }
+  if (config_.resume) {
+    // Resume acks against the chunk manifest, so it needs the chunked
+    // stream and the content-addressed cache.
+    config_.pipelined = true;
+    config_.chunk_dedup = true;
+  }
 }
 
 MigrationManager::~MigrationManager() = default;
@@ -293,6 +300,13 @@ Result<Bytes> MigrationManager::BuildPayload(const RunningApp& app,
         plan.stored_fallback = true;
         plan.hashes = LzChunkHashes(image_span, chunk_size);
         plan.ref_chunks.assign(plan.hashes.size(), 0);
+        // The resume handshake re-offers exactly this manifest.
+        payload_chunk_hashes_ = plan.hashes;
+        if (config_.resume) {
+          // Chunk-granular delivery needs the raw chunks at transfer time:
+          // the guest caches each as its wire window closes.
+          resume_raw_image_.assign(image_span.begin(), image_span.end());
+        }
         dedup.chunk_count = static_cast<uint32_t>(plan.hashes.size());
         dedup.manifest_wire_bytes = ManifestWireBytes(plan.hashes.size());
         ChunkCache& guest_cache = guest_.chunk_cache();
@@ -401,6 +415,17 @@ Result<Bytes> MigrationManager::BuildPayloadPrecopy(const RunningApp& app,
       config_.pipeline_chunk_bytes, 4 * 1024, 64ull * 1024 * 1024));
   const EffectiveLink link = wifi.LinkBetween(device.profile().radio,
                                               guest_device.profile().radio);
+  // Hostile profile: round traffic is charged framed (arithmetic — the
+  // per-frame codec runs only in the stop-and-copy); clean leaves every
+  // byte count identical.
+  const bool shaped = !config_.net_profile.IsClean();
+  FrameStreamOptions fopts;
+  fopts.frame_payload_bytes = config_.frame_payload_bytes;
+  fopts.fec_group_data_frames = config_.fec_group_data_frames;
+  fopts.fec = config_.fec;
+  auto charged = [&](uint64_t bytes) {
+    return shaped ? FramedWireBytes(bytes, fopts) : bytes;
+  };
   ChunkCache& guest_cache = guest_.chunk_cache();
   ChunkCache& home_cache = home_.chunk_cache();
   const int cores = std::clamp(config_.compress_threads, 1, 4);
@@ -489,7 +514,7 @@ Result<Bytes> MigrationManager::BuildPayloadPrecopy(const RunningApp& app,
     // the stop-and-copy; everything else rides the cache as refs.
     uint64_t pending_wire = 0;
     for (const Planned& p : plan_chunks) {
-      pending_wire += p.wire;
+      pending_wire += charged(p.wire);
     }
     r.est_stop_copy =
         CpuCost(device, r.pending_raw_bytes, config_.serialize_mbps) +
@@ -526,9 +551,14 @@ Result<Bytes> MigrationManager::BuildPayloadPrecopy(const RunningApp& app,
     for (const Planned& p : plan_chunks) {
       const ByteSpan chunk(image_span.data() + p.begin, p.len);
       home_cache.Insert(hashes[p.index], chunk);
-      guest_cache.Insert(hashes[p.index], chunk);
+      if (!config_.resume) {
+        // Resume mode defers the guest insert to each chunk's wire finish
+        // below — chunk-granular delivery is what a mid-round outage
+        // resumes against.
+        guest_cache.Insert(hashes[p.index], chunk);
+      }
       r.raw_bytes_sent += p.len;
-      r.wire_bytes += p.wire;
+      r.wire_bytes += charged(p.wire);
     }
     r.chunks_sent = static_cast<uint32_t>(plan_chunks.size());
 
@@ -553,7 +583,8 @@ Result<Bytes> MigrationManager::BuildPayloadPrecopy(const RunningApp& app,
             config_.compress_image
                 ? CpuCost(device, p.len, config_.compress_mbps) / cores
                 : 0);
-        SimDuration wire_cost = wifi.TransferTime(p.wire, link) - link.latency;
+        SimDuration wire_cost =
+            wifi.TransferTime(charged(p.wire), link) - link.latency;
         if (i == 0) {
           wire_cost += link.latency;
         }
@@ -564,9 +595,37 @@ Result<Bytes> MigrationManager::BuildPayloadPrecopy(const RunningApp& app,
                 : 0);
       }
       const PipelinePlan plan = SchedulePipeline(stages);
-      if (!AdvanceWithTicks(t0 + plan.makespan, &wifi)) {
-        precopy_mutator_ = nullptr;
-        return Unavailable("network lost during pre-copy round");
+      if (!config_.resume) {
+        if (!AdvanceWithTicks(t0 + plan.makespan, &wifi)) {
+          precopy_mutator_ = nullptr;
+          return Unavailable("network lost during pre-copy round");
+        }
+      } else {
+        // Chunk-granular round pacing: advance to each chunk's wire-stage
+        // finish, deliver it into the guest cache, and ride out outages
+        // with the resume handshake — the round continues where it stopped
+        // instead of aborting the migration (PR 6 follow-up).
+        constexpr size_t kWireStage = 2;
+        SimDuration round_extra = 0;
+        for (size_t i = 0; i < plan_chunks.size(); ++i) {
+          const Planned& p = plan_chunks[i];
+          while (!AdvanceWithTicks(
+              t0 + plan.finish[kWireStage][i] + round_extra, &wifi)) {
+            auto resumed =
+                ResumeAfterOutage(wifi, link, hashes, charged(p.wire),
+                                  "network lost during pre-copy round",
+                                  report);
+            if (!resumed.ok()) {
+              precopy_mutator_ = nullptr;
+              return resumed.status();
+            }
+            round_extra += resumed.value().extra;
+            r.wire_bytes += resumed.value().wire_bytes;
+          }
+          guest_cache.Insert(hashes[p.index],
+                             ByteSpan(image_span.data() + p.begin, p.len));
+        }
+        AdvanceWithTicks(t0 + plan.makespan + round_extra);
       }
       wifi.AccountTraffic(r.wire_bytes);
       pre.wire_bytes += r.wire_bytes;
@@ -700,6 +759,82 @@ bool MigrationManager::AdvanceWithTicks(SimTime target, WifiNetwork* watch) {
   return watch == nullptr || watch->UpAt(clock.now());
 }
 
+Result<MigrationManager::ResumeOutcome> MigrationManager::ResumeAfterOutage(
+    WifiNetwork& wifi, const EffectiveLink& link,
+    const std::vector<Hash128>& manifest, uint64_t resend_wire,
+    const char* fail_msg, MigrationReport& report) {
+  SimClock& clock = home_.device().clock();
+  ResumeStats& res = report.resume;
+  ++res.interruptions;
+  if (!config_.resume) {
+    return Unavailable(fail_msg);
+  }
+  if (static_cast<int>(res.attempts) >= config_.resume_max_attempts) {
+    return Unavailable(StrFormat(
+                           "resume attempt budget (%d) exhausted",
+                           config_.resume_max_attempts))
+        .WithCause(Unavailable(fail_msg));
+  }
+  const SimTime down_at = clock.now();
+  SimTime recovery = 0;
+  if (!wifi.NextUpAt(down_at, &recovery)) {
+    return Unavailable("link lost permanently; nothing to resume to")
+        .WithCause(Unavailable(fail_msg));
+  }
+  if (recovery - down_at > static_cast<SimTime>(config_.resume_wait_max)) {
+    return Unavailable(
+               StrFormat("outage outlasts resume_wait_max (%.1f s down)",
+                         ToSecondsF(static_cast<SimDuration>(recovery -
+                                                             down_at))))
+        .WithCause(Unavailable(fail_msg));
+  }
+  res.enabled = true;
+  TimedInterval stall;
+  stall.begin = down_at;
+  // Wait out the outage; both devices keep ticking (and a pre-copy app
+  // keeps dirtying its heap — the stall is part of the round's race).
+  AdvanceWithTicks(recovery);
+  ++res.attempts;
+
+  // The handshake (PROTOCOL.md §8): one kResumeOffer frame carrying the
+  // manifest out, one kResumeAck frame carrying the availability bitmap
+  // back. Same shape as the dedup manifest exchange, plus frame headers.
+  const uint64_t n = manifest.size();
+  const uint64_t offer_bytes = kFrameHeaderSize + 16 + 16 * n;
+  const uint64_t ack_bytes = kFrameHeaderSize + 8 + (n + 7) / 8;
+  const SimDuration handshake =
+      wifi.TransferTime(offer_bytes, link) + wifi.TransferTime(ack_bytes, link);
+  AdvanceWithTicks(clock.now() + handshake);
+  res.handshake_wire_bytes += offer_bytes + ack_bytes;
+
+  // The ack: chunks the guest's cache already holds — everything delivered
+  // before the outage plus anything warm from earlier hops — never travel
+  // again. Only the chunk that was in flight re-sends, in full.
+  uint32_t acked = 0;
+  for (const Hash128& hash : manifest) {
+    if (guest_.chunk_cache().HasValid(hash)) {
+      ++acked;
+    }
+  }
+  res.chunks_acked += acked;
+  res.lost_bytes += resend_wire;
+  res.retransmit_bytes += resend_wire;
+  stall.end = clock.now();
+  res.stalls.push_back(stall);
+  res.stalled += stall.end - stall.begin;
+  FLUX_EVENT(&home_.device().flight_recorder(), flight_events::kSubMigration,
+             flight_events::kMigrationResume, EventSeverity::kWarning,
+             res.attempts, acked);
+
+  ResumeOutcome out;
+  out.wire_bytes = offer_bytes + ack_bytes + resend_wire;
+  out.extra = (stall.end - stall.begin) +
+              (resend_wire > 0
+                   ? wifi.TransferTime(resend_wire, link) - link.latency
+                   : 0);
+  return out;
+}
+
 Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
                                   uint64_t payload_bytes,
                                   MigrationReport& report) {
@@ -713,6 +848,23 @@ Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
   FLUX_ASSIGN_OR_RETURN(AppDataSync sync, SyncAppData(app, spec, report));
   report.data_sync_bytes = sync.total();
   report.total_wire_bytes = report.data_sync_bytes + payload_bytes;
+  if (!config_.net_profile.IsClean()) {
+    // Serial path, mean-field model: framing overhead plus expected-loss
+    // retransmissions as deterministic arithmetic (the pipelined path runs
+    // the real per-frame codec; DESIGN.md §13). Jitter and rate dips are
+    // folded into the delivery rate, not drawn per frame.
+    FrameStreamOptions fopts;
+    fopts.frame_payload_bytes = config_.frame_payload_bytes;
+    fopts.fec_group_data_frames = config_.fec_group_data_frames;
+    fopts.fec = config_.fec;
+    const double delivery =
+        1.0 - std::min(0.9, config_.net_profile.MeanLossRate());
+    report.total_wire_bytes = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(FramedWireBytes(report.total_wire_bytes, fopts)) /
+        delivery));
+    report.frame_wire.enabled = true;
+    report.frame_wire.wire_bytes = report.total_wire_bytes;
+  }
 
   const EffectiveLink link = home_device.wifi().LinkBetween(
       home_device.profile().radio, guest_device.profile().radio);
@@ -733,21 +885,47 @@ Status MigrationManager::Transfer(const RunningApp& app, const AppSpec& spec,
 
 Status MigrationManager::TransferPipelined(const RunningApp& app,
                                            const AppSpec& spec,
-                                           uint64_t payload_bytes,
+                                           ByteSpan payload,
                                            MigrationReport& report) {
   Device& home_device = *app.device;
   Device& guest_device = guest_.device();
   SimClock& clock = home_device.clock();
   WifiNetwork& wifi = home_device.wifi();
   PipelineStats& stats = report.pipeline;
+  const uint64_t payload_bytes = payload.size();
+
+  // Hostile-network path (DESIGN.md §13): a non-clean profile frames every
+  // wire byte and runs the real frame codec per chunk; resume additionally
+  // rides out recoverable outages. Both off (the default) leaves this
+  // function byte-identical to the baseline schedule — `charged` is the
+  // identity and every new branch below is dead.
+  const bool shaped = !config_.net_profile.IsClean();
+  FrameStreamOptions fopts;
+  fopts.frame_payload_bytes = config_.frame_payload_bytes;
+  fopts.fec_group_data_frames = config_.fec_group_data_frames;
+  fopts.fec = config_.fec;
+  auto charged = [&](uint64_t bytes) {
+    return shaped ? FramedWireBytes(bytes, fopts) : bytes;
+  };
+  if (config_.resume) {
+    report.resume.enabled = true;
+  }
 
   // The pipeline's time origin: checkpoint work (serialize + compress) was
   // deferred by BuildPayload and is charged from here via the schedule, so
   // the checkpoint interval stamped there collapses to ~0 and gets
   // re-stamped below.
-  const SimTime t0 = clock.now();
+  SimTime t0 = clock.now();
   if (!wifi.UpAt(t0)) {
-    return Unavailable("network unreachable during migration transfer");
+    // Resume mode treats a recoverable outage at entry like one mid-stream:
+    // wait it out, then start the pipeline at recovery.
+    SimTime recovery = 0;
+    if (!config_.resume || !wifi.NextUpAt(t0, &recovery) ||
+        recovery - t0 > static_cast<SimTime>(config_.resume_wait_max)) {
+      return Unavailable("network unreachable during migration transfer");
+    }
+    AdvanceWithTicks(recovery);
+    t0 = clock.now();
   }
 
   // APK verification + data sync run first on the wire, concurrent with
@@ -781,14 +959,24 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
                std::ceil(static_cast<double>(count) * fraction)));
     foreground_chunks = std::min(foreground_chunks, count);
     for (size_t i = foreground_chunks; i < count; ++i) {
-      report.deferred_bytes += stats.chunk_wire_bytes[i];
+      report.deferred_bytes += charged(stats.chunk_wire_bytes[i]);
     }
   }
   // The manifest handshake (hashes out, availability bitmap back) is real
   // wire traffic even though its latency mostly hides under the data sync.
-  const uint64_t foreground_wire = report.data_sync_bytes + payload_bytes -
-                                   report.deferred_bytes +
-                                   report.dedup.manifest_wire_bytes;
+  // Under a profile every component is charged framed: chunks per chunk,
+  // the non-image prefix as one stream, and the manifest as two control
+  // frames (kManifest + kManifestAck).
+  uint64_t container_charged = 0;
+  for (const uint64_t wire : stats.chunk_wire_bytes) {
+    container_charged += charged(wire);
+  }
+  const uint64_t manifest_charged =
+      report.dedup.manifest_wire_bytes +
+      (shaped && report.dedup.enabled ? 2 * kFrameHeaderSize : 0);
+  const uint64_t foreground_wire = report.data_sync_bytes +
+                                   charged(prefix_payload) + container_charged -
+                                   report.deferred_bytes + manifest_charged;
 
   // Per-chunk stage costs from the same models as the serial path. The
   // compress stage fans out over the device's cores (quad-core baseline),
@@ -826,7 +1014,8 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
             : 0);
     SimDuration wire_cost =
         i < foreground_chunks
-            ? wifi.TransferTime(stats.chunk_wire_bytes[i], link) - link.latency
+            ? wifi.TransferTime(charged(stats.chunk_wire_bytes[i]), link) -
+                  link.latency
             : 0;
     if (i == 0) {
       wire_cost += link.latency;  // one stream handshake, not one per chunk
@@ -849,7 +1038,7 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
   // stream handshake latency is charged once, on chunk 0.
   SimDuration wire_offset =
       sync_elapsed +
-      wifi.TransferTime(sync.data_wire_bytes + prefix_payload, link) -
+      wifi.TransferTime(charged(sync.data_wire_bytes + prefix_payload), link) -
       link.latency;
   if (report.dedup.enabled) {
     // The manifest handshake: hashes go out as soon as the checkpoint is
@@ -859,9 +1048,11 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
     // overlaps the data sync on the same link and the home-side fill of
     // chunk 0 (hashing finishes before compression begins), so it delays
     // the stream only when it outlasts both.
-    const uint64_t hashes_out = 16 + 16 * uint64_t{report.dedup.chunk_count};
-    const uint64_t bitmap_back =
-        8 + (uint64_t{report.dedup.chunk_count} + 7) / 8;
+    const uint64_t hashes_out = 16 + 16 * uint64_t{report.dedup.chunk_count} +
+                                (shaped ? kFrameHeaderSize : 0);
+    const uint64_t bitmap_back = 8 +
+                                 (uint64_t{report.dedup.chunk_count} + 7) / 8 +
+                                 (shaped ? kFrameHeaderSize : 0);
     report.dedup.manifest_rtt = wifi.TransferTime(hashes_out, link) +
                                 wifi.TransferTime(bitmap_back, link);
     const SimDuration fill0 =
@@ -953,22 +1144,143 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
 
   // Stream the chunks: advance to each wire-stage finish, watching for
   // outages at every tick boundary.
-  if (!AdvanceWithTicks(t0 + stages[kWire].initial_offset + link.latency,
-                        &wifi)) {
-    return Unavailable("network lost mid-transfer; payload incomplete");
-  }
-  for (size_t i = 0; i < foreground_chunks; ++i) {
-    if (!AdvanceWithTicks(t0 + plan.finish[kWire][i], &wifi)) {
+  SimDuration extra = 0;    // hostile/resume time beyond the loss-free plan
+  uint64_t extra_wire = 0;  // retransmissions + handshakes on the air
+  if (!shaped && !config_.resume) {
+    // Baseline: the loss-free schedule, aborting on any outage.
+    if (!AdvanceWithTicks(t0 + stages[kWire].initial_offset + link.latency,
+                          &wifi)) {
       return Unavailable("network lost mid-transfer; payload incomplete");
     }
+    for (size_t i = 0; i < foreground_chunks; ++i) {
+      if (!AdvanceWithTicks(t0 + plan.finish[kWire][i], &wifi)) {
+        return Unavailable("network lost mid-transfer; payload incomplete");
+      }
+    }
+  } else {
+    FlightRecorder* home_rec = &home_device.flight_recorder();
+    FrameWireStats& fw = report.frame_wire;
+    fw.enabled = fw.enabled || shaped;
+    std::optional<LinkShaper> shaper;
+    if (shaped) {
+      shaper.emplace(config_.net_profile,
+                     FluxHash64(ByteSpan(reinterpret_cast<const uint8_t*>(
+                                             app.package.data()),
+                                         app.package.size()),
+                                /*seed=*/0x6672616d) ^
+                         config_.net_seed);
+    }
+    // Rides out an outage at any tick boundary: resume handshake, then the
+    // in-flight bytes re-send and the rest of the schedule shifts by the
+    // stall (`extra` accumulates across chunks).
+    auto advance_stream = [&](SimTime target, uint64_t resend_wire) -> Status {
+      while (!AdvanceWithTicks(target + extra, &wifi)) {
+        auto resumed = ResumeAfterOutage(
+            wifi, link, payload_chunk_hashes_, resend_wire,
+            "network lost mid-transfer; payload incomplete", report);
+        FLUX_RETURN_IF_ERROR(resumed.status());
+        extra += resumed.value().extra;
+        extra_wire += resumed.value().wire_bytes;
+      }
+      return OkStatus();
+    };
+    FLUX_RETURN_IF_ERROR(advance_stream(
+        t0 + stages[kWire].initial_offset + link.latency, /*resend_wire=*/0));
+    uint64_t chunk_off = payload.size() - container_bytes;
+    uint32_t next_seq = 0;
+    uint32_t next_group = 0;
+    for (size_t i = 0; i < foreground_chunks; ++i) {
+      const uint64_t chunk_len = stats.chunk_wire_bytes[i];
+      uint64_t in_flight = charged(chunk_len);
+      if (shaper) {
+        // The real codec over this chunk's payload bytes: encode, lose,
+        // CRC-reject corrupt arrivals, FEC-reconstruct, retransmit — and
+        // the reassembly is checked byte-for-byte against what was sent.
+        FLUX_ASSIGN_OR_RETURN(
+            const ChunkTransmission tx,
+            TransmitFramedChunk(payload.subspan(chunk_off, chunk_len), *shaper,
+                                fopts, next_seq, next_group, home_rec));
+        next_seq = tx.next_seq;
+        next_group = tx.next_group;
+        fw.frames_sent += tx.frames_sent;
+        fw.data_frames += tx.data_frames;
+        fw.parity_frames += tx.parity_frames;
+        fw.frames_lost += tx.frames_lost;
+        fw.crc_errors += tx.crc_errors;
+        fw.frames_recovered += tx.frames_recovered;
+        fw.frames_retransmitted += tx.frames_retransmitted;
+        fw.wire_bytes += tx.wire_bytes;
+        fw.lost_bytes += tx.lost_bytes;
+        fw.retransmit_bytes += tx.retransmit_bytes;
+        extra_wire += tx.retransmit_bytes;
+        in_flight = tx.wire_bytes;
+        // Time beyond the loss-free framed plan: retransmission rounds,
+        // this chunk's jitter draw, and a rate dip stretching its window.
+        SimDuration chunk_extra = shaper->NextJitter();
+        if (tx.retransmit_bytes > 0) {
+          chunk_extra +=
+              wifi.TransferTime(tx.retransmit_bytes, link) - link.latency;
+        }
+        const double dip = shaper->NextRateFactor();
+        if (dip < 1.0) {
+          const SimDuration base =
+              wifi.TransferTime(tx.wire_bytes, link) - link.latency;
+          chunk_extra += FromSecondsF(ToSecondsF(base) * (1.0 / dip - 1.0));
+        }
+        extra += chunk_extra;
+      }
+      FLUX_RETURN_IF_ERROR(
+          advance_stream(t0 + plan.finish[kWire][i], in_flight));
+      if (config_.resume && i < payload_chunk_hashes_.size() &&
+          !resume_raw_image_.empty()) {
+        // Chunk-granular delivery: the guest caches each chunk as its wire
+        // window closes, so a resume ack covers exactly the delivered
+        // prefix (plus anything warm from earlier hops).
+        const uint64_t begin = uint64_t{i} * stats.chunk_bytes;
+        if (begin < resume_raw_image_.size()) {
+          const uint64_t len = std::min<uint64_t>(
+              stats.chunk_bytes, resume_raw_image_.size() - begin);
+          guest_.chunk_cache().Insert(
+              payload_chunk_hashes_[i],
+              ByteSpan(resume_raw_image_.data() + begin, len));
+        }
+      }
+      chunk_off += chunk_len;
+    }
   }
-  wifi.AccountTraffic(foreground_wire);
-  report.total_wire_bytes = foreground_wire;
+  wifi.AccountTraffic(foreground_wire + extra_wire);
+  report.total_wire_bytes = foreground_wire + extra_wire;
   report.transfer.end = clock.now();
+  Bytes().swap(resume_raw_image_);  // the guest cache holds the chunks now
+
+  if (report.frame_wire.enabled) {
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kNetFramesSent,
+                     report.frame_wire.frames_sent);
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kNetFramesLost,
+                     report.frame_wire.frames_lost);
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kNetFrameCrcErrors,
+                     report.frame_wire.crc_errors);
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kNetFramesRecovered,
+                     report.frame_wire.frames_recovered);
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kNetFramesRetransmitted,
+                     report.frame_wire.frames_retransmitted);
+  }
+  if (report.resume.enabled) {
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kMigrationResumeAttempts,
+                     report.resume.attempts);
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kMigrationResumeChunksAcked,
+                     report.resume.chunks_acked);
+    FLUX_TRACE_COUNT(config_.trace,
+                     trace_names::kMigrationResumeRetransmitBytes,
+                     report.resume.retransmit_bytes);
+    FLUX_TRACE_COUNT(config_.trace, trace_names::kMigrationResumeLostBytes,
+                     report.resume.lost_bytes);
+  }
 
   // The guest-side drain (decompress + restore-apply beyond the last wire
-  // finish) is charged by RestoreOnGuest up to this deadline.
-  pipeline_restore_deadline_ = t0 + plan.makespan;
+  // finish) is charged by RestoreOnGuest up to this deadline, shifted by
+  // whatever the hostile path added.
+  pipeline_restore_deadline_ = t0 + plan.makespan + extra;
   return OkStatus();
 }
 
@@ -1128,6 +1440,16 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
       &home_.device().flight_recorder());
   FlightRecorder* home_rec = &home_.device().flight_recorder();
 
+  if (!config_.net_profile.IsClean()) {
+    home_.device().wifi().ApplyProfile(
+        config_.net_profile,
+        FluxHash64(ByteSpan(reinterpret_cast<const uint8_t*>(
+                                app.package.data()),
+                            app.package.size()),
+                   0x6f757467u) ^
+            config_.net_seed);
+  }
+
   if (app.device != &home_.device()) {
     return InvalidArgument("app is not running on the home agent's device");
   }
@@ -1255,8 +1577,8 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
   if (config_.pipelined) {
     // Chunked streaming: post-copy deferral happens per chunk inside the
     // schedule, and the transfer is paced chunk by chunk.
-    if (Status transferred =
-            TransferPipelined(app, spec, payload.size(), report);
+    if (Status transferred = TransferPipelined(
+            app, spec, ByteSpan(payload.data(), payload.size()), report);
         !transferred.ok()) {
       return rollback("transfer", transferred);
     }
@@ -1420,6 +1742,10 @@ void MigrationManager::EmitTraceSpans(const MigrationReport& report) {
                          report.replay_window.begin, report.replay_window.end);
   trace->EmitSpanOnTrack(names::kSpanDataSync, names::kTrackDetail,
                          report.data_sync.begin, report.data_sync.end);
+  for (const TimedInterval& stall : report.resume.stalls) {
+    trace->EmitSpanOnTrack(names::kSpanResume, names::kTrackDetail,
+                           stall.begin, stall.end);
+  }
   if (report.precopy.enabled) {
     trace->EmitSpanOnTrack(names::kSpanPrecopyWindow, names::kTrackDetail,
                            report.precopy.window.begin,

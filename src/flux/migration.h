@@ -30,11 +30,11 @@
 #include "src/flux/pairing.h"
 #include "src/flux/pipeline.h"
 #include "src/flux/trace.h"
+#include "src/net/network.h"
 
 namespace flux {
 
 class ThreadPool;
-class WifiNetwork;
 
 struct MigrationConfig {
   // Modeled single-core throughputs for image handling (MB/s at the
@@ -103,6 +103,31 @@ struct MigrationConfig {
   // a write racing the freeze; exercises the re-cut path that keeps such
   // writes from being silently dropped).
   std::function<void()> precopy_after_final_cut;
+  // Extension (DESIGN.md §13): hostile-network modeling. A non-clean
+  // profile frames every wire byte (src/net/frame.h, PROTOCOL.md) and runs
+  // the real frame codec per chunk under the profile's loss, jitter and
+  // rate-dip processes. The default (clean) profile leaves every transfer
+  // path byte-identical to the baseline model — framing overhead is only
+  // ever charged on non-clean profiles.
+  NetProfile net_profile;
+  // Decorrelates the per-migration loss/jitter draws and the recurring
+  // outage phase across sweep points (XORed into the app-derived seed).
+  uint64_t net_seed = 0;
+  // Frame-stream shape when a profile is active (PROTOCOL.md §5).
+  bool fec = true;
+  uint32_t frame_payload_bytes = 16 * 1024;
+  uint32_t fec_group_data_frames = 8;
+  // Extension (DESIGN.md §13): chunk-resumable transfers. An interrupted
+  // migration waits out a recoverable outage, re-offers the chunk manifest
+  // (PROTOCOL.md §8), the guest acks what its cache already holds, and only
+  // un-acked chunks retransmit. Implies pipelined + chunk_dedup (the
+  // constructor forces both on). Off by default: interruption still aborts
+  // to rollback, and every baseline figure stays bit-for-bit unchanged.
+  bool resume = false;
+  // Give up after this many resume handshakes (forensics, then rollback).
+  int resume_max_attempts = 8;
+  // An outage longer than this is treated as unrecoverable.
+  SimDuration resume_wait_max = Seconds(30);
   // During long transfers the world keeps moving: the clock advances in
   // slices of at most `transfer_tick`, ticking both devices (task idlers,
   // due alarms) at each boundary.
@@ -140,6 +165,37 @@ struct DedupStats {
   // first image chunk (overlapped with the data-dir sync).
   uint64_t manifest_wire_bytes = 0;
   SimDuration manifest_rtt = 0;
+};
+
+// Frame-codec accounting for one migration under a non-clean NetProfile
+// (every chunk runs encode -> lose -> FEC-reconstruct -> retransmit; byte
+// counts include frame headers). All zero on the clean profile.
+struct FrameWireStats {
+  bool enabled = false;
+  uint64_t frames_sent = 0;
+  uint64_t data_frames = 0;
+  uint64_t parity_frames = 0;
+  uint64_t frames_lost = 0;
+  uint64_t crc_errors = 0;        // losses that arrived corrupt
+  uint64_t frames_recovered = 0;  // rebuilt from parity, no retransmit
+  uint64_t frames_retransmitted = 0;
+  uint64_t wire_bytes = 0;        // framed bytes on the air, incl. re-sends
+  uint64_t lost_bytes = 0;
+  uint64_t retransmit_bytes = 0;
+};
+
+// Resumable-transfer accounting (MigrationConfig::resume): every outage the
+// migration rode out instead of rolling back.
+struct ResumeStats {
+  bool enabled = false;
+  uint32_t interruptions = 0;     // outages observed mid-stream
+  uint32_t attempts = 0;          // resume handshakes completed
+  uint32_t chunks_acked = 0;      // manifest chunks the guest already held
+  uint64_t handshake_wire_bytes = 0;
+  uint64_t lost_bytes = 0;        // in-flight bytes an outage destroyed
+  uint64_t retransmit_bytes = 0;  // bytes re-sent after resume handshakes
+  SimDuration stalled = 0;        // total time waiting out outages
+  std::vector<TimedInterval> stalls;  // one per stall (migration/resume spans)
 };
 
 struct RunningApp {
@@ -202,6 +258,10 @@ struct MigrationReport {
   DedupStats dedup;
   // precopy mode only: round-by-round warm-up accounting.
   PrecopyStats precopy;
+  // Non-clean net_profile only: per-frame wire outcomes.
+  FrameWireStats frame_wire;
+  // resume mode only: interruption/stall accounting.
+  ResumeStats resume;
   // Whole-image digests for end-to-end identity checks: the raw CRIA image
   // as checkpointed at home and as reassembled on the guest.
   Hash128 image_hash;
@@ -257,9 +317,31 @@ class MigrationManager {
                                   MigrationReport& report);
   // Pipelined mode: data sync + chunked image streaming paced by the
   // overlapped stage schedule. Fills report.pipeline and re-stamps the
-  // checkpoint/transfer intervals with the overlapped boundaries.
+  // checkpoint/transfer intervals with the overlapped boundaries. Takes the
+  // payload itself (not just its size): under a non-clean profile each
+  // chunk's bytes run through the real frame codec.
   Status TransferPipelined(const RunningApp& app, const AppSpec& spec,
-                           uint64_t payload_bytes, MigrationReport& report);
+                           ByteSpan payload, MigrationReport& report);
+  // What one resume handshake cost, beyond the loss-free schedule.
+  struct ResumeOutcome {
+    SimDuration extra = 0;    // stall + handshake + in-flight re-send time
+    uint64_t wire_bytes = 0;  // handshake + re-send bytes on the air
+  };
+  // Rides out a connectivity loss at the current clock instant: waits for
+  // the link to recover (devices keep ticking), then runs the resume
+  // handshake — a framed manifest re-offer out, a cache-ack bitmap back
+  // (PROTOCOL.md §8) — counting the `manifest` chunks the guest cache
+  // already holds. `resend_wire` is the in-flight wire bytes the outage
+  // destroyed; they re-send in full after the handshake. Fails with a
+  // clean kUnavailable cause (`fail_msg`) when resume is off, the outage
+  // is permanent, longer than resume_wait_max, or the attempt budget is
+  // spent — the caller rolls back exactly as before resume existed.
+  Result<ResumeOutcome> ResumeAfterOutage(WifiNetwork& wifi,
+                                          const EffectiveLink& link,
+                                          const std::vector<Hash128>& manifest,
+                                          uint64_t resend_wire,
+                                          const char* fail_msg,
+                                          MigrationReport& report);
   Result<CriaRestoredApp> RestoreOnGuest(ByteSpan payload,
                                          MigrationReport& report,
                                          CallLog& log_out,
@@ -300,6 +382,13 @@ class MigrationManager {
   // Absolute end of the overlapped decompress+restore stages, set by
   // TransferPipelined and consumed by RestoreOnGuest.
   SimTime pipeline_restore_deadline_ = 0;
+  // Dedup mode: the raw-chunk hash manifest of the current payload, stored
+  // by BuildPayload — the resume handshake re-offers exactly this list.
+  std::vector<Hash128> payload_chunk_hashes_;
+  // Resume mode only: a copy of the raw image, so the guest cache can take
+  // each chunk as its wire window closes (chunk-granular delivery is what
+  // the resume ack is about). Freed when the transfer completes.
+  Bytes resume_raw_image_;
   // Pre-copy only: the modeled write load of the still-running app,
   // invoked from AdvanceWithTicks with each slice's duration. Installed
   // for the duration of the warm-up rounds; null (the default) leaves

@@ -100,6 +100,10 @@ inline constexpr std::string_view kSpanCoordMigration =
 inline constexpr std::string_view kSpanCoordQueueWait =
     "coordinator/queue_wait";
 inline constexpr std::string_view kSpanCoordPairing = "coordinator/pairing";
+// Resumable transfers (DESIGN.md §13): one span per connectivity stall a
+// migration rode out — outage onset to the post-handshake first
+// retransmitted byte — on the detail track, inside the transfer phase.
+inline constexpr std::string_view kSpanResume = "migration/resume";
 
 // Counters.
 inline constexpr std::string_view kMigrationRollbacks = "migration.rollbacks";
@@ -110,6 +114,15 @@ inline constexpr std::string_view kMigrationChunksDeduped =
 inline constexpr std::string_view kNetWireBytes = "net.wire_bytes";
 inline constexpr std::string_view kNetTransfers = "net.transfers";
 inline constexpr std::string_view kNetTransferTicks = "net.transfer_ticks";
+// Wire framing (src/net/frame.h): per-frame outcomes under a hostile
+// profile. All zero under the clean profile (framing is never exercised).
+inline constexpr std::string_view kNetFramesSent = "net.frame.sent";
+inline constexpr std::string_view kNetFramesLost = "net.frame.lost";
+inline constexpr std::string_view kNetFrameCrcErrors = "net.frame.crc_errors";
+inline constexpr std::string_view kNetFramesRecovered =
+    "net.frame.fec_recovered";
+inline constexpr std::string_view kNetFramesRetransmitted =
+    "net.frame.retransmitted";
 inline constexpr std::string_view kCacheHits = "cache.hits";
 inline constexpr std::string_view kCacheMisses = "cache.misses";
 inline constexpr std::string_view kCacheInsertions = "cache.insertions";
@@ -150,6 +163,15 @@ inline constexpr std::string_view kCriaIncrementalCheckpoints =
     "cria.incremental_checkpoints";
 inline constexpr std::string_view kCriaIncrementalBytes =
     "cria.incremental_bytes";
+// Resumable transfers (DESIGN.md §13).
+inline constexpr std::string_view kMigrationResumeAttempts =
+    "migration.resume_attempts";
+inline constexpr std::string_view kMigrationResumeChunksAcked =
+    "migration.resume_chunks_acked";
+inline constexpr std::string_view kMigrationResumeRetransmitBytes =
+    "migration.resume_retransmit_bytes";
+inline constexpr std::string_view kMigrationResumeLostBytes =
+    "migration.resume_lost_bytes";
 // Fleet coordinator (DESIGN.md §11).
 inline constexpr std::string_view kFleetMigrationsRequested =
     "fleet.migrations_requested";

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/net/network.h"
+
 namespace flux {
+
+void ContendedFabric::ApplyProfile(const NetProfile& profile) {
+  if (profile.IsClean()) {
+    profiled_ = false;
+    capacity_factor_ = 1.0;
+    byte_overhead_ = 1.0;
+    return;
+  }
+  profiled_ = true;
+  capacity_factor_ = std::clamp(profile.MeanRateFactor(), 0.05, 1.0);
+  // Framing overhead at the pipeline chunk size, then expected-loss
+  // retransmissions on top.
+  constexpr uint64_t kRepresentativeChunk = 256 * 1024;
+  const FrameStreamOptions options;
+  const double framed =
+      static_cast<double>(FramedWireBytes(kRepresentativeChunk, options)) /
+      static_cast<double>(kRepresentativeChunk);
+  const double delivery = 1.0 - std::min(0.9, profile.MeanLossRate());
+  byte_overhead_ = framed / delivery;
+}
 
 ContendedFabric::ApId ContendedFabric::AddAp(std::string name,
                                              uint64_t capacity_bps) {
@@ -24,6 +46,10 @@ ContendedFabric::FlowId ContendedFabric::StartFlow(SimTime now, uint64_t bytes,
                                                    ApId guest_ap) {
   if (bytes == 0) {
     return kInvalidFlow;
+  }
+  if (profiled_) {
+    bytes = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(bytes) * byte_overhead_));
   }
   // Fix everyone's progress at the old rates before membership changes.
   RecomputeRates(now);
@@ -63,8 +89,11 @@ void ContendedFabric::RecomputeRates(SimTime now) {
     const ApId crossed[2] = {flow.home_ap, flow.guest_ap};
     for (int i = 0; i < (flow.home_ap == flow.guest_ap ? 1 : 2); ++i) {
       if (crossed[i] < aps_.size() && aps_[crossed[i]].active > 0) {
-        rate = std::min(rate, static_cast<double>(aps_[crossed[i]].capacity_bps) /
-                                  aps_[crossed[i]].active);
+        double cap = static_cast<double>(aps_[crossed[i]].capacity_bps);
+        if (profiled_) {
+          cap *= capacity_factor_;
+        }
+        rate = std::min(rate, cap / aps_[crossed[i]].active);
       }
     }
     flow.rate_bps = std::max(rate, 1.0);

@@ -33,6 +33,8 @@
 
 namespace flux {
 
+struct NetProfile;
+
 class ContendedFabric {
  public:
   using ApId = uint32_t;
@@ -71,6 +73,18 @@ class ContendedFabric {
   size_t active_flows() const { return flows_.size(); }
   uint64_t bytes_carried() const { return bytes_carried_; }
 
+  // Installs a hostile-network profile on every AP. The fabric is a mean-
+  // rate model (it settles continuous progress, not per-frame events), so a
+  // profile lands as two deterministic factors: every AP capacity is scaled
+  // by the profile's MeanRateFactor, and every flow's byte count is
+  // inflated by the framing overhead plus expected-loss retransmissions
+  // (FramedWireBytes / (1 - MeanLossRate)). Untouched — bit for bit — when
+  // never called or when the profile is clean.
+  void ApplyProfile(const NetProfile& profile);
+  // The wire-byte multiplier ApplyProfile charges on new flows (1.0 when
+  // unprofiled).
+  double byte_overhead() const { return byte_overhead_; }
+
  private:
   struct Ap {
     std::string name;
@@ -94,6 +108,11 @@ class ContendedFabric {
   std::vector<Flow> flows_;
   FlowId next_flow_ = 1;
   uint64_t bytes_carried_ = 0;
+  // Hostile-profile factors; identity until ApplyProfile installs a
+  // non-clean profile.
+  bool profiled_ = false;
+  double capacity_factor_ = 1.0;
+  double byte_overhead_ = 1.0;
 };
 
 }  // namespace flux

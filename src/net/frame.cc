@@ -1,0 +1,307 @@
+#include "src/net/frame.h"
+
+#include <algorithm>
+
+#include "src/base/hash.h"
+#include "src/base/strings.h"
+
+namespace flux {
+
+namespace {
+
+void PutU16Le(uint8_t* out, uint16_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU32Le(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+  out[2] = static_cast<uint8_t>(v >> 16);
+  out[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint16_t GetU16Le(const uint8_t* in) {
+  return static_cast<uint16_t>(in[0] | (uint16_t{in[1]} << 8));
+}
+
+uint32_t GetU32Le(const uint8_t* in) {
+  return in[0] | (uint32_t{in[1]} << 8) | (uint32_t{in[2]} << 16) |
+         (uint32_t{in[3]} << 24);
+}
+
+}  // namespace
+
+void AppendFrame(Bytes& out, FrameHeader header, ByteSpan payload) {
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.payload_crc = Crc32c(payload);
+  const size_t base = out.size();
+  out.resize(base + kFrameHeaderSize + payload.size());
+  uint8_t* h = out.data() + base;
+  PutU32Le(h + kFrameOffMagic, kFrameMagic);
+  h[kFrameOffVersion] = header.version;
+  h[kFrameOffType] = static_cast<uint8_t>(header.type);
+  PutU16Le(h + kFrameOffFlags, header.flags);
+  PutU32Le(h + kFrameOffSeq, header.seq);
+  PutU32Le(h + kFrameOffFecGroup, header.fec_group);
+  PutU32Le(h + kFrameOffPayloadLen, header.payload_len);
+  PutU32Le(h + kFrameOffCrc, header.payload_crc);
+  if (!payload.empty()) {
+    std::copy(payload.begin(), payload.end(),
+              out.begin() + static_cast<ptrdiff_t>(base + kFrameHeaderSize));
+  }
+}
+
+Bytes EncodeFrame(const FrameHeader& header, ByteSpan payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(out, header, payload);
+  return out;
+}
+
+Result<FrameView> ParseFrame(ByteSpan wire) {
+  if (wire.size() < kFrameHeaderSize) {
+    return Corrupt(StrFormat("frame truncated: %zu bytes, header needs %zu",
+                             wire.size(), kFrameHeaderSize));
+  }
+  const uint8_t* h = wire.data();
+  if (GetU32Le(h + kFrameOffMagic) != kFrameMagic) {
+    return Corrupt("bad frame magic");
+  }
+  FrameView view;
+  view.header.version = h[kFrameOffVersion];
+  if (view.header.version != kFrameVersion) {
+    return Unsupported(StrFormat("frame version %u not supported (speak %u)",
+                                 view.header.version, kFrameVersion));
+  }
+  const uint8_t type = h[kFrameOffType];
+  if (type < static_cast<uint8_t>(FrameType::kData) ||
+      type > static_cast<uint8_t>(FrameType::kComplete)) {
+    return Corrupt(StrFormat("unknown frame type %u", type));
+  }
+  view.header.type = static_cast<FrameType>(type);
+  view.header.flags = GetU16Le(h + kFrameOffFlags);
+  view.header.seq = GetU32Le(h + kFrameOffSeq);
+  view.header.fec_group = GetU32Le(h + kFrameOffFecGroup);
+  view.header.payload_len = GetU32Le(h + kFrameOffPayloadLen);
+  if (wire.size() < kFrameHeaderSize + view.header.payload_len) {
+    return Corrupt(StrFormat("frame payload truncated: %u declared, %zu left",
+                             view.header.payload_len,
+                             wire.size() - kFrameHeaderSize));
+  }
+  view.payload = wire.subspan(kFrameHeaderSize, view.header.payload_len);
+  view.header.payload_crc = GetU32Le(h + kFrameOffCrc);
+  if (Crc32c(view.payload) != view.header.payload_crc) {
+    return Corrupt("frame payload CRC32C mismatch");
+  }
+  return view;
+}
+
+uint64_t DataFrameCount(uint64_t payload_bytes,
+                        const FrameStreamOptions& options) {
+  const uint64_t per = std::max<uint32_t>(1, options.frame_payload_bytes);
+  return payload_bytes == 0 ? 0 : (payload_bytes + per - 1) / per;
+}
+
+uint64_t FramedWireBytes(uint64_t payload_bytes,
+                         const FrameStreamOptions& options) {
+  const uint64_t frames = DataFrameCount(payload_bytes, options);
+  uint64_t wire = payload_bytes + frames * kFrameHeaderSize;
+  if (options.fec && frames > 0) {
+    const uint64_t k = std::max<uint32_t>(1, options.fec_group_data_frames);
+    const uint64_t groups = (frames + k - 1) / k;
+    // A parity payload is as long as its group's longest data payload: the
+    // full frame size for every group except possibly the last.
+    const uint64_t per = std::max<uint32_t>(1, options.frame_payload_bytes);
+    const uint64_t last_group_first = (groups - 1) * k * per;
+    const uint64_t last_parity =
+        std::min<uint64_t>(per, payload_bytes - last_group_first);
+    wire += (groups - 1) * (kFrameHeaderSize + per);
+    wire += kFrameHeaderSize + last_parity;
+  }
+  return wire;
+}
+
+std::vector<Bytes> EncodeFrameStream(ByteSpan payload,
+                                     const FrameStreamOptions& options,
+                                     uint32_t base_seq, uint32_t base_group) {
+  std::vector<Bytes> frames;
+  const uint64_t per = std::max<uint32_t>(1, options.frame_payload_bytes);
+  const uint64_t k = std::max<uint32_t>(1, options.fec_group_data_frames);
+  const uint64_t count = DataFrameCount(payload.size(), options);
+  frames.reserve(count + (options.fec ? (count + k - 1) / k : 0));
+
+  Bytes parity;       // XOR accumulator for the open group
+  uint64_t in_group = 0;
+  uint32_t group = base_group;
+  auto close_group = [&]() {
+    if (!options.fec || in_group == 0) {
+      return;
+    }
+    FrameHeader h;
+    h.type = FrameType::kParity;
+    h.flags = kFrameFlagFecGroup;
+    h.seq = 0;  // parity frames sit outside the data seq space
+    h.fec_group = group;
+    frames.push_back(EncodeFrame(h, ByteSpan(parity.data(), parity.size())));
+    parity.clear();
+    in_group = 0;
+    ++group;
+  };
+
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t begin = i * per;
+    const uint64_t len = std::min<uint64_t>(per, payload.size() - begin);
+    const ByteSpan slice = payload.subspan(begin, len);
+    FrameHeader h;
+    h.type = FrameType::kData;
+    h.seq = base_seq + static_cast<uint32_t>(i);
+    if (options.fec) {
+      h.flags = kFrameFlagFecGroup;
+      h.fec_group = group;
+      if (in_group + 1 == k || i + 1 == count) {
+        h.flags |= kFrameFlagGroupEnd;
+      }
+      // XOR into the zero-padded parity accumulator.
+      if (parity.size() < len) {
+        parity.resize(len, 0);
+      }
+      for (uint64_t b = 0; b < len; ++b) {
+        parity[b] ^= slice[b];
+      }
+      ++in_group;
+    }
+    frames.push_back(EncodeFrame(h, slice));
+    if (options.fec && (in_group == k || i + 1 == count)) {
+      close_group();
+    }
+  }
+  return frames;
+}
+
+FrameAssembler::FrameAssembler(uint64_t expected_payload_bytes,
+                               const FrameStreamOptions& options,
+                               uint32_t base_seq, uint32_t base_group)
+    : expected_bytes_(expected_payload_bytes),
+      options_(options),
+      base_seq_(base_seq),
+      base_group_(base_group) {
+  frame_count_ = DataFrameCount(expected_bytes_, options_);
+  data_.resize(frame_count_);
+  have_.resize(frame_count_, false);
+  const uint64_t k = std::max<uint32_t>(1, options_.fec_group_data_frames);
+  parity_.resize(options_.fec ? (frame_count_ + k - 1) / k : 0);
+}
+
+uint64_t FrameAssembler::ExpectedLen(uint64_t index) const {
+  const uint64_t per = std::max<uint32_t>(1, options_.frame_payload_bytes);
+  const uint64_t begin = index * per;
+  return std::min<uint64_t>(per, expected_bytes_ - begin);
+}
+
+Status FrameAssembler::Accept(ByteSpan wire) {
+  FLUX_ASSIGN_OR_RETURN(FrameView view, ParseFrame(wire));
+  const uint64_t k = std::max<uint32_t>(1, options_.fec_group_data_frames);
+  if (view.header.type == FrameType::kParity) {
+    if (!options_.fec) {
+      return Corrupt("parity frame in a stream encoded without FEC");
+    }
+    const uint64_t group = view.header.fec_group;
+    if (group < base_group_ || group - base_group_ >= parity_.size()) {
+      return Corrupt(StrFormat("parity frame for out-of-range group %llu",
+                               static_cast<unsigned long long>(group)));
+    }
+    parity_[group - base_group_] =
+        Bytes(view.payload.begin(), view.payload.end());
+    return OkStatus();
+  }
+  if (view.header.type != FrameType::kData) {
+    return Corrupt("unexpected control frame inside a data stream");
+  }
+  const uint64_t seq = view.header.seq;
+  if (seq < base_seq_ || seq - base_seq_ >= frame_count_) {
+    return Corrupt(StrFormat("data frame seq %llu outside stream window",
+                             static_cast<unsigned long long>(seq)));
+  }
+  const uint64_t index = seq - base_seq_;
+  if (view.payload.size() != ExpectedLen(index)) {
+    return Corrupt(StrFormat(
+        "data frame %llu carries %zu bytes, expected %llu",
+        static_cast<unsigned long long>(seq), view.payload.size(),
+        static_cast<unsigned long long>(ExpectedLen(index))));
+  }
+  if (options_.fec && view.header.fec_group != base_group_ + index / k) {
+    return Corrupt("data frame's fec_group disagrees with its seq");
+  }
+  data_[index] = Bytes(view.payload.begin(), view.payload.end());
+  have_[index] = true;
+  return OkStatus();
+}
+
+void FrameAssembler::Reconstruct() {
+  if (!options_.fec) {
+    return;
+  }
+  const uint64_t k = std::max<uint32_t>(1, options_.fec_group_data_frames);
+  for (uint64_t g = 0; g < parity_.size(); ++g) {
+    if (parity_[g].empty()) {
+      continue;
+    }
+    const uint64_t first = g * k;
+    const uint64_t last = std::min(first + k, frame_count_);
+    uint64_t missing = frame_count_;  // sentinel: none yet
+    int missing_count = 0;
+    for (uint64_t i = first; i < last; ++i) {
+      if (!have_[i]) {
+        missing = i;
+        ++missing_count;
+      }
+    }
+    if (missing_count != 1) {
+      continue;  // intact, or beyond what one parity frame can fix
+    }
+    // XOR of parity and the surviving payloads (zero-padded) is the lost
+    // payload, truncated to its expected length.
+    Bytes rebuilt = parity_[g];
+    for (uint64_t i = first; i < last; ++i) {
+      if (i == missing) {
+        continue;
+      }
+      for (uint64_t b = 0; b < data_[i].size(); ++b) {
+        rebuilt[b] ^= data_[i][b];
+      }
+    }
+    rebuilt.resize(ExpectedLen(missing));
+    data_[missing] = std::move(rebuilt);
+    have_[missing] = true;
+    ++recovered_frames_;
+  }
+}
+
+std::vector<uint32_t> FrameAssembler::MissingSeqs() {
+  Reconstruct();
+  std::vector<uint32_t> missing;
+  for (uint64_t i = 0; i < frame_count_; ++i) {
+    if (!have_[i]) {
+      missing.push_back(base_seq_ + static_cast<uint32_t>(i));
+    }
+  }
+  return missing;
+}
+
+Result<Bytes> FrameAssembler::Finish() {
+  Reconstruct();
+  Bytes out;
+  out.reserve(expected_bytes_);
+  for (uint64_t i = 0; i < frame_count_; ++i) {
+    if (!have_[i]) {
+      return Unavailable(StrFormat(
+          "stream incomplete: data frame %llu still missing",
+          static_cast<unsigned long long>(base_seq_ + i)));
+    }
+    out.insert(out.end(), data_[i].begin(), data_[i].end());
+  }
+  return out;
+}
+
+}  // namespace flux

@@ -1,0 +1,168 @@
+// Versioned wire framing with CRC32C validation and XOR-parity FEC.
+//
+// Everything a migration puts on the air — image chunks, the dedup
+// manifest, resume handshakes — travels inside a fixed 24-byte framed
+// header (PROTOCOL.md §3 is the normative layout; scripts/check_docs.py
+// keeps the spec and the constants below in lock-step). The design follows
+// the SNIPPETS.md §3 idiom (ltfec frame_io.h): explicit little-endian byte
+// offsets, CRC32C over the payload ONLY (a corrupted header already fails
+// the magic/version/length checks), and a parity frame closing each FEC
+// group so one lost frame per group is reconstructed without a retransmit
+// round trip.
+//
+// The codec is pure bytes-in/bytes-out — no clock, no network — so the
+// same functions serve the simulation's hostile-link model and the unit
+// tests that pin the layout byte for byte (tests/frame_test.cc).
+#ifndef FLUX_SRC_NET_FRAME_H_
+#define FLUX_SRC_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/result.h"
+
+namespace flux {
+
+// ----- layout constants (PROTOCOL.md §3; check_docs.py parses these) -----
+
+// "FLXF" when the little-endian u32 is written to the wire.
+inline constexpr uint32_t kFrameMagic = 0x46584C46;
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 24;
+
+// Field offsets within the header (sizes are implied by the next offset;
+// the payload begins at kFrameHeaderSize).
+inline constexpr size_t kFrameOffMagic = 0;        // u32  LE
+inline constexpr size_t kFrameOffVersion = 4;      // u8
+inline constexpr size_t kFrameOffType = 5;         // u8
+inline constexpr size_t kFrameOffFlags = 6;        // u16  LE
+inline constexpr size_t kFrameOffSeq = 8;          // u32  LE
+inline constexpr size_t kFrameOffFecGroup = 12;    // u32  LE
+inline constexpr size_t kFrameOffPayloadLen = 16;  // u32  LE
+inline constexpr size_t kFrameOffCrc = 20;         // u32  LE, CRC32C(payload)
+
+// Sentinel fec_group for frames outside any parity group.
+inline constexpr uint32_t kFrameNoFecGroup = 0xFFFFFFFFu;
+
+// Frame types (PROTOCOL.md §3.2). Control payloads are ArchiveWriter
+// sections; kData carries a slice of the migration payload stream.
+enum class FrameType : uint8_t {
+  kData = 1,         // payload-stream slice
+  kParity = 2,       // XOR of its group's (zero-padded) data payloads
+  kManifest = 3,     // dedup manifest: chunk-hash list
+  kManifestAck = 4,  // availability bitmap answering a manifest
+  kResumeOffer = 5,  // resume handshake: manifest re-offer + next seq
+  kResumeAck = 6,    // chunks the guest cache already holds + next seq
+  kComplete = 7,     // stream end marker
+};
+
+// Header flag bits (PROTOCOL.md §3.3).
+inline constexpr uint16_t kFrameFlagFecGroup = 1u << 0;     // in a parity group
+inline constexpr uint16_t kFrameFlagGroupEnd = 1u << 1;     // last data frame of its group
+inline constexpr uint16_t kFrameFlagRetransmit = 1u << 2;   // re-sent after loss
+
+struct FrameHeader {
+  uint8_t version = kFrameVersion;
+  FrameType type = FrameType::kData;
+  uint16_t flags = 0;
+  uint32_t seq = 0;
+  uint32_t fec_group = kFrameNoFecGroup;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;  // CRC32C over the payload only
+};
+
+// One parsed frame; `payload` views into the caller's buffer.
+struct FrameView {
+  FrameHeader header;
+  ByteSpan payload;
+};
+
+// Appends header + payload to `out`, computing payload_len and the CRC.
+void AppendFrame(Bytes& out, FrameHeader header, ByteSpan payload);
+Bytes EncodeFrame(const FrameHeader& header, ByteSpan payload);
+
+// Parses and validates one frame at the start of `wire`: magic, version,
+// length, then CRC32C over the payload. kUnsupported for a version the
+// receiver does not speak (negotiation, PROTOCOL.md §2), kCorrupt for a
+// truncated header/payload, a bad magic, or a CRC mismatch — all clean
+// Status causes the migration routes through forensics.
+Result<FrameView> ParseFrame(ByteSpan wire);
+
+// ----- stream encoding -----
+
+struct FrameStreamOptions {
+  uint32_t frame_payload_bytes = 16 * 1024;  // data bytes per frame
+  uint32_t fec_group_data_frames = 8;        // k data frames per parity
+  bool fec = true;                           // close groups with parity
+};
+
+// Splits `payload` into kData frames of at most frame_payload_bytes,
+// closing every run of fec_group_data_frames with one kParity frame when
+// fec is on (a short trailing group still gets parity). seq numbers start
+// at base_seq and groups at base_group; both count data frames/groups only
+// so a caller can frame a chunked stream segment by segment. FEC groups
+// never span a call — each chunk reconstructs independently.
+std::vector<Bytes> EncodeFrameStream(ByteSpan payload,
+                                     const FrameStreamOptions& options,
+                                     uint32_t base_seq, uint32_t base_group);
+
+// Number of data frames EncodeFrameStream will cut `payload_bytes` into.
+uint64_t DataFrameCount(uint64_t payload_bytes,
+                        const FrameStreamOptions& options);
+
+// Pure arithmetic: total wire bytes of `payload_bytes` framed under
+// `options` with zero losses — headers plus parity payloads. The hostile
+// link model charges this for control traffic it never materializes.
+uint64_t FramedWireBytes(uint64_t payload_bytes,
+                         const FrameStreamOptions& options);
+
+// ----- reassembly -----
+
+// Rebuilds a contiguous payload from frames arriving with gaps. Feed every
+// surviving frame via Accept (order does not matter), then Finish:
+//  - a group missing exactly one data frame is rebuilt from its parity;
+//  - corrupt frames fail Accept with kCorrupt (the caller counts and
+//    retransmits them — corruption never reaches the payload);
+//  - MissingSeqs names the data frames still unrecoverable, so a sender
+//    can retransmit exactly those.
+// The expected payload size is fixed at construction (chunk sizes travel
+// in the manifest), which also fixes every data frame's expected length.
+class FrameAssembler {
+ public:
+  FrameAssembler(uint64_t expected_payload_bytes,
+                 const FrameStreamOptions& options, uint32_t base_seq,
+                 uint32_t base_group);
+
+  // Validates (ParseFrame) and stores one frame. Unknown seq/group ranges
+  // and length mismatches are kCorrupt; duplicates are idempotent.
+  Status Accept(ByteSpan wire);
+
+  // Runs parity reconstruction, then lists data seqs still missing.
+  std::vector<uint32_t> MissingSeqs();
+
+  // Frames rebuilt from parity so far (for net.frame counters).
+  uint64_t recovered_frames() const { return recovered_frames_; }
+
+  // Reassembles the payload; kUnavailable while frames are still missing.
+  Result<Bytes> Finish();
+
+ private:
+  uint64_t ExpectedLen(uint64_t index) const;
+  void Reconstruct();
+
+  uint64_t expected_bytes_ = 0;
+  FrameStreamOptions options_;
+  uint32_t base_seq_ = 0;
+  uint32_t base_group_ = 0;
+  uint64_t frame_count_ = 0;
+  std::vector<Bytes> data_;          // by data-frame index; empty = missing
+  std::vector<bool> have_;
+  std::vector<Bytes> parity_;        // by group index; empty = missing
+  uint64_t recovered_frames_ = 0;
+};
+
+}  // namespace flux
+
+#endif  // FLUX_SRC_NET_FRAME_H_

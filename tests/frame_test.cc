@@ -1,0 +1,386 @@
+// Wire framing (PROTOCOL.md §3): the byte layout is pinned field by field
+// against the normative offsets, CRC32C is pinned against a published test
+// vector, and the failure paths that keep hostile links survivable are
+// exercised directly — corruption detected by CRC, one loss per FEC group
+// reconstructed from parity, truncation and version skew rejected as clean
+// Status causes. A short section pins the NetProfile presets and the
+// deterministic link shaper the hostile benches are built on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/net/contended_link.h"
+#include "src/net/frame.h"
+#include "src/net/network.h"
+
+namespace flux {
+namespace {
+
+uint32_t ReadLeU32(const Bytes& wire, size_t off) {
+  return static_cast<uint32_t>(wire[off]) |
+         static_cast<uint32_t>(wire[off + 1]) << 8 |
+         static_cast<uint32_t>(wire[off + 2]) << 16 |
+         static_cast<uint32_t>(wire[off + 3]) << 24;
+}
+
+uint16_t ReadLeU16(const Bytes& wire, size_t off) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(wire[off]) |
+                               static_cast<uint16_t>(wire[off + 1]) << 8);
+}
+
+ByteSpan Span(const Bytes& bytes) {
+  return ByteSpan(bytes.data(), bytes.size());
+}
+
+ByteSpan Span(const char* text) {
+  return ByteSpan(reinterpret_cast<const uint8_t*>(text), strlen(text));
+}
+
+// ----- layout pin (PROTOCOL.md §3.1) -----
+
+TEST(FrameLayoutTest, HeaderBytesMatchNormativeSpec) {
+  FrameHeader header;
+  header.type = FrameType::kData;
+  header.flags = kFrameFlagFecGroup | kFrameFlagGroupEnd;
+  header.seq = 0x04030201;
+  header.fec_group = 0x0807'0605;
+  const Bytes payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const Bytes wire = EncodeFrame(header, Span(payload));
+
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+  // Magic is "FLXF" on the wire: LE encoding of 0x46584C46.
+  EXPECT_EQ(wire[kFrameOffMagic + 0], 'F');
+  EXPECT_EQ(wire[kFrameOffMagic + 1], 'L');
+  EXPECT_EQ(wire[kFrameOffMagic + 2], 'X');
+  EXPECT_EQ(wire[kFrameOffMagic + 3], 'F');
+  EXPECT_EQ(ReadLeU32(wire, kFrameOffMagic), kFrameMagic);
+  EXPECT_EQ(wire[kFrameOffVersion], kFrameVersion);
+  EXPECT_EQ(wire[kFrameOffType], static_cast<uint8_t>(FrameType::kData));
+  EXPECT_EQ(ReadLeU16(wire, kFrameOffFlags),
+            kFrameFlagFecGroup | kFrameFlagGroupEnd);
+  EXPECT_EQ(ReadLeU32(wire, kFrameOffSeq), 0x04030201u);
+  EXPECT_EQ(ReadLeU32(wire, kFrameOffFecGroup), 0x08070605u);
+  EXPECT_EQ(ReadLeU32(wire, kFrameOffPayloadLen), 4u);
+  EXPECT_EQ(ReadLeU32(wire, kFrameOffCrc), Crc32c(Span(payload)));
+  EXPECT_EQ(Bytes(wire.begin() + kFrameHeaderSize, wire.end()), payload);
+
+  auto parsed = ParseFrame(Span(wire));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->header.seq, header.seq);
+  EXPECT_EQ(parsed->header.fec_group, header.fec_group);
+  EXPECT_EQ(parsed->header.flags, header.flags);
+  EXPECT_EQ(parsed->header.payload_crc, Crc32c(Span(payload)));
+  EXPECT_EQ(Bytes(parsed->payload.begin(), parsed->payload.end()), payload);
+}
+
+TEST(FrameLayoutTest, Crc32cMatchesPublishedVector) {
+  // RFC 3720 §B.4 test vector: CRC32C("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c(Span("123456789")), 0xE3069283u);
+  // And the all-zeros vector from the same appendix.
+  const Bytes zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(Span(zeros)), 0x8A9136AAu);
+}
+
+TEST(FrameLayoutTest, EmptyPayloadRoundTrips) {
+  FrameHeader header;
+  header.type = FrameType::kComplete;
+  const Bytes wire = EncodeFrame(header, ByteSpan());
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  auto parsed = ParseFrame(Span(wire));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->header.payload_len, 0u);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+// ----- rejection paths (PROTOCOL.md §2, §4) -----
+
+TEST(FrameParseTest, CorruptPayloadFailsCrc) {
+  FrameHeader header;
+  Bytes payload(64, 0x3C);
+  Bytes wire = EncodeFrame(header, Span(payload));
+  wire[kFrameHeaderSize + 10] ^= 0x01;  // single bit flip in the payload
+  auto parsed = ParseFrame(Span(wire));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorrupt);
+  EXPECT_NE(parsed.status().ToString().find("CRC"), std::string::npos);
+}
+
+TEST(FrameParseTest, TruncationIsCorruptNotCrash) {
+  FrameHeader header;
+  Bytes payload(64, 0x3C);
+  const Bytes wire = EncodeFrame(header, Span(payload));
+  // Every truncation point — mid-header and mid-payload — must return a
+  // clean kCorrupt, never read past the buffer.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto parsed = ParseFrame(ByteSpan(wire.data(), len));
+    ASSERT_FALSE(parsed.ok()) << "len=" << len;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorrupt) << "len=" << len;
+  }
+}
+
+TEST(FrameParseTest, BadMagicAndFutureVersionAreDistinct) {
+  FrameHeader header;
+  Bytes payload(8, 0x11);
+  Bytes wire = EncodeFrame(header, Span(payload));
+
+  Bytes bad_magic = wire;
+  bad_magic[kFrameOffMagic] = 'X';
+  auto magic = ParseFrame(Span(bad_magic));
+  ASSERT_FALSE(magic.ok());
+  EXPECT_EQ(magic.status().code(), StatusCode::kCorrupt);
+
+  // A future version with an intact magic is negotiation, not corruption:
+  // the receiver reports kUnsupported so the sender can fall back (§2).
+  Bytes future = wire;
+  future[kFrameOffVersion] = kFrameVersion + 1;
+  auto version = ParseFrame(Span(future));
+  ASSERT_FALSE(version.ok());
+  EXPECT_EQ(version.status().code(), StatusCode::kUnsupported);
+}
+
+// ----- stream encoding and FEC (PROTOCOL.md §5) -----
+
+TEST(FrameStreamTest, StreamSplitsAndCountsMatchArithmetic) {
+  FrameStreamOptions options;
+  options.frame_payload_bytes = 100;
+  options.fec_group_data_frames = 4;
+  options.fec = true;
+
+  Bytes payload(950, 0x00);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  const std::vector<Bytes> frames =
+      EncodeFrameStream(Span(payload), options, 0, 0);
+
+  // 10 data frames (9 full + one 50-byte tail) in 3 groups (4+4+2), each
+  // closed by a parity frame.
+  EXPECT_EQ(DataFrameCount(payload.size(), options), 10u);
+  ASSERT_EQ(frames.size(), 13u);
+
+  uint64_t wire_bytes = 0;
+  uint64_t data_frames = 0;
+  uint64_t parity_frames = 0;
+  for (const Bytes& frame : frames) {
+    auto parsed = ParseFrame(Span(frame));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    wire_bytes += frame.size();
+    if (parsed->header.type == FrameType::kParity) {
+      ++parity_frames;
+    } else {
+      ASSERT_EQ(parsed->header.type, FrameType::kData);
+      ++data_frames;
+      EXPECT_NE(parsed->header.flags & kFrameFlagFecGroup, 0);
+    }
+  }
+  EXPECT_EQ(data_frames, 10u);
+  EXPECT_EQ(parity_frames, 3u);
+  EXPECT_EQ(wire_bytes, FramedWireBytes(payload.size(), options));
+
+  // Clean reassembly is byte-identical.
+  FrameAssembler assembler(payload.size(), options, 0, 0);
+  for (const Bytes& frame : frames) {
+    ASSERT_TRUE(assembler.Accept(Span(frame)).ok());
+  }
+  EXPECT_TRUE(assembler.MissingSeqs().empty());
+  auto rebuilt = assembler.Finish();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(*rebuilt, payload);
+}
+
+TEST(FrameStreamTest, SingleLossPerGroupReconstructsFromParity) {
+  FrameStreamOptions options;
+  options.frame_payload_bytes = 64;
+  options.fec_group_data_frames = 4;
+
+  Bytes payload(1000, 0x00);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i ^ (i >> 3));
+  }
+  const std::vector<Bytes> frames =
+      EncodeFrameStream(Span(payload), options, 0, 0);
+
+  // Drop exactly one data frame from every group — including the short
+  // tail group — and reassemble from parity alone, no retransmits.
+  FrameAssembler assembler(payload.size(), options, 0, 0);
+  size_t dropped = 0;
+  uint32_t next_drop_group = 0;
+  for (const Bytes& frame : frames) {
+    auto parsed = ParseFrame(Span(frame));
+    ASSERT_TRUE(parsed.ok());
+    if (parsed->header.type == FrameType::kData &&
+        parsed->header.fec_group == next_drop_group) {
+      ++dropped;
+      ++next_drop_group;
+      continue;
+    }
+    ASSERT_TRUE(assembler.Accept(Span(frame)).ok());
+  }
+  ASSERT_GT(dropped, 0u);
+  EXPECT_TRUE(assembler.MissingSeqs().empty());
+  EXPECT_EQ(assembler.recovered_frames(), dropped);
+  auto rebuilt = assembler.Finish();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(*rebuilt, payload);
+}
+
+TEST(FrameStreamTest, DoubleLossInOneGroupNamesExactRetransmits) {
+  FrameStreamOptions options;
+  options.frame_payload_bytes = 64;
+  options.fec_group_data_frames = 4;
+  Bytes payload(512, 0x42);
+  const std::vector<Bytes> frames =
+      EncodeFrameStream(Span(payload), options, 0, 0);
+
+  // Drop data seqs 1 and 2 (same group): parity cannot help, and the
+  // assembler must name exactly those seqs for retransmission.
+  FrameAssembler assembler(payload.size(), options, 0, 0);
+  std::vector<Bytes> held_back;
+  for (const Bytes& frame : frames) {
+    auto parsed = ParseFrame(Span(frame));
+    ASSERT_TRUE(parsed.ok());
+    if (parsed->header.type == FrameType::kData &&
+        (parsed->header.seq == 1 || parsed->header.seq == 2)) {
+      held_back.push_back(frame);
+      continue;
+    }
+    ASSERT_TRUE(assembler.Accept(Span(frame)).ok());
+  }
+  EXPECT_EQ(assembler.MissingSeqs(), (std::vector<uint32_t>{1, 2}));
+  auto incomplete = assembler.Finish();
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_EQ(incomplete.status().code(), StatusCode::kUnavailable);
+
+  // Feeding the retransmits completes the payload.
+  for (const Bytes& frame : held_back) {
+    ASSERT_TRUE(assembler.Accept(Span(frame)).ok());
+  }
+  EXPECT_TRUE(assembler.MissingSeqs().empty());
+  auto rebuilt = assembler.Finish();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(*rebuilt, payload);
+}
+
+TEST(FrameStreamTest, FecOffSkipsParityAndShrinksWire) {
+  FrameStreamOptions with_fec;
+  FrameStreamOptions no_fec;
+  no_fec.fec = false;
+  const uint64_t bytes = 1 << 20;
+  EXPECT_LT(FramedWireBytes(bytes, no_fec), FramedWireBytes(bytes, with_fec));
+  const std::vector<Bytes> frames =
+      EncodeFrameStream(ByteSpan(Bytes(4096, 0x1).data(), 4096), no_fec, 0, 0);
+  for (const Bytes& frame : frames) {
+    auto parsed = ParseFrame(Span(frame));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->header.type, FrameType::kData);
+    EXPECT_EQ(parsed->header.flags & kFrameFlagFecGroup, 0);
+  }
+}
+
+TEST(FrameStreamTest, AssemblerRejectsForeignAndCorruptFrames) {
+  FrameStreamOptions options;
+  options.frame_payload_bytes = 64;
+  Bytes payload(200, 0x5A);
+  const std::vector<Bytes> frames =
+      EncodeFrameStream(Span(payload), options, /*base_seq=*/100,
+                        /*base_group=*/7);
+
+  FrameAssembler assembler(payload.size(), options, 100, 7);
+  // A frame from another chunk's seq range is corrupt here.
+  const std::vector<Bytes> foreign =
+      EncodeFrameStream(Span(payload), options, 0, 0);
+  EXPECT_EQ(assembler.Accept(Span(foreign[0])).code(), StatusCode::kCorrupt);
+  // A bit-flipped frame fails its CRC inside Accept.
+  Bytes mangled = frames[0];
+  mangled.back() ^= 0xA5;
+  EXPECT_EQ(assembler.Accept(Span(mangled)).code(), StatusCode::kCorrupt);
+  // The clean copies still assemble: rejection is stateless.
+  for (const Bytes& frame : frames) {
+    ASSERT_TRUE(assembler.Accept(Span(frame)).ok());
+  }
+  auto rebuilt = assembler.Finish();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(*rebuilt, payload);
+}
+
+// ----- network profiles and the deterministic link shaper -----
+
+TEST(NetProfileTest, PresetsExistAndCleanIsIdentity) {
+  ASSERT_TRUE(NetProfile::Named("clean").ok());
+  EXPECT_TRUE(NetProfile::Named("clean")->IsClean());
+  EXPECT_FALSE(NetProfile::Named("no-such-profile").ok());
+  for (std::string_view name : NetProfile::PresetNames()) {
+    auto profile = NetProfile::Named(name);
+    ASSERT_TRUE(profile.ok()) << name;
+    if (name != "clean") {
+      EXPECT_FALSE(profile->IsClean()) << name;
+      EXPECT_GT(profile->MeanLossRate(), 0.0) << name;
+      EXPECT_LE(profile->MeanRateFactor(), 1.0) << name;
+    }
+  }
+  // Severity ordering the benches rely on: hostile loses more than lte
+  // loses more than home loses more than campus.
+  EXPECT_GT(NetProfile::Named("hostile")->MeanLossRate(),
+            NetProfile::Named("lte")->MeanLossRate());
+  EXPECT_GT(NetProfile::Named("lte")->MeanLossRate(),
+            NetProfile::Named("home")->MeanLossRate());
+  EXPECT_GT(NetProfile::Named("home")->MeanLossRate(),
+            NetProfile::Named("campus")->MeanLossRate());
+}
+
+TEST(NetProfileTest, LinkShaperIsSeedDeterministic) {
+  const NetProfile profile = *NetProfile::Named("hostile");
+  LinkShaper a(profile, 1234);
+  LinkShaper b(profile, 1234);
+  LinkShaper c(profile, 5678);
+  int losses_a = 0;
+  int losses_b = 0;
+  int losses_c = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const bool lost_a = a.NextFrameLost();
+    const bool lost_b = b.NextFrameLost();
+    EXPECT_EQ(lost_a, lost_b);
+    losses_a += lost_a ? 1 : 0;
+    losses_b += lost_b ? 1 : 0;
+    losses_c += c.NextFrameLost() ? 1 : 0;
+    EXPECT_DOUBLE_EQ(ToSecondsF(a.NextJitter()), ToSecondsF(b.NextJitter()));
+  }
+  // Same seed, same loss pattern; loss count lands in a sane band around
+  // the configured rate (2% base + bursts, 4096 trials).
+  EXPECT_EQ(losses_a, losses_b);
+  EXPECT_GT(losses_a, 0);
+  EXPECT_LT(losses_a, 4096 / 4);
+  EXPECT_NE(losses_a, losses_c);
+}
+
+TEST(ContendedFabricProfileTest, HostileProfileStretchesFlows) {
+  // Two identical single-AP fabrics, one profiled hostile: the profiled
+  // flow must carry more wire bytes and finish later.
+  ContendedFabric clean;
+  ContendedFabric hostile;
+  const auto ap_clean = clean.AddAp("ap", 8'000'000);
+  const auto ap_host = hostile.AddAp("ap", 8'000'000);
+  hostile.ApplyProfile(*NetProfile::Named("hostile"));
+  EXPECT_GT(hostile.byte_overhead(), 1.0);
+
+  const uint64_t bytes = 1 << 20;
+  clean.StartFlow(0, bytes, 100'000'000, ap_clean, ap_clean);
+  hostile.StartFlow(0, bytes, 100'000'000, ap_host, ap_host);
+  SimTime clean_done = 0;
+  SimTime hostile_done = 0;
+  ASSERT_TRUE(clean.NextCompletion(0, &clean_done));
+  ASSERT_TRUE(hostile.NextCompletion(0, &hostile_done));
+  EXPECT_GT(hostile_done, clean_done);
+
+  // Re-applying the clean profile restores the identity model.
+  hostile.ApplyProfile(*NetProfile::Named("clean"));
+  EXPECT_DOUBLE_EQ(hostile.byte_overhead(), 1.0);
+}
+
+}  // namespace
+}  // namespace flux
