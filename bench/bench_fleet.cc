@@ -30,11 +30,22 @@
 // from the threaded run; byte-identical to the serial run's by the gate).
 // --devices=N replaces the standard scales with one custom scale — the CI
 // TSan smoke uses `--devices=2000 --threads=4`.
+//
+// Telemetry (OBSERVABILITY.md): every run carries a TimeSeriesSampler
+// driven by a self-terminating recurring scheduler event (default 250
+// virtual ms, --cadence-ms=N) plus an SloMonitor over the fleet catalog.
+// Sampling is read-only, and the sampler event sequence is identical in
+// the serial and threaded runs, so stats_match still gates byte identity.
+// --timeseries-out=FILE writes the flux.timeseries.v1 export (gated by
+// scripts/check_telemetry.py), including the deliberately-impossible
+// canary objective that proves the breach -> flight ring -> report path.
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,6 +57,8 @@
 #include "src/base/sim_clock.h"
 #include "src/base/thread_pool.h"
 #include "src/flux/coordinator.h"
+#include "src/flux/flight_recorder.h"
+#include "src/flux/telemetry.h"
 #include "src/flux/trace.h"
 #include "src/net/contended_link.h"
 
@@ -62,7 +75,26 @@ struct ScaleConfig {
   SimDuration arrival_window = 0;
   int hops_per_app = 3;
   bool trace_spans = false;
+  SimDuration sample_cadence = Millis(250);
 };
+
+// Fleet SLO catalog: the defaults (perceived p99 / rollback / retransmit —
+// quiet here, the fleet model has no rollback path) plus a generous fleet
+// queue-wait bound and a canary that breaches whenever any window admits a
+// migration. The canary is deliberately impossible to satisfy: it proves
+// the monitor -> flight ring -> report round trip end to end in CI
+// (scripts/check_telemetry.py requires at least one breach to survive it).
+std::vector<SloObjective> FleetSloCatalog() {
+  std::vector<SloObjective> slos = DefaultSloCatalog();
+  slos.push_back({"fleet.queue_wait_p99_us",
+                  SloObjective::Kind::kHistogramP99,
+                  std::string(trace_names::kHistFleetQueueWait), "", 900e6});
+  slos.push_back({"canary.admission_rate",
+                  SloObjective::Kind::kWindowRate,
+                  std::string(trace_names::kFleetMigrationsAdmitted), "",
+                  0.0});
+  return slos;
+}
 
 struct ScaleResult {
   int devices = 0;
@@ -85,6 +117,11 @@ struct ScaleResult {
   double queue_wait_p99_ms = 0;
   double concurrency_p50 = 0;
   std::shared_ptr<Tracer> trace;
+  // Telemetry from this run. The sampler/monitor only read sim state, so
+  // they are safe to keep after the run's clock and scheduler are gone.
+  std::shared_ptr<TimeSeriesSampler> sampler;
+  std::shared_ptr<SloMonitor> slo;
+  std::shared_ptr<FlightRecorder> recorder;
 };
 
 ScaleResult RunScale(const ScaleConfig& cfg, int threads) {
@@ -114,6 +151,19 @@ ScaleResult RunScale(const ScaleConfig& cfg, int threads) {
   coord_cfg.trace = tracer.get();
   coord_cfg.trace_spans = cfg.trace_spans;
   MigrationCoordinator coord(&sched, &fabric, coord_cfg);
+
+  // Telemetry rides along unconditionally so the serial and threaded runs
+  // see the same event sequence (stats_match) and a --timeseries-out run is
+  // byte-identical to one without the flag. Sampling only reads relaxed
+  // atomics and coordinator gauges — it never mutates simulated state.
+  TimeSeriesSampler::Options sampler_opts;
+  sampler_opts.cadence = cfg.sample_cadence;
+  sampler_opts.capacity = 8192;
+  auto sampler = std::make_shared<TimeSeriesSampler>(&clock, sampler_opts);
+  sampler->Attach(tracer.get());
+  sampler->SetContextProvider([&coord] { return coord.InflightContexts(); });
+  auto recorder = std::make_shared<FlightRecorder>(&clock, 256);
+  auto slo = std::make_shared<SloMonitor>(FleetSloCatalog(), recorder.get());
 
   Rng rng(0x5eedULL + static_cast<uint64_t>(cfg.devices));
   std::vector<FleetAppId> group_apps(groups);
@@ -155,6 +205,7 @@ ScaleResult RunScale(const ScaleConfig& cfg, int threads) {
   // land while the previous hop is still in flight are refused and counted,
   // like a real controller would.
   uint64_t requested = 0;
+  SimTime last_arrival = 0;
   for (int g = 0; g < groups; ++g) {
     const FleetAppId app = group_apps[g];
     SimTime at = Seconds(1);
@@ -166,7 +217,25 @@ ScaleResult RunScale(const ScaleConfig& cfg, int threads) {
                        static_cast<uint32_t>(g) % 8);
       ++requested;
     }
+    last_arrival = std::max(last_arrival, at);
   }
+
+  // Recurring sampler tick (barrier event on shard 0). Self-terminating:
+  // it reschedules only while arrivals are still due or fleet work is
+  // queued/in flight — otherwise the open-ended DrainUntil below would
+  // never run out of events. The SLO monitor evaluates incrementally at
+  // each tick so breach flight events carry the breaching window's time.
+  std::function<void()> sampler_tick = [&] {
+    sampler->Poll();
+    slo->Evaluate(*sampler);
+    if (clock.now() <= last_arrival ||
+        coord.queued_migrations() + coord.inflight_migrations() +
+                coord.inflight_pairings() >
+            0) {
+      sched.ScheduleAfter(cfg.sample_cadence, sampler_tick);
+    }
+  };
+  sched.ScheduleAfter(cfg.sample_cadence, sampler_tick);
 
   // Drain everything: arrivals, storms, and the queue tail past the window.
   sched.DrainUntil(~SimTime{0} >> 1);
@@ -186,6 +255,11 @@ ScaleResult RunScale(const ScaleConfig& cfg, int threads) {
   for (size_t k = 0; k < ds.window_shards.size(); ++k) {
     shards_hist->RecordMany(k, ds.window_shards[k]);
   }
+
+  // Run-end flush: one final sample (now including the imported scheduler
+  // counters) and a final incremental SLO pass over it.
+  sampler->SampleNow();
+  slo->Evaluate(*sampler);
 
   ScaleResult res;
   res.devices = cfg.devices;
@@ -217,6 +291,9 @@ ScaleResult RunScale(const ScaleConfig& cfg, int threads) {
     }
   }
   res.trace = tracer;
+  res.sampler = sampler;
+  res.slo = slo;
+  res.recorder = recorder;
   return res;
 }
 
@@ -264,8 +341,11 @@ int IntFlag(int argc, char** argv, const char* flag, int fallback) {
 
 int Run(int argc, char** argv) {
   const char* stats_out = StatsOutPath(argc, argv);
+  const char* timeseries_out = TimeSeriesOutPath(argc, argv);
   const int threads = IntFlag(argc, argv, "--threads=", 8);
   const int custom_devices = IntFlag(argc, argv, "--devices=", 0);
+  const int cadence_ms = IntFlag(argc, argv, "--cadence-ms=", 250);
+  const SimDuration cadence = Millis(cadence_ms > 0 ? cadence_ms : 250);
 
   std::vector<ScaleConfig> scales;
   if (custom_devices > 0) {
@@ -282,6 +362,9 @@ int Run(int argc, char** argv) {
     scales.push_back({1'000, 32, Seconds(120), 3, true});
     scales.push_back({10'000, 128, Seconds(300), 3, true});
     scales.push_back({100'000, 512, Seconds(600), 2, false});
+  }
+  for (ScaleConfig& cfg : scales) {
+    cfg.sample_cadence = cadence;
   }
 
   std::printf(
@@ -347,6 +430,31 @@ int Run(int argc, char** argv) {
       tracers.push_back(r.trace.get());
     }
     if (!WriteTracerStats(tracers, stats_out)) {
+      return 1;
+    }
+  }
+
+  // Fleet health, per scale (sim-derived values only — safe for diffing).
+  for (const ScaleResult& r : results) {
+    std::printf("\n[%d devices] %s", r.devices,
+                r.slo->HealthReportText().c_str());
+  }
+
+  if (timeseries_out != nullptr) {
+    TimeSeriesExport exp;
+    double run_host_s = 0;
+    for (const ScaleResult& r : results) {
+      exp.series.push_back(
+          {"fleet-" + std::to_string(r.devices), r.sampler.get()});
+      run_host_s += r.host_wall_s;
+    }
+    // One monitor/recorder pair fits the export schema; the largest scale's
+    // carries the canary breach like every other (check_telemetry.py only
+    // needs one surviving round trip).
+    exp.monitor = results.back().slo.get();
+    exp.recorder = results.back().recorder.get();
+    exp.run_host_seconds = run_host_s;
+    if (!WriteTimeSeries(exp, timeseries_out)) {
       return 1;
     }
   }

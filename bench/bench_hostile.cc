@@ -18,15 +18,28 @@
 // Output: tables per section plus BENCH_hostile.json, gated by
 // `check_bench.py hostile` (success_rate_1pct_fec >= 0.99,
 // resume_retransmit_ratio <= 1.2).
+//
+// Telemetry (OBSERVABILITY.md): with --stats-out=FILE every hop runs under
+// its own Tracer and the merged counter/histogram dump is written at exit;
+// --timeseries-out=FILE additionally samples the profile-sweep hops at 250
+// virtual ms via MigrationConfig::telemetry_poll, builds one causal-stitch
+// record per successful hop (the minted TraceContext against the contexts
+// actually stamped on spans and both devices' flight rings — gated by
+// scripts/check_telemetry.py stitch), and evaluates the default SLO
+// catalog over the hostile-profile hops. Flag-less runs skip all of it and
+// are byte-identical to the pre-telemetry bench.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/harness/migration_matrix.h"
 #include "src/apps/app_instance.h"
 #include "src/base/logging.h"
 #include "src/device/world.h"
 #include "src/flux/migration.h"
+#include "src/flux/telemetry.h"
 #include "src/net/network.h"
 
 using namespace flux;
@@ -36,18 +49,34 @@ namespace {
 // A small fixed subset keeps the sweep affordable: ~70 full migrations.
 const char* const kApps[] = {"Flappy Bird", "Bible", "eBay", "Vine"};
 
+// Per-hop observability, collected before the hop's World dies: the
+// tracer that saw the migration, the optional sampler, and both devices'
+// flight-ring snapshots (for the causal-stitch record).
+struct HopTelemetry {
+  // Fresh tracer per hop (each hop is its own deterministic world).
+  bool want_tracer = false;
+  // Sample counters at 250 virtual ms through the transfer tick loop.
+  bool want_sampler = false;
+  std::string label;
+};
+
 struct HopResult {
   bool ok = false;
   std::string reason;
   MigrationReport report;
   SimTime transfer_begin = 0;
   SimTime transfer_end = 0;
+  std::shared_ptr<Tracer> tracer;
+  // Post-run the sampler's clock is gone; only its ring is read.
+  std::shared_ptr<TimeSeriesSampler> sampler;
+  StitchRecord stitch;
 };
 
 // One cold A -> B migration in a fresh world. `outage_at`/`outage_for`
 // schedule a recoverable window on the shared network (0 = none).
-HopResult RunHop(const AppSpec& spec, const MigrationConfig& config,
-                 SimTime outage_at = 0, SimDuration outage_for = 0) {
+HopResult RunHop(const AppSpec& spec, const MigrationConfig& base_config,
+                 SimTime outage_at = 0, SimDuration outage_for = 0,
+                 const HopTelemetry& telemetry = {}) {
   HopResult out;
   World world;
   BootOptions boot;
@@ -74,8 +103,22 @@ HopResult RunHop(const AppSpec& spec, const MigrationConfig& config,
   if (outage_for > 0) {
     world.wifi().ScheduleOutageWindow(outage_at, outage_for);
   }
+  MigrationConfig config = base_config;
+  if (telemetry.want_tracer) {
+    out.tracer = std::make_shared<Tracer>(&world.clock());
+    config.trace = out.tracer.get();
+  }
+  if (telemetry.want_sampler) {
+    out.sampler = std::make_shared<TimeSeriesSampler>(&world.clock());
+    out.sampler->Attach(out.tracer.get());
+    TimeSeriesSampler* sampler = out.sampler.get();
+    config.telemetry_poll = [sampler] { sampler->Poll(); };
+  }
   MigrationManager manager(a_agent, b_agent, config);
   auto report = manager.Migrate(RunningApp::FromInstance(app), spec);
+  if (out.sampler != nullptr) {
+    out.sampler->SampleNow();  // run-end flush while the clock is alive
+  }
   if (!report.ok()) {
     out.reason = report.status().ToString();
     return out;
@@ -92,6 +135,12 @@ HopResult RunHop(const AppSpec& spec, const MigrationConfig& config,
   out.report = *report;
   out.transfer_begin = report->transfer.begin;
   out.transfer_end = report->transfer.end;
+  if (telemetry.want_tracer) {
+    // Freeze the stitch evidence before the world (and its rings) dies.
+    out.stitch = BuildStitchRecord(
+        telemetry.label, out.report.trace_context, out.tracer.get(),
+        a->flight_recorder().Snapshot(), b->flight_recorder().Snapshot());
+  }
   return out;
 }
 
@@ -131,8 +180,28 @@ struct ProfileRow {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
+  const char* stats_out = StatsOutPath(argc, argv);
+  const char* timeseries_out = TimeSeriesOutPath(argc, argv);
+  const bool telemetry = stats_out != nullptr || timeseries_out != nullptr;
+  // Accumulated across every telemetry-enabled hop.
+  std::vector<std::shared_ptr<Tracer>> tracers;
+  std::vector<std::shared_ptr<TimeSeriesSampler>> samplers;
+  std::vector<std::string> sampler_labels;
+  std::vector<StitchRecord> stitches;
+  auto harvest = [&](const HopResult& hop, bool sampled) {
+    if (hop.tracer != nullptr) {
+      tracers.push_back(hop.tracer);
+    }
+    if (sampled && hop.sampler != nullptr) {
+      samplers.push_back(hop.sampler);
+    }
+    if (hop.ok && hop.tracer != nullptr) {
+      stitches.push_back(hop.stitch);
+    }
+  };
+
   printf("=== Hostile-network migration: loss, profiles, resume ===\n");
   printf("Cold N4 -> N7(2013) hops; fresh world per run; resume on.\n\n");
 
@@ -185,7 +254,12 @@ int main() {
         config.net_profile.loss_rate = loss;
         config.net_seed = seed++;
         ++cell.attempted;
-        const HopResult hop = RunHop(*spec, config);
+        HopTelemetry tel;
+        tel.want_tracer = telemetry;
+        tel.label = "loss/" + std::to_string(loss) + (cell.fec ? "/fec/" : "/nofec/") +
+                    spec->package;
+        const HopResult hop = RunHop(*spec, config, 0, 0, tel);
+        harvest(hop, false);
         if (!hop.ok) {
           continue;
         }
@@ -223,6 +297,10 @@ int main() {
   // ----- 2. profile sweep -----
   std::vector<ProfileRow> profiles;
   std::vector<double> completion_s;
+  // SLO monitors over the hostile-profile hops (each hop is its own
+  // sampler, so each gets its own monitor); the breach-richest one lands
+  // in the time-series export.
+  std::vector<std::shared_ptr<SloMonitor>> slo_monitors;
   for (const std::string_view name :
        {std::string_view("campus"), std::string_view("home"),
         std::string_view("lte"), std::string_view("hostile")}) {
@@ -235,7 +313,20 @@ int main() {
       config.net_profile = NetProfile::Named(name).value();
       config.net_seed = seed++;
       ++row.attempted;
-      const HopResult hop = RunHop(*spec, config);
+      HopTelemetry tel;
+      tel.want_tracer = telemetry;
+      tel.want_sampler = timeseries_out != nullptr;
+      tel.label = row.name + "/" + spec->package;
+      const HopResult hop = RunHop(*spec, config, 0, 0, tel);
+      harvest(hop, true);
+      if (hop.sampler != nullptr) {
+        sampler_labels.push_back(tel.label);
+        if (name == "hostile") {
+          auto monitor = std::make_shared<SloMonitor>(DefaultSloCatalog());
+          monitor->Evaluate(*hop.sampler);
+          slo_monitors.push_back(std::move(monitor));
+        }
+      }
       if (!hop.ok) {
         continue;
       }
@@ -295,7 +386,11 @@ int main() {
         clean.transfer_begin +
         (clean.transfer_end - clean.transfer_begin) / 2;
     ++resume_attempted;
-    const HopResult hop = RunHop(*spec, config, mid, Seconds(2));
+    HopTelemetry tel;
+    tel.want_tracer = telemetry;
+    tel.label = "resume/" + spec->package;
+    const HopResult hop = RunHop(*spec, config, mid, Seconds(2), tel);
+    harvest(hop, false);
     if (!hop.ok || hop.report.resume.interruptions == 0) {
       continue;
     }
@@ -376,6 +471,40 @@ int main() {
     fprintf(json, "  ]\n}\n");
     fclose(json);
     printf("\nWrote BENCH_hostile.json\n");
+  }
+
+  if (stats_out != nullptr) {
+    std::vector<const Tracer*> tracer_ptrs;
+    tracer_ptrs.reserve(tracers.size());
+    for (const auto& t : tracers) {
+      tracer_ptrs.push_back(t.get());
+    }
+    if (!WriteTracerStats(tracer_ptrs, stats_out)) {
+      return 1;
+    }
+  }
+
+  if (timeseries_out != nullptr) {
+    TimeSeriesExport exp;
+    for (size_t i = 0; i < samplers.size(); ++i) {
+      exp.series.push_back({sampler_labels[i], samplers[i].get()});
+    }
+    // The breach-richest hostile-profile monitor represents the sweep; a
+    // clean run legitimately exports zero breaches (the 1.2x retransmit
+    // bound holding is the point).
+    for (const auto& monitor : slo_monitors) {
+      if (exp.monitor == nullptr ||
+          monitor->breaches().size() > exp.monitor->breaches().size()) {
+        exp.monitor = monitor.get();
+      }
+    }
+    exp.stitch = stitches;
+    if (!WriteTimeSeries(exp, timeseries_out)) {
+      return 1;
+    }
+    if (exp.monitor != nullptr) {
+      printf("\n%s", exp.monitor->HealthReportText().c_str());
+    }
   }
   return 0;
 }

@@ -188,6 +188,16 @@ const char* StatsOutPath(int argc, char** argv) {
   return nullptr;
 }
 
+const char* TimeSeriesOutPath(int argc, char** argv) {
+  constexpr const char kFlag[] = "--timeseries-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return argv[i] + sizeof(kFlag) - 1;
+    }
+  }
+  return nullptr;
+}
+
 bool WriteMatrixTrace(const MatrixResult& result, const char* path) {
   std::vector<TraceProcess> processes;
   for (const MatrixCell& cell : result.cells) {
@@ -203,58 +213,6 @@ bool WriteMatrixTrace(const MatrixResult& result, const char* path) {
   WriteChromeTrace(processes, out);
   std::fprintf(stderr, "trace written to %s (%zu migrations)\n", path,
                processes.size());
-  return true;
-}
-
-std::string TracerStatsJson(const std::vector<const Tracer*>& tracers) {
-  // std::map keeps the JSON key order deterministic across runs.
-  std::map<std::string, TraceHistogram::Snapshot> histograms;
-  std::map<std::string, uint64_t> counters;
-  size_t traced_cells = 0;
-  for (const Tracer* tracer : tracers) {
-    if (tracer == nullptr) {
-      continue;
-    }
-    ++traced_cells;
-    for (const auto& [name, snapshot] : tracer->Histograms()) {
-      histograms[name].Merge(snapshot);
-    }
-    for (const auto& [name, value] : tracer->Counters()) {
-      counters[name] += value;
-    }
-  }
-  std::ostringstream out;
-  out << "{\n  \"cells\": " << traced_cells << ",\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, value] : counters) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
-    first = false;
-  }
-  out << "\n  },\n  \"histograms\": {";
-  first = true;
-  for (const auto& [name, snap] : histograms) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
-        << "\"count\": " << snap.count << ", \"max\": " << snap.max
-        << ", \"p50\": " << snap.Percentile(50)
-        << ", \"p90\": " << snap.Percentile(90)
-        << ", \"p99\": " << snap.Percentile(99) << "}";
-    first = false;
-  }
-  out << "\n  }\n}\n";
-  return std::move(out).str();
-}
-
-bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
-                      const char* path) {
-  const std::string json = TracerStatsJson(tracers);
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write stats to %s\n", path);
-    return false;
-  }
-  out << json;
-  std::fprintf(stderr, "stats written to %s (%zu bytes)\n", path,
-               json.size());
   return true;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/flux/migration.h"
+#include "src/flux/telemetry.h"
 #include "src/flux/trace.h"
 
 namespace flux {
@@ -68,26 +69,20 @@ const char* TraceOutPath(int argc, char** argv);
 // Returns the FILE argument of a `--stats-out=FILE` flag, or null.
 const char* StatsOutPath(int argc, char** argv);
 
+// Returns the FILE argument of a `--timeseries-out=FILE` flag, or null
+// (bench_fleet / bench_hostile; see src/flux/telemetry.h).
+const char* TimeSeriesOutPath(int argc, char** argv);
+
 // Writes every traced cell of `result` as one merged Chrome trace (one
 // process per cell, named "app | combo"). No-op for cells without traces.
 // Returns false (with a message on stderr) if the file cannot be written.
 bool WriteMatrixTrace(const MatrixResult& result, const char* path);
 
-// Builds the --stats-out JSON for a batch of tracers as a string:
-// histograms merged via TraceHistogram::Snapshot::Merge (count/max/p50/
-// p90/p99 each) and counters summed, keys in deterministic (sorted) order.
-// bench_fleet compares these strings across thread counts for the
-// byte-identity gate, so the output must stay a pure function of the
-// tracer contents.
-std::string TracerStatsJson(const std::vector<const Tracer*>& tracers);
-
-// Writes fleet-level statistics for a batch of tracers as JSON: histograms
-// merged via TraceHistogram::Snapshot::Merge (count/max/p50/p90/p99 each)
-// and counters summed. The "cells" field reports tracers.size(). The shape
-// is validated by scripts/check_forensics.py. Null tracers are skipped.
-// Returns false (with a message on stderr) if the file cannot be written.
-bool WriteTracerStats(const std::vector<const Tracer*>& tracers,
-                      const char* path);
+// TracerStatsJson / WriteTracerStats moved to src/flux/telemetry.h (so
+// unit tests link them without the bench harness); this header re-exports
+// them via the include above. bench_fleet compares TracerStatsJson strings
+// across thread counts for the byte-identity gate, so the output must stay
+// a pure function of the tracer contents.
 
 // WriteTracerStats over every traced cell of a matrix result.
 bool WriteMatrixStats(const MatrixResult& result, const char* path);

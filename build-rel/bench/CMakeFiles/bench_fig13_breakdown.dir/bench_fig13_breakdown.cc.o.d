@@ -238,6 +238,7 @@ bench/CMakeFiles/bench_fig13_breakdown.dir/bench_fig13_breakdown.cc.o: \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/device/device_profile.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/gpu/egl_runtime.h \
  /root/repo/src/framework/activity_manager.h \
  /root/repo/src/framework/intent.h \
@@ -263,4 +264,5 @@ bench/CMakeFiles/bench_fig13_breakdown.dir/bench_fig13_breakdown.cc.o: \
  /root/repo/src/flux/record_engine.h /root/repo/src/flux/call_log.h \
  /root/repo/src/flux/replay_engine.h /root/repo/src/flux/forensics.h \
  /root/repo/src/flux/hardware_snapshot.h /root/repo/src/flux/pairing.h \
- /root/repo/src/fs/sync_engine.h /root/repo/src/flux/pipeline.h
+ /root/repo/src/fs/sync_engine.h /root/repo/src/flux/pipeline.h \
+ /root/repo/src/flux/telemetry.h

@@ -237,6 +237,7 @@ bench/CMakeFiles/flux_bench_harness.dir/harness/migration_matrix.cc.o: \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/device/device_profile.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/gpu/egl_runtime.h \
  /root/repo/src/framework/activity_manager.h \
  /root/repo/src/framework/intent.h \
@@ -263,7 +264,8 @@ bench/CMakeFiles/flux_bench_harness.dir/harness/migration_matrix.cc.o: \
  /root/repo/src/flux/replay_engine.h /root/repo/src/flux/forensics.h \
  /root/repo/src/flux/hardware_snapshot.h /root/repo/src/flux/pairing.h \
  /root/repo/src/fs/sync_engine.h /root/repo/src/flux/pipeline.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/flux/telemetry.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/device/world.h \

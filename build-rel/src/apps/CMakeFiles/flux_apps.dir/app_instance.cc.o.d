@@ -236,6 +236,7 @@ src/apps/CMakeFiles/flux_apps.dir/app_instance.cc.o: \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/device/device_profile.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/gpu/egl_runtime.h \
  /root/repo/src/framework/activity_manager.h \
  /root/repo/src/framework/intent.h \
@@ -253,5 +254,4 @@ src/apps/CMakeFiles/flux_apps.dir/app_instance.cc.o: \
  /root/repo/src/kernel/drivers.h /root/repo/src/kernel/process.h \
  /root/repo/src/kernel/address_space.h /root/repo/src/kernel/fd_object.h \
  /root/repo/src/framework/activity_thread.h /root/repo/src/base/hash.h \
- /root/repo/src/base/rng.h /root/repo/src/base/strings.h \
- /root/repo/src/base/synthetic_content.h
+ /root/repo/src/base/strings.h /root/repo/src/base/synthetic_content.h

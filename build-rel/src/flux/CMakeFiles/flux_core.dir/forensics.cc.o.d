@@ -216,7 +216,10 @@ src/flux/CMakeFiles/flux_core.dir/forensics.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/base/logging.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/flux/trace.h \
+ /usr/include/c++/12/array /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -225,7 +228,6 @@ src/flux/CMakeFiles/flux_core.dir/forensics.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/flux/call_log.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /root/repo/src/base/archive.h /root/repo/src/base/bytes.h \
- /usr/include/c++/12/span /root/repo/src/binder/parcel.h \
- /root/repo/src/kernel/ids.h
+ /usr/include/c++/12/bits/std_function.h /root/repo/src/base/archive.h \
+ /root/repo/src/base/bytes.h /usr/include/c++/12/span \
+ /root/repo/src/binder/parcel.h /root/repo/src/kernel/ids.h

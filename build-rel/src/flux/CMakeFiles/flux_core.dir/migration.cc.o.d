@@ -236,6 +236,7 @@ src/flux/CMakeFiles/flux_core.dir/migration.cc.o: \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/device/device_profile.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/gpu/egl_runtime.h \
  /root/repo/src/framework/activity_manager.h \
  /root/repo/src/framework/intent.h \
@@ -286,8 +287,7 @@ src/flux/CMakeFiles/flux_core.dir/migration.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/base/compress.h \
- /root/repo/src/base/rng.h /root/repo/src/base/strings.h \
- /root/repo/src/base/synthetic_content.h \
+ /root/repo/src/base/strings.h /root/repo/src/base/synthetic_content.h \
  /root/repo/src/base/thread_pool.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -295,4 +295,4 @@ src/flux/CMakeFiles/flux_core.dir/migration.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/flux/telemetry.h

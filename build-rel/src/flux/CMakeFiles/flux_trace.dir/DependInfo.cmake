@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/flux/flight_recorder.cc" "src/flux/CMakeFiles/flux_trace.dir/flight_recorder.cc.o" "gcc" "src/flux/CMakeFiles/flux_trace.dir/flight_recorder.cc.o.d"
+  "/root/repo/src/flux/telemetry.cc" "src/flux/CMakeFiles/flux_trace.dir/telemetry.cc.o" "gcc" "src/flux/CMakeFiles/flux_trace.dir/telemetry.cc.o.d"
   "/root/repo/src/flux/trace.cc" "src/flux/CMakeFiles/flux_trace.dir/trace.cc.o" "gcc" "src/flux/CMakeFiles/flux_trace.dir/trace.cc.o.d"
   )
 

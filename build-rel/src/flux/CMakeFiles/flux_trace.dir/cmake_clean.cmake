@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/flux_trace.dir/flight_recorder.cc.o"
   "CMakeFiles/flux_trace.dir/flight_recorder.cc.o.d"
+  "CMakeFiles/flux_trace.dir/telemetry.cc.o"
+  "CMakeFiles/flux_trace.dir/telemetry.cc.o.d"
   "CMakeFiles/flux_trace.dir/trace.cc.o"
   "CMakeFiles/flux_trace.dir/trace.cc.o.d"
   "libflux_trace.a"

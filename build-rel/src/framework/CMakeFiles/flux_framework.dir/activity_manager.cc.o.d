@@ -236,6 +236,7 @@ src/framework/CMakeFiles/flux_framework.dir/activity_manager.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/flux/trace.h \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/framework/window_manager.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -232,6 +232,7 @@ src/framework/CMakeFiles/flux_framework.dir/activity_thread.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/flux/trace.h \
  /root/repo/src/framework/intent.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/kernel/process.h /root/repo/src/kernel/address_space.h \
  /root/repo/src/kernel/fd_object.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

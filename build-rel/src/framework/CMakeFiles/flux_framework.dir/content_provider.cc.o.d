@@ -234,6 +234,7 @@ src/framework/CMakeFiles/flux_framework.dir/content_provider.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/flux/trace.h \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

@@ -235,4 +235,5 @@ src/framework/CMakeFiles/flux_framework.dir/package_manager.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/flux/trace.h \
  /root/repo/src/binder/service_manager.h \
- /root/repo/src/framework/system_context.h /root/repo/src/net/network.h
+ /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h

@@ -232,4 +232,5 @@ src/framework/CMakeFiles/flux_framework.dir/system_service.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/flux/trace.h \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/aidl/record_rules.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/contended_link.cc" "src/net/CMakeFiles/flux_net.dir/contended_link.cc.o" "gcc" "src/net/CMakeFiles/flux_net.dir/contended_link.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/flux_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/flux_net.dir/frame.cc.o.d"
   "/root/repo/src/net/network.cc" "src/net/CMakeFiles/flux_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/flux_net.dir/network.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/flux_net.dir/contended_link.cc.o"
   "CMakeFiles/flux_net.dir/contended_link.cc.o.d"
+  "CMakeFiles/flux_net.dir/frame.cc.o"
+  "CMakeFiles/flux_net.dir/frame.cc.o.d"
   "CMakeFiles/flux_net.dir/network.cc.o"
   "CMakeFiles/flux_net.dir/network.cc.o.d"
   "libflux_net.a"

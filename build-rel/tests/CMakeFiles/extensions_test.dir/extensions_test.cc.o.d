@@ -309,6 +309,7 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o: \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/device/device_profile.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/gpu/egl_runtime.h \
  /root/repo/src/framework/activity_manager.h \
  /root/repo/src/framework/intent.h \

@@ -300,7 +300,8 @@ tests/CMakeFiles/gpu_network_test.dir/gpu_network_test.cc.o: \
  /root/repo/src/base/sim_clock.h /root/repo/src/kernel/process.h \
  /root/repo/src/kernel/address_space.h /root/repo/src/base/bytes.h \
  /usr/include/c++/12/span /root/repo/src/kernel/fd_object.h \
- /root/repo/src/net/network.h /root/repo/src/flux/flight_recorder.h \
+ /root/repo/src/net/network.h /root/repo/src/base/rng.h \
+ /root/repo/src/net/frame.h /root/repo/src/flux/flight_recorder.h \
  /usr/include/c++/12/cstring /root/repo/src/base/event_ring.h \
  /root/repo/src/base/interner.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

@@ -309,6 +309,7 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o: \
  /root/repo/src/binder/service_manager.h \
  /root/repo/src/device/device_profile.h \
  /root/repo/src/framework/system_context.h /root/repo/src/net/network.h \
+ /root/repo/src/base/rng.h /root/repo/src/net/frame.h \
  /root/repo/src/gpu/egl_runtime.h \
  /root/repo/src/framework/activity_manager.h \
  /root/repo/src/framework/intent.h \
@@ -325,9 +326,8 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o: \
  /root/repo/src/fs/sim_filesystem.h /root/repo/src/kernel/sim_kernel.h \
  /root/repo/src/kernel/drivers.h /root/repo/src/kernel/process.h \
  /root/repo/src/kernel/address_space.h /root/repo/src/kernel/fd_object.h \
- /root/repo/src/framework/activity_thread.h /root/repo/src/base/rng.h \
- /root/repo/src/device/world.h /root/repo/src/base/event_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/framework/activity_thread.h /root/repo/src/device/world.h \
+ /root/repo/src/base/event_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/flux/migration.h \
  /root/repo/src/base/hash.h /root/repo/src/cria/cria.h \
  /root/repo/src/flux/flux_agent.h /root/repo/src/flux/chunk_cache.h \

@@ -25,10 +25,11 @@ OUTCOMES = {"verbatim", "proxied", "skipped", "adapted", "failed"}
 
 REPORT_KEYS = {
     "app", "home_device", "guest_device", "failure_phase", "captured_at_us",
-    "rolled_back", "cause_chain", "home_events", "guest_events", "counters",
-    "open_spans", "replay_journal",
+    "rolled_back", "trace_context", "cause_chain", "home_events",
+    "guest_events", "counters", "open_spans", "replay_journal",
 }
 EVENT_KEYS = {"t", "sub", "name", "sev", "arg0", "arg1"}
+HIST_KEYS = {"count", "max", "p50", "p90", "p99", "sum", "buckets"}
 
 
 def fail(msg):
@@ -91,6 +92,16 @@ def check_report(report_path, recorder_h, observability_md):
         fail("failure_phase is empty")
     if not isinstance(report["captured_at_us"], int):
         fail("captured_at_us is not an integer")
+    ctx = report["trace_context"]
+    if not isinstance(ctx, str) or (ctx and not re.fullmatch(r"[0-9a-f]{32}",
+                                                             ctx)):
+        fail("trace_context is neither empty nor 32-hex: %r" % ctx)
+    # Per-event ctx stamps (optional key) must agree with the report's.
+    for where in ("home_events", "guest_events"):
+        for event in report[where]:
+            if "ctx" in event and ctx and event["ctx"] != ctx:
+                fail("%s event ctx %r != report trace_context %r"
+                     % (where, event["ctx"], ctx))
     chain = report["cause_chain"]
     if not isinstance(chain, list) or not chain:
         fail("cause_chain missing or empty")
@@ -130,7 +141,7 @@ def check_report(report_path, recorder_h, observability_md):
 def check_stats(stats_path, trace_h, observability_md):
     with open(stats_path) as f:
         stats = json.load(f)
-    for key in ("cells", "counters", "histograms"):
+    for key in ("cells", "counters", "zero_counters", "histograms"):
         if key not in stats:
             fail("stats missing %r" % key)
     if not isinstance(stats["cells"], int) or stats["cells"] <= 0:
@@ -140,17 +151,34 @@ def check_stats(stats_path, trace_h, observability_md):
     for name, value in stats["counters"].items():
         if not isinstance(value, int) or value < 0:
             fail("counter %r has bad value %r" % (name, value))
+    # zero_counters makes registered-but-zero explicit: it must name
+    # exactly the zero-valued entries of "counters" (a name absent from
+    # "counters" entirely was never registered — its subsystem never ran).
+    zeros = stats["zero_counters"]
+    if not isinstance(zeros, list):
+        fail("zero_counters is not a list")
+    expect_zeros = sorted(n for n, v in stats["counters"].items() if v == 0)
+    if sorted(zeros) != expect_zeros:
+        fail("zero_counters %s != zero-valued counters %s"
+             % (sorted(zeros), expect_zeros))
     histograms = stats["histograms"]
     if not isinstance(histograms, dict) or not histograms:
         fail("stats histograms missing or empty")
     recorded = 0
     for name, hist in histograms.items():
-        if set(hist) != {"count", "max", "p50", "p90", "p99"}:
-            fail("histogram %r keys %s" % (name, sorted(hist)))
-        if hist["count"] < 0 or hist["max"] < 0:
-            fail("histogram %r has negative count/max" % name)
+        if set(hist) != HIST_KEYS:
+            fail("histogram %r keys %s != %s" % (name, sorted(hist),
+                                                 sorted(HIST_KEYS)))
+        if hist["count"] < 0 or hist["max"] < 0 or hist["sum"] < 0:
+            fail("histogram %r has negative count/max/sum" % name)
         if not hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"]:
             fail("histogram %r percentiles not monotone: %r" % (name, hist))
+        buckets = hist["buckets"]
+        if not isinstance(buckets, list) or len(buckets) != 64:
+            fail("histogram %r buckets is not a 64-entry array" % name)
+        if sum(buckets) != hist["count"]:
+            fail("histogram %r buckets sum %d != count %d"
+                 % (name, sum(buckets), hist["count"]))
         if hist["count"] > 0:
             recorded += 1
     if recorded == 0:

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Validate the flux.timeseries.v1 telemetry exports in CI.
+
+Usage:
+  check_telemetry.py timeseries <timeseries.json> [--require-breach]
+                     [--max-overhead-pct=X]
+  check_telemetry.py stitch <timeseries.json>
+
+`timeseries` mode gates the --timeseries-out JSON (WriteTimeSeries):
+schema id and cadence, per-series sample monotonicity (seq strictly
+increasing, sim time non-decreasing, ring accounting taken - dropped ==
+len(samples)), counter sanity, windowed-rate shape, and the SLO section
+(every recorded breach exceeds its bound and names a declared objective).
+With --require-breach, at least one breach must have completed the full
+monitor -> flight ring -> report round trip: present in slo.breaches AND
+in breach_events with a matching objective name (bench_fleet's canary
+objective makes this deterministic). With --max-overhead-pct=X, the
+sampler's host-time share of the run must stay within X percent.
+
+`stitch` mode gates cross-device causal stitching: every stitch record
+(one per successful migration) must resolve to exactly one non-zero
+TraceContext, and the contexts observed on the tracer's spans, the home
+device's flight ring, and the guest device's flight ring must all equal
+the minted one — both devices tell the same causal story.
+"""
+
+import json
+import re
+import sys
+
+HEX32 = re.compile(r"[0-9a-f]{32}")
+
+
+def fail(msg):
+    print("check_telemetry: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def is_ctx(value):
+    return isinstance(value, str) and bool(HEX32.fullmatch(value))
+
+
+def check_series(series):
+    for key in ("label", "taken", "dropped", "samples", "rates"):
+        if key not in series:
+            fail("series missing %r" % key)
+    label = series["label"]
+    samples = series["samples"]
+    if not isinstance(samples, list) or not samples:
+        fail("series %r has no samples" % label)
+    if series["taken"] - series["dropped"] != len(samples):
+        fail("series %r ring accounting: taken %d - dropped %d != %d samples"
+             % (label, series["taken"], series["dropped"], len(samples)))
+    last_seq, last_t = 0, -1
+    for sample in samples:
+        for key in ("seq", "t_us", "inflight", "contexts", "counters"):
+            if key not in sample:
+                fail("series %r sample missing %r" % (label, key))
+        if sample["seq"] <= last_seq:
+            fail("series %r seq not strictly increasing at %d"
+                 % (label, sample["seq"]))
+        last_seq = sample["seq"]
+        if sample["t_us"] < last_t:
+            fail("series %r sim time went backwards at seq %d"
+                 % (label, sample["seq"]))
+        last_t = sample["t_us"]
+        if sample["inflight"] != len(sample["contexts"]):
+            fail("series %r seq %d: inflight %d != %d contexts"
+                 % (label, sample["seq"], sample["inflight"],
+                    len(sample["contexts"])))
+        for ctx in sample["contexts"]:
+            if not is_ctx(ctx):
+                fail("series %r seq %d: bad context %r"
+                     % (label, sample["seq"], ctx))
+        for name, value in sample["counters"].items():
+            if not isinstance(value, int) or value < 0:
+                fail("series %r counter %r has bad value %r"
+                     % (label, name, value))
+    rates = series["rates"]
+    if len(rates) != len(samples) - 1:
+        fail("series %r has %d rate windows for %d samples"
+             % (label, len(rates), len(samples)))
+    for rate in rates:
+        for key in ("begin_us", "end_us", "migrations_per_s", "wire_mb_per_s",
+                    "rollback_rate", "retransmit_ratio"):
+            if key not in rate:
+                fail("series %r rate window missing %r" % (label, key))
+            if key.endswith("_s") or key.endswith("rate") or \
+                    key.endswith("ratio"):
+                if rate[key] < 0:
+                    fail("series %r negative %s: %r" % (label, key, rate[key]))
+        if rate["begin_us"] > rate["end_us"]:
+            fail("series %r rate window runs backwards" % label)
+    return len(samples)
+
+
+def check_slo(doc, require_breach):
+    slo = doc.get("slo")
+    if slo is None:
+        if require_breach:
+            fail("--require-breach but the export has no slo section")
+        return 0, 0
+    for key in ("windows_evaluated", "objectives", "breaches"):
+        if key not in slo:
+            fail("slo section missing %r" % key)
+    names = set()
+    for obj in slo["objectives"]:
+        for key in ("name", "kind", "metric", "denominator", "bound"):
+            if key not in obj:
+                fail("objective missing %r: %r" % (key, obj))
+        if obj["kind"] not in ("histogram_p99", "window_rate",
+                               "counter_ratio"):
+            fail("unknown objective kind %r" % obj["kind"])
+        names.add(obj["name"])
+    if not names:
+        fail("slo section declares no objectives")
+    for breach in slo["breaches"]:
+        for key in ("objective", "window", "begin_us", "end_us", "value",
+                    "bound", "ctx"):
+            if key not in breach:
+                fail("breach missing %r: %r" % (key, breach))
+        if breach["objective"] not in names:
+            fail("breach cites undeclared objective %r" % breach["objective"])
+        if breach["value"] <= breach["bound"]:
+            fail("breach value %r does not exceed bound %r: %r"
+                 % (breach["value"], breach["bound"], breach))
+        if breach["ctx"] and not is_ctx(breach["ctx"]):
+            fail("breach with bad ctx: %r" % breach)
+
+    events = doc.get("breach_events", [])
+    for event in events:
+        for key in ("t_us", "name", "ctx", "detail"):
+            if key not in event:
+                fail("breach event missing %r: %r" % (key, event))
+        if event["name"] != "slo.breach":
+            fail("unexpected breach event name %r" % event["name"])
+        if event["detail"] not in names:
+            fail("breach event cites undeclared objective %r"
+                 % event["detail"])
+    if require_breach:
+        breached = {b["objective"] for b in slo["breaches"]}
+        echoed = {e["detail"] for e in events}
+        if not (breached & echoed):
+            fail("no breach completed the monitor -> flight ring -> report "
+                 "round trip (monitor: %s, ring: %s)"
+                 % (sorted(breached), sorted(echoed)))
+    return len(slo["breaches"]), len(events)
+
+
+def check_timeseries(path, require_breach, max_overhead_pct):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "flux.timeseries.v1":
+        fail("schema %r != flux.timeseries.v1" % doc.get("schema"))
+    if not isinstance(doc.get("cadence_us"), int) or doc["cadence_us"] <= 0:
+        fail("cadence_us missing or non-positive")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail("series missing or empty")
+    samples = sum(check_series(s) for s in series)
+    breaches, echoed = check_slo(doc, require_breach)
+    overhead = doc.get("overhead")
+    if not isinstance(overhead, dict) or "pct" not in overhead:
+        fail("overhead section missing")
+    if max_overhead_pct is not None and overhead["pct"] > max_overhead_pct:
+        fail("sampler overhead %.3f%% exceeds the %.3f%% budget "
+             "(sampler %.4fs of %.4fs run)"
+             % (overhead["pct"], max_overhead_pct,
+                overhead.get("sampler_host_s", -1),
+                overhead.get("run_host_s", -1)))
+    print("check_telemetry: OK: %d series, %d samples, %d breaches "
+          "(%d echoed to the flight ring), overhead %.3f%%"
+          % (len(series), samples, breaches, echoed, overhead["pct"]))
+
+
+def check_stitch(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = doc.get("stitch")
+    if not isinstance(records, list) or not records:
+        fail("stitch section missing or empty")
+    for rec in records:
+        label = rec.get("label", "?")
+        ctx = rec.get("ctx")
+        if not is_ctx(ctx) or ctx == "0" * 32:
+            fail("stitch %r: missing or zero trace context %r" % (label, ctx))
+        for side in ("span_ctxs", "home_ctxs", "guest_ctxs"):
+            got = rec.get(side)
+            if got != [ctx]:
+                fail("stitch %r: %s %r != exactly the minted context [%r]"
+                     % (label, side, got, ctx))
+        for side in ("spans_stamped", "home_events_stamped",
+                     "guest_events_stamped"):
+            if rec.get(side, 0) <= 0:
+                fail("stitch %r: %s is zero — nothing was stamped"
+                     % (label, side))
+    print("check_telemetry: OK: %d migrations causally stitched across "
+          "both devices" % len(records))
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2 or args[0] not in ("timeseries", "stitch"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    require_breach = "--require-breach" in flags
+    max_overhead_pct = None
+    for flag in flags:
+        if flag.startswith("--max-overhead-pct="):
+            max_overhead_pct = float(flag.split("=", 1)[1])
+    if args[0] == "timeseries":
+        check_timeseries(args[1], require_breach, max_overhead_pct)
+    else:
+        check_stitch(args[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,6 +14,11 @@ Three gates, all cheap enough for every CI run:
   3. Every counter constant registered in src/flux/trace.h is documented
      in OBSERVABILITY.md, so the catalog cannot silently drift from the
      code.
+  4. Causal flow events are well-formed: every s/f pair belongs to a
+     migration/flow chain keyed by a 32-hex TraceContext id, each chain
+     opens with exactly one "s" (at its earliest timestamp) and carries at
+     least one "f", and every flow id also appears as an args.ctx on some
+     complete span.
 """
 
 import json
@@ -48,7 +53,7 @@ def check_events(trace):
         fail("traceEvents missing or empty")
     for event in events:
         ph = event.get("ph")
-        if ph not in ("X", "M", "C"):
+        if ph not in ("X", "M", "C", "s", "f"):
             fail("unexpected event phase %r" % ph)
         for key in ("name", "pid", "tid"):
             if key not in event:
@@ -58,7 +63,39 @@ def check_events(trace):
                 fail("complete event with bad ts/dur: %r" % event)
         if ph == "C" and not isinstance(event.get("args"), dict):
             fail("counter event without args: %r" % event)
+        if ph in ("s", "f"):
+            if not re.fullmatch(r"[0-9a-f]{32}", str(event.get("id", ""))):
+                fail("flow event without 32-hex id: %r" % event)
+            if event.get("ts", -1) < 0:
+                fail("flow event with bad ts: %r" % event)
     return events
+
+
+def check_flows(events):
+    # id -> list of (ts, ph), in file order; plus the ctx values stamped on
+    # complete spans (flow chains must bind to actual spans).
+    flows = {}
+    span_ctxs = set()
+    for event in events:
+        if event["ph"] in ("s", "f"):
+            flows.setdefault(event["id"], []).append((event["ts"], event["ph"]))
+        elif event["ph"] == "X":
+            ctx = (event.get("args") or {}).get("ctx")
+            if ctx is not None:
+                span_ctxs.add(ctx)
+    for flow_id, points in flows.items():
+        starts = [p for p in points if p[1] == "s"]
+        finishes = [p for p in points if p[1] == "f"]
+        if len(starts) != 1:
+            fail("flow %s has %d start events, want exactly 1"
+                 % (flow_id, len(starts)))
+        if not finishes:
+            fail("flow %s has a start but no finish step" % flow_id)
+        if any(ts < starts[0][0] for ts, _ in finishes):
+            fail("flow %s has a step before its start" % flow_id)
+        if flow_id not in span_ctxs:
+            fail("flow %s matches no span's args.ctx" % flow_id)
+    return len(flows)
 
 
 def check_migrations(events):
@@ -123,10 +160,12 @@ def main(argv):
         trace = json.load(f)
     events = check_events(trace)
     migrations = check_migrations(events)
+    flows = check_flows(events)
     counters = registered_counters(trace_h)
     check_docs(counters, observability_md)
-    print("check_trace: OK: %d events, %d migrations, %d counters documented"
-          % (len(events), migrations, len(counters)))
+    print("check_trace: OK: %d events, %d migrations, %d flow chains, "
+          "%d counters documented" % (len(events), migrations, flows,
+                                      len(counters)))
     return 0
 
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/base/bytes.h"
+#include "src/flux/telemetry.h"
 
 namespace flux {
 namespace {
@@ -70,6 +71,8 @@ struct MigrationCoordinator::PendingMigration {
   ContendedFabric::FlowId flow = ContendedFabric::kInvalidFlow;
   EventId dirty_event;
   bool cut_done = false;
+  // Minted at admission; zero while the request is still queued.
+  TraceContext ctx;
 };
 
 struct MigrationCoordinator::PendingPairing {
@@ -260,6 +263,22 @@ bool MigrationCoordinator::DeviceBusy(FleetDeviceId device) const {
   return device < devices_.size() && devices_[device]->busy;
 }
 
+std::vector<TraceContext> MigrationCoordinator::InflightContexts() const {
+  // Walk the admitted-context side table (bounded by the concurrency cap),
+  // not pending_migrations_: queued entries have no context yet and
+  // outnumber admitted ones by orders of magnitude at fleet scale. The
+  // table's order is the deterministic admission/completion interleaving —
+  // identical across serial and threaded drivers, which replay the same
+  // event sequence — so no per-sample sort is needed here (it blew the ≤1%
+  // sampler budget); the JSON exporter canonicalizes order instead.
+  std::vector<TraceContext> out;
+  out.reserve(admitted_ctxs_.size());
+  for (const auto& [key, ctx] : admitted_ctxs_) {
+    out.push_back(ctx);
+  }
+  return out;
+}
+
 FleetDeviceId MigrationCoordinator::PlaceGuest(const FleetApp& app) {
   const FleetDevice& home = *devices_[app.home];
   FleetDeviceId best = kNoFleetDevice;
@@ -349,6 +368,13 @@ void MigrationCoordinator::AdmitMigration(PendingMigration req,
   req.admitted = now();
   FleetApp& app = *apps_[req.app];
   FleetDevice& home = *devices_[req.home];
+  // Admission is where the migration becomes causally real: mint its trace
+  // context here, salted by the request key so two admissions of the same
+  // app/pair at the same instant still get distinct identities.
+  req.ctx = MintTraceContext(app.spec.name, home.spec.name,
+                             devices_[guest]->spec.name, req.admitted, key);
+  admitted_ctx_index_[key] = admitted_ctxs_.size();
+  admitted_ctxs_.emplace_back(key, req.ctx);
   home.busy = true;
   devices_[guest]->busy = true;
   ++active_migrations_;
@@ -360,9 +386,10 @@ void MigrationCoordinator::AdmitMigration(PendingMigration req,
   FLUX_TRACE_HIST_RECORD(hist_concurrency_,
                          static_cast<uint64_t>(active_migrations_));
   if (config_.trace != nullptr && config_.trace_spans) {
-    FLUX_TRACE_EMIT_ON_TRACK(config_.trace, trace_names::kSpanCoordQueueWait,
-                             trace_names::kTrackCoordinator, req.submitted,
-                             req.admitted);
+    FLUX_TRACE_EMIT_ON_TRACK_CTX(config_.trace,
+                                 trace_names::kSpanCoordQueueWait,
+                                 trace_names::kTrackCoordinator, req.submitted,
+                                 req.admitted, req.ctx);
   }
 
   AccrueDirt(app, now());
@@ -527,6 +554,16 @@ void MigrationCoordinator::OnMigrationDone(uint64_t migration_key) {
 
 void MigrationCoordinator::OnMigrationDoneCommit(uint64_t migration_key) {
   auto node = pending_migrations_.extract(migration_key);
+  if (auto idx = admitted_ctx_index_.find(migration_key);
+      idx != admitted_ctx_index_.end()) {
+    const size_t slot = idx->second;
+    admitted_ctx_index_.erase(idx);
+    if (slot + 1 != admitted_ctxs_.size()) {
+      admitted_ctxs_[slot] = admitted_ctxs_.back();
+      admitted_ctx_index_[admitted_ctxs_[slot].first] = slot;
+    }
+    admitted_ctxs_.pop_back();
+  }
   PendingMigration& mig = *node.mapped();
   FleetApp& app = *apps_[mig.app];
   FleetDevice& guest = *devices_[mig.guest];
@@ -541,9 +578,10 @@ void MigrationCoordinator::OnMigrationDoneCommit(uint64_t migration_key) {
   FLUX_TRACE_COUNTER_ADD(ctr_completed_, 1);
   FLUX_TRACE_COUNTER_ADD(ctr_wire_bytes_, mig.wire_bytes);
   if (config_.trace != nullptr && config_.trace_spans) {
-    FLUX_TRACE_EMIT_ON_TRACK(config_.trace, trace_names::kSpanCoordMigration,
-                             trace_names::kTrackCoordinator, mig.admitted,
-                             now());
+    FLUX_TRACE_EMIT_ON_TRACK_CTX(config_.trace,
+                                 trace_names::kSpanCoordMigration,
+                                 trace_names::kTrackCoordinator, mig.admitted,
+                                 now(), mig.ctx);
   }
 
   FleetMigrationRecord rec;
@@ -556,6 +594,7 @@ void MigrationCoordinator::OnMigrationDoneCommit(uint64_t migration_key) {
   rec.wire_bytes = mig.wire_bytes;
   rec.chunks = mig.chunks;
   rec.warm_chunks = mig.warm_chunks;
+  rec.ctx = mig.ctx;
   completed_.push_back(rec);
 
   PumpQueues();

@@ -46,6 +46,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
@@ -126,6 +127,10 @@ struct FleetMigrationRecord {
   uint64_t wire_bytes = 0;
   uint32_t chunks = 0;
   uint32_t warm_chunks = 0;  // shipped as refs thanks to the guest cache
+  // Causal trace context minted at admission (telemetry.h). Every
+  // coordinator/* span for this migration carries it, so a fleet record
+  // stitches straight into the Chrome trace's flow chain.
+  TraceContext ctx;
   SimDuration queue_wait() const {
     return static_cast<SimDuration>(admitted - submitted);
   }
@@ -179,6 +184,14 @@ class MigrationCoordinator {
   }
   size_t pairings_completed() const { return pairings_completed_; }
   int peak_concurrency() const { return peak_concurrency_; }
+
+  // Trace contexts of every admitted, still in-flight migration (queued
+  // entries have no context yet — it is minted at admission). Feed for
+  // TimeSeriesSampler::SetContextProvider, so each sample window knows
+  // which causal chains were live when it was cut. Order is the
+  // deterministic admission-table order, not sorted; the time-series JSON
+  // exporter canonicalizes.
+  std::vector<TraceContext> InflightContexts() const;
 
  private:
   struct FleetDevice;
@@ -244,6 +257,14 @@ class MigrationCoordinator {
   // (stable across vector growth; events close over keys, not pointers).
   std::unordered_map<uint64_t, std::unique_ptr<PendingMigration>>
       pending_migrations_;
+  // Contexts of admitted migrations, keyed like pending_migrations_. A side
+  // table so InflightContexts() — called once per telemetry sample — walks
+  // only the <= max_concurrent_migrations admitted entries instead of the
+  // whole pending map, where queued (context-less) entries dominate at
+  // fleet scale. Kept contiguous (swap-and-pop erase via the key index) so
+  // the per-sample walk is a flat scan, not a node-pointer chase.
+  std::vector<std::pair<uint64_t, TraceContext>> admitted_ctxs_;
+  std::unordered_map<uint64_t, size_t> admitted_ctx_index_;
   std::unordered_map<uint64_t, std::unique_ptr<PendingPairing>>
       pending_pairings_;
   std::unordered_map<ContendedFabric::FlowId, uint64_t> flow_to_migration_;

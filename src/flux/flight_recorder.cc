@@ -107,6 +107,8 @@ void FlightRecorder::EmitDetail(uint32_t subsystem_id, uint32_t name_id,
   event.severity = severity;
   event.arg0 = arg0;
   event.arg1 = arg1;
+  event.ctx_hi = context_.hi;
+  event.ctx_lo = context_.lo;
   const size_t n = std::min(detail.size(), sizeof(event.detail));
   std::memcpy(event.detail, detail.data(), n);
   event.detail_len = static_cast<uint8_t>(n);
@@ -124,6 +126,7 @@ std::vector<FlightEventView> FlightRecorder::Snapshot() const {
     view.severity = event.severity;
     view.arg0 = event.arg0;
     view.arg1 = event.arg1;
+    view.ctx = TraceContext{event.ctx_hi, event.ctx_lo};
     view.detail.assign(event.detail, event.detail_len);
     out.push_back(std::move(view));
   }

@@ -35,6 +35,7 @@
 #include "src/base/interner.h"
 #include "src/base/logging.h"
 #include "src/base/sim_clock.h"
+#include "src/flux/trace.h"
 
 #ifndef FLUX_TRACE_ENABLED
 #define FLUX_TRACE_ENABLED 1
@@ -107,6 +108,13 @@ inline constexpr std::string_view kBinderTransactionFailed =
     "binder.transaction_failed";
 // Routed log lines (the name is the interned component).
 inline constexpr std::string_view kLogError = "log.error";
+// SLO health monitor (src/flux/telemetry.h): a declared objective exceeded
+// its bound over one sampling window. a0/a1 carry the hi/lo words of a
+// TraceContext active in the breaching window (zero when none was), the
+// detail names the objective, and the event's own ctx field is the same
+// context — so a breach links straight back to the causal trace.
+inline constexpr std::string_view kSubSlo = "slo";
+inline constexpr std::string_view kSloBreach = "slo.breach";
 
 }  // namespace flight_events
 
@@ -125,6 +133,11 @@ struct FlightEvent {
   SimTime time = 0;
   uint64_t arg0 = 0;
   uint64_t arg1 = 0;
+  // Causal trace context of the migration in flight when the event was
+  // emitted (zero outside any migration); stamped from the recorder's
+  // ambient context, set by MigrationManager for the span of one Migrate().
+  uint64_t ctx_hi = 0;
+  uint64_t ctx_lo = 0;
   uint32_t subsystem = 0;  // interned (Interner::Global())
   uint32_t name = 0;       // interned
   EventSeverity severity = EventSeverity::kInfo;
@@ -140,6 +153,7 @@ struct FlightEventView {
   EventSeverity severity = EventSeverity::kInfo;
   uint64_t arg0 = 0;
   uint64_t arg1 = 0;
+  TraceContext ctx;
   std::string detail;
 };
 
@@ -165,6 +179,13 @@ class FlightRecorder {
 
   const SimClock* clock() const { return clock_; }
 
+  // Ambient causal context: every event emitted while set carries it.
+  // MigrationManager sets it on both devices' recorders for the duration of
+  // one Migrate() call and clears it on every exit path.
+  void set_context(const TraceContext& ctx) { context_ = ctx; }
+  void clear_context() { context_ = TraceContext{}; }
+  TraceContext context() const { return context_; }
+
   void Emit(uint32_t subsystem_id, uint32_t name_id, EventSeverity severity,
             uint64_t arg0, uint64_t arg1) {
     FlightEvent event;
@@ -174,6 +195,8 @@ class FlightRecorder {
     event.severity = severity;
     event.arg0 = arg0;
     event.arg1 = arg1;
+    event.ctx_hi = context_.hi;
+    event.ctx_lo = context_.lo;
     ring_.Append(event);
   }
 
@@ -192,6 +215,7 @@ class FlightRecorder {
  private:
   const SimClock* clock_;
   EventRing<FlightEvent> ring_;
+  TraceContext context_;
   bool enabled_;
   bool capturing_logs_ = false;
 };

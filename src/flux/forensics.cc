@@ -63,6 +63,10 @@ void AppendEvents(std::string& out, const std::vector<FlightEventView>& events) 
     AppendJsonString(out, EventSeverityName(e.severity));
     out += ",\"arg0\":" + std::to_string(e.arg0);
     out += ",\"arg1\":" + std::to_string(e.arg1);
+    if (e.ctx.valid()) {
+      out += ",\"ctx\":";
+      AppendJsonString(out, e.ctx.ToHex());
+    }
     if (!e.detail.empty()) {
       out += ",\"detail\":";
       AppendJsonString(out, e.detail);
@@ -150,6 +154,10 @@ std::string ForensicReportJson(const ForensicReport& report) {
   out += ",\n  \"captured_at_us\": " + std::to_string(report.captured_at);
   out += ",\n  \"rolled_back\": ";
   out += report.rolled_back ? "true" : "false";
+  out += ",\n  \"trace_context\": ";
+  AppendJsonString(out, report.trace_context.valid()
+                            ? report.trace_context.ToHex()
+                            : std::string());
 
   out += ",\n  \"cause_chain\": [";
   for (size_t i = 0; i < report.cause_chain.size(); ++i) {
@@ -232,6 +240,9 @@ std::string ForensicReportText(const ForensicReport& report) {
   out << "failed during: " << report.failure_phase
       << (report.rolled_back ? " (rolled back)" : "") << "  at t="
       << static_cast<double>(report.captured_at) / 1e6 << "s\n";
+  if (report.trace_context.valid()) {
+    out << "trace context: " << report.trace_context.ToHex() << "\n";
+  }
   if (!report.cause_chain.empty()) {
     out << "cause chain:\n";
     for (size_t i = 0; i < report.cause_chain.size(); ++i) {

@@ -87,6 +87,11 @@ struct ForensicReport {
   std::string failure_phase;
   SimTime captured_at = 0;
   bool rolled_back = false;
+  // The failed migration's causal context (telemetry.h); zero when the
+  // report was cut outside any migration. The same value stamps the
+  // per-event "ctx" fields below, so a report cross-references straight
+  // into the Chrome trace's flow chain.
+  TraceContext trace_context;
 
   // The failure Status and its cause chain, outermost first.
   std::vector<ForensicCause> cause_chain;

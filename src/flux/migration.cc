@@ -10,6 +10,7 @@
 #include "src/base/strings.h"
 #include "src/base/synthetic_content.h"
 #include "src/base/thread_pool.h"
+#include "src/flux/telemetry.h"
 
 namespace flux {
 
@@ -17,11 +18,15 @@ namespace {
 
 constexpr uint32_t kPayloadMagic = 0x464C5558;  // "FLUX"
 
-// Modeled wire bytes of the dedup manifest handshake: the home side sends
-// a small header plus one 16-byte hash per chunk; the guest answers with a
-// header plus a one-bit-per-chunk availability bitmap.
+// Modeled wire bytes of the dedup manifest handshake (PROTOCOL.md §7): the
+// home side sends a 32-byte header — 16 bytes of framing fields plus the
+// 16-byte trace-context field added in manifest v2 (§7.1) — plus one
+// 16-byte hash per chunk; the guest answers with a header plus a
+// one-bit-per-chunk availability bitmap. The context travels whether or
+// not tracing is compiled in: it is protocol data, and charging it
+// unconditionally is what keeps the three telemetry configs byte-identical.
 uint64_t ManifestWireBytes(uint64_t chunk_count) {
-  return 16 + 16 * chunk_count + 8 + (chunk_count + 7) / 8;
+  return 32 + 16 * chunk_count + 8 + (chunk_count + 7) / 8;
 }
 
 // CPU time to push `bytes` through a `mbps` pipeline on `device`.
@@ -755,6 +760,11 @@ bool MigrationManager::AdvanceWithTicks(SimTime target, WifiNetwork* watch) {
     }
     home_device.Tick();
     guest_device.Tick();
+    if (config_.telemetry_poll) {
+      // Read-only sampler poll (TimeSeriesSampler::Poll) — observes
+      // counter state mid-flight without touching simulated state.
+      config_.telemetry_poll();
+    }
   }
   return watch == nullptr || watch->UpAt(clock.now());
 }
@@ -798,9 +808,11 @@ Result<MigrationManager::ResumeOutcome> MigrationManager::ResumeAfterOutage(
 
   // The handshake (PROTOCOL.md §8): one kResumeOffer frame carrying the
   // manifest out, one kResumeAck frame carrying the availability bitmap
-  // back. Same shape as the dedup manifest exchange, plus frame headers.
+  // back. Same shape as the dedup manifest exchange, plus frame headers;
+  // the offer header carries the 16-byte trace-context field (§7.1), so
+  // the resumed transfer re-joins the same causal trace on the guest.
   const uint64_t n = manifest.size();
-  const uint64_t offer_bytes = kFrameHeaderSize + 16 + 16 * n;
+  const uint64_t offer_bytes = kFrameHeaderSize + 32 + 16 * n;
   const uint64_t ack_bytes = kFrameHeaderSize + 8 + (n + 7) / 8;
   const SimDuration handshake =
       wifi.TransferTime(offer_bytes, link) + wifi.TransferTime(ack_bytes, link);
@@ -1048,7 +1060,9 @@ Status MigrationManager::TransferPipelined(const RunningApp& app,
     // overlaps the data sync on the same link and the home-side fill of
     // chunk 0 (hashing finishes before compression begins), so it delays
     // the stream only when it outlasts both.
-    const uint64_t hashes_out = 16 + 16 * uint64_t{report.dedup.chunk_count} +
+    // 32-byte manifest header: framing fields + the 16-byte trace-context
+    // field (PROTOCOL.md §7.1), matching ManifestWireBytes above.
+    const uint64_t hashes_out = 32 + 16 * uint64_t{report.dedup.chunk_count} +
                                 (shaped ? kFrameHeaderSize : 0);
     const uint64_t bitmap_back = 8 +
                                  (uint64_t{report.dedup.chunk_count} + 7) / 8 +
@@ -1440,6 +1454,33 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
       &home_.device().flight_recorder());
   FlightRecorder* home_rec = &home_.device().flight_recorder();
 
+  // Causal context (telemetry.h): adopt the coordinator's, or mint our own
+  // for standalone runs. Both recorders and the tracer stamp it into every
+  // event/span until Migrate returns; the guard clears it on every exit
+  // path so the next migration on these devices starts clean.
+  ctx_ = config_.trace_context.valid()
+             ? config_.trace_context
+             : MintTraceContext(app.package, report.home_device,
+                                report.guest_device,
+                                home_.device().clock().now());
+  report.trace_context = ctx_;
+  home_.device().flight_recorder().set_context(ctx_);
+  guest_.device().flight_recorder().set_context(ctx_);
+  if (config_.trace != nullptr) {
+    config_.trace->set_context(ctx_);
+  }
+  struct ContextGuard {
+    MigrationManager* manager;
+    ~ContextGuard() {
+      manager->home_.device().flight_recorder().clear_context();
+      manager->guest_.device().flight_recorder().clear_context();
+      if (manager->config_.trace != nullptr) {
+        manager->config_.trace->clear_context();
+      }
+      manager->ctx_ = TraceContext{};
+    }
+  } context_guard{this};
+
   if (!config_.net_profile.IsClean()) {
     home_.device().wifi().ApplyProfile(
         config_.net_profile,
@@ -1682,6 +1723,10 @@ Result<MigrationReport> MigrationManager::Migrate(const RunningApp& app,
       << report.guest_device << " in "
       << StrFormat("%.2f s", ToSecondsF(report.Total())) << " ("
       << report.total_wire_bytes / 1024 << " KB transferred)";
+  // The perceived-unavailability distribution the SLO catalog's p99
+  // objective watches (telemetry.h).
+  FLUX_TRACE_OBSERVE(config_.trace, trace_names::kHistMigrationPerceived,
+                     static_cast<uint64_t>(report.UserPerceived()));
   EmitTraceSpans(report);
   return report;
 }
@@ -1696,6 +1741,7 @@ std::shared_ptr<ForensicReport> MigrationManager::BuildForensics(
   forensics->failure_phase = phase;
   forensics->captured_at = home_.device().clock().now();
   forensics->rolled_back = rolled_back;
+  forensics->trace_context = ctx_;
   forensics->cause_chain = FlattenCauseChain(cause);
   forensics->home_events = home_.device().flight_recorder().Snapshot();
   forensics->guest_events = guest_.device().flight_recorder().Snapshot();

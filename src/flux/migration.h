@@ -141,6 +141,22 @@ struct MigrationConfig {
   // duration of the manager's use. Null = no tracing (the default; the
   // instrumented sites cost nothing beyond a pointer test).
   Tracer* trace = nullptr;
+  // Causal identity for this migration (telemetry.h). The coordinator
+  // mints one at admission and passes it down; when left zero, Migrate()
+  // mints its own deterministically from (package, home, guest, sim time).
+  // Carried in the manifest/resume handshakes (PROTOCOL.md §7.1), stamped
+  // into every span and flight event on both devices, and reported in
+  // MigrationReport::trace_context. Not gated on tracing: the wire cost
+  // of the handshake context field is charged whether or not a tracer is
+  // attached, keeping the three-config byte identity.
+  TraceContext trace_context;
+  // Telemetry poll hook (TimeSeriesSampler::Poll): invoked at every
+  // transfer-tick boundary while the migration advances the clock, so a
+  // sampler sees mid-flight counter state on the single-migration path
+  // (fleet runs drive sampling from the event scheduler instead). The
+  // hook must be read-only with respect to simulated state — it runs on
+  // the simulation path and anything it mutates breaks byte identity.
+  std::function<void()> telemetry_poll;
 };
 
 // Wire-byte split of the pre-image data sync (SyncAppData). The APK
@@ -267,6 +283,11 @@ struct MigrationReport {
   Hash128 image_hash;
   Hash128 restored_image_hash;
 
+  // The causal context this migration ran under (adopted from
+  // MigrationConfig::trace_context or minted at Migrate() entry); every
+  // span and flight event of the migration carries the same value.
+  TraceContext trace_context;
+
   // Where the app lives now.
   RunningApp migrated;
 
@@ -379,6 +400,10 @@ class MigrationManager {
   FluxAgent& home_;
   FluxAgent& guest_;
   MigrationConfig config_;
+  // The active migration's causal context: adopted or minted at Migrate()
+  // entry, cleared (with both recorders' and the tracer's ambient context)
+  // on every exit path.
+  TraceContext ctx_;
   // Absolute end of the overlapped decompress+restore stages, set by
   // TransferPipelined and consumed by RestoreOnGuest.
   SimTime pipeline_restore_deadline_ = 0;

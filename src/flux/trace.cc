@@ -50,6 +50,12 @@ void AppendJsonEscaped(std::string& out, std::string_view s) {
 
 }  // namespace
 
+std::string TraceContext::ToHex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, hi, lo);
+  return std::string(buf);
+}
+
 void TraceHistogram::Snapshot::Merge(const Snapshot& other) {
   count += other.count;
   sum += other.sum;
@@ -122,6 +128,16 @@ TraceHistogram* Tracer::histogram(std::string_view name) {
   return it->second.get();
 }
 
+void Tracer::set_context(const TraceContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  context_ = ctx;
+}
+
+TraceContext Tracer::context() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return context_;
+}
+
 size_t Tracer::OpenSpan(std::string_view name) {
   TraceSpanRecord rec;
   rec.name = std::string(name);
@@ -131,6 +147,7 @@ size_t Tracer::OpenSpan(std::string_view name) {
   rec.depth = g_span_depth++;
   rec.open = true;
   std::lock_guard<std::mutex> lock(mu_);
+  rec.ctx = context_;
   spans_.push_back(std::move(rec));
   return spans_.size();  // slot + 1 so 0 stays "no token"
 }
@@ -143,7 +160,8 @@ void Tracer::CloseSpan(size_t token) {
   spans_[token - 1].open = false;
 }
 
-void Tracer::EmitSpan(std::string_view name, SimTime begin, SimTime end) {
+void Tracer::EmitSpan(std::string_view name, SimTime begin, SimTime end,
+                      const TraceContext& ctx) {
   TraceSpanRecord rec;
   rec.name = std::string(name);
   rec.begin = begin;
@@ -151,17 +169,20 @@ void Tracer::EmitSpan(std::string_view name, SimTime begin, SimTime end) {
   rec.thread_ord = ThisThreadOrdinal();
   rec.depth = 0;
   std::lock_guard<std::mutex> lock(mu_);
+  rec.ctx = ctx.valid() ? ctx : context_;
   spans_.push_back(std::move(rec));
 }
 
 void Tracer::EmitSpanOnTrack(std::string_view name, std::string_view track,
-                             SimTime begin, SimTime end) {
+                             SimTime begin, SimTime end,
+                             const TraceContext& ctx) {
   TraceSpanRecord rec;
   rec.name = std::string(name);
   rec.track = std::string(track);
   rec.begin = begin;
   rec.end = end;
   std::lock_guard<std::mutex> lock(mu_);
+  rec.ctx = ctx.valid() ? ctx : context_;
   spans_.push_back(std::move(rec));
 }
 
@@ -253,6 +274,18 @@ void WriteChromeTrace(const std::vector<TraceProcess>& processes,
   bool first = true;
   char buf[256];
   int pid = 0;
+  // One flow anchor per context-stamped span, keyed by context across all
+  // processes: the first (by begin time) becomes the flow start ("s"), each
+  // later one a step ("f" binding to its enclosing span) — the arrow chain
+  // that stitches home → wire → guest → coordinator into one causal view.
+  struct FlowPoint {
+    SimTime ts = 0;
+    int pid = 0;
+    int tid = 0;
+    size_t order = 0;  // insertion order breaks ts ties deterministically
+  };
+  std::map<TraceContext, std::vector<FlowPoint>> flows;
+  size_t flow_order = 0;
   for (const TraceProcess& proc : processes) {
     ++pid;
     {
@@ -288,8 +321,15 @@ void WriteChromeTrace(const std::vector<TraceProcess>& processes,
       std::snprintf(buf, sizeof(buf), "%" PRIu64,
                     static_cast<uint64_t>(s.end - s.begin));
       ev += buf;
-      std::snprintf(buf, sizeof(buf), ", \"pid\": %d, \"tid\": %d}", pid, tid);
+      std::snprintf(buf, sizeof(buf), ", \"pid\": %d, \"tid\": %d", pid, tid);
       ev += buf;
+      if (s.ctx.valid()) {
+        ev += ", \"args\": {\"ctx\": \"";
+        ev += s.ctx.ToHex();
+        ev += "\"}";
+        flows[s.ctx].push_back(FlowPoint{s.begin, pid, tid, flow_order++});
+      }
+      ev += "}";
       AppendEvent(json, first, ev);
     }
     for (const auto& [tid, name] : tid_names) {
@@ -316,6 +356,28 @@ void WriteChromeTrace(const std::vector<TraceProcess>& processes,
       std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
       ev += buf;
       ev += "}}";
+      AppendEvent(json, first, ev);
+    }
+  }
+  // Flow events: one "s" at each context's earliest span, then an "f" step
+  // (bp "e": bind to the enclosing slice) at every later span with the same
+  // id. A context seen on a single span draws no arrow and emits nothing.
+  for (auto& [ctx, points] : flows) {
+    if (points.size() < 2) continue;
+    std::stable_sort(points.begin(), points.end(),
+                     [](const FlowPoint& a, const FlowPoint& b) {
+                       return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+                     });
+    for (size_t i = 0; i < points.size(); ++i) {
+      const FlowPoint& p = points[i];
+      std::string ev = "{\"name\": \"migration/flow\", \"cat\": \"flux\", ";
+      ev += i == 0 ? "\"ph\": \"s\"" : "\"ph\": \"f\", \"bp\": \"e\"";
+      ev += ", \"id\": \"";
+      ev += ctx.ToHex();
+      std::snprintf(buf, sizeof(buf),
+                    "\", \"ts\": %" PRIu64 ", \"pid\": %d, \"tid\": %d}", p.ts,
+                    p.pid, p.tid);
+      ev += buf;
       AppendEvent(json, first, ev);
     }
   }

@@ -213,6 +213,12 @@ inline constexpr std::string_view kHistPipelineDecompress =
     "pipeline.decompress_us";
 inline constexpr std::string_view kHistPipelineRestore =
     "pipeline.restore_us";
+// User-perceived unavailability per migration (MigrationReport::
+// UserPerceived()), recorded once at the end of every traced Migrate().
+// The SLO catalog's p99-perceived objective (telemetry.h) reads its
+// windowed deltas.
+inline constexpr std::string_view kHistMigrationPerceived =
+    "migration.perceived_us";
 inline constexpr std::string_view kHistRecordTxn = "record.txn_cost_us";
 inline constexpr std::string_view kHistReplayCall = "replay.call_us";
 inline constexpr std::string_view kHistNetTick = "net.tick_us";
@@ -229,6 +235,45 @@ inline constexpr std::string_view kHistFleetSchedWindowShards =
     "fleet.sched.window_shards";
 
 }  // namespace trace_names
+
+// ----- causal trace context -----
+//
+// A 128-bit causal identity minted once per migration — at coordinator
+// admission for fleet runs, or at MigrationManager::Migrate for standalone
+// runs — and carried everywhere that migration leaves a mark: every span,
+// every flight event on both devices, the forensic report, and the
+// manifest/resume protocol handshakes (PROTOCOL.md §7.1). One migration,
+// one context; home and guest rings agree on it, which is what lets the
+// Chrome exporter stitch cross-device flow events into a single causal
+// view (Dapper-style; scripts/check_telemetry.py gates the invariant).
+//
+// Deliberately NOT gated on FLUX_TRACE_ENABLED: the context is protocol
+// data (it rides the wire in the handshake messages), so its byte cost
+// must be identical whether tracing is compiled in or out. Only the
+// span/event stamping compiles away.
+//
+// Minted deterministically (MintTraceContext in telemetry.h hashes the
+// endpoints, package, and submission sim-time) — no wall clock, no
+// randomness — so reruns produce identical IDs and the byte-identity
+// gates hold.
+struct TraceContext {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  // 32 lowercase hex chars (hi then lo); "0" is never a valid context.
+  std::string ToHex() const;
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const TraceContext& a, const TraceContext& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const TraceContext& a, const TraceContext& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
 
 // A monotonic counter. Instrumented code caches the pointer returned by
 // Tracer::counter() (registration takes the registry mutex once) and then
@@ -327,6 +372,10 @@ struct TraceSpanRecord {
   // True between OpenSpan and CloseSpan; post-hoc emissions are never open.
   // Forensics uses this to report spans still active at failure time.
   bool open = false;
+  // Causal identity of the migration this span belongs to; zero when the
+  // span was recorded outside any migration. Stamped from the tracer's
+  // ambient context (set_context) or an explicit-context emit.
+  TraceContext ctx;
 };
 
 class TraceSpan;
@@ -357,19 +406,49 @@ class Tracer {
     histogram(name)->Record(value);
   }
 
+  // Ambient causal context: every span opened or emitted while set is
+  // stamped with it. MigrationManager sets it for the duration of one
+  // Migrate() call (single-migration serial path); the coordinator, whose
+  // post-hoc emissions interleave across migrations, passes explicit
+  // contexts to the emit overloads below instead.
+  void set_context(const TraceContext& ctx);
+  void clear_context() { set_context(TraceContext{}); }
+  TraceContext context() const;
+
   // Records a span with explicit stamps — for intervals re-derived after
   // the fact (the pipelined schedule, report intervals). Lands on the
-  // calling thread's track at depth 0.
-  void EmitSpan(std::string_view name, SimTime begin, SimTime end);
+  // calling thread's track at depth 0. When `ctx` is valid it overrides
+  // the ambient context; when zero the ambient context (if any) applies.
+  void EmitSpan(std::string_view name, SimTime begin, SimTime end,
+                const TraceContext& ctx = TraceContext{});
   // Same, on a named synthetic track.
   void EmitSpanOnTrack(std::string_view name, std::string_view track,
-                       SimTime begin, SimTime end);
+                       SimTime begin, SimTime end,
+                       const TraceContext& ctx = TraceContext{});
 
   // ----- inspection (tests, exporters) -----
   std::vector<TraceSpanRecord> Spans() const;
   std::vector<std::pair<std::string, uint64_t>> Counters() const;
   std::vector<std::pair<std::string, TraceHistogram::Snapshot>> Histograms()
       const;
+  // Copy-free registry walks (name-sorted) for the time-series sampler's
+  // hot path: Counters()/Histograms() allocate a string per entry per
+  // call, which at a 250-virtual-ms cadence dominates the sampler's host
+  // cost. The callback must not re-enter this Tracer (mu_ is held).
+  template <typename Fn>
+  void VisitCounters(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      fn(std::string_view(name), counter->value());
+    }
+  }
+  template <typename Fn>
+  void VisitHistograms(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, histogram] : histograms_) {
+      fn(std::string_view(name), *histogram);
+    }
+  }
   // Names of spans opened via the RAII path and not yet closed (a finished
   // migration must leave this empty — tests/forensics_test.cc pins it).
   std::vector<std::string> OpenSpanNames() const;
@@ -386,6 +465,7 @@ class Tracer {
 
   mutable std::mutex mu_;
   const SimClock* clock_;
+  TraceContext context_;
   std::vector<TraceSpanRecord> spans_;
   std::map<std::string, std::unique_ptr<TraceCounter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<TraceHistogram>, std::less<>>
@@ -433,7 +513,12 @@ struct TraceProcess {
 
 // Chrome trace_event JSON ("JSON Object Format": {"traceEvents": [...]}).
 // Spans become complete ("X") events; counters become one "C" sample at the
-// trace end. Loadable in chrome://tracing and ui.perfetto.dev.
+// trace end. Spans stamped with a TraceContext additionally carry it in
+// args.ctx and are linked by flow events (one "s" at the context's first
+// span, an "f" step at each later span, id = the context hex) so
+// chrome://tracing / Perfetto draw one causal arrow chain per migration —
+// across processes when home, guest, and coordinator export as separate
+// TraceProcess rows. Loadable in chrome://tracing and ui.perfetto.dev.
 void WriteChromeTrace(const std::vector<TraceProcess>& processes,
                       std::ostream& out);
 std::string ChromeTraceJson(const Tracer& tracer);
@@ -488,6 +573,15 @@ std::string PhaseReportText(const Tracer& tracer);
       flux_trace_t->EmitSpanOnTrack((name), (track), (begin_ts), (end_ts));  \
     }                                                                        \
   } while (0)
+#define FLUX_TRACE_EMIT_ON_TRACK_CTX(tracer, name, track, begin_ts, end_ts, \
+                                     ctx)                                   \
+  do {                                                                      \
+    ::flux::Tracer* flux_trace_t = (tracer);                                \
+    if (flux_trace_t != nullptr) {                                          \
+      flux_trace_t->EmitSpanOnTrack((name), (track), (begin_ts), (end_ts),  \
+                                    (ctx));                                 \
+    }                                                                       \
+  } while (0)
 #define FLUX_TRACE_COUNT(tracer, name, delta)     \
   do {                                            \
     ::flux::Tracer* flux_trace_t = (tracer);      \
@@ -531,6 +625,9 @@ std::string PhaseReportText(const Tracer& tracer);
   FLUX_TRACE_DISCARD_((tracer), (name), (begin_ts), (end_ts))
 #define FLUX_TRACE_EMIT_ON_TRACK(tracer, name, track, begin_ts, end_ts) \
   FLUX_TRACE_DISCARD_((tracer), (name), (track), (begin_ts), (end_ts))
+#define FLUX_TRACE_EMIT_ON_TRACK_CTX(tracer, name, track, begin_ts, end_ts, \
+                                     ctx)                                   \
+  FLUX_TRACE_DISCARD_((tracer), (name), (track), (begin_ts), (end_ts), (ctx))
 #define FLUX_TRACE_COUNT(tracer, name, delta) \
   FLUX_TRACE_DISCARD_((tracer), (name), (delta))
 #define FLUX_TRACE_COUNTER_ADD(counter_ptr, delta) \

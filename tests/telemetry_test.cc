@@ -1,0 +1,426 @@
+// Fleet telemetry tests: histogram snapshot merging, the --stats-out merge
+// (counter summation, zero_counters, raw buckets), the time-series sampler
+// (cadence, ring bound, drop accounting), windowed rates, the deterministic
+// TraceContext mint, the SLO monitor's breach -> flight-ring round trip,
+// and the end-to-end contract that one migration stamps a single causal
+// context on its spans, both devices' flight rings, and the forensic
+// surface — with the §7 manifest-header wire formula pinned.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_instance.h"
+#include "src/device/world.h"
+#include "src/flux/flight_recorder.h"
+#include "src/flux/migration.h"
+#include "src/flux/telemetry.h"
+#include "src/flux/trace.h"
+
+namespace flux {
+namespace {
+
+// ----- TraceHistogram::Snapshot::Merge -----
+
+TEST(SnapshotMergeTest, MergingEmptyIsIdentity) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceHistogram* hist = tracer.histogram("t.us");
+  hist->Record(5);
+  hist->Record(300);
+  TraceHistogram::Snapshot snap = hist->Take();
+  TraceHistogram::Snapshot merged = snap;
+  merged.Merge(TraceHistogram::Snapshot{});
+  EXPECT_EQ(merged.count, snap.count);
+  EXPECT_EQ(merged.sum, snap.sum);
+  EXPECT_EQ(merged.max, snap.max);
+  EXPECT_EQ(merged.buckets, snap.buckets);
+
+  // Empty.Merge(snap) is the symmetric identity.
+  TraceHistogram::Snapshot other;
+  other.Merge(snap);
+  EXPECT_EQ(other.count, snap.count);
+  EXPECT_EQ(other.sum, snap.sum);
+  EXPECT_EQ(other.max, snap.max);
+  EXPECT_EQ(other.buckets, snap.buckets);
+}
+
+TEST(SnapshotMergeTest, MergePropagatesMaxAndSumsBuckets) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceHistogram* a = tracer.histogram("a.us");
+  TraceHistogram* b = tracer.histogram("b.us");
+  a->Record(10);
+  a->Record(1000);
+  b->Record(7);
+  b->Record(50000);
+  TraceHistogram::Snapshot merged = a->Take();
+  merged.Merge(b->Take());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum, 10u + 1000u + 7u + 50000u);
+  EXPECT_EQ(merged.max, 50000u);  // max comes from the merged-in side
+  uint64_t bucket_total = 0;
+  for (uint64_t n : merged.buckets) {
+    bucket_total += n;
+  }
+  EXPECT_EQ(bucket_total, merged.count);  // buckets always tile the count
+}
+
+TEST(SnapshotMergeTest, RecordManyMatchesRepeatedRecord) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TraceHistogram* loop = tracer.histogram("loop.us");
+  TraceHistogram* bulk = tracer.histogram("bulk.us");
+  for (int i = 0; i < 37; ++i) {
+    loop->Record(1234);
+  }
+  bulk->RecordMany(1234, 37);
+  const TraceHistogram::Snapshot a = loop->Take();
+  const TraceHistogram::Snapshot b = bulk->Take();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+// ----- TracerStatsJson (--stats-out merge) -----
+
+TEST(TracerStatsTest, CountersSumAcrossTracersAndZeroIsExplicit) {
+  SimClock clock;
+  Tracer one(&clock);
+  Tracer two(&clock);
+  one.counter("shared.count")->Add(3);
+  two.counter("shared.count")->Add(4);
+  one.counter("only.first")->Add(9);
+  two.counter("registered.zero");  // registered, never incremented
+  one.histogram("merge.us")->Record(100);
+  two.histogram("merge.us")->Record(200);
+
+  const std::string json = TracerStatsJson({&one, &two});
+  EXPECT_NE(json.find("\"cells\": 2"), std::string::npos);
+  // Same-named counters sum across tracers; unshared names pass through.
+  EXPECT_NE(json.find("\"shared.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"only.first\": 9"), std::string::npos);
+  // Registered-but-zero shows up in "counters" AND by name in
+  // "zero_counters"; a never-registered name appears in neither.
+  EXPECT_NE(json.find("\"registered.zero\": 0"), std::string::npos);
+  const size_t zeros = json.find("\"zero_counters\": [");
+  ASSERT_NE(zeros, std::string::npos);
+  EXPECT_NE(json.find("\"registered.zero\"", zeros), std::string::npos);
+  EXPECT_EQ(json.find("\"never.registered\""), std::string::npos);
+  // Histograms merge and carry sum + the raw bucket array.
+  EXPECT_NE(json.find("\"merge.us\": {\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 300"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
+  // Null tracers are skipped, not counted as cells.
+  const std::string sparse = TracerStatsJson({&one, nullptr});
+  EXPECT_NE(sparse.find("\"cells\": 1"), std::string::npos);
+}
+
+// ----- TimeSeriesSampler -----
+
+TEST(TimeSeriesSamplerTest, PollHonorsCadenceAndSampleNowForces) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TimeSeriesSampler::Options opt;
+  opt.cadence = Millis(250);
+  TimeSeriesSampler sampler(&clock, opt);
+  sampler.Attach(&tracer);
+
+  sampler.Poll();  // first poll always samples
+  EXPECT_EQ(sampler.taken(), 1u);
+  clock.Advance(Millis(100));
+  sampler.Poll();  // only 100ms elapsed — below cadence
+  EXPECT_EQ(sampler.taken(), 1u);
+  clock.Advance(Millis(200));
+  sampler.Poll();  // 300ms since last sample
+  EXPECT_EQ(sampler.taken(), 2u);
+  sampler.SampleNow();  // unconditional flush
+  EXPECT_EQ(sampler.taken(), 3u);
+  EXPECT_EQ(sampler.samples().back().at, clock.now());
+  EXPECT_GE(sampler.host_seconds(), 0.0);
+}
+
+TEST(TimeSeriesSamplerTest, RingBoundDropsOldestButSeqSurvives) {
+  SimClock clock;
+  TimeSeriesSampler::Options opt;
+  opt.cadence = Millis(1);
+  opt.capacity = 4;
+  TimeSeriesSampler sampler(&clock, opt);
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(Millis(2));
+    sampler.Poll();
+  }
+  EXPECT_EQ(sampler.taken(), 10u);
+  EXPECT_EQ(sampler.dropped(), 6u);
+  ASSERT_EQ(sampler.samples().size(), 4u);
+  // Absolute sequence numbers survive the drops: the retained window is
+  // the newest four samples, not a renumbered one.
+  EXPECT_EQ(sampler.samples().front().seq, 7u);
+  EXPECT_EQ(sampler.samples().back().seq, 10u);
+}
+
+TEST(TimeSeriesSamplerTest, SamplesCarryCountersAndProviderContexts) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TimeSeriesSampler sampler(&clock);
+  sampler.Attach(&tracer);
+  const TraceContext ctx = MintTraceContext("app", "home", "guest", 7);
+  sampler.SetContextProvider([&] { return std::vector<TraceContext>{ctx}; });
+  tracer.counter("x.count")->Add(5);
+  sampler.SampleNow();
+  const TelemetrySample& sample = sampler.samples().back();
+  ASSERT_EQ(sample.contexts.size(), 1u);
+  EXPECT_EQ(sample.contexts[0], ctx);
+  EXPECT_EQ(sampler.CounterAt(sample, "x.count"), 5u);
+  // Never-registered names read 0, and a name registered after this
+  // sample was taken reads 0 *for this sample* (index past its vector).
+  EXPECT_EQ(sampler.CounterAt(sample, "absent.count"), 0u);
+  tracer.counter("late.count")->Add(9);
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.CounterAt(sample, "late.count"), 0u);
+  EXPECT_EQ(sampler.CounterAt(sampler.samples().back(), "late.count"), 9u);
+}
+
+TEST(TimeSeriesSamplerTest, DeriveWindowRatesFromCounterDeltas) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TimeSeriesSampler sampler(&clock);
+  sampler.Attach(&tracer);
+  TraceCounter* done =
+      tracer.counter(trace_names::kFleetMigrationsCompleted);
+  TraceCounter* wire = tracer.counter(trace_names::kFleetWireBytes);
+  TraceCounter* rollbacks = tracer.counter(trace_names::kMigrationRollbacks);
+  sampler.SampleNow();
+  done->Add(10);
+  wire->Add(2'000'000);  // 2 MB
+  rollbacks->Add(1);
+  clock.Advance(Seconds(2));
+  sampler.SampleNow();
+
+  const auto rates = DeriveWindowRates(sampler);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0].migrations_per_s, 5.0);
+  EXPECT_DOUBLE_EQ(rates[0].wire_mb_per_s, 1.0);
+  EXPECT_DOUBLE_EQ(rates[0].rollback_rate, 0.1);
+  EXPECT_DOUBLE_EQ(rates[0].retransmit_ratio, 0.0);  // no lost bytes
+}
+
+// ----- MintTraceContext -----
+
+TEST(MintTraceContextTest, DeterministicNonZeroAndInputSensitive) {
+  const TraceContext a = MintTraceContext("pkg", "home", "guest", 42, 7);
+  const TraceContext b = MintTraceContext("pkg", "home", "guest", 42, 7);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);  // reruns mint identical ids
+  EXPECT_NE(a, MintTraceContext("pkg2", "home", "guest", 42, 7));
+  EXPECT_NE(a, MintTraceContext("pkg", "home2", "guest", 42, 7));
+  EXPECT_NE(a, MintTraceContext("pkg", "home", "guest2", 42, 7));
+  EXPECT_NE(a, MintTraceContext("pkg", "home", "guest", 43, 7));
+  EXPECT_NE(a, MintTraceContext("pkg", "home", "guest", 42, 8));
+  // Field-boundary separators: shifting a byte across the package/home
+  // boundary must change the hash.
+  EXPECT_NE(MintTraceContext("ab", "c", "g", 1),
+            MintTraceContext("a", "bc", "g", 1));
+  EXPECT_EQ(a.ToHex().size(), 32u);
+}
+
+// ----- SloMonitor -----
+
+TEST(SloMonitorTest, BreachRoundTripsThroughTheFlightRing) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  FlightRecorder recorder(&clock);
+  recorder.set_enabled(true);
+  TimeSeriesSampler sampler(&clock);
+  sampler.Attach(&tracer);
+  const TraceContext ctx = MintTraceContext("app", "home", "guest", 1);
+  sampler.SetContextProvider([&] { return std::vector<TraceContext>{ctx}; });
+
+  SloObjective objective;
+  objective.name = "test.rate";
+  objective.kind = SloObjective::Kind::kWindowRate;
+  objective.metric = "test.events";
+  objective.bound = 1.0;  // breached below: 4 events over 2s = 2.0/s
+  SloMonitor monitor({objective}, &recorder);
+
+  TraceCounter* events = tracer.counter("test.events");
+  sampler.SampleNow();
+  events->Add(4);
+  clock.Advance(Seconds(2));
+  sampler.SampleNow();
+  monitor.Evaluate(sampler);
+
+  ASSERT_EQ(monitor.breaches().size(), 1u);
+  const SloBreach& breach = monitor.breaches()[0];
+  EXPECT_EQ(breach.objective, "test.rate");
+  EXPECT_DOUBLE_EQ(breach.value, 2.0);
+  EXPECT_EQ(breach.ctx, ctx);
+  EXPECT_EQ(monitor.windows_evaluated(), 1u);
+
+#if FLUX_TRACE_ENABLED
+  // The same breach landed in the flight ring as slo.breach, stamped with
+  // the breaching window's context and naming the objective in the detail.
+  bool found = false;
+  for (const FlightEventView& event : recorder.Snapshot()) {
+    if (event.name == flight_events::kSloBreach) {
+      found = true;
+      EXPECT_EQ(event.subsystem, flight_events::kSubSlo);
+      EXPECT_EQ(event.severity, EventSeverity::kWarning);
+      EXPECT_EQ(event.ctx, ctx);
+      EXPECT_EQ(event.arg0, ctx.hi);
+      EXPECT_EQ(event.arg1, ctx.lo);
+      EXPECT_EQ(event.detail, "test.rate");
+    }
+  }
+  EXPECT_TRUE(found);
+#else
+  // Compiled-out tracing: the monitor still records the breach (asserted
+  // above), but FLUX_EVENT_DETAIL is a no-op so the ring stays empty.
+  EXPECT_TRUE(recorder.Snapshot().empty());
+#endif
+
+  // Incremental evaluation: re-evaluating without new samples is a no-op.
+  monitor.Evaluate(sampler);
+  EXPECT_EQ(monitor.breaches().size(), 1u);
+  EXPECT_EQ(monitor.windows_evaluated(), 1u);
+
+  // A quiet window does not breach.
+  clock.Advance(Seconds(2));
+  sampler.SampleNow();
+  monitor.Evaluate(sampler);
+  EXPECT_EQ(monitor.breaches().size(), 1u);
+  EXPECT_EQ(monitor.windows_evaluated(), 2u);
+
+  const std::string report = monitor.HealthReportText();
+  EXPECT_NE(report.find("test.rate"), std::string::npos);
+}
+
+TEST(SloMonitorTest, WithinBoundObjectiveNeverBreaches) {
+  SimClock clock;
+  Tracer tracer(&clock);
+  TimeSeriesSampler sampler(&clock);
+  sampler.Attach(&tracer);
+  SloObjective objective;
+  objective.name = "calm.rate";
+  objective.kind = SloObjective::Kind::kWindowRate;
+  objective.metric = "calm.events";
+  objective.bound = 100.0;
+  SloMonitor monitor({objective});
+  TraceCounter* events = tracer.counter("calm.events");
+  sampler.SampleNow();
+  events->Add(4);
+  clock.Advance(Seconds(2));
+  sampler.SampleNow();
+  monitor.Evaluate(sampler);
+  EXPECT_TRUE(monitor.breaches().empty());
+  EXPECT_EQ(monitor.windows_evaluated(), 1u);
+}
+
+// ----- end-to-end: one migration, one context, both devices -----
+
+class TelemetryMigrationTest : public ::testing::Test {
+ protected:
+  void Boot() {
+    BootOptions boot;
+    boot.framework_scale = 0.01;
+    a_ = world_.AddDevice("n4", Nexus4Profile(), boot).value();
+    b_ = world_.AddDevice("n7-2013", Nexus7_2013Profile(), boot).value();
+    a_agent_ = std::make_unique<FluxAgent>(*a_);
+    b_agent_ = std::make_unique<FluxAgent>(*b_);
+    ASSERT_TRUE(PairDevices(*a_agent_, *b_agent_).ok());
+    spec_ = FindApp("Candy Crush Saga");
+    ASSERT_NE(spec_, nullptr);
+    app_ = std::make_unique<AppInstance>(*a_, *spec_);
+    ASSERT_TRUE(app_->Install().ok());
+    ASSERT_TRUE(PairApp(*a_agent_, *b_agent_, *spec_).ok());
+    ASSERT_TRUE(app_->Launch().ok());
+    a_agent_->Manage(app_->pid(), spec_->package);
+    ASSERT_TRUE(app_->RunWorkload(42).ok());
+  }
+
+  World world_;
+  Device* a_ = nullptr;
+  Device* b_ = nullptr;
+  std::unique_ptr<FluxAgent> a_agent_;
+  std::unique_ptr<FluxAgent> b_agent_;
+  std::unique_ptr<AppInstance> app_;
+  const AppSpec* spec_ = nullptr;
+};
+
+TEST_F(TelemetryMigrationTest, OneContextStampsSpansRingsAndWireFormula) {
+  Boot();
+  a_->flight_recorder().set_enabled(true);
+  b_->flight_recorder().set_enabled(true);
+  Tracer tracer(&world_.clock());
+  MigrationConfig config;
+  config.pipelined = true;
+  config.chunk_dedup = true;
+  config.trace = &tracer;
+  MigrationManager manager(*a_agent_, *b_agent_, config);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app_), *spec_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->success) << report->refusal_reason;
+
+  // A context was minted at Migrate() entry and survived to the report.
+  const TraceContext ctx = report->trace_context;
+  EXPECT_TRUE(ctx.valid());
+  // It is the deterministic mint over (package, home, guest, submit time):
+  // a rerun of the same world produces the same id.
+  // §7 manifest header pinning: 32-byte header (magic, version, count,
+  // context) + 16 bytes per hash, and the §8 ack adds an 8-byte header
+  // plus a ceil(n/8)-byte availability bitmap.
+  const uint64_t n = report->dedup.chunk_count;
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(report->dedup.manifest_wire_bytes, 32 + 16 * n + 8 + (n + 7) / 8);
+
+#if FLUX_TRACE_ENABLED
+  // Every span of the migration carries exactly this context.
+  const auto spans = tracer.Spans();
+  ASSERT_FALSE(spans.empty());
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.ctx, ctx) << span.name;
+  }
+#endif
+
+#if FLUX_TRACE_ENABLED
+  // Both devices' flight rings stamped their migration-window events with
+  // the same context — the cross-device stitch check_telemetry.py gates.
+  // (Ring appends and spans are both FLUX_TRACE_ENABLED machinery; the
+  // context itself is protocol-level and asserted above regardless.)
+  const StitchRecord stitch =
+      BuildStitchRecord("test", ctx, config.trace,
+                        a_->flight_recorder().Snapshot(),
+                        b_->flight_recorder().Snapshot());
+  ASSERT_EQ(stitch.home_ctxs.size(), 1u);
+  EXPECT_EQ(stitch.home_ctxs[0], ctx.ToHex());
+  ASSERT_EQ(stitch.guest_ctxs.size(), 1u);
+  EXPECT_EQ(stitch.guest_ctxs[0], ctx.ToHex());
+  EXPECT_GT(stitch.home_events_stamped, 0u);
+  EXPECT_GT(stitch.guest_events_stamped, 0u);
+  ASSERT_EQ(stitch.span_ctxs.size(), 1u);
+  EXPECT_EQ(stitch.span_ctxs[0], ctx.ToHex());
+#endif
+
+  // The ambient context is cleared on exit: post-migration events carry
+  // the zero context again.
+  EXPECT_FALSE(a_->flight_recorder().context().valid());
+  EXPECT_FALSE(b_->flight_recorder().context().valid());
+}
+
+TEST_F(TelemetryMigrationTest, CallerProvidedContextIsAdopted) {
+  Boot();
+  Tracer tracer(&world_.clock());
+  MigrationConfig config;
+  config.trace = &tracer;
+  config.trace_context = MintTraceContext("caller", "chose", "this", 99);
+  MigrationManager manager(*a_agent_, *b_agent_, config);
+  auto report = manager.Migrate(RunningApp::FromInstance(*app_), *spec_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->success) << report->refusal_reason;
+  EXPECT_EQ(report->trace_context, config.trace_context);
+}
+
+}  // namespace
+}  // namespace flux
