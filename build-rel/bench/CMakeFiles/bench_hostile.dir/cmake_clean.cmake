@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hostile.dir/bench_hostile.cc.o"
+  "CMakeFiles/bench_hostile.dir/bench_hostile.cc.o.d"
+  "bench_hostile"
+  "bench_hostile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hostile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/resume_test.cc" "tests/CMakeFiles/resume_test.dir/resume_test.cc.o" "gcc" "tests/CMakeFiles/resume_test.dir/resume_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/flux/CMakeFiles/flux_core.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/playstore/CMakeFiles/flux_playstore.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/cria/CMakeFiles/flux_cria.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/apps/CMakeFiles/flux_apps.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/device/CMakeFiles/flux_device.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/framework/CMakeFiles/flux_framework.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/binder/CMakeFiles/flux_binder.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/aidl/CMakeFiles/flux_aidl.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/gpu/CMakeFiles/flux_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/kernel/CMakeFiles/flux_kernel.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/fs/CMakeFiles/flux_fs.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/net/CMakeFiles/flux_net.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/flux/CMakeFiles/flux_trace.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/base/CMakeFiles/flux_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resume_test.dir/resume_test.cc.o"
+  "CMakeFiles/resume_test.dir/resume_test.cc.o.d"
+  "resume_test"
+  "resume_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
